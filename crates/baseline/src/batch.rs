@@ -1,0 +1,57 @@
+//! Brute-force batch all-pairs similarity.
+
+use sssj_types::{dot, SimilarPair, StreamRecord};
+
+/// Computes every pair with plain cosine similarity ≥ θ by evaluating all
+/// n·(n−1)/2 dot products. The batch oracle.
+pub fn brute_force_all_pairs(records: &[StreamRecord], theta: f64) -> Vec<SimilarPair> {
+    assert!(theta > 0.0, "theta must be positive");
+    let mut out = Vec::new();
+    for (i, a) in records.iter().enumerate() {
+        for b in &records[i + 1..] {
+            let s = dot(&a.vector, &b.vector);
+            if s >= theta {
+                out.push(SimilarPair::new(a.id, b.id, s));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn rec(id: u64, entries: &[(u32, f64)]) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::ZERO, unit_vector(entries))
+    }
+
+    #[test]
+    fn finds_all_identical_pairs() {
+        let data = vec![
+            rec(0, &[(1, 1.0)]),
+            rec(1, &[(1, 1.0)]),
+            rec(2, &[(1, 1.0)]),
+        ];
+        let pairs = brute_force_all_pairs(&data, 0.99);
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn threshold_excludes_weak_pairs() {
+        let data = vec![
+            rec(0, &[(1, 1.0), (2, 1.0)]),
+            rec(1, &[(1, 1.0), (3, 1.0)]),
+        ];
+        assert_eq!(brute_force_all_pairs(&data, 0.51).len(), 0);
+        assert_eq!(brute_force_all_pairs(&data, 0.49).len(), 1);
+    }
+
+    #[test]
+    fn similarity_value_is_exact() {
+        let data = vec![rec(0, &[(1, 3.0), (2, 4.0)]), rec(1, &[(1, 3.0), (2, 4.0)])];
+        let pairs = brute_force_all_pairs(&data, 0.5);
+        assert!((pairs[0].similarity - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! Brute-force streaming join with a sliding window.
+
+use std::collections::VecDeque;
+
+use sssj_types::{dot, Decay, SimilarPair, StreamRecord};
+
+/// Solves the SSSJ problem exactly: reports every pair with
+/// `dot(x, y)·e^{-λΔt} ≥ θ`, keeping a window of the last `τ` time units
+/// and comparing each arrival against everything in it.
+///
+/// O(n·w·d̄) where `w` is the window population — the streaming oracle and
+/// the naive baseline of the benchmarks.
+pub fn brute_force_stream(records: &[StreamRecord], theta: f64, lambda: f64) -> Vec<SimilarPair> {
+    assert!(theta > 0.0, "theta must be positive");
+    let decay = Decay::new(lambda);
+    let tau = decay.horizon(theta);
+    let mut window: VecDeque<&StreamRecord> = VecDeque::new();
+    let mut out = Vec::new();
+    for r in records {
+        // Time filtering: drop everything beyond the horizon.
+        while let Some(front) = window.front() {
+            if r.t.delta(front.t) > tau {
+                window.pop_front();
+            } else {
+                break;
+            }
+        }
+        for old in &window {
+            let dt = r.t.delta(old.t);
+            let sim = decay.apply(dot(&r.vector, &old.vector), dt);
+            if sim >= theta {
+                out.push(SimilarPair::new(old.id, r.id, sim));
+            }
+        }
+        window.push_back(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn rec(id: u64, t: f64, entries: &[(u32, f64)]) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::new(t), unit_vector(entries))
+    }
+
+    #[test]
+    fn decay_excludes_distant_pairs() {
+        // Identical vectors; τ = ln(1/0.5)/0.1 ≈ 6.93.
+        let data = vec![
+            rec(0, 0.0, &[(1, 1.0)]),
+            rec(1, 5.0, &[(1, 1.0)]),
+            rec(2, 20.0, &[(1, 1.0)]),
+        ];
+        let pairs = brute_force_stream(&data, 0.5, 0.1);
+        let keys: Vec<_> = pairs.iter().map(|p| p.key()).collect();
+        assert_eq!(keys, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn zero_lambda_reverts_to_batch() {
+        let data = vec![
+            rec(0, 0.0, &[(1, 1.0)]),
+            rec(1, 1e6, &[(1, 1.0)]),
+        ];
+        let pairs = brute_force_stream(&data, 0.9, 0.0);
+        assert_eq!(pairs.len(), 1);
+        assert!((pairs[0].similarity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_is_decayed() {
+        let data = vec![rec(0, 0.0, &[(1, 1.0)]), rec(1, 1.0, &[(1, 1.0)])];
+        let pairs = brute_force_stream(&data, 0.1, 1.0);
+        assert!((pairs[0].similarity - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_is_pruned() {
+        // Many items far apart: each sees an empty window.
+        let data: Vec<_> = (0..50)
+            .map(|i| rec(i, i as f64 * 100.0, &[(1, 1.0)]))
+            .collect();
+        let pairs = brute_force_stream(&data, 0.9, 0.1);
+        assert!(pairs.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Ablation: the window-max candidate bound of the generalised-decay join.
+//!
+//! For non-exponential decay models the exact `m̂λ` trick is unavailable;
+//! the generic join optionally substitutes an undecayed windowed maximum
+//! (`rs1w`). This bench measures what that bound buys on top of the
+//! `rs2`/`l2bound` pruning, per decay model. Output is identical either
+//! way (tested in `decay_generic.rs`); only the work changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_core::{DecayStreaming, StreamJoin};
+use sssj_data::{generate, preset, Preset};
+use sssj_types::DecayModel;
+use std::hint::black_box;
+
+fn models() -> Vec<(&'static str, DecayModel)> {
+    vec![
+        ("exp", DecayModel::exponential(0.01)),
+        ("window", DecayModel::sliding_window(50.0)),
+        ("linear", DecayModel::linear(120.0)),
+        ("poly", DecayModel::polynomial(2.0, 30.0)),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let stream = generate(&preset(Preset::Rcv1, 800));
+    let theta = 0.6;
+
+    for (label, model) in models() {
+        for (bound, use_wm) in [("with-rs1w", true), ("without-rs1w", false)] {
+            let mut join = DecayStreaming::with_options(theta, model, use_wm);
+            let mut out = Vec::new();
+            for r in &stream {
+                join.process(r, &mut out);
+            }
+            eprintln!(
+                "{label} {bound}: entries={} candidates={} full_sims={} pairs={}",
+                join.stats().entries_traversed,
+                join.stats().candidates,
+                join.stats().full_sims,
+                out.len()
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("ablation_decay_bounds");
+    g.sample_size(10);
+    for (label, model) in models() {
+        for (bound, use_wm) in [("with-rs1w", true), ("without-rs1w", false)] {
+            g.bench_with_input(
+                BenchmarkId::new(label, bound),
+                &(model, use_wm),
+                |b, &(model, use_wm)| {
+                    b.iter(|| {
+                        let mut join = DecayStreaming::with_options(theta, model, use_wm);
+                        let mut out = Vec::new();
+                        for r in &stream {
+                            join.process(r, &mut out);
+                        }
+                        black_box(out.len())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

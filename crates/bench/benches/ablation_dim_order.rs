@@ -1,0 +1,59 @@
+//! Ablation: dimension-ordering strategies (the paper's §8 future work).
+//!
+//! The global dimension order decides which coordinates stay in the
+//! un-indexed prefix. This bench compares STR-L2 under three orders —
+//! frequency-descending (the all-pairs heuristic), frequency-ascending
+//! (adversarial) and a random shuffle — on the same stream. The join
+//! output is identical by construction; only the work changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_bench::run_algorithm;
+use sssj_core::{Framework, SssjConfig};
+use sssj_data::{generate, preset, DimOrdering, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::WorkBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let base = generate(&preset(Preset::Rcv1, 800));
+    let orderings = [
+        ("freq-desc", DimOrdering::frequency_descending(&base).apply(&base)),
+        ("freq-asc", DimOrdering::frequency_ascending(&base).apply(&base)),
+        ("shuffled", DimOrdering::shuffled(&base, 7).apply(&base)),
+    ];
+    let config = SssjConfig::new(0.7, 1e-2);
+    // Print the work counters once so the ablation is visible without
+    // reading criterion output.
+    for (label, records) in &orderings {
+        let r = run_algorithm(
+            records,
+            Framework::Streaming,
+            IndexKind::L2,
+            config,
+            WorkBudget::unlimited(),
+        );
+        eprintln!(
+            "dim-order {label}: entries={} postings={} pairs={}",
+            r.stats.entries_traversed, r.stats.postings_added, r.pairs
+        );
+    }
+    let mut g = c.benchmark_group("ablation_dim_order");
+    g.sample_size(10);
+    for (label, records) in &orderings {
+        g.bench_with_input(BenchmarkId::new("STR-L2", label), records, |b, records| {
+            b.iter(|| {
+                black_box(run_algorithm(
+                    records,
+                    Framework::Streaming,
+                    IndexKind::L2,
+                    config,
+                    WorkBudget::unlimited(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

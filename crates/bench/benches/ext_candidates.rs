@@ -1,0 +1,47 @@
+//! The paper's omitted results (§7, Q2): "Similar trends are observed for
+//! the number of candidates generated and the number of full similarities
+//! computed. Those results are omitted due to space constraints."
+//!
+//! Criterion times the workload whose candidate/full-similarity counts the
+//! `harness candidates` experiment tabulates: STR over a Tweets-like
+//! stream, per index, at a mid-range and a short horizon. The expectation
+//! mirrors Figure 6 — INV generates the most candidates (no pruning), L2
+//! generates close to the fewest while computing the fewest full
+//! similarities, and L2AP loses its edge as the horizon shrinks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_bench::run_algorithm;
+use sssj_core::{Framework, SssjConfig};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::WorkBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = generate(&preset(Preset::Tweets, 2_000));
+    let mut g = c.benchmark_group("ext_candidates");
+    g.sample_size(10);
+    for (label, lambda) in [("mid-horizon", 1e-3), ("short-horizon", 1e-1)] {
+        for kind in [IndexKind::Inv, IndexKind::L2ap, IndexKind::L2] {
+            g.bench_with_input(
+                BenchmarkId::new(label, kind),
+                &records,
+                |b, records| {
+                    b.iter(|| {
+                        black_box(run_algorithm(
+                            records,
+                            Framework::Streaming,
+                            kind,
+                            SssjConfig::new(0.6, lambda),
+                            WorkBudget::unlimited(),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

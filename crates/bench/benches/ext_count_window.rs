@@ -1,0 +1,44 @@
+//! Extension: count-based windows vs the paper's time-based horizon.
+//!
+//! Related work (Valari & Papadopoulos) prunes by keeping the last `w`
+//! *items*; the paper argues time-based pruning is the right semantics
+//! for unpredictable arrival rates. On a bursty stream this bench sweeps
+//! `w` and reports the best recall/precision a count window can achieve
+//! against the time-dependent reference — no `w` reaches (1, 1), which is
+//! the quantitative version of the paper's argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_baseline::{brute_force_count_window, count_window_recall};
+use sssj_data::{generate, preset, Preset};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Tweets preset: wall-clock-like bursty arrivals.
+    let stream = generate(&preset(Preset::Tweets, 2_000));
+    let (theta, lambda) = (0.6, 0.01);
+
+    let mut perfect = false;
+    for w in [8usize, 32, 128, 512] {
+        let f = count_window_recall(&stream, theta, lambda, w);
+        eprintln!(
+            "w={w}: recall={:.3} precision={:.3} (reference pairs={})",
+            f.recall, f.precision, f.reference_pairs
+        );
+        perfect |= f.recall > 0.999 && f.precision > 0.999;
+    }
+    if perfect {
+        eprintln!("note: a count window matched the time semantics on this draw");
+    }
+
+    let mut g = c.benchmark_group("ext_count_window");
+    g.sample_size(10);
+    for w in [8usize, 32, 128, 512] {
+        g.bench_with_input(BenchmarkId::new("count-window", w), &w, |b, &w| {
+            b.iter(|| black_box(brute_force_count_window(&stream, theta, w).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Extension: prefix-filtered Jaccard joins vs brute force.
+//!
+//! Expected shape: the filtered batch join verifies a small fraction of
+//! the quadratic pair count, and the streaming join's advantage grows as
+//! the horizon shrinks (time filtering compounds with prefix filtering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_textsim::{
+    batch_jaccard_join, brute_force_jaccard, StreamingJaccard, TimedSet, TokenSet,
+};
+use std::hint::black_box;
+
+fn synth(n: usize, vocab: u32, len: usize, seed: u64) -> Vec<TimedSet> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n as u64)
+        .map(|i| {
+            t += rng.random_range(0.0..1.0);
+            // Zipf-ish skew: low token ids are much more frequent.
+            let set: TokenSet = (0..len)
+                .map(|_| {
+                    let u: f64 = rng.random_range(0.0f64..1.0);
+                    ((vocab as f64).powf(u) - 1.0) as u32
+                })
+                .collect();
+            TimedSet::new(i, t, set)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let stream = synth(1_200, 3_000, 12, 5);
+    let sets: Vec<TokenSet> = stream.iter().map(|r| r.set.clone()).collect();
+    let theta = 0.6;
+
+    let (pairs, stats) = batch_jaccard_join(&sets, theta);
+    eprintln!(
+        "batch: {} pairs, {} verifications of {} possible",
+        pairs.len(),
+        stats.full_sims,
+        sets.len() * (sets.len() - 1) / 2
+    );
+
+    let mut g = c.benchmark_group("ext_jaccard");
+    g.sample_size(10);
+    g.bench_function("batch-brute-force", |b| {
+        b.iter(|| black_box(brute_force_jaccard(&sets, theta).len()))
+    });
+    g.bench_function("batch-prefix-filter", |b| {
+        b.iter(|| black_box(batch_jaccard_join(&sets, theta).0.len()))
+    });
+    for lambda in [0.01f64, 0.1] {
+        g.bench_with_input(
+            BenchmarkId::new("streaming", format!("lambda={lambda}")),
+            &lambda,
+            |b, &lambda| {
+                b.iter(|| {
+                    let mut join = StreamingJaccard::new(theta, lambda);
+                    let mut out = Vec::new();
+                    for r in &stream {
+                        join.process(r, &mut out);
+                    }
+                    black_box(out.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

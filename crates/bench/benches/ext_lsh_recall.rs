@@ -1,0 +1,71 @@
+//! Extension: the LSH join's recall/throughput trade-off vs exact STR-L2.
+//!
+//! Sweeps the banding shape at fixed signature width on a near-duplicate
+//! workload, printing recall (vs the exact output) alongside the
+//! criterion timing. Expected shape: time grows and misses shrink as the
+//! band count rises; the exact join is the recall=1 anchor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_baseline::brute_force_stream;
+use sssj_core::{run_stream, SssjConfig, StreamJoin, Streaming};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_lsh::{measure_accuracy, LshJoin, LshParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let stream = generate(&preset(Preset::Blogs, 1_500));
+    let (theta, lambda) = (0.7, 0.01);
+    let reference = brute_force_stream(&stream, theta, lambda);
+
+    for bands in [8u32, 16, 32, 64] {
+        let params = LshParams {
+            bits: 256,
+            bands,
+            ..LshParams::default()
+        };
+        let report = measure_accuracy(&stream, theta, lambda, params, &reference);
+        eprintln!(
+            "LSH {}x{}: recall={:.3} checks={} (exact pairs={})",
+            bands,
+            256 / bands,
+            report.recall,
+            report.candidate_checks,
+            report.exact_pairs
+        );
+    }
+
+    let mut g = c.benchmark_group("ext_lsh_recall");
+    g.sample_size(10);
+    g.bench_function("exact-STR-L2", |b| {
+        b.iter(|| {
+            let mut join = Streaming::new(SssjConfig::new(theta, lambda), IndexKind::L2);
+            black_box(run_stream(&mut join, &stream).len())
+        })
+    });
+    for bands in [8u32, 16, 32, 64] {
+        let params = LshParams {
+            bits: 256,
+            bands,
+            ..LshParams::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("lsh", format!("{}x{}", bands, 256 / bands)),
+            &params,
+            |b, &params| {
+                b.iter(|| {
+                    let mut join = LshJoin::new(theta, lambda, params);
+                    let mut out = Vec::new();
+                    for r in &stream {
+                        join.process(r, &mut out);
+                    }
+                    black_box(out.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Extension: sharded STR scaling.
+//!
+//! Broadcast-query / partition-insert sharding over 1–8 worker threads on
+//! a dense-ish workload. Expected shape: wall-clock improves until the
+//! broadcast overhead (every record visits every shard) and the machine's
+//! core count flatten the curve; output is identical at every width
+//! (asserted here, not just in tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_core::{run_stream, SssjConfig, StreamJoin, Streaming};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_parallel::sharded_run;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let stream = generate(&preset(Preset::Rcv1, 3_000));
+    let config = SssjConfig::new(0.55, 0.005);
+
+    let mut seq = Streaming::new(config, IndexKind::L2);
+    let mut expected: Vec<_> = run_stream(&mut seq, &stream)
+        .iter()
+        .map(|p| p.key())
+        .collect();
+    expected.sort_unstable();
+    eprintln!("sequential pairs={} entries={}", expected.len(), seq.stats().entries_traversed);
+
+    for shards in [1usize, 2, 4, 8] {
+        let out = sharded_run(&stream, config, IndexKind::L2, shards);
+        let mut keys: Vec<_> = out.pairs.iter().map(|p| p.key()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, expected, "shards={shards} must not change output");
+        let max_entries = out
+            .per_shard
+            .iter()
+            .map(|s| s.entries_traversed)
+            .max()
+            .unwrap_or(0);
+        eprintln!(
+            "shards={shards}: critical-path entries={max_entries} total={}",
+            out.stats.entries_traversed
+        );
+    }
+
+    let mut g = c.benchmark_group("ext_parallel_scaling");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut join = Streaming::new(config, IndexKind::L2);
+            black_box(run_stream(&mut join, &stream).len())
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &shards| {
+            b.iter(|| black_box(sharded_run(&stream, config, IndexKind::L2, shards).pairs.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Snapshot formats (extension): write/read throughput of the raw (v1)
+//! and delta+varint compressed (v2) encodings over a realistic in-horizon
+//! buffer. The size ratio is printed once at startup; criterion then
+//! times serialisation and restore for both formats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sssj_core::{read_snapshot, RecoverableJoin, SssjConfig, StreamJoin};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use std::hint::black_box;
+
+fn build_join(n: usize) -> RecoverableJoin {
+    let records = generate(&preset(Preset::Rcv1, n));
+    // A gentle decay keeps a large in-horizon buffer to serialise.
+    let mut join = RecoverableJoin::new(SssjConfig::new(0.5, 1e-3), IndexKind::L2);
+    let mut out = Vec::new();
+    for r in &records {
+        join.process(r, &mut out);
+        out.clear();
+    }
+    join
+}
+
+fn bench(c: &mut Criterion) {
+    let join = build_join(2_000);
+    let mut raw = Vec::new();
+    join.write_snapshot(&mut raw).unwrap();
+    let mut compressed = Vec::new();
+    join.write_snapshot_compressed(&mut compressed).unwrap();
+    println!(
+        "snapshot of {} buffered records: raw {} B, compressed {} B ({:.1} % saved)",
+        join.buffered_records(),
+        raw.len(),
+        compressed.len(),
+        100.0 * (1.0 - compressed.len() as f64 / raw.len() as f64)
+    );
+
+    let mut g = c.benchmark_group("ext_snapshot");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    g.bench_function(BenchmarkId::new("write", "raw"), |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(raw.len());
+            join.write_snapshot(&mut out).unwrap();
+            black_box(out)
+        })
+    });
+    g.throughput(Throughput::Bytes(compressed.len() as u64));
+    g.bench_function(BenchmarkId::new("write", "compressed"), |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(compressed.len());
+            join.write_snapshot_compressed(&mut out).unwrap();
+            black_box(out)
+        })
+    });
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    g.bench_function(BenchmarkId::new("read", "raw"), |b| {
+        b.iter(|| black_box(read_snapshot(&raw[..]).unwrap()))
+    });
+    g.throughput(Throughput::Bytes(compressed.len() as u64));
+    g.bench_function(BenchmarkId::new("read", "compressed"), |b| {
+        b.iter(|| black_box(read_snapshot(&compressed[..]).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

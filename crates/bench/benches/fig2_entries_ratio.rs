@@ -1,0 +1,43 @@
+//! Figure 2 — STR vs MB posting-entry traversal (L2 index).
+//!
+//! Benchmarks both frameworks at a mid-grid configuration on the two
+//! datasets of the figure; the traversal-ratio series comes from
+//! `harness fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_bench::run_algorithm;
+use sssj_core::{Framework, SssjConfig};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::WorkBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_entries_ratio");
+    g.sample_size(10);
+    for p in [Preset::WebSpam, Preset::Rcv1] {
+        let n = if p == Preset::WebSpam { 150 } else { 600 };
+        let records = generate(&preset(p, n));
+        for framework in Framework::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{framework}-L2"), p),
+                &records,
+                |b, records| {
+                    b.iter(|| {
+                        black_box(run_algorithm(
+                            records,
+                            framework,
+                            IndexKind::L2,
+                            SssjConfig::new(0.7, 1e-2),
+                            WorkBudget::unlimited(),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 4 — MB vs STR running time on the WebSpam-like preset.
+//!
+//! Benchmarks the two frameworks across the index variants at two grid
+//! points; the full θ-sweep grid comes from `harness fig4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_bench::run_algorithm;
+use sssj_core::{Framework, SssjConfig};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::WorkBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = generate(&preset(Preset::WebSpam, 150));
+    let mut g = c.benchmark_group("fig4_mb_vs_str_webspam");
+    g.sample_size(10);
+    for framework in Framework::ALL {
+        for kind in [IndexKind::Inv, IndexKind::L2ap, IndexKind::L2] {
+            for (theta, lambda) in [(0.5, 1e-3), (0.9, 1e-2)] {
+                let id = BenchmarkId::new(
+                    format!("{framework}-{kind}"),
+                    format!("theta={theta},lambda={lambda}"),
+                );
+                g.bench_with_input(id, &records, |b, records| {
+                    b.iter(|| {
+                        black_box(run_algorithm(
+                            records,
+                            framework,
+                            kind,
+                            SssjConfig::new(theta, lambda),
+                            WorkBudget::unlimited(),
+                        ))
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 5 — STR running time per index variant (RCV1-like).
+//!
+//! The full θ × λ grid comes from `harness fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_bench::run_algorithm;
+use sssj_core::{Framework, SssjConfig};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::WorkBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = generate(&preset(Preset::Rcv1, 800));
+    let mut g = c.benchmark_group("fig5_str_indexes");
+    g.sample_size(10);
+    for kind in [IndexKind::Inv, IndexKind::L2ap, IndexKind::L2] {
+        for (theta, lambda) in [(0.5, 1e-3), (0.7, 1e-2), (0.99, 1e-1)] {
+            let id = BenchmarkId::new(
+                format!("STR-{kind}"),
+                format!("theta={theta},lambda={lambda}"),
+            );
+            g.bench_with_input(id, &records, |b, records| {
+                b.iter(|| {
+                    black_box(run_algorithm(
+                        records,
+                        Framework::Streaming,
+                        kind,
+                        SssjConfig::new(theta, lambda),
+                        WorkBudget::unlimited(),
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

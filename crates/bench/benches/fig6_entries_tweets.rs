@@ -1,0 +1,39 @@
+//! Figure 6 — STR posting entries traversed per index (Tweets-like).
+//!
+//! Criterion measures the runtime of the same workload; the entry counts
+//! come from `harness fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_bench::run_algorithm;
+use sssj_core::{Framework, SssjConfig};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::WorkBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = generate(&preset(Preset::Tweets, 2_000));
+    let mut g = c.benchmark_group("fig6_entries_tweets");
+    g.sample_size(10);
+    for kind in [IndexKind::Inv, IndexKind::L2ap, IndexKind::L2] {
+        g.bench_with_input(
+            BenchmarkId::new("STR", kind),
+            &records,
+            |b, records| {
+                b.iter(|| {
+                    black_box(run_algorithm(
+                        records,
+                        Framework::Streaming,
+                        kind,
+                        SssjConfig::new(0.6, 1e-2),
+                        WorkBudget::unlimited(),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 7 — STR-L2 running time as a function of the decay rate λ.
+//!
+//! The per-dataset λ-sweep comes from `harness fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_bench::run_algorithm;
+use sssj_core::{Framework, SssjConfig};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::WorkBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = generate(&preset(Preset::Rcv1, 800));
+    let mut g = c.benchmark_group("fig7_time_vs_lambda");
+    g.sample_size(10);
+    for lambda in [1e-4, 1e-3, 1e-2, 1e-1] {
+        g.bench_with_input(
+            BenchmarkId::new("STR-L2", format!("lambda={lambda}")),
+            &records,
+            |b, records| {
+                b.iter(|| {
+                    black_box(run_algorithm(
+                        records,
+                        Framework::Streaming,
+                        IndexKind::L2,
+                        SssjConfig::new(0.7, lambda),
+                        WorkBudget::unlimited(),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

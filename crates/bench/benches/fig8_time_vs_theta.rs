@@ -1,0 +1,38 @@
+//! Figure 8 — STR-L2 running time as a function of the threshold θ.
+//!
+//! The per-dataset θ-sweep comes from `harness fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_bench::run_algorithm;
+use sssj_core::{Framework, SssjConfig};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::WorkBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = generate(&preset(Preset::Rcv1, 800));
+    let mut g = c.benchmark_group("fig8_time_vs_theta");
+    g.sample_size(10);
+    for theta in [0.5, 0.7, 0.9, 0.99] {
+        g.bench_with_input(
+            BenchmarkId::new("STR-L2", format!("theta={theta}")),
+            &records,
+            |b, records| {
+                b.iter(|| {
+                    black_box(run_algorithm(
+                        records,
+                        Framework::Streaming,
+                        IndexKind::L2,
+                        SssjConfig::new(theta, 1e-2),
+                        WorkBudget::unlimited(),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 9 — running time is ~linear in the horizon τ.
+//!
+//! Benchmarks STR-L2 at three horizons spanning two decades; the
+//! regression table comes from `harness fig9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_bench::run_algorithm;
+use sssj_core::{Framework, SssjConfig};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::WorkBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = generate(&preset(Preset::Blogs, 800));
+    let mut g = c.benchmark_group("fig9_time_vs_tau");
+    g.sample_size(10);
+    for (theta, lambda) in [(0.9, 1e-1), (0.7, 1e-2), (0.5, 1e-3)] {
+        let tau = SssjConfig::new(theta, lambda).tau();
+        g.bench_with_input(
+            BenchmarkId::new("STR-L2", format!("tau={tau:.1}")),
+            &records,
+            |b, records| {
+                b.iter(|| {
+                    black_box(run_algorithm(
+                        records,
+                        Framework::Streaming,
+                        IndexKind::L2,
+                        SssjConfig::new(theta, lambda),
+                        WorkBudget::unlimited(),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

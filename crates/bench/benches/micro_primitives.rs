@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the hot primitives: sparse dot products, posting
+//! buffer operations, the score accumulator, windowed maxima, SimHash
+//! signatures and the latency histogram.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_collections::{CircularBuffer, ScoreAccumulator, WindowedMaxVec};
+use sssj_data::{generate, preset, Preset};
+use sssj_lsh::SimHasher;
+use sssj_metrics::LatencyHistogram;
+use sssj_types::dot;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = generate(&preset(Preset::Rcv1, 200));
+    let mut g = c.benchmark_group("micro_primitives");
+
+    g.bench_function("dot_sparse_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in records.windows(2) {
+                acc += dot(&w[0].vector, &w[1].vector);
+            }
+            black_box(acc)
+        })
+    });
+
+    for n in [1_000u64, 10_000] {
+        g.bench_with_input(BenchmarkId::new("circular_push_truncate", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut buf = CircularBuffer::new();
+                for i in 0..n {
+                    buf.push_back(i);
+                    if i % 7 == 0 {
+                        buf.truncate_front(3);
+                    }
+                }
+                black_box(buf.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("accumulator_add_clear", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = ScoreAccumulator::new();
+                for i in 0..n {
+                    acc.add(i % 257, 0.5);
+                }
+                let len = acc.len();
+                acc.clear();
+                black_box(len)
+            })
+        });
+    }
+
+    g.bench_function("windowed_max_update_query", |b| {
+        b.iter(|| {
+            let mut m = WindowedMaxVec::new(10.0);
+            let mut acc = 0.0;
+            for i in 0..10_000u32 {
+                let t = i as f64 * 0.01;
+                m.update(i % 16, t, ((i * 2654435761) % 1000) as f64 / 1000.0);
+                acc += m.max(i % 16, t);
+            }
+            black_box(acc)
+        })
+    });
+
+    for bits in [128u32, 256] {
+        let hasher = SimHasher::new(bits, 7);
+        g.bench_with_input(BenchmarkId::new("simhash_sign", bits), &hasher, |b, h| {
+            b.iter(|| {
+                let mut ones = 0u32;
+                for r in records.iter().take(50) {
+                    ones += h.sign(&r.vector).words().iter().map(|w| w.count_ones()).sum::<u32>();
+                }
+                black_box(ones)
+            })
+        });
+    }
+
+    g.bench_function("varint_roundtrip_10k", |b| {
+        use sssj_collections::varint;
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(20_000);
+            for i in 0..10_000u64 {
+                varint::write_u64(i * 37, &mut buf);
+            }
+            let mut pos = 0usize;
+            let mut acc = 0u64;
+            while pos < buf.len() {
+                let (v, n) = varint::read_u64(&buf[pos..]).unwrap();
+                acc = acc.wrapping_add(v);
+                pos += n;
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("decay_backward_10k", |b| {
+        use sssj_types::Decay;
+        let d = Decay::new(0.01);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000u32 {
+                acc += d.apply(0.9, i as f64 * 0.01);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("decay_forward_10k", |b| {
+        use sssj_types::{ForwardDecay, Timestamp};
+        let d = ForwardDecay::new(0.01);
+        b.iter(|| {
+            let mut acc = 0.0;
+            let now = Timestamp::new(100.0);
+            for i in 0..10_000u32 {
+                acc += d.apply(0.9, Timestamp::new(100.0 - i as f64 * 0.01), now);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("latency_histogram_record", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for i in 1..10_000u32 {
+                h.record(i as f64 * 1e-7);
+            }
+            black_box(h.quantile(0.99))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 1 — dataset statistics.
+//!
+//! Benchmarks generation + statistics of each preset; the actual Table 1
+//! rows are printed by `harness table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_data::{generate, preset, DatasetStats, Preset};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_dataset_stats");
+    g.sample_size(10);
+    for p in Preset::ALL {
+        let records = generate(&preset(p, 300));
+        g.bench_with_input(BenchmarkId::new("stats", p), &records, |b, records| {
+            b.iter(|| black_box(DatasetStats::of(records)))
+        });
+        g.bench_function(BenchmarkId::new("generate", p), |b| {
+            b.iter(|| black_box(generate(&preset(p, 300))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 2 — budgeted execution across frameworks.
+//!
+//! Benchmarks the cheap/expensive corners of the (θ, λ) grid for each
+//! framework; the success-fraction table itself comes from
+//! `harness table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_bench::run_algorithm;
+use sssj_core::{Framework, SssjConfig};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::WorkBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = generate(&preset(Preset::Tweets, 800));
+    let mut g = c.benchmark_group("table2_success_fraction");
+    g.sample_size(10);
+    // The grid corners: largest horizon (most work) and smallest.
+    for (theta, lambda, label) in [(0.5, 1e-3, "big-horizon"), (0.99, 1e-1, "tiny-horizon")] {
+        for framework in Framework::ALL {
+            let id = BenchmarkId::new(format!("{framework}-L2"), label);
+            g.bench_with_input(id, &records, |b, records| {
+                b.iter(|| {
+                    black_box(run_algorithm(
+                        records,
+                        framework,
+                        IndexKind::L2,
+                        SssjConfig::new(theta, lambda),
+                        WorkBudget::unlimited(),
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! The parameter grid of §7.
+
+/// Similarity thresholds the paper sweeps (x-axes of Figures 3–6, 8).
+pub const THETAS: [f64; 6] = [0.5, 0.6, 0.7, 0.8, 0.9, 0.99];
+
+/// Decay rates the paper sweeps (columns of Figures 3–5, x-axis of
+/// Figure 7): exponentially increasing in `[1e-4, 1e-1]`.
+pub const LAMBDAS: [f64; 4] = [1e-4, 1e-3, 1e-2, 1e-1];
+
+/// All 24 (θ, λ) configurations of Table 2.
+pub fn full_grid() -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(THETAS.len() * LAMBDAS.len());
+    for &lambda in &LAMBDAS {
+        for &theta in &THETAS {
+            out.push((theta, lambda));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_24_configurations() {
+        assert_eq!(full_grid().len(), 24);
+    }
+}

@@ -1,0 +1,119 @@
+//! The four subcommands.
+
+use std::path::PathBuf;
+
+use sssj_core::{build_algorithm, Framework, SssjConfig};
+use sssj_data::{preset, DatasetStats, Preset};
+use sssj_index::IndexKind;
+use sssj_metrics::Stopwatch;
+
+use crate::args::parse;
+use crate::io::{load, save};
+
+/// `sssj generate --preset P --n N [--seed S] --out FILE`
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    let which = match p.get("preset") {
+        Some(name) => Preset::parse(name).ok_or_else(|| format!("unknown preset {name:?}"))?,
+        None => Preset::Rcv1,
+    };
+    let n: usize = p.get_parsed("n", 10_000)?;
+    let seed: u64 = p.get_parsed("seed", 42)?;
+    let out = PathBuf::from(p.get("out").ok_or("--out is required")?);
+    let config = preset(which, n).with_seed(seed);
+    let records = generate_records(&config);
+    save(&records, &out)?;
+    eprintln!(
+        "wrote {} records ({which} preset) to {}",
+        records.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn generate_records(config: &sssj_data::DatasetConfig) -> Vec<sssj_types::StreamRecord> {
+    sssj_data::generate(config)
+}
+
+/// `sssj convert IN OUT`
+pub fn convert(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    let [input, output] = p.positional.as_slice() else {
+        return Err("convert needs exactly two paths: <in> <out>".into());
+    };
+    let records = load(&PathBuf::from(input))?;
+    save(&records, &PathBuf::from(output))?;
+    eprintln!("converted {} records: {input} -> {output}", records.len());
+    Ok(())
+}
+
+/// `sssj stats FILE`
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    let [input] = p.positional.as_slice() else {
+        return Err("stats needs exactly one path".into());
+    };
+    let records = load(&PathBuf::from(input))?;
+    let s = DatasetStats::of(&records);
+    println!("n         : {}", s.n);
+    println!("m         : {}", s.m);
+    println!("nnz       : {}", s.total_nnz);
+    println!("density   : {:.4} %", s.density_pct);
+    println!("avg |x|   : {:.2}", s.avg_nnz);
+    println!("duration  : {:.1} s", s.duration);
+    Ok(())
+}
+
+/// `sssj run FILE --framework F --index I --theta T --lambda L [--pairs]`
+pub fn run(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["pairs"])?;
+    let [input] = p.positional.as_slice() else {
+        return Err("run needs exactly one path".into());
+    };
+    let framework = match p.get("framework") {
+        Some(name) => Framework::parse(name).ok_or_else(|| format!("unknown framework {name:?}"))?,
+        None => Framework::Streaming,
+    };
+    let kind = match p.get("index") {
+        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown index {name:?}"))?,
+        None => IndexKind::L2,
+    };
+    let theta: f64 = p.get_parsed("theta", 0.7)?;
+    let lambda: f64 = p.get_parsed("lambda", 0.01)?;
+    if !(0.0..=1.0).contains(&theta) || theta == 0.0 {
+        return Err(format!("--theta must be in (0, 1], got {theta}"));
+    }
+    if lambda < 0.0 {
+        return Err(format!("--lambda must be >= 0, got {lambda}"));
+    }
+
+    let records = load(&PathBuf::from(input))?;
+    let config = SssjConfig::new(theta, lambda);
+    let mut join = build_algorithm(framework, kind, config);
+    let watch = Stopwatch::start();
+    let mut out = Vec::new();
+    for r in &records {
+        join.process(r, &mut out);
+        if p.flag("pairs") {
+            for pair in &out {
+                println!("{pair}");
+            }
+            out.clear();
+        }
+    }
+    join.finish(&mut out);
+    if p.flag("pairs") {
+        for pair in &out {
+            println!("{pair}");
+        }
+    }
+    let elapsed = watch.seconds();
+    let s = join.stats();
+    eprintln!("algorithm : {}", join.name());
+    eprintln!("theta     : {theta}   lambda: {lambda}   tau: {:.1}s", config.tau());
+    eprintln!("records   : {}", records.len());
+    eprintln!("pairs     : {}", s.pairs_output);
+    eprintln!("time      : {elapsed:.3} s");
+    eprintln!("work      : {s}");
+    Ok(())
+}

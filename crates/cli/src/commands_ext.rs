@@ -1,0 +1,259 @@
+//! Extension subcommands: parameter sweeps, cross-algorithm comparison,
+//! top-k, the LSH approximate join, sharded execution and generalised
+//! decay models.
+
+use std::path::PathBuf;
+
+use sssj_baseline::brute_force_stream;
+use sssj_core::{
+    build_algorithm, run_stream, DecayStreaming, Framework, SssjConfig, StreamJoin, TopKJoin,
+};
+use sssj_index::IndexKind;
+use sssj_lsh::{measure_accuracy, LshParams, VerifyMode};
+use sssj_metrics::Stopwatch;
+use sssj_parallel::sharded_run;
+use sssj_types::{DecayModel, SimilarPair};
+
+use crate::args::parse;
+use crate::io::load;
+
+fn parse_list(s: &str, name: &str) -> Result<Vec<f64>, String> {
+    s.split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}"))
+        })
+        .collect()
+}
+
+fn sorted_keys(pairs: &[SimilarPair]) -> Vec<(u64, u64)> {
+    let mut keys: Vec<_> = pairs.iter().map(|p| p.key()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// `sssj sweep FILE [--thetas a,b,..] [--lambdas a,b,..] [--framework F]
+/// [--index I]` — grid over (θ, λ), CSV on stdout.
+pub fn sweep(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    let [input] = p.positional.as_slice() else {
+        return Err("sweep needs exactly one path".into());
+    };
+    let thetas = parse_list(p.get("thetas").unwrap_or("0.5,0.6,0.7,0.8,0.9,0.99"), "thetas")?;
+    let lambdas = parse_list(p.get("lambdas").unwrap_or("0.0001,0.001,0.01,0.1"), "lambdas")?;
+    let framework = match p.get("framework") {
+        Some(name) => Framework::parse(name).ok_or_else(|| format!("unknown framework {name:?}"))?,
+        None => Framework::Streaming,
+    };
+    let kind = match p.get("index") {
+        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown index {name:?}"))?,
+        None => IndexKind::L2,
+    };
+    let records = load(&PathBuf::from(input))?;
+    println!("algorithm,theta,lambda,tau,pairs,time_s,entries,candidates,full_sims,peak_postings");
+    for &theta in &thetas {
+        for &lambda in &lambdas {
+            if !(theta > 0.0 && theta <= 1.0) || lambda <= 0.0 {
+                return Err(format!("invalid grid point θ={theta} λ={lambda}"));
+            }
+            let config = SssjConfig::new(theta, lambda);
+            let mut join = build_algorithm(framework, kind, config);
+            let watch = Stopwatch::start();
+            let pairs = run_stream(join.as_mut(), &records);
+            let elapsed = watch.seconds();
+            let s = join.stats();
+            println!(
+                "{},{theta},{lambda},{:.4},{},{elapsed:.4},{},{},{},{}",
+                join.name(),
+                config.tau(),
+                pairs.len(),
+                s.entries_traversed,
+                s.candidates,
+                s.full_sims,
+                s.peak_postings,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `sssj compare FILE --theta T --lambda L` — run every framework × index
+/// combination and check each against the brute-force oracle.
+pub fn compare(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    let [input] = p.positional.as_slice() else {
+        return Err("compare needs exactly one path".into());
+    };
+    let theta: f64 = p.get_parsed("theta", 0.7)?;
+    let lambda: f64 = p.get_parsed("lambda", 0.01)?;
+    let records = load(&PathBuf::from(input))?;
+    let config = SssjConfig::new(theta, lambda);
+
+    let oracle = sorted_keys(&brute_force_stream(&records, theta, lambda));
+    println!("oracle pairs: {}", oracle.len());
+    println!("{:<12} {:>10} {:>10} {:>8}", "algorithm", "pairs", "time_s", "oracle");
+    let mut all_match = true;
+    for framework in Framework::ALL {
+        for kind in IndexKind::ALL {
+            let mut join = build_algorithm(framework, kind, config);
+            let watch = Stopwatch::start();
+            let pairs = run_stream(join.as_mut(), &records);
+            let elapsed = watch.seconds();
+            let ok = sorted_keys(&pairs) == oracle;
+            all_match &= ok;
+            println!(
+                "{:<12} {:>10} {:>10.4} {:>8}",
+                join.name(),
+                pairs.len(),
+                elapsed,
+                if ok { "match" } else { "MISMATCH" }
+            );
+        }
+    }
+    if all_match {
+        Ok(())
+    } else {
+        Err("at least one algorithm diverged from the oracle".into())
+    }
+}
+
+/// `sssj topk FILE --k K [--theta T] [--lambda L] [--index I] [--pairs]`
+pub fn topk(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["pairs"])?;
+    let [input] = p.positional.as_slice() else {
+        return Err("topk needs exactly one path".into());
+    };
+    let k: usize = p.get_parsed("k", 1)?;
+    if k == 0 {
+        return Err("--k must be positive".into());
+    }
+    let theta: f64 = p.get_parsed("theta", 0.5)?;
+    let lambda: f64 = p.get_parsed("lambda", 0.01)?;
+    let kind = match p.get("index") {
+        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown index {name:?}"))?,
+        None => IndexKind::L2,
+    };
+    let records = load(&PathBuf::from(input))?;
+    let mut join = TopKJoin::new(SssjConfig::new(theta, lambda), kind, k);
+    let watch = Stopwatch::start();
+    let pairs = run_stream(&mut join, &records);
+    let elapsed = watch.seconds();
+    if p.flag("pairs") {
+        for pair in &pairs {
+            println!("{pair}");
+        }
+    }
+    eprintln!("algorithm : {}", join.name());
+    eprintln!("pairs     : {} ({} over-threshold truncated)", pairs.len(), join.truncated_pairs());
+    eprintln!("time      : {elapsed:.3} s");
+    Ok(())
+}
+
+/// `sssj lsh FILE [--theta T] [--lambda L] [--bits B] [--bands N]
+/// [--estimate]` — run the approximate join and report accuracy against
+/// the exact output.
+pub fn lsh(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["estimate"])?;
+    let [input] = p.positional.as_slice() else {
+        return Err("lsh needs exactly one path".into());
+    };
+    let theta: f64 = p.get_parsed("theta", 0.7)?;
+    let lambda: f64 = p.get_parsed("lambda", 0.01)?;
+    let bits: u32 = p.get_parsed("bits", 256)?;
+    let bands: u32 = p.get_parsed("bands", 32)?;
+    if bits == 0 || !bits.is_multiple_of(64) {
+        return Err(format!("--bits must be a positive multiple of 64, got {bits}"));
+    }
+    if bands == 0 || !bits.is_multiple_of(bands) || bits / bands > 64 {
+        return Err(format!("--bands must divide --bits into rows of <= 64, got {bands}"));
+    }
+    let params = LshParams {
+        bits,
+        bands,
+        verify: if p.flag("estimate") {
+            VerifyMode::Estimate
+        } else {
+            VerifyMode::Exact
+        },
+        ..LshParams::default()
+    };
+    let records = load(&PathBuf::from(input))?;
+    let watch = Stopwatch::start();
+    let reference = brute_force_stream(&records, theta, lambda);
+    let exact_time = watch.seconds();
+    let watch = Stopwatch::start();
+    let report = measure_accuracy(&records, theta, lambda, params, &reference);
+    let lsh_time = watch.seconds();
+    println!("exact pairs     : {}", report.exact_pairs);
+    println!("lsh pairs       : {}", report.lsh_pairs);
+    println!("recall          : {:.4}", report.recall);
+    println!("precision       : {:.4}", report.precision);
+    println!("candidate checks: {}", report.candidate_checks);
+    println!("exact time      : {exact_time:.3} s (brute force)");
+    println!("lsh time        : {lsh_time:.3} s");
+    Ok(())
+}
+
+/// `sssj shards FILE --shards N [--theta T] [--lambda L] [--index I]`
+pub fn shards(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    let [input] = p.positional.as_slice() else {
+        return Err("shards needs exactly one path".into());
+    };
+    let n: usize = p.get_parsed("shards", 4)?;
+    if n == 0 {
+        return Err("--shards must be positive".into());
+    }
+    let theta: f64 = p.get_parsed("theta", 0.7)?;
+    let lambda: f64 = p.get_parsed("lambda", 0.01)?;
+    let kind = match p.get("index") {
+        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown index {name:?}"))?,
+        None => IndexKind::L2,
+    };
+    let records = load(&PathBuf::from(input))?;
+    let config = SssjConfig::new(theta, lambda);
+    let watch = Stopwatch::start();
+    let out = sharded_run(&records, config, kind, n);
+    let elapsed = watch.seconds();
+    println!("shards   : {n}");
+    println!("pairs    : {}", out.pairs.len());
+    println!("time     : {elapsed:.3} s");
+    for (i, s) in out.per_shard.iter().enumerate() {
+        println!(
+            "shard {i:>2} : postings={} entries={} pairs={}",
+            s.postings_added, s.entries_traversed, s.pairs_output
+        );
+    }
+    Ok(())
+}
+
+/// `sssj decay FILE --model exp:0.01|window:W|linear:W|poly:A:S
+/// [--theta T] [--pairs]` — the generalised-decay join.
+pub fn decay(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["pairs"])?;
+    let [input] = p.positional.as_slice() else {
+        return Err("decay needs exactly one path".into());
+    };
+    let model_spec = p.get("model").unwrap_or("exp:0.01");
+    let model = DecayModel::parse(model_spec)
+        .ok_or_else(|| format!("cannot parse decay model {model_spec:?} (try exp:0.01, window:60, linear:60, poly:2:10)"))?;
+    let theta: f64 = p.get_parsed("theta", 0.7)?;
+    let records = load(&PathBuf::from(input))?;
+    let mut join = DecayStreaming::new(theta, model);
+    let watch = Stopwatch::start();
+    let pairs = run_stream(&mut join, &records);
+    let elapsed = watch.seconds();
+    if p.flag("pairs") {
+        for pair in &pairs {
+            println!("{pair}");
+        }
+    }
+    eprintln!("algorithm : {}", join.name());
+    eprintln!("model     : {model}   horizon τ(θ): {:.2} s", join.tau());
+    eprintln!("pairs     : {}", pairs.len());
+    eprintln!("time      : {elapsed:.3} s");
+    eprintln!("work      : {}", join.stats());
+    Ok(())
+}

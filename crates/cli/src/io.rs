@@ -1,0 +1,69 @@
+//! Stream file loading/saving with format sniffing.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read};
+use std::path::Path;
+
+use sssj_data::{binary, text};
+use sssj_types::StreamRecord;
+
+/// Reads a stream file, auto-detecting binary (magic header) vs text.
+pub fn load(path: &Path) -> Result<Vec<StreamRecord>, String> {
+    let mut file = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut head = [0u8; 8];
+    let n = file.read(&mut head).map_err(|e| e.to_string())?;
+    let is_binary = n == 8 && &head == b"SSSJBIN1";
+    drop(file);
+    let file = File::open(path).map_err(|e| e.to_string())?;
+    if is_binary {
+        binary::read_binary(BufReader::new(file)).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        text::read_text(BufReader::new(file)).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Writes a stream file; `.bin` extension selects the binary format.
+pub fn save(records: &[StreamRecord], path: &Path) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut w = BufWriter::new(file);
+    let is_binary = path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("bin"));
+    if is_binary {
+        binary::write_binary(records, &mut w).map_err(|e| e.to_string())
+    } else {
+        text::write_text(records, &mut w).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn sample() -> Vec<StreamRecord> {
+        vec![StreamRecord::new(
+            0,
+            Timestamp::new(1.0),
+            unit_vector(&[(3, 1.0), (5, 2.0)]),
+        )]
+    }
+
+    #[test]
+    fn roundtrip_text_and_binary() {
+        let dir = std::env::temp_dir();
+        for name in ["sssj_cli_io_test.txt", "sssj_cli_io_test.bin"] {
+            let path = dir.join(name);
+            save(&sample(), &path).unwrap();
+            let back = load(&path).unwrap();
+            assert_eq!(back.len(), 1);
+            assert_eq!(back[0].vector.dims(), &[3, 5]);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        assert!(load(Path::new("/definitely/not/here.txt")).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! `sssj` — the command-line tool, mirroring the paper's released code.
+//!
+//! ```sh
+//! sssj generate --preset tweets --n 10000 --out tweets.txt
+//! sssj convert tweets.txt tweets.bin
+//! sssj stats tweets.bin
+//! sssj run tweets.bin --framework str --index l2 --theta 0.7 --lambda 0.01
+//! sssj sweep tweets.bin --thetas 0.5,0.9 --lambdas 0.01,0.1
+//! sssj compare tweets.bin --theta 0.7 --lambda 0.01
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+mod commands_ext;
+mod io;
+mod net_cmd;
+mod serve;
+
+const USAGE: &str = "usage: sssj <command> [options]
+
+commands:
+  generate   synthesise a stream           (--preset, --n, --seed, --out)
+  convert    convert text <-> binary       (<in> <out>)
+  stats      print dataset statistics      (<file>)
+  run        run a join over a stream      (<file>, --framework, --index,
+                                            --theta, --lambda, --pairs)
+  sweep      (θ, λ) grid, CSV on stdout    (<file>, --thetas, --lambdas,
+                                            --framework, --index)
+  compare    all algorithms vs the oracle  (<file>, --theta, --lambda)
+  topk       k best matches per arrival    (<file>, --k, --theta, --lambda,
+                                            --index, --pairs)
+  lsh        approximate join + accuracy   (<file>, --theta, --lambda,
+                                            --bits, --bands, --estimate)
+  shards     multi-threaded sharded run    (<file>, --shards, --theta,
+                                            --lambda, --index)
+  decay      generalised decay models      (<file>, --model, --theta,
+                                            --pairs)
+  serve      incremental join on stdin     (--theta, --lambda, --index,
+                                            --tokenize, --quiet)
+  net-serve  TCP join service              (--listen, --theta, --lambda,
+                                            --index, --framework)
+  net-send   stream a file to a service    (<file>, --connect, --theta,
+                                            --lambda, --index, --quiet)
+
+run options:
+  --framework mb|str      (default str)
+  --index inv|ap|l2ap|l2  (default l2)
+  --theta T               similarity threshold in (0,1]   (default 0.7)
+  --lambda L              decay rate >= 0                 (default 0.01)
+  --pairs                 print every similar pair
+
+decay models (for `decay --model`):
+  exp:LAMBDA   window:SECONDS   linear:SECONDS   poly:ALPHA:SCALE
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(rest),
+        "convert" => commands::convert(rest),
+        "stats" => commands::stats(rest),
+        "run" => commands::run(rest),
+        "sweep" => commands_ext::sweep(rest),
+        "compare" => commands_ext::compare(rest),
+        "topk" => commands_ext::topk(rest),
+        "lsh" => commands_ext::lsh(rest),
+        "shards" => commands_ext::shards(rest),
+        "decay" => commands_ext::decay(rest),
+        "serve" => serve::serve(rest),
+        "net-serve" => net_cmd::net_serve(rest),
+        "net-send" => net_cmd::net_send(rest),
+        "-h" | "--help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sssj: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! `sssj net-serve` / `sssj net-send` — the TCP join service.
+//!
+//! `net-serve` runs a [`sssj_net::Server`] until stdin closes (or the
+//! process is killed); every TCP connection is an independent join
+//! session. `net-send` streams a dataset file to such a server and prints
+//! the pairs it gets back — a smoke client and a building block for
+//! shell pipelines across machines.
+
+use std::io::Read;
+
+use sssj_core::Framework;
+use sssj_index::IndexKind;
+use sssj_net::{ConfigRequest, JoinClient, Server, ServerOptions, SessionDefaults};
+
+use crate::args::parse;
+use crate::io::load;
+
+/// `sssj net-serve --listen 127.0.0.1:7878 [--theta --lambda --index --framework --mode --slack]`
+///
+/// Serves until stdin reaches EOF, so `sssj net-serve < /dev/null` exits
+/// immediately after binding (useful in scripts) while an interactive run
+/// serves until Ctrl-D.
+pub fn net_serve(args: &[String]) -> Result<(), String> {
+    net_serve_impl(args, &mut std::io::stdin().lock())
+}
+
+fn net_serve_impl(args: &[String], wait_on: &mut impl Read) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    if !p.positional.is_empty() {
+        return Err("net-serve takes no positional arguments".into());
+    }
+    let listen = p.get("listen").unwrap_or("127.0.0.1:7878").to_string();
+    let mut defaults = SessionDefaults::default();
+    defaults.config = sssj_core::SssjConfig::new(
+        p.get_parsed("theta", defaults.config.theta)?,
+        p.get_parsed("lambda", defaults.config.lambda)?,
+    );
+    if let Some(s) = p.get("index") {
+        defaults.index = IndexKind::parse(s).ok_or_else(|| format!("unknown index {s:?}"))?;
+    }
+    if let Some(s) = p.get("framework") {
+        defaults.framework =
+            Framework::parse(s).ok_or_else(|| format!("unknown framework {s:?}"))?;
+    }
+    if let Some(s) = p.get("mode") {
+        defaults.mode = match s {
+            "vector" => sssj_net::SessionMode::Vector,
+            "text" => sssj_net::SessionMode::Text,
+            other => return Err(format!("unknown mode {other:?} (vector|text)")),
+        };
+    }
+    if let Some(s) = p.get("slack") {
+        let slack: f64 = s.parse().map_err(|e| format!("bad slack: {e}"))?;
+        if !(slack.is_finite() && slack >= 0.0) {
+            return Err(format!("slack must be ≥ 0: {s}"));
+        }
+        defaults.slack = slack;
+    }
+    let server = Server::bind(
+        &listen,
+        ServerOptions {
+            defaults,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    eprintln!(
+        "sssj: serving on {} (θ={}, λ={}, {} {}); close stdin to stop",
+        server.local_addr(),
+        defaults.config.theta,
+        defaults.config.lambda,
+        defaults.framework,
+        defaults.index,
+    );
+    // Block until the controlling stream closes.
+    let mut sink = [0u8; 1024];
+    loop {
+        match wait_on.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) => return Err(format!("stdin error: {e}")),
+        }
+    }
+    eprintln!(
+        "sssj: shutting down after {} session(s)",
+        server.sessions_started()
+    );
+    server.shutdown();
+    Ok(())
+}
+
+/// `sssj net-send <file> --connect 127.0.0.1:7878 [--theta --lambda --index --framework --quiet]`
+pub fn net_send(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["quiet"])?;
+    let [file] = p.positional.as_slice() else {
+        return Err("net-send expects exactly one input file".into());
+    };
+    let addr = p.get("connect").unwrap_or("127.0.0.1:7878").to_string();
+    let quiet = p.flag("quiet");
+
+    let records = load(std::path::Path::new(file))?;
+    let mut client =
+        JoinClient::connect(&*addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    let mut config = ConfigRequest {
+        theta: p
+            .get("theta")
+            .map(|s| s.parse().map_err(|e| format!("bad theta: {e}")))
+            .transpose()?,
+        lambda: p
+            .get("lambda")
+            .map(|s| s.parse().map_err(|e| format!("bad lambda: {e}")))
+            .transpose()?,
+        ..Default::default()
+    };
+    if let Some(s) = p.get("index") {
+        config.index = Some(IndexKind::parse(s).ok_or_else(|| format!("unknown index {s:?}"))?);
+    }
+    if let Some(s) = p.get("framework") {
+        config.framework =
+            Some(Framework::parse(s).ok_or_else(|| format!("unknown framework {s:?}"))?);
+    }
+    if config != ConfigRequest::default() {
+        client.configure(config).map_err(|e| e.to_string())?;
+    }
+
+    let mut total = 0u64;
+    for r in &records {
+        for pair in client.send_record(r).map_err(|e| e.to_string())? {
+            total += 1;
+            if !quiet {
+                println!("{} {} {}", pair.left, pair.right, pair.similarity);
+            }
+        }
+    }
+    for pair in client.finish().map_err(|e| e.to_string())? {
+        total += 1;
+        if !quiet {
+            println!("{} {} {}", pair.left, pair.right, pair.similarity);
+        }
+    }
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    eprintln!(
+        "sssj: {} records sent, {total} pairs, {} entries traversed",
+        stats.records, stats.entries_traversed
+    );
+    client.quit().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_net::{Server, ServerOptions};
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn net_serve_exits_on_eof() {
+        let mut empty: &[u8] = b"";
+        net_serve_impl(&s(&["--listen", "127.0.0.1:0"]), &mut empty).unwrap();
+    }
+
+    #[test]
+    fn net_serve_rejects_positional_args() {
+        let mut empty: &[u8] = b"";
+        assert!(net_serve_impl(&s(&["file.bin"]), &mut empty).is_err());
+    }
+
+    #[test]
+    fn net_serve_accepts_mode_and_slack() {
+        let mut empty: &[u8] = b"";
+        net_serve_impl(
+            &s(&[
+                "--listen",
+                "127.0.0.1:0",
+                "--mode",
+                "text",
+                "--slack",
+                "30",
+            ]),
+            &mut empty,
+        )
+        .unwrap();
+        let mut empty: &[u8] = b"";
+        assert!(net_serve_impl(
+            &s(&["--listen", "127.0.0.1:0", "--slack", "-4"]),
+            &mut empty
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn net_serve_rejects_bad_index() {
+        let mut empty: &[u8] = b"";
+        assert!(
+            net_serve_impl(&s(&["--listen", "127.0.0.1:0", "--index", "x"]), &mut empty).is_err()
+        );
+    }
+
+    #[test]
+    fn net_send_roundtrip_against_in_process_server() {
+        // Write a tiny stream file, serve in-process, send it.
+        let dir = std::env::temp_dir().join(format!("sssj-net-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("mini.txt");
+        std::fs::write(&file, "0.0 7:1.0\n1.0 7:1.0\n").unwrap();
+
+        let server = Server::bind("127.0.0.1:0", ServerOptions::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        net_send(&s(&[
+            file.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--theta",
+            "0.7",
+            "--lambda",
+            "0.1",
+            "--quiet",
+        ]))
+        .unwrap();
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn net_send_requires_a_file() {
+        assert!(net_send(&s(&[])).is_err());
+    }
+}

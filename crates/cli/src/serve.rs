@@ -1,0 +1,195 @@
+//! `sssj serve` — an incremental join service over stdin/stdout.
+//!
+//! Unlike `run`, which loads a file, `serve` consumes records as they
+//! arrive on stdin and emits each similar pair the moment it completes —
+//! the actual deployment shape of the streaming join (pipe a feed in,
+//! pipe pairs out).
+//!
+//! Input, one record per line (blank lines and `#` comments skipped):
+//!
+//! ```text
+//! <timestamp> <dim>:<weight> <dim>:<weight> ...   # vector mode
+//! <timestamp> any raw text here                   # --tokenize mode
+//! ```
+//!
+//! Output, one pair per line: `<left> <right> <similarity>`, flushed per
+//! input record so downstream pipes see pairs immediately.
+
+use std::io::{BufRead, Write};
+
+use sssj_core::{SssjConfig, StreamJoin, Streaming};
+use sssj_data::text::parse_line;
+use sssj_index::IndexKind;
+use sssj_textsim::Tokenizer;
+use sssj_types::{SimilarPair, StreamRecord, Timestamp};
+
+use crate::args::parse;
+
+/// Parses a `--tokenize`-mode line: `<timestamp> <raw text…>`.
+fn parse_text_line(
+    line: &str,
+    lineno: usize,
+    id: u64,
+    tokenizer: &Tokenizer,
+) -> Result<Option<StreamRecord>, String> {
+    let (t_str, text) = line
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("line {lineno}: expected '<timestamp> <text>'"))?;
+    let t: f64 = t_str
+        .parse()
+        .map_err(|e| format!("line {lineno}: bad timestamp {t_str:?}: {e}"))?;
+    if !t.is_finite() {
+        return Err(format!("line {lineno}: non-finite timestamp"));
+    }
+    match tokenizer.unit_vector(text) {
+        Ok(vector) => Ok(Some(StreamRecord::new(id, Timestamp::new(t), vector))),
+        // A text with no tokens can never join; skip it rather than err.
+        Err(_) => Ok(None),
+    }
+}
+
+/// Generic driver, factored out so tests can run it over byte buffers.
+pub fn serve_streams<R: BufRead, W: Write>(
+    args: &[String],
+    input: R,
+    mut output: W,
+) -> Result<(), String> {
+    let p = parse(args, &["tokenize", "quiet"])?;
+    if !p.positional.is_empty() {
+        return Err("serve reads from stdin; no file argument expected".into());
+    }
+    let theta: f64 = p.get_parsed("theta", 0.7)?;
+    let lambda: f64 = p.get_parsed("lambda", 0.01)?;
+    if !(theta > 0.0 && theta <= 1.0) {
+        return Err(format!("--theta must be in (0, 1], got {theta}"));
+    }
+    if lambda <= 0.0 {
+        return Err(format!("--lambda must be > 0 for streaming, got {lambda}"));
+    }
+    let kind = match p.get("index") {
+        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown index {name:?}"))?,
+        None => IndexKind::L2,
+    };
+    let tokenize = p.flag("tokenize");
+    let tokenizer = Tokenizer::new();
+
+    let mut join = Streaming::new(SssjConfig::new(theta, lambda), kind);
+    let mut out: Vec<SimilarPair> = Vec::new();
+    let mut id = 0u64;
+    let mut last_t = f64::NEG_INFINITY;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let record = if tokenize {
+            match parse_text_line(trimmed, lineno + 1, id, &tokenizer)? {
+                Some(r) => r,
+                None => continue,
+            }
+        } else {
+            parse_line(trimmed, lineno + 1, id).map_err(|e| e.to_string())?
+        };
+        if record.t.seconds() < last_t {
+            return Err(format!(
+                "line {}: timestamps must be non-decreasing ({} after {last_t})",
+                lineno + 1,
+                record.t
+            ));
+        }
+        last_t = record.t.seconds();
+        id += 1;
+        out.clear();
+        join.process(&record, &mut out);
+        for pair in &out {
+            writeln!(output, "{} {} {:.6}", pair.left, pair.right, pair.similarity)
+                .map_err(|e| format!("stdout: {e}"))?;
+        }
+        // Per-record flush: downstream sees pairs as they happen.
+        output.flush().map_err(|e| format!("stdout: {e}"))?;
+    }
+    if !p.flag("quiet") {
+        let s = join.stats();
+        eprintln!(
+            "served {id} records: {} pairs, {} entries traversed, {} live postings",
+            s.pairs_output,
+            s.entries_traversed,
+            join.live_postings()
+        );
+    }
+    Ok(())
+}
+
+/// `sssj serve [--theta T] [--lambda L] [--index I] [--tokenize]`
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_streams(args, stdin.lock(), stdout.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn run(args: &[&str], input: &str) -> Result<String, String> {
+        let mut out = Vec::new();
+        serve_streams(&argv(args), input.as_bytes(), &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn vector_mode_emits_pairs_incrementally() {
+        let input = "0.0 1:1.0 2:1.0\n1.0 1:1.0 2:1.0\n# comment\n\n900.0 1:1.0 2:1.0\n";
+        let out = run(&["--theta", "0.7", "--lambda", "0.01"], input).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1, "{out}");
+        assert!(lines[0].starts_with("0 1 "), "{out}");
+    }
+
+    #[test]
+    fn tokenize_mode_joins_near_duplicate_text() {
+        let input = "0.0 breaking news from paris\n\
+                     1.0 breaking news from paris today\n\
+                     2.0 completely unrelated sports result\n";
+        let out = run(
+            &["--tokenize", "--theta", "0.6", "--lambda", "0.01"],
+            input,
+        )
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1, "{out}");
+        assert!(lines[0].starts_with("0 1 "), "{out}");
+    }
+
+    #[test]
+    fn tokenize_mode_skips_empty_texts() {
+        let input = "0.0 !!!\n1.0 real words here\n";
+        let out = run(&["--tokenize"], input).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_timestamps_rejected() {
+        let input = "5.0 1:1.0\n1.0 1:1.0\n";
+        let err = run(&[], input).unwrap_err();
+        assert!(err.contains("non-decreasing"), "{err}");
+    }
+
+    #[test]
+    fn malformed_line_reports_lineno() {
+        let err = run(&[], "0.0 not-a-pair\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(run(&["--theta", "0"], "").is_err());
+        assert!(run(&["--lambda", "0"], "").is_err());
+        assert!(run(&["--index", "bogus"], "").is_err());
+    }
+}

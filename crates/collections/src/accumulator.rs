@@ -1,0 +1,215 @@
+//! A reusable open-addressing score accumulator keyed by vector id.
+//!
+//! Candidate generation accumulates partial dot products into the array
+//! `C[ι(y)]` of Algorithm 3. Queries arrive continuously, so the map must
+//! be cleared after every query in O(touched) rather than O(capacity);
+//! this structure keeps a *touched list* of occupied slots for exactly
+//! that.
+
+const EMPTY: u64 = u64::MAX;
+
+/// An open-addressing `u64 → f64` accumulator with O(touched) reset.
+///
+/// Keys are vector ids (never `u64::MAX`). Uses Fibonacci hashing and
+/// linear probing; grows at ~70 % load. Values accumulate via
+/// [`ScoreAccumulator::add`] and can be zeroed in place (candidate
+/// pruning) without forgetting that the slot was touched.
+#[derive(Clone, Debug)]
+pub struct ScoreAccumulator {
+    keys: Vec<u64>,
+    vals: Vec<f64>,
+    touched: Vec<u32>,
+    mask: usize,
+}
+
+impl ScoreAccumulator {
+    /// Creates an accumulator with a small initial capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(64)
+    }
+
+    /// Creates an accumulator able to hold about `cap` keys before
+    /// growing.
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = (cap.max(8) * 2).next_power_of_two();
+        ScoreAccumulator {
+            keys: vec![EMPTY; slots],
+            vals: vec![0.0; slots],
+            touched: Vec::with_capacity(cap),
+            mask: slots - 1,
+        }
+    }
+
+    /// Number of distinct keys touched since the last [`Self::clear`].
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether no key has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Allocated table slots (for memory accounting).
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is reserved");
+        // Fibonacci hashing spreads sequential ids well.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut i = (h >> 32) as usize & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == key || k == EMPTY {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Adds `delta` to the score of `key`, returning the new value.
+    pub fn add(&mut self, key: u64, delta: f64) -> f64 {
+        if self.touched.len() * 3 > self.keys.len() * 2 {
+            self.grow();
+        }
+        let i = self.slot_of(key);
+        if self.keys[i] == EMPTY {
+            self.keys[i] = key;
+            self.vals[i] = 0.0;
+            self.touched.push(i as u32);
+        }
+        self.vals[i] += delta;
+        self.vals[i]
+    }
+
+    /// The current score of `key` (0.0 when never touched or zeroed).
+    pub fn get(&self, key: u64) -> f64 {
+        let i = self.slot_of(key);
+        if self.keys[i] == EMPTY {
+            0.0
+        } else {
+            self.vals[i]
+        }
+    }
+
+    /// Zeroes the score of `key` in place (candidate pruning). The slot
+    /// stays touched so a later `add` resumes from zero.
+    pub fn zero(&mut self, key: u64) {
+        let i = self.slot_of(key);
+        if self.keys[i] != EMPTY {
+            self.vals[i] = 0.0;
+        }
+    }
+
+    /// Iterates `(key, score)` over touched slots in touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.touched
+            .iter()
+            .map(move |&i| (self.keys[i as usize], self.vals[i as usize]))
+    }
+
+    /// Resets all touched slots in O(touched).
+    pub fn clear(&mut self) {
+        for &i in &self.touched {
+            self.keys[i as usize] = EMPTY;
+        }
+        self.touched.clear();
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let mut bigger = ScoreAccumulator {
+            keys: vec![EMPTY; new_slots],
+            vals: vec![0.0; new_slots],
+            touched: Vec::with_capacity(self.touched.len() * 2),
+            mask: new_slots - 1,
+        };
+        for &i in &self.touched {
+            let (k, v) = (self.keys[i as usize], self.vals[i as usize]);
+            let j = bigger.slot_of(k);
+            bigger.keys[j] = k;
+            bigger.vals[j] = v;
+            bigger.touched.push(j as u32);
+        }
+        *self = bigger;
+    }
+}
+
+impl Default for ScoreAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = ScoreAccumulator::new();
+        assert_eq!(a.add(7, 1.5), 1.5);
+        assert_eq!(a.add(7, 0.5), 2.0);
+        assert_eq!(a.get(7), 2.0);
+        assert_eq!(a.get(8), 0.0);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn zero_keeps_slot_touched() {
+        let mut a = ScoreAccumulator::new();
+        a.add(3, 1.0);
+        a.zero(3);
+        assert_eq!(a.get(3), 0.0);
+        assert_eq!(a.len(), 1);
+        a.add(3, 0.25);
+        assert_eq!(a.get(3), 0.25);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut a = ScoreAccumulator::new();
+        for k in 0..100 {
+            a.add(k, k as f64);
+        }
+        a.clear();
+        assert!(a.is_empty());
+        for k in 0..100 {
+            assert_eq!(a.get(k), 0.0);
+        }
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut a = ScoreAccumulator::with_capacity(8);
+        for k in 0..10_000u64 {
+            a.add(k, 1.0);
+        }
+        assert_eq!(a.len(), 10_000);
+        for k in (0..10_000u64).step_by(997) {
+            assert_eq!(a.get(k), 1.0);
+        }
+    }
+
+    #[test]
+    fn iter_yields_touched_pairs() {
+        let mut a = ScoreAccumulator::new();
+        a.add(10, 1.0);
+        a.add(20, 2.0);
+        let mut got: Vec<(u64, f64)> = a.iter().collect();
+        got.sort_by_key(|&(k, _)| k);
+        assert_eq!(got, vec![(10, 1.0), (20, 2.0)]);
+    }
+
+    #[test]
+    fn sequential_and_sparse_ids_coexist() {
+        let mut a = ScoreAccumulator::new();
+        a.add(0, 1.0);
+        a.add(u64::MAX - 1, 2.0);
+        assert_eq!(a.get(0), 1.0);
+        assert_eq!(a.get(u64::MAX - 1), 2.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Circular-buffer storage for posting lists.
+
+/// A ring buffer whose capacity doubles when full and halves when the
+/// occupancy drops below a quarter, exactly as §6.2 of the paper
+/// prescribes for variable-size posting lists.
+///
+/// `T: Copy + Default` lets the buffer keep plain (never-uninitialised)
+/// storage without `unsafe`; posting entries are small `Copy` structs.
+///
+/// The operations the streaming indexes need are:
+/// * `push_back` — append the newest entry (amortised O(1));
+/// * `truncate_front` — drop the `n` oldest entries (time filtering;
+///   O(1) unless a shrink is triggered);
+/// * forward and backward iteration.
+#[derive(Clone, Debug)]
+pub struct CircularBuffer<T: Copy + Default> {
+    buf: Box<[T]>,
+    head: usize,
+    len: usize,
+}
+
+const MIN_CAPACITY: usize = 4;
+
+impl<T: Copy + Default> CircularBuffer<T> {
+    /// Creates an empty buffer with the minimum capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(MIN_CAPACITY)
+    }
+
+    /// Creates an empty buffer with room for at least `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(MIN_CAPACITY);
+        CircularBuffer {
+            buf: vec![T::default(); cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current allocated capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[inline]
+    fn mask(&self, idx: usize) -> usize {
+        // Capacity is always a power of two.
+        idx & (self.buf.len() - 1)
+    }
+
+    /// The `i`-th entry from the front (oldest = 0).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i < self.len {
+            Some(&self.buf[self.mask(self.head + i)])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the `i`-th entry from the front.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        if i < self.len {
+            let idx = self.mask(self.head + i);
+            Some(&mut self.buf[idx])
+        } else {
+            None
+        }
+    }
+
+    /// The oldest entry.
+    pub fn front(&self) -> Option<&T> {
+        self.get(0)
+    }
+
+    /// The newest entry.
+    pub fn back(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.get(self.len - 1)
+        }
+    }
+
+    /// Appends an entry at the new end, doubling the capacity when full.
+    pub fn push_back(&mut self, value: T) {
+        if self.len == self.buf.len() {
+            self.resize(self.buf.len() * 2);
+        }
+        let idx = self.mask(self.head + self.len);
+        self.buf[idx] = value;
+        self.len += 1;
+    }
+
+    /// Removes and returns the oldest entry, halving the capacity when
+    /// occupancy drops below a quarter.
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.buf[self.head];
+        self.head = self.mask(self.head + 1);
+        self.len -= 1;
+        self.maybe_shrink();
+        Some(value)
+    }
+
+    /// Drops the `n` oldest entries in O(1) (plus a possible shrink).
+    pub fn truncate_front(&mut self, n: usize) {
+        let n = n.min(self.len);
+        self.head = self.mask(self.head + n);
+        self.len -= n;
+        self.maybe_shrink();
+    }
+
+    /// Removes all entries; keeps the allocation.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Keeps only the entries for which `keep` returns `true`, preserving
+    /// order, in one forward pass.
+    ///
+    /// This is the access pattern of the STR-L2AP index, whose posting
+    /// lists lose time order after re-indexing and therefore must be
+    /// scanned front-to-back, dropping expired entries as they are met.
+    /// Returns the number of removed entries.
+    pub fn retain<F: FnMut(&T) -> bool>(&mut self, mut keep: F) -> usize {
+        let mut w = 0;
+        for r in 0..self.len {
+            let v = self.buf[self.mask(self.head + r)];
+            if keep(&v) {
+                if w != r {
+                    let wi = self.mask(self.head + w);
+                    self.buf[wi] = v;
+                }
+                w += 1;
+            }
+        }
+        let removed = self.len - w;
+        self.len = w;
+        self.maybe_shrink();
+        removed
+    }
+
+    fn maybe_shrink(&mut self) {
+        // Halve while below 1/4 occupancy, as the paper specifies, but
+        // never below the minimum capacity. A bulk truncate_front can drop
+        // occupancy far below a quarter, hence the loop.
+        let mut target = self.buf.len();
+        while target > MIN_CAPACITY && self.len < target / 4 {
+            target /= 2;
+        }
+        if target < self.buf.len() {
+            self.resize(target.max(MIN_CAPACITY));
+        }
+    }
+
+    fn resize(&mut self, new_cap: usize) {
+        debug_assert!(new_cap >= self.len);
+        let mut new_buf = vec![T::default(); new_cap].into_boxed_slice();
+        for i in 0..self.len {
+            new_buf[i] = self.buf[self.mask(self.head + i)];
+        }
+        self.buf = new_buf;
+        self.head = 0;
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &T> + '_ {
+        (0..self.len).map(move |i| &self.buf[self.mask(self.head + i)])
+    }
+
+    /// Iterates newest → oldest (the backward scan used by time filtering).
+    pub fn iter_rev(&self) -> impl Iterator<Item = &T> + '_ {
+        self.iter().rev()
+    }
+}
+
+impl<T: Copy + Default> Default for CircularBuffer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default> FromIterator<T> for CircularBuffer<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut buf = CircularBuffer::new();
+        for v in iter {
+            buf.push_back(v);
+        }
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let mut b = CircularBuffer::new();
+        for i in 0..10 {
+            b.push_back(i);
+        }
+        for i in 0..10 {
+            assert_eq!(b.pop_front(), Some(i));
+        }
+        assert_eq!(b.pop_front(), None);
+    }
+
+    #[test]
+    fn grows_by_doubling() {
+        let mut b = CircularBuffer::<u32>::with_capacity(4);
+        assert_eq!(b.capacity(), 4);
+        for i in 0..5 {
+            b.push_back(i);
+        }
+        assert_eq!(b.capacity(), 8);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn shrinks_below_quarter() {
+        let mut b = CircularBuffer::<u32>::with_capacity(4);
+        for i in 0..64 {
+            b.push_back(i);
+        }
+        assert_eq!(b.capacity(), 64);
+        b.truncate_front(60);
+        assert!(b.capacity() < 64);
+        assert_eq!(b.len(), 4);
+        assert_eq!(*b.front().unwrap(), 60);
+    }
+
+    #[test]
+    fn truncate_front_drops_oldest() {
+        let mut b: CircularBuffer<u32> = (0..8).collect();
+        b.truncate_front(3);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![3, 4, 5, 6, 7]);
+        b.truncate_front(100);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let mut b = CircularBuffer::<u32>::with_capacity(4);
+        for i in 0..4 {
+            b.push_back(i);
+        }
+        b.pop_front();
+        b.pop_front();
+        b.push_back(4);
+        b.push_back(5); // wraps
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        assert_eq!(
+            b.iter_rev().copied().collect::<Vec<_>>(),
+            vec![5, 4, 3, 2]
+        );
+    }
+
+    #[test]
+    fn get_and_get_mut() {
+        let mut b: CircularBuffer<u32> = (10..14).collect();
+        assert_eq!(b.get(2), Some(&12));
+        assert_eq!(b.get(4), None);
+        *b.get_mut(0).unwrap() = 99;
+        assert_eq!(*b.front().unwrap(), 99);
+        assert_eq!(*b.back().unwrap(), 13);
+    }
+
+    #[test]
+    fn retain_preserves_order_and_reports_removed() {
+        let mut b: CircularBuffer<u32> = (0..10).collect();
+        let removed = b.retain(|&v| v % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn retain_across_wraparound() {
+        let mut b = CircularBuffer::<u32>::with_capacity(4);
+        for i in 0..4 {
+            b.push_back(i);
+        }
+        b.pop_front();
+        b.pop_front();
+        b.push_back(4);
+        b.push_back(5); // physically wrapped: [4, 5, 2, 3]
+        b.retain(|&v| v != 3);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b: CircularBuffer<u32> = (0..20).collect();
+        let cap = b.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+    }
+}

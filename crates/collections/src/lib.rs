@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Substrate data structures for the streaming similarity self-join.
+//!
+//! Section 6.2 of the paper names three implementation ingredients, all
+//! built here from scratch:
+//!
+//! * [`CircularBuffer`] — posting-list storage that doubles when full and
+//!   halves when occupancy drops below ¼, with O(1) truncation from the
+//!   old end (time filtering);
+//! * [`LinkedHashMap`] — a hash map threaded with an insertion-order list,
+//!   backing the residual direct index `R` and the `Q` array, so that
+//!   expired vectors can be pruned from the front in amortised O(1);
+//! * [`DecayedMaxVec`] — the lazily-decayed per-dimension running maximum
+//!   `m̂λ` (exact for uniform exponential decay), plus the plain running
+//!   maximum [`MaxVector`] `m` used by the AP-family bounds.
+//!
+//! Extensions beyond the paper's inventory:
+//!
+//! * [`WindowedMaxVec`] — exact per-dimension maxima over a sliding time
+//!   window (monotonic deques), replacing `m̂λ` for non-exponential decay
+//!   models where the lazy-decay trick does not apply;
+//! * [`varint`] — LEB128/zigzag integer coding, the substrate of the
+//!   compressed snapshot format in `sssj-core`.
+
+pub mod accumulator;
+pub mod circular;
+pub mod decayed_max;
+pub mod linked_hash;
+pub mod max_vector;
+pub mod varint;
+pub mod windowed_max;
+
+pub use accumulator::ScoreAccumulator;
+pub use circular::CircularBuffer;
+pub use decayed_max::DecayedMaxVec;
+pub use linked_hash::LinkedHashMap;
+pub use max_vector::MaxVector;
+pub use windowed_max::WindowedMaxVec;

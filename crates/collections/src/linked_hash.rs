@@ -1,0 +1,290 @@
+//! A hash map threaded with an insertion-order doubly-linked list.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: u32,
+    next: u32,
+}
+
+/// A map that supports O(1) lookup by key **and** O(1) removal of the
+/// oldest insertion — the "linked hash-map" of §6.2 that backs the
+/// residual direct index `R` and the `Q` array.
+///
+/// Insertion order equals stream order for the streaming indexes, so
+/// pruning every entry older than the time horizon is a `pop_front` loop.
+///
+/// Nodes live in a slab (`Vec`) with an intrusive doubly-linked list of
+/// slab indices and a free list for reuse, so steady-state operation does
+/// not allocate.
+#[derive(Clone, Debug)]
+pub struct LinkedHashMap<K, V> {
+    slab: Vec<Node<K, V>>,
+    index: HashMap<K, u32>,
+    head: u32,
+    tail: u32,
+    free: Vec<u32>,
+}
+
+impl<K: Hash + Eq + Copy, V> LinkedHashMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        LinkedHashMap {
+            slab: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Returns a reference to the value for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.index.get(key).map(|&i| &self.slab[i as usize].value)
+    }
+
+    /// Returns a mutable reference to the value for `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let i = *self.index.get(key)?;
+        Some(&mut self.slab[i as usize].value)
+    }
+
+    /// Inserts `key → value`. A fresh key is appended at the back (newest)
+    /// position; an existing key keeps its position and the old value is
+    /// returned.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(&i) = self.index.get(&key) {
+            return Some(std::mem::replace(&mut self.slab[i as usize].value, value));
+        }
+        let node = Node {
+            key,
+            value,
+            prev: self.tail,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = node;
+                slot
+            }
+            None => {
+                assert!(self.slab.len() < NIL as usize, "LinkedHashMap overflow");
+                self.slab.push(node);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        if self.tail != NIL {
+            self.slab[self.tail as usize].next = i;
+        } else {
+            self.head = i;
+        }
+        self.tail = i;
+        self.index.insert(key, i);
+        None
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let n = &self.slab[i as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.free.push(i);
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V>
+    where
+        V: Default,
+    {
+        let i = self.index.remove(key)?;
+        self.unlink(i);
+        Some(std::mem::take(&mut self.slab[i as usize].value))
+    }
+
+    /// The oldest entry.
+    pub fn front(&self) -> Option<(&K, &V)> {
+        if self.head == NIL {
+            return None;
+        }
+        let n = &self.slab[self.head as usize];
+        Some((&n.key, &n.value))
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop_front(&mut self) -> Option<(K, V)>
+    where
+        V: Default,
+    {
+        if self.head == NIL {
+            return None;
+        }
+        let i = self.head;
+        let key = self.slab[i as usize].key;
+        self.index.remove(&key);
+        self.unlink(i);
+        Some((key, std::mem::take(&mut self.slab[i as usize].value)))
+    }
+
+    /// Iterates `(key, value)` oldest → newest.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            map: self,
+            cursor: self.head,
+        }
+    }
+
+    /// Removes every entry; keeps allocations.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.free.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+impl<K: Hash + Eq + Copy, V> Default for LinkedHashMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Insertion-order iterator over a [`LinkedHashMap`].
+pub struct Iter<'a, K, V> {
+    map: &'a LinkedHashMap<K, V>,
+    cursor: u32,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let n = &self.map.slab[self.cursor as usize];
+        self.cursor = n.next;
+        Some((&n.key, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = LinkedHashMap::new();
+        assert_eq!(m.insert(1u64, "a".to_string()), None);
+        assert_eq!(m.insert(2, "b".to_string()), None);
+        assert_eq!(m.get(&1).map(String::as_str), Some("a"));
+        assert_eq!(m.remove(&1).as_deref(), Some("a"));
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn insertion_order_iteration() {
+        let mut m = LinkedHashMap::new();
+        for k in [5u64, 3, 9, 1] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<u64> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![5, 3, 9, 1]);
+    }
+
+    #[test]
+    fn reinsert_keeps_position_and_replaces() {
+        let mut m = LinkedHashMap::new();
+        m.insert(1u64, 10);
+        m.insert(2, 20);
+        assert_eq!(m.insert(1, 11), Some(10));
+        let entries: Vec<(u64, i32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(entries, vec![(1, 11), (2, 20)]);
+    }
+
+    #[test]
+    fn pop_front_is_oldest() {
+        let mut m = LinkedHashMap::new();
+        for k in 0u64..5 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.pop_front(), Some((0, 0)));
+        assert_eq!(m.pop_front(), Some((1, 1)));
+        assert_eq!(m.front(), Some((&2, &2)));
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut m = LinkedHashMap::new();
+        for k in 0u64..100 {
+            m.insert(k, k);
+        }
+        for k in 0u64..100 {
+            m.remove(&k);
+        }
+        let slab_len = m.slab.len();
+        for k in 100u64..200 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.slab.len(), slab_len, "free list should recycle slots");
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn remove_middle_maintains_links() {
+        let mut m = LinkedHashMap::new();
+        for k in 0u64..5 {
+            m.insert(k, k);
+        }
+        m.remove(&2);
+        let keys: Vec<u64> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![0, 1, 3, 4]);
+        m.remove(&0);
+        m.remove(&4);
+        let keys: Vec<u64> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = LinkedHashMap::new();
+        m.insert(1u64, 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.front(), None);
+        m.insert(2, 2);
+        assert_eq!(m.front(), Some((&2, &2)));
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-dimension sliding-window maxima via monotonic deques.
+//!
+//! The exponential `m̂λ` of §5.3 admits an O(1) lazy update only because
+//! exponential decay forms a semigroup. For *arbitrary* decay models (the
+//! generalisation of §8's future work) the generic streaming join instead
+//! bounds `dot(x, y) ≤ Σ_j x_j · max_{y in window} y_j` with the
+//! *undecayed* maximum over vectors still inside the horizon. This module
+//! maintains those maxima exactly with one monotonic deque per dimension:
+//! amortised O(1) per update, O(expired) eviction.
+
+use std::collections::VecDeque;
+
+/// One timestamped sample in a dimension's deque.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Sample {
+    t: f64,
+    value: f64,
+}
+
+/// Per-dimension maxima over a sliding time window.
+///
+/// `update(dim, t, v)` must be called with non-decreasing `t` (stream
+/// order); `max(dim, now)` returns the largest value among samples with
+/// `now − t ≤ window`, evicting older ones.
+///
+/// ```
+/// use sssj_collections::WindowedMaxVec;
+///
+/// let mut m = WindowedMaxVec::new(10.0);
+/// m.update(3, 0.0, 0.9);
+/// m.update(3, 5.0, 0.4);
+/// assert_eq!(m.max(3, 6.0), 0.9);   // 0.9 still inside the window
+/// assert_eq!(m.max(3, 11.0), 0.4);  // 0.9 expired at t > 10
+/// assert_eq!(m.max(3, 99.0), 0.0);  // everything expired
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowedMaxVec {
+    window: f64,
+    /// Deques hold samples in increasing `t` and *decreasing* value: a new
+    /// sample pops everything it dominates from the back, so the front is
+    /// always the in-window maximum.
+    deques: Vec<VecDeque<Sample>>,
+}
+
+impl WindowedMaxVec {
+    /// Creates an empty structure with the given window length (> 0;
+    /// `+∞` keeps everything, degrading to a plain running max).
+    pub fn new(window: f64) -> Self {
+        assert!(
+            window > 0.0 && !window.is_nan(),
+            "window must be positive: {window}"
+        );
+        WindowedMaxVec {
+            window,
+            deques: Vec::new(),
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Number of dimensions touched so far.
+    pub fn dims(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Total samples currently retained (memory proxy).
+    pub fn samples(&self) -> usize {
+        self.deques.iter().map(VecDeque::len).sum()
+    }
+
+    /// Records `value` at dimension `dim` and time `t`. Values ≤ 0 are
+    /// ignored (sparse vectors store positive weights only).
+    pub fn update(&mut self, dim: u32, t: f64, value: f64) {
+        if value <= 0.0 {
+            return;
+        }
+        let d = dim as usize;
+        if d >= self.deques.len() {
+            self.deques.resize_with(d + 1, VecDeque::new);
+        }
+        let q = &mut self.deques[d];
+        // Drop dominated samples: they are older *and* smaller, so they
+        // can never become the maximum again.
+        while let Some(back) = q.back() {
+            if back.value <= value {
+                q.pop_back();
+            } else {
+                break;
+            }
+        }
+        q.push_back(Sample { t, value });
+        // Opportunistic front eviction keeps memory proportional to the
+        // window even if `max` is never called for this dimension.
+        while let Some(front) = q.front() {
+            if t - front.t > self.window {
+                q.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The maximum value among samples with `now − t ≤ window`, or `0.0`
+    /// when none remain. Evicts expired samples.
+    pub fn max(&mut self, dim: u32, now: f64) -> f64 {
+        let d = dim as usize;
+        let Some(q) = self.deques.get_mut(d) else {
+            return 0.0;
+        };
+        while let Some(front) = q.front() {
+            if now - front.t > self.window {
+                q.pop_front();
+            } else {
+                break;
+            }
+        }
+        q.front().map_or(0.0, |s| s.value)
+    }
+
+    /// Read-only peek without eviction (used by tests and introspection).
+    pub fn peek(&self, dim: u32, now: f64) -> f64 {
+        self.deques
+            .get(dim as usize)
+            .and_then(|q| q.iter().find(|s| now - s.t <= self.window))
+            .map_or(0.0, |s| s.value)
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        for q in &mut self.deques {
+            q.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_max_is_zero() {
+        let mut m = WindowedMaxVec::new(5.0);
+        assert_eq!(m.max(0, 10.0), 0.0);
+        assert_eq!(m.max(999, 10.0), 0.0);
+    }
+
+    #[test]
+    fn dominated_samples_are_dropped() {
+        let mut m = WindowedMaxVec::new(100.0);
+        m.update(1, 0.0, 0.2);
+        m.update(1, 1.0, 0.3); // dominates the 0.2
+        m.update(1, 2.0, 0.1);
+        assert_eq!(m.samples(), 2);
+        assert_eq!(m.max(1, 3.0), 0.3);
+    }
+
+    #[test]
+    fn expiry_reveals_smaller_later_sample() {
+        let mut m = WindowedMaxVec::new(10.0);
+        m.update(0, 0.0, 0.9);
+        m.update(0, 8.0, 0.5);
+        assert_eq!(m.max(0, 9.0), 0.9);
+        assert_eq!(m.max(0, 12.0), 0.5); // 0.9 expired
+        assert_eq!(m.max(0, 20.0), 0.0); // all expired
+    }
+
+    #[test]
+    fn non_positive_values_ignored() {
+        let mut m = WindowedMaxVec::new(10.0);
+        m.update(0, 0.0, 0.0);
+        m.update(0, 0.0, -3.0);
+        assert_eq!(m.samples(), 0);
+    }
+
+    #[test]
+    fn matches_naive_model_on_random_trace() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let window = 5.0;
+        let mut m = WindowedMaxVec::new(window);
+        let mut trace: Vec<(u32, f64, f64)> = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..500 {
+            t += rng.random_range(0.0..1.0);
+            let dim = rng.random_range(0..4u32);
+            let v = rng.random_range(0.0..1.0);
+            m.update(dim, t, v);
+            trace.push((dim, t, v));
+            let probe = rng.random_range(0..4u32);
+            let naive = trace
+                .iter()
+                .filter(|&&(d, ts, _)| d == probe && t - ts <= window)
+                .map(|&(_, _, v)| v)
+                .fold(0.0, f64::max);
+            assert_eq!(m.max(probe, t), naive, "dim {probe} at t={t}");
+        }
+    }
+
+    #[test]
+    fn infinite_window_is_running_max() {
+        let mut m = WindowedMaxVec::new(f64::INFINITY);
+        m.update(0, 0.0, 0.4);
+        m.update(0, 1e9, 0.2);
+        assert_eq!(m.max(0, 2e9), 0.4);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut m = WindowedMaxVec::new(5.0);
+        m.update(2, 0.0, 1.0);
+        m.clear();
+        assert_eq!(m.max(2, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        WindowedMaxVec::new(0.0);
+    }
+
+    #[test]
+    fn peek_does_not_evict() {
+        let mut m = WindowedMaxVec::new(10.0);
+        m.update(0, 0.0, 0.9);
+        m.update(0, 8.0, 0.5);
+        assert_eq!(m.peek(0, 12.0), 0.5);
+        assert_eq!(m.samples(), 2); // nothing evicted by peek
+    }
+}

@@ -1,0 +1,368 @@
+//! Parameter selection: the §3 recipe plus data-driven fitting.
+//!
+//! Problem 1 takes two parameters, the similarity threshold `θ` and the
+//! decay rate `λ`. Section 3 of the paper gives a three-step recipe for
+//! choosing them from application-level judgments:
+//!
+//! 1. `θ` — the lowest similarity between two *simultaneously arriving*
+//!    vectors the application still deems similar;
+//! 2. `τ` — the smallest arrival-time gap between two *identical* vectors
+//!    the application already deems dissimilar;
+//! 3. `λ = ln(1/θ)/τ`.
+//!
+//! [`advise`] implements that recipe from raw judgments;
+//! [`advise_from_examples`] derives the judgments from labeled example
+//! pairs. Beyond the paper, [`fit_theta_for_output`] and
+//! [`fit_lambda_for_memory`] pick the remaining degree of freedom
+//! empirically by running the join over a sample of the stream: output
+//! volume is non-increasing in `θ` and live state is non-increasing in
+//! `λ`, so both admit a bisection.
+
+use sssj_index::IndexKind;
+use sssj_types::StreamRecord;
+
+use crate::{run_stream, SssjConfig, StreamJoin, Streaming};
+
+/// The outcome of parameter selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Advice {
+    /// Chosen similarity threshold `θ`.
+    pub theta: f64,
+    /// Chosen decay rate `λ`.
+    pub lambda: f64,
+    /// The induced time horizon `τ = ln(1/θ)/λ` (equals the judgment gap
+    /// when produced by [`advise`]).
+    pub tau: f64,
+}
+
+impl Advice {
+    /// The join configuration carrying this advice.
+    pub fn config(&self) -> SssjConfig {
+        SssjConfig::new(self.theta, self.lambda)
+    }
+
+    /// Expected number of in-horizon records — the memory driver for every
+    /// index — for a stream arriving at `rate` records per time unit.
+    pub fn expected_window(&self, rate: f64) -> f64 {
+        assert!(rate >= 0.0, "arrival rate must be non-negative: {rate}");
+        rate * self.tau
+    }
+}
+
+/// Errors from data-driven parameter selection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdvisorError {
+    /// No examples in a category that requires at least one.
+    EmptyExamples(&'static str),
+    /// An example value is outside its valid range.
+    BadExample(&'static str, f64),
+    /// The target is unreachable on the given sample (e.g. even θ at the
+    /// bracket edge produces too little / too much output).
+    Unreachable(&'static str),
+}
+
+impl std::fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdvisorError::EmptyExamples(what) => {
+                write!(f, "no {what} examples provided")
+            }
+            AdvisorError::BadExample(what, v) => {
+                write!(f, "invalid {what} example: {v}")
+            }
+            AdvisorError::Unreachable(what) => {
+                write!(f, "target {what} unreachable within the search bracket")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {}
+
+/// The §3 recipe verbatim: `θ` and `τ` come from application judgments,
+/// `λ = ln(1/θ)/τ` follows.
+///
+/// ```
+/// use sssj_core::advisor::advise;
+///
+/// // "0.7-cosine posts arriving together are near-duplicates; an
+/// //  identical repost 600 s later is fresh content."
+/// let a = advise(0.7, 600.0);
+/// assert!((a.tau - 600.0).abs() < 1e-9);
+/// assert!((a.config().tau() - 600.0).abs() < 1e-9);
+/// ```
+pub fn advise(theta: f64, tau: f64) -> Advice {
+    let config = SssjConfig::from_horizon(theta, tau);
+    Advice {
+        theta,
+        lambda: config.lambda,
+        tau,
+    }
+}
+
+/// Derives the §3 judgments from labeled examples:
+///
+/// * `similar_at_zero_gap` — cosine similarities of example pairs that
+///   arrived (nearly) together and are judged **similar**; `θ` is their
+///   minimum, so every example stays above threshold.
+/// * `dissimilar_gaps` — arrival gaps of example *identical* pairs judged
+///   **dissimilar**; `τ` is their minimum, so every example falls beyond
+///   the horizon.
+pub fn advise_from_examples(
+    similar_at_zero_gap: &[f64],
+    dissimilar_gaps: &[f64],
+) -> Result<Advice, AdvisorError> {
+    if similar_at_zero_gap.is_empty() {
+        return Err(AdvisorError::EmptyExamples("similar-pair"));
+    }
+    if dissimilar_gaps.is_empty() {
+        return Err(AdvisorError::EmptyExamples("dissimilar-gap"));
+    }
+    let mut theta = f64::INFINITY;
+    for &s in similar_at_zero_gap {
+        if !(s > 0.0 && s <= 1.0) || s.is_nan() {
+            return Err(AdvisorError::BadExample("similarity", s));
+        }
+        theta = theta.min(s);
+    }
+    let mut tau = f64::INFINITY;
+    for &g in dissimilar_gaps {
+        if g <= 0.0 || g.is_nan() || !g.is_finite() {
+            return Err(AdvisorError::BadExample("gap", g));
+        }
+        tau = tau.min(g);
+    }
+    // θ = 1 would make the horizon zero; clamp just below so identical
+    // simultaneous pairs still match.
+    if theta >= 1.0 {
+        theta = 1.0 - 1e-9;
+    }
+    Ok(advise(theta, tau))
+}
+
+/// Mean arrival rate (records per time unit) of a sample stream; `None`
+/// for streams without a positive time span.
+pub fn arrival_rate(records: &[StreamRecord]) -> Option<f64> {
+    let first = records.first()?;
+    let last = records.last()?;
+    let span = last.t.delta(first.t);
+    (span > 0.0).then(|| (records.len() - 1) as f64 / span)
+}
+
+fn pairs_at(sample: &[StreamRecord], theta: f64, lambda: f64) -> u64 {
+    let mut join = Streaming::new(SssjConfig::new(theta, lambda), IndexKind::L2);
+    run_stream(&mut join, sample).len() as u64
+}
+
+/// Finds the largest `θ` whose output on `sample` still reaches
+/// `min_pairs` pairs, by bisection over `[theta_lo, theta_hi]`. Output
+/// volume is non-increasing in `θ`, so the result is well-defined up to
+/// `tol`. Use when the application knows how much output it can consume
+/// (e.g. a downstream dedup queue) rather than a similarity judgment.
+pub fn fit_theta_for_output(
+    sample: &[StreamRecord],
+    lambda: f64,
+    min_pairs: u64,
+    theta_lo: f64,
+    theta_hi: f64,
+    tol: f64,
+) -> Result<Advice, AdvisorError> {
+    if sample.is_empty() {
+        return Err(AdvisorError::EmptyExamples("sample-stream"));
+    }
+    assert!(
+        0.0 < theta_lo && theta_lo < theta_hi && theta_hi <= 1.0,
+        "invalid bracket [{theta_lo}, {theta_hi}]"
+    );
+    assert!(tol > 0.0, "tolerance must be positive: {tol}");
+    if pairs_at(sample, theta_lo, lambda) < min_pairs {
+        return Err(AdvisorError::Unreachable("output volume"));
+    }
+    let (mut lo, mut hi) = (theta_lo, theta_hi);
+    // Invariant: pairs(lo) ≥ min_pairs; hi may or may not reach it.
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if pairs_at(sample, mid, lambda) >= min_pairs {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(advise(lo, SssjConfig::new(lo, lambda).tau()))
+}
+
+fn peak_postings_at(sample: &[StreamRecord], theta: f64, lambda: f64) -> u64 {
+    let mut join = Streaming::new(SssjConfig::new(theta, lambda), IndexKind::L2);
+    let _ = run_stream(&mut join, sample);
+    join.stats().peak_postings
+}
+
+/// Finds the smallest `λ` that keeps the peak number of live posting
+/// entries on `sample` at or below `max_peak_postings`, by bisection over
+/// `[lambda_lo, lambda_hi]`. Live state shrinks as `λ` grows (the horizon
+/// `τ = ln(1/θ)/λ` contracts), so this picks the gentlest forgetting that
+/// fits the memory budget.
+pub fn fit_lambda_for_memory(
+    sample: &[StreamRecord],
+    theta: f64,
+    max_peak_postings: u64,
+    lambda_lo: f64,
+    lambda_hi: f64,
+    tol: f64,
+) -> Result<Advice, AdvisorError> {
+    if sample.is_empty() {
+        return Err(AdvisorError::EmptyExamples("sample-stream"));
+    }
+    assert!(
+        0.0 <= lambda_lo && lambda_lo < lambda_hi,
+        "invalid bracket [{lambda_lo}, {lambda_hi}]"
+    );
+    assert!(tol > 0.0, "tolerance must be positive: {tol}");
+    if peak_postings_at(sample, theta, lambda_hi) > max_peak_postings {
+        return Err(AdvisorError::Unreachable("memory budget"));
+    }
+    if lambda_lo > 0.0 && peak_postings_at(sample, theta, lambda_lo) <= max_peak_postings {
+        // Even the gentlest decay fits.
+        return Ok(advise(theta, SssjConfig::new(theta, lambda_lo).tau()));
+    }
+    let (mut lo, mut hi) = (lambda_lo, lambda_hi);
+    // Invariant: peak(hi) ≤ budget; lo does not fit (or is zero/untested).
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if peak_postings_at(sample, theta, mid) <= max_peak_postings {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(advise(theta, SssjConfig::new(theta, hi).tau()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn near_dup_stream(n: u64, gap: f64) -> Vec<StreamRecord> {
+        // Identical singleton vectors arriving every `gap`: pairs exist at
+        // every Δt multiple of `gap`, so output volume responds to both
+        // parameters smoothly.
+        (0..n)
+            .map(|i| {
+                StreamRecord::new(
+                    i,
+                    Timestamp::new(i as f64 * gap),
+                    unit_vector(&[(7, 1.0)]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn advise_matches_recipe() {
+        let a = advise(0.5, 100.0);
+        assert!((a.lambda - (2.0f64).ln() / 100.0).abs() < 1e-12);
+        assert!((a.config().tau() - 100.0).abs() < 1e-9);
+        assert!((a.expected_window(3.0) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn examples_take_min_similarity_and_min_gap() {
+        let a = advise_from_examples(&[0.9, 0.62, 0.75], &[500.0, 120.0, 900.0]).unwrap();
+        assert_eq!(a.theta, 0.62);
+        assert_eq!(a.tau, 120.0);
+    }
+
+    #[test]
+    fn identical_similar_examples_clamp_theta_below_one() {
+        let a = advise_from_examples(&[1.0], &[10.0]).unwrap();
+        assert!(a.theta < 1.0 && a.theta > 0.999);
+    }
+
+    #[test]
+    fn example_errors() {
+        assert_eq!(
+            advise_from_examples(&[], &[1.0]),
+            Err(AdvisorError::EmptyExamples("similar-pair"))
+        );
+        assert_eq!(
+            advise_from_examples(&[0.5], &[]),
+            Err(AdvisorError::EmptyExamples("dissimilar-gap"))
+        );
+        assert!(matches!(
+            advise_from_examples(&[-0.1], &[1.0]),
+            Err(AdvisorError::BadExample("similarity", _))
+        ));
+        assert!(matches!(
+            advise_from_examples(&[0.5], &[0.0]),
+            Err(AdvisorError::BadExample("gap", _))
+        ));
+        assert!(matches!(
+            advise_from_examples(&[0.5], &[f64::INFINITY]),
+            Err(AdvisorError::BadExample("gap", _))
+        ));
+    }
+
+    #[test]
+    fn arrival_rate_of_uniform_stream() {
+        let s = near_dup_stream(11, 2.0); // 10 gaps of 2.0 over 20 time units
+        assert!((arrival_rate(&s).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(arrival_rate(&[]), None);
+        assert_eq!(arrival_rate(&s[..1]), None);
+    }
+
+    #[test]
+    fn fit_theta_reaches_target_output() {
+        let s = near_dup_stream(40, 1.0);
+        let lambda = 0.1;
+        let a = fit_theta_for_output(&s, lambda, 60, 0.05, 0.99, 1e-3).unwrap();
+        // The fitted θ must achieve the target...
+        assert!(pairs_at(&s, a.theta, lambda) >= 60);
+        // ...and be near-maximal: nudging θ up by tolerance loses it.
+        assert!(pairs_at(&s, (a.theta + 2e-3).min(0.99), lambda) < 60);
+    }
+
+    #[test]
+    fn fit_theta_unreachable_target_errors() {
+        let s = near_dup_stream(5, 1.0);
+        assert_eq!(
+            fit_theta_for_output(&s, 0.5, 1_000_000, 0.05, 0.99, 1e-3),
+            Err(AdvisorError::Unreachable("output volume"))
+        );
+        assert_eq!(
+            fit_theta_for_output(&[], 0.5, 1, 0.05, 0.99, 1e-3),
+            Err(AdvisorError::EmptyExamples("sample-stream"))
+        );
+    }
+
+    #[test]
+    fn fit_lambda_respects_memory_budget() {
+        let s = near_dup_stream(200, 1.0);
+        let theta = 0.5;
+        let budget = 20;
+        let a = fit_lambda_for_memory(&s, theta, budget, 1e-4, 5.0, 1e-4).unwrap();
+        assert!(peak_postings_at(&s, theta, a.lambda) <= budget);
+        // Near-minimal: materially gentler decay would blow the budget.
+        let gentler = (a.lambda - 5e-3).max(1e-4);
+        if gentler < a.lambda {
+            assert!(peak_postings_at(&s, theta, gentler) > budget);
+        }
+    }
+
+    #[test]
+    fn fit_lambda_trivial_budget() {
+        let s = near_dup_stream(10, 1.0);
+        // Budget so large even λ_lo fits: the gentlest decay is returned.
+        let a = fit_lambda_for_memory(&s, 0.5, 1_000_000, 0.01, 1.0, 1e-4).unwrap();
+        assert_eq!(a.lambda, 0.01);
+    }
+
+    #[test]
+    fn fit_lambda_unreachable_budget_errors() {
+        let s = near_dup_stream(50, 0.0); // all simultaneous: horizon can't help
+        assert_eq!(
+            fit_lambda_for_memory(&s, 0.5, 1, 1e-4, 10.0, 1e-3),
+            Err(AdvisorError::Unreachable("memory budget"))
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! The common streaming-join interface and the algorithm factory.
+
+use std::fmt;
+
+use sssj_index::IndexKind;
+use sssj_metrics::JoinStats;
+use sssj_types::{SimilarPair, StreamRecord};
+
+use crate::{MiniBatch, SssjConfig, Streaming};
+
+/// A streaming similarity self-join algorithm.
+///
+/// Feed records in non-decreasing timestamp order with
+/// [`StreamJoin::process`]; call [`StreamJoin::finish`] once at the end of
+/// the stream to flush anything buffered (the MiniBatch framework reports
+/// within-window pairs with delay).
+pub trait StreamJoin {
+    /// Consumes one record, appending any pairs it completes to `out`.
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>);
+
+    /// Flushes buffered output at end-of-stream.
+    fn finish(&mut self, out: &mut Vec<SimilarPair>);
+
+    /// Work counters accumulated so far.
+    fn stats(&self) -> JoinStats;
+
+    /// Live posting entries (memory proxy for budgeted runs).
+    fn live_postings(&self) -> u64;
+
+    /// Human-readable name, e.g. `STR-L2`.
+    fn name(&self) -> String;
+}
+
+impl StreamJoin for Box<dyn StreamJoin> {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        (**self).process(record, out)
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimilarPair>) {
+        (**self).finish(out)
+    }
+
+    fn stats(&self) -> JoinStats {
+        (**self).stats()
+    }
+
+    fn live_postings(&self) -> u64 {
+        (**self).live_postings()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// The two algorithmic frameworks of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Framework {
+    /// MiniBatch (MB): batch indexes over τ-sized windows.
+    MiniBatch,
+    /// Streaming (STR): one incrementally maintained, time-filtered index.
+    Streaming,
+}
+
+impl Framework {
+    /// Both frameworks, in the paper's order.
+    pub const ALL: [Framework; 2] = [Framework::MiniBatch, Framework::Streaming];
+
+    /// Parses the names used by the CLI and the harness.
+    pub fn parse(s: &str) -> Option<Framework> {
+        match s.to_ascii_lowercase().as_str() {
+            "mb" | "minibatch" => Some(Framework::MiniBatch),
+            "str" | "streaming" => Some(Framework::Streaming),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Framework {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Framework::MiniBatch => "MB",
+            Framework::Streaming => "STR",
+        })
+    }
+}
+
+/// Builds one of the paper's eight algorithm combinations
+/// (framework × index).
+pub fn build_algorithm(
+    framework: Framework,
+    kind: IndexKind,
+    config: SssjConfig,
+) -> Box<dyn StreamJoin> {
+    match framework {
+        Framework::MiniBatch => Box::new(MiniBatch::new(config, kind)),
+        Framework::Streaming => Box::new(Streaming::new(config, kind)),
+    }
+}
+
+/// Runs an algorithm over a full stream and returns all reported pairs.
+pub fn run_stream(join: &mut dyn StreamJoin, stream: &[StreamRecord]) -> Vec<SimilarPair> {
+    let mut out = Vec::new();
+    for r in stream {
+        join.process(r, &mut out);
+    }
+    join.finish(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framework_parse_roundtrips() {
+        for f in Framework::ALL {
+            assert_eq!(Framework::parse(&f.to_string()), Some(f));
+        }
+        assert_eq!(Framework::parse("minibatch"), Some(Framework::MiniBatch));
+        assert_eq!(Framework::parse("bogus"), None);
+    }
+
+    #[test]
+    fn factory_builds_all_combinations() {
+        let config = SssjConfig::new(0.7, 0.1);
+        for f in Framework::ALL {
+            for k in IndexKind::ALL {
+                let join = build_algorithm(f, k, config);
+                assert!(join.name().starts_with(&f.to_string()));
+            }
+        }
+    }
+}

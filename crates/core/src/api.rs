@@ -1,0 +1,246 @@
+//! Ergonomic entry points: a fluent builder and an iterator adapter.
+
+use sssj_index::IndexKind;
+use sssj_types::{SimilarPair, StreamRecord};
+
+use crate::algorithm::{build_algorithm, Framework, StreamJoin};
+use crate::config::SssjConfig;
+use crate::reorder::ReorderBuffer;
+
+/// Fluent configuration of a streaming join.
+///
+/// ```
+/// use sssj_core::JoinBuilder;
+///
+/// let join = JoinBuilder::new(0.7, 0.01).minibatch().build();
+/// assert_eq!(join.name(), "MB-L2");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct JoinBuilder {
+    config: SssjConfig,
+    framework: Framework,
+    kind: IndexKind,
+    slack: f64,
+}
+
+impl JoinBuilder {
+    /// Starts from the problem parameters; defaults to the paper's
+    /// recommended STR-L2.
+    pub fn new(theta: f64, lambda: f64) -> Self {
+        JoinBuilder {
+            config: SssjConfig::new(theta, lambda),
+            framework: Framework::Streaming,
+            kind: IndexKind::L2,
+            slack: 0.0,
+        }
+    }
+
+    /// Derives λ from the §3 recipe: the largest gap at which identical
+    /// items still matter.
+    pub fn from_horizon(theta: f64, tau: f64) -> Self {
+        JoinBuilder {
+            config: SssjConfig::from_horizon(theta, tau),
+            framework: Framework::Streaming,
+            kind: IndexKind::L2,
+            slack: 0.0,
+        }
+    }
+
+    /// Selects the MiniBatch framework.
+    pub fn minibatch(mut self) -> Self {
+        self.framework = Framework::MiniBatch;
+        self
+    }
+
+    /// Selects the Streaming framework (the default).
+    pub fn streaming(mut self) -> Self {
+        self.framework = Framework::Streaming;
+        self
+    }
+
+    /// Selects the index variant (default [`IndexKind::L2`]).
+    pub fn index(mut self, kind: IndexKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Tolerates records arriving up to `slack` time units out of order
+    /// by wrapping the join in a [`ReorderBuffer`]; hopelessly late
+    /// records are counted and dropped. Zero (the default) requires
+    /// sorted input.
+    pub fn reorder_slack(mut self, slack: f64) -> Self {
+        assert!(
+            slack.is_finite() && slack >= 0.0,
+            "slack must be finite and non-negative: {slack}"
+        );
+        self.slack = slack;
+        self
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> SssjConfig {
+        self.config
+    }
+
+    /// Builds the join.
+    pub fn build(self) -> Box<dyn StreamJoin> {
+        let join = build_algorithm(self.framework, self.kind, self.config);
+        if self.slack > 0.0 {
+            Box::new(ReorderBuffer::new(join, self.slack))
+        } else {
+            join
+        }
+    }
+
+    /// Builds the join and wraps a record source into a pair iterator.
+    pub fn pairs<I>(self, records: I) -> PairIter<I::IntoIter>
+    where
+        I: IntoIterator<Item = StreamRecord>,
+    {
+        PairIter::new(self.build(), records.into_iter())
+    }
+}
+
+/// An iterator adapter: pulls records from a source, pushes out similar
+/// pairs as they complete, and flushes buffered output (MiniBatch) when
+/// the source ends.
+pub struct PairIter<I> {
+    join: Box<dyn StreamJoin>,
+    source: I,
+    pending: std::collections::VecDeque<SimilarPair>,
+    scratch: Vec<SimilarPair>,
+    finished: bool,
+}
+
+impl<I: Iterator<Item = StreamRecord>> PairIter<I> {
+    /// Wraps a join and a record source.
+    pub fn new(join: Box<dyn StreamJoin>, source: I) -> Self {
+        PairIter {
+            join,
+            source,
+            pending: std::collections::VecDeque::new(),
+            scratch: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Access to the underlying join (e.g. for stats after exhaustion).
+    pub fn join(&self) -> &dyn StreamJoin {
+        self.join.as_ref()
+    }
+}
+
+impl<I: Iterator<Item = StreamRecord>> Iterator for PairIter<I> {
+    type Item = SimilarPair;
+
+    fn next(&mut self) -> Option<SimilarPair> {
+        loop {
+            if let Some(pair) = self.pending.pop_front() {
+                return Some(pair);
+            }
+            if self.finished {
+                return None;
+            }
+            match self.source.next() {
+                Some(record) => {
+                    self.scratch.clear();
+                    self.join.process(&record, &mut self.scratch);
+                    self.pending.extend(self.scratch.drain(..));
+                }
+                None => {
+                    self.finished = true;
+                    self.scratch.clear();
+                    self.join.finish(&mut self.scratch);
+                    self.pending.extend(self.scratch.drain(..));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn stream() -> Vec<StreamRecord> {
+        vec![
+            StreamRecord::new(0, Timestamp::new(0.0), unit_vector(&[(1, 1.0)])),
+            StreamRecord::new(1, Timestamp::new(1.0), unit_vector(&[(1, 1.0)])),
+            StreamRecord::new(2, Timestamp::new(2.0), unit_vector(&[(9, 1.0)])),
+            StreamRecord::new(3, Timestamp::new(3.0), unit_vector(&[(1, 1.0)])),
+        ]
+    }
+
+    #[test]
+    fn builder_selects_combination() {
+        assert_eq!(JoinBuilder::new(0.5, 0.1).build().name(), "STR-L2");
+        assert_eq!(
+            JoinBuilder::new(0.5, 0.1)
+                .minibatch()
+                .index(IndexKind::Inv)
+                .build()
+                .name(),
+            "MB-INV"
+        );
+        assert_eq!(JoinBuilder::new(0.5, 0.1).minibatch().streaming().build().name(), "STR-L2");
+    }
+
+    #[test]
+    fn builder_reorder_slack_fixes_disorder() {
+        let mut shuffled = stream();
+        shuffled.swap(0, 1); // timestamps 1.0, 0.0, 2.0, 3.0
+        let strict: Vec<_> = JoinBuilder::new(0.5, 0.2).pairs(stream()).collect();
+        let buffered: Vec<_> = JoinBuilder::new(0.5, 0.2)
+            .reorder_slack(5.0)
+            .pairs(shuffled)
+            .collect();
+        let mut a: Vec<_> = strict.iter().map(|p| p.key()).collect();
+        let mut b: Vec<_> = buffered.iter().map(|p| p.key()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(
+            JoinBuilder::new(0.5, 0.2).reorder_slack(5.0).build().name(),
+            "Reorder(STR-L2)"
+        );
+    }
+
+    #[test]
+    fn from_horizon_sets_lambda() {
+        let b = JoinBuilder::from_horizon(0.5, 100.0);
+        assert!((b.config().tau() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_iter_yields_streaming_pairs() {
+        let pairs: Vec<_> = JoinBuilder::new(0.5, 0.2).pairs(stream()).collect();
+        let keys: Vec<_> = pairs.iter().map(|p| p.key()).collect();
+        // (0,3) survives too: e^{-0.2·3} ≈ 0.55 ≥ 0.5.
+        assert_eq!(keys, vec![(0, 1), (1, 3), (0, 3)]);
+    }
+
+    #[test]
+    fn pair_iter_flushes_minibatch_at_end() {
+        // MB reports within-window pairs only at flush; the iterator must
+        // still surface them.
+        let str_pairs: Vec<_> = JoinBuilder::new(0.5, 0.2).pairs(stream()).collect();
+        let mb_pairs: Vec<_> = JoinBuilder::new(0.5, 0.2)
+            .minibatch()
+            .pairs(stream())
+            .collect();
+        let mut a: Vec<_> = str_pairs.iter().map(|p| p.key()).collect();
+        let mut b: Vec<_> = mb_pairs.iter().map(|p| p.key()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pair_iter_is_fused_after_end() {
+        let mut it = JoinBuilder::new(0.5, 0.2).pairs(stream());
+        while it.next().is_some() {}
+        assert!(it.next().is_none());
+        assert!(it.join().stats().pairs_output > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Join configuration.
+
+use sssj_types::Decay;
+
+/// The two parameters of Problem 1: the similarity threshold `θ` and the
+/// time-decay rate `λ`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SssjConfig {
+    /// Similarity threshold `θ ∈ (0, 1]`.
+    pub theta: f64,
+    /// Decay rate `λ ≥ 0` (`0` disables forgetting).
+    pub lambda: f64,
+}
+
+impl SssjConfig {
+    /// Creates a configuration; panics on out-of-range parameters.
+    pub fn new(theta: f64, lambda: f64) -> Self {
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "theta must be in (0, 1]: {theta}"
+        );
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be finite and non-negative: {lambda}"
+        );
+        SssjConfig { theta, lambda }
+    }
+
+    /// The §3 parameter-setting recipe: `θ` from the application's content
+    /// threshold, `λ = ln(1/θ)/τ` from the largest acceptable gap between
+    /// identical items.
+    pub fn from_horizon(theta: f64, tau: f64) -> Self {
+        let decay = Decay::from_horizon(theta, tau);
+        SssjConfig::new(theta, decay.lambda())
+    }
+
+    /// The decay object.
+    pub fn decay(&self) -> Decay {
+        Decay::new(self.lambda)
+    }
+
+    /// The time horizon `τ = ln(1/θ)/λ`.
+    pub fn tau(&self) -> f64 {
+        self.decay().horizon(self.theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_matches_formula() {
+        let c = SssjConfig::new(0.5, 0.01);
+        assert!((c.tau() - (2.0f64).ln() / 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_horizon_roundtrips() {
+        let c = SssjConfig::from_horizon(0.8, 50.0);
+        assert!((c.tau() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_lambda_has_infinite_horizon() {
+        assert_eq!(SssjConfig::new(0.5, 0.0).tau(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn bad_theta_rejected() {
+        SssjConfig::new(1.5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn negative_lambda_rejected() {
+        SssjConfig::new(0.5, -1.0);
+    }
+}

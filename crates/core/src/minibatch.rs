@@ -1,0 +1,317 @@
+//! The MB framework (Algorithm 1 + the two-window fix of §6.1).
+
+use sssj_collections::MaxVector;
+use sssj_metrics::JoinStats;
+use sssj_types::{Decay, SimilarPair, StreamRecord};
+
+use sssj_index::{BatchIndex, IndexKind};
+
+use crate::algorithm::StreamJoin;
+use crate::config::SssjConfig;
+
+/// MB-IDX: the MiniBatch streaming similarity self-join.
+///
+/// The stream is cut into consecutive windows of length `τ`. When window
+/// `W_k` closes:
+///
+/// 1. the max vectors of `W_{k−1}` and `W_k` are combined (§6.1: the
+///    AP-family `b1` bound must cover the window that will *query* the
+///    index, which is only known one window later);
+/// 2. a fresh batch index is built over `W_{k−1}`, reporting all
+///    within-window pairs of `W_{k−1}` (with delay — the drawback the
+///    paper notes);
+/// 3. every vector of `W_k` queries that index, reporting the
+///    cross-window pairs.
+///
+/// The index over `W_{k−1}` is then dropped wholesale — MB never prunes
+/// posting lists, it throws indexes away. All pairs pass through
+/// `ApplyDecay`: the exact time-dependent similarity is checked against
+/// `θ` before reporting. Pairs further apart than `τ` can never join, and
+/// any pair within `τ` lands either in one window or in two adjacent
+/// ones, so the output is complete.
+pub struct MiniBatch {
+    config: SssjConfig,
+    kind: IndexKind,
+    decay: Decay,
+    tau: f64,
+    window_end: Option<f64>,
+    prev: Vec<StreamRecord>,
+    prev_m: MaxVector,
+    cur: Vec<StreamRecord>,
+    cur_m: MaxVector,
+    live_postings: u64,
+    stats: JoinStats,
+}
+
+impl MiniBatch {
+    /// Creates an MB join with the given index variant.
+    ///
+    /// With `λ = 0` the horizon is infinite and MB degenerates to a single
+    /// batch join flushed by [`StreamJoin::finish`].
+    pub fn new(config: SssjConfig, kind: IndexKind) -> Self {
+        MiniBatch {
+            config,
+            kind,
+            decay: config.decay(),
+            tau: config.tau(),
+            window_end: None,
+            prev: Vec::new(),
+            prev_m: MaxVector::new(),
+            cur: Vec::new(),
+            cur_m: MaxVector::new(),
+            live_postings: 0,
+            stats: JoinStats::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SssjConfig {
+        self.config
+    }
+
+    /// The index variant.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Estimated heap footprint of the buffered state, in bytes.
+    ///
+    /// MB buffers the previous and current windows as raw records (up to
+    /// `2τ` of stream) plus the two per-window max vectors; the batch
+    /// index itself is transient — built and dropped inside the window
+    /// close — so its peak cost is approximated by the last window's
+    /// posting count times the entry size. Like
+    /// [`Streaming::memory_bytes`](crate::Streaming::memory_bytes), an
+    /// O(state) estimate to be sampled, not read per record.
+    pub fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let window = |records: &[StreamRecord]| -> u64 {
+            records
+                .iter()
+                .map(|r| size_of::<StreamRecord>() as u64 + r.vector.nnz() as u64 * 12)
+                .sum()
+        };
+        window(&self.prev)
+            + window(&self.cur)
+            + (self.prev_m.dims() + self.cur_m.dims()) as u64 * 8
+            // Transient batch index at the last window close.
+            + self.live_postings * 24
+    }
+
+    /// Closes the current window: indexes `prev` (reporting its
+    /// within-window pairs), streams `cur` through the index (reporting
+    /// cross-window pairs), then shifts the windows.
+    fn flush_window(&mut self, out: &mut Vec<SimilarPair>) {
+        let theta = self.config.theta;
+        // §6.1: m must cover both the indexed and the querying window.
+        let mut m = self.prev_m.clone();
+        m.merge(&self.cur_m);
+
+        let mut index = BatchIndex::with_max_vector(theta, self.kind.policy(), m);
+        let mut hits = Vec::new();
+        // IndConstr over the previous window: query-then-insert finds all
+        // pairs within it.
+        for r in &self.prev {
+            hits.clear();
+            index.query_into(r, &mut hits);
+            for h in &hits {
+                let sim = self.decay.apply(h.sim, h.dt);
+                if sim >= theta {
+                    self.stats.pairs_output += 1;
+                    out.push(SimilarPair::new(h.id, r.id, sim));
+                }
+            }
+            index.insert(r);
+        }
+        self.live_postings = index.live_postings();
+        // Query phase: the current window probes the previous one.
+        for r in &self.cur {
+            hits.clear();
+            index.query_into(r, &mut hits);
+            for h in &hits {
+                // ApplyDecay: only now is the time-dependent threshold
+                // enforced; the batch index worked on plain similarity.
+                let sim = self.decay.apply(h.sim, h.dt);
+                if sim >= theta {
+                    self.stats.pairs_output += 1;
+                    out.push(SimilarPair::new(h.id, r.id, sim));
+                }
+            }
+        }
+        let mut batch_stats = index.stats();
+        // The batch engine counted its own outputs; ours are decay-
+        // filtered and already tallied above.
+        batch_stats.pairs_output = 0;
+        self.stats += batch_stats;
+        self.stats.windows += 1;
+        self.stats
+            .observe_postings(self.live_postings + self.buffered_coords());
+
+        std::mem::swap(&mut self.prev, &mut self.cur);
+        std::mem::swap(&mut self.prev_m, &mut self.cur_m);
+        self.cur.clear();
+        self.cur_m.clear();
+        self.live_postings = 0;
+    }
+
+    fn buffered_coords(&self) -> u64 {
+        (self.prev.iter().map(|r| r.vector.nnz()).sum::<usize>()
+            + self.cur.iter().map(|r| r.vector.nnz()).sum::<usize>()) as u64
+    }
+}
+
+impl StreamJoin for MiniBatch {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        let t = record.t.seconds();
+        let end = *self.window_end.get_or_insert(t + self.tau);
+        if t >= end {
+            self.flush_window(out);
+            // Advance the window grid; skip over empty windows.
+            let mut new_end = end + self.tau;
+            if t >= new_end {
+                // More than one full window elapsed: flush once more so the
+                // stale "previous" window is indexed/reported, then restart
+                // the grid at the current time.
+                self.flush_window(out);
+                new_end = t + self.tau;
+            }
+            self.window_end = Some(new_end);
+        }
+        self.cur.push(record.clone());
+        for (d, w) in record.vector.iter() {
+            self.cur_m.update(d, w);
+        }
+        self.stats
+            .observe_postings(self.live_postings + self.buffered_coords());
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimilarPair>) {
+        // Flush the trailing two windows: first `prev` is indexed and
+        // queried by `cur`, then the shifted `prev` (the old `cur`) is
+        // indexed to report its within-window pairs.
+        self.flush_window(out);
+        self.flush_window(out);
+        self.window_end = None;
+    }
+
+    fn stats(&self) -> JoinStats {
+        self.stats
+    }
+
+    fn live_postings(&self) -> u64 {
+        self.live_postings + self.buffered_coords()
+    }
+
+    fn name(&self) -> String {
+        format!("MB-{}", self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::run_stream;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn rec(id: u64, t: f64, entries: &[(u32, f64)]) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::new(t), unit_vector(entries))
+    }
+
+    fn run(kind: IndexKind, config: SssjConfig, stream: &[StreamRecord]) -> Vec<(u64, u64)> {
+        let mut join = MiniBatch::new(config, kind);
+        let mut keys: Vec<_> = run_stream(&mut join, stream)
+            .iter()
+            .map(|p| p.key())
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn within_window_pair_is_reported() {
+        let config = SssjConfig::new(0.5, 0.01); // τ ≈ 69
+        let stream = vec![rec(0, 0.0, &[(1, 1.0)]), rec(1, 1.0, &[(1, 1.0)])];
+        for kind in IndexKind::ALL {
+            assert_eq!(run(kind, config, &stream), vec![(0, 1)], "{kind}");
+        }
+    }
+
+    #[test]
+    fn cross_window_pair_is_reported() {
+        let config = SssjConfig::new(0.5, 0.01);
+        let tau = config.tau();
+        // Two identical vectors in adjacent windows, within τ of each
+        // other.
+        let stream = vec![
+            rec(0, tau * 0.9, &[(1, 1.0)]),
+            rec(1, tau * 1.1, &[(1, 1.0)]),
+        ];
+        for kind in IndexKind::ALL {
+            assert_eq!(run(kind, config, &stream), vec![(0, 1)], "{kind}");
+        }
+    }
+
+    #[test]
+    fn beyond_horizon_pair_is_suppressed() {
+        let config = SssjConfig::new(0.5, 0.1); // τ ≈ 6.93
+        let stream = vec![rec(0, 0.0, &[(1, 1.0)]), rec(1, 50.0, &[(1, 1.0)])];
+        for kind in IndexKind::ALL {
+            assert!(run(kind, config, &stream).is_empty(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn adjacent_window_pair_beyond_tau_is_decay_filtered() {
+        // Both vectors land in adjacent windows but Δt ∈ (τ, 2τ): MB
+        // tests the pair, ApplyDecay must reject it.
+        let config = SssjConfig::new(0.5, 0.01);
+        let tau = config.tau();
+        let stream = vec![
+            rec(0, tau * 0.1, &[(1, 1.0)]),
+            rec(1, tau * 1.9, &[(1, 1.0)]),
+        ];
+        for kind in IndexKind::ALL {
+            assert!(run(kind, config, &stream).is_empty(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn zero_lambda_degenerates_to_batch_join() {
+        let config = SssjConfig::new(0.9, 0.0);
+        let stream = vec![
+            rec(0, 0.0, &[(1, 1.0)]),
+            rec(1, 1e9, &[(1, 1.0)]),
+        ];
+        assert_eq!(run(IndexKind::L2, config, &stream), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn long_gaps_do_not_leak_pairs_or_panic() {
+        let config = SssjConfig::new(0.5, 0.1);
+        let stream = vec![
+            rec(0, 0.0, &[(1, 1.0)]),
+            rec(1, 1.0, &[(1, 1.0)]),
+            rec(2, 1000.0, &[(1, 1.0)]),
+            rec(3, 1001.0, &[(1, 1.0)]),
+            rec(4, 5000.0, &[(1, 1.0)]),
+        ];
+        for kind in IndexKind::ALL {
+            assert_eq!(run(kind, config, &stream), vec![(0, 1), (2, 3)], "{kind}");
+        }
+    }
+
+    #[test]
+    fn windows_counter_advances() {
+        let config = SssjConfig::new(0.5, 1.0); // τ ≈ 0.69
+        let stream: Vec<_> = (0..20).map(|i| rec(i, i as f64, &[(1, 1.0)])).collect();
+        let mut join = MiniBatch::new(config, IndexKind::L2);
+        run_stream(&mut join, &stream);
+        assert!(join.stats().windows >= 19, "windows={}", join.stats().windows);
+    }
+
+    #[test]
+    fn name_includes_kind() {
+        let join = MiniBatch::new(SssjConfig::new(0.5, 0.1), IndexKind::Inv);
+        assert_eq!(join.name(), "MB-INV");
+    }
+}

@@ -1,0 +1,132 @@
+//! A two-stage pipeline: record production decoupled from the join.
+//!
+//! The paper's evaluation is single-threaded, and so are the join
+//! algorithms — but in deployments the record source (parsing, network)
+//! usually lives on its own thread. This module provides that shape: a
+//! producer thread feeds a bounded channel (applying backpressure when
+//! the join falls behind) and the join consumes on the calling thread.
+//! The output is identical to the sequential [`crate::run_stream`], which
+//! the tests assert.
+
+use crossbeam_channel::bounded;
+
+use sssj_metrics::JoinStats;
+use sssj_types::{SimilarPair, StreamRecord};
+
+use crate::algorithm::StreamJoin;
+
+/// Result of a pipelined run.
+#[derive(Clone, Debug)]
+pub struct PipelineOutput {
+    /// All reported pairs, in report order.
+    pub pairs: Vec<SimilarPair>,
+    /// The join's work counters.
+    pub stats: JoinStats,
+}
+
+/// Runs `join` over the records produced by `source` on a separate
+/// thread, with a bounded queue of `queue` records between the stages.
+///
+/// Panics in the producer propagate to the caller.
+pub fn run_threaded<I>(
+    join: &mut dyn StreamJoin,
+    source: I,
+    queue: usize,
+) -> PipelineOutput
+where
+    I: IntoIterator<Item = StreamRecord>,
+    I::IntoIter: Send,
+{
+    assert!(queue > 0, "queue must have room for at least one record");
+    let iter = source.into_iter();
+    let (tx, rx) = bounded::<StreamRecord>(queue);
+    let mut pairs = Vec::new();
+    std::thread::scope(|scope| {
+        let producer = scope.spawn(move || {
+            for record in iter {
+                // The consumer hanging up (panic) makes send fail; just
+                // stop producing.
+                if tx.send(record).is_err() {
+                    break;
+                }
+            }
+        });
+        for record in rx {
+            join.process(&record, &mut pairs);
+        }
+        join.finish(&mut pairs);
+        producer.join().expect("producer thread panicked");
+    });
+    PipelineOutput {
+        pairs,
+        stats: join.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{build_algorithm, run_stream, Framework};
+    use crate::config::SssjConfig;
+    use sssj_index::IndexKind;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn stream(n: u64) -> Vec<StreamRecord> {
+        (0..n)
+            .map(|i| {
+                StreamRecord::new(
+                    i,
+                    Timestamp::new(i as f64 * 0.3),
+                    unit_vector(&[(1 + (i % 7) as u32, 1.0), (50, 0.5)]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_output_equals_sequential() {
+        let records = stream(300);
+        let config = SssjConfig::new(0.6, 0.02);
+        for framework in Framework::ALL {
+            let mut seq_join = build_algorithm(framework, IndexKind::L2, config);
+            let mut seq = run_stream(seq_join.as_mut(), &records);
+            let mut piped_join = build_algorithm(framework, IndexKind::L2, config);
+            let out = run_threaded(piped_join.as_mut(), records.clone(), 8);
+            let mut piped = out.pairs;
+            seq.sort_by_key(|p| p.key());
+            piped.sort_by_key(|p| p.key());
+            assert_eq!(seq.len(), piped.len(), "{framework}");
+            for (a, b) in seq.iter().zip(&piped) {
+                assert_eq!(a.key(), b.key(), "{framework}");
+            }
+            assert_eq!(out.stats.pairs_output, seq.len() as u64);
+        }
+    }
+
+    #[test]
+    fn tiny_queue_applies_backpressure_without_loss() {
+        let records = stream(200);
+        let config = SssjConfig::new(0.6, 0.02);
+        let mut join = build_algorithm(Framework::Streaming, IndexKind::L2, config);
+        let out = run_threaded(join.as_mut(), records.clone(), 1);
+        let mut seq_join = build_algorithm(Framework::Streaming, IndexKind::L2, config);
+        let seq = run_stream(seq_join.as_mut(), &records);
+        assert_eq!(out.pairs.len(), seq.len());
+    }
+
+    #[test]
+    fn empty_source_is_fine() {
+        let mut join =
+            build_algorithm(Framework::Streaming, IndexKind::L2, SssjConfig::new(0.5, 0.1));
+        let out = run_threaded(join.as_mut(), Vec::new(), 4);
+        assert!(out.pairs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "queue")]
+    fn zero_queue_rejected() {
+        let mut join =
+            build_algorithm(Framework::Streaming, IndexKind::L2, SssjConfig::new(0.5, 0.1));
+        run_threaded(join.as_mut(), Vec::new(), 0);
+    }
+}

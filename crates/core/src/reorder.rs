@@ -1,0 +1,372 @@
+//! Bounded-slack reordering for out-of-order streams.
+//!
+//! Every join in this crate requires records in non-decreasing timestamp
+//! order (the index prunes by "older than τ", so feeding it a record from
+//! the past would query already-truncated state). Real feeds are rarely
+//! perfectly ordered: multi-source ingestion, clock skew and retries all
+//! produce records that arrive a little late. [`ReorderBuffer`] sits in
+//! front of any [`StreamJoin`] and restores order, provided the disorder
+//! is bounded: a record may arrive late, but only by at most `slack` time
+//! units behind the newest timestamp seen so far.
+//!
+//! A record is *released* to the inner join once the watermark — the
+//! newest timestamp seen minus `slack` — passes its timestamp, so the
+//! buffer holds only the records inside one slack window and memory stays
+//! bounded. Records that lose the race anyway (they arrive with a
+//! timestamp older than the last released one) are *late*; [`ReorderBuffer::push`]
+//! reports them and the [`StreamJoin::process`] impl counts and drops
+//! them, which keeps the output a sound subset rather than corrupting the
+//! index.
+//!
+//! The guarantee, property-tested in this module: on any stream whose
+//! disorder is within `slack`, the buffered join produces exactly the
+//! pairs of the same join over the stably time-sorted stream.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use sssj_metrics::JoinStats;
+use sssj_types::{SimilarPair, StreamRecord};
+
+use crate::StreamJoin;
+
+/// A record waiting in the buffer, ordered by (timestamp, arrival rank)
+/// so that equal timestamps are released in arrival order — the same
+/// order a stable sort of the stream would produce.
+struct Pending {
+    t: f64,
+    seq: u64,
+    record: StreamRecord,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we pop oldest-first.
+        // Timestamps are validated finite at construction, so total order
+        // on the raw bits via total_cmp is safe and consistent with <.
+        other
+            .t
+            .total_cmp(&self.t)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A record rejected because it arrived later than `slack` allows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LateRecord {
+    /// The rejected record.
+    pub record: StreamRecord,
+    /// The timestamp of the newest record already released downstream;
+    /// the rejected record is older than this.
+    pub released_up_to: f64,
+}
+
+/// Buffers a slack-bounded out-of-order stream and feeds it, in
+/// timestamp order, to any inner [`StreamJoin`].
+///
+/// ```
+/// use sssj_core::{ReorderBuffer, SssjConfig, StreamJoin, Streaming};
+/// use sssj_index::IndexKind;
+/// use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
+///
+/// let inner = Streaming::new(SssjConfig::new(0.7, 0.1), IndexKind::L2);
+/// let mut join = ReorderBuffer::new(inner, 5.0);
+/// let mut out = Vec::new();
+/// // Timestamps 1.0 and 0.5 arrive swapped; the buffer fixes the order.
+/// for (id, t) in [(0u64, 1.0), (1, 0.5), (2, 9.0)] {
+///     let r = StreamRecord::new(id, Timestamp::new(t), unit_vector(&[(3, 1.0)]));
+///     join.process(&r, &mut out);
+/// }
+/// join.finish(&mut out);
+/// // Only (1,0) joins: record 2 is more than τ = ln(1/0.7)/0.1 ≈ 3.6 away.
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(join.late_dropped(), 0);
+/// ```
+pub struct ReorderBuffer<J> {
+    inner: J,
+    slack: f64,
+    heap: BinaryHeap<Pending>,
+    /// Newest timestamp seen on input; watermark = max_seen − slack.
+    max_seen: f64,
+    /// Timestamp of the newest record already handed to `inner`.
+    released_up_to: f64,
+    seq: u64,
+    late_dropped: u64,
+    peak_pending: usize,
+}
+
+impl<J: StreamJoin> ReorderBuffer<J> {
+    /// Wraps `inner`, tolerating records up to `slack` time units behind
+    /// the newest one seen. `slack = 0` admits only already-sorted input
+    /// (and passes records straight through).
+    pub fn new(inner: J, slack: f64) -> Self {
+        assert!(
+            slack.is_finite() && slack >= 0.0,
+            "slack must be finite and non-negative: {slack}"
+        );
+        ReorderBuffer {
+            inner,
+            slack,
+            heap: BinaryHeap::new(),
+            max_seen: f64::NEG_INFINITY,
+            released_up_to: f64::NEG_INFINITY,
+            seq: 0,
+            late_dropped: 0,
+            peak_pending: 0,
+        }
+    }
+
+    /// Accepts one record, appending any pairs completed by records this
+    /// arrival releases. Returns `Err` if the record is too late to be
+    /// processed in order (the stream violated the slack bound); the
+    /// record is *not* counted as dropped — the caller decides.
+    pub fn push(
+        &mut self,
+        record: &StreamRecord,
+        out: &mut Vec<SimilarPair>,
+    ) -> Result<(), LateRecord> {
+        let t = record.t.seconds();
+        if t < self.released_up_to {
+            return Err(LateRecord {
+                record: record.clone(),
+                released_up_to: self.released_up_to,
+            });
+        }
+        self.heap.push(Pending {
+            t,
+            seq: self.seq,
+            record: record.clone(),
+        });
+        self.seq += 1;
+        self.peak_pending = self.peak_pending.max(self.heap.len());
+        if t > self.max_seen {
+            self.max_seen = t;
+        }
+        let watermark = self.max_seen - self.slack;
+        while self.heap.peek().is_some_and(|p| p.t <= watermark) {
+            let p = self.heap.pop().expect("peeked");
+            self.released_up_to = p.t;
+            self.inner.process(&p.record, out);
+        }
+        Ok(())
+    }
+
+    /// The number of records currently buffered (not yet released).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The largest number of records ever buffered at once. Bounded by
+    /// the number of arrivals within one slack window.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Records dropped by [`StreamJoin::process`] because they were late.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// The reordering slack this buffer was built with.
+    pub fn slack(&self) -> f64 {
+        self.slack
+    }
+
+    /// The inner join (e.g. to inspect index state).
+    pub fn inner(&self) -> &J {
+        &self.inner
+    }
+
+    /// Consumes the buffer, flushing everything pending, and returns the
+    /// inner join together with any final output.
+    pub fn into_inner(mut self, out: &mut Vec<SimilarPair>) -> J {
+        self.drain(out);
+        self.inner.finish(out);
+        self.inner
+    }
+
+    fn drain(&mut self, out: &mut Vec<SimilarPair>) {
+        while let Some(p) = self.heap.pop() {
+            self.released_up_to = p.t;
+            self.inner.process(&p.record, out);
+        }
+    }
+}
+
+impl<J: StreamJoin> StreamJoin for ReorderBuffer<J> {
+    /// Like [`ReorderBuffer::push`], but drops late records (counted in
+    /// [`ReorderBuffer::late_dropped`]) instead of reporting them, so the
+    /// buffer can stand in anywhere a [`StreamJoin`] is expected.
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        if self.push(record, out).is_err() {
+            self.late_dropped += 1;
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimilarPair>) {
+        self.drain(out);
+        self.inner.finish(out);
+    }
+
+    fn stats(&self) -> JoinStats {
+        self.inner.stats()
+    }
+
+    fn live_postings(&self) -> u64 {
+        self.inner.live_postings()
+    }
+
+    fn name(&self) -> String {
+        format!("Reorder({})", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SssjConfig, Streaming};
+    use sssj_index::IndexKind;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn rec(id: u64, t: f64, dim: u32) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::new(t), unit_vector(&[(dim, 1.0)]))
+    }
+
+    fn join() -> Streaming {
+        Streaming::new(SssjConfig::new(0.7, 0.1), IndexKind::L2)
+    }
+
+    fn keys(pairs: &[SimilarPair]) -> Vec<(u64, u64)> {
+        let mut k: Vec<_> = pairs.iter().map(|p| p.key()).collect();
+        k.sort_unstable();
+        k
+    }
+
+    #[test]
+    fn sorted_stream_passes_through_with_zero_slack() {
+        let mut buffered = ReorderBuffer::new(join(), 0.0);
+        let mut direct = join();
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        for i in 0..20 {
+            let r = rec(i, i as f64 * 0.5, (i % 3) as u32);
+            buffered.process(&r, &mut got);
+            direct.process(&r, &mut want);
+        }
+        buffered.finish(&mut got);
+        direct.finish(&mut want);
+        assert_eq!(keys(&got), keys(&want));
+        assert_eq!(buffered.late_dropped(), 0);
+    }
+
+    #[test]
+    fn swapped_pair_is_fixed_within_slack() {
+        let mut buffered = ReorderBuffer::new(join(), 2.0);
+        let mut out = Vec::new();
+        buffered.process(&rec(0, 1.0, 7), &mut out);
+        buffered.process(&rec(1, 0.0, 7), &mut out); // 1.0 behind, within slack
+        buffered.finish(&mut out);
+        assert_eq!(keys(&out), vec![(0, 1)]);
+        assert_eq!(buffered.late_dropped(), 0);
+    }
+
+    #[test]
+    fn late_record_is_dropped_and_counted() {
+        let mut buffered = ReorderBuffer::new(join(), 1.0);
+        let mut out = Vec::new();
+        buffered.process(&rec(0, 0.0, 7), &mut out);
+        buffered.process(&rec(1, 10.0, 7), &mut out); // releases t=0 and t=10? no: watermark 9, releases t=0
+        buffered.process(&rec(2, 12.0, 7), &mut out); // releases t=10
+        assert_eq!(buffered.late_dropped(), 0);
+        // t=5 is older than the released t=10: must be rejected.
+        buffered.process(&rec(3, 5.0, 7), &mut out);
+        assert_eq!(buffered.late_dropped(), 1);
+        buffered.finish(&mut out);
+        // Only the (1,2) pair at Δt=2 survives; the dropped record joins nothing.
+        assert_eq!(keys(&out), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn push_reports_late_records_without_dropping() {
+        let mut buffered = ReorderBuffer::new(join(), 0.0);
+        let mut out = Vec::new();
+        buffered.push(&rec(0, 5.0, 1), &mut out).unwrap();
+        let err = buffered.push(&rec(1, 1.0, 1), &mut out).unwrap_err();
+        assert_eq!(err.record.id, 1);
+        assert_eq!(err.released_up_to, 5.0);
+        assert_eq!(buffered.late_dropped(), 0, "push does not count drops");
+    }
+
+    #[test]
+    fn equal_timestamps_release_in_arrival_order() {
+        // With λ=0 and identical vectors every pair joins; the pair ids
+        // must come out with the earlier-arrived record as `left`.
+        let mut buffered = ReorderBuffer::new(
+            Streaming::new(SssjConfig::new(0.5, 0.0), IndexKind::L2),
+            1.0,
+        );
+        let mut out = Vec::new();
+        for id in 0..3 {
+            buffered.process(&rec(id, 1.0, 4), &mut out);
+        }
+        buffered.finish(&mut out);
+        assert_eq!(keys(&out), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn pending_and_peak_track_buffer_occupancy() {
+        let mut buffered = ReorderBuffer::new(join(), 100.0);
+        let mut out = Vec::new();
+        for i in 0..5 {
+            buffered.process(&rec(i, i as f64, 1), &mut out);
+        }
+        assert_eq!(buffered.pending(), 5, "all within slack, none released");
+        assert_eq!(buffered.peak_pending(), 5);
+        buffered.process(&rec(5, 150.0, 1), &mut out);
+        assert!(buffered.pending() <= 2, "watermark 50 released the backlog");
+        buffered.finish(&mut out);
+        assert_eq!(buffered.pending(), 0);
+        assert_eq!(buffered.peak_pending(), 6);
+    }
+
+    #[test]
+    fn into_inner_flushes_and_returns_join() {
+        let mut buffered = ReorderBuffer::new(join(), 10.0);
+        let mut out = Vec::new();
+        buffered.process(&rec(0, 0.0, 2), &mut out);
+        buffered.process(&rec(1, 1.0, 2), &mut out);
+        assert!(out.is_empty(), "still buffered");
+        let inner = buffered.into_inner(&mut out);
+        assert_eq!(keys(&out), vec![(0, 1)]);
+        assert!(inner.name().starts_with("STR"));
+    }
+
+    #[test]
+    fn name_and_stats_delegate() {
+        let buffered = ReorderBuffer::new(join(), 1.0);
+        assert_eq!(buffered.name(), "Reorder(STR-L2)");
+        assert_eq!(buffered.stats().candidates, 0);
+        assert_eq!(buffered.live_postings(), 0);
+        assert_eq!(buffered.slack(), 1.0);
+        assert_eq!(buffered.inner().kind(), IndexKind::L2);
+    }
+
+    #[test]
+    #[should_panic(expected = "slack must be finite")]
+    fn negative_slack_rejected() {
+        let _ = ReorderBuffer::new(join(), -1.0);
+    }
+}

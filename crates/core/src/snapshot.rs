@@ -1,0 +1,657 @@
+//! Stop/resume support: snapshot a streaming join to bytes and restore
+//! it later with identical future output.
+//!
+//! The join's *output-relevant* state is a deterministic function of the
+//! records still inside the horizon `τ` — everything older can never pair
+//! again. A [`RecoverableJoin`] therefore wraps [`Streaming`] and retains
+//! the raw in-horizon records; [`RecoverableJoin::write_snapshot`]
+//! serialises the configuration, the AP running-max vector `m` (which
+//! alone accumulates beyond the horizon — it affects indexing decisions,
+//! not output) and the buffered records. [`read_snapshot`] rebuilds the
+//! join by replaying the buffer with output suppressed: those pairs were
+//! already reported before the snapshot.
+//!
+//! The guarantee is **output equivalence**, not bit-identical internal
+//! state: a restored join reports exactly the pairs the uninterrupted run
+//! would report from the resume point on (tested in
+//! `tests/snapshot_roundtrip.rs` against every index variant).
+//!
+//! Layout (all little-endian), hand-rolled like the dataset format in
+//! `sssj-data` — no serde, nothing to audit but this file:
+//!
+//! ```text
+//! magic   b"SSSJSNAP"           8 bytes
+//! version u8 = 1
+//! kind    u8 (0 INV, 1 AP, 2 L2AP, 3 L2)
+//! theta   f64
+//! lambda  f64
+//! m_len   u32                   entries of the max vector
+//! m       (u32 dim, f64 value) × m_len
+//! count   u64                   buffered in-horizon records
+//! record  repeated:
+//!   id    u64
+//!   t     f64
+//!   nnz   u32
+//!   dims  u32 × nnz (strictly increasing)
+//!   ws    f64 × nnz (positive, finite)
+//! ```
+//!
+//! Version 2 ([`RecoverableJoin::write_snapshot_compressed`]) keeps the
+//! same header through `lambda` and re-encodes the payload with
+//! delta+varint coding (see [`sssj_collections::varint`]): ids and
+//! timestamps are strictly/weakly increasing across the buffer and
+//! dimension ids are strictly increasing within a vector, so their deltas
+//! are small. Weights stay as raw `f64` bits — they are the quantities
+//! the output-equivalence guarantee rests on, and lossy coding would move
+//! pairs across the `θ` boundary. [`read_snapshot`] accepts both
+//! versions transparently.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+
+use sssj_collections::varint;
+use sssj_index::IndexKind;
+use sssj_metrics::JoinStats;
+use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
+
+use crate::algorithm::StreamJoin;
+use crate::config::SssjConfig;
+use crate::streaming::Streaming;
+
+const MAGIC: &[u8; 8] = b"SSSJSNAP";
+const VERSION: u8 = 1;
+const VERSION_COMPRESSED: u8 = 2;
+
+/// Largest dimension id a snapshot may carry. The join keeps one posting
+/// list slot per dimension, so an unbounded id from untrusted bytes
+/// would translate into an attacker-chosen allocation. 2²⁸ ≈ 268 M
+/// comfortably covers the paper's 10⁵–10⁶-dimensional corpora.
+const MAX_DIM: u32 = 1 << 28;
+
+/// Errors from restoring a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// I/O failure.
+    Io(io::Error),
+    /// Structural corruption or unsupported version.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io: {e}"),
+            SnapshotError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn kind_tag(kind: IndexKind) -> u8 {
+    match kind {
+        IndexKind::Inv => 0,
+        IndexKind::Ap => 1,
+        IndexKind::L2ap => 2,
+        IndexKind::L2 => 3,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Option<IndexKind> {
+    Some(match tag {
+        0 => IndexKind::Inv,
+        1 => IndexKind::Ap,
+        2 => IndexKind::L2ap,
+        3 => IndexKind::L2,
+        _ => return None,
+    })
+}
+
+/// A [`Streaming`] join that can be checkpointed.
+///
+/// Retains the raw records inside the horizon (the same asymptotic
+/// footprint the underlying index already pays) and otherwise behaves
+/// exactly like the wrapped join.
+///
+/// ```
+/// use sssj_core::{read_snapshot, RecoverableJoin, SssjConfig, StreamJoin};
+/// use sssj_index::IndexKind;
+/// use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
+///
+/// let config = SssjConfig::new(0.7, 0.1);
+/// let mut join = RecoverableJoin::new(config, IndexKind::L2);
+/// let mut out = Vec::new();
+/// join.process(
+///     &StreamRecord::new(0, Timestamp::new(0.0), unit_vector(&[(1, 1.0)])),
+///     &mut out,
+/// );
+///
+/// let mut bytes = Vec::new();
+/// join.write_snapshot(&mut bytes).unwrap();
+/// let mut restored = read_snapshot(&bytes[..]).unwrap();
+///
+/// // The restored join finds the pair with the pre-snapshot record.
+/// restored.process(
+///     &StreamRecord::new(1, Timestamp::new(1.0), unit_vector(&[(1, 1.0)])),
+///     &mut out,
+/// );
+/// assert_eq!(out.len(), 1);
+/// ```
+pub struct RecoverableJoin {
+    join: Streaming,
+    config: SssjConfig,
+    kind: IndexKind,
+    tau: f64,
+    buffer: VecDeque<StreamRecord>,
+}
+
+impl RecoverableJoin {
+    /// Creates a checkpointable STR join.
+    pub fn new(config: SssjConfig, kind: IndexKind) -> Self {
+        RecoverableJoin {
+            join: Streaming::new(config, kind),
+            config,
+            kind,
+            tau: config.tau(),
+            buffer: VecDeque::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SssjConfig {
+        self.config
+    }
+
+    /// The index variant.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Records currently buffered for snapshotting (the in-horizon set).
+    pub fn buffered_records(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Serialises the join state. The join remains usable afterwards.
+    pub fn write_snapshot<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&[VERSION, kind_tag(self.kind)])?;
+        w.write_all(&self.config.theta.to_le_bytes())?;
+        w.write_all(&self.config.lambda.to_le_bytes())?;
+        let m = self.join.max_entries();
+        w.write_all(&(m.len() as u32).to_le_bytes())?;
+        for (dim, v) in m {
+            w.write_all(&dim.to_le_bytes())?;
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&(self.buffer.len() as u64).to_le_bytes())?;
+        for r in &self.buffer {
+            w.write_all(&r.id.to_le_bytes())?;
+            w.write_all(&r.t.seconds().to_le_bytes())?;
+            w.write_all(&(r.vector.nnz() as u32).to_le_bytes())?;
+            for &d in r.vector.dims() {
+                w.write_all(&d.to_le_bytes())?;
+            }
+            for &x in r.vector.weights() {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises the join state in the delta+varint format (version 2).
+    ///
+    /// Typically 25–45 % smaller than [`RecoverableJoin::write_snapshot`]
+    /// on sparse high-dimensional streams (ids, counts and dimension ids
+    /// shrink to 1–2 bytes each; weights stay exact). [`read_snapshot`]
+    /// reads either format.
+    pub fn write_snapshot_compressed<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION_COMPRESSED);
+        out.push(kind_tag(self.kind));
+        out.extend_from_slice(&self.config.theta.to_le_bytes());
+        out.extend_from_slice(&self.config.lambda.to_le_bytes());
+
+        let mut m = self.join.max_entries();
+        m.sort_unstable_by_key(|&(d, _)| d);
+        varint::write_u64(m.len() as u64, &mut out);
+        let mut prev_dim = 0u64;
+        for (dim, v) in m {
+            // Strictly increasing after the sort: delta-1 except the first.
+            let delta = dim as u64 - prev_dim;
+            varint::write_u64(delta, &mut out);
+            prev_dim = dim as u64 + 1;
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+
+        varint::write_u64(self.buffer.len() as u64, &mut out);
+        let mut prev_id = 0u64;
+        let mut prev_t_bits = 0u64;
+        for r in &self.buffer {
+            varint::write_i64(r.id.wrapping_sub(prev_id) as i64, &mut out);
+            prev_id = r.id;
+            let t_bits = r.t.seconds().to_bits();
+            varint::write_i64(t_bits.wrapping_sub(prev_t_bits) as i64, &mut out);
+            prev_t_bits = t_bits;
+            varint::write_u64(r.vector.nnz() as u64, &mut out);
+            let mut prev = 0u64;
+            for &d in r.vector.dims() {
+                varint::write_u64(d as u64 - prev, &mut out);
+                prev = d as u64 + 1;
+            }
+            for &x in r.vector.weights() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        w.write_all(&out)
+    }
+}
+
+impl StreamJoin for RecoverableJoin {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        let now = record.t.seconds();
+        while let Some(front) = self.buffer.front() {
+            if now - front.t.seconds() > self.tau {
+                self.buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.buffer.push_back(record.clone());
+        self.join.process(record, out);
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimilarPair>) {
+        self.join.finish(out);
+    }
+
+    fn stats(&self) -> JoinStats {
+        self.join.stats()
+    }
+
+    fn live_postings(&self) -> u64 {
+        self.join.live_postings()
+    }
+
+    fn name(&self) -> String {
+        self.join.name()
+    }
+}
+
+fn read_exact<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Restores a join from a snapshot written by
+/// [`RecoverableJoin::write_snapshot`].
+///
+/// Validates every structural invariant, so corrupted input yields
+/// [`SnapshotError::Corrupt`] rather than a malformed join.
+pub fn read_snapshot<R: Read>(mut r: R) -> Result<RecoverableJoin, SnapshotError> {
+    let magic = read_exact::<_, 8>(&mut r)?;
+    if &magic != MAGIC {
+        return Err(SnapshotError::Corrupt("bad magic".into()));
+    }
+    let [version, kind_tag] = read_exact::<_, 2>(&mut r)?;
+    if version != VERSION && version != VERSION_COMPRESSED {
+        return Err(SnapshotError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let kind = kind_from_tag(kind_tag)
+        .ok_or_else(|| SnapshotError::Corrupt(format!("unknown index kind {kind_tag}")))?;
+    let theta = f64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+    let lambda = f64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+    if !(theta > 0.0 && theta <= 1.0 && lambda.is_finite() && lambda >= 0.0) {
+        return Err(SnapshotError::Corrupt(format!(
+            "invalid parameters θ={theta} λ={lambda}"
+        )));
+    }
+    let config = SssjConfig::new(theta, lambda);
+    let mut restored = RecoverableJoin::new(config, kind);
+
+    if version == VERSION_COMPRESSED {
+        read_compressed_body(&mut r, &mut restored)?;
+        return Ok(restored);
+    }
+
+    let m_len = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
+    let mut maxima = Vec::with_capacity((m_len as usize).min(65_536));
+    for _ in 0..m_len {
+        let dim = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
+        if dim > MAX_DIM {
+            return Err(SnapshotError::Corrupt(format!("dimension {dim} too large")));
+        }
+        let v = f64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+        if !v.is_finite() || v <= 0.0 || v > 1.0 + 1e-9 {
+            return Err(SnapshotError::Corrupt(format!("invalid max value {v}")));
+        }
+        maxima.push((dim, v));
+    }
+    restored.join.seed_max(maxima);
+
+    let count = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+    if count > u32::MAX as u64 {
+        return Err(SnapshotError::Corrupt(format!("absurd record count {count}")));
+    }
+    let mut suppressed = Vec::new();
+    let mut prev_t = f64::NEG_INFINITY;
+    for _ in 0..count {
+        let id = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+        let t = f64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+        if !t.is_finite() || t < prev_t {
+            return Err(SnapshotError::Corrupt(format!("bad timestamp {t}")));
+        }
+        prev_t = t;
+        let nnz = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
+        let mut dims = Vec::with_capacity((nnz as usize).min(65_536));
+        let mut prev_dim = None;
+        for _ in 0..nnz {
+            let d = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
+            if d > MAX_DIM {
+                return Err(SnapshotError::Corrupt(format!("dimension {d} too large")));
+            }
+            if prev_dim.is_some_and(|p| d <= p) {
+                return Err(SnapshotError::Corrupt("dims not increasing".into()));
+            }
+            prev_dim = Some(d);
+            dims.push(d);
+        }
+        // Never pre-allocate from an untrusted count: a corrupted nnz
+        // must hit EOF, not an out-of-memory abort.
+        let mut b = SparseVectorBuilder::with_capacity((nnz as usize).min(65_536));
+        for d in dims {
+            let x = f64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+            // Stored vectors are unit-normalised, so no coordinate can
+            // legitimately exceed 1.
+            if !x.is_finite() || x <= 0.0 || x > 1.0 + 1e-9 {
+                return Err(SnapshotError::Corrupt(format!("bad weight {x}")));
+            }
+            b.push(d, x);
+        }
+        let vector = b
+            .build()
+            .map_err(|e| SnapshotError::Corrupt(format!("bad vector: {e}")))?;
+        let record = StreamRecord::new(id, Timestamp::new(t), vector);
+        // Replay with output suppressed: these pairs were reported
+        // before the snapshot was taken.
+        restored.process(&record, &mut suppressed);
+        suppressed.clear();
+    }
+    Ok(restored)
+}
+
+/// A slice cursor for the varint-coded version-2 body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn corrupt(what: &str) -> SnapshotError {
+        SnapshotError::Corrupt(what.to_string())
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let (v, n) = varint::read_u64(&self.buf[self.pos..])
+            .map_err(|e| SnapshotError::Corrupt(format!("varint: {e}")))?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        let (v, n) = varint::read_i64(&self.buf[self.pos..])
+            .map_err(|e| SnapshotError::Corrupt(format!("varint: {e}")))?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Self::corrupt("truncated f64"))?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(f64::from_le_bytes(b))
+    }
+}
+
+/// Decodes the version-2 (delta+varint) body and replays the buffer into
+/// `restored`, applying the same validation as the version-1 path.
+fn read_compressed_body<R: Read>(
+    r: &mut R,
+    restored: &mut RecoverableJoin,
+) -> Result<(), SnapshotError> {
+    let mut body = Vec::new();
+    r.read_to_end(&mut body)?;
+    let mut c = Cursor { buf: &body, pos: 0 };
+
+    let m_len = c.u64()?;
+    if m_len > MAX_DIM as u64 {
+        return Err(SnapshotError::Corrupt(format!("absurd m length {m_len}")));
+    }
+    let mut maxima = Vec::with_capacity((m_len as usize).min(65_536));
+    let mut prev_dim = 0u64;
+    for _ in 0..m_len {
+        let dim = prev_dim + c.u64()?;
+        if dim > MAX_DIM as u64 {
+            return Err(SnapshotError::Corrupt(format!("dimension {dim} too large")));
+        }
+        prev_dim = dim + 1;
+        let v = c.f64()?;
+        if !v.is_finite() || v <= 0.0 || v > 1.0 + 1e-9 {
+            return Err(SnapshotError::Corrupt(format!("invalid max value {v}")));
+        }
+        maxima.push((dim as u32, v));
+    }
+    restored.join.seed_max(maxima);
+
+    let count = c.u64()?;
+    if count > u32::MAX as u64 {
+        return Err(SnapshotError::Corrupt(format!("absurd record count {count}")));
+    }
+    let mut suppressed = Vec::new();
+    let mut prev_id = 0u64;
+    let mut prev_t_bits = 0u64;
+    let mut prev_t = f64::NEG_INFINITY;
+    for _ in 0..count {
+        let id = prev_id.wrapping_add(c.i64()? as u64);
+        prev_id = id;
+        let t_bits = prev_t_bits.wrapping_add(c.i64()? as u64);
+        prev_t_bits = t_bits;
+        let t = f64::from_bits(t_bits);
+        if !t.is_finite() || t < prev_t {
+            return Err(SnapshotError::Corrupt(format!("bad timestamp {t}")));
+        }
+        prev_t = t;
+        let nnz = c.u64()?;
+        if nnz > MAX_DIM as u64 {
+            return Err(SnapshotError::Corrupt(format!("absurd nnz {nnz}")));
+        }
+        // Never pre-allocate from an untrusted count (see the v1 path).
+        let mut b = SparseVectorBuilder::with_capacity((nnz as usize).min(65_536));
+        let mut dims = Vec::with_capacity((nnz as usize).min(65_536));
+        let mut prev = 0u64;
+        for _ in 0..nnz {
+            let d = prev + c.u64()?;
+            if d > MAX_DIM as u64 {
+                return Err(SnapshotError::Corrupt(format!("dimension {d} too large")));
+            }
+            prev = d + 1;
+            dims.push(d as u32);
+        }
+        for d in dims {
+            let x = c.f64()?;
+            if !x.is_finite() || x <= 0.0 || x > 1.0 + 1e-9 {
+                return Err(SnapshotError::Corrupt(format!("bad weight {x}")));
+            }
+            b.push(d, x);
+        }
+        let vector = b
+            .build()
+            .map_err(|e| SnapshotError::Corrupt(format!("bad vector: {e}")))?;
+        let record = StreamRecord::new(id, Timestamp::new(t), vector);
+        restored.process(&record, &mut suppressed);
+        suppressed.clear();
+    }
+    if c.pos != body.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes",
+            body.len() - c.pos
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::vector::unit_vector;
+
+    fn rec(id: u64, t: f64, entries: &[(u32, f64)]) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::new(t), unit_vector(entries))
+    }
+
+    #[test]
+    fn buffer_tracks_horizon() {
+        let mut j = RecoverableJoin::new(SssjConfig::new(0.5, 1.0), IndexKind::L2); // τ≈0.69
+        let mut out = Vec::new();
+        for i in 0..20 {
+            j.process(&rec(i, i as f64, &[(1, 1.0)]), &mut out);
+        }
+        assert!(j.buffered_records() <= 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_config() {
+        let j = RecoverableJoin::new(SssjConfig::new(0.8, 0.05), IndexKind::L2ap);
+        let mut bytes = Vec::new();
+        j.write_snapshot(&mut bytes).unwrap();
+        let r = read_snapshot(&bytes[..]).unwrap();
+        assert_eq!(r.config(), SssjConfig::new(0.8, 0.05));
+        assert_eq!(r.kind(), IndexKind::L2ap);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let mut j = RecoverableJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2);
+        let mut out = Vec::new();
+        j.process(&rec(0, 0.0, &[(1, 1.0), (3, 0.5)]), &mut out);
+        let mut bytes = Vec::new();
+        j.write_snapshot(&mut bytes).unwrap();
+        for cut in [0, 4, 9, 17, bytes.len() - 1] {
+            assert!(
+                read_snapshot(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let mut bytes = Vec::new();
+        RecoverableJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2)
+            .write_snapshot(&mut bytes)
+            .unwrap();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            read_snapshot(&bytes[..]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn compressed_roundtrip_preserves_config_and_state() {
+        let mut j = RecoverableJoin::new(SssjConfig::new(0.6, 0.05), IndexKind::L2ap);
+        let mut out = Vec::new();
+        for i in 0..10 {
+            j.process(&rec(i, i as f64, &[(2 * i as u32, 1.0), (100, 0.4)]), &mut out);
+        }
+        let mut bytes = Vec::new();
+        j.write_snapshot_compressed(&mut bytes).unwrap();
+        let r = read_snapshot(&bytes[..]).unwrap();
+        assert_eq!(r.config(), SssjConfig::new(0.6, 0.05));
+        assert_eq!(r.kind(), IndexKind::L2ap);
+        assert_eq!(r.buffered_records(), j.buffered_records());
+    }
+
+    #[test]
+    fn compressed_is_smaller_on_realistic_buffers() {
+        let mut j = RecoverableJoin::new(SssjConfig::new(0.5, 0.001), IndexKind::L2);
+        let mut out = Vec::new();
+        // Sparse vectors with small dims and dense ids, like a real feed.
+        for i in 0..200u64 {
+            let dims: Vec<(u32, f64)> = (0..8)
+                .map(|k| ((i as u32 * 7 + k * 13) % 5000, 0.2 + 0.1 * k as f64))
+                .collect();
+            j.process(&rec(i, i as f64 * 0.5, &dims), &mut out);
+        }
+        let (mut raw, mut compressed) = (Vec::new(), Vec::new());
+        j.write_snapshot(&mut raw).unwrap();
+        j.write_snapshot_compressed(&mut compressed).unwrap();
+        assert!(
+            (compressed.len() as f64) < 0.8 * raw.len() as f64,
+            "compressed {} vs raw {}: expected ≥20 % saving",
+            compressed.len(),
+            raw.len()
+        );
+    }
+
+    #[test]
+    fn compressed_truncations_are_rejected() {
+        let mut j = RecoverableJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2);
+        let mut out = Vec::new();
+        j.process(&rec(0, 0.0, &[(1, 1.0), (30, 0.5)]), &mut out);
+        j.process(&rec(1, 0.5, &[(1, 0.7), (31, 0.9)]), &mut out);
+        let mut bytes = Vec::new();
+        j.write_snapshot_compressed(&mut bytes).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                read_snapshot(&bytes[..cut]).is_err(),
+                "truncation at {cut}/{} must fail",
+                bytes.len()
+            );
+        }
+        // Trailing garbage is detected too.
+        bytes.push(0x00);
+        assert!(read_snapshot(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn compressed_bitflips_never_panic() {
+        let mut j = RecoverableJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2);
+        let mut out = Vec::new();
+        for i in 0..5 {
+            j.process(&rec(i, i as f64, &[(i as u32, 1.0), (99, 0.3)]), &mut out);
+        }
+        let mut bytes = Vec::new();
+        j.write_snapshot_compressed(&mut bytes).unwrap();
+        for pos in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 0x41;
+            let _ = read_snapshot(&corrupted[..]); // any Result, no panic
+        }
+    }
+
+    #[test]
+    fn bad_kind_tag_rejected() {
+        let mut bytes = Vec::new();
+        RecoverableJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2)
+            .write_snapshot(&mut bytes)
+            .unwrap();
+        bytes[9] = 42;
+        assert!(read_snapshot(&bytes[..]).is_err());
+    }
+}

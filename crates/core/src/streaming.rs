@@ -1,0 +1,688 @@
+//! The STR framework (Algorithms 5–8): a single streaming index with time
+//! filtering built into every phase.
+
+use sssj_collections::{CircularBuffer, DecayedMaxVec, LinkedHashMap, MaxVector, ScoreAccumulator};
+use sssj_metrics::JoinStats;
+use sssj_types::{
+    dot, prefix_norms, Decay, SimilarPair, SparseVector, StreamRecord, VectorId, VectorSummary,
+    Weight,
+};
+
+use sssj_index::{BoundPolicy, IndexKind};
+
+use crate::algorithm::StreamJoin;
+use crate::config::SssjConfig;
+
+/// Float guard for threshold comparisons: pruning tests are slackened by
+/// this amount (prune *less*), so accumulated rounding can never cause a
+/// false negative; the final exact check still uses the true `θ`.
+const PRUNE_EPS: f64 = 1e-12;
+
+/// A streaming posting entry: the L2AP triple plus the arrival time that
+/// time filtering keys on.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct StreamEntry {
+    id: VectorId,
+    weight: Weight,
+    /// ‖y′_j‖ — prefix norm strictly before this coordinate.
+    prefix_norm: Weight,
+    /// Arrival time of the owning vector, in seconds.
+    t: f64,
+}
+
+/// Per-vector state kept while the vector is inside the horizon: the
+/// residual `R[ι(y)]`, the `Q[ι(y)]` bound, summaries and the timestamp.
+#[derive(Clone, Debug, Default)]
+struct StreamMeta {
+    residual: SparseVector,
+    residual_summary: VectorSummary,
+    summary: VectorSummary,
+    q: f64,
+    t: f64,
+}
+
+/// STR-IDX: the streaming similarity self-join with index `IDX`
+/// (Algorithm 5).
+///
+/// For each arriving vector the index is queried (candidate generation +
+/// verification, with every bound decayed by `e^{-λΔt}`) and the vector is
+/// then inserted. Time filtering works differently per variant:
+///
+/// * **STR-INV / STR-L2** — posting lists stay time-ordered, so candidate
+///   generation scans them *backwards* from the newest entry, stops at the
+///   first entry beyond the horizon and truncates everything older in
+///   O(1) (§6.2).
+/// * **STR-L2AP** — the `b1` bound consults the running max vector `m`;
+///   when a new arrival raises `m`, the prefix-filtering invariant breaks
+///   and affected residuals are *re-indexed* (§5.3), which appends
+///   out-of-order entries. Lists are therefore scanned *forwards*,
+///   dropping expired entries as they are met.
+pub struct Streaming {
+    config: SssjConfig,
+    kind: IndexKind,
+    policy: BoundPolicy,
+    decay: Decay,
+    tau: f64,
+    /// Whether posting lists are guaranteed time-ordered (no re-indexing).
+    time_ordered: bool,
+    lists: Vec<CircularBuffer<StreamEntry>>,
+    /// Residual direct index `R` + `Q`, in arrival order for O(1) pruning.
+    residual: LinkedHashMap<VectorId, StreamMeta>,
+    /// Running max `m` over the stream so far (AP bounds only).
+    m: MaxVector,
+    /// Decayed max `m̂λ` over indexed vectors (AP bounds only).
+    mhat_lambda: DecayedMaxVec,
+    /// Dim → candidate residual owners, for targeted re-indexing.
+    residual_inverted: Vec<Vec<VectorId>>,
+    acc: ScoreAccumulator,
+    live_postings: u64,
+    stats: JoinStats,
+    scratch_hits: Vec<(VectorId, f64, f64)>,
+}
+
+impl Streaming {
+    /// Creates an STR join with the given index variant.
+    pub fn new(config: SssjConfig, kind: IndexKind) -> Self {
+        let policy = kind.policy();
+        Streaming {
+            config,
+            kind,
+            policy,
+            decay: config.decay(),
+            tau: config.tau(),
+            time_ordered: !policy.ap,
+            lists: Vec::new(),
+            residual: LinkedHashMap::new(),
+            m: MaxVector::new(),
+            mhat_lambda: DecayedMaxVec::new(config.lambda),
+            residual_inverted: Vec::new(),
+            acc: ScoreAccumulator::new(),
+            live_postings: 0,
+            stats: JoinStats::new(),
+            scratch_hits: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SssjConfig {
+        self.config
+    }
+
+    /// The index variant.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Estimated heap footprint of the live join state, in bytes.
+    ///
+    /// Counts posting-list *capacities* (what is actually allocated, not
+    /// just occupied), the residual direct index `R` with its sparse
+    /// vectors, the `m`/`m̂λ` max vectors, the re-indexing inverted index
+    /// and the scratch structures. The per-entry overheads of the hash
+    /// map are approximated by a constant, so treat the result as an
+    /// estimate good to ~10 %, not an allocator-exact figure.
+    ///
+    /// Cost is O(live state) — sample it periodically (the `harness
+    /// memory` experiment samples every 64 records), not per record.
+    pub fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        // Hash-map node + slot overhead per residual entry (two u64
+        // links, one hash slot, allocator rounding).
+        const MAP_OVERHEAD: u64 = 48;
+        let mut bytes = 0u64;
+        bytes += self
+            .lists
+            .iter()
+            .map(|l| l.capacity() as u64)
+            .sum::<u64>()
+            * size_of::<StreamEntry>() as u64;
+        bytes += self.lists.capacity() as u64 * size_of::<CircularBuffer<StreamEntry>>() as u64;
+        for (_, meta) in self.residual.iter() {
+            bytes += size_of::<StreamMeta>() as u64 + MAP_OVERHEAD;
+            // Residual sparse vector: u32 dim + f64 weight per coordinate.
+            bytes += meta.residual.nnz() as u64 * 12;
+        }
+        bytes += self.m.dims() as u64 * 8;
+        bytes += self.mhat_lambda.dims() as u64 * 16;
+        bytes += self
+            .residual_inverted
+            .iter()
+            .map(|v| v.capacity() as u64 * 8 + size_of::<Vec<VectorId>>() as u64)
+            .sum::<u64>();
+        bytes += self.acc.capacity() as u64 * (8 + 8 + 4);
+        bytes += self.scratch_hits.capacity() as u64
+            * size_of::<(VectorId, f64, f64)>() as u64;
+        bytes
+    }
+
+    /// Drops residual state for vectors beyond the horizon relative to
+    /// `now`. Posting entries are pruned lazily during scans instead.
+    fn prune_residuals(&mut self, now: f64) {
+        while let Some((_, meta)) = self.residual.front() {
+            if now - meta.t > self.tau {
+                self.residual.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Candidate generation (Algorithm 7).
+    fn candidate_generation(&mut self, x: &SparseVector, now: f64) {
+        self.acc.clear();
+        let theta = self.config.theta;
+        let theta_slack = theta - PRUNE_EPS;
+        let policy = self.policy;
+        let tau = self.tau;
+        let lambda = self.config.lambda;
+        let xnorms = prefix_norms(x);
+
+        let summary = VectorSummary::of(x);
+        let sz1 = if policy.ap && summary.max_weight > 0.0 {
+            theta / summary.max_weight
+        } else {
+            0.0
+        };
+        // rs1 = dot(x, m̂λ(now)): already time-aware per coordinate.
+        let mut rs1 = if policy.ap {
+            x.iter()
+                .map(|(d, w)| w * self.mhat_lambda.get(d, now))
+                .sum::<f64>()
+        } else {
+            f64::INFINITY
+        };
+        let mut rst: f64 = 1.0;
+        let mut rs2 = if policy.l2 { 1.0 } else { f64::INFINITY };
+
+        let lists = &mut self.lists;
+        let residual = &self.residual;
+        let acc = &mut self.acc;
+        let stats = &mut self.stats;
+        let live = &mut self.live_postings;
+        let mhat_lambda = &self.mhat_lambda;
+
+        for (pos, (dim, xj)) in x.iter().enumerate().rev() {
+            if let Some(list) = lists.get_mut(dim as usize) {
+                let xnorm_before = xnorms[pos];
+                let mut process = |e: &StreamEntry, dt: f64| {
+                    if policy.ap {
+                        match residual.get(&e.id) {
+                            Some(meta) => {
+                                let s = &meta.summary;
+                                if (s.nnz as f64) * s.max_weight < sz1 {
+                                    return;
+                                }
+                            }
+                            // Residual metadata is pruned at the same
+                            // horizon as entries; a missing entry means
+                            // the vector just expired.
+                            None => return,
+                        }
+                    }
+                    let df = (-lambda * dt).exp();
+                    let remscore = rs1.min(rs2 * df);
+                    let current = acc.get(e.id);
+                    if current > 0.0 || remscore >= theta_slack {
+                        if current == 0.0 {
+                            stats.candidates += 1;
+                        }
+                        let new = acc.add(e.id, xj * e.weight);
+                        if policy.l2 {
+                            let l2bound = new + xnorm_before * e.prefix_norm * df;
+                            if l2bound < theta_slack {
+                                acc.zero(e.id);
+                            }
+                        }
+                    }
+                };
+                if self.time_ordered {
+                    // Backward scan: newest first; stop at the horizon and
+                    // truncate everything older.
+                    let len = list.len();
+                    let mut cut = 0;
+                    for i in (0..len).rev() {
+                        let e = *list.get(i).expect("index in range");
+                        let dt = now - e.t;
+                        if dt > tau {
+                            cut = i + 1;
+                            break;
+                        }
+                        stats.entries_traversed += 1;
+                        process(&e, dt);
+                    }
+                    if cut > 0 {
+                        list.truncate_front(cut);
+                        stats.entries_pruned += cut as u64;
+                        *live -= cut as u64;
+                    }
+                } else {
+                    // Forward scan with in-place compaction (out-of-order
+                    // lists cannot early-stop).
+                    let removed = list.retain(|e| {
+                        // Expired entries still cost a traversal here —
+                        // the price of losing time order to re-indexing,
+                        // which is why L2AP's traversal count can exceed
+                        // INV's at short horizons (Figure 6).
+                        stats.entries_traversed += 1;
+                        let dt = now - e.t;
+                        if dt > tau {
+                            false
+                        } else {
+                            process(e, dt);
+                            true
+                        }
+                    });
+                    stats.entries_pruned += removed as u64;
+                    *live -= removed as u64;
+                }
+            }
+            if policy.ap {
+                rs1 -= xj * mhat_lambda.get(dim, now);
+            }
+            if policy.l2 {
+                rst -= xj * xj;
+                rs2 = rst.max(0.0).sqrt();
+            }
+        }
+    }
+
+    /// Candidate verification (Algorithm 8).
+    fn candidate_verification(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        let theta = self.config.theta;
+        let theta_slack = theta - PRUNE_EPS;
+        let policy = self.policy;
+        let x = &record.vector;
+        let now = record.t.seconds();
+        let sx = VectorSummary::of(x);
+        self.scratch_hits.clear();
+
+        for (id, c) in self.acc.iter() {
+            if c <= 0.0 {
+                continue;
+            }
+            let Some(meta) = self.residual.get(&id) else {
+                continue;
+            };
+            let dt = now - meta.t;
+            let df = self.decay.factor(dt.max(0.0));
+            if policy.prunes() && (c + meta.q) * df < theta_slack {
+                continue;
+            }
+            if policy.ap {
+                let r = &meta.residual_summary;
+                let ds1 = (c + (sx.max_weight * r.sum).min(r.max_weight * sx.sum)) * df;
+                let sz2 = (c + (sx.nnz.min(r.nnz) as f64) * sx.max_weight * r.max_weight) * df;
+                if ds1 < theta_slack || sz2 < theta_slack {
+                    continue;
+                }
+            }
+            self.stats.full_sims += 1;
+            let sim = (c + dot(x, &meta.residual)) * df;
+            if sim >= theta {
+                self.scratch_hits.push((id, sim, dt));
+            }
+        }
+        for &(id, sim, _) in &self.scratch_hits {
+            self.stats.pairs_output += 1;
+            out.push(SimilarPair::new(id, record.id, sim));
+        }
+    }
+
+    /// Replays the index-construction bounds over a residual prefix with
+    /// the current `m`. Returns `(boundary, q)`: the position where
+    /// indexing must (re)start, or `None` when the whole prefix stays
+    /// below θ, together with the updated `Q` bound.
+    fn replay_boundary(&self, residual: &SparseVector) -> (Option<usize>, f64) {
+        let theta_slack = self.config.theta - PRUNE_EPS;
+        let policy = self.policy;
+        let mut b1: f64 = 0.0;
+        let mut bt: f64 = 0.0;
+        for (pos, (dim, w)) in residual.iter().enumerate() {
+            let pscore = policy.combine(b1, bt.sqrt()).min(1.0);
+            if policy.ap {
+                b1 += w * self.m.get(dim);
+            }
+            if policy.l2 {
+                bt += w * w;
+            }
+            if policy.combine(b1, bt.sqrt()) >= theta_slack {
+                return (Some(pos), pscore);
+            }
+        }
+        (None, policy.combine(b1, bt.sqrt()).min(1.0))
+    }
+
+    /// Appends posting entries for `residual[boundary..]` of vector `id`
+    /// at time `t`, returning how many entries were written.
+    fn index_suffix(
+        &mut self,
+        id: VectorId,
+        residual: &SparseVector,
+        boundary: usize,
+        t: f64,
+    ) -> u64 {
+        let norms = prefix_norms(residual);
+        let mut added = 0;
+        for (pos, (dim, w)) in residual.iter().enumerate().skip(boundary) {
+            let d = dim as usize;
+            if d >= self.lists.len() {
+                self.lists.resize_with(d + 1, CircularBuffer::new);
+            }
+            self.lists[d].push_back(StreamEntry {
+                id,
+                weight: w,
+                prefix_norm: norms[pos],
+                t,
+            });
+            added += 1;
+        }
+        self.live_postings += added;
+        self.stats.postings_added += added;
+        added
+    }
+
+    /// Re-indexes residuals with support on `dim` after `m[dim]` grew
+    /// (§5.3). Out-of-order appends; updates `R` and `Q`.
+    fn reindex_dim(&mut self, dim: u32) {
+        let d = dim as usize;
+        if d >= self.residual_inverted.len() {
+            return;
+        }
+        let ids = std::mem::take(&mut self.residual_inverted[d]);
+        let mut keep = Vec::new();
+        for id in ids {
+            let Some(meta) = self.residual.get(&id) else {
+                continue; // expired
+            };
+            if meta.residual.get(dim) == 0.0 {
+                continue; // already re-indexed past this dimension
+            }
+            let residual = meta.residual.clone();
+            let t = meta.t;
+            let (boundary, q) = self.replay_boundary(&residual);
+            match boundary {
+                Some(p) => {
+                    let added = self.index_suffix(id, &residual, p, t);
+                    self.stats.reindexed_vectors += 1;
+                    self.stats.reindexed_postings += added;
+                    let new_residual = residual.prefix(p);
+                    let still_has_dim = new_residual.get(dim) != 0.0;
+                    let meta = self.residual.get_mut(&id).expect("checked above");
+                    meta.residual_summary = VectorSummary::of(&new_residual);
+                    meta.residual = new_residual;
+                    meta.q = q;
+                    if still_has_dim {
+                        keep.push(id);
+                    }
+                }
+                None => {
+                    // Bound still below θ: residual unchanged, but Q must
+                    // be refreshed for the grown m.
+                    let meta = self.residual.get_mut(&id).expect("checked above");
+                    meta.q = q;
+                    keep.push(id);
+                }
+            }
+        }
+        self.residual_inverted[d] = keep;
+    }
+
+    /// Index construction for the arriving vector (Algorithm 6; `m` was
+    /// already updated before candidate generation).
+    fn insert(&mut self, record: &StreamRecord) {
+        let x = &record.vector;
+        if x.is_empty() {
+            return;
+        }
+        let t = record.t.seconds();
+        let (boundary, q) = self.replay_boundary(x);
+        let indexed_any = boundary.is_some();
+        if let Some(p) = boundary {
+            self.index_suffix(record.id, x, p, t);
+        }
+        if self.policy.ap {
+            // m̂λ covers the full vector (residual included), as rs1 bounds
+            // the dot against whole indexed vectors.
+            for (dim, w) in x.iter() {
+                self.mhat_lambda.update(dim, t, w);
+            }
+        }
+        // A fully-unindexed vector must still be tracked when AP bounds
+        // are active: a later growth of m can make it indexable.
+        if !indexed_any && !self.policy.ap {
+            return;
+        }
+        let residual = x.prefix(boundary.unwrap_or(x.nnz()));
+        self.stats.residual_coords += residual.nnz() as u64;
+        if self.policy.ap {
+            for (dim, _) in residual.iter() {
+                let d = dim as usize;
+                if d >= self.residual_inverted.len() {
+                    self.residual_inverted.resize_with(d + 1, Vec::new);
+                }
+                self.residual_inverted[d].push(record.id);
+            }
+        }
+        self.residual.insert(
+            record.id,
+            StreamMeta {
+                residual_summary: VectorSummary::of(&residual),
+                residual,
+                summary: VectorSummary::of(x),
+                q,
+                t,
+            },
+        );
+        self.stats.observe_postings(self.live_postings);
+    }
+}
+
+impl Streaming {
+    /// The query half of [`StreamJoin::process`]: reports pairs between
+    /// `record` and the vectors currently indexed, *without* inserting
+    /// `record`.
+    ///
+    /// Together with [`Streaming::insert_record`] this decomposes the
+    /// join for sharded execution (`sssj-parallel`): every shard queries
+    /// with every record, but each record is inserted at exactly one
+    /// shard, so each pair is found exactly once — at the shard owning
+    /// its earlier member.
+    pub fn query(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        let now = record.t.seconds();
+        self.prune_residuals(now);
+        if self.policy.ap {
+            // Update m first and restore the prefix-filter invariant, so
+            // that this very query cannot miss an under-indexed vector.
+            // m must cover *query* vectors too (it bounds the similarity
+            // of indexed prefixes to anything that arrives), so this runs
+            // even for records this shard does not own.
+            let mut grown: Vec<u32> = Vec::new();
+            for (dim, w) in record.vector.iter() {
+                if self.m.update(dim, w) {
+                    grown.push(dim);
+                }
+            }
+            for dim in grown {
+                self.reindex_dim(dim);
+            }
+        }
+        self.candidate_generation(&record.vector, now);
+        self.candidate_verification(record, out);
+    }
+
+    /// The insert half of [`StreamJoin::process`]: adds `record` to the
+    /// index so later arrivals can pair with it. See [`Streaming::query`].
+    pub fn insert_record(&mut self, record: &StreamRecord) {
+        self.insert(record);
+    }
+
+    /// Pre-seeds the AP running-max vector `m` (snapshot restore).
+    ///
+    /// `m` accumulates over the *whole* stream, not just the horizon; a
+    /// restored join that rebuilt `m` from buffered records alone would
+    /// still be output-correct (a smaller `m` only indexes more), but its
+    /// indexing decisions — and so its performance profile — would drift
+    /// from the uninterrupted run. Ignored by non-AP indexes.
+    pub fn seed_max(&mut self, maxima: impl IntoIterator<Item = (u32, f64)>) {
+        for (dim, v) in maxima {
+            self.m.update(dim, v);
+        }
+    }
+
+    /// The AP running-max vector `m` as (dim, value) pairs (snapshot
+    /// write). Empty for non-AP indexes.
+    pub fn max_entries(&self) -> Vec<(u32, f64)> {
+        self.m
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(d, &v)| (d as u32, v))
+            .collect()
+    }
+}
+
+impl StreamJoin for Streaming {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        self.query(record, out);
+        self.insert(record);
+    }
+
+    fn finish(&mut self, _out: &mut Vec<SimilarPair>) {
+        // STR reports pairs immediately; nothing is buffered.
+    }
+
+    fn stats(&self) -> JoinStats {
+        self.stats
+    }
+
+    fn live_postings(&self) -> u64 {
+        self.live_postings
+    }
+
+    fn name(&self) -> String {
+        format!("STR-{}", self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn rec(id: u64, t: f64, entries: &[(u32, f64)]) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::new(t), unit_vector(entries))
+    }
+
+    fn run(kind: IndexKind, config: SssjConfig, stream: &[StreamRecord]) -> Vec<(u64, u64)> {
+        let mut join = Streaming::new(config, kind);
+        let mut out = Vec::new();
+        for r in stream {
+            join.process(r, &mut out);
+        }
+        join.finish(&mut out);
+        let mut keys: Vec<_> = out.iter().map(|p| p.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn identical_within_horizon_pair() {
+        let stream = vec![
+            rec(0, 0.0, &[(1, 1.0)]),
+            rec(1, 1.0, &[(1, 1.0)]),
+            rec(2, 1000.0, &[(1, 1.0)]),
+        ];
+        let config = SssjConfig::new(0.5, 0.1); // τ ≈ 6.93
+        for kind in IndexKind::ALL {
+            assert_eq!(run(kind, config, &stream), vec![(0, 1)], "{kind}");
+        }
+    }
+
+    #[test]
+    fn decay_is_applied_to_similarity() {
+        let stream = vec![rec(0, 0.0, &[(1, 1.0)]), rec(1, 2.0, &[(1, 1.0)])];
+        let config = SssjConfig::new(0.1, 0.5);
+        let mut join = Streaming::new(config, IndexKind::L2);
+        let mut out = Vec::new();
+        for r in &stream {
+            join.process(r, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert!((out[0].similarity - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expired_postings_are_truncated() {
+        let config = SssjConfig::new(0.5, 0.1);
+        let mut join = Streaming::new(config, IndexKind::L2);
+        let mut out = Vec::new();
+        for i in 0..50 {
+            join.process(&rec(i, i as f64 * 100.0, &[(1, 1.0)]), &mut out);
+        }
+        assert!(out.is_empty());
+        // Each arrival scans dim 1, finds the single previous entry
+        // expired and truncates it.
+        assert!(join.live_postings() <= 2, "live={}", join.live_postings());
+        assert!(join.stats().entries_pruned >= 48);
+    }
+
+    #[test]
+    fn reindexing_preserves_completeness() {
+        // Vector 0's coordinate on dim 2 initially stays in the residual
+        // (low m), but vector 1 raises m and a later near-duplicate of 0
+        // must still be found.
+        let config = SssjConfig::new(0.9, 0.001);
+        let stream = vec![
+            rec(0, 0.0, &[(1, 1.0), (2, 3.0)]),
+            rec(1, 1.0, &[(1, 5.0), (3, 1.0)]),
+            rec(2, 2.0, &[(1, 1.0), (2, 3.0)]),
+        ];
+        let l2ap = run(IndexKind::L2ap, config, &stream);
+        let inv = run(IndexKind::Inv, config, &stream);
+        assert_eq!(l2ap, inv);
+        assert!(inv.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn str_inv_matches_str_l2_on_random_stream() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let stream: Vec<StreamRecord> = (0..300)
+            .map(|i| {
+                let entries: Vec<(u32, f64)> = (0..rng.random_range(1..6))
+                    .map(|_| (rng.random_range(0..15u32), rng.random_range(0.1..1.0)))
+                    .collect();
+                rec(i, i as f64 * 0.3, &entries)
+            })
+            .collect();
+        for (theta, lambda) in [(0.5, 0.01), (0.7, 0.1), (0.9, 0.001)] {
+            let config = SssjConfig::new(theta, lambda);
+            let reference = run(IndexKind::Inv, config, &stream);
+            for kind in [IndexKind::L2, IndexKind::L2ap, IndexKind::Ap] {
+                assert_eq!(
+                    run(kind, config, &stream),
+                    reference,
+                    "{kind} θ={theta} λ={lambda}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_metadata_is_pruned() {
+        let config = SssjConfig::new(0.5, 1.0); // τ ≈ 0.69
+        let mut join = Streaming::new(config, IndexKind::L2);
+        let mut out = Vec::new();
+        for i in 0..100 {
+            join.process(&rec(i, i as f64, &[(i as u32 % 7, 1.0)]), &mut out);
+        }
+        assert!(join.residual.len() <= 2, "residuals={}", join.residual.len());
+    }
+
+    #[test]
+    fn name_includes_kind() {
+        let join = Streaming::new(SssjConfig::new(0.5, 0.1), IndexKind::L2);
+        assert_eq!(join.name(), "STR-L2");
+    }
+}

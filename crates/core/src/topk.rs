@@ -1,0 +1,250 @@
+//! Top-k streaming similarity join: for each arrival, the `k` most
+//! Δt-similar in-horizon predecessors.
+//!
+//! Applications such as near-duplicate *grouping* and streaming
+//! recommendation want the best few matches per item rather than every
+//! pair over a threshold. This variant layers per-record top-k selection
+//! on the threshold join: `θ` acts as a quality floor (and provides the
+//! time horizon that bounds state), `k` caps the per-record output.
+//!
+//! The construction is exact relative to those semantics because every
+//! pair the underlying [`Streaming`] join emits during one `process` call
+//! partners the *current* record — so selecting the `k` best of that batch
+//! is precisely "the k most similar predecessors with `sim_Δt ≥ θ`".
+
+use sssj_index::IndexKind;
+use sssj_metrics::JoinStats;
+use sssj_types::{SimilarPair, StreamRecord};
+
+use crate::algorithm::StreamJoin;
+use crate::config::SssjConfig;
+use crate::streaming::Streaming;
+
+/// Per-arrival top-k similarity join (STR-based).
+///
+/// ```
+/// use sssj_core::{SssjConfig, StreamJoin, TopKJoin};
+/// use sssj_index::IndexKind;
+/// use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
+///
+/// // Keep only the single best match per arrival.
+/// let mut join = TopKJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2, 1);
+/// let mut out = Vec::new();
+/// // Two earlier items both match the third; only the more similar
+/// // (and more recent) one is reported.
+/// for (id, t, dims) in [
+///     (0, 0.0, vec![(1, 1.0)]),
+///     (1, 1.0, vec![(1, 1.0), (2, 0.2)]),
+///     (2, 2.0, vec![(1, 1.0)]),
+/// ] {
+///     let r = StreamRecord::new(id, Timestamp::new(t), unit_vector(&dims));
+///     join.process(&r, &mut out);
+/// }
+/// let for_record_2: Vec<_> = out.iter().filter(|p| p.right == 2).collect();
+/// assert_eq!(for_record_2.len(), 1);
+/// assert_eq!(for_record_2[0].left, 1); // closer in time, near-identical
+/// ```
+pub struct TopKJoin {
+    inner: Streaming,
+    k: usize,
+    scratch: Vec<SimilarPair>,
+    /// Pairs dropped by the `k` cap (observability).
+    truncated: u64,
+}
+
+impl TopKJoin {
+    /// Creates a top-k join over the given threshold join configuration.
+    ///
+    /// `k = 0` is rejected: it would report nothing while paying for the
+    /// full join.
+    pub fn new(config: SssjConfig, kind: IndexKind, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopKJoin {
+            inner: Streaming::new(config, kind),
+            k,
+            scratch: Vec::new(),
+            truncated: 0,
+        }
+    }
+
+    /// The per-record output cap.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Pairs that cleared the threshold but were cut by the `k` cap.
+    pub fn truncated_pairs(&self) -> u64 {
+        self.truncated
+    }
+}
+
+impl StreamJoin for TopKJoin {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        self.scratch.clear();
+        self.inner.process(record, &mut self.scratch);
+        if self.scratch.len() > self.k {
+            // Partial selection: the k best by similarity, ties broken
+            // towards the more recent partner (larger left id) for
+            // deterministic output.
+            self.scratch.sort_unstable_by(|a, b| {
+                b.similarity
+                    .partial_cmp(&a.similarity)
+                    .expect("similarities are finite")
+                    .then(b.left.cmp(&a.left))
+            });
+            self.truncated += (self.scratch.len() - self.k) as u64;
+            self.scratch.truncate(self.k);
+        }
+        out.extend(self.scratch.iter().copied());
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimilarPair>) {
+        self.inner.finish(out);
+    }
+
+    fn stats(&self) -> JoinStats {
+        self.inner.stats()
+    }
+
+    fn live_postings(&self) -> u64 {
+        self.inner.live_postings()
+    }
+
+    fn name(&self) -> String {
+        format!("{}-top{}", self.inner.name(), self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{dot, vector::unit_vector, Decay, Timestamp};
+
+    fn rec(id: u64, t: f64, entries: &[(u32, f64)]) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::new(t), unit_vector(entries))
+    }
+
+    fn random_stream(seed: u64, n: usize) -> Vec<StreamRecord> {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        (0..n as u64)
+            .map(|i| {
+                t += rng.random_range(0.0..0.8);
+                let entries: Vec<(u32, f64)> = (0..rng.random_range(1..5))
+                    .map(|_| (rng.random_range(0..10u32), rng.random_range(0.1..1.0)))
+                    .collect();
+                rec(i, t, &entries)
+            })
+            .collect()
+    }
+
+    /// Brute-force top-k: for each record, the k best in-horizon
+    /// predecessors over the threshold.
+    fn oracle(stream: &[StreamRecord], theta: f64, lambda: f64, k: usize) -> Vec<(u64, u64)> {
+        let decay = Decay::new(lambda);
+        let tau = decay.horizon(theta);
+        let mut keys = Vec::new();
+        for (i, r) in stream.iter().enumerate() {
+            let mut matches: Vec<(f64, u64)> = stream[..i]
+                .iter()
+                .filter(|o| r.t.delta(o.t) <= tau)
+                .filter_map(|o| {
+                    let s = decay.apply(dot(&r.vector, &o.vector), r.t.delta(o.t));
+                    (s >= theta).then_some((s, o.id))
+                })
+                .collect();
+            matches.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(b.1.cmp(&a.1)));
+            matches.truncate(k);
+            for (_, id) in matches {
+                keys.push((id.min(r.id), id.max(r.id)));
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+
+    fn run(join: &mut TopKJoin, stream: &[StreamRecord]) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for r in stream {
+            join.process(r, &mut out);
+        }
+        join.finish(&mut out);
+        let mut keys: Vec<_> = out.iter().map(|p| p.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn matches_brute_force_topk() {
+        let stream = random_stream(5, 200);
+        for k in [1, 2, 5] {
+            for (theta, lambda) in [(0.5, 0.1), (0.7, 0.05)] {
+                let mut join = TopKJoin::new(SssjConfig::new(theta, lambda), IndexKind::L2, k);
+                assert_eq!(
+                    run(&mut join, &stream),
+                    oracle(&stream, theta, lambda, k),
+                    "k={k} θ={theta} λ={lambda}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_k_degenerates_to_threshold_join() {
+        let stream = random_stream(8, 150);
+        let config = SssjConfig::new(0.5, 0.1);
+        let mut topk = TopKJoin::new(config, IndexKind::L2, usize::MAX >> 1);
+        let mut full = Streaming::new(config, IndexKind::L2);
+        let mut out = Vec::new();
+        for r in &stream {
+            full.process(r, &mut out);
+        }
+        let mut full_keys: Vec<_> = out.iter().map(|p| p.key()).collect();
+        full_keys.sort_unstable();
+        assert_eq!(run(&mut topk, &stream), full_keys);
+        assert_eq!(topk.truncated_pairs(), 0);
+    }
+
+    #[test]
+    fn k_one_takes_most_similar() {
+        // Record 2 matches both 0 (identical, older) and 1 (partial,
+        // newer): similarity dominates recency.
+        let stream = vec![
+            rec(0, 0.0, &[(1, 1.0)]),
+            rec(1, 0.5, &[(1, 1.0), (2, 1.0)]),
+            rec(2, 1.0, &[(1, 1.0)]),
+        ];
+        let mut join = TopKJoin::new(SssjConfig::new(0.3, 0.01), IndexKind::L2, 1);
+        let keys = run(&mut join, &stream);
+        assert!(keys.contains(&(0, 2)), "{keys:?}");
+        assert!(!keys.contains(&(1, 2)), "{keys:?}");
+        assert!(join.truncated_pairs() >= 1);
+    }
+
+    #[test]
+    fn works_with_every_index_kind() {
+        let stream = random_stream(13, 120);
+        let config = SssjConfig::new(0.6, 0.1);
+        let reference = {
+            let mut j = TopKJoin::new(config, IndexKind::Inv, 2);
+            run(&mut j, &stream)
+        };
+        for kind in [IndexKind::L2, IndexKind::L2ap, IndexKind::Ap] {
+            let mut j = TopKJoin::new(config, kind, 2);
+            assert_eq!(run(&mut j, &stream), reference, "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        TopKJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2, 0);
+    }
+
+    #[test]
+    fn name_reflects_k() {
+        let j = TopKJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2, 3);
+        assert_eq!(j.name(), "STR-L2-top3");
+    }
+}

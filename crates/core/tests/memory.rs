@@ -1,0 +1,112 @@
+//! Sanity properties of the `memory_bytes` estimates: they must move in
+//! the direction real memory moves, or the `harness memory` experiment
+//! (Table 2's failure modes, quantified) would be meaningless.
+
+use sssj_core::{MiniBatch, SssjConfig, StreamJoin, Streaming};
+use sssj_index::IndexKind;
+use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
+
+fn uniform_stream(n: u64, gap: f64, dims: u32) -> Vec<StreamRecord> {
+    (0..n)
+        .map(|i| {
+            let d1 = (i as u32 * 7) % dims;
+            let d2 = (i as u32 * 13 + 1) % dims;
+            let entries = if d1 == d2 {
+                vec![(d1, 1.0)]
+            } else {
+                vec![(d1.min(d2), 0.8), (d1.max(d2), 0.6)]
+            };
+            StreamRecord::new(i, Timestamp::new(i as f64 * gap), unit_vector(&entries))
+        })
+        .collect()
+}
+
+fn peak_streaming(records: &[StreamRecord], theta: f64, lambda: f64, kind: IndexKind) -> u64 {
+    let mut join = Streaming::new(SssjConfig::new(theta, lambda), kind);
+    let mut out = Vec::new();
+    let mut peak = 0;
+    for r in records {
+        join.process(r, &mut out);
+        out.clear();
+        peak = peak.max(join.memory_bytes());
+    }
+    peak
+}
+
+#[test]
+fn empty_join_is_small_and_nonzero_after_first_record() {
+    let mut join = Streaming::new(SssjConfig::new(0.7, 0.1), IndexKind::L2);
+    let empty = join.memory_bytes();
+    let mut out = Vec::new();
+    join.process(
+        &StreamRecord::new(0, Timestamp::new(0.0), unit_vector(&[(5, 1.0)])),
+        &mut out,
+    );
+    assert!(join.memory_bytes() > empty, "indexing must cost something");
+}
+
+#[test]
+fn streaming_state_is_bounded_by_the_horizon() {
+    // On a uniform stream, state must plateau: bytes after 2n records are
+    // not materially larger than after n (everything older is pruned).
+    let records = uniform_stream(2_000, 1.0, 50);
+    let mut join = Streaming::new(SssjConfig::new(0.5, 0.1), IndexKind::L2); // τ≈6.9
+    let mut out = Vec::new();
+    let mut at_half = 0;
+    for (i, r) in records.iter().enumerate() {
+        join.process(r, &mut out);
+        out.clear();
+        if i == records.len() / 2 {
+            at_half = join.memory_bytes();
+        }
+    }
+    let at_end = join.memory_bytes();
+    assert!(
+        at_end <= at_half * 2,
+        "state must not keep growing: {at_half} → {at_end}"
+    );
+}
+
+#[test]
+fn shorter_horizon_uses_less_memory() {
+    let records = uniform_stream(1_500, 1.0, 50);
+    let small = peak_streaming(&records, 0.5, 0.5, IndexKind::L2);
+    let large = peak_streaming(&records, 0.5, 0.005, IndexKind::L2);
+    assert!(
+        small < large,
+        "λ=0.5 ({small} B) must be leaner than λ=0.005 ({large} B)"
+    );
+}
+
+#[test]
+fn l2ap_carries_more_state_than_l2() {
+    // L2AP keeps m, m̂λ and the re-indexing inverted index on top of L2's
+    // state — the concrete cost behind the paper's L2 design argument.
+    let records = uniform_stream(1_000, 1.0, 50);
+    let l2 = peak_streaming(&records, 0.5, 0.01, IndexKind::L2);
+    let l2ap = peak_streaming(&records, 0.5, 0.01, IndexKind::L2ap);
+    assert!(
+        l2ap > l2,
+        "L2AP ({l2ap} B) must exceed L2 ({l2} B)"
+    );
+}
+
+#[test]
+fn minibatch_state_is_bounded_too() {
+    let records = uniform_stream(2_000, 1.0, 50);
+    let mut join = MiniBatch::new(SssjConfig::new(0.5, 0.1), IndexKind::L2);
+    let mut out = Vec::new();
+    let mut peak_early = 0u64;
+    for (i, r) in records.iter().enumerate() {
+        join.process(r, &mut out);
+        out.clear();
+        if i < records.len() / 2 {
+            peak_early = peak_early.max(join.memory_bytes());
+        } else {
+            assert!(
+                join.memory_bytes() <= peak_early * 2,
+                "MB state exceeded twice its first-half peak at record {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Stop/resume correctness: a join snapshotted mid-stream and restored
+//! must report exactly what the uninterrupted run reports from that point
+//! on — for every index variant and across nested snapshots.
+
+use proptest::prelude::*;
+use sssj_core::{
+    read_snapshot, run_stream, RecoverableJoin, SssjConfig, StreamJoin, Streaming,
+};
+use sssj_index::IndexKind;
+use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
+
+fn sorted_keys(pairs: &[SimilarPair]) -> Vec<(u64, u64)> {
+    let mut keys: Vec<_> = pairs.iter().map(|p| p.key()).collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn random_stream(seed: u64, n: usize, dims: u32) -> Vec<StreamRecord> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n as u64)
+        .map(|i| {
+            t += rng.random_range(0.0..0.6);
+            let mut b = SparseVectorBuilder::new();
+            for _ in 0..rng.random_range(1..6) {
+                b.push(rng.random_range(0..dims), rng.random_range(0.1..1.0));
+            }
+            StreamRecord::new(i, Timestamp::new(t), b.build_normalized().unwrap())
+        })
+        .collect()
+}
+
+/// Full-run output from `cut` onwards, for the reference join.
+fn reference_tail(
+    stream: &[StreamRecord],
+    config: SssjConfig,
+    kind: IndexKind,
+    cut: usize,
+) -> Vec<(u64, u64)> {
+    let mut join = Streaming::new(config, kind);
+    let mut pre = Vec::new();
+    for r in &stream[..cut] {
+        join.process(r, &mut pre);
+    }
+    let mut tail = Vec::new();
+    for r in &stream[cut..] {
+        join.process(r, &mut tail);
+    }
+    join.finish(&mut tail);
+    sorted_keys(&tail)
+}
+
+#[test]
+fn restored_join_continues_identically_for_all_kinds() {
+    let stream = random_stream(21, 240, 15);
+    let config = SssjConfig::new(0.6, 0.1);
+    let cut = 120;
+    for kind in IndexKind::ALL {
+        let mut join = RecoverableJoin::new(config, kind);
+        let mut pre = Vec::new();
+        for r in &stream[..cut] {
+            join.process(r, &mut pre);
+        }
+        let mut bytes = Vec::new();
+        join.write_snapshot(&mut bytes).unwrap();
+        let mut restored = read_snapshot(&bytes[..]).unwrap();
+        let tail = run_stream(&mut restored, &stream[cut..]);
+        assert_eq!(
+            sorted_keys(&tail),
+            reference_tail(&stream, config, kind, cut),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_of_a_restored_join_still_works() {
+    let stream = random_stream(33, 300, 12);
+    let config = SssjConfig::new(0.55, 0.15);
+    let kind = IndexKind::L2;
+    let (c1, c2) = (100, 200);
+
+    let mut join = RecoverableJoin::new(config, kind);
+    let mut sink = Vec::new();
+    for r in &stream[..c1] {
+        join.process(r, &mut sink);
+    }
+    let mut b1 = Vec::new();
+    join.write_snapshot(&mut b1).unwrap();
+
+    let mut second = read_snapshot(&b1[..]).unwrap();
+    for r in &stream[c1..c2] {
+        second.process(r, &mut sink);
+    }
+    let mut b2 = Vec::new();
+    second.write_snapshot(&mut b2).unwrap();
+
+    let mut third = read_snapshot(&b2[..]).unwrap();
+    let tail = run_stream(&mut third, &stream[c2..]);
+    assert_eq!(
+        sorted_keys(&tail),
+        reference_tail(&stream, config, kind, c2)
+    );
+}
+
+#[test]
+fn pre_snapshot_output_matches_uninterrupted_prefix() {
+    let stream = random_stream(44, 200, 10);
+    let config = SssjConfig::new(0.6, 0.1);
+    let mut recoverable = RecoverableJoin::new(config, IndexKind::L2);
+    let mut plain = Streaming::new(config, IndexKind::L2);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for r in &stream {
+        recoverable.process(r, &mut a);
+        plain.process(r, &mut b);
+    }
+    assert_eq!(sorted_keys(&a), sorted_keys(&b));
+    assert_eq!(
+        recoverable.stats().pairs_output,
+        plain.stats().pairs_output
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn roundtrip_equivalence_random_cut(
+        seed in 0u64..500,
+        cut_frac in 0.1f64..0.9,
+        theta in 0.4f64..0.9,
+        lambda in 0.02f64..0.5,
+    ) {
+        let stream = random_stream(seed, 120, 10);
+        let cut = ((stream.len() as f64) * cut_frac) as usize;
+        let config = SssjConfig::new(theta, lambda);
+        let kind = IndexKind::L2;
+
+        let mut join = RecoverableJoin::new(config, kind);
+        let mut sink = Vec::new();
+        for r in &stream[..cut] {
+            join.process(r, &mut sink);
+        }
+        let mut bytes = Vec::new();
+        join.write_snapshot(&mut bytes).unwrap();
+        let mut restored = read_snapshot(&bytes[..]).unwrap();
+        let tail = run_stream(&mut restored, &stream[cut..]);
+        let want = reference_tail(&stream, config, kind, cut);
+        prop_assert_eq!(sorted_keys(&tail), want.clone());
+
+        // The compressed format restores to the same future output, and
+        // is never larger than the raw one on these streams.
+        let mut compressed = Vec::new();
+        join.write_snapshot_compressed(&mut compressed).unwrap();
+        prop_assert!(compressed.len() <= bytes.len());
+        let mut restored_c = read_snapshot(&compressed[..]).unwrap();
+        let tail_c = run_stream(&mut restored_c, &stream[cut..]);
+        prop_assert_eq!(sorted_keys(&tail_c), want);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte corruption must yield a clean error or a valid
+    /// join — never a panic, never a malformed structure.
+    #[test]
+    fn corrupted_snapshots_never_panic(
+        seed in 0u64..100,
+        flips in proptest::collection::vec((0usize..4096, 0u8..=255), 1..8),
+        cut in proptest::option::of(0usize..4096),
+        compressed in proptest::bool::ANY,
+    ) {
+        let stream = random_stream(seed, 40, 8);
+        let mut join = RecoverableJoin::new(SssjConfig::new(0.6, 0.1), IndexKind::L2);
+        let mut sink = Vec::new();
+        for r in &stream {
+            join.process(r, &mut sink);
+        }
+        let mut bytes = Vec::new();
+        if compressed {
+            join.write_snapshot_compressed(&mut bytes).unwrap();
+        } else {
+            join.write_snapshot(&mut bytes).unwrap();
+        }
+        for &(pos, val) in &flips {
+            let len = bytes.len().max(1);
+            if let Some(b) = bytes.get_mut(pos % len) {
+                *b ^= val;
+            }
+        }
+        if let Some(c) = cut {
+            bytes.truncate(c % (bytes.len() + 1));
+        }
+        // Either outcome is fine; panicking or looping is not.
+        if let Ok(mut restored) = read_snapshot(&bytes[..]) {
+            // A structurally-valid mutation must still yield a join
+            // that processes records without panicking.
+            let mut out = Vec::new();
+            let last_t = stream.last().map_or(0.0, |r| r.t.seconds());
+            restored.process(
+                &StreamRecord::new(
+                    9999,
+                    Timestamp::new(last_t + 1.0),
+                    sssj_types::vector::unit_vector(&[(1, 1.0)]),
+                ),
+                &mut out,
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Arrival processes: how timestamps are assigned to stream items.
+
+use rand::{Rng, RngExt};
+
+/// The timestamp process of a synthetic stream.
+///
+/// Table 1 lists one per dataset: WebSpam uses Poisson arrivals, RCV1
+/// sequential ones, Blogs and Tweets real publication times — modelled
+/// here as a bursty (two-rate mixture) process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// `t_i = i` — one item per time unit.
+    Sequential,
+    /// Exponential inter-arrival gaps with the given mean rate
+    /// (items per time unit).
+    Poisson {
+        /// Mean arrival rate.
+        rate: f64,
+    },
+    /// A mixture of a base rate and burst episodes at a higher rate —
+    /// a simple model of social-media publication times.
+    Bursty {
+        /// Rate outside bursts.
+        base_rate: f64,
+        /// Rate inside bursts.
+        burst_rate: f64,
+        /// Probability that an item belongs to a burst episode.
+        burst_prob: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The next inter-arrival gap (non-negative).
+    pub fn next_gap<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ArrivalProcess::Sequential => 1.0,
+            ArrivalProcess::Poisson { rate } => exponential(rng, rate),
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                burst_prob,
+            } => {
+                let rate = if rng.random_range(0.0..1.0) < burst_prob {
+                    burst_rate
+                } else {
+                    base_rate
+                };
+                exponential(rng, rate)
+            }
+        }
+    }
+
+    /// Generates `n` non-decreasing timestamps starting at 0.
+    pub fn timestamps<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        let mut t = 0.0;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if i > 0 {
+                t += self.next_gap(rng);
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Samples Exp(rate) by inverse transform.
+fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_is_unit_spaced() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ts = ArrivalProcess::Sequential.timestamps(5, &mut rng);
+        assert_eq!(ts, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ArrivalProcess::Poisson { rate: 2.0 };
+        let n = 20_000;
+        let ts = p.timestamps(n, &mut rng);
+        let mean_gap = ts[n - 1] / (n - 1) as f64;
+        assert!((mean_gap - 0.5).abs() < 0.02, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn timestamps_are_nondecreasing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for p in [
+            ArrivalProcess::Sequential,
+            ArrivalProcess::Poisson { rate: 1.0 },
+            ArrivalProcess::Bursty {
+                base_rate: 0.5,
+                burst_rate: 20.0,
+                burst_prob: 0.3,
+            },
+        ] {
+            let ts = p.timestamps(1000, &mut rng);
+            assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{p:?}");
+            assert_eq!(ts[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn bursty_gaps_are_bimodal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = ArrivalProcess::Bursty {
+            base_rate: 0.1,
+            burst_rate: 100.0,
+            burst_prob: 0.5,
+        };
+        let ts = p.timestamps(4000, &mut rng);
+        let gaps: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+        let tiny = gaps.iter().filter(|&&g| g < 0.1).count();
+        let large = gaps.iter().filter(|&&g| g > 1.0).count();
+        assert!(tiny > 1000, "tiny gaps {tiny}");
+        assert!(large > 1000, "large gaps {large}");
+    }
+}

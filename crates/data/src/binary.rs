@@ -1,0 +1,183 @@
+//! The binary serialisation format.
+//!
+//! The paper ships a text→binary converter because the text form is slow
+//! to parse at 18M records. Layout (all little-endian):
+//!
+//! ```text
+//! magic   b"SSSJBIN1"            8 bytes
+//! count   u64                    number of records
+//! record  repeated `count` times:
+//!   t     f64
+//!   nnz   u32
+//!   dims  u32 × nnz (strictly increasing)
+//!   ws    f64 × nnz (positive)
+//! ```
+//!
+//! Ids are implicit (file order). Readers validate the invariants so a
+//! corrupted file cannot produce malformed vectors.
+
+use std::io::{self, Read, Write};
+
+use sssj_types::{SparseVectorBuilder, StreamRecord, Timestamp};
+
+pub(crate) const MAGIC: &[u8; 8] = b"SSSJBIN1";
+
+/// Errors from reading a binary stream.
+#[derive(Debug)]
+pub enum BinaryError {
+    /// I/O failure.
+    Io(io::Error),
+    /// Structural corruption.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinaryError::Io(e) => write!(f, "io: {e}"),
+            BinaryError::Corrupt(m) => write!(f, "corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BinaryError {}
+
+impl From<io::Error> for BinaryError {
+    fn from(e: io::Error) -> Self {
+        BinaryError::Io(e)
+    }
+}
+
+/// Writes a stream in binary form.
+pub fn write_binary<W: Write>(records: &[StreamRecord], mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(records.len() as u64).to_le_bytes())?;
+    for r in records {
+        w.write_all(&r.t.seconds().to_le_bytes())?;
+        w.write_all(&(r.vector.nnz() as u32).to_le_bytes())?;
+        for &d in r.vector.dims() {
+            w.write_all(&d.to_le_bytes())?;
+        }
+        for &x in r.vector.weights() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_exact<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Reads a binary stream, validating structure.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Vec<StreamRecord>, BinaryError> {
+    let magic = read_exact::<_, 8>(&mut r)?;
+    if &magic != MAGIC {
+        return Err(BinaryError::Corrupt("bad magic".into()));
+    }
+    let count = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+    if count > u32::MAX as u64 {
+        return Err(BinaryError::Corrupt(format!("absurd record count {count}")));
+    }
+    // Never pre-allocate from an untrusted header: a corrupted count must
+    // hit an EOF error, not an out-of-memory abort.
+    let mut out = Vec::with_capacity((count as usize).min(65_536));
+    let mut prev_t = f64::NEG_INFINITY;
+    for id in 0..count {
+        let t = f64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+        if !t.is_finite() {
+            return Err(BinaryError::Corrupt(format!("record {id}: bad time")));
+        }
+        if t < prev_t {
+            return Err(BinaryError::Corrupt(format!(
+                "record {id}: timestamps out of order"
+            )));
+        }
+        prev_t = t;
+        let nnz = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?) as usize;
+        if nnz > 100_000_000 {
+            return Err(BinaryError::Corrupt(format!("record {id}: absurd nnz")));
+        }
+        let mut dims = Vec::with_capacity(nnz.min(65_536));
+        for _ in 0..nnz {
+            dims.push(u32::from_le_bytes(read_exact::<_, 4>(&mut r)?));
+        }
+        let mut builder = SparseVectorBuilder::with_capacity(nnz.min(65_536));
+        for &d in &dims {
+            let w = f64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+            if !(w.is_finite() && w > 0.0) {
+                return Err(BinaryError::Corrupt(format!("record {id}: bad weight")));
+            }
+            builder.push(d, w);
+        }
+        let vector = builder
+            .build()
+            .map_err(|e| BinaryError::Corrupt(format!("record {id}: {e}")))?;
+        if vector.nnz() != nnz {
+            return Err(BinaryError::Corrupt(format!(
+                "record {id}: duplicate dimensions"
+            )));
+        }
+        out.push(StreamRecord::new(id, Timestamp::new(t), vector));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::vector::unit_vector;
+
+    fn sample() -> Vec<StreamRecord> {
+        vec![
+            StreamRecord::new(0, Timestamp::new(0.25), unit_vector(&[(3, 1.0), (9, 2.0)])),
+            StreamRecord::new(1, Timestamp::new(1.75), unit_vector(&[(0, 1.0)])),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_binary(&records, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let e = read_binary(&b"NOTMAGIC\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(e, BinaryError::Corrupt(_)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_binary(&buf[..]), Err(BinaryError::Io(_))));
+    }
+
+    #[test]
+    fn out_of_order_timestamps_rejected() {
+        let records = vec![
+            StreamRecord::new(0, Timestamp::new(5.0), unit_vector(&[(1, 1.0)])),
+            StreamRecord::new(1, Timestamp::new(1.0), unit_vector(&[(1, 1.0)])),
+        ];
+        let mut buf = Vec::new();
+        write_binary(&records, &mut buf).unwrap();
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(BinaryError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        let mut buf = Vec::new();
+        write_binary(&[], &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Synthetic dataset configuration.
+
+use crate::ArrivalProcess;
+
+/// Parameters of a synthetic corpus.
+///
+/// The generator produces `n` unit-normalised documents over a vocabulary
+/// of `vocab` terms whose frequencies follow Zipf(`zipf_exponent`).
+/// Documents are grouped into `topics` (a document samples most of its
+/// terms from its topic's slice of the vocabulary, making topic-mates
+/// similar and cross-topic documents dissimilar), and with probability
+/// `dup_prob` a document is instead a mutated near-copy of a recent one —
+/// the near-duplicate structure the paper's motivating applications
+/// (trend detection, duplicate filtering) look for.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetConfig {
+    /// Dataset name (for tables).
+    pub name: String,
+    /// Number of documents.
+    pub n: usize,
+    /// Vocabulary size (number of distinct dimensions).
+    pub vocab: u32,
+    /// Mean number of distinct terms per document.
+    pub avg_nnz: usize,
+    /// Zipf exponent of the term distribution.
+    pub zipf_exponent: f64,
+    /// Number of topics (≥ 1; 1 disables topic structure).
+    pub topics: usize,
+    /// Fraction of a document's terms drawn from its topic slice
+    /// (the rest are global).
+    pub topic_affinity: f64,
+    /// Probability that a document is a near-duplicate of a recent one.
+    pub dup_prob: f64,
+    /// Fraction of coordinates perturbed when near-duplicating.
+    pub dup_mutation: f64,
+    /// How many recent documents near-duplicates can copy from.
+    pub dup_window: usize,
+    /// Topic drift: when set, the active topic palette rotates by one
+    /// slice every `period` seconds, so items close in time share topics
+    /// more than distant ones — the temporal locality that trend
+    /// detection exploits. `None` keeps topics static.
+    pub topic_rotation_period: Option<f64>,
+    /// The timestamp process.
+    pub arrival: ArrivalProcess,
+    /// RNG seed (generation is deterministic given the config).
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// A small, quick default corpus — suitable for tests and examples.
+    pub fn small(name: &str) -> Self {
+        DatasetConfig {
+            name: name.to_string(),
+            n: 1000,
+            vocab: 2000,
+            avg_nnz: 12,
+            zipf_exponent: 1.0,
+            topics: 8,
+            topic_affinity: 0.7,
+            dup_prob: 0.05,
+            dup_mutation: 0.2,
+            dup_window: 50,
+            topic_rotation_period: None,
+            arrival: ArrivalProcess::Sequential,
+            seed: 42,
+        }
+    }
+
+    /// Overrides the number of documents.
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates internal consistency (panics on nonsense).
+    pub fn validate(&self) {
+        assert!(self.n > 0, "empty dataset");
+        assert!(self.vocab > 0, "empty vocabulary");
+        assert!(self.avg_nnz > 0, "documents must have terms");
+        assert!(self.topics >= 1, "at least one topic");
+        assert!(
+            (0.0..=1.0).contains(&self.topic_affinity),
+            "affinity in [0,1]"
+        );
+        assert!((0.0..=1.0).contains(&self.dup_prob), "dup_prob in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.dup_mutation),
+            "dup_mutation in [0,1]"
+        );
+        if let Some(period) = self.topic_rotation_period {
+            assert!(period > 0.0, "rotation period must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_is_valid() {
+        DatasetConfig::small("t").validate();
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = DatasetConfig::small("t").with_n(7).with_seed(9);
+        assert_eq!(c.n, 7);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn zero_n_rejected() {
+        DatasetConfig::small("t").with_n(0).validate();
+    }
+}

@@ -1,0 +1,244 @@
+//! The synthetic corpus generator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use sssj_types::{SparseVector, SparseVectorBuilder, StreamRecord, Timestamp};
+
+use crate::{DatasetConfig, Zipf};
+
+/// Generates a timestamped stream from a [`DatasetConfig`].
+///
+/// Deterministic given the config (including its seed). Documents are
+/// unit-normalised; weights follow a `1 + ln(tf)` term-frequency law over
+/// Zipfian draws, so coordinate magnitudes are realistically skewed.
+pub fn generate(config: &DatasetConfig) -> Vec<StreamRecord> {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let timestamps = config.arrival.timestamps(config.n, &mut rng);
+
+    // Topic structure: the vocabulary is split into `topics` equal slices
+    // (plus a shared head of the most common terms that every topic uses).
+    let zipf = Zipf::new(config.vocab as usize, config.zipf_exponent);
+    let slice = (config.vocab as usize / config.topics).max(1);
+
+    let mut recent: Vec<SparseVector> = Vec::new();
+    let mut out = Vec::with_capacity(config.n);
+    let mut builder = SparseVectorBuilder::new();
+
+    for (i, &t) in timestamps.iter().enumerate() {
+        let vector = if !recent.is_empty() && rng.random_range(0.0..1.0) < config.dup_prob {
+            near_duplicate(
+                &recent[rng.random_range(0..recent.len())],
+                config,
+                &mut rng,
+                &mut builder,
+            )
+        } else {
+            fresh_document(config, &zipf, slice, t, &mut rng, &mut builder)
+        };
+        recent.push(vector.clone());
+        if recent.len() > config.dup_window {
+            recent.remove(0);
+        }
+        out.push(StreamRecord::new(i as u64, Timestamp::new(t), vector));
+    }
+    out
+}
+
+/// Draws a fresh document: length ≈ Poisson-ish around `avg_nnz`, terms
+/// Zipfian, a `topic_affinity` fraction remapped into the document's
+/// topic slice.
+fn fresh_document(
+    config: &DatasetConfig,
+    zipf: &Zipf,
+    slice: usize,
+    t: f64,
+    rng: &mut StdRng,
+    builder: &mut SparseVectorBuilder,
+) -> SparseVector {
+    builder.clear();
+    let len = document_length(config.avg_nnz, rng);
+    // Topic drift: when enabled, documents draw from a small *active*
+    // window of topics that slides forward over time, so items close in
+    // time favour overlapping topics while distant ones do not.
+    let topic = match config.topic_rotation_period {
+        Some(period) => {
+            let rotation = (t / period) as usize;
+            let active = (config.topics / 4).max(1);
+            (rotation + rng.random_range(0..active)) % config.topics
+        }
+        None => rng.random_range(0..config.topics),
+    };
+    // Term-frequency counts accumulate through the builder's merging.
+    for _ in 0..len {
+        let rank = zipf.sample(rng);
+        let dim = if rng.random_range(0.0..1.0) < config.topic_affinity {
+            // Remap into the topic's slice, preserving the Zipfian rank
+            // inside the slice.
+            (topic * slice + rank % slice) as u32
+        } else {
+            rank as u32
+        };
+        builder.push(dim, 1.0);
+    }
+    finish_tf(builder)
+}
+
+/// Mutates a near-copy of `source`: each coordinate is dropped or
+/// re-weighted with probability `dup_mutation`.
+fn near_duplicate(
+    source: &SparseVector,
+    config: &DatasetConfig,
+    rng: &mut StdRng,
+    builder: &mut SparseVectorBuilder,
+) -> SparseVector {
+    builder.clear();
+    for (d, w) in source.iter() {
+        if rng.random_range(0.0..1.0) < config.dup_mutation {
+            if rng.random_range(0.0..1.0) < 0.5 {
+                continue; // drop the term
+            }
+            builder.push(d, w * rng.random_range(0.3..3.0)); // re-weight
+        } else {
+            builder.push(d, w);
+        }
+    }
+    if builder.is_empty() {
+        builder.push(rng.random_range(0..config.vocab), 1.0);
+    }
+    std::mem::take(builder)
+        .build_normalized()
+        .expect("positive weights")
+}
+
+/// Applies the `1 + ln(tf)` law to raw counts and normalises.
+fn finish_tf(builder: &mut SparseVectorBuilder) -> SparseVector {
+    let raw = std::mem::take(builder)
+        .build()
+        .expect("counts are positive");
+    let mut b = SparseVectorBuilder::with_capacity(raw.nnz());
+    for (d, count) in raw.iter() {
+        b.push(d, 1.0 + count.ln());
+    }
+    b.build_normalized().expect("positive weights")
+}
+
+/// Samples a document length with mean `avg` (geometric-ish spread,
+/// minimum 1).
+fn document_length(avg: usize, rng: &mut StdRng) -> usize {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    // Exponential with mean `avg`, clamped to [1, 4·avg].
+    ((-u.ln() * avg as f64) as usize).clamp(1, 4 * avg.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::record::validate_stream;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = DatasetConfig::small("t").with_n(100);
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&DatasetConfig::small("t").with_n(50).with_seed(1));
+        let b = generate(&DatasetConfig::small("t").with_n(50).with_seed(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stream_is_well_formed_and_normalised() {
+        let records = generate(&DatasetConfig::small("t").with_n(300));
+        assert_eq!(records.len(), 300);
+        assert_eq!(validate_stream(&records), Ok(()));
+        for r in &records {
+            assert!(!r.vector.is_empty());
+            assert!((r.vector.norm() - 1.0).abs() < 1e-9);
+            assert!(r.vector.dims().iter().all(|&d| d < 2000));
+        }
+    }
+
+    #[test]
+    fn average_nnz_is_in_the_right_ballpark() {
+        let mut config = DatasetConfig::small("t").with_n(2000);
+        config.avg_nnz = 20;
+        config.dup_prob = 0.0;
+        let records = generate(&config);
+        let avg: f64 = records.iter().map(|r| r.vector.nnz() as f64).sum::<f64>()
+            / records.len() as f64;
+        // TF-merging collapses repeated draws, so the distinct-term count
+        // sits below the raw draw count; just check the order of
+        // magnitude.
+        assert!(avg > 5.0 && avg < 40.0, "avg nnz {avg}");
+    }
+
+    #[test]
+    fn duplicates_create_similar_pairs() {
+        let mut config = DatasetConfig::small("t").with_n(400);
+        config.dup_prob = 0.5;
+        config.dup_mutation = 0.1;
+        let records = generate(&config);
+        // There must exist at least one highly similar pair among
+        // consecutive-ish records.
+        let mut best: f64 = 0.0;
+        for i in 0..records.len() {
+            for j in (i + 1)..records.len().min(i + 20) {
+                best = best.max(sssj_types::dot(&records[i].vector, &records[j].vector));
+            }
+        }
+        assert!(best > 0.9, "best near-duplicate similarity {best}");
+    }
+
+    #[test]
+    fn topic_drift_creates_temporal_locality() {
+        // With rotation, items close in time should be more similar on
+        // average than items far apart.
+        let mut config = DatasetConfig::small("t").with_n(1200);
+        config.dup_prob = 0.0;
+        config.topics = 12;
+        config.topic_affinity = 0.9;
+        config.avg_nnz = 25;
+        config.topic_rotation_period = Some(100.0);
+        let records = generate(&config);
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for i in (0..1000).step_by(11) {
+            near.push(sssj_types::dot(&records[i].vector, &records[i + 7].vector));
+            far.push(sssj_types::dot(&records[i].vector, &records[i + 173].vector));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&near) > 1.5 * mean(&far),
+            "near {} vs far {}",
+            mean(&near),
+            mean(&far)
+        );
+    }
+
+    #[test]
+    fn topic_structure_raises_intra_topic_similarity() {
+        let mut config = DatasetConfig::small("t").with_n(500);
+        config.dup_prob = 0.0;
+        config.topics = 4;
+        config.topic_affinity = 0.95;
+        config.avg_nnz = 30;
+        let records = generate(&config);
+        // Average pairwise similarity must be bimodal-ish: some pairs
+        // (same topic) well above the global mean.
+        let mut sims: Vec<f64> = Vec::new();
+        for i in (0..300).step_by(3) {
+            for j in (i + 1..300).step_by(7) {
+                sims.push(sssj_types::dot(&records[i].vector, &records[j].vector));
+            }
+        }
+        let mean = sims.iter().sum::<f64>() / sims.len() as f64;
+        let max = sims.iter().copied().fold(0.0f64, f64::max);
+        assert!(max > mean * 3.0, "max {max} mean {mean}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Laptop-scale presets mimicking the four datasets of Table 1.
+
+use std::fmt;
+
+use crate::{ArrivalProcess, DatasetConfig};
+
+/// The four evaluation datasets of the paper.
+///
+/// The real corpora are not redistributable; each preset reproduces the
+/// *shape* that drives algorithm behaviour — the density/avg-nnz ratios
+/// of Table 1 (WebSpam is ~50× denser per document than RCV1; Tweets are
+/// tiny and arrive fast), topic structure, duplicate injection, and the
+/// per-dataset arrival process — at roughly 1/100 scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// WebSpam-like: very dense documents, Poisson arrivals. The density
+    /// outlier where MB stays competitive with STR (Figure 4).
+    WebSpam,
+    /// RCV1-like: newswire, moderate density, sequential arrivals.
+    Rcv1,
+    /// Blogs-like: sparse, bursty wall-clock arrivals.
+    Blogs,
+    /// Tweets-like: tiny documents, high-rate bursty arrivals.
+    Tweets,
+}
+
+impl Preset {
+    /// All presets, in Table 1 order.
+    pub const ALL: [Preset; 4] = [Preset::WebSpam, Preset::Rcv1, Preset::Blogs, Preset::Tweets];
+
+    /// Parses the names used by the CLI and the harness.
+    pub fn parse(s: &str) -> Option<Preset> {
+        match s.to_ascii_lowercase().as_str() {
+            "webspam" => Some(Preset::WebSpam),
+            "rcv1" => Some(Preset::Rcv1),
+            "blogs" => Some(Preset::Blogs),
+            "tweets" => Some(Preset::Tweets),
+            _ => None,
+        }
+    }
+
+    /// The timestamp-process label printed in Table 1.
+    pub fn timestamp_label(self) -> &'static str {
+        match self {
+            Preset::WebSpam => "poisson",
+            Preset::Rcv1 => "sequential",
+            Preset::Blogs => "publishing date",
+            Preset::Tweets => "publishing date",
+        }
+    }
+}
+
+impl fmt::Display for Preset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Preset::WebSpam => "WebSpam",
+            Preset::Rcv1 => "RCV1",
+            Preset::Blogs => "Blogs",
+            Preset::Tweets => "Tweets",
+        })
+    }
+}
+
+/// Builds the generator configuration for a preset with `n` documents.
+///
+/// `n` scales the stream; vocabulary and density stay fixed so the
+/// per-document cost profile matches the original dataset's character.
+pub fn preset(which: Preset, n: usize) -> DatasetConfig {
+    let base = DatasetConfig::small(&which.to_string()).with_n(n);
+    match which {
+        // Table 1: n=350k, m=680k, |x|≈3728, poisson. Dense outlier.
+        Preset::WebSpam => DatasetConfig {
+            vocab: 12_000,
+            avg_nnz: 400,
+            zipf_exponent: 0.9,
+            topics: 6,
+            topic_affinity: 0.6,
+            dup_prob: 0.03,
+            dup_mutation: 0.25,
+            dup_window: 30,
+            arrival: ArrivalProcess::Poisson { rate: 1.0 },
+            ..base
+        },
+        // Table 1: n=804k, m=43k, |x|≈76, sequential.
+        Preset::Rcv1 => DatasetConfig {
+            vocab: 4_000,
+            avg_nnz: 40,
+            zipf_exponent: 1.0,
+            topics: 10,
+            topic_affinity: 0.7,
+            dup_prob: 0.05,
+            dup_mutation: 0.2,
+            dup_window: 60,
+            arrival: ArrivalProcess::Sequential,
+            ..base
+        },
+        // Table 1: n=2.5M, m=356k, |x|≈140, wall-clock.
+        Preset::Blogs => DatasetConfig {
+            vocab: 15_000,
+            avg_nnz: 70,
+            zipf_exponent: 1.05,
+            topics: 16,
+            topic_affinity: 0.75,
+            dup_prob: 0.04,
+            dup_mutation: 0.2,
+            dup_window: 80,
+            topic_rotation_period: Some(600.0),
+            arrival: ArrivalProcess::Bursty {
+                base_rate: 0.5,
+                burst_rate: 10.0,
+                burst_prob: 0.2,
+            },
+            ..base
+        },
+        // Table 1: n=18M, m=1M, |x|≈9.5, wall-clock, very sparse.
+        Preset::Tweets => DatasetConfig {
+            vocab: 30_000,
+            avg_nnz: 9,
+            zipf_exponent: 1.1,
+            topics: 24,
+            topic_affinity: 0.8,
+            dup_prob: 0.08,
+            dup_mutation: 0.15,
+            dup_window: 200,
+            topic_rotation_period: Some(300.0),
+            arrival: ArrivalProcess::Bursty {
+                base_rate: 2.0,
+                burst_rate: 50.0,
+                burst_prob: 0.3,
+            },
+            ..base
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(Preset::parse("bogus"), None);
+    }
+
+    #[test]
+    fn webspam_is_densest_preset() {
+        let mut avg = Vec::new();
+        for p in Preset::ALL {
+            let records = generate(&preset(p, 100));
+            let a = records.iter().map(|r| r.vector.nnz()).sum::<usize>() as f64 / 100.0;
+            avg.push((p, a));
+        }
+        let webspam = avg[0].1;
+        for &(p, a) in &avg[1..] {
+            assert!(webspam > 3.0 * a, "WebSpam {webspam} vs {p} {a}");
+        }
+        // Tweets is the sparsest.
+        let tweets = avg[3].1;
+        for &(p, a) in &avg[..3] {
+            assert!(tweets < a, "Tweets {tweets} vs {p} {a}");
+        }
+    }
+
+    #[test]
+    fn every_preset_generates_valid_streams() {
+        for p in Preset::ALL {
+            let records = generate(&preset(p, 50));
+            assert_eq!(records.len(), 50, "{p}");
+            assert_eq!(sssj_types::record::validate_stream(&records), Ok(()), "{p}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Dataset statistics (Table 1).
+
+use sssj_types::StreamRecord;
+
+/// The per-dataset statistics the paper tabulates: `n` (vectors), `m`
+/// (distinct coordinates), `Σ|x|` (non-zeros), density `ρ = Σ|x|/(n·m)`
+/// and average non-zeros per vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Number of vectors.
+    pub n: usize,
+    /// Number of distinct dimensions in use.
+    pub m: usize,
+    /// Total non-zero coordinates.
+    pub total_nnz: u64,
+    /// Density in percent.
+    pub density_pct: f64,
+    /// Average non-zeros per vector.
+    pub avg_nnz: f64,
+    /// Stream duration (last − first timestamp), seconds.
+    pub duration: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a stream.
+    pub fn of(records: &[StreamRecord]) -> Self {
+        let n = records.len();
+        let total_nnz: u64 = records.iter().map(|r| r.vector.nnz() as u64).sum();
+        let mut seen = std::collections::HashSet::new();
+        for r in records {
+            for &d in r.vector.dims() {
+                seen.insert(d);
+            }
+        }
+        let m = seen.len();
+        let duration = match (records.first(), records.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        };
+        DatasetStats {
+            n,
+            m,
+            total_nnz,
+            density_pct: if n == 0 || m == 0 {
+                0.0
+            } else {
+                100.0 * total_nnz as f64 / (n as f64 * m as f64)
+            },
+            avg_nnz: if n == 0 {
+                0.0
+            } else {
+                total_nnz as f64 / n as f64
+            },
+            duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    #[test]
+    fn stats_of_small_stream() {
+        let records = vec![
+            StreamRecord::new(0, Timestamp::new(0.0), unit_vector(&[(1, 1.0), (2, 1.0)])),
+            StreamRecord::new(1, Timestamp::new(4.0), unit_vector(&[(2, 1.0)])),
+        ];
+        let s = DatasetStats::of(&records);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.m, 2);
+        assert_eq!(s.total_nnz, 3);
+        assert!((s.avg_nnz - 1.5).abs() < 1e-12);
+        assert!((s.density_pct - 75.0).abs() < 1e-12);
+        assert_eq!(s.duration, 4.0);
+    }
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let s = DatasetStats::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.density_pct, 0.0);
+        assert_eq!(s.avg_nnz, 0.0);
+    }
+}

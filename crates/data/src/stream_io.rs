@@ -1,0 +1,294 @@
+//! Incremental dataset readers: iterate records from a file without
+//! loading the whole dataset into memory.
+//!
+//! [`read_text`](crate::text::read_text) and
+//! [`read_binary`](crate::binary::read_binary) materialise a `Vec` — fine
+//! for the laptop-scale presets, wrong for the deployment shape where a
+//! join consumes a multi-gigabyte archive or a growing file. These
+//! iterators yield one [`StreamRecord`] at a time with the *same*
+//! validation as the batch readers (structure, monotone timestamps,
+//! positive finite weights), so a corrupted tail is reported exactly
+//! where it occurs and everything before it is already processed.
+
+use std::io::{BufRead, Read};
+
+use sssj_types::{SparseVectorBuilder, StreamRecord, Timestamp};
+
+use crate::binary::BinaryError;
+use crate::text::{parse_line, TextError};
+
+/// Iterates records from the text format, one line at a time.
+///
+/// ```
+/// use sssj_data::TextStreamReader;
+///
+/// let input = "0.0 1:0.5 4:0.5\n# comment\n2.5 1:1.0\n";
+/// let records: Result<Vec<_>, _> = TextStreamReader::new(input.as_bytes()).collect();
+/// let records = records.unwrap();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[1].id, 1);
+/// ```
+pub struct TextStreamReader<R> {
+    reader: R,
+    line: String,
+    lineno: usize,
+    next_id: u64,
+    failed: bool,
+}
+
+impl<R: BufRead> TextStreamReader<R> {
+    /// Wraps a buffered reader positioned at the start of a text stream.
+    pub fn new(reader: R) -> Self {
+        TextStreamReader {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            next_id: 0,
+            failed: false,
+        }
+    }
+
+    /// Records yielded so far (the id the next record will receive).
+    pub fn records_read(&self) -> u64 {
+        self.next_id
+    }
+}
+
+impl<R: BufRead> Iterator for TextStreamReader<R> {
+    type Item = Result<StreamRecord, TextError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None; // fused after the first error
+        }
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(TextError::Io(e)));
+                }
+            }
+            self.lineno += 1;
+            let line = self.line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let result = parse_line(line, self.lineno, self.next_id);
+            match &result {
+                Ok(_) => self.next_id += 1,
+                Err(_) => self.failed = true,
+            }
+            return Some(result);
+        }
+    }
+}
+
+/// Iterates records from the binary format.
+///
+/// The header (magic + record count) is validated at construction; each
+/// [`Iterator::next`] then decodes one record with the full structural
+/// validation of [`read_binary`](crate::binary::read_binary). The
+/// iterator is fused after the first error and checks that exactly
+/// `count` records are present.
+pub struct BinaryStreamReader<R> {
+    reader: R,
+    remaining: u64,
+    next_id: u64,
+    prev_t: f64,
+    failed: bool,
+}
+
+impl<R: Read> BinaryStreamReader<R> {
+    /// Reads and validates the header.
+    pub fn new(mut reader: R) -> Result<Self, BinaryError> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != crate::binary::MAGIC {
+            return Err(BinaryError::Corrupt("bad magic".into()));
+        }
+        let mut count = [0u8; 8];
+        reader.read_exact(&mut count)?;
+        let count = u64::from_le_bytes(count);
+        if count > u32::MAX as u64 {
+            return Err(BinaryError::Corrupt(format!("absurd record count {count}")));
+        }
+        Ok(BinaryStreamReader {
+            reader,
+            remaining: count,
+            next_id: 0,
+            prev_t: f64::NEG_INFINITY,
+            failed: false,
+        })
+    }
+
+    /// Records still expected per the header.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn read_record(&mut self) -> Result<StreamRecord, BinaryError> {
+        let id = self.next_id;
+        let mut b8 = [0u8; 8];
+        self.reader.read_exact(&mut b8)?;
+        let t = f64::from_le_bytes(b8);
+        if !t.is_finite() {
+            return Err(BinaryError::Corrupt(format!("record {id}: bad time")));
+        }
+        if t < self.prev_t {
+            return Err(BinaryError::Corrupt(format!(
+                "record {id}: timestamps out of order"
+            )));
+        }
+        let mut b4 = [0u8; 4];
+        self.reader.read_exact(&mut b4)?;
+        let nnz = u32::from_le_bytes(b4) as usize;
+        if nnz > 100_000_000 {
+            return Err(BinaryError::Corrupt(format!("record {id}: absurd nnz")));
+        }
+        // Bounded pre-allocation: a corrupted nnz hits EOF, not OOM.
+        let mut dims = Vec::with_capacity(nnz.min(65_536));
+        for _ in 0..nnz {
+            self.reader.read_exact(&mut b4)?;
+            dims.push(u32::from_le_bytes(b4));
+        }
+        let mut builder = SparseVectorBuilder::with_capacity(nnz.min(65_536));
+        for &d in &dims {
+            self.reader.read_exact(&mut b8)?;
+            let w = f64::from_le_bytes(b8);
+            if !(w.is_finite() && w > 0.0) {
+                return Err(BinaryError::Corrupt(format!("record {id}: bad weight")));
+            }
+            builder.push(d, w);
+        }
+        let vector = builder
+            .build()
+            .map_err(|e| BinaryError::Corrupt(format!("record {id}: {e}")))?;
+        if vector.nnz() != nnz {
+            return Err(BinaryError::Corrupt(format!(
+                "record {id}: duplicate dimensions"
+            )));
+        }
+        self.prev_t = t;
+        self.next_id += 1;
+        Ok(StreamRecord::new(id, Timestamp::new(t), vector))
+    }
+}
+
+impl<R: Read> Iterator for BinaryStreamReader<R> {
+    type Item = Result<StreamRecord, BinaryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.remaining == 0 {
+            return None;
+        }
+        let result = self.read_record();
+        match &result {
+            Ok(_) => self.remaining -= 1,
+            Err(_) => self.failed = true,
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::{read_binary, write_binary};
+    use crate::text::{read_text, write_text};
+    use sssj_types::vector::unit_vector;
+
+    fn sample(n: u64) -> Vec<StreamRecord> {
+        (0..n)
+            .map(|i| {
+                StreamRecord::new(
+                    i,
+                    Timestamp::new(i as f64 * 0.5),
+                    unit_vector(&[(i as u32 % 7, 1.0), (40 + i as u32 % 3, 0.5)]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn text_streaming_matches_batch_reader() {
+        let records = sample(20);
+        let mut buf = Vec::new();
+        write_text(&records, &mut buf).unwrap();
+        let streamed: Result<Vec<_>, _> = TextStreamReader::new(&buf[..]).collect();
+        assert_eq!(streamed.unwrap(), read_text(&buf[..]).unwrap());
+    }
+
+    #[test]
+    fn binary_streaming_matches_batch_reader() {
+        let records = sample(20);
+        let mut buf = Vec::new();
+        write_binary(&records, &mut buf).unwrap();
+        let reader = BinaryStreamReader::new(&buf[..]).unwrap();
+        assert_eq!(reader.remaining(), 20);
+        let streamed: Result<Vec<_>, _> = reader.collect();
+        assert_eq!(streamed.unwrap(), read_binary(&buf[..]).unwrap());
+    }
+
+    #[test]
+    fn text_reader_reports_error_line_and_fuses() {
+        let input = "0.0 1:0.5\nnot a record\n2.0 1:1.0\n";
+        let mut it = TextStreamReader::new(input.as_bytes());
+        assert!(it.next().unwrap().is_ok());
+        let err = it.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(it.next().is_none(), "fused after error");
+    }
+
+    #[test]
+    fn binary_reader_detects_truncation_mid_stream() {
+        let records = sample(5);
+        let mut buf = Vec::new();
+        write_binary(&records, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let it = BinaryStreamReader::new(&buf[..]).unwrap();
+        let collected: Vec<_> = it.collect();
+        assert_eq!(collected.len(), 5);
+        assert!(collected[..4].iter().all(|r| r.is_ok()));
+        assert!(collected[4].is_err());
+    }
+
+    #[test]
+    fn binary_reader_rejects_bad_header() {
+        assert!(BinaryStreamReader::new(&b"NOTMAGIC"[..]).is_err());
+        assert!(BinaryStreamReader::new(&b"SSSJ"[..]).is_err()); // short
+    }
+
+    #[test]
+    fn streaming_join_consumes_reader_directly() {
+        // The point of the exercise: pipe a reader into a join without a
+        // Vec in between.
+        use sssj_core::JoinBuilder;
+        let records = sample(50);
+        let mut buf = Vec::new();
+        write_binary(&records, &mut buf).unwrap();
+        let reader = BinaryStreamReader::new(&buf[..]).unwrap();
+        let pairs: Vec<_> = JoinBuilder::new(0.7, 0.1)
+            .pairs(reader.map(|r| r.expect("valid stream")))
+            .collect();
+        let mut reference = sssj_core::Streaming::new(
+            sssj_core::SssjConfig::new(0.7, 0.1),
+            sssj_index::IndexKind::L2,
+        );
+        let want = sssj_core::run_stream(&mut reference, &records);
+        assert_eq!(pairs.len(), want.len());
+    }
+
+    #[test]
+    fn records_read_tracks_progress() {
+        let input = "0.0 1:0.5\n\n# c\n1.0 2:1.0\n";
+        let mut it = TextStreamReader::new(input.as_bytes());
+        assert_eq!(it.records_read(), 0);
+        it.next().unwrap().unwrap();
+        it.next().unwrap().unwrap();
+        assert_eq!(it.records_read(), 2);
+        assert!(it.next().is_none());
+    }
+}

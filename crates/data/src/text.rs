@@ -1,0 +1,184 @@
+//! The text serialisation format.
+//!
+//! One record per line:
+//!
+//! ```text
+//! <timestamp> <dim>:<weight> <dim>:<weight> ...
+//! ```
+//!
+//! Lines starting with `#` and blank lines are skipped. Weights are
+//! stored as written; [`read_text`] re-normalises so hand-written files
+//! with raw counts work too.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+use sssj_types::{SparseVectorBuilder, StreamRecord, Timestamp};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors from reading a text stream.
+#[derive(Debug)]
+pub enum TextError {
+    /// I/O failure.
+    Io(io::Error),
+    /// Malformed content.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextError::Io(e) => write!(f, "io: {e}"),
+            TextError::Parse(e) => write!(f, "parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<io::Error> for TextError {
+    fn from(e: io::Error) -> Self {
+        TextError::Io(e)
+    }
+}
+
+/// Reads a stream from text. Records are assigned ids in file order and
+/// vectors are unit-normalised.
+pub fn read_text<R: BufRead>(reader: R) -> Result<Vec<StreamRecord>, TextError> {
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let record = parse_line(line, lineno + 1, id)?;
+        id += 1;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+/// Parses one record line (`<t> <dim>:<w> ...`). Exposed for callers
+/// that consume records incrementally (the CLI's `serve` mode) rather
+/// than loading whole files.
+pub fn parse_line(line: &str, lineno: usize, id: u64) -> Result<StreamRecord, TextError> {
+    let err = |message: String| {
+        TextError::Parse(ParseError {
+            line: lineno,
+            message,
+        })
+    };
+    let mut parts = line.split_ascii_whitespace();
+    let t: f64 = parts
+        .next()
+        .ok_or_else(|| err("missing timestamp".into()))?
+        .parse()
+        .map_err(|e| err(format!("bad timestamp: {e}")))?;
+    if !t.is_finite() {
+        return Err(err("non-finite timestamp".into()));
+    }
+    let mut builder = SparseVectorBuilder::new();
+    for tok in parts {
+        let (d, w) = tok
+            .split_once(':')
+            .ok_or_else(|| err(format!("expected dim:weight, got {tok:?}")))?;
+        let dim: u32 = d
+            .parse()
+            .map_err(|e| err(format!("bad dimension {d:?}: {e}")))?;
+        let weight: f64 = w
+            .parse()
+            .map_err(|e| err(format!("bad weight {w:?}: {e}")))?;
+        builder.push(dim, weight);
+    }
+    let vector = builder
+        .build_normalized()
+        .map_err(|e| err(format!("bad vector: {e}")))?;
+    Ok(StreamRecord::new(id, Timestamp::new(t), vector))
+}
+
+/// Writes a stream as text.
+pub fn write_text<W: Write>(records: &[StreamRecord], mut writer: W) -> io::Result<()> {
+    let mut line = String::new();
+    for r in records {
+        line.clear();
+        let _ = write!(line, "{}", r.t.seconds());
+        for (d, w) in r.vector.iter() {
+            let _ = write!(line, " {d}:{w}");
+        }
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::vector::unit_vector;
+
+    #[test]
+    fn roundtrip_preserves_stream() {
+        let records = vec![
+            StreamRecord::new(0, Timestamp::new(0.5), unit_vector(&[(1, 3.0), (7, 4.0)])),
+            StreamRecord::new(1, Timestamp::new(2.0), unit_vector(&[(2, 1.0)])),
+        ];
+        let mut buf = Vec::new();
+        write_text(&records, &mut buf).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in records.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.vector.dims(), b.vector.dims());
+            for (wa, wb) in a.vector.weights().iter().zip(b.vector.weights()) {
+                assert!((wa - wb).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n0 1:1.0\n  \n1 2:2.0\n";
+        let records = read_text(text.as_bytes()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].id, 1);
+    }
+
+    #[test]
+    fn unnormalised_input_is_normalised() {
+        let records = read_text("0 1:3 2:4\n".as_bytes()).unwrap();
+        assert!((records[0].vector.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_lines_report_position() {
+        let e = read_text("0 1:1\nnot-a-time 2:1\n".as_bytes()).unwrap_err();
+        match e {
+            TextError::Parse(p) => {
+                assert_eq!(p.line, 2);
+                assert!(p.message.contains("timestamp"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert!(read_text("0 nodim\n".as_bytes()).is_err());
+        assert!(read_text("0 1:abc\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Adversarial-input tests for the serialisation formats: arbitrary and
+//! corrupted bytes must produce clean errors, never panics or malformed
+//! vectors.
+
+use proptest::prelude::*;
+use sssj_data::{binary, text};
+use sssj_types::{SparseVectorBuilder, StreamRecord, Timestamp};
+
+fn valid_stream() -> impl Strategy<Value = Vec<StreamRecord>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec((0u32..100, 0.01f64..10.0), 1..6),
+            0.0f64..2.0,
+        ),
+        0..20,
+    )
+    .prop_map(|items| {
+        let mut t = 0.0;
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (entries, gap))| {
+                t += gap;
+                let mut b = SparseVectorBuilder::new();
+                for (d, w) in entries {
+                    b.push(d, w);
+                }
+                StreamRecord::new(
+                    i as u64,
+                    Timestamp::new(t),
+                    b.build_normalized().expect("positive weights"),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the binary reader.
+    #[test]
+    fn binary_reader_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = binary::read_binary(&bytes[..]);
+    }
+
+    /// Flipping one byte of a valid file either still parses to valid
+    /// records or errors — never panics, never yields broken vectors.
+    #[test]
+    fn binary_reader_survives_single_byte_corruption(
+        records in valid_stream(),
+        pos_seed in any::<u64>(),
+        delta in 1u8..=255,
+    ) {
+        let mut buf = Vec::new();
+        binary::write_binary(&records, &mut buf).unwrap();
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let pos = (pos_seed % buf.len() as u64) as usize;
+        buf[pos] = buf[pos].wrapping_add(delta);
+        if let Ok(parsed) = binary::read_binary(&buf[..]) {
+            for r in &parsed {
+                // Whatever parsed must satisfy the vector invariants.
+                prop_assert!(r.vector.dims().windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(r.vector.weights().iter().all(|w| w.is_finite() && *w > 0.0));
+                prop_assert!(r.t.seconds().is_finite());
+            }
+        }
+    }
+
+    /// Arbitrary text never panics the text reader.
+    #[test]
+    fn text_reader_survives_garbage(s in "\\PC{0,300}") {
+        let _ = text::read_text(s.as_bytes());
+    }
+
+    /// Text roundtrip is stable: write→read→write drifts by at most one
+    /// re-normalisation ulp per weight.
+    #[test]
+    fn text_roundtrip_stable(records in valid_stream()) {
+        let mut first = Vec::new();
+        text::write_text(&records, &mut first).unwrap();
+        let parsed = text::read_text(&first[..]).unwrap();
+        let mut second = Vec::new();
+        text::write_text(&parsed, &mut second).unwrap();
+        let reparsed = text::read_text(&second[..]).unwrap();
+        prop_assert_eq!(parsed.len(), reparsed.len());
+        for (a, b) in parsed.iter().zip(&reparsed) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.t, b.t);
+            prop_assert_eq!(a.vector.dims(), b.vector.dims());
+            for (wa, wb) in a.vector.weights().iter().zip(b.vector.weights()) {
+                prop_assert!((wa - wb).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Binary roundtrip is exact.
+    #[test]
+    fn binary_roundtrip_exact(records in valid_stream()) {
+        let mut buf = Vec::new();
+        binary::write_binary(&records, &mut buf).unwrap();
+        let parsed = binary::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(records, parsed);
+    }
+}

@@ -1,0 +1,478 @@
+//! The batch APSS engine: one implementation of Algorithms 2–4,
+//! parameterised by [`BoundPolicy`].
+
+use std::collections::HashMap;
+
+use sssj_collections::{MaxVector, ScoreAccumulator};
+use sssj_metrics::JoinStats;
+use sssj_types::{
+    dot, dot_with_dense, prefix_norms, SparseVector, StreamRecord, Timestamp, VectorId,
+    VectorSummary,
+};
+
+use crate::{BoundPolicy, PostingEntry};
+
+/// A candidate that survived verification: the indexed vector `id` with
+/// plain cosine similarity `sim` to the query and arrival-time gap `dt`.
+///
+/// The engine works on *plain* similarity — callers that need the
+/// time-dependent similarity multiply by `e^{-λ·dt}` (the `ApplyDecay` of
+/// Algorithm 1), which can only shrink the set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Match {
+    /// Id of the matched (earlier) vector.
+    pub id: VectorId,
+    /// Plain cosine similarity `dot(x, y)`.
+    pub sim: f64,
+    /// Arrival-time gap `|t(x) − t(y)|`.
+    pub dt: f64,
+}
+
+/// Per-indexed-vector bookkeeping.
+#[derive(Clone, Debug)]
+struct Meta {
+    /// The un-indexed prefix `y′` (residual direct index `R`).
+    residual: SparseVector,
+    /// Summary statistics of the residual (for `ds1`/`sz2`).
+    residual_summary: VectorSummary,
+    /// Summary statistics of the full vector (for `sz1`).
+    summary: VectorSummary,
+    /// The `pscore` recorded when indexing started (`Q[ι(y)]`).
+    q: f64,
+    /// Arrival time.
+    t: Timestamp,
+}
+
+/// The shared batch index engine behind INV, AP, L2AP and L2.
+///
+/// Construction order follows the incremental discipline of the paper:
+/// callers [`BatchIndex::query`] each vector against the current index
+/// *before* [`BatchIndex::insert`]-ing it, so every pair is generated
+/// exactly once. [`crate::all_pairs`] wraps this loop.
+///
+/// When the AP-family bounds are enabled, the dataset-wide max vector `m`
+/// must be supplied up front via [`BatchIndex::with_max_vector`] (the
+/// MiniBatch framework combines the maxima of two adjacent windows for
+/// exactly this purpose, §6.1).
+pub struct BatchIndex {
+    theta: f64,
+    policy: BoundPolicy,
+    /// `m` — per-dimension max over the whole dataset (AP bounds).
+    m: MaxVector,
+    /// `m̂` — per-dimension max over the vectors indexed so far.
+    mhat: MaxVector,
+    lists: Vec<Vec<PostingEntry>>,
+    meta: HashMap<VectorId, Meta>,
+    acc: ScoreAccumulator,
+    live_postings: u64,
+    stats: JoinStats,
+}
+
+impl BatchIndex {
+    /// Creates an empty index with an empty dataset max vector.
+    ///
+    /// Sufficient for the INV and L2 policies, whose bounds do not consult
+    /// `m`; the AP-family policies should use
+    /// [`BatchIndex::with_max_vector`].
+    pub fn new(theta: f64, policy: BoundPolicy) -> Self {
+        Self::with_max_vector(theta, policy, MaxVector::new())
+    }
+
+    /// Creates an empty index with the dataset-wide max vector `m`
+    /// (required for correctness of the AP `b1` bound).
+    pub fn with_max_vector(theta: f64, policy: BoundPolicy, m: MaxVector) -> Self {
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "theta must be in (0, 1]: {theta}"
+        );
+        BatchIndex {
+            theta,
+            policy,
+            m,
+            mhat: MaxVector::new(),
+            lists: Vec::new(),
+            meta: HashMap::new(),
+            acc: ScoreAccumulator::new(),
+            live_postings: 0,
+            stats: JoinStats::new(),
+        }
+    }
+
+    /// The similarity threshold.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The bound policy.
+    pub fn policy(&self) -> BoundPolicy {
+        self.policy
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> JoinStats {
+        self.stats
+    }
+
+    /// Number of posting entries currently stored.
+    pub fn live_postings(&self) -> u64 {
+        self.live_postings
+    }
+
+    /// Number of vectors with at least one indexed coordinate.
+    pub fn indexed_vectors(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// CG + CV: finds every indexed vector whose plain cosine similarity
+    /// with `record.vector` is ≥ θ.
+    pub fn query(&mut self, record: &StreamRecord) -> Vec<Match> {
+        let mut out = Vec::new();
+        self.query_into(record, &mut out);
+        out
+    }
+
+    /// Like [`BatchIndex::query`], appending into `out` (allocation
+    /// reuse).
+    pub fn query_into(&mut self, record: &StreamRecord, out: &mut Vec<Match>) {
+        self.candidate_generation(&record.vector);
+        self.candidate_verification(record, out);
+    }
+
+    /// Candidate generation (Algorithm 3): fills the accumulator with
+    /// partial dot products of the query against indexed vectors.
+    fn candidate_generation(&mut self, x: &SparseVector) {
+        self.acc.clear();
+        let theta = self.theta;
+        let policy = self.policy;
+        let summary = VectorSummary::of(x);
+        let xnorms = prefix_norms(x);
+
+        // sz1: a similar vector must satisfy |y|·vm_y ≥ θ/vm_x.
+        let sz1 = if policy.ap && summary.max_weight > 0.0 {
+            theta / summary.max_weight
+        } else {
+            0.0
+        };
+        // rs1: residual of dot(x, m̂) not yet scanned (AP).
+        let mut rs1 = if policy.ap {
+            dot_with_dense(x, self.mhat.as_slice())
+        } else {
+            f64::INFINITY
+        };
+        // rs2: ‖x′_j‖ for the part of x not yet scanned (ℓ2).
+        let mut rst: f64 = 1.0;
+        let mut rs2 = if policy.l2 { 1.0 } else { f64::INFINITY };
+
+        let lists = &self.lists;
+        let meta = &self.meta;
+        let acc = &mut self.acc;
+        let stats = &mut self.stats;
+
+        // Reverse scan over the query's dimensions (suffix first).
+        for (pos, (dim, xj)) in x.iter().enumerate().rev() {
+            if let Some(list) = lists.get(dim as usize) {
+                let remscore = rs1.min(rs2);
+                let admit_new = remscore >= theta;
+                let xnorm_before = xnorms[pos];
+                for entry in list {
+                    stats.entries_traversed += 1;
+                    if policy.ap {
+                        // Size filter: |y|·vm_y ≥ sz1.
+                        let s = &meta[&entry.id].summary;
+                        if (s.nnz as f64) * s.max_weight < sz1 {
+                            continue;
+                        }
+                    }
+                    let current = acc.get(entry.id);
+                    if current > 0.0 || admit_new {
+                        if current == 0.0 {
+                            stats.candidates += 1;
+                        }
+                        let new = acc.add(entry.id, xj * entry.weight);
+                        if policy.l2 {
+                            // Early ℓ2 pruning: finish the rest of both
+                            // vectors by Cauchy–Schwarz.
+                            let l2bound = new + xnorm_before * entry.prefix_norm;
+                            if l2bound < theta {
+                                acc.zero(entry.id);
+                            }
+                        }
+                    }
+                }
+            }
+            if policy.ap {
+                rs1 -= xj * self.mhat.get(dim);
+            }
+            if policy.l2 {
+                rst -= xj * xj;
+                rs2 = rst.max(0.0).sqrt();
+            }
+        }
+    }
+
+    /// Candidate verification (Algorithm 4): applies the `ps1`/`ds1`/`sz2`
+    /// bounds, then the exact residual dot product and the threshold.
+    fn candidate_verification(&mut self, record: &StreamRecord, out: &mut Vec<Match>) {
+        let theta = self.theta;
+        let policy = self.policy;
+        let x = &record.vector;
+        let sx = VectorSummary::of(x);
+        let meta = &self.meta;
+        let stats = &mut self.stats;
+
+        for (id, c) in self.acc.iter() {
+            if c <= 0.0 {
+                continue;
+            }
+            let m = &meta[&id];
+            if policy.prunes() {
+                // ps1: the residual prefix contributes at most Q[y].
+                if c + m.q < theta {
+                    continue;
+                }
+            }
+            if policy.ap {
+                let r = &m.residual_summary;
+                let ds1 = c + (sx.max_weight * r.sum).min(r.max_weight * sx.sum);
+                let sz2 =
+                    c + (sx.nnz.min(r.nnz) as f64) * sx.max_weight * r.max_weight;
+                if ds1 < theta || sz2 < theta {
+                    continue;
+                }
+            }
+            stats.full_sims += 1;
+            let sim = c + dot(x, &m.residual);
+            if sim >= theta {
+                stats.pairs_output += 1;
+                out.push(Match {
+                    id,
+                    sim,
+                    dt: record.t.delta(m.t),
+                });
+            }
+        }
+    }
+
+    /// Index construction (Algorithm 2): adds `record` to the index,
+    /// splitting it into an un-indexed residual prefix and an indexed
+    /// suffix according to the active bounds.
+    pub fn insert(&mut self, record: &StreamRecord) {
+        let x = &record.vector;
+        if x.is_empty() {
+            return;
+        }
+        let policy = self.policy;
+        let theta = self.theta;
+        let summary = VectorSummary::of(x);
+        let xnorms = prefix_norms(x);
+
+        let mut b1: f64 = 0.0;
+        let mut bt: f64 = 0.0;
+        let mut boundary: Option<usize> = None;
+        let mut q = 0.0;
+        for (pos, (dim, xj)) in x.iter().enumerate() {
+            if boundary.is_none() {
+                let pscore = if policy.prunes() {
+                    policy.combine(b1, bt.sqrt())
+                } else {
+                    0.0
+                };
+                if policy.ap {
+                    // Algorithm 2 writes b1 += x_j·min(m_j, vm_x), but that
+                    // refinement is only sound when vectors are processed in
+                    // decreasing max-weight order (Bayardo et al. sort the
+                    // dataset; a stream cannot). We use the order-free bound
+                    // x_j·m_j, which is safe for any processing order.
+                    b1 += xj * self.m.get(dim);
+                }
+                if policy.l2 {
+                    bt += xj * xj;
+                }
+                if policy.combine(b1, bt.sqrt()) >= theta {
+                    boundary = Some(pos);
+                    q = pscore;
+                }
+            }
+            if boundary.is_some() {
+                let d = dim as usize;
+                if d >= self.lists.len() {
+                    self.lists.resize_with(d + 1, Vec::new);
+                }
+                self.lists[d].push(PostingEntry {
+                    id: record.id,
+                    weight: xj,
+                    prefix_norm: xnorms[pos],
+                });
+                self.live_postings += 1;
+                self.stats.postings_added += 1;
+            }
+        }
+
+        let Some(boundary) = boundary else {
+            // The whole vector stayed below θ against m: it cannot be
+            // similar to anything in this dataset, so it is not indexed
+            // at all (pure-AP corner case).
+            return;
+        };
+        if policy.ap {
+            // m̂ must cover the *full* vector (residual coordinates
+            // included): rs1 bounds dot(x′, y) for whole indexed vectors.
+            for (dim, xj) in x.iter() {
+                self.mhat.update(dim, xj);
+            }
+        }
+        let residual = x.prefix(boundary);
+        self.stats.residual_coords += residual.nnz() as u64;
+        self.meta.insert(
+            record.id,
+            Meta {
+                residual_summary: VectorSummary::of(&residual),
+                residual,
+                summary,
+                q,
+                t: record.t,
+            },
+        );
+        self.stats.observe_postings(self.live_postings);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::vector::unit_vector;
+
+    fn rec(id: u64, entries: &[(u32, f64)]) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::ZERO, unit_vector(entries))
+    }
+
+    fn run(policy: BoundPolicy, data: &[StreamRecord], theta: f64) -> Vec<(u64, u64)> {
+        let mut m = MaxVector::new();
+        for r in data {
+            for (d, w) in r.vector.iter() {
+                m.update(d, w);
+            }
+        }
+        let mut idx = BatchIndex::with_max_vector(theta, policy, m);
+        let mut pairs = Vec::new();
+        for r in data {
+            for hit in idx.query(r) {
+                pairs.push((hit.id.min(r.id), hit.id.max(r.id)));
+            }
+            idx.insert(r);
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+
+    fn policies() -> [BoundPolicy; 4] {
+        [
+            BoundPolicy::INV,
+            BoundPolicy::AP,
+            BoundPolicy::L2AP,
+            BoundPolicy::L2,
+        ]
+    }
+
+    #[test]
+    fn identical_vectors_found_by_all_policies() {
+        let data = vec![
+            rec(0, &[(1, 1.0), (2, 2.0)]),
+            rec(1, &[(1, 1.0), (2, 2.0)]),
+            rec(2, &[(9, 1.0)]),
+        ];
+        for p in policies() {
+            assert_eq!(run(p, &data, 0.99), vec![(0, 1)], "policy {p:?}");
+        }
+    }
+
+    #[test]
+    fn orthogonal_vectors_never_pair() {
+        let data = vec![rec(0, &[(1, 1.0)]), rec(1, &[(2, 1.0)]), rec(2, &[(3, 1.0)])];
+        for p in policies() {
+            assert!(run(p, &data, 0.1).is_empty(), "policy {p:?}");
+        }
+    }
+
+    #[test]
+    fn partial_overlap_respects_threshold() {
+        // dot = 0.5 for two unit vectors sharing one of two equal coords.
+        let data = vec![
+            rec(0, &[(1, 1.0), (2, 1.0)]),
+            rec(1, &[(1, 1.0), (3, 1.0)]),
+        ];
+        for p in policies() {
+            assert_eq!(run(p, &data, 0.4), vec![(0, 1)], "policy {p:?}");
+            assert!(run(p, &data, 0.6).is_empty(), "policy {p:?}");
+        }
+    }
+
+    #[test]
+    fn all_policies_agree_on_small_random_dataset() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<StreamRecord> = (0..80)
+            .map(|i| {
+                let nnz = rng.random_range(1..6);
+                let entries: Vec<(u32, f64)> = (0..nnz)
+                    .map(|_| (rng.random_range(0..12u32), rng.random_range(0.1..1.0)))
+                    .collect();
+                rec(i, &entries)
+            })
+            .collect();
+        for theta in [0.3, 0.6, 0.9] {
+            let reference = run(BoundPolicy::INV, &data, theta);
+            for p in [BoundPolicy::AP, BoundPolicy::L2AP, BoundPolicy::L2] {
+                assert_eq!(run(p, &data, theta), reference, "θ={theta} {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_traversal() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<StreamRecord> = (0..200)
+            .map(|i| {
+                let entries: Vec<(u32, f64)> = (0..8)
+                    .map(|_| (rng.random_range(0..40u32), rng.random_range(0.1..1.0)))
+                    .collect();
+                rec(i, &entries)
+            })
+            .collect();
+        let theta = 0.8;
+        let mut stats = Vec::new();
+        for p in [BoundPolicy::INV, BoundPolicy::L2] {
+            let mut idx = BatchIndex::new(theta, p);
+            for r in &data {
+                idx.query(r);
+                idx.insert(r);
+            }
+            stats.push(idx.stats());
+        }
+        assert!(
+            stats[1].postings_added < stats[0].postings_added,
+            "L2 should index fewer entries than INV"
+        );
+        assert!(
+            stats[1].entries_traversed < stats[0].entries_traversed,
+            "L2 should traverse fewer entries than INV"
+        );
+    }
+
+    #[test]
+    fn empty_vector_is_ignored() {
+        let mut idx = BatchIndex::new(0.5, BoundPolicy::L2);
+        let r = StreamRecord::new(0, Timestamp::ZERO, SparseVector::empty());
+        idx.insert(&r);
+        assert_eq!(idx.indexed_vectors(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn zero_theta_rejected() {
+        BatchIndex::new(0.0, BoundPolicy::L2);
+    }
+}

@@ -1,0 +1,101 @@
+//! The batch all-pairs driver (IndConstr of §4).
+
+use sssj_collections::MaxVector;
+use sssj_metrics::JoinStats;
+use sssj_types::{SimilarPair, StreamRecord};
+
+use crate::{BatchIndex, IndexKind};
+
+/// Computes the per-dimension maximum `m` over a dataset — the first pass
+/// the AP-family bounds require.
+pub fn max_vector_of(records: &[StreamRecord]) -> MaxVector {
+    let mut m = MaxVector::new();
+    for r in records {
+        for (d, w) in r.vector.iter() {
+            m.update(d, w);
+        }
+    }
+    m
+}
+
+/// Finds all pairs with plain cosine similarity ≥ θ in `records` — the
+/// static APSS problem, solved by incremental query-then-insert over the
+/// chosen index.
+pub fn all_pairs(
+    records: &[StreamRecord],
+    theta: f64,
+    kind: IndexKind,
+) -> (Vec<SimilarPair>, JoinStats) {
+    let policy = kind.policy();
+    let m = if policy.ap {
+        max_vector_of(records)
+    } else {
+        MaxVector::new()
+    };
+    let mut index = BatchIndex::with_max_vector(theta, policy, m);
+    let mut pairs = Vec::new();
+    let mut hits = Vec::new();
+    for r in records {
+        hits.clear();
+        index.query_into(r, &mut hits);
+        for h in &hits {
+            pairs.push(SimilarPair::new(h.id, r.id, h.sim));
+        }
+        index.insert(r);
+    }
+    (pairs, index.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn rec(id: u64, entries: &[(u32, f64)]) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::ZERO, unit_vector(entries))
+    }
+
+    #[test]
+    fn max_vector_is_pointwise_max() {
+        let data = vec![rec(0, &[(1, 3.0), (2, 4.0)]), rec(1, &[(2, 1.0), (3, 1.0)])];
+        let m = max_vector_of(&data);
+        assert!((m.get(1) - 0.6).abs() < 1e-12);
+        assert!((m.get(2) - 0.8).abs() < 1e-12);
+        let inv_sqrt2 = 1.0 / 2.0f64.sqrt();
+        assert!((m.get(3) - inv_sqrt2).abs() < 1e-12);
+        assert_eq!(m.get(99), 0.0);
+    }
+
+    #[test]
+    fn all_pairs_reports_each_pair_once() {
+        let data = vec![
+            rec(0, &[(1, 1.0)]),
+            rec(1, &[(1, 1.0)]),
+            rec(2, &[(1, 1.0)]),
+        ];
+        let (pairs, stats) = all_pairs(&data, 0.9, IndexKind::L2);
+        let mut keys: Vec<_> = pairs.iter().map(|p| p.key()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(stats.pairs_output, 3);
+    }
+
+    #[test]
+    fn kinds_agree_on_output() {
+        let data = vec![
+            rec(0, &[(1, 1.0), (2, 1.0), (3, 1.0)]),
+            rec(1, &[(2, 1.0), (3, 1.0), (4, 1.0)]),
+            rec(2, &[(5, 1.0)]),
+            rec(3, &[(3, 1.0), (4, 1.0), (5, 1.0)]),
+        ];
+        let (reference, _) = all_pairs(&data, 0.5, IndexKind::Inv);
+        let mut ref_keys: Vec<_> = reference.iter().map(|p| p.key()).collect();
+        ref_keys.sort_unstable();
+        for kind in [IndexKind::Ap, IndexKind::L2ap, IndexKind::L2] {
+            let (pairs, _) = all_pairs(&data, 0.5, kind);
+            let mut keys: Vec<_> = pairs.iter().map(|p| p.key()).collect();
+            keys.sort_unstable();
+            assert_eq!(keys, ref_keys, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Posting-list entries.
+
+use sssj_types::{VectorId, Weight};
+
+/// One entry of a posting list: the triple `(ι(x), x_j, ‖x′_j‖)` of the
+/// L2AP index (Algorithm 2, line 16).
+///
+/// `prefix_norm` is the Euclidean norm of the coordinates that precede
+/// `j` in the global dimension order — the Cauchy–Schwarz half of the
+/// `l2bound` candidate-pruning rule. INV and AP simply ignore it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PostingEntry {
+    /// Reference to the indexed vector.
+    pub id: VectorId,
+    /// The coordinate value `x_j`.
+    pub weight: Weight,
+    /// `‖x′_j‖` — norm of the prefix strictly before this coordinate.
+    pub prefix_norm: Weight,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let e = PostingEntry::default();
+        assert_eq!(e.id, 0);
+        assert_eq!(e.weight, 0.0);
+        assert_eq!(e.prefix_norm, 0.0);
+    }
+}

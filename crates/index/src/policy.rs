@@ -1,0 +1,150 @@
+//! Bound policies: which pruning bounds each index variant enables.
+
+use std::fmt;
+
+/// Which families of pruning bounds are active.
+///
+/// The paper presents AP, L2AP and L2 as one pseudocode listing with
+/// colour-coded lines (red = AP bounds, green = ℓ2 bounds); this struct is
+/// that colour convention as data.
+///
+/// * AP bounds (`b1`, `sz1`, `rs1`, `ds1`, `sz2`) consult dataset-level
+///   statistics — the max vector `m` / `m̂` — which in a stream evolve and
+///   force re-indexing.
+/// * ℓ2 bounds (`b2`, `rs2`, `l2bound`, `ps1`) depend only on the two
+///   vectors at hand, which is what makes the L2 index streaming-friendly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundPolicy {
+    /// Enable the AP-family (red) bounds.
+    pub ap: bool,
+    /// Enable the ℓ2-family (green) bounds.
+    pub l2: bool,
+}
+
+impl BoundPolicy {
+    /// No pruning at all: the plain inverted index.
+    pub const INV: BoundPolicy = BoundPolicy {
+        ap: false,
+        l2: false,
+    };
+    /// Bayardo et al.'s All-Pairs bounds only.
+    pub const AP: BoundPolicy = BoundPolicy {
+        ap: true,
+        l2: false,
+    };
+    /// Anastasiu & Karypis' L2AP: both families.
+    pub const L2AP: BoundPolicy = BoundPolicy { ap: true, l2: true };
+    /// The paper's L2 index: ℓ2 bounds only.
+    pub const L2: BoundPolicy = BoundPolicy {
+        ap: false,
+        l2: true,
+    };
+
+    /// Whether any bound is enabled (false = index everything).
+    #[inline]
+    pub fn prunes(self) -> bool {
+        self.ap || self.l2
+    }
+
+    /// Combines the two index-construction bounds into the effective
+    /// bound: `min` over the enabled ones, `+∞` when none is enabled (so
+    /// that INV indexes every coordinate from the start).
+    #[inline]
+    pub fn combine(self, ap_value: f64, l2_value: f64) -> f64 {
+        match (self.ap, self.l2) {
+            (true, true) => ap_value.min(l2_value),
+            (true, false) => ap_value,
+            (false, true) => l2_value,
+            (false, false) => f64::INFINITY,
+        }
+    }
+}
+
+/// The four index variants evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Plain inverted index, no index/candidate pruning.
+    Inv,
+    /// All-Pairs (Bayardo et al., WWW'07). Noted by the paper as not
+    /// competitive; included for completeness and ablations.
+    Ap,
+    /// L2AP (Anastasiu & Karypis, ICDE'14): AP + ℓ2 bounds.
+    L2ap,
+    /// The paper's contribution: ℓ2 bounds only, optimised for streams.
+    L2,
+}
+
+impl IndexKind {
+    /// All variants, in the order the paper tabulates them.
+    pub const ALL: [IndexKind; 4] = [
+        IndexKind::Inv,
+        IndexKind::Ap,
+        IndexKind::L2ap,
+        IndexKind::L2,
+    ];
+
+    /// The three variants the paper benchmarks (AP is excluded in §7).
+    pub const BENCHMARKED: [IndexKind; 3] = [IndexKind::Inv, IndexKind::L2ap, IndexKind::L2];
+
+    /// The bound policy of this variant.
+    pub fn policy(self) -> BoundPolicy {
+        match self {
+            IndexKind::Inv => BoundPolicy::INV,
+            IndexKind::Ap => BoundPolicy::AP,
+            IndexKind::L2ap => BoundPolicy::L2AP,
+            IndexKind::L2 => BoundPolicy::L2,
+        }
+    }
+
+    /// Parses the names used by the CLI and the harness.
+    pub fn parse(s: &str) -> Option<IndexKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "inv" => Some(IndexKind::Inv),
+            "ap" => Some(IndexKind::Ap),
+            "l2ap" => Some(IndexKind::L2ap),
+            "l2" => Some(IndexKind::L2),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IndexKind::Inv => "INV",
+            IndexKind::Ap => "AP",
+            IndexKind::L2ap => "L2AP",
+            IndexKind::L2 => "L2",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_respects_enabled_bounds() {
+        assert_eq!(BoundPolicy::L2AP.combine(0.3, 0.5), 0.3);
+        assert_eq!(BoundPolicy::AP.combine(0.3, 0.1), 0.3);
+        assert_eq!(BoundPolicy::L2.combine(0.3, 0.1), 0.1);
+        assert_eq!(BoundPolicy::INV.combine(0.3, 0.1), f64::INFINITY);
+    }
+
+    #[test]
+    fn kinds_map_to_policies() {
+        assert_eq!(IndexKind::Inv.policy(), BoundPolicy::INV);
+        assert_eq!(IndexKind::Ap.policy(), BoundPolicy::AP);
+        assert_eq!(IndexKind::L2ap.policy(), BoundPolicy::L2AP);
+        assert_eq!(IndexKind::L2.policy(), BoundPolicy::L2);
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for k in IndexKind::ALL {
+            assert_eq!(IndexKind::parse(&k.to_string()), Some(k));
+        }
+        assert_eq!(IndexKind::parse("nope"), None);
+    }
+}

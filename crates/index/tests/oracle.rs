@@ -1,0 +1,103 @@
+//! Oracle tests: every index variant must produce exactly the brute-force
+//! join output on randomised datasets.
+
+use proptest::prelude::*;
+use sssj_baseline::brute_force_all_pairs;
+use sssj_index::{all_pairs, IndexKind};
+use sssj_types::{SparseVectorBuilder, StreamRecord, Timestamp};
+
+/// Builds a random dataset of `n` unit vectors over `dims` dimensions.
+fn dataset(
+    n: usize,
+    dims: u32,
+    max_nnz: usize,
+) -> impl Strategy<Value = Vec<StreamRecord>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..dims, 0.05f64..1.0), 1..=max_nnz),
+        1..=n,
+    )
+    .prop_map(|vecs| {
+        vecs.into_iter()
+            .enumerate()
+            .map(|(i, entries)| {
+                let mut b = SparseVectorBuilder::new();
+                for (d, w) in entries {
+                    b.push(d, w);
+                }
+                StreamRecord::new(
+                    i as u64,
+                    Timestamp::ZERO,
+                    b.build_normalized().expect("positive weights"),
+                )
+            })
+            .collect()
+    })
+}
+
+/// Sorted pair keys with scores far from the threshold boundary (float
+/// noise at |sim − θ| < ε could legitimately flip membership).
+fn robust_keys(pairs: &[sssj_types::SimilarPair], theta: f64) -> Vec<(u64, u64)> {
+    let mut keys: Vec<(u64, u64)> = pairs
+        .iter()
+        .filter(|p| (p.similarity - theta).abs() > 1e-9)
+        .map(|p| p.key())
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All four index variants find exactly the brute-force pairs.
+    #[test]
+    fn all_kinds_match_bruteforce(
+        data in dataset(60, 24, 6),
+        theta in 0.2f64..0.95,
+    ) {
+        let expected = robust_keys(&brute_force_all_pairs(&data, theta), theta);
+        for kind in IndexKind::ALL {
+            let (pairs, _) = all_pairs(&data, theta, kind);
+            let got = robust_keys(&pairs, theta);
+            prop_assert_eq!(&got, &expected, "{} disagrees with oracle at θ={}", kind, theta);
+        }
+    }
+
+    /// Similarity scores, not only pair identities, match the oracle.
+    #[test]
+    fn scores_match_bruteforce(
+        data in dataset(40, 16, 5),
+        theta in 0.3f64..0.9,
+    ) {
+        let mut expected = brute_force_all_pairs(&data, theta);
+        expected.sort_by_key(|a| a.key());
+        for kind in IndexKind::ALL {
+            let (mut pairs, _) = all_pairs(&data, theta, kind);
+            pairs.sort_by_key(|a| a.key());
+            // Compare scores on the common (robust) subset.
+            for (e, g) in expected.iter().zip(pairs.iter()) {
+                if e.key() == g.key() {
+                    prop_assert!((e.similarity - g.similarity).abs() < 1e-9, "{}", kind);
+                }
+            }
+        }
+    }
+
+    /// Work ordering: pruning indexes never traverse more posting entries
+    /// than INV, and L2AP prunes at least as hard as L2 on candidates.
+    #[test]
+    fn pruning_never_increases_inv_traversal(
+        data in dataset(50, 16, 6),
+        theta in 0.5f64..0.95,
+    ) {
+        let (_, inv) = all_pairs(&data, theta, IndexKind::Inv);
+        for kind in [IndexKind::L2, IndexKind::L2ap] {
+            let (_, s) = all_pairs(&data, theta, kind);
+            prop_assert!(
+                s.entries_traversed <= inv.entries_traversed,
+                "{} traversed {} > INV {}", kind, s.entries_traversed, inv.entries_traversed
+            );
+            prop_assert!(s.postings_added <= inv.postings_added);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Banding: the amplification layer of the LSH join.
+//!
+//! A `bits`-wide signature is cut into `bands` contiguous groups of
+//! `rows = bits/bands` bits. Two vectors are candidates when they agree on
+//! *all* rows of *at least one* band, which turns the per-bit collision
+//! probability `p = 1 − angle/π` into the classic S-curve
+//! `1 − (1 − p^rows)^bands`: near-duplicates almost surely collide, while
+//! distant pairs almost never do.
+
+use crate::simhash::{splitmix64, Signature};
+
+/// A banding scheme over signatures of a fixed width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bands {
+    bands: u32,
+    rows: u32,
+}
+
+impl Bands {
+    /// Creates a scheme with `bands` bands over `bits`-wide signatures.
+    /// `bits` must divide evenly into bands of at most 64 rows.
+    pub fn new(bits: u32, bands: u32) -> Self {
+        assert!(bands > 0, "bands must be positive");
+        assert!(
+            bits.is_multiple_of(bands),
+            "bands ({bands}) must divide signature width ({bits})"
+        );
+        let rows = bits / bands;
+        assert!((1..=64).contains(&rows), "rows per band must be in 1..=64: {rows}");
+        Bands { bands, rows }
+    }
+
+    /// Number of bands.
+    pub fn bands(&self) -> u32 {
+        self.bands
+    }
+
+    /// Rows (bits) per band.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// The bucket key for `band` of `sig`: the band's bits mixed with the
+    /// band index, so different bands never share buckets.
+    pub fn key(&self, sig: &Signature, band: u32) -> u64 {
+        assert!(band < self.bands, "band {band} out of range ({})", self.bands);
+        let raw = sig.extract(band * self.rows, self.rows);
+        splitmix64(raw ^ ((band as u64) << 56) ^ 0xC0FF_EE00_D15E_A5E5)
+    }
+
+    /// All band keys of a signature.
+    pub fn keys<'a>(&'a self, sig: &'a Signature) -> impl Iterator<Item = u64> + 'a {
+        (0..self.bands).map(move |b| self.key(sig, b))
+    }
+
+    /// The analytic S-curve: collision probability of a pair whose
+    /// signatures agree on each bit independently with probability `p`.
+    pub fn collision_probability(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability: {p}");
+        1.0 - (1.0 - p.powi(self.rows as i32)).powi(self.bands as i32)
+    }
+
+    /// Collision probability for a pair at the given *cosine* similarity,
+    /// via `p = 1 − arccos(sim)/π`.
+    pub fn collision_probability_at(&self, cosine: f64) -> f64 {
+        let c = cosine.clamp(-1.0, 1.0);
+        self.collision_probability(1.0 - c.acos() / std::f64::consts::PI)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimHasher;
+    use sssj_types::vector::unit_vector;
+
+    #[test]
+    fn identical_signatures_share_every_key() {
+        let h = SimHasher::new(128, 5);
+        let s = h.sign(&unit_vector(&[(1, 1.0), (7, 0.4)]));
+        let bands = Bands::new(128, 16);
+        let a: Vec<u64> = bands.keys(&s).collect();
+        let b: Vec<u64> = bands.keys(&s.clone()).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn different_bands_never_collide_even_on_equal_bits() {
+        // A signature of all-zero bits has identical raw band content;
+        // the band index must still separate the keys.
+        let h = SimHasher::new(128, 5);
+        let s = h.sign(&unit_vector(&[(1, 1.0)]));
+        let bands = Bands::new(128, 8);
+        let keys: std::collections::HashSet<u64> = bands.keys(&s).collect();
+        assert_eq!(keys.len(), 8, "band keys must be pairwise distinct");
+    }
+
+    #[test]
+    fn s_curve_limits() {
+        let bands = Bands::new(128, 16);
+        assert_eq!(bands.collision_probability(1.0), 1.0);
+        assert_eq!(bands.collision_probability(0.0), 0.0);
+        // Monotone in p.
+        let lo = bands.collision_probability(0.4);
+        let hi = bands.collision_probability(0.8);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn more_bands_raise_collision_probability() {
+        let few = Bands::new(128, 4); // 32 rows: very strict
+        let many = Bands::new(128, 32); // 4 rows: very permissive
+        let p = 0.9;
+        assert!(many.collision_probability(p) > few.collision_probability(p));
+    }
+
+    #[test]
+    fn cosine_form_matches_probability_form() {
+        let bands = Bands::new(256, 32);
+        let cosine: f64 = 0.8;
+        let p = 1.0 - cosine.acos() / std::f64::consts::PI;
+        assert!(
+            (bands.collision_probability_at(cosine) - bands.collision_probability(p)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn uneven_bands_rejected() {
+        Bands::new(128, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows per band")]
+    fn oversized_rows_rejected() {
+        Bands::new(128, 1); // 128 rows > 64
+    }
+}

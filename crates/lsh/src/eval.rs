@@ -1,0 +1,181 @@
+//! Recall/precision evaluation of the approximate join against the exact
+//! output.
+
+use std::collections::HashSet;
+
+use sssj_core::StreamJoin;
+use sssj_types::{SimilarPair, StreamRecord};
+
+use crate::join::{LshJoin, LshParams};
+
+/// Accuracy of one LSH configuration against the exact join output.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccuracyReport {
+    /// Fraction of exact pairs the LSH join also reports.
+    pub recall: f64,
+    /// Fraction of LSH pairs that are exact pairs (1.0 in
+    /// [`crate::VerifyMode::Exact`] by construction).
+    pub precision: f64,
+    /// Pairs in the exact output.
+    pub exact_pairs: usize,
+    /// Pairs in the LSH output.
+    pub lsh_pairs: usize,
+    /// Candidate checks the LSH join performed (its work measure).
+    pub candidate_checks: u64,
+}
+
+/// Runs [`LshJoin`] over `stream` and scores it against `reference` (the
+/// exact join output for the same `(θ, λ)`, e.g. from
+/// `sssj_baseline::brute_force_stream` or any `sssj_core` algorithm).
+pub fn measure_accuracy(
+    stream: &[StreamRecord],
+    theta: f64,
+    lambda: f64,
+    params: LshParams,
+    reference: &[SimilarPair],
+) -> AccuracyReport {
+    let mut join = LshJoin::new(theta, lambda, params);
+    let mut out = Vec::new();
+    for r in stream {
+        join.process(r, &mut out);
+    }
+    join.finish(&mut out);
+
+    let exact: HashSet<(u64, u64)> = reference.iter().map(|p| p.key()).collect();
+    let got: HashSet<(u64, u64)> = out.iter().map(|p| p.key()).collect();
+    let hit = exact.intersection(&got).count();
+    AccuracyReport {
+        recall: if exact.is_empty() {
+            1.0
+        } else {
+            hit as f64 / exact.len() as f64
+        },
+        precision: if got.is_empty() {
+            1.0
+        } else {
+            hit as f64 / got.len() as f64
+        },
+        exact_pairs: exact.len(),
+        lsh_pairs: got.len(),
+        candidate_checks: join.stats().candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VerifyMode;
+    use sssj_baseline::brute_force_stream;
+    use sssj_types::{SparseVectorBuilder, Timestamp};
+
+    /// A near-duplicate-heavy stream: pairs of noisy copies arriving close
+    /// together, plus unrelated background traffic.
+    fn near_duplicate_stream(seed: u64, groups: usize) -> Vec<StreamRecord> {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let mut id = 0;
+        for _ in 0..groups {
+            t += rng.random_range(0.5..2.0);
+            let base: Vec<(u32, f64)> = (0..8)
+                .map(|_| (rng.random_range(0..200u32), rng.random_range(0.2..1.0)))
+                .collect();
+            for copy in 0..2 {
+                let mut b = SparseVectorBuilder::new();
+                for &(d, w) in &base {
+                    b.push(d, w * rng.random_range(0.95..1.05));
+                }
+                out.push(StreamRecord::new(
+                    id,
+                    Timestamp::new(t + copy as f64 * 0.1),
+                    b.build_normalized().unwrap(),
+                ));
+                id += 1;
+            }
+            // Unrelated noise record.
+            let mut b = SparseVectorBuilder::new();
+            for _ in 0..6 {
+                b.push(rng.random_range(200..4000u32), rng.random_range(0.2..1.0));
+            }
+            out.push(StreamRecord::new(
+                id,
+                Timestamp::new(t + 0.2),
+                b.build_normalized().unwrap(),
+            ));
+            id += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn high_recall_on_near_duplicates() {
+        let stream = near_duplicate_stream(11, 60);
+        let (theta, lambda) = (0.8, 0.1);
+        let reference = brute_force_stream(&stream, theta, lambda);
+        assert!(reference.len() >= 50, "need a meaningful reference set");
+        let report = measure_accuracy(&stream, theta, lambda, LshParams::default(), &reference);
+        assert!(report.recall >= 0.95, "recall={}", report.recall);
+        assert_eq!(report.precision, 1.0); // Exact verification
+    }
+
+    #[test]
+    fn more_bands_more_recall_fewer_rows_more_checks() {
+        let stream = near_duplicate_stream(13, 50);
+        let (theta, lambda) = (0.7, 0.1);
+        let reference = brute_force_stream(&stream, theta, lambda);
+        let strict = measure_accuracy(
+            &stream,
+            theta,
+            lambda,
+            LshParams {
+                bits: 256,
+                bands: 8, // 32 rows: very strict
+                ..LshParams::default()
+            },
+            &reference,
+        );
+        let permissive = measure_accuracy(
+            &stream,
+            theta,
+            lambda,
+            LshParams {
+                bits: 256,
+                bands: 64, // 4 rows: very permissive
+                ..LshParams::default()
+            },
+            &reference,
+        );
+        assert!(permissive.recall >= strict.recall);
+        assert!(permissive.candidate_checks >= strict.candidate_checks);
+    }
+
+    #[test]
+    fn estimate_mode_can_have_false_positives_but_stays_sane() {
+        let stream = near_duplicate_stream(17, 40);
+        let (theta, lambda) = (0.8, 0.1);
+        let reference = brute_force_stream(&stream, theta, lambda);
+        let report = measure_accuracy(
+            &stream,
+            theta,
+            lambda,
+            LshParams {
+                verify: VerifyMode::Estimate,
+                ..LshParams::default()
+            },
+            &reference,
+        );
+        // Estimation noise allows precision < 1, but near-duplicates sit
+        // far from the decision boundary, so both metrics stay high.
+        assert!(report.recall >= 0.8, "recall={}", report.recall);
+        assert!(report.precision >= 0.5, "precision={}", report.precision);
+    }
+
+    #[test]
+    fn empty_reference_is_perfect_recall() {
+        let stream = near_duplicate_stream(19, 3);
+        let report = measure_accuracy(&stream, 0.999999, 10.0, LshParams::default(), &[]);
+        assert_eq!(report.recall, 1.0);
+        assert_eq!(report.exact_pairs, 0);
+    }
+}

@@ -1,0 +1,422 @@
+//! The approximate streaming join.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use sssj_core::StreamJoin;
+use sssj_metrics::JoinStats;
+use sssj_types::{dot, Decay, SimilarPair, SparseVector, StreamRecord, VectorId};
+
+use crate::bands::Bands;
+use crate::simhash::{SimHasher, Signature};
+
+/// How candidate pairs are scored before the threshold test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Exact dot product against the stored vector: **no false
+    /// positives**, only (LSH-induced) false negatives. The default.
+    #[default]
+    Exact,
+    /// Cosine estimated from signature Hamming distance: never touches
+    /// the original vectors (they are not even stored), at the price of
+    /// both false positives and extra false negatives.
+    Estimate,
+}
+
+/// Tuning of the approximate join.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LshParams {
+    /// Signature width in bits (positive multiple of 64).
+    pub bits: u32,
+    /// Number of bands (must divide `bits`, rows per band ≤ 64). More
+    /// bands → higher recall, more candidate checks.
+    pub bands: u32,
+    /// Hyperplane seed; fixed default for reproducibility.
+    pub seed: u64,
+    /// Scoring mode.
+    pub verify: VerifyMode,
+}
+
+impl Default for LshParams {
+    fn default() -> Self {
+        LshParams {
+            bits: 256,
+            bands: 32,
+            seed: 0x5353_534A, // "SSSJ"
+            verify: VerifyMode::Exact,
+        }
+    }
+}
+
+impl LshParams {
+    /// The analytic probability that a pair at cosine similarity `c`
+    /// (before decay) becomes a candidate.
+    pub fn collision_probability_at(&self, cosine: f64) -> f64 {
+        Bands::new(self.bits, self.bands).collision_probability_at(cosine)
+    }
+}
+
+/// Per-vector stored state while inside the horizon.
+struct Stored {
+    t: f64,
+    signature: Signature,
+    /// Present only in [`VerifyMode::Exact`].
+    vector: Option<SparseVector>,
+}
+
+/// Approximate streaming similarity self-join: SimHash + banding +
+/// time-filtered collision buckets.
+///
+/// Reports a subset of the exact join output (under
+/// [`VerifyMode::Exact`]); the miss probability for a pair at cosine `c`
+/// is `1 − collision_probability_at(c)` and is sharply concentrated
+/// towards low-similarity pairs by the banding S-curve.
+///
+/// ```
+/// use sssj_core::StreamJoin;
+/// use sssj_lsh::{LshJoin, LshParams};
+/// use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
+///
+/// let mut join = LshJoin::new(0.7, 0.1, LshParams::default());
+/// let mut out = Vec::new();
+/// for (id, t) in [(0, 0.0), (1, 1.0)] {
+///     let r = StreamRecord::new(id, Timestamp::new(t), unit_vector(&[(1, 1.0), (2, 2.0)]));
+///     join.process(&r, &mut out);
+/// }
+/// // Identical vectors always collide (identical signatures).
+/// assert_eq!(out.len(), 1);
+/// ```
+pub struct LshJoin {
+    theta: f64,
+    decay: Decay,
+    tau: f64,
+    hasher: SimHasher,
+    bands: Bands,
+    params: LshParams,
+    /// band key → arrival-ordered (id, t) entries.
+    buckets: HashMap<u64, VecDeque<(VectorId, f64)>>,
+    /// id → stored sketch (+vector in Exact mode).
+    store: HashMap<VectorId, Stored>,
+    /// Arrival order of stored ids, for horizon eviction.
+    arrivals: VecDeque<(f64, VectorId)>,
+    candidates: HashSet<VectorId>,
+    stats: JoinStats,
+    live_postings: u64,
+    /// Live count at the last global sweep (amortisation threshold).
+    swept_at: u64,
+}
+
+impl LshJoin {
+    /// Creates an approximate join for threshold `θ` and decay `λ`.
+    pub fn new(theta: f64, lambda: f64, params: LshParams) -> Self {
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]: {theta}");
+        let decay = Decay::new(lambda);
+        let tau = decay.horizon(theta);
+        assert!(
+            tau.is_finite(),
+            "λ = 0 gives an infinite horizon; the streaming join needs finite forgetting"
+        );
+        LshJoin {
+            theta,
+            decay,
+            tau,
+            hasher: SimHasher::new(params.bits, params.seed),
+            bands: Bands::new(params.bits, params.bands),
+            params,
+            buckets: HashMap::new(),
+            store: HashMap::new(),
+            arrivals: VecDeque::new(),
+            candidates: HashSet::new(),
+            stats: JoinStats::new(),
+            live_postings: 0,
+            swept_at: 0,
+        }
+    }
+
+    /// The parameters this join was built with.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// The time horizon.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Vectors currently inside the horizon.
+    pub fn stored_vectors(&self) -> usize {
+        self.store.len()
+    }
+
+    fn evict(&mut self, now: f64) {
+        while let Some(&(t, id)) = self.arrivals.front() {
+            if now - t > self.tau {
+                self.arrivals.pop_front();
+                self.store.remove(&id);
+            } else {
+                break;
+            }
+        }
+        // Probe-time pruning only touches buckets the current signature
+        // hits; entries under never-revisited band keys would otherwise
+        // accumulate forever. Sweep all buckets whenever the live count
+        // doubles since the last sweep — amortised O(1) per entry,
+        // bounding memory to O(in-horizon entries).
+        if self.live_postings > 2 * self.swept_at.max(self.params.bands as u64) {
+            let tau = self.tau;
+            let mut pruned = 0u64;
+            self.buckets.retain(|_, bucket| {
+                while let Some(&(_, t)) = bucket.front() {
+                    if now - t > tau {
+                        bucket.pop_front();
+                        pruned += 1;
+                    } else {
+                        break;
+                    }
+                }
+                !bucket.is_empty()
+            });
+            self.stats.entries_pruned += pruned;
+            self.live_postings -= pruned;
+            self.swept_at = self.live_postings;
+        }
+    }
+}
+
+impl StreamJoin for LshJoin {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        let now = record.t.seconds();
+        self.evict(now);
+        let sig = self.hasher.sign(&record.vector);
+        self.candidates.clear();
+
+        // Probe: collect in-horizon collision candidates, pruning bucket
+        // fronts (time filtering — buckets are arrival-ordered).
+        for key in self.bands.keys(&sig) {
+            if let Some(bucket) = self.buckets.get_mut(&key) {
+                while let Some(&(_, t)) = bucket.front() {
+                    if now - t > self.tau {
+                        bucket.pop_front();
+                        self.stats.entries_pruned += 1;
+                        self.live_postings -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                for &(id, _) in bucket.iter() {
+                    self.stats.entries_traversed += 1;
+                    self.candidates.insert(id);
+                }
+            }
+        }
+
+        // Score candidates.
+        for &id in &self.candidates {
+            let Some(stored) = self.store.get(&id) else {
+                continue;
+            };
+            self.stats.candidates += 1;
+            let df = self.decay.factor((now - stored.t).max(0.0));
+            let sim = match self.params.verify {
+                VerifyMode::Exact => {
+                    self.stats.full_sims += 1;
+                    let v = stored
+                        .vector
+                        .as_ref()
+                        .expect("Exact mode stores vectors");
+                    dot(&record.vector, v) * df
+                }
+                VerifyMode::Estimate => sig.estimate_cosine(&stored.signature) * df,
+            };
+            if sim >= self.theta {
+                self.stats.pairs_output += 1;
+                out.push(SimilarPair::new(id, record.id, sim));
+            }
+        }
+
+        // Insert: one bucket entry per band, plus the store.
+        for key in self.bands.keys(&sig) {
+            self.buckets
+                .entry(key)
+                .or_default()
+                .push_back((record.id, now));
+            self.live_postings += 1;
+            self.stats.postings_added += 1;
+        }
+        let vector = match self.params.verify {
+            VerifyMode::Exact => {
+                self.stats.residual_coords += record.vector.nnz() as u64;
+                Some(record.vector.clone())
+            }
+            VerifyMode::Estimate => None,
+        };
+        self.store.insert(
+            record.id,
+            Stored {
+                t: now,
+                signature: sig,
+                vector,
+            },
+        );
+        self.arrivals.push_back((now, record.id));
+        self.stats.observe_postings(self.live_postings);
+    }
+
+    fn finish(&mut self, _out: &mut Vec<SimilarPair>) {}
+
+    fn stats(&self) -> JoinStats {
+        self.stats
+    }
+
+    fn live_postings(&self) -> u64 {
+        self.live_postings
+    }
+
+    fn name(&self) -> String {
+        let mode = match self.params.verify {
+            VerifyMode::Exact => "exact",
+            VerifyMode::Estimate => "est",
+        };
+        format!(
+            "LSH-{}x{}-{}",
+            self.params.bands,
+            self.params.bits / self.params.bands,
+            mode
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn rec(id: u64, t: f64, entries: &[(u32, f64)]) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::new(t), unit_vector(entries))
+    }
+
+    fn run(join: &mut LshJoin, stream: &[StreamRecord]) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for r in stream {
+            join.process(r, &mut out);
+        }
+        let mut keys: Vec<_> = out.iter().map(|p| p.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn identical_vectors_always_found() {
+        let stream = vec![
+            rec(0, 0.0, &[(1, 1.0), (2, 2.0)]),
+            rec(1, 1.0, &[(1, 1.0), (2, 2.0)]),
+        ];
+        let mut join = LshJoin::new(0.7, 0.1, LshParams::default());
+        assert_eq!(run(&mut join, &stream), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn horizon_still_applies() {
+        let stream = vec![
+            rec(0, 0.0, &[(1, 1.0)]),
+            rec(1, 1000.0, &[(1, 1.0)]), // far beyond τ ≈ 3.6
+        ];
+        let mut join = LshJoin::new(0.7, 0.1, LshParams::default());
+        assert!(run(&mut join, &stream).is_empty());
+        assert_eq!(join.stored_vectors(), 1); // the expired one was evicted
+    }
+
+    #[test]
+    fn exact_mode_has_no_false_positives() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut t = 0.0;
+        let stream: Vec<StreamRecord> = (0..300)
+            .map(|i| {
+                t += rng.random_range(0.0..0.5);
+                let entries: Vec<(u32, f64)> = (0..rng.random_range(1..5))
+                    .map(|_| (rng.random_range(0..12u32), rng.random_range(0.1..1.0)))
+                    .collect();
+                rec(i, t, &entries)
+            })
+            .collect();
+        let theta = 0.6;
+        let lambda = 0.1;
+        let mut join = LshJoin::new(theta, lambda, LshParams::default());
+        let mut out = Vec::new();
+        for r in &stream {
+            join.process(r, &mut out);
+        }
+        let decay = Decay::new(lambda);
+        let by_id: std::collections::HashMap<u64, &StreamRecord> =
+            stream.iter().map(|r| (r.id, r)).collect();
+        for p in &out {
+            let a = by_id[&p.left];
+            let b = by_id[&p.right];
+            let truth = decay.apply(dot(&a.vector, &b.vector), a.t.delta(b.t));
+            assert!(truth >= theta, "false positive: {} < {theta}", truth);
+            assert!((p.similarity - truth).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimate_mode_stores_no_vectors() {
+        let params = LshParams {
+            verify: VerifyMode::Estimate,
+            ..LshParams::default()
+        };
+        let mut join = LshJoin::new(0.7, 0.1, params);
+        let mut out = Vec::new();
+        join.process(&rec(0, 0.0, &[(1, 1.0), (2, 1.0)]), &mut out);
+        join.process(&rec(1, 0.5, &[(1, 1.0), (2, 1.0)]), &mut out);
+        assert_eq!(out.len(), 1); // identical signature → estimate 1.0
+        assert_eq!(join.stats().full_sims, 0);
+        assert_eq!(join.stats().residual_coords, 0);
+    }
+
+    #[test]
+    fn bucket_entries_are_time_pruned() {
+        let mut join = LshJoin::new(0.5, 1.0, LshParams::default()); // τ ≈ 0.69
+        let mut out = Vec::new();
+        for i in 0..50 {
+            join.process(&rec(i, i as f64 * 10.0, &[(1, 1.0)]), &mut out);
+        }
+        assert!(out.is_empty());
+        // Each arrival lands in 32 band buckets; the previous occupant of
+        // each is expired and pruned at probe time.
+        assert!(join.live_postings() <= 2 * 32, "live={}", join.live_postings());
+        assert!(join.stats().entries_pruned > 0);
+    }
+
+    #[test]
+    fn unique_band_keys_do_not_leak() {
+        // Every record is a distinct singleton dimension, so band keys
+        // essentially never repeat and probe-time pruning never fires;
+        // only the global sweep keeps memory bounded.
+        let mut join = LshJoin::new(0.5, 1.0, LshParams::default()); // τ ≈ 0.69
+        let mut out = Vec::new();
+        for i in 0..2_000u64 {
+            join.process(&rec(i, i as f64, &[(i as u32, 1.0)]), &mut out);
+        }
+        assert!(out.is_empty());
+        // Without the sweep this would be ~2000 × 32 entries.
+        let bands = join.params().bands as u64;
+        assert!(
+            join.live_postings() <= 8 * bands,
+            "live={} (leak)",
+            join.live_postings()
+        );
+        assert_eq!(join.stored_vectors(), 1);
+    }
+
+    #[test]
+    fn name_encodes_shape() {
+        let join = LshJoin::new(0.5, 0.1, LshParams::default());
+        assert_eq!(join.name(), "LSH-32x8-exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite horizon")]
+    fn zero_lambda_rejected() {
+        LshJoin::new(0.5, 0.0, LshParams::default());
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Approximate streaming similarity self-join via SimHash LSH.
+//!
+//! The exact algorithms of `sssj-core` guarantee no false negatives; this
+//! crate trades that guarantee for index probes whose cost is independent
+//! of vector density — the regime (very dense vectors, short horizons)
+//! where §7 shows even STR-L2's posting-list scans getting expensive.
+//!
+//! The pipeline is the classic random-hyperplane sketch of Charikar
+//! (SimHash) combined with banding, adapted to the paper's streaming,
+//! time-decayed setting:
+//!
+//! 1. each vector is sketched into a `b`-bit [`Signature`]
+//!    ([`SimHasher`]): bit `i` is the sign of a projection onto a pseudo
+//!    random ±1 hyperplane, so
+//!    `P[bit differs] = angle(x, y)/π`;
+//! 2. the signature is cut into [`Bands`]; two vectors *collide* when
+//!    they agree on all rows of at least one band, and only colliding
+//!    pairs are examined;
+//! 3. collision buckets hold `(id, t)` entries in arrival order and are
+//!    pruned at the time horizon `τ = ln(1/θ)/λ`, exactly like the exact
+//!    algorithms' posting lists (*time filtering* carries over
+//!    unchanged);
+//! 4. surviving candidates are either verified exactly
+//!    ([`VerifyMode::Exact`] — no false positives, the default) or scored
+//!    from signature Hamming distance ([`VerifyMode::Estimate`] — no
+//!    stored vectors at all).
+//!
+//! [`measure_accuracy`] quantifies the recall/precision trade-off against
+//! the exact oracle; the `lsh_recall` bench sweeps it.
+
+pub mod bands;
+pub mod eval;
+pub mod join;
+pub mod simhash;
+
+pub use bands::Bands;
+pub use eval::{measure_accuracy, AccuracyReport};
+pub use join::{LshJoin, LshParams, VerifyMode};
+pub use simhash::{SimHasher, Signature};

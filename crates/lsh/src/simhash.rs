@@ -1,0 +1,250 @@
+//! Random-hyperplane (SimHash) signatures for cosine similarity.
+//!
+//! Bit `i` of a signature is `sign(Σ_j x_j · r_{i,j})` where `r_{i,j}` is
+//! a pseudo-random standard normal derived by hashing `(seed, i, j)` — no
+//! hyperplane is ever materialised, so the scheme works for arbitrarily
+//! large dimension ids at O(nnz · bits) per vector and O(1) memory.
+//! Gaussian components (rather than the cheaper ±1) matter: for very
+//! sparse vectors, discrete projections produce ties and bias the
+//! collision probability away from `angle/π`.
+//!
+//! For unit vectors, `P[bit_i(x) ≠ bit_i(y)] = θ_xy/π` where `θ_xy` is the
+//! angle between `x` and `y` (Goemans–Williamson), which makes the Hamming
+//! distance between signatures an unbiased angle estimator:
+//! [`Signature::estimate_cosine`].
+
+use sssj_types::SparseVector;
+
+/// SplitMix64 — the statistically solid 64-bit mixer we use as a keyed
+/// hash for hyperplane components and band keys.
+#[inline]
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The standard-normal hyperplane component for (seed, bit, dim), via
+/// Box–Muller over two keyed hashes.
+#[inline]
+fn gaussian(seed: u64, bit: u32, dim: u32) -> f64 {
+    let key = seed ^ (((bit as u64) << 32) | dim as u64);
+    let h1 = splitmix64(key);
+    let h2 = splitmix64(h1 ^ 0xA5A5_A5A5_A5A5_A5A5);
+    // Map to (0, 1]: keep u1 away from 0 so ln(u1) is finite.
+    let u1 = ((h1 >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    let u2 = (h2 >> 11) as f64 / (1u64 << 53) as f64;
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A `bits`-wide SimHash sketch, packed into 64-bit words.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Signature {
+    words: Vec<u64>,
+    bits: u32,
+}
+
+impl Signature {
+    /// Signature width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The packed words (low bit of word 0 is bit 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Bit `i` of the signature.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.bits, "bit {i} out of range ({})", self.bits);
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Hamming distance to another signature of the same width.
+    pub fn hamming(&self, other: &Signature) -> u32 {
+        assert_eq!(self.bits, other.bits, "signature widths differ");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Cosine similarity estimated from the Hamming distance:
+    /// `cos(π · ham/bits)`. Unbiased in the angle, so only approximately
+    /// unbiased in the cosine; accuracy grows with `bits`.
+    pub fn estimate_cosine(&self, other: &Signature) -> f64 {
+        let frac = self.hamming(other) as f64 / self.bits as f64;
+        (std::f64::consts::PI * frac).cos()
+    }
+
+    /// The `rows` bits starting at `lo`, as the low bits of a `u64`
+    /// (`rows ≤ 64`). Used by banding.
+    pub(crate) fn extract(&self, lo: u32, rows: u32) -> u64 {
+        debug_assert!((1..=64).contains(&rows));
+        debug_assert!(lo + rows <= self.bits);
+        let word = (lo / 64) as usize;
+        let shift = lo % 64;
+        let mut v = self.words[word] >> shift;
+        let taken = 64 - shift;
+        if rows > taken {
+            v |= self.words[word + 1] << taken;
+        }
+        if rows == 64 {
+            v
+        } else {
+            v & ((1u64 << rows) - 1)
+        }
+    }
+}
+
+/// A deterministic SimHash sketcher.
+///
+/// ```
+/// use sssj_lsh::SimHasher;
+/// use sssj_types::vector::unit_vector;
+///
+/// let hasher = SimHasher::new(128, 42);
+/// let a = hasher.sign(&unit_vector(&[(1, 1.0), (2, 1.0)]));
+/// let b = hasher.sign(&unit_vector(&[(1, 1.0), (2, 1.0)]));
+/// let c = hasher.sign(&unit_vector(&[(9, 1.0)]));
+/// assert_eq!(a.hamming(&b), 0);          // identical inputs, identical sketch
+/// assert!(a.hamming(&c) > 32);           // unrelated inputs differ widely
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SimHasher {
+    bits: u32,
+    seed: u64,
+}
+
+impl SimHasher {
+    /// Creates a sketcher with the given signature width (a positive
+    /// multiple of 64, so signatures pack exactly) and seed.
+    pub fn new(bits: u32, seed: u64) -> Self {
+        assert!(bits > 0 && bits.is_multiple_of(64), "bits must be a positive multiple of 64: {bits}");
+        SimHasher { bits, seed }
+    }
+
+    /// Signature width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Sketches a vector.
+    pub fn sign(&self, v: &SparseVector) -> Signature {
+        let mut words = vec![0u64; (self.bits / 64) as usize];
+        for bit in 0..self.bits {
+            let mut acc = 0.0;
+            for (dim, w) in v.iter() {
+                acc += w * gaussian(self.seed, bit, dim);
+            }
+            if acc >= 0.0 {
+                words[(bit / 64) as usize] |= 1 << (bit % 64);
+            }
+        }
+        Signature {
+            words,
+            bits: self.bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::vector::unit_vector;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let h = SimHasher::new(64, 7);
+        let v = unit_vector(&[(3, 1.0), (10, 0.5)]);
+        assert_eq!(h.sign(&v), h.sign(&v));
+    }
+
+    #[test]
+    fn seed_changes_signature() {
+        let v = unit_vector(&[(3, 1.0), (10, 0.5)]);
+        let a = SimHasher::new(128, 1).sign(&v);
+        let b = SimHasher::new(128, 2).sign(&v);
+        assert!(a.hamming(&b) > 0);
+    }
+
+    #[test]
+    fn hamming_is_metric_like() {
+        let h = SimHasher::new(128, 3);
+        let a = h.sign(&unit_vector(&[(1, 1.0)]));
+        let b = h.sign(&unit_vector(&[(2, 1.0)]));
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(a.hamming(&b), b.hamming(&a));
+        assert!(a.hamming(&b) <= 128);
+    }
+
+    #[test]
+    fn orthogonal_vectors_differ_on_about_half_the_bits() {
+        // angle = π/2 → expected disagreement 0.5; with 512 bits the
+        // binomial concentrates tightly.
+        let h = SimHasher::new(512, 11);
+        let a = h.sign(&unit_vector(&[(1, 1.0)]));
+        let b = h.sign(&unit_vector(&[(2, 1.0)]));
+        let frac = a.hamming(&b) as f64 / 512.0;
+        assert!((frac - 0.5).abs() < 0.1, "frac={frac}");
+    }
+
+    #[test]
+    fn similar_vectors_differ_on_few_bits() {
+        // cos = 0.98 → angle ≈ 0.2 rad → expected disagreement ≈ 6 %.
+        let h = SimHasher::new(512, 13);
+        let a = h.sign(&unit_vector(&[(1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]));
+        let b = h.sign(&unit_vector(&[(1, 1.0), (2, 1.0), (3, 1.0), (4, 0.7)]));
+        let frac = a.hamming(&b) as f64 / 512.0;
+        assert!(frac < 0.15, "frac={frac}");
+    }
+
+    #[test]
+    fn cosine_estimate_tracks_truth() {
+        let h = SimHasher::new(1024, 17);
+        let pairs = [
+            (unit_vector(&[(1, 1.0)]), unit_vector(&[(1, 1.0)]), 1.0),
+            (unit_vector(&[(1, 1.0)]), unit_vector(&[(2, 1.0)]), 0.0),
+            (
+                unit_vector(&[(1, 1.0), (2, 1.0)]),
+                unit_vector(&[(1, 1.0)]),
+                std::f64::consts::FRAC_1_SQRT_2,
+            ),
+        ];
+        for (a, b, truth) in pairs {
+            let est = h.sign(&a).estimate_cosine(&h.sign(&b));
+            assert!((est - truth).abs() < 0.12, "est={est} truth={truth}");
+        }
+    }
+
+    #[test]
+    fn extract_crosses_word_boundaries() {
+        let h = SimHasher::new(128, 23);
+        let s = h.sign(&unit_vector(&[(1, 1.0), (5, 0.3)]));
+        // Reconstruct bits through extract and compare with bit().
+        for lo in [0u32, 7, 60, 63, 64, 100] {
+            let rows = 8.min(128 - lo);
+            let v = s.extract(lo, rows);
+            for i in 0..rows {
+                assert_eq!((v >> i) & 1 == 1, s.bit(lo + i), "lo={lo} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn odd_width_rejected() {
+        SimHasher::new(100, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn mismatched_widths_rejected() {
+        let a = SimHasher::new(64, 1).sign(&unit_vector(&[(1, 1.0)]));
+        let b = SimHasher::new(128, 1).sign(&unit_vector(&[(1, 1.0)]));
+        a.hamming(&b);
+    }
+}

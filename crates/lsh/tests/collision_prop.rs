@@ -1,0 +1,95 @@
+//! Statistical properties of the SimHash sketch: the per-bit disagreement
+//! rate must track `angle/π`, and banding recall must follow the
+//! analytic S-curve.
+
+use proptest::prelude::*;
+use sssj_lsh::{Bands, SimHasher};
+use sssj_types::{dot, SparseVector, SparseVectorBuilder};
+
+fn vector(entries: Vec<(u32, f64)>) -> SparseVector {
+    let mut b = SparseVectorBuilder::new();
+    for (d, w) in entries {
+        b.push(d, w);
+    }
+    b.build_normalized().expect("positive weights")
+}
+
+fn vec_strategy(dims: u32, nnz: usize) -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0..dims, 0.05f64..1.0), 1..=nnz).prop_map(vector)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-bit disagreement ≈ angle/π within binomial noise (1024 bits →
+    /// σ ≤ 0.0156; we allow 5σ ≈ 0.08).
+    #[test]
+    fn bit_disagreement_tracks_angle(
+        a in vec_strategy(40, 8),
+        b in vec_strategy(40, 8),
+        seed in 0u64..1000,
+    ) {
+        let h = SimHasher::new(1024, seed);
+        let expected = dot(&a, &b).clamp(-1.0, 1.0).acos() / std::f64::consts::PI;
+        let frac = h.sign(&a).hamming(&h.sign(&b)) as f64 / 1024.0;
+        prop_assert!(
+            (frac - expected).abs() < 0.08,
+            "frac={frac} expected={expected}"
+        );
+    }
+
+    /// The cosine estimate inverts the disagreement correctly.
+    #[test]
+    fn cosine_estimate_within_tolerance(
+        a in vec_strategy(40, 8),
+        b in vec_strategy(40, 8),
+        seed in 0u64..1000,
+    ) {
+        let h = SimHasher::new(1024, seed);
+        let est = h.sign(&a).estimate_cosine(&h.sign(&b));
+        // d(cos)/d(frac) ≤ π, so 0.08 of bit noise ≤ ~0.26 of cosine.
+        prop_assert!((est - dot(&a, &b)).abs() < 0.26, "est={est}");
+    }
+
+    /// The S-curve is monotone in similarity and in the number of bands.
+    #[test]
+    fn s_curve_monotonicity(p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        for bands in [4u32, 16, 64] {
+            let scheme = Bands::new(256, bands);
+            prop_assert!(
+                scheme.collision_probability(lo) <= scheme.collision_probability(hi) + 1e-12
+            );
+        }
+        let few = Bands::new(256, 4);
+        let many = Bands::new(256, 64);
+        prop_assert!(
+            many.collision_probability(hi) >= few.collision_probability(hi) - 1e-12
+        );
+    }
+}
+
+/// Monte-Carlo check of the end-to-end banding collision rate for
+/// one controlled similarity level, across many seeds.
+#[test]
+fn banding_collision_rate_matches_s_curve() {
+    // Two vectors at cosine ≈ 0.924 (angle ≈ 0.39 rad, p ≈ 0.876).
+    let a = vector(vec![(1, 1.0), (2, 1.0)]);
+    let b = vector(vec![(1, 1.0), (2, 0.5)]);
+    let cosine = dot(&a, &b);
+    let bands = Bands::new(128, 16);
+    let expected = bands.collision_probability_at(cosine);
+    let trials = 400;
+    let mut hits = 0;
+    for seed in 0..trials {
+        let h = SimHasher::new(128, seed);
+        let (sa, sb) = (h.sign(&a), h.sign(&b));
+        let collide = (0..16).any(|band| bands.key(&sa, band) == bands.key(&sb, band));
+        hits += collide as u32;
+    }
+    let rate = hits as f64 / trials as f64;
+    assert!(
+        (rate - expected).abs() < 0.12,
+        "rate={rate} expected={expected}"
+    );
+}

@@ -1,0 +1,107 @@
+//! Per-run work budgets (Table 2).
+//!
+//! The paper gave every configuration a 3-hour timeout and a 16 GB heap,
+//! and reported the fraction of configurations that finished (Table 2).
+//! At laptop scale we bound runs by wall-clock time *and* by posting
+//! entries traversed + live index size (a deterministic memory/time
+//! proxy), which reproduces the same blow-up pattern.
+
+use std::time::Duration;
+
+/// A budget a run must stay within.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkBudget {
+    /// Maximum wall-clock time.
+    pub max_wall: Duration,
+    /// Maximum posting entries traversed (CPU proxy); `u64::MAX` = off.
+    pub max_entries: u64,
+    /// Maximum live posting entries (memory proxy); `u64::MAX` = off.
+    pub max_live_postings: u64,
+}
+
+impl WorkBudget {
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        WorkBudget {
+            max_wall: Duration::from_secs(u64::MAX / 4),
+            max_entries: u64::MAX,
+            max_live_postings: u64::MAX,
+        }
+    }
+
+    /// A budget bounded only by wall-clock time.
+    pub fn wall(d: Duration) -> Self {
+        WorkBudget {
+            max_wall: d,
+            ..Self::unlimited()
+        }
+    }
+
+    /// Checks the counters against the budget.
+    pub fn check(&self, wall: Duration, entries: u64, live_postings: u64) -> BudgetOutcome {
+        if wall > self.max_wall {
+            BudgetOutcome::Timeout
+        } else if entries > self.max_entries {
+            BudgetOutcome::WorkExceeded
+        } else if live_postings > self.max_live_postings {
+            BudgetOutcome::MemoryExceeded
+        } else {
+            BudgetOutcome::Ok
+        }
+    }
+}
+
+/// The result of a budget check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetOutcome {
+    /// Within budget.
+    Ok,
+    /// Wall-clock limit exceeded (the paper's MB failure mode).
+    Timeout,
+    /// Traversal-work limit exceeded.
+    WorkExceeded,
+    /// Live-index limit exceeded (the paper's STR failure mode).
+    MemoryExceeded,
+}
+
+impl BudgetOutcome {
+    /// Whether the run finished within budget.
+    pub fn is_ok(self) -> bool {
+        self == BudgetOutcome::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_ok() {
+        let b = WorkBudget::unlimited();
+        assert!(b
+            .check(Duration::from_secs(3600), u64::MAX - 1, u64::MAX - 1)
+            .is_ok());
+    }
+
+    #[test]
+    fn each_limit_triggers_its_outcome() {
+        let b = WorkBudget {
+            max_wall: Duration::from_secs(10),
+            max_entries: 100,
+            max_live_postings: 50,
+        };
+        assert_eq!(
+            b.check(Duration::from_secs(11), 0, 0),
+            BudgetOutcome::Timeout
+        );
+        assert_eq!(
+            b.check(Duration::from_secs(1), 101, 0),
+            BudgetOutcome::WorkExceeded
+        );
+        assert_eq!(
+            b.check(Duration::from_secs(1), 1, 51),
+            BudgetOutcome::MemoryExceeded
+        );
+        assert!(b.check(Duration::from_secs(1), 1, 1).is_ok());
+    }
+}

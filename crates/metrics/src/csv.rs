@@ -1,0 +1,90 @@
+//! Minimal CSV emission.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV document with a fixed header.
+///
+/// The harness writes one CSV per figure so the series can be re-plotted
+/// outside the repository. Fields containing commas, quotes or newlines
+/// are quoted per RFC 4180.
+#[derive(Clone, Debug)]
+pub struct Csv {
+    columns: usize,
+    out: String,
+}
+
+impl Csv {
+    /// Creates a CSV with the given header row.
+    pub fn new<S: AsRef<str>>(header: impl IntoIterator<Item = S>) -> Self {
+        let mut csv = Csv {
+            columns: 0,
+            out: String::new(),
+        };
+        let cells: Vec<String> = header
+            .into_iter()
+            .map(|s| Self::escape(s.as_ref()))
+            .collect();
+        csv.columns = cells.len();
+        csv.out.push_str(&cells.join(","));
+        csv.out.push('\n');
+        csv
+    }
+
+    fn escape(s: &str) -> String {
+        if s.contains([',', '"', '\n']) {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+
+    /// Appends a data row; panics if the arity differs from the header.
+    pub fn row<S: AsRef<str>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells
+            .into_iter()
+            .map(|s| Self::escape(s.as_ref()))
+            .collect();
+        assert_eq!(cells.len(), self.columns, "CSV row arity mismatch");
+        let _ = writeln!(self.out, "{}", cells.join(","));
+        self
+    }
+
+    /// The document contents.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Writes the document to a file.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, &self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_rows_roundtrip() {
+        let mut c = Csv::new(["x", "y"]);
+        c.row(["1", "2"]).row(["3", "4"]);
+        assert_eq!(c.as_str(), "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let mut c = Csv::new(["a"]);
+        c.row(["with,comma"]);
+        c.row(["with\"quote"]);
+        assert_eq!(c.as_str(), "a\n\"with,comma\"\n\"with\"\"quote\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut c = Csv::new(["a", "b"]);
+        c.row(["only-one"]);
+    }
+}

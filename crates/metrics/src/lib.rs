@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Instrumentation for the streaming similarity self-join.
+//!
+//! The paper's evaluation (§7) reports wall-clock times, posting-entry
+//! traversal counts, candidate counts and success-within-budget fractions.
+//! This crate provides the shared plumbing:
+//!
+//! * [`JoinStats`] — the counters every index/framework maintains;
+//! * [`Stopwatch`] — wall-clock timing;
+//! * [`WorkBudget`] — the per-run budget used to reproduce Table 2;
+//! * [`TextTable`] — aligned text tables for harness output;
+//! * [`linear_regression`] — the least-squares fit of Figure 9;
+//! * [`Csv`] — minimal CSV emission for downstream plotting;
+//! * [`LatencyHistogram`] — log-bucketed per-record latency quantiles.
+
+pub mod budget;
+pub mod counters;
+pub mod histogram;
+pub mod csv;
+pub mod regression;
+pub mod table;
+pub mod timer;
+
+pub use budget::{BudgetOutcome, WorkBudget};
+pub use counters::JoinStats;
+pub use csv::Csv;
+pub use histogram::LatencyHistogram;
+pub use regression::{linear_regression, Regression};
+pub use table::TextTable;
+pub use timer::Stopwatch;

@@ -1,0 +1,88 @@
+//! Least-squares linear regression (Figure 9).
+
+/// A fitted line `y = slope·x + intercept` with its coefficient of
+/// determination.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Regression {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r2: f64,
+}
+
+/// Ordinary least-squares fit of `ys` on `xs`.
+///
+/// Figure 9 of the paper regresses running time on the horizon `τ` and
+/// observes a near-linear relationship; the harness reports the same
+/// slope/R² per dataset.
+///
+/// Returns `None` when fewer than two points are given or `xs` has zero
+/// variance.
+pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Option<Regression> {
+    assert_eq!(xs.len(), ys.len(), "mismatched series lengths");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(Regression {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_has_r2_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let r = linear_regression(&xs, &ys).unwrap();
+        assert!((r.slope - 2.0).abs() < 1e-12);
+        assert!((r.intercept - 1.0).abs() < 1e-12);
+        assert!((r.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let r = linear_regression(&xs, &ys).unwrap();
+        assert!(r.r2 > 0.97 && r.r2 < 1.0);
+        assert!((r.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(linear_regression(&[], &[]).is_none());
+        assert!(linear_regression(&[1.0], &[2.0]).is_none());
+        assert!(linear_regression(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_r2_one() {
+        let r = linear_regression(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(r.slope, 0.0);
+        assert_eq!(r.r2, 1.0);
+    }
+}

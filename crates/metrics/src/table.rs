@@ -1,0 +1,116 @@
+//! Aligned text tables for harness output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// The experiment harness prints paper-style tables with it; it right-
+/// aligns numeric-looking cells and left-aligns the rest.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn numeric(cell: &str) -> bool {
+        !cell.is_empty() && cell.chars().all(|c| c.is_ascii_digit() || "+-.eE%×".contains(c))
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, row: &[String]| {
+            for (i, &width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if Self::numeric(cell) {
+                    let _ = write!(out, "{cell:>width$}");
+                } else {
+                    let _ = write!(out, "{cell:<width$}");
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1.5"]);
+        t.row(["b", "100"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with("1.5"));
+        assert!(lines[3].ends_with("100"));
+    }
+
+    #[test]
+    fn tolerates_ragged_rows() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["x", "extra"]);
+        t.row::<&str>([]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(s.contains("extra"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Wall-clock timing.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch for timing experiment runs.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let w = Stopwatch::start();
+        let a = w.elapsed();
+        let b = w.elapsed();
+        assert!(b >= a);
+        assert!(w.seconds() >= 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! A synchronous client for the join service.
+//!
+//! Every request is answered before the next is sent, so the client is a
+//! thin request–response wrapper: send a line, read `P` lines until the
+//! terminating `OK`/`E`. Pair ids are *server-assigned* arrival ordinals
+//! (0, 1, 2, … per session); [`JoinClient::records_sent`] mirrors the
+//! server's counter so callers can map ids back to their own records.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sssj_types::{SimilarPair, StreamRecord};
+
+use crate::protocol::{ConfigRequest, Request, Response, SessionStats};
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent something the client cannot parse, or closed the
+    /// connection mid-response.
+    Protocol(String),
+    /// The server answered `E <message>`.
+    Server(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// A connected session with a join server.
+///
+/// ```no_run
+/// use sssj_net::{ConfigRequest, JoinClient};
+///
+/// let mut client = JoinClient::connect("127.0.0.1:7878")?;
+/// client.configure(ConfigRequest {
+///     theta: Some(0.7),
+///     lambda: Some(0.01),
+///     ..Default::default()
+/// })?;
+/// let pairs = client.send_vector(12.5, &[(3, 0.6), (9, 0.8)])?;
+/// for p in pairs {
+///     println!("records {} and {} are similar: {}", p.left, p.right, p.similarity);
+/// }
+/// client.quit()?;
+/// # Ok::<(), sssj_net::NetError>(())
+/// ```
+pub struct JoinClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    records_sent: u64,
+}
+
+impl JoinClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<JoinClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        JoinClient::from_stream(stream)
+    }
+
+    /// Connects with a timeout on the TCP handshake.
+    pub fn connect_timeout(
+        addr: &std::net::SocketAddr,
+        timeout: Duration,
+    ) -> Result<JoinClient, NetError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        JoinClient::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<JoinClient, NetError> {
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(JoinClient {
+            reader: BufReader::new(stream),
+            writer,
+            records_sent: 0,
+        })
+    }
+
+    /// Records accepted by the server in this session so far — the id the
+    /// *next* record will receive.
+    pub fn records_sent(&self) -> u64 {
+        self.records_sent
+    }
+
+    fn send_line(&mut self, request: &Request) -> Result<(), NetError> {
+        let mut line = request.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, NetError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(NetError::Protocol("server closed the connection".into()));
+        }
+        Response::parse(&line).map_err(|e| NetError::Protocol(e.to_string()))
+    }
+
+    /// Reads `P` lines until the terminating `OK`; `E` becomes
+    /// [`NetError::Server`].
+    fn read_pairs(&mut self) -> Result<Vec<SimilarPair>, NetError> {
+        let mut pairs = Vec::new();
+        loop {
+            match self.read_response()? {
+                Response::Pair(p) => pairs.push(p),
+                Response::Ok(n) => {
+                    if n as usize != pairs.len() {
+                        return Err(NetError::Protocol(format!(
+                            "server announced {n} pairs but sent {}",
+                            pairs.len()
+                        )));
+                    }
+                    return Ok(pairs);
+                }
+                Response::Err(m) => return Err(NetError::Server(m)),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected response {other:?} while reading pairs"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Reconfigures the session; must precede the first record.
+    pub fn configure(&mut self, config: ConfigRequest) -> Result<(), NetError> {
+        self.send_line(&Request::Config(config))?;
+        self.read_pairs().map(|_| ())
+    }
+
+    /// Sends one pre-vectorised record (weights are normalised
+    /// server-side); returns the pairs it completed.
+    pub fn send_vector(
+        &mut self,
+        t: f64,
+        entries: &[(u32, f64)],
+    ) -> Result<Vec<SimilarPair>, NetError> {
+        self.send_line(&Request::Vector {
+            t,
+            entries: entries.to_vec(),
+        })?;
+        let pairs = self.read_pairs()?;
+        self.records_sent += 1;
+        Ok(pairs)
+    }
+
+    /// Sends an existing [`StreamRecord`]. The server assigns its own id
+    /// (the session ordinal), which may differ from `record.id`.
+    pub fn send_record(&mut self, record: &StreamRecord) -> Result<Vec<SimilarPair>, NetError> {
+        let entries: Vec<(u32, f64)> = record.vector.iter().collect();
+        self.send_vector(record.t.seconds(), &entries)
+    }
+
+    /// Sends one raw-text record (text-mode sessions); returns the pairs
+    /// it completed.
+    pub fn send_text(&mut self, t: f64, text: &str) -> Result<Vec<SimilarPair>, NetError> {
+        if text.contains('\n') {
+            return Err(NetError::Protocol(
+                "text may not contain newlines".into(),
+            ));
+        }
+        self.send_line(&Request::Text {
+            t,
+            text: text.to_string(),
+        })?;
+        let pairs = self.read_pairs()?;
+        self.records_sent += 1;
+        Ok(pairs)
+    }
+
+    /// Fetches the session's work counters.
+    pub fn stats(&mut self) -> Result<SessionStats, NetError> {
+        self.send_line(&Request::Stats)?;
+        match self.read_response()? {
+            Response::Stats(s) => Ok(s),
+            Response::Err(m) => Err(NetError::Server(m)),
+            other => Err(NetError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Signals end-of-stream and returns the flushed pairs (MiniBatch
+    /// sessions report their trailing windows here).
+    pub fn finish(&mut self) -> Result<Vec<SimilarPair>, NetError> {
+        self.send_line(&Request::Finish)?;
+        self.read_pairs()
+    }
+
+    /// Closes the session gracefully.
+    pub fn quit(mut self) -> Result<(), NetError> {
+        self.send_line(&Request::Quit)?;
+        match self.read_response()? {
+            Response::Bye => Ok(()),
+            other => Err(NetError::Protocol(format!("expected BYE, got {other:?}"))),
+        }
+    }
+}

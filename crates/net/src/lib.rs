@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! The streaming similarity self-join as a network service.
+//!
+//! This crate wraps the joins of [`sssj_core`] in a line-protocol TCP
+//! service — the deployment shape the paper's motivating applications
+//! (trend detection, near-duplicate filtering over a feed) actually run
+//! in: producers push timestamped items over a socket and receive each
+//! similar pair the moment it completes.
+//!
+//! * [`Server`] — accepts connections; each connection is an independent
+//!   session running its own join (θ, λ, index, framework and
+//!   out-of-order slack are all per-session, negotiated via `CONFIG`).
+//! * [`JoinClient`] — a synchronous client: one request, one response.
+//! * [`protocol`] — the wire format, pure and property-tested.
+//! * [`session`] — the socket-free state machine behind each connection.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sssj_net::{ConfigRequest, JoinClient, Server, ServerOptions};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerOptions::default())?;
+//! let mut client = JoinClient::connect(server.local_addr())?;
+//! client.configure(ConfigRequest {
+//!     theta: Some(0.7),
+//!     lambda: Some(0.1),
+//!     ..Default::default()
+//! })?;
+//! assert!(client.send_vector(0.0, &[(7, 1.0)])?.is_empty());
+//! let pairs = client.send_vector(1.0, &[(7, 1.0)])?; // near-duplicate
+//! assert_eq!(pairs.len(), 1);
+//! client.quit()?;
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{JoinClient, NetError};
+pub use protocol::{ConfigRequest, Request, Response, SessionMode, SessionStats};
+pub use server::{Server, ServerOptions};
+pub use session::{Session, SessionDefaults};

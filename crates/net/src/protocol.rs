@@ -1,0 +1,536 @@
+//! The wire protocol: line-delimited, human-readable text.
+//!
+//! One request or response per `\n`-terminated line. Requests flow client
+//! to server, responses server to client. Every request is answered; a
+//! `V`/`T` request is answered by zero or more `P` lines followed by one
+//! `OK <count>` line, so the client always knows when the response is
+//! complete. The session state machine lives in
+//! [`crate::server::Session`]; this module is pure parsing/formatting and
+//! is round-trip property-tested.
+//!
+//! ```text
+//! client → server                         server → client
+//! ------------------------------------    -----------------------------
+//! CONFIG theta=0.7 lambda=0.1 index=l2    OK 0            (or E <msg>)
+//! V 12.5 3:0.6 9:0.8                      P 0 4 0.8231…   zero or more
+//! T 13.0 some raw text                    OK 2            always last
+//! STATS                                   S records=5 pairs=2 …
+//! FINISH                                  P … / OK <count>
+//! QUIT                                    BYE
+//! ```
+
+use std::fmt;
+
+use sssj_core::Framework;
+use sssj_index::IndexKind;
+use sssj_types::SimilarPair;
+
+/// Maximum accepted line length (64 KiB) — guards the server against a
+/// client streaming an unbounded line.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// How a session interprets payload lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionMode {
+    /// `V <t> <dim>:<weight> …` — pre-vectorised input.
+    Vector,
+    /// `T <t> <raw text…>` — server-side tokenisation + TF weighting.
+    Text,
+}
+
+impl SessionMode {
+    fn parse(s: &str) -> Option<SessionMode> {
+        match s {
+            "vector" => Some(SessionMode::Vector),
+            "text" => Some(SessionMode::Text),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SessionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SessionMode::Vector => "vector",
+            SessionMode::Text => "text",
+        })
+    }
+}
+
+/// Session parameters carried by a `CONFIG` request. Fields left `None`
+/// keep the server's defaults.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct ConfigRequest {
+    /// Similarity threshold `θ`.
+    pub theta: Option<f64>,
+    /// Decay rate `λ`.
+    pub lambda: Option<f64>,
+    /// Index kind (`inv`, `l2ap`, `l2`, `ap`).
+    pub index: Option<IndexKind>,
+    /// Framework (`str`, `mb`).
+    pub framework: Option<Framework>,
+    /// Payload interpretation.
+    pub mode: Option<SessionMode>,
+    /// Out-of-order tolerance: records may arrive up to `slack` time
+    /// units late and are re-sorted server-side (see
+    /// [`sssj_core::ReorderBuffer`]). Zero (the default) requires sorted
+    /// input.
+    pub slack: Option<f64>,
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Reconfigure the session (only before the first record).
+    Config(ConfigRequest),
+    /// A pre-vectorised record: timestamp + sparse entries.
+    Vector {
+        /// Arrival timestamp.
+        t: f64,
+        /// `(dimension, weight)` entries; weights need not be normalised.
+        entries: Vec<(u32, f64)>,
+    },
+    /// A raw-text record, tokenised server-side (text mode only).
+    Text {
+        /// Arrival timestamp.
+        t: f64,
+        /// The raw text.
+        text: String,
+    },
+    /// Ask for the session's work counters.
+    Stats,
+    /// End-of-stream: flush buffered pairs (MiniBatch reports late).
+    Finish,
+    /// Close the session.
+    Quit,
+}
+
+/// Parse errors carry the reason; the server reports them as `E` lines
+/// and keeps the session alive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn err(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+fn parse_timestamp(s: Option<&str>) -> Result<f64, ProtocolError> {
+    let s = s.ok_or_else(|| err("missing timestamp"))?;
+    let t: f64 = s
+        .parse()
+        .map_err(|e| err(format!("bad timestamp {s:?}: {e}")))?;
+    if !t.is_finite() {
+        return Err(err(format!("non-finite timestamp {s:?}")));
+    }
+    Ok(t)
+}
+
+impl Request {
+    /// Parses one request line (without the trailing newline).
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim_start()),
+            None => (line, ""),
+        };
+        match verb {
+            "CONFIG" => {
+                let mut c = ConfigRequest::default();
+                for kv in rest.split_ascii_whitespace() {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("CONFIG expects key=value, got {kv:?}")))?;
+                    match k {
+                        "theta" => {
+                            let x: f64 =
+                                v.parse().map_err(|e| err(format!("bad theta {v:?}: {e}")))?;
+                            if !(x > 0.0 && x <= 1.0) {
+                                return Err(err(format!("theta out of (0, 1]: {v}")));
+                            }
+                            c.theta = Some(x);
+                        }
+                        "lambda" => {
+                            let x: f64 = v
+                                .parse()
+                                .map_err(|e| err(format!("bad lambda {v:?}: {e}")))?;
+                            if !(x.is_finite() && x >= 0.0) {
+                                return Err(err(format!("lambda must be ≥ 0: {v}")));
+                            }
+                            c.lambda = Some(x);
+                        }
+                        "index" => {
+                            c.index = Some(
+                                IndexKind::parse(v)
+                                    .ok_or_else(|| err(format!("unknown index {v:?}")))?,
+                            );
+                        }
+                        "framework" => {
+                            c.framework = Some(
+                                Framework::parse(v)
+                                    .ok_or_else(|| err(format!("unknown framework {v:?}")))?,
+                            );
+                        }
+                        "mode" => {
+                            c.mode = Some(
+                                SessionMode::parse(v)
+                                    .ok_or_else(|| err(format!("unknown mode {v:?}")))?,
+                            );
+                        }
+                        "slack" => {
+                            let x: f64 =
+                                v.parse().map_err(|e| err(format!("bad slack {v:?}: {e}")))?;
+                            if !(x.is_finite() && x >= 0.0) {
+                                return Err(err(format!("slack must be ≥ 0: {v}")));
+                            }
+                            c.slack = Some(x);
+                        }
+                        other => return Err(err(format!("unknown CONFIG key {other:?}"))),
+                    }
+                }
+                Ok(Request::Config(c))
+            }
+            "V" => {
+                let mut parts = rest.split_ascii_whitespace();
+                let t = parse_timestamp(parts.next())?;
+                let mut entries = Vec::new();
+                for tok in parts {
+                    let (d, w) = tok
+                        .split_once(':')
+                        .ok_or_else(|| err(format!("expected dim:weight, got {tok:?}")))?;
+                    let dim: u32 = d
+                        .parse()
+                        .map_err(|e| err(format!("bad dimension {d:?}: {e}")))?;
+                    let weight: f64 = w
+                        .parse()
+                        .map_err(|e| err(format!("bad weight {w:?}: {e}")))?;
+                    if !weight.is_finite() || weight <= 0.0 {
+                        return Err(err(format!("weight must be positive: {w}")));
+                    }
+                    entries.push((dim, weight));
+                }
+                if entries.is_empty() {
+                    return Err(err("vector has no entries"));
+                }
+                Ok(Request::Vector { t, entries })
+            }
+            "T" => {
+                let (t_str, text) = rest
+                    .split_once(char::is_whitespace)
+                    .unwrap_or((rest, ""));
+                let t = parse_timestamp(if t_str.is_empty() { None } else { Some(t_str) })?;
+                Ok(Request::Text {
+                    t,
+                    text: text.to_string(),
+                })
+            }
+            "STATS" => Ok(Request::Stats),
+            "FINISH" => Ok(Request::Finish),
+            "QUIT" => Ok(Request::Quit),
+            "" => Err(err("empty request")),
+            other => Err(err(format!("unknown verb {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Config(c) => {
+                write!(f, "CONFIG")?;
+                if let Some(x) = c.theta {
+                    write!(f, " theta={x}")?;
+                }
+                if let Some(x) = c.lambda {
+                    write!(f, " lambda={x}")?;
+                }
+                if let Some(x) = c.index {
+                    write!(f, " index={}", x.to_string().to_ascii_lowercase())?;
+                }
+                if let Some(x) = c.framework {
+                    write!(f, " framework={}", x.to_string().to_ascii_lowercase())?;
+                }
+                if let Some(x) = c.mode {
+                    write!(f, " mode={x}")?;
+                }
+                if let Some(x) = c.slack {
+                    write!(f, " slack={x}")?;
+                }
+                Ok(())
+            }
+            Request::Vector { t, entries } => {
+                write!(f, "V {t}")?;
+                for (d, w) in entries {
+                    write!(f, " {d}:{w}")?;
+                }
+                Ok(())
+            }
+            Request::Text { t, text } => write!(f, "T {t} {text}"),
+            Request::Stats => f.write_str("STATS"),
+            Request::Finish => f.write_str("FINISH"),
+            Request::Quit => f.write_str("QUIT"),
+        }
+    }
+}
+
+/// Session work counters reported by `STATS`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Records accepted so far.
+    pub records: u64,
+    /// Pairs reported so far.
+    pub pairs: u64,
+    /// Posting entries traversed during candidate generation.
+    pub entries_traversed: u64,
+    /// Candidates generated.
+    pub candidates: u64,
+    /// Full similarities computed.
+    pub full_sims: u64,
+    /// Live posting entries (memory proxy).
+    pub live_postings: u64,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// One similar pair (`P <left> <right> <similarity>`).
+    Pair(SimilarPair),
+    /// Request completed; for `V`/`T`/`FINISH` carries the number of `P`
+    /// lines that preceded it.
+    Ok(u64),
+    /// Request failed; the session stays open.
+    Err(String),
+    /// Stats snapshot.
+    Stats(SessionStats),
+    /// Session closed by the server (answer to `QUIT`).
+    Bye,
+}
+
+impl Response {
+    /// Parses one response line (without the trailing newline).
+    pub fn parse(line: &str) -> Result<Response, ProtocolError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim_start()),
+            None => (line, ""),
+        };
+        match verb {
+            "P" => {
+                let mut p = rest.split_ascii_whitespace();
+                let left: u64 = p
+                    .next()
+                    .ok_or_else(|| err("P: missing left id"))?
+                    .parse()
+                    .map_err(|e| err(format!("P: bad left id: {e}")))?;
+                let right: u64 = p
+                    .next()
+                    .ok_or_else(|| err("P: missing right id"))?
+                    .parse()
+                    .map_err(|e| err(format!("P: bad right id: {e}")))?;
+                let similarity: f64 = p
+                    .next()
+                    .ok_or_else(|| err("P: missing similarity"))?
+                    .parse()
+                    .map_err(|e| err(format!("P: bad similarity: {e}")))?;
+                Ok(Response::Pair(SimilarPair::new(left, right, similarity)))
+            }
+            "OK" => {
+                let n: u64 = rest
+                    .parse()
+                    .map_err(|e| err(format!("OK: bad count {rest:?}: {e}")))?;
+                Ok(Response::Ok(n))
+            }
+            "E" => Ok(Response::Err(rest.to_string())),
+            "S" => {
+                let mut s = SessionStats::default();
+                for kv in rest.split_ascii_whitespace() {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("S: expected key=value, got {kv:?}")))?;
+                    let v: u64 = v
+                        .parse()
+                        .map_err(|e| err(format!("S: bad value in {kv:?}: {e}")))?;
+                    match k {
+                        "records" => s.records = v,
+                        "pairs" => s.pairs = v,
+                        "entries" => s.entries_traversed = v,
+                        "candidates" => s.candidates = v,
+                        "full_sims" => s.full_sims = v,
+                        "live_postings" => s.live_postings = v,
+                        // Forward compatibility: ignore unknown counters.
+                        _ => {}
+                    }
+                }
+                Ok(Response::Stats(s))
+            }
+            "BYE" => Ok(Response::Bye),
+            other => Err(err(format!("unknown response verb {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Pair(p) => write!(f, "P {} {} {}", p.left, p.right, p.similarity),
+            Response::Ok(n) => write!(f, "OK {n}"),
+            Response::Err(msg) => write!(f, "E {}", msg.replace('\n', " ")),
+            Response::Stats(s) => write!(
+                f,
+                "S records={} pairs={} entries={} candidates={} full_sims={} live_postings={}",
+                s.records, s.pairs, s.entries_traversed, s.candidates, s.full_sims, s.live_postings
+            ),
+            Response::Bye => f.write_str("BYE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_vector_request() {
+        let r = Request::parse("V 12.5 3:0.6 9:0.8").unwrap();
+        assert_eq!(
+            r,
+            Request::Vector {
+                t: 12.5,
+                entries: vec![(3, 0.6), (9, 0.8)],
+            }
+        );
+    }
+
+    #[test]
+    fn parse_config_request() {
+        let r = Request::parse("CONFIG theta=0.7 lambda=0.01 index=l2 framework=str").unwrap();
+        match r {
+            Request::Config(c) => {
+                assert_eq!(c.theta, Some(0.7));
+                assert_eq!(c.lambda, Some(0.01));
+                assert_eq!(c.index, Some(IndexKind::L2));
+                assert_eq!(c.framework, Some(Framework::Streaming));
+                assert_eq!(c.mode, None);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_text_request_keeps_whole_text() {
+        let r = Request::parse("T 3.0 the quick  brown fox").unwrap();
+        assert_eq!(
+            r,
+            Request::Text {
+                t: 3.0,
+                text: "the quick  brown fox".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn bare_verbs() {
+        assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
+        assert_eq!(Request::parse("FINISH\r\n").unwrap(), Request::Finish);
+        assert_eq!(Request::parse("QUIT").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "WHAT 1 2 3",
+            "V",
+            "V notanumber 1:0.5",
+            "V inf 1:0.5",
+            "V 1.0",
+            "V 1.0 3",
+            "V 1.0 x:0.5",
+            "V 1.0 3:-0.5",
+            "V 1.0 3:nan",
+            "CONFIG theta",
+            "CONFIG theta=2.0",
+            "CONFIG lambda=-1",
+            "CONFIG index=quantum",
+            "CONFIG mode=binary",
+            "CONFIG slack=-1",
+            "CONFIG slack=inf",
+            "CONFIG flux=9",
+            "T",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_responses() {
+        for bad in ["", "Z 1", "P 1", "P 1 2", "P 1 2 x", "OK", "OK x", "S a"] {
+            assert!(Response::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip_ignores_unknown_keys() {
+        let s = Response::parse("S records=5 pairs=2 entries=100 future_counter=9").unwrap();
+        match s {
+            Response::Stats(s) => {
+                assert_eq!(s.records, 5);
+                assert_eq!(s.pairs, 2);
+                assert_eq!(s.entries_traversed, 100);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    proptest! {
+        /// Display → parse is the identity for vector requests.
+        #[test]
+        fn vector_request_roundtrips(
+            t in -1e6f64..1e6,
+            entries in proptest::collection::vec((0u32..1_000_000, 1e-6f64..1e6), 1..20),
+        ) {
+            let req = Request::Vector { t, entries };
+            let line = req.to_string();
+            prop_assert_eq!(Request::parse(&line).unwrap(), req);
+        }
+
+        /// Display → parse is the identity for pair responses.
+        #[test]
+        fn pair_response_roundtrips(
+            left in 0u64..1_000_000,
+            right in 0u64..1_000_000,
+            sim in 0.0f64..=1.0,
+        ) {
+            let resp = Response::Pair(SimilarPair::new(left, right, sim));
+            let line = resp.to_string();
+            prop_assert_eq!(Response::parse(&line).unwrap(), resp);
+        }
+
+        /// Stats responses round-trip.
+        #[test]
+        fn stats_response_roundtrips(
+            records in 0u64..u64::MAX,
+            pairs in 0u64..u64::MAX,
+            entries in 0u64..u64::MAX,
+        ) {
+            let resp = Response::Stats(SessionStats {
+                records,
+                pairs,
+                entries_traversed: entries,
+                candidates: 1,
+                full_sims: 2,
+                live_postings: 3,
+            });
+            let line = resp.to_string();
+            prop_assert_eq!(Response::parse(&line).unwrap(), resp);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The TCP server: one [`Session`](crate::session::Session) per
+//! connection, one thread per session.
+//!
+//! Concurrency model: sessions are fully independent — each connection
+//! runs its own join over its own stream, so there is no shared mutable
+//! state and no locking on the hot path (matching the paper's
+//! single-core-per-join evaluation; cross-stream sharding lives in
+//! `sssj-parallel`). The server owns only the accept loop and the
+//! shutdown flag.
+//!
+//! Shutdown: [`Server::shutdown`] sets a flag, wakes the accept loop with
+//! a loopback connection, and joins every thread. Session reads use a
+//! short timeout so idle sessions notice the flag promptly; in-flight
+//! requests complete before the connection closes.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::protocol::{Request, Response, MAX_LINE_BYTES};
+use crate::session::{Session, SessionDefaults};
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Defaults every session starts from (overridable via `CONFIG`).
+    pub defaults: SessionDefaults,
+    /// How often an idle session checks the shutdown flag.
+    pub poll_interval: Duration,
+    /// Per-line size cap; longer lines close the connection.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            defaults: SessionDefaults::default(),
+            poll_interval: Duration::from_millis(50),
+            max_line_bytes: MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// A running join server. Dropping it (or calling [`Server::shutdown`])
+/// stops accepting, closes idle sessions and joins all threads.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    started: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads. Use
+    /// `"127.0.0.1:0"` to let the OS pick a free port and read it back
+    /// with [`Server::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs, options: ServerOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let started = Arc::new(AtomicU64::new(0));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_sessions = Arc::clone(&sessions);
+        let accept_started = Arc::clone(&started);
+        let accept_thread = thread::Builder::new()
+            .name("sssj-net-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    accept_started.fetch_add(1, Ordering::SeqCst);
+                    let stop = Arc::clone(&accept_stop);
+                    let handle = thread::Builder::new()
+                        .name("sssj-net-session".into())
+                        .spawn(move || serve_connection(stream, options, &stop))
+                        .expect("spawn session thread");
+                    accept_sessions.lock().expect("sessions lock").push(handle);
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            sessions,
+            started,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of sessions accepted so far.
+    pub fn sessions_started(&self) -> u64 {
+        self.started.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, lets sessions notice the flag, and joins every
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads `\n`-terminated lines from a stream whose reads time out, so the
+/// loop can poll a shutdown flag between partial reads without ever
+/// losing buffered bytes (unlike `BufRead::read_line`, whose buffer is
+/// unspecified after an error).
+struct LineReader<R> {
+    inner: R,
+    pending: Vec<u8>,
+    scanned: usize,
+    chunk: [u8; 4096],
+}
+
+enum LineEvent {
+    Line(String),
+    Eof,
+    Stopped,
+    TooLong,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            pending: Vec::new(),
+            scanned: 0,
+            chunk: [0; 4096],
+        }
+    }
+
+    fn take_line(&mut self, newline_at: usize) -> String {
+        let rest = self.pending.split_off(newline_at + 1);
+        let mut line = std::mem::replace(&mut self.pending, rest);
+        line.pop(); // the newline
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        self.scanned = 0;
+        String::from_utf8_lossy(&line).into_owned()
+    }
+
+    /// Blocks (in poll-sized steps) until a full line, EOF, the shutdown
+    /// flag, or the size cap.
+    fn read_line(&mut self, stop: &AtomicBool, max: usize) -> io::Result<LineEvent> {
+        loop {
+            if let Some(i) = self.pending[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                return Ok(LineEvent::Line(self.take_line(self.scanned + i)));
+            }
+            self.scanned = self.pending.len();
+            if self.pending.len() > max {
+                return Ok(LineEvent::TooLong);
+            }
+            if stop.load(Ordering::SeqCst) {
+                return Ok(LineEvent::Stopped);
+            }
+            match self.inner.read(&mut self.chunk) {
+                Ok(0) => return Ok(LineEvent::Eof),
+                Ok(n) => self.pending.extend_from_slice(&self.chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    continue; // poll tick: re-check the stop flag
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, options: ServerOptions, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(options.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = LineReader::new(stream);
+    let mut session = Session::new(options.defaults);
+    let mut responses = Vec::new();
+
+    loop {
+        match reader.read_line(stop, options.max_line_bytes) {
+            Ok(LineEvent::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                responses.clear();
+                let keep_alive = match Request::parse(&line) {
+                    Ok(req) => session.handle(req, &mut responses),
+                    Err(e) => {
+                        responses.push(Response::Err(e.to_string()));
+                        true
+                    }
+                };
+                if write_responses(&mut writer, &responses).is_err() {
+                    break;
+                }
+                if !keep_alive {
+                    break;
+                }
+            }
+            Ok(LineEvent::TooLong) => {
+                let _ = write_responses(
+                    &mut writer,
+                    &[Response::Err("line exceeds size cap".into())],
+                );
+                break;
+            }
+            Ok(LineEvent::Eof) | Ok(LineEvent::Stopped) | Err(_) => break,
+        }
+    }
+    let _ = writer.flush();
+    let _ = writer.shutdown(Shutdown::Both);
+}
+
+fn write_responses(w: &mut impl Write, responses: &[Response]) -> io::Result<()> {
+    let mut buf = String::new();
+    for r in responses {
+        buf.push_str(&r.to_string());
+        buf.push('\n');
+    }
+    w.write_all(buf.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reader_splits_and_strips_crlf() {
+        let data: &[u8] = b"one\r\ntwo\nthree";
+        let mut r = LineReader::new(data);
+        let stop = AtomicBool::new(false);
+        match r.read_line(&stop, 100).unwrap() {
+            LineEvent::Line(l) => assert_eq!(l, "one"),
+            _ => panic!("expected line"),
+        }
+        match r.read_line(&stop, 100).unwrap() {
+            LineEvent::Line(l) => assert_eq!(l, "two"),
+            _ => panic!("expected line"),
+        }
+        // Trailing bytes without a newline: EOF (partial line dropped —
+        // the protocol requires terminated lines).
+        assert!(matches!(r.read_line(&stop, 100).unwrap(), LineEvent::Eof));
+    }
+
+    #[test]
+    fn line_reader_enforces_size_cap() {
+        let long = vec![b'x'; 300];
+        let mut r = LineReader::new(&long[..]);
+        let stop = AtomicBool::new(false);
+        assert!(matches!(
+            r.read_line(&stop, 100).unwrap(),
+            LineEvent::TooLong
+        ));
+    }
+
+    #[test]
+    fn line_reader_observes_stop_flag() {
+        struct NeverReady;
+        impl Read for NeverReady {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(ErrorKind::WouldBlock, "not ready"))
+            }
+        }
+        let mut r = LineReader::new(NeverReady);
+        let stop = AtomicBool::new(true);
+        assert!(matches!(
+            r.read_line(&stop, 100).unwrap(),
+            LineEvent::Stopped
+        ));
+    }
+
+    #[test]
+    fn line_reader_handles_split_reads() {
+        // A reader that yields one byte at a time exercises resumed scans.
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut r = LineReader::new(OneByte(b"hello\nworld\n", 0));
+        let stop = AtomicBool::new(false);
+        for want in ["hello", "world"] {
+            match r.read_line(&stop, 100).unwrap() {
+                LineEvent::Line(l) => assert_eq!(l, want),
+                _ => panic!("expected line"),
+            }
+        }
+    }
+}

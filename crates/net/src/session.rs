@@ -1,0 +1,466 @@
+//! The per-connection session state machine.
+//!
+//! [`Session`] is deliberately socket-free: it maps one [`Request`] to a
+//! sequence of [`Response`]s, so the whole protocol behaviour is unit-
+//! testable without networking. The server (see [`crate::server`]) only
+//! adds framing: read a line, parse, `handle`, write the responses.
+
+use sssj_core::{
+    build_algorithm, Framework, ReorderBuffer, SssjConfig, StreamJoin,
+};
+use sssj_index::IndexKind;
+use sssj_textsim::Tokenizer;
+use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
+
+use crate::protocol::{ConfigRequest, Request, Response, SessionMode, SessionStats};
+
+/// Server-side defaults a session starts from; `CONFIG` overrides fields
+/// per session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionDefaults {
+    /// Join parameters (θ, λ).
+    pub config: SssjConfig,
+    /// Index kind.
+    pub index: IndexKind,
+    /// Framework.
+    pub framework: Framework,
+    /// Payload interpretation.
+    pub mode: SessionMode,
+    /// Out-of-order tolerance (0 = require sorted input).
+    pub slack: f64,
+}
+
+impl Default for SessionDefaults {
+    fn default() -> Self {
+        SessionDefaults {
+            config: SssjConfig::new(0.7, 0.01),
+            index: IndexKind::L2,
+            framework: Framework::Streaming,
+            mode: SessionMode::Vector,
+            slack: 0.0,
+        }
+    }
+}
+
+/// The join behind a session: plain, or wrapped in a reorder buffer when
+/// the client asked for out-of-order tolerance. The wrapper is kept
+/// explicit (not type-erased) so late records can be reported as `E`
+/// responses rather than silently dropped.
+enum SessionJoin {
+    Plain(Box<dyn StreamJoin>),
+    Reordered(ReorderBuffer<Box<dyn StreamJoin>>),
+}
+
+impl SessionJoin {
+    fn stats(&self) -> sssj_metrics::JoinStats {
+        match self {
+            SessionJoin::Plain(j) => j.stats(),
+            SessionJoin::Reordered(j) => j.stats(),
+        }
+    }
+
+    fn live_postings(&self) -> u64 {
+        match self {
+            SessionJoin::Plain(j) => j.live_postings(),
+            SessionJoin::Reordered(j) => j.live_postings(),
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimilarPair>) {
+        match self {
+            SessionJoin::Plain(j) => j.finish(out),
+            SessionJoin::Reordered(j) => j.finish(out),
+        }
+    }
+}
+
+/// One client session: configuration, the running join, and id/time
+/// bookkeeping.
+pub struct Session {
+    defaults: SessionDefaults,
+    current: SessionDefaults,
+    join: SessionJoin,
+    tokenizer: Tokenizer,
+    next_id: u64,
+    last_t: f64,
+    records: u64,
+    pairs: u64,
+    started: bool,
+    finished: bool,
+}
+
+fn build_join(d: &SessionDefaults) -> SessionJoin {
+    let inner = build_algorithm(d.framework, d.index, d.config);
+    if d.slack > 0.0 {
+        SessionJoin::Reordered(ReorderBuffer::new(inner, d.slack))
+    } else {
+        SessionJoin::Plain(inner)
+    }
+}
+
+impl Session {
+    /// Creates a session with the server's defaults.
+    pub fn new(defaults: SessionDefaults) -> Self {
+        Session {
+            defaults,
+            current: defaults,
+            join: build_join(&defaults),
+            tokenizer: Tokenizer::new(),
+            next_id: 0,
+            last_t: f64::NEG_INFINITY,
+            records: 0,
+            pairs: 0,
+            started: false,
+            finished: false,
+        }
+    }
+
+    /// The configuration currently in effect.
+    pub fn current_config(&self) -> SessionDefaults {
+        self.current
+    }
+
+    /// Handles one request, appending the responses. Returns `false`
+    /// when the session must close (after `QUIT`).
+    pub fn handle(&mut self, request: Request, out: &mut Vec<Response>) -> bool {
+        match request {
+            Request::Config(c) => self.handle_config(c, out),
+            Request::Vector { t, entries } => self.handle_vector(t, &entries, out),
+            Request::Text { t, text } => self.handle_text(t, &text, out),
+            Request::Stats => {
+                let s = self.join.stats();
+                out.push(Response::Stats(SessionStats {
+                    records: self.records,
+                    pairs: self.pairs,
+                    entries_traversed: s.entries_traversed,
+                    candidates: s.candidates,
+                    full_sims: s.full_sims,
+                    live_postings: self.join.live_postings(),
+                }));
+            }
+            Request::Finish => {
+                if self.finished {
+                    out.push(Response::Ok(0));
+                    return true;
+                }
+                let mut pairs = Vec::new();
+                self.join.finish(&mut pairs);
+                self.finished = true;
+                self.emit(pairs, out);
+            }
+            Request::Quit => {
+                out.push(Response::Bye);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn handle_config(&mut self, c: ConfigRequest, out: &mut Vec<Response>) {
+        if self.started {
+            out.push(Response::Err(
+                "CONFIG must precede the first record".into(),
+            ));
+            return;
+        }
+        // Validate before constructing: the wire parser rejects these,
+        // but a directly-built `ConfigRequest` must not panic the session.
+        let theta = c.theta.unwrap_or(self.defaults.config.theta);
+        if !(theta > 0.0 && theta <= 1.0) {
+            out.push(Response::Err(format!("theta out of (0, 1]: {theta}")));
+            return;
+        }
+        let lambda = c.lambda.unwrap_or(self.defaults.config.lambda);
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            out.push(Response::Err(format!("lambda must be ≥ 0: {lambda}")));
+            return;
+        }
+        if let Some(slack) = c.slack {
+            if !(slack.is_finite() && slack >= 0.0) {
+                out.push(Response::Err(format!("slack must be ≥ 0: {slack}")));
+                return;
+            }
+        }
+        let mut d = self.defaults;
+        d.config = SssjConfig::new(theta, lambda);
+        d.index = c.index.unwrap_or(d.index);
+        d.framework = c.framework.unwrap_or(d.framework);
+        d.mode = c.mode.unwrap_or(d.mode);
+        d.slack = c.slack.unwrap_or(d.slack);
+        self.current = d;
+        self.join = build_join(&d);
+        out.push(Response::Ok(0));
+    }
+
+    fn handle_vector(&mut self, t: f64, entries: &[(u32, f64)], out: &mut Vec<Response>) {
+        if self.current.mode != SessionMode::Vector {
+            out.push(Response::Err("session is in text mode; use T".into()));
+            return;
+        }
+        let mut b = SparseVectorBuilder::with_capacity(entries.len());
+        for &(d, w) in entries {
+            b.push(d, w);
+        }
+        match b.build_normalized() {
+            Ok(v) => self.ingest(t, v, out),
+            Err(e) => out.push(Response::Err(format!("bad vector: {e}"))),
+        }
+    }
+
+    fn handle_text(&mut self, t: f64, text: &str, out: &mut Vec<Response>) {
+        if self.current.mode != SessionMode::Text {
+            out.push(Response::Err("session is in vector mode; use V".into()));
+            return;
+        }
+        match self.tokenizer.unit_vector(text) {
+            Ok(v) => self.ingest(t, v, out),
+            // Token-free text can never join anything: accept and move on
+            // without consuming an id, mirroring the CLI `serve` command.
+            Err(_) => out.push(Response::Ok(0)),
+        }
+    }
+
+    fn ingest(&mut self, t: f64, vector: sssj_types::SparseVector, out: &mut Vec<Response>) {
+        if self.finished {
+            out.push(Response::Err(
+                "session already finished; open a new connection".into(),
+            ));
+            return;
+        }
+        let record = StreamRecord::new(self.next_id, Timestamp::new(t), vector);
+        let mut pairs = Vec::new();
+        match &mut self.join {
+            SessionJoin::Plain(join) => {
+                if t < self.last_t {
+                    out.push(Response::Err(format!(
+                        "out-of-order timestamp {t} < {} (configure slack= to tolerate)",
+                        self.last_t
+                    )));
+                    return;
+                }
+                join.process(&record, &mut pairs);
+            }
+            SessionJoin::Reordered(join) => {
+                if let Err(late) = join.push(&record, &mut pairs) {
+                    out.push(Response::Err(format!(
+                        "record at t={t} is more than slack={} late (released up to t={})",
+                        self.current.slack, late.released_up_to
+                    )));
+                    return;
+                }
+            }
+        }
+        self.started = true;
+        self.next_id += 1;
+        self.records += 1;
+        if t > self.last_t {
+            self.last_t = t;
+        }
+        self.emit(pairs, out);
+    }
+
+    fn emit(&mut self, pairs: Vec<SimilarPair>, out: &mut Vec<Response>) {
+        let n = pairs.len() as u64;
+        self.pairs += n;
+        out.extend(pairs.into_iter().map(Response::Pair));
+        out.push(Response::Ok(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle_line(s: &mut Session, line: &str) -> Vec<Response> {
+        let mut out = Vec::new();
+        s.handle(Request::parse(line).unwrap(), &mut out);
+        out
+    }
+
+    fn ok_count(responses: &[Response]) -> u64 {
+        match responses.last() {
+            Some(Response::Ok(n)) => *n,
+            other => panic!("expected OK, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_duplicates_pair_up() {
+        let mut s = Session::new(SessionDefaults::default());
+        assert_eq!(ok_count(&handle_line(&mut s, "V 0.0 7:1.0")), 0);
+        let r = handle_line(&mut s, "V 1.0 7:1.0");
+        assert_eq!(ok_count(&r), 1);
+        match &r[0] {
+            Response::Pair(p) => {
+                assert_eq!(p.key(), (0, 1));
+                assert!((p.similarity - (-0.01f64).exp()).abs() < 1e-12);
+            }
+            other => panic!("expected pair, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_changes_threshold() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "CONFIG theta=0.99 lambda=1.0");
+        handle_line(&mut s, "V 0.0 7:1.0");
+        // e^{-1.0·1.0} ≈ 0.37 < 0.99: no pair under the stricter config.
+        assert_eq!(ok_count(&handle_line(&mut s, "V 1.0 7:1.0")), 0);
+    }
+
+    #[test]
+    fn config_after_first_record_is_rejected() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "V 0.0 7:1.0");
+        let r = handle_line(&mut s, "CONFIG theta=0.5");
+        assert!(matches!(&r[0], Response::Err(m) if m.contains("precede")));
+    }
+
+    #[test]
+    fn out_of_order_rejected_without_slack() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "V 5.0 7:1.0");
+        let r = handle_line(&mut s, "V 1.0 7:1.0");
+        assert!(matches!(&r[0], Response::Err(m) if m.contains("out-of-order")));
+        // The record was not consumed: the next id is still 1.
+        let r = handle_line(&mut s, "V 6.0 8:1.0");
+        assert_eq!(ok_count(&r), 0);
+        handle_line(&mut s, "STATS");
+        assert_eq!(s.records, 2);
+    }
+
+    #[test]
+    fn slack_tolerates_bounded_disorder() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "CONFIG slack=10 theta=0.7 lambda=0.01");
+        handle_line(&mut s, "V 5.0 7:1.0");
+        let r = handle_line(&mut s, "V 1.0 7:1.0"); // 4 late, within slack
+        assert!(!matches!(&r[0], Response::Err(_)), "{r:?}");
+        let r = handle_line(&mut s, "FINISH");
+        assert_eq!(ok_count(&r), 1, "pair reported at flush");
+    }
+
+    #[test]
+    fn slack_still_rejects_hopelessly_late_records() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "CONFIG slack=1");
+        handle_line(&mut s, "V 0.0 7:1.0");
+        handle_line(&mut s, "V 100.0 7:1.0"); // watermark 99: releases t=0
+        handle_line(&mut s, "V 200.0 7:1.0"); // watermark 199: releases t=100
+        let r = handle_line(&mut s, "V 2.0 7:1.0"); // behind released t=100
+        assert!(matches!(&r[0], Response::Err(m) if m.contains("late")));
+    }
+
+    #[test]
+    fn text_mode_tokenises() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "CONFIG mode=text theta=0.9 lambda=0.001");
+        assert_eq!(ok_count(&handle_line(&mut s, "T 0.0 rust streaming join")), 0);
+        let r = handle_line(&mut s, "T 1.0 rust streaming join");
+        assert_eq!(ok_count(&r), 1);
+        // Token-free text is accepted but joins nothing.
+        assert_eq!(ok_count(&handle_line(&mut s, "T 2.0 !!! ...")), 0);
+    }
+
+    #[test]
+    fn wrong_verb_for_mode_is_an_error() {
+        let mut s = Session::new(SessionDefaults::default());
+        let r = handle_line(&mut s, "T 0.0 hello");
+        assert!(matches!(&r[0], Response::Err(m) if m.contains("vector mode")));
+        handle_line(&mut s, "CONFIG mode=text");
+        let r = handle_line(&mut s, "V 0.0 1:1.0");
+        assert!(matches!(&r[0], Response::Err(m) if m.contains("text mode")));
+    }
+
+    #[test]
+    fn stats_report_session_counters() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "V 0.0 7:1.0");
+        handle_line(&mut s, "V 1.0 7:1.0");
+        let r = handle_line(&mut s, "STATS");
+        match &r[0] {
+            Response::Stats(st) => {
+                assert_eq!(st.records, 2);
+                assert_eq!(st.pairs, 1);
+                assert!(st.live_postings > 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finish_flushes_minibatch_and_seals_session() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "CONFIG framework=mb theta=0.7 lambda=0.01");
+        handle_line(&mut s, "V 0.0 7:1.0");
+        handle_line(&mut s, "V 1.0 7:1.0");
+        let r = handle_line(&mut s, "FINISH");
+        assert_eq!(ok_count(&r), 1, "MB reports the within-window pair at flush");
+        let r = handle_line(&mut s, "V 2.0 7:1.0");
+        assert!(matches!(&r[0], Response::Err(m) if m.contains("finished")));
+        // FINISH is idempotent.
+        assert_eq!(ok_count(&handle_line(&mut s, "FINISH")), 0);
+    }
+
+    #[test]
+    fn directly_built_bad_config_is_an_error_not_a_panic() {
+        use crate::protocol::ConfigRequest;
+        for bad in [
+            ConfigRequest {
+                theta: Some(2.0),
+                ..Default::default()
+            },
+            ConfigRequest {
+                theta: Some(f64::NAN),
+                ..Default::default()
+            },
+            ConfigRequest {
+                lambda: Some(-1.0),
+                ..Default::default()
+            },
+            ConfigRequest {
+                slack: Some(f64::INFINITY),
+                ..Default::default()
+            },
+        ] {
+            let mut s = Session::new(SessionDefaults::default());
+            let mut out = Vec::new();
+            s.handle(Request::Config(bad), &mut out);
+            assert!(matches!(&out[0], Response::Err(_)), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn quit_closes_session() {
+        let mut s = Session::new(SessionDefaults::default());
+        let mut out = Vec::new();
+        let keep = s.handle(Request::parse("QUIT").unwrap(), &mut out);
+        assert!(!keep);
+        assert_eq!(out, vec![Response::Bye]);
+    }
+
+    #[test]
+    fn duplicate_dims_coalesce_instead_of_erroring() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "V 0.0 1:0.5 1:0.5"); // sums to a single coord
+        assert_eq!(ok_count(&handle_line(&mut s, "V 0.0 1:1.0")), 1);
+    }
+
+    #[test]
+    fn bad_vector_reports_error_and_continues() {
+        // The wire parser rejects empty vectors, but the session guards
+        // against directly constructed requests too (e.g. future binary
+        // front ends).
+        let mut s = Session::new(SessionDefaults::default());
+        let mut out = Vec::new();
+        s.handle(
+            Request::Vector {
+                t: 0.0,
+                entries: vec![],
+            },
+            &mut out,
+        );
+        assert!(matches!(&out[0], Response::Err(m) if m.contains("bad vector")));
+        assert_eq!(ok_count(&handle_line(&mut s, "V 0.0 1:1.0")), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fuzz-style property tests: the protocol parser and the session state
+//! machine must be total — any input yields a clean result, never a
+//! panic, and every request gets a well-formed response.
+
+use proptest::prelude::*;
+use sssj_net::{Request, Response, Session, SessionDefaults};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary text (including control characters and non-ASCII) never
+    /// panics the request parser.
+    #[test]
+    fn request_parse_is_total(line in ".*") {
+        let _ = Request::parse(&line);
+    }
+
+    /// Arbitrary text never panics the response parser either (the
+    /// client runs it on whatever the socket delivers).
+    #[test]
+    fn response_parse_is_total(line in ".*") {
+        let _ = Response::parse(&line);
+    }
+
+    /// Near-miss inputs built from real verbs and junk operands parse or
+    /// error, never panic — and a parsed request's Display re-parses.
+    #[test]
+    fn grammar_near_misses(
+        verb in prop::sample::select(vec!["V", "T", "CONFIG", "STATS", "FINISH", "QUIT", "v", "VV", ""]),
+        operands in proptest::collection::vec("[ -~]{0,12}", 0..5),
+    ) {
+        let line = format!("{} {}", verb, operands.join(" "));
+        if let Ok(req) = Request::parse(&line) {
+            let printed = req.to_string();
+            prop_assert!(
+                Request::parse(&printed).is_ok(),
+                "Display output {printed:?} must re-parse"
+            );
+        }
+    }
+}
+
+/// A generator of syntactically valid request lines with plausible and
+/// edge-case operands.
+fn request_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Vector records with random timestamps (possibly decreasing).
+        (
+            -100.0f64..100.0,
+            proptest::collection::vec((0u32..50, 0.01f64..2.0), 1..5)
+        )
+            .prop_map(|(t, entries)| {
+                let body: Vec<String> =
+                    entries.iter().map(|(d, w)| format!("{d}:{w}")).collect();
+                format!("V {t} {}", body.join(" "))
+            }),
+        // Text records.
+        (-100.0f64..100.0, "[a-z ]{0,30}").prop_map(|(t, text)| format!("T {t} {text}")),
+        // Configs, valid and invalid values alike.
+        (0.01f64..1.5, -0.5f64..1.0, 0.0f64..20.0).prop_map(|(theta, lambda, slack)| {
+            format!("CONFIG theta={theta} lambda={lambda} slack={slack}")
+        }),
+        Just("STATS".to_string()),
+        Just("FINISH".to_string()),
+        Just("QUIT".to_string()),
+        // Garbage that must become E responses.
+        Just("V".to_string()),
+        Just("BANANA 1 2 3".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The session survives any sequence of requests, and each handled
+    /// request produces exactly one terminal response (OK / E / S / BYE)
+    /// preceded only by pairs.
+    #[test]
+    fn session_is_total_and_responses_are_well_formed(
+        lines in proptest::collection::vec(request_line(), 1..40),
+    ) {
+        let mut session = Session::new(SessionDefaults::default());
+        let mut responses = Vec::new();
+        for line in &lines {
+            let Ok(request) = Request::parse(line) else {
+                continue; // parse errors are handled by the server loop
+            };
+            responses.clear();
+            let keep = session.handle(request, &mut responses);
+            // Exactly one terminal response, at the end.
+            let terminals = responses
+                .iter()
+                .filter(|r| {
+                    matches!(
+                        r,
+                        Response::Ok(_) | Response::Err(_) | Response::Stats(_) | Response::Bye
+                    )
+                })
+                .count();
+            prop_assert_eq!(terminals, 1, "responses: {:?}", responses);
+            prop_assert!(
+                matches!(
+                    responses.last(),
+                    Some(Response::Ok(_) | Response::Err(_) | Response::Stats(_) | Response::Bye)
+                ),
+                "terminal must come last: {:?}",
+                responses
+            );
+            // Every non-terminal response is a pair, and the OK count
+            // matches the pair count.
+            if let Some(Response::Ok(n)) = responses.last() {
+                prop_assert_eq!(*n as usize, responses.len() - 1);
+            }
+            for r in &responses[..responses.len() - 1] {
+                prop_assert!(matches!(r, Response::Pair(_)), "{:?}", responses);
+            }
+            // Every response line round-trips through the wire format.
+            for r in &responses {
+                prop_assert_eq!(&Response::parse(&r.to_string()).unwrap(), r);
+            }
+            if !keep {
+                break; // QUIT
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Sharded multi-threaded execution of the streaming similarity self-join.
+//!
+//! The paper evaluates sequential algorithms (its related work cites
+//! MapReduce-based parallel APSS as a separate line); this crate is the
+//! workspace's parallel extension. It uses the classic *broadcast-query /
+//! partition-insert* decomposition:
+//!
+//! * every record is **broadcast** to all `s` shards, each of which
+//!   queries its local STR index with it;
+//! * the record is **inserted** at exactly one shard (by id hash).
+//!
+//! A pair `(x, y)` with `t(x) < t(y)` is then found exactly once — by the
+//! shard that owns `x`, when `y` is queried there — so the union of shard
+//! outputs equals the sequential output, with no deduplication step.
+//! Candidate generation and verification (where §7 shows the time goes)
+//! parallelise; index insertion is partitioned.
+//!
+//! Two entry points:
+//!
+//! * [`sharded_run`] — one-call execution of a whole stream;
+//! * [`ShardedJoin`] — an incremental [`StreamJoin`] that feeds worker
+//!   threads through bounded channels (backpressure) and reports pairs as
+//!   workers hand them back.
+
+pub mod shard;
+
+pub use shard::{sharded_run, ShardedJoin, ShardedOutput};

@@ -1,0 +1,380 @@
+//! Broadcast-query / partition-insert sharding.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use sssj_core::{SssjConfig, StreamJoin, Streaming};
+use sssj_index::IndexKind;
+use sssj_metrics::JoinStats;
+use sssj_types::{SimilarPair, StreamRecord, VectorId};
+
+/// Channel depth per shard: enough to keep workers busy, small enough
+/// that a slow shard exerts backpressure instead of buffering the stream.
+const CHANNEL_DEPTH: usize = 256;
+
+/// Which shard owns (inserts) a record. Fibonacci hashing spreads
+/// sequential ids evenly.
+#[inline]
+fn owner(id: VectorId, shards: usize) -> usize {
+    (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+}
+
+/// The result of a sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardedOutput {
+    /// All similar pairs (unsorted; shard interleaving is
+    /// nondeterministic).
+    pub pairs: Vec<SimilarPair>,
+    /// Work counters summed over shards.
+    pub stats: JoinStats,
+    /// Per-shard counters, for load-balance inspection.
+    pub per_shard: Vec<JoinStats>,
+}
+
+/// Runs the full stream through `shards` worker threads and returns the
+/// combined output. Equivalent to the sequential STR join up to output
+/// order.
+///
+/// ```
+/// use sssj_core::SssjConfig;
+/// use sssj_index::IndexKind;
+/// use sssj_parallel::sharded_run;
+/// use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
+///
+/// let stream: Vec<StreamRecord> = (0..4)
+///     .map(|i| StreamRecord::new(i, Timestamp::new(i as f64), unit_vector(&[(1, 1.0)])))
+///     .collect();
+/// let out = sharded_run(&stream, SssjConfig::new(0.5, 0.1), IndexKind::L2, 2);
+/// assert_eq!(out.pairs.len(), 6); // identical vectors, τ ≈ 6.9 covers all
+/// ```
+pub fn sharded_run(
+    stream: &[StreamRecord],
+    config: SssjConfig,
+    kind: IndexKind,
+    shards: usize,
+) -> ShardedOutput {
+    assert!(shards > 0, "shards must be positive");
+    std::thread::scope(|scope| {
+        let mut senders: Vec<Sender<&StreamRecord>> = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for w in 0..shards {
+            let (tx, rx) = bounded::<&StreamRecord>(CHANNEL_DEPTH);
+            senders.push(tx);
+            handles.push(scope.spawn(move || {
+                let mut join = Streaming::new(config, kind);
+                let mut pairs = Vec::new();
+                for record in rx {
+                    join.query(record, &mut pairs);
+                    if owner(record.id, shards) == w {
+                        join.insert_record(record);
+                    }
+                }
+                (pairs, join.stats())
+            }));
+        }
+        for record in stream {
+            for tx in &senders {
+                tx.send(record).expect("worker alive while sending");
+            }
+        }
+        drop(senders);
+        let mut pairs = Vec::new();
+        let mut per_shard = Vec::with_capacity(shards);
+        let mut stats = JoinStats::new();
+        for h in handles {
+            let (p, s) = h.join().expect("worker panicked");
+            pairs.extend(p);
+            stats += s;
+            per_shard.push(s);
+        }
+        ShardedOutput {
+            pairs,
+            stats,
+            per_shard,
+        }
+    })
+}
+
+/// Message from the driver to a worker.
+enum Msg {
+    Record(Arc<StreamRecord>),
+}
+
+/// Per-worker return value.
+struct WorkerResult {
+    stats: JoinStats,
+}
+
+/// An incremental sharded join implementing [`StreamJoin`].
+///
+/// [`ShardedJoin::process`] broadcasts the record to all workers over
+/// bounded channels (applying backpressure when a shard lags) and drains
+/// any pairs workers have produced so far; [`ShardedJoin::finish`] joins
+/// the workers and drains the rest. Pair arrival order across shards is
+/// nondeterministic; within one shard it follows stream order.
+pub struct ShardedJoin {
+    kind: IndexKind,
+    shards: usize,
+    senders: Vec<Sender<Msg>>,
+    pair_rx: Receiver<Vec<SimilarPair>>,
+    handles: Vec<JoinHandle<WorkerResult>>,
+    live: Vec<Arc<AtomicU64>>,
+    /// Pairs surfaced so far (until `finish`, the only live counter).
+    pairs_seen: u64,
+    /// Summed worker stats, filled in by `finish`.
+    final_stats: Option<JoinStats>,
+}
+
+impl ShardedJoin {
+    /// Spawns `shards` worker threads for the given configuration.
+    pub fn new(config: SssjConfig, kind: IndexKind, shards: usize) -> Self {
+        assert!(shards > 0, "shards must be positive");
+        let (pair_tx, pair_rx) = bounded::<Vec<SimilarPair>>(CHANNEL_DEPTH);
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        let mut live = Vec::with_capacity(shards);
+        for w in 0..shards {
+            let (tx, rx) = bounded::<Msg>(CHANNEL_DEPTH);
+            senders.push(tx);
+            let pair_tx = pair_tx.clone();
+            let live_ctr = Arc::new(AtomicU64::new(0));
+            live.push(Arc::clone(&live_ctr));
+            handles.push(std::thread::spawn(move || {
+                let mut join = Streaming::new(config, kind);
+                let mut out = Vec::new();
+                for Msg::Record(record) in rx {
+                    join.query(&record, &mut out);
+                    if owner(record.id, shards) == w {
+                        join.insert_record(&record);
+                    }
+                    live_ctr.store(join.live_postings(), Ordering::Relaxed);
+                    if !out.is_empty() {
+                        pair_tx
+                            .send(std::mem::take(&mut out))
+                            .expect("driver alive");
+                    }
+                }
+                WorkerResult {
+                    stats: join.stats(),
+                }
+            }));
+        }
+        ShardedJoin {
+            kind,
+            shards,
+            senders,
+            pair_rx,
+            handles,
+            live,
+            pairs_seen: 0,
+            final_stats: None,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn drain_ready(&mut self, out: &mut Vec<SimilarPair>) {
+        while let Ok(batch) = self.pair_rx.try_recv() {
+            self.pairs_seen += batch.len() as u64;
+            out.extend(batch);
+        }
+    }
+}
+
+impl StreamJoin for ShardedJoin {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        assert!(
+            self.final_stats.is_none(),
+            "process called after finish"
+        );
+        let record = Arc::new(record.clone());
+        for tx in &self.senders {
+            tx.send(Msg::Record(Arc::clone(&record)))
+                .expect("worker alive");
+        }
+        self.drain_ready(out);
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimilarPair>) {
+        if self.final_stats.is_some() {
+            return;
+        }
+        self.senders.clear(); // closes worker inboxes
+        let mut stats = JoinStats::new();
+        for h in self.handles.drain(..) {
+            let r = h.join().expect("worker panicked");
+            stats += r.stats;
+        }
+        // Workers have exited; the pair channel can no longer grow.
+        while let Ok(batch) = self.pair_rx.try_recv() {
+            self.pairs_seen += batch.len() as u64;
+            out.extend(batch);
+        }
+        self.final_stats = Some(stats);
+    }
+
+    fn stats(&self) -> JoinStats {
+        match self.final_stats {
+            Some(s) => s,
+            None => {
+                // Before finish, only the surfaced-pair count is known
+                // without synchronising with workers.
+                let mut s = JoinStats::new();
+                s.pairs_output = self.pairs_seen;
+                s
+            }
+        }
+    }
+
+    fn live_postings(&self) -> u64 {
+        self.live.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    fn name(&self) -> String {
+        format!("STR-{}x{}", self.kind, self.shards)
+    }
+}
+
+impl Drop for ShardedJoin {
+    fn drop(&mut self) {
+        // Abandon politely: close inboxes and let workers run down.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_core::run_stream;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn rec(id: u64, t: f64, entries: &[(u32, f64)]) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::new(t), unit_vector(entries))
+    }
+
+    fn random_stream(seed: u64, n: usize) -> Vec<StreamRecord> {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        (0..n as u64)
+            .map(|i| {
+                t += rng.random_range(0.0..0.5);
+                let entries: Vec<(u32, f64)> = (0..rng.random_range(1..6))
+                    .map(|_| (rng.random_range(0..20u32), rng.random_range(0.1..1.0)))
+                    .collect();
+                rec(i, t, &entries)
+            })
+            .collect()
+    }
+
+    fn sorted_keys(pairs: &[SimilarPair]) -> Vec<(u64, u64)> {
+        let mut keys: Vec<_> = pairs.iter().map(|p| p.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let stream = random_stream(1, 400);
+        let config = SssjConfig::new(0.6, 0.1);
+        let mut seq = Streaming::new(config, IndexKind::L2);
+        let expected = sorted_keys(&run_stream(&mut seq, &stream));
+        for shards in [1, 2, 3, 8] {
+            let out = sharded_run(&stream, config, IndexKind::L2, shards);
+            assert_eq!(sorted_keys(&out.pairs), expected, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_for_all_kinds() {
+        let stream = random_stream(2, 200);
+        let config = SssjConfig::new(0.5, 0.2);
+        for kind in IndexKind::ALL {
+            let mut seq = Streaming::new(config, kind);
+            let expected = sorted_keys(&run_stream(&mut seq, &stream));
+            let out = sharded_run(&stream, config, kind, 4);
+            assert_eq!(sorted_keys(&out.pairs), expected, "{kind}");
+        }
+    }
+
+    #[test]
+    fn incremental_join_matches_sequential() {
+        let stream = random_stream(3, 300);
+        let config = SssjConfig::new(0.6, 0.1);
+        let mut seq = Streaming::new(config, IndexKind::L2);
+        let expected = sorted_keys(&run_stream(&mut seq, &stream));
+        let mut sharded = ShardedJoin::new(config, IndexKind::L2, 3);
+        let got = run_stream(&mut sharded, &stream);
+        assert_eq!(sorted_keys(&got), expected);
+        assert_eq!(sharded.stats().pairs_output as usize, got.len());
+    }
+
+    #[test]
+    fn single_shard_equals_sequential_stats() {
+        let stream = random_stream(4, 150);
+        let config = SssjConfig::new(0.7, 0.1);
+        let mut seq = Streaming::new(config, IndexKind::L2);
+        run_stream(&mut seq, &stream);
+        let out = sharded_run(&stream, config, IndexKind::L2, 1);
+        assert_eq!(out.stats.entries_traversed, seq.stats().entries_traversed);
+        assert_eq!(out.stats.pairs_output, seq.stats().pairs_output);
+    }
+
+    #[test]
+    fn insertion_is_partitioned() {
+        let stream = random_stream(5, 300);
+        let out = sharded_run(&stream, SssjConfig::new(0.6, 0.1), IndexKind::L2, 4);
+        let total: u64 = out.per_shard.iter().map(|s| s.postings_added).sum();
+        let mut seq = Streaming::new(SssjConfig::new(0.6, 0.1), IndexKind::L2);
+        run_stream(&mut seq, &stream);
+        assert_eq!(total, seq.stats().postings_added);
+        // No shard holds everything (hash spread).
+        for s in &out.per_shard {
+            assert!(s.postings_added < total);
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let out = sharded_run(&[], SssjConfig::new(0.5, 0.1), IndexKind::L2, 2);
+        assert!(out.pairs.is_empty());
+        let mut j = ShardedJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2, 2);
+        let mut buf = Vec::new();
+        j.finish(&mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_drop_safe() {
+        let mut j = ShardedJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2, 2);
+        let mut buf = Vec::new();
+        j.process(&rec(0, 0.0, &[(1, 1.0)]), &mut buf);
+        j.finish(&mut buf);
+        j.finish(&mut buf);
+        drop(j);
+        // And dropping an unfinished join must not hang or panic.
+        let j2 = ShardedJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2, 2);
+        drop(j2);
+    }
+
+    #[test]
+    fn name_reports_topology() {
+        let j = ShardedJoin::new(SssjConfig::new(0.5, 0.1), IndexKind::L2, 4);
+        assert_eq!(j.name(), "STR-L2x4");
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be positive")]
+    fn zero_shards_rejected() {
+        sharded_run(&[], SssjConfig::new(0.5, 0.1), IndexKind::L2, 0);
+    }
+}

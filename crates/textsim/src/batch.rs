@@ -1,0 +1,177 @@
+//! Batch all-pairs Jaccard join with prefix + length filtering.
+
+use std::collections::HashMap;
+
+use sssj_metrics::JoinStats;
+
+use crate::set::{jaccard, overlap, TokenId, TokenSet};
+
+/// Float slack applied in the prune-*less* direction: products like
+/// `0.4·5` land at `2.0000000000000004`, and an unguarded `ceil` or `<`
+/// would silently drop exact-boundary pairs.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// Required intersection size for `J(x, y) ≥ θ`:
+/// `⌈θ/(1+θ) · (|x| + |y|)⌉` (equivalence `J ≥ θ ⇔ |x∩y| ≥ θ|x∪y|`).
+pub(crate) fn required_overlap(theta: f64, nx: usize, ny: usize) -> usize {
+    (theta / (1.0 + theta) * (nx + ny) as f64 - EPS).ceil().max(0.0) as usize
+}
+
+/// The length filter `θ·|x| ≤ |y| ≤ |x|/θ`, slackened by [`EPS`].
+pub(crate) fn length_compatible(theta: f64, nx: usize, ny: usize) -> bool {
+    let (nx, ny) = (nx as f64, ny as f64);
+    ny >= theta * nx - EPS && ny <= nx / theta + EPS
+}
+
+/// Brute-force O(n²) Jaccard all-pairs — the oracle.
+pub fn brute_force_jaccard(sets: &[TokenSet], theta: f64) -> Vec<(usize, usize, f64)> {
+    assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+    let mut out = Vec::new();
+    for i in 0..sets.len() {
+        for j in i + 1..sets.len() {
+            let s = jaccard(&sets[i], &sets[j]);
+            if s >= theta {
+                out.push((i, j, s));
+            }
+        }
+    }
+    out
+}
+
+/// All pairs of sets with `J(x, y) ≥ θ`, by index-and-probe with prefix
+/// and length filtering (the AllPairs/PPJoin skeleton specialised to
+/// Jaccard). Returns `(i, j, similarity)` with `i < j` in input order,
+/// plus the work counters.
+///
+/// ```
+/// use sssj_textsim::{batch_jaccard_join, TokenSet};
+///
+/// let sets = vec![
+///     TokenSet::new(vec![1, 2, 3, 4]),
+///     TokenSet::new(vec![1, 2, 3, 5]),
+///     TokenSet::new(vec![9, 10]),
+/// ];
+/// let (pairs, _stats) = batch_jaccard_join(&sets, 0.5);
+/// assert_eq!(pairs.len(), 1);
+/// assert_eq!((pairs[0].0, pairs[0].1), (0, 1)); // J = 3/5
+/// ```
+pub fn batch_jaccard_join(sets: &[TokenSet], theta: f64) -> (Vec<(usize, usize, f64)>, JoinStats) {
+    assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+    let mut index: HashMap<TokenId, Vec<usize>> = HashMap::new();
+    let mut stats = JoinStats::new();
+    let mut out = Vec::new();
+    let mut seen_round = vec![usize::MAX; sets.len()];
+
+    for (i, x) in sets.iter().enumerate() {
+        // Probe: every posting list of x's prefix tokens.
+        for &tok in &x.tokens()[..x.prefix_len(theta)] {
+            if let Some(list) = index.get(&tok) {
+                for &j in list {
+                    stats.entries_traversed += 1;
+                    if seen_round[j] == i {
+                        continue; // already considered for this x
+                    }
+                    seen_round[j] = i;
+                    let y = &sets[j];
+                    let (nx, ny) = (x.len(), y.len());
+                    if !length_compatible(theta, nx, ny) {
+                        continue;
+                    }
+                    stats.candidates += 1;
+                    let req = required_overlap(theta, nx, ny);
+                    stats.full_sims += 1;
+                    if let Some(inter) = overlap(x, y, req) {
+                        let s = inter as f64 / (nx + ny - inter) as f64;
+                        if s >= theta {
+                            stats.pairs_output += 1;
+                            out.push((j, i, s));
+                        }
+                    }
+                }
+            }
+        }
+        // Index x's prefix tokens.
+        for &tok in &x.tokens()[..x.prefix_len(theta)] {
+            index.entry(tok).or_default().push(i);
+            stats.postings_added += 1;
+        }
+    }
+    for p in &mut out {
+        if p.0 > p.1 {
+            std::mem::swap(&mut p.0, &mut p.1);
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(pairs: &[(usize, usize, f64)]) -> Vec<(usize, usize)> {
+        pairs.iter().map(|&(a, b, _)| (a, b)).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_sets() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sets: Vec<TokenSet> = (0..120)
+            .map(|_| {
+                (0..rng.random_range(2..12))
+                    .map(|_| rng.random_range(0..40u32))
+                    .collect()
+            })
+            .collect();
+        for theta in [0.4, 0.6, 0.8, 0.95] {
+            let (fast, _) = batch_jaccard_join(&sets, theta);
+            let mut slow = keys(&brute_force_jaccard(&sets, theta));
+            slow.sort_unstable();
+            assert_eq!(keys(&fast), slow, "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn similarity_values_are_exact() {
+        let sets = vec![
+            TokenSet::new(vec![1, 2, 3, 4]),
+            TokenSet::new(vec![2, 3, 4, 5]),
+        ];
+        let (pairs, _) = batch_jaccard_join(&sets, 0.5);
+        assert_eq!(pairs.len(), 1);
+        assert!((pairs[0].2 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_filter_prunes_extreme_sizes() {
+        // |x|=2 vs |y|=20 cannot reach J ≥ 0.5 even with x ⊂ y.
+        let small: TokenSet = (0..2).collect();
+        let large: TokenSet = (0..20).collect();
+        let (pairs, stats) = batch_jaccard_join(&[small, large], 0.5);
+        assert!(pairs.is_empty());
+        assert_eq!(stats.candidates, 0, "length filter must fire before overlap");
+    }
+
+    #[test]
+    fn duplicates_and_empties() {
+        let sets = vec![
+            TokenSet::new(vec![7, 8]),
+            TokenSet::default(),
+            TokenSet::new(vec![7, 8]),
+        ];
+        let (pairs, _) = batch_jaccard_join(&sets, 0.9);
+        assert_eq!(keys(&pairs), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn index_only_holds_prefixes() {
+        let sets: Vec<TokenSet> = (0..10).map(|i| (i..i + 10).collect()).collect();
+        // θ=0.9 on 10 tokens → prefix length 10 − ⌈9⌉ + 1 = 2.
+        let (_, stats) = batch_jaccard_join(&sets, 0.9);
+        assert_eq!(stats.postings_added, 20);
+        // θ=1.0 → prefix length 1: only exact duplicates can join.
+        let (_, stats) = batch_jaccard_join(&sets, 1.0);
+        assert_eq!(stats.postings_added, 10);
+    }
+}

@@ -1,0 +1,174 @@
+//! Token sets and exact Jaccard similarity.
+
+/// A token identifier. Token ids double as the global ordering the prefix
+/// filter relies on — order them by ascending document frequency (rare
+/// first) for the strongest pruning, as the set-similarity literature
+/// recommends.
+pub type TokenId = u32;
+
+/// An immutable set of tokens, stored sorted and deduplicated.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct TokenSet {
+    tokens: Box<[TokenId]>,
+}
+
+impl TokenSet {
+    /// Builds a set from arbitrary tokens (sorted, deduplicated).
+    pub fn new(mut tokens: Vec<TokenId>) -> Self {
+        tokens.sort_unstable();
+        tokens.dedup();
+        TokenSet {
+            tokens: tokens.into_boxed_slice(),
+        }
+    }
+
+    /// Set size `|x|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The sorted tokens.
+    #[inline]
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// The prefix-filter length for threshold `θ`:
+    /// `|x| − ⌈θ·|x|⌉ + 1`. Any pair with `J ≥ θ` shares a token inside
+    /// both prefixes of this length.
+    pub fn prefix_len(&self, theta: f64) -> usize {
+        debug_assert!(theta > 0.0 && theta <= 1.0);
+        let n = self.tokens.len();
+        if n == 0 {
+            return 0;
+        }
+        // The 1e-9 slack counters float overshoot (e.g. 0.4·5 ↦
+        // 2.0000000000000004): an inflated ceil would shorten the prefix
+        // and silently lose exact-boundary pairs.
+        n - (theta * n as f64 - 1e-9).ceil().max(1.0) as usize + 1
+    }
+
+    /// Whether `token` is a member (binary search).
+    pub fn contains(&self, token: TokenId) -> bool {
+        self.tokens.binary_search(&token).is_ok()
+    }
+}
+
+impl FromIterator<TokenId> for TokenSet {
+    fn from_iter<I: IntoIterator<Item = TokenId>>(iter: I) -> Self {
+        TokenSet::new(iter.into_iter().collect())
+    }
+}
+
+/// Intersection size `|x ∩ y|` by merge; `required` allows early exit:
+/// returns `None` as soon as the intersection provably cannot reach it.
+pub fn overlap(x: &TokenSet, y: &TokenSet, required: usize) -> Option<usize> {
+    let (a, b) = (x.tokens(), y.tokens());
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        // Early exit: even matching everything left cannot reach
+        // `required`.
+        if inter + (a.len() - i).min(b.len() - j) < required {
+            return None;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    (inter >= required).then_some(inter)
+}
+
+/// Exact Jaccard similarity `|x ∩ y| / |x ∪ y|`. Empty∩empty is defined
+/// as 0 (no shared content, nothing to join on).
+pub fn jaccard(x: &TokenSet, y: &TokenSet) -> f64 {
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    let inter = overlap(x, y, 0).expect("required=0 always succeeds");
+    let union = x.len() + y.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = TokenSet::new(vec![5, 1, 5, 3, 1]);
+        assert_eq!(s.tokens(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a = TokenSet::new(vec![1, 2, 3, 4]);
+        let b = TokenSet::new(vec![3, 4, 5, 6]);
+        assert!((jaccard(&a, &b) - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &TokenSet::default()), 0.0);
+    }
+
+    #[test]
+    fn overlap_early_exit() {
+        let a = TokenSet::new(vec![1, 2, 3]);
+        let b = TokenSet::new(vec![4, 5, 6]);
+        assert_eq!(overlap(&a, &b, 1), None);
+        assert_eq!(overlap(&a, &b, 0), Some(0));
+        let c = TokenSet::new(vec![2, 3, 9]);
+        assert_eq!(overlap(&a, &c, 2), Some(2));
+        assert_eq!(overlap(&a, &c, 3), None);
+    }
+
+    #[test]
+    fn prefix_len_formula() {
+        let s = TokenSet::new((0..10).collect());
+        // θ=0.8: |x| − ⌈8⌉ + 1 = 3; a pair with J ≥ 0.8 must overlap in
+        // the first 3 tokens of each.
+        assert_eq!(s.prefix_len(0.8), 3);
+        assert_eq!(s.prefix_len(1.0), 1);
+        // θ→0 keeps the whole set.
+        assert_eq!(s.prefix_len(0.05), 10);
+        assert_eq!(TokenSet::default().prefix_len(0.5), 0);
+    }
+
+    #[test]
+    fn prefix_filter_is_safe() {
+        // Exhaustive check on small universes: J(x, y) ≥ θ implies the
+        // prefixes intersect.
+        for mask_x in 1u32..32 {
+            for mask_y in 1u32..32 {
+                let x: TokenSet = (0..5).filter(|i| mask_x >> i & 1 == 1).collect();
+                let y: TokenSet = (0..5).filter(|i| mask_y >> i & 1 == 1).collect();
+                for theta in [0.5, 0.7, 0.9] {
+                    if jaccard(&x, &y) >= theta {
+                        let px = &x.tokens()[..x.prefix_len(theta)];
+                        let py = &y.tokens()[..y.prefix_len(theta)];
+                        let hit = px.iter().any(|t| py.contains(t));
+                        assert!(hit, "x={:?} y={:?} θ={theta}", x.tokens(), y.tokens());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contains_uses_order() {
+        let s = TokenSet::new(vec![10, 20, 30]);
+        assert!(s.contains(20));
+        assert!(!s.contains(25));
+    }
+}

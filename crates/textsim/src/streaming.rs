@@ -1,0 +1,330 @@
+//! Streaming Jaccard self-join with time-decayed similarity.
+
+use std::collections::{HashMap, VecDeque};
+
+use sssj_metrics::JoinStats;
+
+use crate::set::{overlap, TokenId, TokenSet};
+
+/// A timestamped token set flowing through the stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedSet {
+    /// Unique record id (stream order).
+    pub id: u64,
+    /// Arrival time in seconds; must be non-decreasing along the stream.
+    pub t: f64,
+    /// The tokens.
+    pub set: TokenSet,
+}
+
+impl TimedSet {
+    /// Creates a timestamped set.
+    pub fn new(id: u64, t: f64, set: TokenSet) -> Self {
+        assert!(t.is_finite(), "timestamp must be finite: {t}");
+        TimedSet { id, t, set }
+    }
+}
+
+/// A reported pair: ids in arrival order plus the decayed Jaccard score.
+pub type JaccardPair = (u64, u64, f64);
+
+/// Brute-force oracle for the streaming, time-decayed Jaccard join:
+/// every pair with `J(x, y)·e^{-λΔt} ≥ θ`.
+pub fn brute_force_jaccard_stream(stream: &[TimedSet], theta: f64, lambda: f64) -> Vec<JaccardPair> {
+    assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+    assert!(lambda > 0.0, "lambda must be positive");
+    let tau = (1.0 / theta).ln() / lambda;
+    let mut out = Vec::new();
+    for (i, x) in stream.iter().enumerate() {
+        for y in &stream[..i] {
+            let dt = (x.t - y.t).abs();
+            if dt > tau {
+                continue;
+            }
+            let s = crate::set::jaccard(&x.set, &y.set) * (-lambda * dt).exp();
+            if s >= theta {
+                out.push((y.id, x.id, s));
+            }
+        }
+    }
+    out
+}
+
+/// STR for Jaccard: a single streaming prefix-filter index with time
+/// filtering.
+///
+/// Posting lists hold `(id, t)` for prefix tokens in arrival order; a
+/// probe scans them newest-first and truncates at the horizon, exactly
+/// like STR-L2's lists. Candidates pass a *decay-adjusted* length filter
+/// (`J ≥ θ·e^{λΔt}` is needed at gap `Δt`, which tightens the admissible
+/// size ratio) before the early-exit merge verification.
+///
+/// ```
+/// use sssj_textsim::{StreamingJaccard, TimedSet, TokenSet};
+///
+/// let mut join = StreamingJaccard::new(0.6, 0.1);
+/// let mut out = Vec::new();
+/// join.process(&TimedSet::new(0, 0.0, TokenSet::new(vec![1, 2, 3])), &mut out);
+/// join.process(&TimedSet::new(1, 1.0, TokenSet::new(vec![1, 2, 3, 4])), &mut out);
+/// assert_eq!(out.len(), 1); // J = 3/4, decayed ≈ 0.679 ≥ 0.6
+/// ```
+pub struct StreamingJaccard {
+    theta: f64,
+    lambda: f64,
+    tau: f64,
+    /// token → (id, t), time-ordered.
+    lists: HashMap<TokenId, VecDeque<(u64, f64)>>,
+    /// id → stored set + timestamp.
+    store: HashMap<u64, (TokenSet, f64)>,
+    /// Arrival order for store eviction.
+    arrivals: VecDeque<(f64, u64)>,
+    /// Per-query dedup: candidate id → query id it was last considered
+    /// for.
+    seen: HashMap<u64, u64>,
+    stats: JoinStats,
+    live_postings: u64,
+}
+
+impl StreamingJaccard {
+    /// Creates the join; `λ > 0` so the horizon is finite.
+    pub fn new(theta: f64, lambda: f64) -> Self {
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]: {theta}");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive and finite: {lambda}"
+        );
+        StreamingJaccard {
+            theta,
+            lambda,
+            tau: (1.0 / theta).ln() / lambda,
+            lists: HashMap::new(),
+            store: HashMap::new(),
+            arrivals: VecDeque::new(),
+            seen: HashMap::new(),
+            stats: JoinStats::new(),
+            live_postings: 0,
+        }
+    }
+
+    /// The time horizon `τ = ln(1/θ)/λ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> JoinStats {
+        self.stats
+    }
+
+    /// Sets currently retained (inside the horizon).
+    pub fn stored_sets(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Live posting entries.
+    pub fn live_postings(&self) -> u64 {
+        self.live_postings
+    }
+
+    fn evict(&mut self, now: f64) {
+        while let Some(&(t, id)) = self.arrivals.front() {
+            if now - t > self.tau {
+                self.arrivals.pop_front();
+                self.store.remove(&id);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Processes one arrival, appending reported pairs to `out`.
+    pub fn process(&mut self, record: &TimedSet, out: &mut Vec<JaccardPair>) {
+        let now = record.t;
+        self.evict(now);
+        let x = &record.set;
+        let prefix = x.prefix_len(self.theta);
+
+        for &tok in &x.tokens()[..prefix] {
+            let Some(list) = self.lists.get_mut(&tok) else {
+                continue;
+            };
+            // Backward scan with horizon truncation (lists are
+            // time-ordered: streaming insertion only ever appends).
+            let mut cut = 0;
+            for i in (0..list.len()).rev() {
+                let (id, t) = list[i];
+                let dt = now - t;
+                if dt > self.tau {
+                    cut = i + 1;
+                    break;
+                }
+                self.stats.entries_traversed += 1;
+                if self.seen.get(&id) == Some(&record.id) {
+                    continue;
+                }
+                self.seen.insert(id, record.id);
+                let Some((y, ty)) = self.store.get(&id) else {
+                    continue;
+                };
+                // Decay-adjusted effective threshold at this gap.
+                let df = (-self.lambda * (now - ty).max(0.0)).exp();
+                let theta_eff = self.theta / df;
+                if theta_eff > 1.0 {
+                    continue; // cannot reach θ at this age
+                }
+                let (nx, ny) = (x.len(), y.len());
+                if !crate::batch::length_compatible(theta_eff, nx, ny) {
+                    continue;
+                }
+                self.stats.candidates += 1;
+                let req = crate::batch::required_overlap(theta_eff, nx, ny);
+                self.stats.full_sims += 1;
+                if let Some(inter) = overlap(x, y, req) {
+                    let s = inter as f64 / (nx + ny - inter) as f64 * df;
+                    if s >= self.theta {
+                        self.stats.pairs_output += 1;
+                        out.push((id, record.id, s));
+                    }
+                }
+            }
+            if cut > 0 {
+                for _ in 0..cut {
+                    list.pop_front();
+                }
+                self.stats.entries_pruned += cut as u64;
+                self.live_postings -= cut as u64;
+            }
+        }
+
+        // Index the prefix tokens and store the full set.
+        for &tok in &x.tokens()[..prefix] {
+            self.lists.entry(tok).or_default().push_back((record.id, now));
+            self.live_postings += 1;
+            self.stats.postings_added += 1;
+        }
+        self.stats.residual_coords += x.len() as u64;
+        self.store.insert(record.id, (x.clone(), now));
+        self.arrivals.push_back((now, record.id));
+        self.stats.observe_postings(self.live_postings);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_stream(seed: u64, n: usize, vocab: u32, max_len: usize) -> Vec<TimedSet> {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        (0..n as u64)
+            .map(|i| {
+                t += rng.random_range(0.0..0.8);
+                let set: TokenSet = (0..rng.random_range(1..=max_len))
+                    .map(|_| rng.random_range(0..vocab))
+                    .collect();
+                TimedSet::new(i, t, set)
+            })
+            .collect()
+    }
+
+    fn run(join: &mut StreamingJaccard, stream: &[TimedSet]) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for r in stream {
+            join.process(r, &mut out);
+        }
+        let mut keys: Vec<_> = out.iter().map(|&(a, b, _)| (a.min(b), a.max(b))).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn oracle_keys(stream: &[TimedSet], theta: f64, lambda: f64) -> Vec<(u64, u64)> {
+        let mut keys: Vec<_> = brute_force_jaccard_stream(stream, theta, lambda)
+            .iter()
+            .map(|&(a, b, _)| (a.min(b), a.max(b)))
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn matches_oracle_on_random_streams() {
+        for seed in [1, 7, 23] {
+            let stream = random_stream(seed, 200, 30, 10);
+            for (theta, lambda) in [(0.5, 0.1), (0.7, 0.05), (0.9, 0.5)] {
+                let mut join = StreamingJaccard::new(theta, lambda);
+                assert_eq!(
+                    run(&mut join, &stream),
+                    oracle_keys(&stream, theta, lambda),
+                    "seed={seed} θ={theta} λ={lambda}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decay_is_applied() {
+        let stream = vec![
+            TimedSet::new(0, 0.0, TokenSet::new(vec![1, 2])),
+            TimedSet::new(1, 2.0, TokenSet::new(vec![1, 2])),
+        ];
+        let mut join = StreamingJaccard::new(0.5, 0.2);
+        let mut out = Vec::new();
+        for r in &stream {
+            join.process(r, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert!((out[0].2 - (-0.4f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizon_evicts_sets_and_postings() {
+        let mut join = StreamingJaccard::new(0.5, 1.0); // τ ≈ 0.69
+        let mut out = Vec::new();
+        for i in 0..40 {
+            join.process(
+                &TimedSet::new(i, i as f64 * 5.0, TokenSet::new(vec![1, 2, 3])),
+                &mut out,
+            );
+        }
+        assert!(out.is_empty());
+        assert!(join.stored_sets() <= 2);
+        assert!(join.live_postings() <= 4);
+    }
+
+    #[test]
+    fn identical_sets_at_zero_gap_score_one() {
+        let stream = vec![
+            TimedSet::new(0, 1.0, TokenSet::new(vec![4, 5, 6])),
+            TimedSet::new(1, 1.0, TokenSet::new(vec![4, 5, 6])),
+        ];
+        let mut join = StreamingJaccard::new(0.99, 0.1);
+        let mut out = Vec::new();
+        for r in &stream {
+            join.process(r, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert!((out[0].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_never_join() {
+        let stream = vec![
+            TimedSet::new(0, 0.0, TokenSet::default()),
+            TimedSet::new(1, 0.1, TokenSet::default()),
+            TimedSet::new(2, 0.2, TokenSet::new(vec![1])),
+        ];
+        let mut join = StreamingJaccard::new(0.5, 0.1);
+        let mut out = Vec::new();
+        for r in &stream {
+            join.process(r, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn zero_lambda_rejected() {
+        StreamingJaccard::new(0.5, 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Text → token sets / weighted vectors.
+//!
+//! The paper's motivating applications (trend detection, near-duplicate
+//! filtering of posts) start from raw text. This module provides the
+//! missing front end: a deterministic hashing tokenizer that needs no
+//! vocabulary pass — essential in a stream, where the vocabulary is
+//! unbounded and ids must be stable from the first record.
+
+use sssj_types::{SparseVector, SparseVectorBuilder, TypesError};
+
+use crate::set::{TokenId, TokenSet};
+
+/// SplitMix64, reused as the hashing vectorizer's hash.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic hashing tokenizer.
+///
+/// Lower-cases, splits on non-alphanumeric characters, optionally forms
+/// word n-grams (shingles), and hashes each token into a bounded id
+/// space (`buckets`). Hash collisions merge tokens — the standard
+/// hashing-trick trade-off; with the default 2²⁰ buckets, collisions are
+/// negligible at tweet/post scale.
+///
+/// ```
+/// use sssj_textsim::Tokenizer;
+///
+/// let tok = Tokenizer::new();
+/// let a = tok.token_set("The quick brown fox!");
+/// let b = tok.token_set("the QUICK brown fox");
+/// assert_eq!(a, b); // case and punctuation insensitive
+/// assert_eq!(a.len(), 4);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Tokenizer {
+    buckets: u32,
+    seed: u64,
+    /// Word n-gram size (1 = unigrams).
+    shingle: usize,
+}
+
+impl Tokenizer {
+    /// Unigrams hashed into 2²⁰ buckets.
+    pub fn new() -> Self {
+        Tokenizer {
+            buckets: 1 << 20,
+            seed: 0x7E87_51AE,
+            shingle: 1,
+        }
+    }
+
+    /// Sets the id-space size (≥ 2).
+    pub fn with_buckets(mut self, buckets: u32) -> Self {
+        assert!(buckets >= 2, "buckets must be at least 2: {buckets}");
+        self.buckets = buckets;
+        self
+    }
+
+    /// Sets the hash seed (different seeds give independent id spaces).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses word `n`-grams instead of single words (n ≥ 1). Shingling
+    /// makes near-duplicate detection robust to word reordering being
+    /// counted as similarity.
+    pub fn with_shingles(mut self, n: usize) -> Self {
+        assert!(n >= 1, "shingle size must be at least 1");
+        self.shingle = n;
+        self
+    }
+
+    fn hash_token(&self, parts: &[&str]) -> TokenId {
+        let mut h = self.seed;
+        for p in parts {
+            for b in p.bytes() {
+                h = splitmix64(h ^ b as u64);
+            }
+            h = splitmix64(h ^ 0x1F); // token separator
+        }
+        (h % self.buckets as u64) as TokenId
+    }
+
+    fn words(text: &str) -> Vec<String> {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .map(|w| w.to_lowercase())
+            .collect()
+    }
+
+    /// Token ids of a text, in occurrence order (duplicates preserved).
+    pub fn token_ids(&self, text: &str) -> Vec<TokenId> {
+        let words = Self::words(text);
+        if words.len() < self.shingle {
+            return Vec::new();
+        }
+        words
+            .windows(self.shingle)
+            .map(|w| {
+                let parts: Vec<&str> = w.iter().map(String::as_str).collect();
+                self.hash_token(&parts)
+            })
+            .collect()
+    }
+
+    /// The deduplicated [`TokenSet`] of a text (Jaccard-ready).
+    pub fn token_set(&self, text: &str) -> TokenSet {
+        TokenSet::new(self.token_ids(text))
+    }
+
+    /// A unit-normalised term-frequency vector (cosine-ready).
+    ///
+    /// Errors on texts with no tokens (all punctuation, or shorter than
+    /// the shingle size).
+    pub fn unit_vector(&self, text: &str) -> Result<SparseVector, TypesError> {
+        let ids = self.token_ids(text);
+        let mut b = SparseVectorBuilder::with_capacity(ids.len());
+        for id in ids {
+            b.push(id, 1.0); // builder sums duplicates → term frequency
+        }
+        b.build_normalized()
+    }
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::jaccard;
+
+    #[test]
+    fn deterministic_and_normalising() {
+        let tok = Tokenizer::new();
+        assert_eq!(tok.token_set("Hello, World"), tok.token_set("hello world"));
+        assert_eq!(tok.token_set("a--b..c"), tok.token_set("a b c"));
+    }
+
+    #[test]
+    fn near_duplicates_score_high_unrelated_low() {
+        let tok = Tokenizer::new();
+        let a = tok.token_set("breaking news: the queen has arrived in paris today");
+        let b = tok.token_set("Breaking news — the queen arrived in Paris today!");
+        let c = tok.token_set("completely different subject matter entirely unrelated");
+        assert!(jaccard(&a, &b) > 0.6, "near-duplicates: {}", jaccard(&a, &b));
+        assert!(jaccard(&a, &c) < 0.1, "unrelated: {}", jaccard(&a, &c));
+    }
+
+    #[test]
+    fn shingles_distinguish_word_order() {
+        let uni = Tokenizer::new();
+        let bi = Tokenizer::new().with_shingles(2);
+        let a = "the dog bit the man";
+        let b = "the man bit the dog";
+        assert_eq!(jaccard(&uni.token_set(a), &uni.token_set(b)), 1.0);
+        assert!(jaccard(&bi.token_set(a), &bi.token_set(b)) < 1.0);
+    }
+
+    #[test]
+    fn unit_vector_weights_by_frequency() {
+        let tok = Tokenizer::new();
+        let v = tok.unit_vector("spam spam spam ham").unwrap();
+        assert_eq!(v.nnz(), 2);
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        // spam appears 3×, ham 1× → weights 3/√10 and 1/√10.
+        assert!((v.max_weight() - 3.0 / 10f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_texts() {
+        let tok = Tokenizer::new();
+        assert!(tok.token_set("").is_empty());
+        assert!(tok.token_set("?!... --- ***").is_empty());
+        assert!(tok.unit_vector("?!").is_err());
+    }
+
+    #[test]
+    fn ids_stay_inside_bucket_space() {
+        let tok = Tokenizer::new().with_buckets(128);
+        for id in tok.token_ids("many different words to hash into a small space") {
+            assert!(id < 128);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_spaces() {
+        let a = Tokenizer::new().with_seed(1).token_set("hello world");
+        let b = Tokenizer::new().with_seed(2).token_set("hello world");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn short_text_with_large_shingle_is_empty() {
+        let tok = Tokenizer::new().with_shingles(3);
+        assert!(tok.token_set("two words").is_empty());
+        assert_eq!(tok.token_set("exactly three words").len(), 1);
+    }
+
+    #[test]
+    fn unicode_words_are_tokens() {
+        let tok = Tokenizer::new();
+        let s = tok.token_set("café naïve 東京 2024");
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Online TF–IDF weighting for streaming text.
+//!
+//! Batch TF–IDF needs a corpus pass to count document frequencies; a
+//! stream has no corpus. [`OnlineIdf`] maintains document frequencies
+//! incrementally and weights each arriving document with the statistics
+//! *as of its arrival* — the only causally-valid choice in a stream, and
+//! the standard one in online learning. Early documents see flatter IDFs
+//! (everything is rare at the start); the estimates converge as the
+//! stream flows.
+
+use std::collections::HashMap;
+
+use sssj_types::{SparseVector, SparseVectorBuilder, TypesError};
+
+use crate::set::TokenId;
+
+/// An incremental document-frequency tracker producing TF–IDF-weighted
+/// unit vectors.
+///
+/// ```
+/// use sssj_textsim::{OnlineIdf, Tokenizer};
+///
+/// let tok = Tokenizer::new();
+/// let mut idf = OnlineIdf::new();
+/// // Warm up the df counts on a few documents…
+/// for text in ["the cat sat", "the dog sat", "the bird flew"] {
+///     idf.observe(&tok.token_ids(text));
+/// }
+/// // …then rare terms outweigh ubiquitous ones.
+/// let v = idf.weight(&tok.token_ids("the cat flew")).unwrap();
+/// let the = v.get(tok.token_ids("the")[0]);
+/// let cat = v.get(tok.token_ids("cat")[0]);
+/// assert!(cat > the);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OnlineIdf {
+    /// Documents observed so far.
+    docs: u64,
+    /// Token → number of observed documents containing it.
+    df: HashMap<TokenId, u64>,
+}
+
+impl OnlineIdf {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Documents observed so far.
+    pub fn documents(&self) -> u64 {
+        self.docs
+    }
+
+    /// Distinct tokens tracked.
+    pub fn vocabulary(&self) -> usize {
+        self.df.len()
+    }
+
+    /// Records one document's tokens (duplicates within the document are
+    /// counted once, as document frequency demands).
+    pub fn observe(&mut self, token_ids: &[TokenId]) {
+        self.docs += 1;
+        let mut sorted: Vec<TokenId> = token_ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for t in sorted {
+            *self.df.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// The smoothed IDF of a token: `ln((1 + N)/(1 + df)) + 1`, positive
+    /// for every token (including unseen ones).
+    pub fn idf(&self, token: TokenId) -> f64 {
+        let df = self.df.get(&token).copied().unwrap_or(0);
+        ((1.0 + self.docs as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    /// TF–IDF-weighted unit vector for a document, using the statistics
+    /// seen so far (call [`OnlineIdf::observe`] afterwards — a document
+    /// should not count itself).
+    ///
+    /// Errors on empty token lists.
+    pub fn weight(&self, token_ids: &[TokenId]) -> Result<SparseVector, TypesError> {
+        let mut tf: HashMap<TokenId, f64> = HashMap::new();
+        for &t in token_ids {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        let mut b = SparseVectorBuilder::with_capacity(tf.len());
+        for (t, count) in tf {
+            b.push(t, count * self.idf(t));
+        }
+        b.build_normalized()
+    }
+
+    /// Convenience: weight with the current statistics, then observe.
+    /// The standard per-record step of a streaming text pipeline.
+    pub fn weight_and_observe(
+        &mut self,
+        token_ids: &[TokenId],
+    ) -> Result<SparseVector, TypesError> {
+        let v = self.weight(token_ids)?;
+        self.observe(token_ids);
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tokenizer;
+
+    #[test]
+    fn empty_document_errors() {
+        let idf = OnlineIdf::new();
+        assert!(idf.weight(&[]).is_err());
+    }
+
+    #[test]
+    fn unseen_corpus_weights_are_uniform_tf() {
+        // With no observations every token has the same IDF, so the
+        // vector reduces to normalised term frequency.
+        let idf = OnlineIdf::new();
+        let v = idf.weight(&[1, 1, 2]).unwrap();
+        assert!((v.get(1) / v.get(2) - 2.0).abs() < 1e-12);
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequent_tokens_are_downweighted() {
+        let mut idf = OnlineIdf::new();
+        for _ in 0..50 {
+            idf.observe(&[7]); // token 7 in every document
+        }
+        idf.observe(&[8]); // token 8 in one
+        let v = idf.weight(&[7, 8]).unwrap();
+        assert!(v.get(8) > 2.0 * v.get(7), "{} vs {}", v.get(8), v.get(7));
+    }
+
+    #[test]
+    fn duplicates_count_once_for_df_but_fully_for_tf() {
+        let mut idf = OnlineIdf::new();
+        idf.observe(&[1, 1, 1]);
+        idf.observe(&[2]);
+        // df(1) = 1 despite three occurrences.
+        assert!((idf.idf(1) - idf.idf(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_is_monotone_in_rarity() {
+        let mut idf = OnlineIdf::new();
+        for i in 0..10 {
+            let mut doc = vec![100u32];
+            if i < 3 {
+                doc.push(200);
+            }
+            idf.observe(&doc);
+        }
+        assert!(idf.idf(200) > idf.idf(100));
+        assert!(idf.idf(999) >= idf.idf(200)); // unseen is rarest
+    }
+
+    #[test]
+    fn weight_and_observe_is_causal() {
+        let mut idf = OnlineIdf::new();
+        let v1 = idf.weight_and_observe(&[1, 2]).unwrap();
+        // The first document cannot be influenced by itself: uniform IDF.
+        assert!((v1.get(1) - v1.get(2)).abs() < 1e-12);
+        assert_eq!(idf.documents(), 1);
+        assert_eq!(idf.vocabulary(), 2);
+    }
+
+    #[test]
+    fn end_to_end_with_tokenizer() {
+        let tok = Tokenizer::new();
+        let mut idf = OnlineIdf::new();
+        let docs = [
+            "the market rallied today",
+            "the market fell today",
+            "a rare pangolin sighting",
+        ];
+        let vectors: Vec<_> = docs
+            .iter()
+            .map(|d| idf.weight_and_observe(&tok.token_ids(d)).unwrap())
+            .collect();
+        // Both market documents share most mass; the pangolin one is
+        // nearly orthogonal to them.
+        let sim_market = sssj_types::dot(&vectors[0], &vectors[1]);
+        let sim_cross = sssj_types::dot(&vectors[0], &vectors[2]);
+        assert!(sim_market > 0.3, "{sim_market}");
+        assert!(sim_cross < 0.2, "{sim_cross}");
+    }
+}

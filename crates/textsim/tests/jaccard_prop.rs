@@ -1,0 +1,103 @@
+//! Property tests: the filtered Jaccard joins (batch and streaming) must
+//! equal their brute-force oracles on randomised inputs, across random
+//! thresholds — including boundary-similarity cases.
+
+use proptest::prelude::*;
+use sssj_textsim::{
+    batch_jaccard_join, brute_force_jaccard, brute_force_jaccard_stream, jaccard,
+    StreamingJaccard, TimedSet, TokenSet,
+};
+
+fn sets_strategy(n: usize, vocab: u32, max_len: usize) -> impl Strategy<Value = Vec<TokenSet>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..vocab, 1..=max_len).prop_map(TokenSet::new),
+        1..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_matches_brute_force(
+        sets in sets_strategy(60, 25, 8),
+        theta in 0.2f64..1.0,
+    ) {
+        let (fast, _) = batch_jaccard_join(&sets, theta);
+        let fast_keys: Vec<(usize, usize)> = fast.iter().map(|&(a, b, _)| (a, b)).collect();
+        let mut slow_keys: Vec<(usize, usize)> =
+            brute_force_jaccard(&sets, theta).iter().map(|&(a, b, _)| (a, b)).collect();
+        slow_keys.sort_unstable();
+        prop_assert_eq!(fast_keys, slow_keys);
+    }
+
+    #[test]
+    fn batch_similarities_are_exact(
+        sets in sets_strategy(40, 20, 6),
+        theta in 0.3f64..1.0,
+    ) {
+        let (pairs, _) = batch_jaccard_join(&sets, theta);
+        for (a, b, s) in pairs {
+            prop_assert!((s - jaccard(&sets[a], &sets[b])).abs() < 1e-12);
+            prop_assert!(s >= theta);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oracle(
+        sets in sets_strategy(50, 20, 6),
+        gaps in proptest::collection::vec(0.0f64..2.0, 50),
+        theta in 0.3f64..0.95,
+        lambda in 0.02f64..0.5,
+    ) {
+        let mut t = 0.0;
+        let stream: Vec<TimedSet> = sets
+            .into_iter()
+            .zip(gaps)
+            .enumerate()
+            .map(|(i, (set, gap))| {
+                t += gap;
+                TimedSet::new(i as u64, t, set)
+            })
+            .collect();
+        let mut join = StreamingJaccard::new(theta, lambda);
+        let mut got = Vec::new();
+        for r in &stream {
+            join.process(r, &mut got);
+        }
+        // Compare away from the θ boundary (decay makes boundary pairs
+        // float-sensitive in either implementation).
+        let robust = |pairs: &[(u64, u64, f64)]| {
+            let mut keys: Vec<(u64, u64)> = pairs
+                .iter()
+                .filter(|p| (p.2 - theta).abs() > 1e-9)
+                .map(|&(a, b, _)| (a.min(b), a.max(b)))
+                .collect();
+            keys.sort_unstable();
+            keys
+        };
+        let oracle = brute_force_jaccard_stream(&stream, theta, lambda);
+        prop_assert_eq!(robust(&got), robust(&oracle));
+    }
+
+    #[test]
+    fn streaming_work_is_bounded_by_brute_force(
+        sets in sets_strategy(40, 15, 5),
+        theta in 0.5f64..0.95,
+    ) {
+        // The filtered join never verifies more pairs than the quadratic
+        // count within the horizon.
+        let stream: Vec<TimedSet> = sets
+            .into_iter()
+            .enumerate()
+            .map(|(i, set)| TimedSet::new(i as u64, i as f64 * 0.1, set))
+            .collect();
+        let n = stream.len() as u64;
+        let mut join = StreamingJaccard::new(theta, 0.01);
+        let mut out = Vec::new();
+        for r in &stream {
+            join.process(r, &mut out);
+        }
+        prop_assert!(join.stats().full_sims <= n * (n - 1) / 2);
+    }
+}

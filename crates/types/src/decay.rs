@@ -1,0 +1,133 @@
+//! Exponential time decay and the time horizon.
+
+use crate::Timestamp;
+
+/// The exponential decay `e^{-λ·Δt}` that turns cosine similarity into the
+/// paper's *time-dependent similarity*:
+///
+/// ```text
+/// sim_Δt(x, y) = dot(x, y) · exp(-λ·|t(x) − t(y)|)
+/// ```
+///
+/// Because `dot(x, y) ≤ 1` for unit vectors, any pair further apart than
+/// the *time horizon* `τ = ln(1/θ)/λ` cannot reach threshold `θ`; this is
+/// the *time-filtering* property every algorithm in this workspace builds
+/// on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Decay {
+    lambda: f64,
+}
+
+impl Decay {
+    /// Creates a decay with rate `λ ≥ 0`. `λ = 0` disables forgetting and
+    /// reverts to plain cosine similarity (with an infinite horizon).
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "decay rate must be finite and non-negative: {lambda}"
+        );
+        Decay { lambda }
+    }
+
+    /// The decay rate λ.
+    #[inline]
+    pub fn lambda(self) -> f64 {
+        self.lambda
+    }
+
+    /// The decay factor `e^{-λ·Δt}` for a time gap `Δt ≥ 0`.
+    #[inline]
+    pub fn factor(self, dt: f64) -> f64 {
+        debug_assert!(dt >= 0.0, "time gap must be non-negative: {dt}");
+        (-self.lambda * dt).exp()
+    }
+
+    /// The decay factor between two timestamps.
+    #[inline]
+    pub fn factor_between(self, a: Timestamp, b: Timestamp) -> f64 {
+        self.factor(a.delta(b))
+    }
+
+    /// Time-dependent similarity of a pair with plain similarity `sim` and
+    /// time gap `Δt`.
+    #[inline]
+    pub fn apply(self, sim: f64, dt: f64) -> f64 {
+        sim * self.factor(dt)
+    }
+
+    /// The time horizon `τ = ln(1/θ)/λ`: a vector older than `τ` cannot be
+    /// `θ`-similar to the current one. Infinite when `λ = 0` or `θ ≤ 0`;
+    /// zero when `θ ≥ 1`.
+    pub fn horizon(self, theta: f64) -> f64 {
+        assert!(theta.is_finite() && theta > 0.0, "theta must be positive");
+        if self.lambda == 0.0 {
+            return f64::INFINITY;
+        }
+        if theta >= 1.0 {
+            return 0.0;
+        }
+        (1.0 / theta).ln() / self.lambda
+    }
+
+    /// Solves the parameter-setting recipe of §3: given the content
+    /// threshold `θ` and the largest acceptable gap `τ` between two
+    /// *identical* items, returns `λ = ln(1/θ)/τ`.
+    pub fn from_horizon(theta: f64, tau: f64) -> Decay {
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        assert!(tau > 0.0, "tau must be positive");
+        Decay::new((1.0 / theta).ln() / tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_at_zero_gap_is_one() {
+        let d = Decay::new(0.5);
+        assert_eq!(d.factor(0.0), 1.0);
+    }
+
+    #[test]
+    fn zero_lambda_never_decays() {
+        let d = Decay::new(0.0);
+        assert_eq!(d.factor(1e9), 1.0);
+        assert_eq!(d.horizon(0.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn horizon_roundtrip() {
+        // τ = ln(1/θ)/λ, so sim of an identical pair at exactly τ is θ.
+        let theta = 0.7;
+        let d = Decay::new(0.01);
+        let tau = d.horizon(theta);
+        assert!((d.apply(1.0, tau) - theta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_horizon_matches_recipe() {
+        let d = Decay::from_horizon(0.5, 100.0);
+        assert!((d.horizon(0.5) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_monotone_in_gap() {
+        let d = Decay::new(0.1);
+        assert!(d.factor(1.0) > d.factor(2.0));
+        assert!(d.factor(2.0) > 0.0);
+    }
+
+    #[test]
+    fn horizon_zero_at_theta_one() {
+        assert_eq!(Decay::new(0.1).horizon(1.0), 0.0);
+    }
+
+    #[test]
+    fn factor_between_timestamps() {
+        let d = Decay::new(1.0);
+        let a = Timestamp::new(2.0);
+        let b = Timestamp::new(3.0);
+        assert!((d.factor_between(a, b) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Dot products between sparse vectors.
+
+use crate::{SparseVector, Weight};
+
+/// Dot product of two sparse vectors.
+///
+/// Dispatches between a linear merge and a binary-search ("galloping")
+/// strategy depending on the size imbalance: when one vector is much
+/// shorter, probing the longer one is cheaper than merging.
+#[inline]
+pub fn dot(a: &SparseVector, b: &SparseVector) -> Weight {
+    let (short, long) = if a.nnz() <= b.nnz() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return 0.0;
+    }
+    // 16× imbalance is the empirical crossover for probe vs merge.
+    if long.nnz() / short.nnz() >= 16 {
+        dot_probe(short, long)
+    } else {
+        dot_merge(a, b)
+    }
+}
+
+/// Dot product by simultaneous linear scan over the two sorted dimension
+/// arrays. O(|a| + |b|).
+pub fn dot_merge(a: &SparseVector, b: &SparseVector) -> Weight {
+    let (ad, aw) = (a.dims(), a.weights());
+    let (bd, bw) = (b.dims(), b.weights());
+    let mut i = 0;
+    let mut j = 0;
+    let mut acc = 0.0;
+    while i < ad.len() && j < bd.len() {
+        match ad[i].cmp(&bd[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += aw[i] * bw[j];
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Dot product by binary-searching each coordinate of `short` inside
+/// `long`. O(|short|·log|long|).
+fn dot_probe(short: &SparseVector, long: &SparseVector) -> Weight {
+    let ld = long.dims();
+    let lw = long.weights();
+    let mut lo = 0;
+    let mut acc = 0.0;
+    for (d, w) in short.iter() {
+        match ld[lo..].binary_search(&d) {
+            Ok(k) => {
+                acc += w * lw[lo + k];
+                lo += k + 1;
+            }
+            Err(k) => lo += k,
+        }
+        if lo >= ld.len() {
+            break;
+        }
+    }
+    acc
+}
+
+/// Dot product of a sparse vector against a dense weight array indexed by
+/// dimension. Out-of-range dimensions contribute zero.
+///
+/// Used to evaluate `dot(x, m̂)` against the running max vector.
+pub fn dot_with_dense(a: &SparseVector, dense: &[Weight]) -> Weight {
+    let mut acc = 0.0;
+    for (d, w) in a.iter() {
+        if let Some(&m) = dense.get(d as usize) {
+            acc += w * m;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::unit_vector;
+    use crate::SparseVectorBuilder;
+
+    fn raw(entries: &[(u32, f64)]) -> SparseVector {
+        let mut b = SparseVectorBuilder::new();
+        for &(d, w) in entries {
+            b.push(d, w);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn merge_dot_basic() {
+        let a = raw(&[(1, 2.0), (3, 1.0), (5, 4.0)]);
+        let b = raw(&[(3, 3.0), (5, 0.5), (9, 7.0)]);
+        assert_eq!(dot_merge(&a, &b), 3.0 + 2.0);
+    }
+
+    #[test]
+    fn disjoint_vectors_dot_zero() {
+        let a = raw(&[(1, 2.0), (3, 1.0)]);
+        let b = raw(&[(2, 3.0), (4, 0.5)]);
+        assert_eq!(dot(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn probe_path_matches_merge() {
+        let long = raw(&(0..200).map(|d| (d * 2, 1.0 + d as f64)).collect::<Vec<_>>());
+        let short = raw(&[(4, 2.0), (100, 3.0), (399, 5.0)]);
+        // 200/3 >= 16 so `dot` takes the probe path.
+        assert_eq!(dot(&short, &long), dot_merge(&short, &long));
+        assert_eq!(dot(&long, &short), dot_merge(&short, &long));
+    }
+
+    #[test]
+    fn dot_with_empty_is_zero() {
+        let a = raw(&[(1, 2.0)]);
+        let e = SparseVector::empty();
+        assert_eq!(dot(&a, &e), 0.0);
+        assert_eq!(dot(&e, &a), 0.0);
+    }
+
+    #[test]
+    fn dense_dot() {
+        let a = unit_vector(&[(0, 3.0), (2, 4.0)]);
+        let dense = [1.0, 9.0, 0.5];
+        let expect = a.get(0) * 1.0 + a.get(2) * 0.5;
+        assert!((dot_with_dense(&a, &dense) - expect).abs() < 1e-12);
+        // Dimensions past the dense array contribute nothing.
+        let b = unit_vector(&[(10, 1.0)]);
+        assert_eq!(dot_with_dense(&b, &dense), 0.0);
+    }
+
+    #[test]
+    fn self_dot_of_unit_vector_is_one() {
+        let v = unit_vector(&[(2, 1.0), (7, 2.0), (40, 0.3)]);
+        assert!((dot(&v, &v) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types.
+
+use std::fmt;
+
+/// Errors arising from vector construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypesError {
+    /// A coordinate weight was NaN or infinite.
+    NonFiniteWeight {
+        /// The offending dimension.
+        dim: u32,
+    },
+    /// The vector had no positive coordinates, so it cannot be normalised.
+    ZeroVector,
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::NonFiniteWeight { dim } => {
+                write!(f, "non-finite weight at dimension {dim}")
+            }
+            TypesError::ZeroVector => write!(f, "cannot normalise a zero vector"),
+        }
+    }
+}
+
+impl std::error::Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TypesError::NonFiniteWeight { dim: 7 }.to_string(),
+            "non-finite weight at dimension 7"
+        );
+        assert_eq!(
+            TypesError::ZeroVector.to_string(),
+            "cannot normalise a zero vector"
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Forward decay: landmark-based exponential weights.
+//!
+//! The paper scores a pair by *backward* decay, `e^{-λ·(t_now − t_old)}`,
+//! which re-evaluates the exponential against the current time on every
+//! comparison. The *forward* formulation (in the style of Cormode et al.,
+//! "Forward decay: a practical time decay model for streaming systems",
+//! ICDE 2009) fixes a landmark time `L` and gives every record a static
+//! weight assigned once on arrival:
+//!
+//! ```text
+//! g(t) = e^{λ·(t − L)}        (grows with t; never needs updating)
+//! ```
+//!
+//! Because `e^{-λ·(t_y − t_x)} = g(t_x)/g(t_y)` for `t_x ≤ t_y`, the
+//! time-dependent similarity factors into per-record state:
+//!
+//! ```text
+//! sim_Δt(x, y) = dot(x, y) · g(t_old) / g(t_new)
+//! ```
+//!
+//! This matters for systems that *store* decayed quantities: a backward
+//! implementation has to rescale every stored value as the clock advances,
+//! while a forward one stores `g(t)`-weighted values untouched and divides
+//! by `g(now)` only at read time. The price is numeric range: `g` grows
+//! without bound, overflowing `f64` once `λ·(t − L) > ln(f64::MAX) ≈ 709`.
+//! [`ForwardDecay::advance_landmark`] renormalises by moving `L` forward
+//! and returning the factor stored weights must be divided by, and
+//! [`ForwardDecay::needs_advance`] tells the caller when that is due, so a
+//! long-running stream never overflows.
+//!
+//! The workspace's joins keep the paper's backward formulation (their
+//! state — posting lists, `m̂λ` — is pruned at the horizon anyway); this
+//! module provides the forward form for integrations that maintain decayed
+//! aggregates, and the equivalence is property-tested against [`Decay`].
+
+use crate::{Decay, Timestamp};
+
+/// Margin kept below `ln(f64::MAX) ≈ 709.78` before a landmark advance is
+/// recommended. Staying 100 e-folds clear leaves room for ratios of
+/// weights inside one horizon to be formed without intermediate overflow.
+const MAX_SAFE_EXPONENT: f64 = 600.0;
+
+/// Landmark-based forward-decay weights equivalent to [`Decay`].
+///
+/// ```
+/// use sssj_types::{Decay, forward_decay::ForwardDecay};
+///
+/// let lambda = 0.25;
+/// let fwd = ForwardDecay::new(lambda);
+/// let bwd = Decay::new(lambda);
+/// // Ratio of forward weights == backward decay factor.
+/// let (t_old, t_new) = (3.0, 11.0);
+/// let ratio = fwd.weight(t_old) / fwd.weight(t_new);
+/// assert!((ratio - bwd.factor(t_new - t_old)).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ForwardDecay {
+    lambda: f64,
+    landmark: f64,
+}
+
+impl ForwardDecay {
+    /// Creates a forward decay with rate `λ ≥ 0` and landmark `L = 0`.
+    pub fn new(lambda: f64) -> Self {
+        ForwardDecay::with_landmark(lambda, 0.0)
+    }
+
+    /// Creates a forward decay with an explicit landmark (usually the
+    /// stream's start time, so weights begin near 1).
+    pub fn with_landmark(lambda: f64, landmark: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "decay rate must be finite and non-negative: {lambda}"
+        );
+        assert!(landmark.is_finite(), "landmark must be finite: {landmark}");
+        ForwardDecay { lambda, landmark }
+    }
+
+    /// The decay rate λ.
+    #[inline]
+    pub fn lambda(self) -> f64 {
+        self.lambda
+    }
+
+    /// The current landmark `L`.
+    #[inline]
+    pub fn landmark(self) -> f64 {
+        self.landmark
+    }
+
+    /// The static weight `g(t) = e^{λ·(t − L)}` assigned to a record
+    /// arriving at `t`. Monotonically non-decreasing in `t`.
+    #[inline]
+    pub fn weight(self, t: f64) -> f64 {
+        (self.lambda * (t - self.landmark)).exp()
+    }
+
+    /// `ln g(t) = λ·(t − L)`: the weight in log domain, immune to
+    /// overflow. Prefer this when only comparisons or ratios are needed.
+    #[inline]
+    pub fn log_weight(self, t: f64) -> f64 {
+        self.lambda * (t - self.landmark)
+    }
+
+    /// The backward-decay factor `e^{-λ·|Δt|}` recovered from two forward
+    /// weights. Equals [`Decay::factor`] up to one floating-point division
+    /// (relative error < 1e-15 per the property tests).
+    #[inline]
+    pub fn factor_between(self, a: Timestamp, b: Timestamp) -> f64 {
+        let (lo, hi) = if a.seconds() <= b.seconds() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.weight(lo.seconds()) / self.weight(hi.seconds())
+    }
+
+    /// Time-dependent similarity of a pair with plain dot-product `sim`.
+    #[inline]
+    pub fn apply(self, sim: f64, a: Timestamp, b: Timestamp) -> f64 {
+        sim * self.factor_between(a, b)
+    }
+
+    /// True once weights at time `t` approach the `f64` overflow ceiling
+    /// and the caller should [`ForwardDecay::advance_landmark`].
+    #[inline]
+    pub fn needs_advance(self, t: f64) -> bool {
+        self.log_weight(t) > MAX_SAFE_EXPONENT
+    }
+
+    /// Moves the landmark forward to `to` and returns the factor
+    /// `e^{λ·(to − L_old)}` by which every weight stored under the old
+    /// landmark must be **divided** to stay comparable with new weights.
+    ///
+    /// Ratios of weights — and therefore every similarity computed through
+    /// this type — are unchanged by an advance (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// If `to` is behind the current landmark: moving backward would grow
+    /// stored weights and can overflow.
+    pub fn advance_landmark(&mut self, to: f64) -> f64 {
+        assert!(to.is_finite(), "landmark must be finite: {to}");
+        assert!(
+            to >= self.landmark,
+            "landmark may only move forward: {to} < {}",
+            self.landmark
+        );
+        let rescale = (self.lambda * (to - self.landmark)).exp();
+        self.landmark = to;
+        rescale
+    }
+
+    /// The equivalent backward decay.
+    pub fn to_backward(self) -> Decay {
+        Decay::new(self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weight_is_one_at_landmark() {
+        let f = ForwardDecay::with_landmark(0.5, 42.0);
+        assert_eq!(f.weight(42.0), 1.0);
+        assert_eq!(f.log_weight(42.0), 0.0);
+    }
+
+    #[test]
+    fn zero_lambda_gives_unit_weights() {
+        let f = ForwardDecay::new(0.0);
+        assert_eq!(f.weight(1e12), 1.0);
+        assert_eq!(
+            f.factor_between(Timestamp::new(0.0), Timestamp::new(1e12)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn factor_is_symmetric_in_arguments() {
+        let f = ForwardDecay::new(0.1);
+        let (a, b) = (Timestamp::new(2.0), Timestamp::new(9.0));
+        assert_eq!(f.factor_between(a, b), f.factor_between(b, a));
+    }
+
+    #[test]
+    fn advance_rescale_preserves_ratios() {
+        let mut f = ForwardDecay::new(0.3);
+        let w_old = f.weight(100.0);
+        let w_new = f.weight(140.0);
+        let rescale = f.advance_landmark(120.0);
+        // Stored weights divided by `rescale` keep exactly their ratio.
+        let ratio_before = w_old / w_new;
+        let ratio_after = (w_old / rescale) / (w_new / rescale);
+        assert!((ratio_before - ratio_after).abs() <= 1e-15 * ratio_before.abs());
+        // Fresh weights under the new landmark agree with rescaled old ones.
+        assert!((f.weight(140.0) - w_new / rescale).abs() < 1e-12 * f.weight(140.0));
+    }
+
+    #[test]
+    fn long_stream_stays_finite_with_advances() {
+        // λ=1 over 10⁶ seconds would overflow without landmark advances.
+        let mut f = ForwardDecay::new(1.0);
+        let mut t = 0.0;
+        while t < 1e6 {
+            if f.needs_advance(t) {
+                let rescale = f.advance_landmark(t);
+                assert!(rescale.is_finite() && rescale > 1.0);
+            }
+            assert!(f.weight(t).is_finite(), "overflow at t={t}");
+            t += 97.0;
+        }
+        assert!(f.landmark() > 0.0, "advances actually happened");
+    }
+
+    #[test]
+    fn without_advance_overflow_is_detected_first() {
+        let f = ForwardDecay::new(1.0);
+        assert!(!f.needs_advance(MAX_SAFE_EXPONENT - 1.0));
+        assert!(f.needs_advance(MAX_SAFE_EXPONENT + 1.0));
+        // log domain never overflows even where the linear weight would.
+        assert!(f.log_weight(1e9).is_finite());
+        assert_eq!(f.weight(1e9), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn backward_landmark_move_rejected() {
+        let mut f = ForwardDecay::with_landmark(0.1, 10.0);
+        f.advance_landmark(5.0);
+    }
+
+    proptest! {
+        /// Forward ratio == backward factor to within tight relative error.
+        #[test]
+        fn equivalent_to_backward_decay(
+            lambda in 0.0f64..2.0,
+            t0 in 0.0f64..100.0,
+            dt in 0.0f64..100.0,
+            landmark in -50.0f64..50.0,
+        ) {
+            let fwd = ForwardDecay::with_landmark(lambda, landmark);
+            let bwd = Decay::new(lambda);
+            let a = Timestamp::new(t0);
+            let b = Timestamp::new(t0 + dt);
+            let got = fwd.factor_between(a, b);
+            let want = bwd.factor(dt);
+            prop_assert!(
+                (got - want).abs() <= 1e-12 * want.max(1e-300),
+                "forward {} vs backward {} at λ={} Δt={}", got, want, lambda, dt
+            );
+        }
+
+        /// `apply` matches Decay::apply on the same pair.
+        #[test]
+        fn apply_matches_backward(
+            lambda in 0.0f64..1.0,
+            sim in 0.0f64..=1.0,
+            t0 in 0.0f64..50.0,
+            dt in 0.0f64..50.0,
+        ) {
+            let fwd = ForwardDecay::new(lambda);
+            let got = fwd.apply(sim, Timestamp::new(t0 + dt), Timestamp::new(t0));
+            let want = Decay::new(lambda).apply(sim, dt);
+            prop_assert!((got - want).abs() <= 1e-12);
+        }
+
+        /// Weights are monotone in t and log/linear domains agree.
+        #[test]
+        fn weight_monotone_and_log_consistent(
+            lambda in 0.0f64..1.0,
+            t1 in 0.0f64..100.0,
+            gap in 0.0f64..100.0,
+        ) {
+            let f = ForwardDecay::new(lambda);
+            let t2 = t1 + gap;
+            prop_assert!(f.weight(t2) >= f.weight(t1));
+            prop_assert!((f.weight(t1).ln() - f.log_weight(t1)).abs() < 1e-9);
+        }
+    }
+}

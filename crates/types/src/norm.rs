@@ -1,0 +1,52 @@
+//! Euclidean norms and prefix norms.
+
+use crate::{SparseVector, Weight};
+
+/// Euclidean norm of a weight slice.
+#[inline]
+pub fn norm(weights: &[Weight]) -> Weight {
+    weights.iter().map(|w| w * w).sum::<Weight>().sqrt()
+}
+
+/// Prefix norms of a vector in dimension order.
+///
+/// `prefix_norms(x)[p] = ‖x′_p‖ = ‖⟨x_1, …, x_{p}, 0, …⟩‖` — the norm of
+/// the first `p` coordinates. The returned vector has `nnz + 1` entries,
+/// with `[0] = 0` (empty prefix) and `[nnz] = ‖x‖`.
+///
+/// Posting entries of the ℓ2-based indexes store `‖x′_j‖` *excluding* the
+/// entry's own coordinate, which is `prefix_norms(x)[position_of_j]`.
+pub fn prefix_norms(x: &SparseVector) -> Vec<Weight> {
+    let mut out = Vec::with_capacity(x.nnz() + 1);
+    let mut acc = 0.0;
+    out.push(0.0);
+    for &w in x.weights() {
+        acc += w * w;
+        out.push(acc.sqrt());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::unit_vector;
+
+    #[test]
+    fn prefix_norms_monotone_and_bounded() {
+        let v = unit_vector(&[(1, 1.0), (2, 2.0), (5, 2.0), (9, 4.0)]);
+        let p = prefix_norms(&v);
+        assert_eq!(p.len(), v.nnz() + 1);
+        assert_eq!(p[0], 0.0);
+        for w in p.windows(2) {
+            assert!(w[0] <= w[1] + 1e-15);
+        }
+        assert!((p[v.nnz()] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm(&[]), 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Join output records.
+
+use std::fmt;
+
+/// Identifier of a vector within a stream or dataset: its arrival ordinal.
+pub type VectorId = u64;
+
+/// One element of the similarity self-join output.
+///
+/// By convention `left < right` (the pair is reported when `right`
+/// arrives), and `similarity` is the *time-dependent* similarity
+/// `dot(x, y)·e^{-λΔt}` for streaming joins, or the plain cosine for batch
+/// joins.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimilarPair {
+    /// The earlier vector of the pair.
+    pub left: VectorId,
+    /// The later vector of the pair.
+    pub right: VectorId,
+    /// The (possibly time-decayed) similarity score.
+    pub similarity: f64,
+}
+
+impl SimilarPair {
+    /// Creates a pair, normalising the id order so `left ≤ right`.
+    pub fn new(a: VectorId, b: VectorId, similarity: f64) -> Self {
+        let (left, right) = if a <= b { (a, b) } else { (b, a) };
+        SimilarPair {
+            left,
+            right,
+            similarity,
+        }
+    }
+
+    /// The unordered id pair, for set comparisons in tests.
+    pub fn key(&self) -> (VectorId, VectorId) {
+        (self.left, self.right)
+    }
+}
+
+impl fmt::Display for SimilarPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}) sim={:.6}", self.left, self.right, self.similarity)
+    }
+}
+
+/// Sorts pairs by `(left, right)` — a canonical order for comparing join
+/// outputs.
+pub fn sort_pairs(pairs: &mut [SimilarPair]) {
+    pairs.sort_by_key(|a| a.key());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalises_order() {
+        let p = SimilarPair::new(9, 3, 0.8);
+        assert_eq!(p.left, 3);
+        assert_eq!(p.right, 9);
+        assert_eq!(p.key(), (3, 9));
+    }
+
+    #[test]
+    fn sort_is_canonical() {
+        let mut v = vec![
+            SimilarPair::new(5, 1, 0.9),
+            SimilarPair::new(2, 1, 0.7),
+            SimilarPair::new(4, 2, 0.8),
+        ];
+        sort_pairs(&mut v);
+        assert_eq!(
+            v.iter().map(SimilarPair::key).collect::<Vec<_>>(),
+            vec![(1, 2), (1, 5), (2, 4)]
+        );
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let p = SimilarPair::new(1, 2, 0.5);
+        assert_eq!(format!("{p}"), "(1, 2) sim=0.500000");
+    }
+}

@@ -1,0 +1,63 @@
+//! Stream records.
+
+use crate::{SparseVector, Timestamp, VectorId};
+
+/// A timestamped vector flowing through a stream.
+///
+/// Streams are consumed in non-decreasing timestamp order; `id` is the
+/// arrival ordinal and doubles as the pair identifier in the join output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamRecord {
+    /// Arrival ordinal, unique and increasing within a stream.
+    pub id: VectorId,
+    /// Arrival time.
+    pub t: Timestamp,
+    /// The (unit-normalised) content vector.
+    pub vector: SparseVector,
+}
+
+impl StreamRecord {
+    /// Creates a record.
+    pub fn new(id: VectorId, t: Timestamp, vector: SparseVector) -> Self {
+        StreamRecord { id, t, vector }
+    }
+}
+
+/// Checks that `records` is a well-formed stream: ids strictly increasing
+/// and timestamps non-decreasing. Returns the index of the first violation.
+pub fn validate_stream(records: &[StreamRecord]) -> Result<(), usize> {
+    for (i, w) in records.windows(2).enumerate() {
+        if w[1].id <= w[0].id || w[1].t < w[0].t {
+            return Err(i + 1);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::unit_vector;
+
+    fn rec(id: u64, t: f64) -> StreamRecord {
+        StreamRecord::new(id, Timestamp::new(t), unit_vector(&[(1, 1.0)]))
+    }
+
+    #[test]
+    fn valid_stream_passes() {
+        let s = vec![rec(0, 0.0), rec(1, 0.0), rec(2, 1.5)];
+        assert_eq!(validate_stream(&s), Ok(()));
+    }
+
+    #[test]
+    fn decreasing_time_detected() {
+        let s = vec![rec(0, 1.0), rec(1, 0.5)];
+        assert_eq!(validate_stream(&s), Err(1));
+    }
+
+    #[test]
+    fn duplicate_id_detected() {
+        let s = vec![rec(3, 1.0), rec(3, 2.0)];
+        assert_eq!(validate_stream(&s), Err(1));
+    }
+}

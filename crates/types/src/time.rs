@@ -1,0 +1,119 @@
+//! Timestamps.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// A point in stream time, in seconds (or any consistent unit).
+///
+/// Timestamps are finite `f64`s; the constructor rejects NaN/∞ so that
+/// `Timestamp` can implement a total order.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Default)]
+pub struct Timestamp(f64);
+
+impl Timestamp {
+    /// Time zero.
+    pub const ZERO: Timestamp = Timestamp(0.0);
+
+    /// Creates a timestamp; panics on non-finite input.
+    #[inline]
+    pub fn new(seconds: f64) -> Self {
+        assert!(seconds.is_finite(), "timestamp must be finite: {seconds}");
+        Timestamp(seconds)
+    }
+
+    /// The raw value in seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute time difference `|self − other|` in seconds — the paper's
+    /// `Δt_xy`.
+    #[inline]
+    pub fn delta(self, other: Timestamp) -> f64 {
+        (self.0 - other.0).abs()
+    }
+
+    /// Returns the timestamp shifted forward by `seconds`.
+    #[inline]
+    pub fn plus(self, seconds: f64) -> Timestamp {
+        Timestamp::new(self.0 + seconds)
+    }
+}
+
+impl Eq for Timestamp {}
+
+// Safe because construction forbids NaN.
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Timestamp {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("timestamps are finite by construction")
+    }
+}
+
+impl PartialOrd<f64> for Timestamp {
+    fn partial_cmp(&self, other: &f64) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl PartialEq<f64> for Timestamp {
+    fn eq(&self, other: &f64) -> bool {
+        self.0 == *other
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = f64;
+
+    fn sub(self, rhs: Timestamp) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<f64> for Timestamp {
+    fn from(v: f64) -> Self {
+        Timestamp::new(v)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_delta() {
+        let a = Timestamp::new(1.0);
+        let b = Timestamp::new(3.5);
+        assert!(a < b);
+        assert_eq!(a.delta(b), 2.5);
+        assert_eq!(b.delta(a), 2.5);
+        assert_eq!(b - a, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        Timestamp::new(f64::NAN);
+    }
+
+    #[test]
+    fn plus_shifts() {
+        assert_eq!(Timestamp::ZERO.plus(4.0), Timestamp::new(4.0));
+    }
+
+    #[test]
+    fn total_order_sorts() {
+        let mut v = vec![Timestamp::new(3.0), Timestamp::new(1.0), Timestamp::new(2.0)];
+        v.sort();
+        assert_eq!(v, vec![Timestamp::new(1.0), Timestamp::new(2.0), Timestamp::new(3.0)]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Sparse vectors stored in dimension-sorted, struct-of-arrays layout.
+
+use crate::{norm, DimId, TypesError, Weight};
+
+/// An immutable sparse vector.
+///
+/// Dimensions are strictly increasing and weights are strictly positive —
+/// both invariants are established by [`SparseVectorBuilder`] and relied
+/// upon by the join algorithms (merge-based dot products, prefix bounds).
+///
+/// The struct-of-arrays layout (`dims` and `weights` in separate
+/// allocations) keeps the dimension scan used by candidate generation dense
+/// in cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseVector {
+    dims: Box<[DimId]>,
+    weights: Box<[Weight]>,
+}
+
+impl SparseVector {
+    /// Creates an empty vector.
+    pub fn empty() -> Self {
+        SparseVector {
+            dims: Box::new([]),
+            weights: Box::new([]),
+        }
+    }
+
+    /// Number of non-zero coordinates (the paper's `|x|`).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the vector has no non-zero coordinates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The sorted dimension ids.
+    #[inline]
+    pub fn dims(&self) -> &[DimId] {
+        &self.dims
+    }
+
+    /// The weights, parallel to [`Self::dims`].
+    #[inline]
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// Iterates `(dim, weight)` in increasing dimension order.
+    #[inline]
+    pub fn iter(
+        &self,
+    ) -> impl DoubleEndedIterator<Item = (DimId, Weight)> + ExactSizeIterator + '_ {
+        self.dims
+            .iter()
+            .copied()
+            .zip(self.weights.iter().copied())
+    }
+
+    /// The weight at dimension `dim`, or `0.0` when absent.
+    pub fn get(&self, dim: DimId) -> Weight {
+        match self.dims.binary_search(&dim) {
+            Ok(i) => self.weights[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The maximum coordinate value (the paper's `vm_x`); `0.0` if empty.
+    pub fn max_weight(&self) -> Weight {
+        self.weights.iter().copied().fold(0.0, Weight::max)
+    }
+
+    /// The sum of coordinate values (the paper's `Σ_x`).
+    pub fn sum(&self) -> Weight {
+        self.weights.iter().sum()
+    }
+
+    /// The Euclidean norm `‖x‖₂`.
+    pub fn norm(&self) -> Weight {
+        norm(&self.weights)
+    }
+
+    /// Returns the prefix of the vector containing the first `len`
+    /// coordinates (in dimension order) — the paper's `x′_p` where `p` is
+    /// the position index.
+    pub fn prefix(&self, len: usize) -> SparseVector {
+        let len = len.min(self.nnz());
+        SparseVector {
+            dims: self.dims[..len].into(),
+            weights: self.weights[..len].into(),
+        }
+    }
+
+    /// Dot product with another sparse vector (merge join on dimensions).
+    pub fn dot(&self, other: &SparseVector) -> Weight {
+        crate::dot(self, other)
+    }
+}
+
+impl Default for SparseVector {
+    fn default() -> Self {
+        SparseVector::empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a SparseVector {
+    type Item = (DimId, Weight);
+    type IntoIter = std::iter::Zip<
+        std::iter::Copied<std::slice::Iter<'a, DimId>>,
+        std::iter::Copied<std::slice::Iter<'a, Weight>>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.dims
+            .iter()
+            .copied()
+            .zip(self.weights.iter().copied())
+    }
+}
+
+/// Incremental builder for [`SparseVector`].
+///
+/// Accepts coordinates in any order, merges duplicate dimensions by
+/// summation, drops non-positive results, and can unit-normalise on build.
+#[derive(Clone, Debug, Default)]
+pub struct SparseVectorBuilder {
+    entries: Vec<(DimId, Weight)>,
+}
+
+impl SparseVectorBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-allocated room for `cap` coordinates.
+    pub fn with_capacity(cap: usize) -> Self {
+        SparseVectorBuilder {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Adds `weight` at `dim`. Duplicate dimensions are summed at build
+    /// time.
+    pub fn push(&mut self, dim: DimId, weight: Weight) -> &mut Self {
+        self.entries.push((dim, weight));
+        self
+    }
+
+    /// Number of raw (possibly duplicated) entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all entries, keeping the allocation (workhorse reuse).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn coalesce(&mut self) -> Result<(Vec<DimId>, Vec<Weight>), TypesError> {
+        self.entries.sort_unstable_by_key(|&(d, _)| d);
+        let mut dims = Vec::with_capacity(self.entries.len());
+        let mut weights: Vec<Weight> = Vec::with_capacity(self.entries.len());
+        for &(d, w) in &self.entries {
+            if !w.is_finite() {
+                return Err(TypesError::NonFiniteWeight { dim: d });
+            }
+            if let (Some(&last), Some(lw)) = (dims.last(), weights.last_mut()) {
+                if last == d {
+                    *lw += w;
+                    continue;
+                }
+            }
+            dims.push(d);
+            weights.push(w);
+        }
+        // Drop coordinates that cancelled out or were never positive.
+        let mut keep_dims = Vec::with_capacity(dims.len());
+        let mut keep_weights = Vec::with_capacity(weights.len());
+        for (d, w) in dims.into_iter().zip(weights) {
+            if w > 0.0 {
+                keep_dims.push(d);
+                keep_weights.push(w);
+            }
+        }
+        Ok((keep_dims, keep_weights))
+    }
+
+    /// Builds the vector without normalisation.
+    pub fn build(mut self) -> Result<SparseVector, TypesError> {
+        let (dims, weights) = self.coalesce()?;
+        Ok(SparseVector {
+            dims: dims.into_boxed_slice(),
+            weights: weights.into_boxed_slice(),
+        })
+    }
+
+    /// Builds the vector scaled to unit Euclidean norm, as required by the
+    /// join algorithms.
+    ///
+    /// Returns [`TypesError::ZeroVector`] when all coordinates cancel out.
+    pub fn build_normalized(mut self) -> Result<SparseVector, TypesError> {
+        let (dims, mut weights) = self.coalesce()?;
+        let n = norm(&weights);
+        if n <= 0.0 {
+            return Err(TypesError::ZeroVector);
+        }
+        for w in &mut weights {
+            *w /= n;
+        }
+        Ok(SparseVector {
+            dims: dims.into_boxed_slice(),
+            weights: weights.into_boxed_slice(),
+        })
+    }
+}
+
+/// Convenience: builds a unit-normalised vector from `(dim, weight)` pairs.
+///
+/// Panics on non-finite weights or an all-zero vector; intended for tests
+/// and examples. Library code should use [`SparseVectorBuilder`].
+pub fn unit_vector(entries: &[(DimId, Weight)]) -> SparseVector {
+    let mut b = SparseVectorBuilder::with_capacity(entries.len());
+    for &(d, w) in entries {
+        b.push(d, w);
+    }
+    b.build_normalized().expect("unit_vector: invalid input")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_and_merges() {
+        let mut b = SparseVectorBuilder::new();
+        b.push(5, 1.0).push(2, 2.0).push(5, 3.0);
+        let v = b.build().unwrap();
+        assert_eq!(v.dims(), &[2, 5]);
+        assert_eq!(v.weights(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn builder_drops_cancelled_coordinates() {
+        let mut b = SparseVectorBuilder::new();
+        b.push(1, 1.0).push(1, -1.0).push(2, 3.0);
+        let v = b.build().unwrap();
+        assert_eq!(v.dims(), &[2]);
+    }
+
+    #[test]
+    fn normalization_yields_unit_norm() {
+        let v = unit_vector(&[(0, 3.0), (7, 4.0)]);
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!((v.get(0) - 0.6).abs() < 1e-12);
+        assert!((v.get(7) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_rejected() {
+        let b = SparseVectorBuilder::new();
+        assert!(matches!(
+            b.build_normalized(),
+            Err(TypesError::ZeroVector)
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut b = SparseVectorBuilder::new();
+        b.push(3, f64::NAN);
+        assert!(matches!(
+            b.build(),
+            Err(TypesError::NonFiniteWeight { dim: 3 })
+        ));
+    }
+
+    #[test]
+    fn get_and_max_and_sum() {
+        let v = unit_vector(&[(1, 1.0), (2, 2.0), (3, 2.0)]);
+        assert_eq!(v.get(4), 0.0);
+        assert!((v.max_weight() - v.get(2)).abs() < 1e-12);
+        let s = v.get(1) + v.get(2) + v.get(3);
+        assert!((v.sum() - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let v = unit_vector(&[(1, 1.0), (2, 2.0), (3, 2.0)]);
+        let p = v.prefix(2);
+        assert_eq!(p.dims(), &[1, 2]);
+        assert_eq!(v.prefix(10).nnz(), 3);
+        assert_eq!(v.prefix(0).nnz(), 0);
+    }
+
+    #[test]
+    fn empty_vector_properties() {
+        let v = SparseVector::empty();
+        assert!(v.is_empty());
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.max_weight(), 0.0);
+        assert_eq!(v.sum(), 0.0);
+        assert_eq!(v.norm(), 0.0);
+    }
+
+    #[test]
+    fn builder_clear_reuses_allocation() {
+        let mut b = SparseVectorBuilder::with_capacity(8);
+        b.push(1, 1.0);
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(b.is_empty());
+        b.push(2, 2.0);
+        let v = b.build().unwrap();
+        assert_eq!(v.dims(), &[2]);
+    }
+}

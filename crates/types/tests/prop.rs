@@ -1,0 +1,100 @@
+//! Property-based tests for the core geometric primitives.
+
+use proptest::prelude::*;
+use sssj_types::{dot, dot_merge, prefix_norms, Decay, SparseVector, SparseVectorBuilder};
+
+/// Strategy: a non-zero sparse vector with dims < 256 and weights in
+/// (0, 10].
+fn sparse_vec() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u32..256, 0.001f64..10.0), 1..40).prop_map(|entries| {
+        let mut b = SparseVectorBuilder::new();
+        for (d, w) in entries {
+            b.push(d, w);
+        }
+        b.build_normalized().expect("positive weights")
+    })
+}
+
+proptest! {
+    /// dot is symmetric.
+    #[test]
+    fn dot_symmetric(a in sparse_vec(), b in sparse_vec()) {
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-12);
+    }
+
+    /// The adaptive dot equals the merge dot.
+    #[test]
+    fn dot_strategies_agree(a in sparse_vec(), b in sparse_vec()) {
+        prop_assert!((dot(&a, &b) - dot_merge(&a, &b)).abs() < 1e-12);
+    }
+
+    /// Cauchy–Schwarz for unit vectors: dot ≤ 1 (within float slack).
+    #[test]
+    fn cauchy_schwarz(a in sparse_vec(), b in sparse_vec()) {
+        let d = dot(&a, &b);
+        prop_assert!(d >= -1e-12);
+        prop_assert!(d <= 1.0 + 1e-9);
+    }
+
+    /// Prefix-Cauchy–Schwarz: the dot restricted to the first p dims of x
+    /// is bounded by ‖x′_p‖·‖y‖ = ‖x′_p‖.
+    #[test]
+    fn prefix_bound_is_safe(a in sparse_vec(), b in sparse_vec(), p in 0usize..40) {
+        let p = p.min(a.nnz());
+        let prefix = a.prefix(p);
+        let norms = prefix_norms(&a);
+        prop_assert!(dot(&prefix, &b) <= norms[p] + 1e-9);
+    }
+
+    /// prefix_norms is non-decreasing and ends at ‖x‖ = 1.
+    #[test]
+    fn prefix_norms_monotone(a in sparse_vec()) {
+        let norms = prefix_norms(&a);
+        for w in norms.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-15);
+        }
+        prop_assert!((norms[a.nnz()] - 1.0).abs() < 1e-9);
+    }
+
+    /// Splitting a dot product at position p and bounding each half by
+    /// Cauchy–Schwarz never underestimates (the l2bound of Algorithm 3).
+    #[test]
+    fn split_bound_is_safe(a in sparse_vec(), b in sparse_vec(), p in 0usize..40) {
+        let p = p.min(a.nnz());
+        let na = prefix_norms(&a);
+        let full = dot(&a, &b);
+        let head = dot(&a.prefix(p), &b);
+        // tail norm of a after position p:
+        let tail_norm = (1.0 - na[p] * na[p]).max(0.0).sqrt();
+        prop_assert!(head + tail_norm >= full - 1e-9);
+    }
+
+    /// The horizon is exactly the gap at which an identical pair decays to θ.
+    #[test]
+    fn horizon_is_tight(lambda in 1e-4f64..1.0, theta in 0.01f64..0.999) {
+        let d = Decay::new(lambda);
+        let tau = d.horizon(theta);
+        prop_assert!((d.apply(1.0, tau) - theta).abs() < 1e-9);
+        // Beyond the horizon nothing is similar.
+        prop_assert!(d.apply(1.0, tau * 1.01) < theta);
+    }
+
+    /// Decay factor is within (0, 1] and multiplicative over gaps.
+    #[test]
+    fn decay_multiplicative(lambda in 0.0f64..1.0, dt1 in 0.0f64..100.0, dt2 in 0.0f64..100.0) {
+        let d = Decay::new(lambda);
+        let f = d.factor(dt1 + dt2);
+        prop_assert!(f > 0.0 && f <= 1.0);
+        prop_assert!((f - d.factor(dt1) * d.factor(dt2)).abs() < 1e-12);
+    }
+
+    /// Builder normalisation is idempotent in dims and produces unit norm.
+    #[test]
+    fn builder_normalises(a in sparse_vec()) {
+        prop_assert!((a.norm() - 1.0).abs() < 1e-9);
+        let dims = a.dims();
+        for w in dims.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

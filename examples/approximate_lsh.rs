@@ -1,0 +1,68 @@
+//! Approximate near-duplicate detection with the LSH join: trade a
+//! bounded recall loss for density-independent probing.
+//!
+//! ```sh
+//! cargo run --release --example approximate_lsh
+//! ```
+//!
+//! Sweeps the banding shape (bands × rows at fixed signature width) and
+//! prints the recall/work trade-off against the exact STR-L2 output.
+
+use sssj::baseline::brute_force_stream;
+use sssj::data::{generate, preset, Preset};
+use sssj::lsh::{measure_accuracy, Bands, LshParams};
+use sssj::prelude::*;
+
+fn main() {
+    let mut config = preset(Preset::Blogs, 3_000);
+    config = config.with_seed(11);
+    let stream = generate(&config);
+    let (theta, lambda) = (0.7, 0.01);
+
+    let reference = brute_force_stream(&stream, theta, lambda);
+    println!(
+        "stream: {} records, θ = {theta}, λ = {lambda}, exact pairs: {}\n",
+        stream.len(),
+        reference.len()
+    );
+
+    // The exact join's work, for scale.
+    let mut exact = Streaming::new(SssjConfig::new(theta, lambda), IndexKind::L2);
+    run_stream(&mut exact, &stream);
+    println!(
+        "exact STR-L2: {} posting entries traversed, {} full similarities\n",
+        exact.stats().entries_traversed,
+        exact.stats().full_sims
+    );
+
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>14} {:>10}",
+        "shape", "recall", "precision", "pairs", "cand. checks", "P(collide)"
+    );
+    for bands in [8u32, 16, 32, 64] {
+        let params = LshParams {
+            bits: 256,
+            bands,
+            ..LshParams::default()
+        };
+        let report = measure_accuracy(&stream, theta, lambda, params, &reference);
+        // Analytic collision probability for a pair exactly at θ
+        // (pre-decay): the hardest pair the join must catch.
+        let p_at_theta = Bands::new(256, bands).collision_probability_at(theta);
+        println!(
+            "{:<16} {:>8.3} {:>10.3} {:>10} {:>14} {:>10.3}",
+            format!("{}x{}", bands, 256 / bands),
+            report.recall,
+            report.precision,
+            report.lsh_pairs,
+            report.candidate_checks,
+            p_at_theta
+        );
+    }
+
+    println!(
+        "\nMore bands (fewer rows each) climb the S-curve: recall rises \
+         together with candidate checks.\nExact verification keeps \
+         precision at 1.0 throughout — LSH can only miss, never invent."
+    );
+}

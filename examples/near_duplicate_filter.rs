@@ -1,0 +1,65 @@
+//! Near-duplicate filtering — the paper's second motivating application.
+//!
+//! A microblog feed contains bursts of re-posts of the same content. We
+//! run the streaming join over a Tweets-like synthetic stream and
+//! suppress every item that is a near-duplicate (θ-similar within the
+//! horizon) of something already shown, reporting how much of the feed
+//! was decluttered.
+//!
+//! ```sh
+//! cargo run --release --example near_duplicate_filter
+//! ```
+
+use std::collections::HashSet;
+
+use sssj::data::{generate, preset, Preset};
+use sssj::prelude::*;
+
+fn main() {
+    // A Tweets-like stream with aggressive re-posting.
+    let mut config = preset(Preset::Tweets, 5_000);
+    config.dup_prob = 0.25; // every 4th post is a near-copy
+    config.dup_mutation = 0.1;
+    let stream = generate(&config);
+
+    // Near-duplicate = 80 % cosine similarity; a re-post only clutters
+    // the feed if it appears within ~300 s of the original.
+    let join_config = SssjConfig::from_horizon(0.8, 300.0);
+    println!(
+        "near-duplicate filter: θ = {}, τ = 300 s  →  λ = {:.5}\n",
+        join_config.theta, join_config.lambda
+    );
+
+    let mut join = Streaming::new(join_config, IndexKind::L2);
+    let mut out = Vec::new();
+    let mut suppressed: HashSet<VectorId> = HashSet::new();
+
+    for record in &stream {
+        out.clear();
+        join.process(record, &mut out);
+        // The arriving item duplicates something recent: hide it. (Pairs
+        // are reported the moment their second element arrives, so this
+        // decision is made online, with no delay.)
+        if out
+            .iter()
+            .any(|p| p.right == record.id && !suppressed.contains(&p.left))
+        {
+            suppressed.insert(record.id);
+        }
+    }
+
+    let shown = stream.len() - suppressed.len();
+    println!("feed items     : {}", stream.len());
+    println!("shown          : {shown}");
+    println!(
+        "suppressed     : {} ({:.1} % of the feed)",
+        suppressed.len(),
+        100.0 * suppressed.len() as f64 / stream.len() as f64
+    );
+    println!("\nwork: {}", join.stats());
+
+    assert!(
+        !suppressed.is_empty(),
+        "a duplicate-heavy feed must yield suppressions"
+    );
+}

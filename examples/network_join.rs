@@ -1,0 +1,100 @@
+//! The join as a network service: an in-process TCP server and two
+//! concurrent client sessions with different configurations.
+//!
+//! This is the deployment shape of the paper's motivating applications —
+//! a feed producer pushes timestamped items over a socket and receives
+//! each similar pair the moment the second item arrives. Session A runs a
+//! strict near-duplicate filter over pre-vectorised records; session B
+//! tokenises raw text server-side and tolerates out-of-order delivery
+//! with a reorder slack.
+//!
+//! ```sh
+//! cargo run --release --example network_join
+//! ```
+
+use std::thread;
+
+use sssj::net::{ConfigRequest, JoinClient, Server, ServerOptions, SessionMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::bind("127.0.0.1:0", ServerOptions::default())?;
+    let addr = server.local_addr();
+    println!("server listening on {addr}\n");
+
+    // Session A: near-duplicate filtering on vectors, strict threshold.
+    let a = thread::spawn(move || -> Result<(), String> {
+        let mut client = JoinClient::connect(addr).map_err(|e| e.to_string())?;
+        client
+            .configure(ConfigRequest {
+                theta: Some(0.9),
+                lambda: Some(0.01),
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string())?;
+        // A repost arrives 5 s after the original, then unrelated content.
+        let feed: &[(f64, &[(u32, f64)])] = &[
+            (0.0, &[(101, 0.8), (202, 0.6)]),
+            (5.0, &[(101, 0.8), (202, 0.6)]),
+            (9.0, &[(303, 1.0)]),
+        ];
+        for &(t, entries) in feed {
+            for p in client.send_vector(t, entries).map_err(|e| e.to_string())? {
+                println!(
+                    "[vectors] near-duplicate: record {} repeats record {} (sim {:.3})",
+                    p.right, p.left, p.similarity
+                );
+            }
+        }
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        println!(
+            "[vectors] {} records, {} pairs, {} posting entries traversed",
+            stats.records, stats.pairs, stats.entries_traversed
+        );
+        client.quit().map_err(|e| e.to_string())
+    });
+
+    // Session B: trend detection on raw text, out-of-order tolerant.
+    let b = thread::spawn(move || -> Result<(), String> {
+        let mut client = JoinClient::connect(addr).map_err(|e| e.to_string())?;
+        client
+            .configure(ConfigRequest {
+                theta: Some(0.45),
+                lambda: Some(0.05),
+                mode: Some(SessionMode::Text),
+                slack: Some(30.0),
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string())?;
+        // Posts about the same event, delivered slightly out of order.
+        let posts = [
+            (10.0, "flooding reported downtown near the river"),
+            (4.0, "quarterly earnings call scheduled thursday"),
+            (12.0, "severe flooding downtown river overflowing"),
+            (15.0, "downtown flooding river rescue underway"),
+        ];
+        let mut live = 0;
+        for (t, text) in posts {
+            live += client.send_text(t, text).map_err(|e| e.to_string())?.len();
+        }
+        let flushed = client.finish().map_err(|e| e.to_string())?;
+        println!(
+            "[text] trending cluster: {} pair(s) live, {} at flush",
+            live,
+            flushed.len()
+        );
+        for p in &flushed {
+            println!(
+                "[text] posts {} and {} share the story (sim {:.3})",
+                p.left, p.right, p.similarity
+            );
+        }
+        client.quit().map_err(|e| e.to_string())
+    });
+
+    a.join().expect("session A panicked")?;
+    b.join().expect("session B panicked")?;
+
+    println!("\nserved {} independent sessions", server.sessions_started());
+    server.shutdown();
+    Ok(())
+}

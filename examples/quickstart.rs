@@ -1,0 +1,57 @@
+//! Quickstart: run the streaming similarity self-join on a tiny
+//! hand-made stream.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sssj::prelude::*;
+
+fn main() {
+    // Parameters of Problem 1: similarity threshold θ and decay rate λ.
+    // The horizon τ = ln(1/θ)/λ is how long an item stays joinable.
+    let config = SssjConfig::new(0.6, 0.05);
+    println!(
+        "θ = {}, λ = {}  →  horizon τ = {:.1} time units\n",
+        config.theta,
+        config.lambda,
+        config.tau()
+    );
+
+    // STR with the L2 index is the paper's recommended configuration.
+    let mut join = Streaming::new(config, IndexKind::L2);
+
+    // A hand-made stream: ids 0/1 share most terms and arrive close in
+    // time; 2 is dissimilar; 3 is identical to 0 but arrives far too late.
+    let stream = vec![
+        StreamRecord::new(
+            0,
+            Timestamp::new(0.0),
+            unit_vector(&[(10, 2.0), (20, 1.0), (30, 1.0)]),
+        ),
+        StreamRecord::new(
+            1,
+            Timestamp::new(2.0),
+            unit_vector(&[(10, 2.0), (20, 1.0), (40, 0.5)]),
+        ),
+        StreamRecord::new(2, Timestamp::new(3.0), unit_vector(&[(99, 1.0)])),
+        StreamRecord::new(
+            3,
+            Timestamp::new(500.0),
+            unit_vector(&[(10, 2.0), (20, 1.0), (30, 1.0)]),
+        ),
+    ];
+
+    let mut out = Vec::new();
+    for record in &stream {
+        join.process(record, &mut out);
+    }
+    join.finish(&mut out);
+
+    println!("similar pairs:");
+    for pair in &out {
+        println!("  {pair}");
+    }
+    println!("\nwork: {}", join.stats());
+    assert_eq!(out.len(), 1, "only (0, 1) should join");
+}

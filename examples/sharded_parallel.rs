@@ -1,0 +1,67 @@
+//! Sharded multi-threaded execution: broadcast-query / partition-insert.
+//!
+//! ```sh
+//! cargo run --release --example sharded_parallel
+//! ```
+//!
+//! Runs the same stream through 1, 2, 4 and 8 shards, verifies the output
+//! never changes, and shows how the per-shard index (and therefore the
+//! dominant posting-scan work) shrinks with the shard count.
+
+use std::time::Instant;
+
+use sssj::data::{generate, preset, Preset};
+use sssj::parallel::sharded_run;
+use sssj::prelude::*;
+
+fn main() {
+    let mut config = preset(Preset::Rcv1, 8_000);
+    config = config.with_seed(3);
+    let stream = generate(&config);
+    let join_config = SssjConfig::new(0.6, 0.01);
+
+    // Sequential reference.
+    let start = Instant::now();
+    let mut seq = Streaming::new(join_config, IndexKind::L2);
+    let mut reference = run_stream(&mut seq, &stream);
+    let seq_time = start.elapsed().as_secs_f64();
+    let mut reference_keys: Vec<_> = reference.drain(..).map(|p| p.key()).collect();
+    reference_keys.sort_unstable();
+    println!(
+        "sequential STR-L2: {} pairs in {seq_time:.3} s\n",
+        reference_keys.len()
+    );
+
+    println!(
+        "{:>7} {:>10} {:>10} {:>22} {:>8}",
+        "shards", "pairs", "time (s)", "max shard postings", "output"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let out = sharded_run(&stream, join_config, IndexKind::L2, shards);
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut keys: Vec<_> = out.pairs.iter().map(|p| p.key()).collect();
+        keys.sort_unstable();
+        let max_postings = out
+            .per_shard
+            .iter()
+            .map(|s| s.postings_added)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{:>7} {:>10} {:>10.3} {:>22} {:>8}",
+            shards,
+            out.pairs.len(),
+            elapsed,
+            max_postings,
+            if keys == reference_keys { "exact" } else { "DIFFERS" }
+        );
+        assert_eq!(keys, reference_keys, "sharding must not change the join");
+    }
+
+    println!(
+        "\nEvery record queries all shards, but each shard indexes only \
+         ~1/s of the stream,\nso the posting lists each query scans shrink \
+         proportionally."
+    );
+}

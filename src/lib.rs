@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+//! # sssj — streaming similarity self-join
+//!
+//! A Rust implementation of *"Streaming Similarity Self-Join"*
+//! (De Francisci Morales & Gionis, VLDB 2016): find all pairs of items in
+//! an unbounded stream whose **time-dependent similarity**
+//!
+//! ```text
+//! sim_Δt(x, y) = dot(x, y) · exp(-λ·|t(x) − t(y)|)
+//! ```
+//!
+//! exceeds a threshold `θ`. The exponential decay yields a *time horizon*
+//! `τ = ln(1/θ)/λ` beyond which no pair can join, so the algorithms run
+//! in bounded memory.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sssj::prelude::*;
+//!
+//! // θ = 0.7, λ = 0.1  →  horizon τ ≈ 3.6 time units.
+//! let config = SssjConfig::new(0.7, 0.1);
+//! let mut join = Streaming::new(config, IndexKind::L2); // the paper's best
+//!
+//! let stream = vec![
+//!     StreamRecord::new(0, Timestamp::new(0.0), unit_vector(&[(1, 1.0), (2, 1.0)])),
+//!     StreamRecord::new(1, Timestamp::new(1.0), unit_vector(&[(1, 1.0), (2, 1.0)])),
+//!     StreamRecord::new(2, Timestamp::new(90.0), unit_vector(&[(1, 1.0), (2, 1.0)])),
+//! ];
+//!
+//! let mut out = Vec::new();
+//! for record in &stream {
+//!     join.process(record, &mut out);
+//! }
+//! join.finish(&mut out);
+//!
+//! // 0–1 are near in time; 2 arrives far beyond the horizon.
+//! assert_eq!(out.len(), 1);
+//! assert_eq!((out[0].left, out[0].right), (0, 1));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`types`] | sparse vectors, timestamps, decay, join records |
+//! | [`collections`] | circular buffers, linked hash map, decayed maxima |
+//! | [`index`] | batch APSS: INV, AP, L2AP, L2 filtering indexes |
+//! | [`core`] | the MB and STR streaming frameworks |
+//! | [`data`] | synthetic corpora, presets, text/binary formats |
+//! | [`baseline`] | exact brute-force oracles |
+//! | [`metrics`] | counters, budgets, tables, regression |
+//! | [`lsh`] | approximate join: SimHash + banding + time filtering |
+//! | [`net`] | TCP join service: line-protocol server and client |
+//! | [`parallel`] | sharded multi-threaded STR execution |
+//! | [`textsim`] | set-similarity (Jaccard) joins, batch and streaming |
+
+pub use sssj_baseline as baseline;
+pub use sssj_collections as collections;
+pub use sssj_core as core;
+pub use sssj_data as data;
+pub use sssj_index as index;
+pub use sssj_lsh as lsh;
+pub use sssj_metrics as metrics;
+pub use sssj_net as net;
+pub use sssj_parallel as parallel;
+pub use sssj_textsim as textsim;
+pub use sssj_types as types;
+
+/// The one-stop import for applications.
+pub mod prelude {
+    pub use sssj_core::{
+        advise, advise_from_examples, build_algorithm, read_snapshot, run_stream, Advice,
+        DecayStreaming, Framework, JoinBuilder, MiniBatch, RecoverableJoin, ReorderBuffer,
+        SssjConfig, StreamJoin, Streaming, TopKJoin,
+    };
+    pub use sssj_index::{all_pairs, BatchIndex, BoundPolicy, IndexKind};
+    pub use sssj_lsh::{LshJoin, LshParams};
+    pub use sssj_parallel::{sharded_run, ShardedJoin};
+    pub use sssj_types::{
+        vector::unit_vector, Decay, DecayModel, SimilarPair, SparseVector, SparseVectorBuilder,
+        StreamRecord, Timestamp, VectorId,
+    };
+}
