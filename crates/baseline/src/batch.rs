@@ -40,10 +40,7 @@ mod tests {
 
     #[test]
     fn threshold_excludes_weak_pairs() {
-        let data = vec![
-            rec(0, &[(1, 1.0), (2, 1.0)]),
-            rec(1, &[(1, 1.0), (3, 1.0)]),
-        ];
+        let data = vec![rec(0, &[(1, 1.0), (2, 1.0)]), rec(1, &[(1, 1.0), (3, 1.0)])];
         assert_eq!(brute_force_all_pairs(&data, 0.51).len(), 0);
         assert_eq!(brute_force_all_pairs(&data, 0.49).len(), 1);
     }

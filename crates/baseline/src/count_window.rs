@@ -142,7 +142,9 @@ mod tests {
         // A burst of 5 identical items in one time unit, then a lull, then
         // one more far beyond the horizon. Time semantics (τ ≈ 6.9): all
         // 10 burst pairs, nothing across the lull.
-        let mut stream: Vec<StreamRecord> = (0..5).map(|i| rec(i, i as f64 * 0.2, &[(1, 1.0)])).collect();
+        let mut stream: Vec<StreamRecord> = (0..5)
+            .map(|i| rec(i, i as f64 * 0.2, &[(1, 1.0)]))
+            .collect();
         stream.push(rec(5, 1000.0, &[(1, 1.0)]));
         let f_small = count_window_recall(&stream, 0.5, 0.1, 2);
         let f_large = count_window_recall(&stream, 0.5, 0.1, 5);

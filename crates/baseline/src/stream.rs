@@ -61,10 +61,7 @@ mod tests {
 
     #[test]
     fn zero_lambda_reverts_to_batch() {
-        let data = vec![
-            rec(0, 0.0, &[(1, 1.0)]),
-            rec(1, 1e6, &[(1, 1.0)]),
-        ];
+        let data = vec![rec(0, 0.0, &[(1, 1.0)]), rec(1, 1e6, &[(1, 1.0)])];
         let pairs = brute_force_stream(&data, 0.9, 0.0);
         assert_eq!(pairs.len(), 1);
         assert!((pairs[0].similarity - 1.0).abs() < 1e-12);

@@ -71,8 +71,7 @@ mod tests {
     #[test]
     fn sliding_window_keeps_full_similarity_inside() {
         let stream = vec![rec(0, 0.0, &[(1, 1.0)]), rec(1, 9.0, &[(1, 1.0)])];
-        let pairs =
-            brute_force_stream_model(&stream, 0.99, DecayModel::sliding_window(10.0));
+        let pairs = brute_force_stream_model(&stream, 0.99, DecayModel::sliding_window(10.0));
         assert_eq!(pairs.len(), 1);
         assert!((pairs[0].similarity - 1.0).abs() < 1e-12); // undecayed
     }
@@ -80,8 +79,7 @@ mod tests {
     #[test]
     fn sliding_window_cuts_hard_at_edge() {
         let stream = vec![rec(0, 0.0, &[(1, 1.0)]), rec(1, 10.5, &[(1, 1.0)])];
-        let pairs =
-            brute_force_stream_model(&stream, 0.5, DecayModel::sliding_window(10.0));
+        let pairs = brute_force_stream_model(&stream, 0.5, DecayModel::sliding_window(10.0));
         assert!(pairs.is_empty());
     }
 
@@ -89,8 +87,7 @@ mod tests {
     fn polynomial_keeps_distant_pairs_exponential_drops() {
         let stream = vec![rec(0, 0.0, &[(1, 1.0)]), rec(1, 30.0, &[(1, 1.0)])];
         let exp = brute_force_stream_model(&stream, 0.3, DecayModel::exponential(0.1));
-        let poly =
-            brute_force_stream_model(&stream, 0.3, DecayModel::polynomial(0.5, 10.0));
+        let poly = brute_force_stream_model(&stream, 0.3, DecayModel::polynomial(0.5, 10.0));
         assert!(exp.is_empty()); // e^{-3} ≈ 0.05 < 0.3
         assert_eq!(poly.len(), 1); // 4^{-0.5} = 0.5 ≥ 0.3
     }

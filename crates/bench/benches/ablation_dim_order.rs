@@ -17,8 +17,14 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let base = generate(&preset(Preset::Rcv1, 800));
     let orderings = [
-        ("freq-desc", DimOrdering::frequency_descending(&base).apply(&base)),
-        ("freq-asc", DimOrdering::frequency_ascending(&base).apply(&base)),
+        (
+            "freq-desc",
+            DimOrdering::frequency_descending(&base).apply(&base),
+        ),
+        (
+            "freq-asc",
+            DimOrdering::frequency_ascending(&base).apply(&base),
+        ),
         ("shuffled", DimOrdering::shuffled(&base, 7).apply(&base)),
     ];
     let config = SssjConfig::new(0.7, 1e-2);

@@ -23,21 +23,17 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for (label, lambda) in [("mid-horizon", 1e-3), ("short-horizon", 1e-1)] {
         for kind in [IndexKind::Inv, IndexKind::L2ap, IndexKind::L2] {
-            g.bench_with_input(
-                BenchmarkId::new(label, kind),
-                &records,
-                |b, records| {
-                    b.iter(|| {
-                        black_box(run_algorithm(
-                            records,
-                            Framework::Streaming,
-                            kind,
-                            SssjConfig::new(0.6, lambda),
-                            WorkBudget::unlimited(),
-                        ))
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, kind), &records, |b, records| {
+                b.iter(|| {
+                    black_box(run_algorithm(
+                        records,
+                        Framework::Streaming,
+                        kind,
+                        SssjConfig::new(0.6, lambda),
+                        WorkBudget::unlimited(),
+                    ))
+                })
+            });
         }
     }
     g.finish();

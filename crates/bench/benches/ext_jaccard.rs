@@ -5,9 +5,7 @@
 //! the horizon shrinks (time filtering compounds with prefix filtering).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sssj_textsim::{
-    batch_jaccard_join, brute_force_jaccard, StreamingJaccard, TimedSet, TokenSet,
-};
+use sssj_textsim::{batch_jaccard_join, brute_force_jaccard, StreamingJaccard, TimedSet, TokenSet};
 use std::hint::black_box;
 
 fn synth(n: usize, vocab: u32, len: usize, seed: u64) -> Vec<TimedSet> {

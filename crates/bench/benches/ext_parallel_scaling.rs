@@ -23,7 +23,11 @@ fn bench(c: &mut Criterion) {
         .map(|p| p.key())
         .collect();
     expected.sort_unstable();
-    eprintln!("sequential pairs={} entries={}", expected.len(), seq.stats().entries_traversed);
+    eprintln!(
+        "sequential pairs={} entries={}",
+        expected.len(),
+        seq.stats().entries_traversed
+    );
 
     for shards in [1usize, 2, 4, 8] {
         let out = sharded_run(&stream, config, IndexKind::L2, shards);
@@ -51,9 +55,19 @@ fn bench(c: &mut Criterion) {
         })
     });
     for shards in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &shards| {
-            b.iter(|| black_box(sharded_run(&stream, config, IndexKind::L2, shards).pairs.len()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    black_box(
+                        sharded_run(&stream, config, IndexKind::L2, shards)
+                            .pairs
+                            .len(),
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

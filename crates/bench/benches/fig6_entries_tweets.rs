@@ -16,21 +16,17 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_entries_tweets");
     g.sample_size(10);
     for kind in [IndexKind::Inv, IndexKind::L2ap, IndexKind::L2] {
-        g.bench_with_input(
-            BenchmarkId::new("STR", kind),
-            &records,
-            |b, records| {
-                b.iter(|| {
-                    black_box(run_algorithm(
-                        records,
-                        Framework::Streaming,
-                        kind,
-                        SssjConfig::new(0.6, 1e-2),
-                        WorkBudget::unlimited(),
-                    ))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("STR", kind), &records, |b, records| {
+            b.iter(|| {
+                black_box(run_algorithm(
+                    records,
+                    Framework::Streaming,
+                    kind,
+                    SssjConfig::new(0.6, 1e-2),
+                    WorkBudget::unlimited(),
+                ))
+            })
+        });
     }
     g.finish();
 }

@@ -25,18 +25,22 @@ fn bench(c: &mut Criterion) {
     });
 
     for n in [1_000u64, 10_000] {
-        g.bench_with_input(BenchmarkId::new("circular_push_truncate", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut buf = CircularBuffer::new();
-                for i in 0..n {
-                    buf.push_back(i);
-                    if i % 7 == 0 {
-                        buf.truncate_front(3);
+        g.bench_with_input(
+            BenchmarkId::new("circular_push_truncate", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut buf = CircularBuffer::new();
+                    for i in 0..n {
+                        buf.push_back(i);
+                        if i % 7 == 0 {
+                            buf.truncate_front(3);
+                        }
                     }
-                }
-                black_box(buf.len())
-            })
-        });
+                    black_box(buf.len())
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("accumulator_add_clear", n), &n, |b, &n| {
             b.iter(|| {
                 let mut acc = ScoreAccumulator::new();
@@ -69,7 +73,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut ones = 0u32;
                 for r in records.iter().take(50) {
-                    ones += h.sign(&r.vector).words().iter().map(|w| w.count_ones()).sum::<u32>();
+                    ones += h
+                        .sign(&r.vector)
+                        .words()
+                        .iter()
+                        .map(|w| w.count_ones())
+                        .sum::<u32>();
                 }
                 black_box(ones)
             })

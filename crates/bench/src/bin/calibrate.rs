@@ -35,7 +35,12 @@ fn window_coords(records: &[sssj_types::StreamRecord], tau: f64) -> u64 {
 
 fn main() {
     for p in [Preset::Tweets, Preset::Blogs, Preset::Rcv1, Preset::WebSpam] {
-        let n = match p { Preset::WebSpam => 600, Preset::Rcv1 => 2500, Preset::Blogs => 2500, _ => 6000 };
+        let n = match p {
+            Preset::WebSpam => 600,
+            Preset::Rcv1 => 2500,
+            Preset::Blogs => 2500,
+            _ => 6000,
+        };
         let records = generate(&preset(p, n));
         let coords: u64 = records.iter().map(|r| r.vector.nnz() as u64).sum();
         for (theta, lambda) in [(0.5, 1e-4), (0.5, 1e-2), (0.99, 1e-1)] {

@@ -81,13 +81,7 @@ impl Experiments {
         theta: f64,
         lambda: f64,
     ) -> RunResult {
-        let key = (
-            dataset,
-            framework,
-            kind,
-            theta.to_bits(),
-            lambda.to_bits(),
-        );
+        let key = (dataset, framework, kind, theta.to_bits(), lambda.to_bits());
         if let Some(r) = self.memo.get(&key) {
             return *r;
         }
@@ -145,16 +139,16 @@ impl Experiments {
 
     /// Table 1: dataset statistics.
     pub fn table1(&mut self) -> String {
-        let mut table = TextTable::new([
-            "Dataset",
+        let mut table = TextTable::new(["Dataset", "n", "m", "nnz", "rho(%)", "|x|", "Timestamps"]);
+        let mut csv = Csv::new([
+            "dataset",
             "n",
             "m",
             "nnz",
-            "rho(%)",
-            "|x|",
-            "Timestamps",
+            "density_pct",
+            "avg_nnz",
+            "timestamps",
         ]);
-        let mut csv = Csv::new(["dataset", "n", "m", "nnz", "density_pct", "avg_nnz", "timestamps"]);
         for p in Preset::ALL {
             let stats = DatasetStats::of(self.cache.get(p));
             table.row([
@@ -177,7 +171,10 @@ impl Experiments {
             ]);
         }
         self.write_csv("table1", &csv);
-        format!("Table 1: dataset statistics (synthetic presets)\n{}", table.render())
+        format!(
+            "Table 1: dataset statistics (synthetic presets)\n{}",
+            table.render()
+        )
     }
 
     /// Table 2: fraction of the 24 (θ, λ) configurations finishing within
@@ -232,7 +229,15 @@ impl Experiments {
     /// index, as a function of the horizon τ.
     pub fn fig2(&mut self) -> String {
         let mut table = TextTable::new(["Dataset", "theta", "lambda", "tau", "STR/MB entries"]);
-        let mut csv = Csv::new(["dataset", "theta", "lambda", "tau", "entries_str", "entries_mb", "ratio"]);
+        let mut csv = Csv::new([
+            "dataset",
+            "theta",
+            "lambda",
+            "tau",
+            "entries_str",
+            "entries_mb",
+            "ratio",
+        ]);
         for p in [Preset::WebSpam, Preset::Rcv1] {
             let mut rows: Vec<(f64, f64, f64, u64, u64)> = Vec::new();
             for (theta, lambda) in full_grid() {
@@ -249,7 +254,11 @@ impl Experiments {
             }
             rows.sort_by(|a, b| a.2.total_cmp(&b.2));
             for (theta, lambda, tau, es, em) in rows {
-                let ratio = if em == 0 { f64::NAN } else { es as f64 / em as f64 };
+                let ratio = if em == 0 {
+                    f64::NAN
+                } else {
+                    es as f64 / em as f64
+                };
                 table.row([
                     p.to_string(),
                     format!("{theta}"),
@@ -276,8 +285,14 @@ impl Experiments {
     }
 
     fn mb_vs_str(&mut self, p: Preset, figure: &str) -> String {
-        let mut table =
-            TextTable::new(["lambda", "index", "theta", "MB (s)", "STR (s)", "STR speedup"]);
+        let mut table = TextTable::new([
+            "lambda",
+            "index",
+            "theta",
+            "MB (s)",
+            "STR (s)",
+            "STR speedup",
+        ]);
         let mut csv = Csv::new(["dataset", "lambda", "index", "theta", "mb_s", "str_s"]);
         for &lambda in &LAMBDAS {
             for kind in INDEXES {
@@ -362,7 +377,13 @@ impl Experiments {
     /// Figure 6: posting entries traversed by STR per index on Tweets.
     pub fn fig6(&mut self) -> String {
         let mut table = TextTable::new(["lambda", "theta", "INV", "L2AP", "L2"]);
-        let mut csv = Csv::new(["lambda", "theta", "inv_entries", "l2ap_entries", "l2_entries"]);
+        let mut csv = Csv::new([
+            "lambda",
+            "theta",
+            "inv_entries",
+            "l2ap_entries",
+            "l2_entries",
+        ]);
         for &lambda in &LAMBDAS {
             for &theta in &THETAS {
                 let e: Vec<u64> = INDEXES
@@ -417,10 +438,7 @@ impl Experiments {
             }
         }
         self.write_csv("fig7", &csv);
-        format!(
-            "Figure 7: STR-L2 time (s) vs λ, per θ\n{}",
-            table.render()
-        )
+        format!("Figure 7: STR-L2 time (s) vs λ, per θ\n{}", table.render())
     }
 
     /// Figure 8: STR-L2 time as a function of θ, per λ, all datasets.
@@ -446,10 +464,7 @@ impl Experiments {
             }
         }
         self.write_csv("fig8", &csv);
-        format!(
-            "Figure 8: STR-L2 time (s) vs θ, per λ\n{}",
-            table.render()
-        )
+        format!("Figure 8: STR-L2 time (s) vs θ, per λ\n{}", table.render())
     }
 
     /// Figure 9: running time is ~linear in the horizon τ; least-squares
@@ -550,7 +565,13 @@ impl Experiments {
     /// them (STR on Tweets, per index).
     pub fn candidates(&mut self) -> String {
         let mut table = TextTable::new([
-            "lambda", "theta", "cand INV", "cand L2AP", "cand L2", "sims INV", "sims L2AP",
+            "lambda",
+            "theta",
+            "cand INV",
+            "cand L2AP",
+            "cand L2",
+            "sims INV",
+            "sims L2AP",
             "sims L2",
         ]);
         let mut csv = Csv::new([
@@ -607,7 +628,12 @@ impl Experiments {
         use sssj_baseline::brute_force_stream;
         use sssj_metrics::Stopwatch;
         let mut table = TextTable::new([
-            "Dataset", "theta", "lambda", "brute (s)", "STR-L2 (s)", "speedup",
+            "Dataset",
+            "theta",
+            "lambda",
+            "brute (s)",
+            "STR-L2 (s)",
+            "speedup",
         ]);
         let mut csv = Csv::new(["dataset", "theta", "lambda", "brute_s", "str_l2_s"]);
         for p in Preset::ALL {

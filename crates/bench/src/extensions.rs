@@ -119,11 +119,14 @@ impl Experiments {
     pub fn lsh(&mut self) -> String {
         let (theta, lambda) = (0.7, 0.01);
         let mut table = TextTable::new([
-            "Dataset", "Shape", "recall", "precision", "checks", "exact pairs",
+            "Dataset",
+            "Shape",
+            "recall",
+            "precision",
+            "checks",
+            "exact pairs",
         ]);
-        let mut csv = Csv::new([
-            "dataset", "bands", "rows", "recall", "precision", "checks",
-        ]);
+        let mut csv = Csv::new(["dataset", "bands", "rows", "recall", "precision", "checks"]);
         for p in [Preset::Rcv1, Preset::Blogs] {
             let records = self.dataset_records(p);
             let reference = brute_force_stream(&records, theta, lambda);
@@ -166,7 +169,11 @@ impl Experiments {
     pub fn scaling(&mut self) -> String {
         let config = SssjConfig::new(0.6, 0.01);
         let mut table = TextTable::new([
-            "Dataset", "shards", "time (s)", "max-shard entries", "pairs",
+            "Dataset",
+            "shards",
+            "time (s)",
+            "max-shard entries",
+            "pairs",
         ]);
         let mut csv = Csv::new(["dataset", "shards", "time_s", "max_entries", "pairs"]);
         for p in [Preset::Rcv1, Preset::WebSpam] {
@@ -336,10 +343,21 @@ impl Experiments {
     /// indexing strategies under study") — measured rather than asserted.
     pub fn ap(&mut self) -> String {
         let mut table = TextTable::new([
-            "Framework", "theta", "AP (s)", "L2AP (s)", "L2 (s)", "AP/L2AP",
+            "Framework",
+            "theta",
+            "AP (s)",
+            "L2AP (s)",
+            "L2 (s)",
+            "AP/L2AP",
         ]);
         let mut csv = Csv::new([
-            "framework", "theta", "ap_s", "l2ap_s", "l2_s", "ap_entries", "l2ap_entries",
+            "framework",
+            "theta",
+            "ap_s",
+            "l2ap_s",
+            "l2_s",
+            "ap_entries",
+            "l2ap_entries",
         ]);
         let lambda = 1e-3;
         for framework in sssj_core::Framework::ALL {

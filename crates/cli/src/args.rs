@@ -70,7 +70,11 @@ mod tests {
 
     #[test]
     fn positionals_and_options() {
-        let p = parse(&argv(&["a.txt", "--n", "5", "--pairs", "b.txt"]), &["pairs"]).unwrap();
+        let p = parse(
+            &argv(&["a.txt", "--n", "5", "--pairs", "b.txt"]),
+            &["pairs"],
+        )
+        .unwrap();
         assert_eq!(p.positional, vec!["a.txt", "b.txt"]);
         assert_eq!(p.get("n"), Some("5"));
         assert!(p.flag("pairs"));

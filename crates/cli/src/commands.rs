@@ -71,7 +71,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Err("run needs exactly one path".into());
     };
     let framework = match p.get("framework") {
-        Some(name) => Framework::parse(name).ok_or_else(|| format!("unknown framework {name:?}"))?,
+        Some(name) => {
+            Framework::parse(name).ok_or_else(|| format!("unknown framework {name:?}"))?
+        }
         None => Framework::Streaming,
     };
     let kind = match p.get("index") {
@@ -110,7 +112,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let elapsed = watch.seconds();
     let s = join.stats();
     eprintln!("algorithm : {}", join.name());
-    eprintln!("theta     : {theta}   lambda: {lambda}   tau: {:.1}s", config.tau());
+    eprintln!(
+        "theta     : {theta}   lambda: {lambda}   tau: {:.1}s",
+        config.tau()
+    );
     eprintln!("records   : {}", records.len());
     eprintln!("pairs     : {}", s.pairs_output);
     eprintln!("time      : {elapsed:.3} s");

@@ -41,10 +41,18 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     let [input] = p.positional.as_slice() else {
         return Err("sweep needs exactly one path".into());
     };
-    let thetas = parse_list(p.get("thetas").unwrap_or("0.5,0.6,0.7,0.8,0.9,0.99"), "thetas")?;
-    let lambdas = parse_list(p.get("lambdas").unwrap_or("0.0001,0.001,0.01,0.1"), "lambdas")?;
+    let thetas = parse_list(
+        p.get("thetas").unwrap_or("0.5,0.6,0.7,0.8,0.9,0.99"),
+        "thetas",
+    )?;
+    let lambdas = parse_list(
+        p.get("lambdas").unwrap_or("0.0001,0.001,0.01,0.1"),
+        "lambdas",
+    )?;
     let framework = match p.get("framework") {
-        Some(name) => Framework::parse(name).ok_or_else(|| format!("unknown framework {name:?}"))?,
+        Some(name) => {
+            Framework::parse(name).ok_or_else(|| format!("unknown framework {name:?}"))?
+        }
         None => Framework::Streaming,
     };
     let kind = match p.get("index") {
@@ -93,7 +101,10 @@ pub fn compare(args: &[String]) -> Result<(), String> {
 
     let oracle = sorted_keys(&brute_force_stream(&records, theta, lambda));
     println!("oracle pairs: {}", oracle.len());
-    println!("{:<12} {:>10} {:>10} {:>8}", "algorithm", "pairs", "time_s", "oracle");
+    println!(
+        "{:<12} {:>10} {:>10} {:>8}",
+        "algorithm", "pairs", "time_s", "oracle"
+    );
     let mut all_match = true;
     for framework in Framework::ALL {
         for kind in IndexKind::ALL {
@@ -146,7 +157,11 @@ pub fn topk(args: &[String]) -> Result<(), String> {
         }
     }
     eprintln!("algorithm : {}", join.name());
-    eprintln!("pairs     : {} ({} over-threshold truncated)", pairs.len(), join.truncated_pairs());
+    eprintln!(
+        "pairs     : {} ({} over-threshold truncated)",
+        pairs.len(),
+        join.truncated_pairs()
+    );
     eprintln!("time      : {elapsed:.3} s");
     Ok(())
 }
@@ -164,10 +179,14 @@ pub fn lsh(args: &[String]) -> Result<(), String> {
     let bits: u32 = p.get_parsed("bits", 256)?;
     let bands: u32 = p.get_parsed("bands", 32)?;
     if bits == 0 || !bits.is_multiple_of(64) {
-        return Err(format!("--bits must be a positive multiple of 64, got {bits}"));
+        return Err(format!(
+            "--bits must be a positive multiple of 64, got {bits}"
+        ));
     }
     if bands == 0 || !bits.is_multiple_of(bands) || bits / bands > 64 {
-        return Err(format!("--bands must divide --bits into rows of <= 64, got {bands}"));
+        return Err(format!(
+            "--bands must divide --bits into rows of <= 64, got {bands}"
+        ));
     }
     let params = LshParams {
         bits,

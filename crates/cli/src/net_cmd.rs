@@ -173,14 +173,7 @@ mod tests {
     fn net_serve_accepts_mode_and_slack() {
         let mut empty: &[u8] = b"";
         net_serve_impl(
-            &s(&[
-                "--listen",
-                "127.0.0.1:0",
-                "--mode",
-                "text",
-                "--slack",
-                "30",
-            ]),
+            &s(&["--listen", "127.0.0.1:0", "--mode", "text", "--slack", "30"]),
             &mut empty,
         )
         .unwrap();

@@ -103,8 +103,12 @@ pub fn serve_streams<R: BufRead, W: Write>(
         out.clear();
         join.process(&record, &mut out);
         for pair in &out {
-            writeln!(output, "{} {} {:.6}", pair.left, pair.right, pair.similarity)
-                .map_err(|e| format!("stdout: {e}"))?;
+            writeln!(
+                output,
+                "{} {} {:.6}",
+                pair.left, pair.right, pair.similarity
+            )
+            .map_err(|e| format!("stdout: {e}"))?;
         }
         // Per-record flush: downstream sees pairs as they happen.
         output.flush().map_err(|e| format!("stdout: {e}"))?;
@@ -156,11 +160,7 @@ mod tests {
         let input = "0.0 breaking news from paris\n\
                      1.0 breaking news from paris today\n\
                      2.0 completely unrelated sports result\n";
-        let out = run(
-            &["--tokenize", "--theta", "0.6", "--lambda", "0.01"],
-            input,
-        )
-        .unwrap();
+        let out = run(&["--tokenize", "--theta", "0.6", "--lambda", "0.01"], input).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 1, "{out}");
         assert!(lines[0].starts_with("0 1 "), "{out}");

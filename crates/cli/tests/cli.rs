@@ -26,9 +26,18 @@ fn full_pipeline() {
         .arg(&txt)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
-    let out = bin().arg("convert").arg(&txt).arg(&bin_path).output().unwrap();
+    let out = bin()
+        .arg("convert")
+        .arg(&txt)
+        .arg(&bin_path)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     assert!(bin_path.metadata().unwrap().len() > 0);
 
@@ -69,7 +78,15 @@ fn frameworks_report_same_pair_count() {
         let out = bin()
             .args(["run"])
             .arg(&txt)
-            .args(["--framework", framework, "--theta", "0.7", "--lambda", "0.01", "--pairs"])
+            .args([
+                "--framework",
+                framework,
+                "--theta",
+                "0.7",
+                "--lambda",
+                "0.01",
+                "--pairs",
+            ])
             .output()
             .unwrap();
         assert!(out.status.success());

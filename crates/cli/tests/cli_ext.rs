@@ -19,11 +19,22 @@ fn tmpdir(name: &str) -> PathBuf {
 fn dataset(dir: &Path, n: u32) -> PathBuf {
     let path = dir.join("s.txt");
     let out = bin()
-        .args(["generate", "--preset", "rcv1", "--n", &n.to_string(), "--out"])
+        .args([
+            "generate",
+            "--preset",
+            "rcv1",
+            "--n",
+            &n.to_string(),
+            "--out",
+        ])
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     path
 }
 
@@ -37,7 +48,11 @@ fn sweep_emits_full_grid_csv() {
         .args(["--thetas", "0.5,0.9", "--lambdas", "0.01,0.1"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines.len(), 1 + 4, "header + 2×2 grid: {stdout}");
@@ -59,7 +74,11 @@ fn compare_reports_all_algorithms_matching() {
         .args(["--theta", "0.6", "--lambda", "0.05"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.matches("match").count(), 8, "{stdout}"); // 2 frameworks × 4 indexes
     assert!(!stdout.contains("MISMATCH"), "{stdout}");
@@ -85,7 +104,11 @@ fn topk_caps_pairs_per_record() {
         .args(["--k", "1", "--theta", "0.5", "--lambda", "0.01", "--pairs"])
         .output()
         .unwrap();
-    assert!(capped.status.success(), "{}", String::from_utf8_lossy(&capped.stderr));
+    assert!(
+        capped.status.success(),
+        "{}",
+        String::from_utf8_lossy(&capped.stderr)
+    );
     let capped_pairs = String::from_utf8_lossy(&capped.stdout).lines().count();
     assert!(capped_pairs <= full_pairs);
     assert!(capped_pairs <= 250, "at most one pair per record");
@@ -99,13 +122,22 @@ fn lsh_reports_accuracy_metrics() {
     let out = bin()
         .arg("lsh")
         .arg(&data)
-        .args(["--theta", "0.7", "--lambda", "0.05", "--bits", "256", "--bands", "32"])
+        .args([
+            "--theta", "0.7", "--lambda", "0.05", "--bits", "256", "--bands", "32",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("recall"), "{stdout}");
-    assert!(stdout.contains("precision       : 1.0000"), "exact mode: {stdout}");
+    assert!(
+        stdout.contains("precision       : 1.0000"),
+        "exact mode: {stdout}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -113,7 +145,10 @@ fn lsh_reports_accuracy_metrics() {
 fn lsh_rejects_bad_band_shapes() {
     let dir = tmpdir("lshbad");
     let data = dataset(&dir, 50);
-    for args in [["--bits", "100", "--bands", "10"], ["--bits", "256", "--bands", "3"]] {
+    for args in [
+        ["--bits", "100", "--bands", "10"],
+        ["--bits", "256", "--bands", "3"],
+    ] {
         let out = bin().arg("lsh").arg(&data).args(args).output().unwrap();
         assert!(!out.status.success(), "{args:?} must be rejected");
     }
@@ -139,9 +174,16 @@ fn shards_matches_sequential_pair_count() {
         .args(["--shards", "3", "--theta", "0.6", "--lambda", "0.05"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains(&format!("pairs    : {seq_pairs}")), "{stdout} vs {seq_pairs}");
+    assert!(
+        stdout.contains(&format!("pairs    : {seq_pairs}")),
+        "{stdout} vs {seq_pairs}"
+    );
     assert_eq!(stdout.matches("shard ").count(), 3, "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -193,8 +235,14 @@ fn decay_exponential_matches_run_output() {
         .output()
         .unwrap();
     assert!(run.status.success() && decay.status.success());
-    let mut a: Vec<String> = String::from_utf8_lossy(&run.stdout).lines().map(String::from).collect();
-    let mut b: Vec<String> = String::from_utf8_lossy(&decay.stdout).lines().map(String::from).collect();
+    let mut a: Vec<String> = String::from_utf8_lossy(&run.stdout)
+        .lines()
+        .map(String::from)
+        .collect();
+    let mut b: Vec<String> = String::from_utf8_lossy(&decay.stdout)
+        .lines()
+        .map(String::from)
+        .collect();
     a.sort();
     b.sort();
     assert_eq!(a, b);

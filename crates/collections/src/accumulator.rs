@@ -1,25 +1,60 @@
-//! A reusable open-addressing score accumulator keyed by vector id.
+//! A reusable score accumulator keyed by vector id.
 //!
 //! Candidate generation accumulates partial dot products into the array
 //! `C[ι(y)]` of Algorithm 3. Queries arrive continuously, so the map must
-//! be cleared after every query in O(touched) rather than O(capacity);
-//! this structure keeps a *touched list* of occupied slots for exactly
-//! that.
+//! be reset after every query in O(1), not O(capacity).
+//!
+//! Stream ids are assigned in arrival order, and every candidate the
+//! streaming indexes can produce is *alive* — within the time horizon —
+//! so the live key range is a dense, slowly sliding window `[base, base +
+//! span)`. The accumulator exploits that: scores live in a flat `f64`
+//! array indexed by `key - base`, each slot carrying an **epoch stamp**.
+//! A slot is valid only when its stamp equals the current epoch, so
+//! [`ScoreAccumulator::clear`] is a single epoch increment — no hashing,
+//! no per-query sweep. [`ScoreAccumulator::advance_floor`] slides the
+//! window as old vectors expire, keeping the array no larger than the
+//! live id span.
+//!
+//! Keys far outside the dense window (arbitrary `u64`s are allowed by the
+//! API) fall back to a small open-addressing spill table with the same
+//! epoch discipline, so correctness never depends on id density.
 
 const EMPTY: u64 = u64::MAX;
 
-/// An open-addressing `u64 → f64` accumulator with O(touched) reset.
+/// Result of [`ScoreAccumulator::accumulate`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Accumulated {
+    /// The key was already a live candidate; carries the new score.
+    Updated(f64),
+    /// The key was (re)admitted as a candidate; carries the new score.
+    Admitted(f64),
+    /// The key was not live and `admit_new` was false.
+    Skipped,
+}
+
+/// Offsets past this bound go to the spill table instead of growing the
+/// dense array (2²² slots ≈ 50 MB at full size — far beyond any horizon
+/// the benchmarks reach, small enough to bound worst-case memory).
+const DENSE_SPAN_LIMIT: u64 = 1 << 22;
+
+/// An epoch-stamped `u64 → f64` accumulator with O(1) reset.
 ///
-/// Keys are vector ids (never `u64::MAX`). Uses Fibonacci hashing and
-/// linear probing; grows at ~70 % load. Values accumulate via
+/// Keys are vector ids (never `u64::MAX`). Values accumulate via
 /// [`ScoreAccumulator::add`] and can be zeroed in place (candidate
 /// pruning) without forgetting that the slot was touched.
 #[derive(Clone, Debug)]
 pub struct ScoreAccumulator {
-    keys: Vec<u64>,
+    /// First key of the dense window.
+    base: u64,
+    /// Epoch stamp per dense slot; a slot is live iff `stamps[i] == epoch`.
+    stamps: Vec<u32>,
+    /// Scores, parallel to `stamps`.
     vals: Vec<f64>,
+    epoch: u32,
+    /// Dense offsets touched this epoch, in touch order.
     touched: Vec<u32>,
-    mask: usize,
+    /// Fallback for keys outside the dense window.
+    spill: SpillMap,
 }
 
 impl ScoreAccumulator {
@@ -28,37 +63,250 @@ impl ScoreAccumulator {
         Self::with_capacity(64)
     }
 
-    /// Creates an accumulator able to hold about `cap` keys before
+    /// Creates an accumulator able to hold about `cap` dense keys before
     /// growing.
     pub fn with_capacity(cap: usize) -> Self {
-        let slots = (cap.max(8) * 2).next_power_of_two();
+        let slots = cap.max(8).next_power_of_two();
         ScoreAccumulator {
-            keys: vec![EMPTY; slots],
+            base: 0,
+            stamps: vec![0; slots],
             vals: vec![0.0; slots],
+            epoch: 1,
             touched: Vec::with_capacity(cap),
-            mask: slots - 1,
+            spill: SpillMap::new(),
         }
     }
 
     /// Number of distinct keys touched since the last [`Self::clear`].
     pub fn len(&self) -> usize {
-        self.touched.len()
+        self.touched.len() + self.spill.len()
     }
 
     /// Whether no key has been touched.
     pub fn is_empty(&self) -> bool {
+        self.touched.is_empty() && self.spill.is_empty()
+    }
+
+    /// Allocated slots (dense + spill), for memory accounting.
+    pub fn capacity(&self) -> usize {
+        self.vals.len() + self.spill.capacity()
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.vals.capacity() * 8 + self.stamps.capacity() * 4 + self.touched.capacity() * 4) as u64
+            + self.spill.heap_bytes()
+    }
+
+    /// Raises the dense-window floor to `floor`.
+    ///
+    /// Callers do this between queries with the oldest *live* id: the
+    /// window then tracks the time horizon instead of the whole stream,
+    /// keeping the dense array bounded. A no-op unless the accumulator is
+    /// empty (slot↔key mapping must not move under touched entries) and
+    /// `floor` is actually ahead of the current base.
+    pub fn advance_floor(&mut self, floor: u64) {
+        if floor > self.base && self.is_empty() {
+            self.base = floor;
+        }
+    }
+
+    #[inline]
+    fn dense_offset(&self, key: u64) -> Option<usize> {
+        // Also excludes EMPTY: EMPTY - base >= DENSE_SPAN_LIMIT always
+        // (base is a stream id, nowhere near u64::MAX).
+        key.checked_sub(self.base)
+            .filter(|&off| off < DENSE_SPAN_LIMIT)
+            .map(|off| off as usize)
+    }
+
+    /// The one-lookup hot-path upsert of candidate generation.
+    ///
+    /// Equivalent to the `get`-then-`add` sequence of Algorithm 3 —
+    /// *accumulate into live candidates unconditionally, admit new
+    /// candidates only while `admit_new` holds* — but with a single slot
+    /// probe:
+    ///
+    /// * live slot with a positive score → accumulates, returns
+    ///   [`Accumulated::Updated`];
+    /// * fresh or zeroed slot and `admit_new` → (re)opens the slot,
+    ///   accumulates, returns [`Accumulated::Admitted`];
+    /// * otherwise → [`Accumulated::Skipped`].
+    #[inline]
+    pub fn accumulate(&mut self, key: u64, delta: f64, admit_new: bool) -> Accumulated {
+        match self.dense_offset(key) {
+            Some(off) => {
+                if off >= self.vals.len() {
+                    if !admit_new {
+                        return Accumulated::Skipped;
+                    }
+                    self.grow_dense(off);
+                }
+                let live = self.stamps[off] == self.epoch;
+                if live && self.vals[off] > 0.0 {
+                    self.vals[off] += delta;
+                    Accumulated::Updated(self.vals[off])
+                } else if admit_new {
+                    if !live {
+                        self.stamps[off] = self.epoch;
+                        self.vals[off] = 0.0;
+                        self.touched.push(off as u32);
+                    }
+                    self.vals[off] += delta;
+                    Accumulated::Admitted(self.vals[off])
+                } else {
+                    Accumulated::Skipped
+                }
+            }
+            None => {
+                let current = self.spill.get(key);
+                if current > 0.0 {
+                    Accumulated::Updated(self.spill.add(key, delta))
+                } else if admit_new {
+                    // current == 0.0 covers untouched and zeroed slots:
+                    // both count as (re)admissions, like get-then-add did.
+                    Accumulated::Admitted(self.spill.add(key, delta))
+                } else {
+                    Accumulated::Skipped
+                }
+            }
+        }
+    }
+
+    /// Adds `delta` to the score of `key`, returning the new value.
+    #[inline]
+    pub fn add(&mut self, key: u64, delta: f64) -> f64 {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is reserved");
+        match self.dense_offset(key) {
+            Some(off) => {
+                if off >= self.vals.len() {
+                    self.grow_dense(off);
+                }
+                if self.stamps[off] != self.epoch {
+                    self.stamps[off] = self.epoch;
+                    self.vals[off] = 0.0;
+                    self.touched.push(off as u32);
+                }
+                self.vals[off] += delta;
+                self.vals[off]
+            }
+            None => self.spill.add(key, delta),
+        }
+    }
+
+    /// The current score of `key` (0.0 when never touched or zeroed).
+    #[inline]
+    pub fn get(&self, key: u64) -> f64 {
+        match self.dense_offset(key) {
+            Some(off) => {
+                if off < self.vals.len() && self.stamps[off] == self.epoch {
+                    self.vals[off]
+                } else {
+                    0.0
+                }
+            }
+            None => self.spill.get(key),
+        }
+    }
+
+    /// Zeroes the score of `key` in place (candidate pruning). The slot
+    /// stays touched so a later `add` resumes from zero.
+    #[inline]
+    pub fn zero(&mut self, key: u64) {
+        match self.dense_offset(key) {
+            Some(off) => {
+                if off < self.vals.len() && self.stamps[off] == self.epoch {
+                    self.vals[off] = 0.0;
+                }
+            }
+            None => self.spill.zero(key),
+        }
+    }
+
+    /// Iterates `(key, score)` over touched slots in touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.touched
+            .iter()
+            .map(move |&off| (self.base + off as u64, self.vals[off as usize]))
+            .chain(self.spill.iter())
+    }
+
+    /// Resets all touched slots in O(1) (epoch bump; O(spill touched) for
+    /// keys that landed in the spill table).
+    pub fn clear(&mut self) {
+        self.touched.clear();
+        self.spill.clear();
+        if self.epoch == u32::MAX {
+            // Stamp wrap-around: invalidate everything once per 2³²
+            // queries so stale stamps can never alias a live epoch.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    #[cold]
+    fn grow_dense(&mut self, off: usize) {
+        let new_len = (off + 1).next_power_of_two().max(self.vals.len() * 2);
+        self.stamps.resize(new_len, 0);
+        self.vals.resize(new_len, 0.0);
+    }
+}
+
+impl Default for ScoreAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The open-addressing fallback for keys outside the dense window —
+/// Fibonacci hashing, linear probing, epoch-free (cleared per query).
+#[derive(Clone, Debug)]
+struct SpillMap {
+    keys: Vec<u64>,
+    vals: Vec<f64>,
+    touched: Vec<u32>,
+    mask: usize,
+}
+
+impl SpillMap {
+    fn new() -> Self {
+        SpillMap {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            touched: Vec::new(),
+            mask: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    fn is_empty(&self) -> bool {
         self.touched.is_empty()
     }
 
-    /// Allocated table slots (for memory accounting).
-    pub fn capacity(&self) -> usize {
+    fn capacity(&self) -> usize {
         self.keys.len()
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        (self.keys.capacity() * 8 + self.vals.capacity() * 8 + self.touched.capacity() * 4) as u64
+    }
+
+    #[cold]
+    fn materialize(&mut self) {
+        if self.keys.is_empty() {
+            self.keys = vec![EMPTY; 16];
+            self.vals = vec![0.0; 16];
+            self.mask = 15;
+        }
     }
 
     #[inline]
     fn slot_of(&self, key: u64) -> usize {
-        debug_assert_ne!(key, EMPTY, "u64::MAX is reserved");
-        // Fibonacci hashing spreads sequential ids well.
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut i = (h >> 32) as usize & self.mask;
         loop {
@@ -70,8 +318,8 @@ impl ScoreAccumulator {
         }
     }
 
-    /// Adds `delta` to the score of `key`, returning the new value.
-    pub fn add(&mut self, key: u64, delta: f64) -> f64 {
+    fn add(&mut self, key: u64, delta: f64) -> f64 {
+        self.materialize();
         if self.touched.len() * 3 > self.keys.len() * 2 {
             self.grow();
         }
@@ -85,8 +333,10 @@ impl ScoreAccumulator {
         self.vals[i]
     }
 
-    /// The current score of `key` (0.0 when never touched or zeroed).
-    pub fn get(&self, key: u64) -> f64 {
+    fn get(&self, key: u64) -> f64 {
+        if self.keys.is_empty() {
+            return 0.0;
+        }
         let i = self.slot_of(key);
         if self.keys[i] == EMPTY {
             0.0
@@ -95,24 +345,23 @@ impl ScoreAccumulator {
         }
     }
 
-    /// Zeroes the score of `key` in place (candidate pruning). The slot
-    /// stays touched so a later `add` resumes from zero.
-    pub fn zero(&mut self, key: u64) {
+    fn zero(&mut self, key: u64) {
+        if self.keys.is_empty() {
+            return;
+        }
         let i = self.slot_of(key);
         if self.keys[i] != EMPTY {
             self.vals[i] = 0.0;
         }
     }
 
-    /// Iterates `(key, score)` over touched slots in touch order.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+    fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
         self.touched
             .iter()
             .map(move |&i| (self.keys[i as usize], self.vals[i as usize]))
     }
 
-    /// Resets all touched slots in O(touched).
-    pub fn clear(&mut self) {
+    fn clear(&mut self) {
         for &i in &self.touched {
             self.keys[i as usize] = EMPTY;
         }
@@ -121,7 +370,7 @@ impl ScoreAccumulator {
 
     fn grow(&mut self) {
         let new_slots = self.keys.len() * 2;
-        let mut bigger = ScoreAccumulator {
+        let mut bigger = SpillMap {
             keys: vec![EMPTY; new_slots],
             vals: vec![0.0; new_slots],
             touched: Vec::with_capacity(self.touched.len() * 2),
@@ -135,12 +384,6 @@ impl ScoreAccumulator {
             bigger.touched.push(j as u32);
         }
         *self = bigger;
-    }
-}
-
-impl Default for ScoreAccumulator {
-    fn default() -> Self {
-        Self::new()
     }
 }
 
@@ -183,6 +426,18 @@ mod tests {
     }
 
     #[test]
+    fn clear_is_epoch_cheap_and_reusable() {
+        let mut a = ScoreAccumulator::new();
+        for round in 0..1000u64 {
+            a.add(round % 7, 1.0);
+            a.add(round % 13, 1.0);
+            a.clear();
+        }
+        assert!(a.is_empty());
+        assert_eq!(a.get(3), 0.0);
+    }
+
+    #[test]
     fn grows_past_initial_capacity() {
         let mut a = ScoreAccumulator::with_capacity(8);
         for k in 0..10_000u64 {
@@ -211,5 +466,78 @@ mod tests {
         a.add(u64::MAX - 1, 2.0);
         assert_eq!(a.get(0), 1.0);
         assert_eq!(a.get(u64::MAX - 1), 2.0);
+        assert_eq!(a.len(), 2);
+        let mut got: Vec<(u64, f64)> = a.iter().collect();
+        got.sort_by_key(|&(k, _)| k);
+        assert_eq!(got, vec![(0, 1.0), (u64::MAX - 1, 2.0)]);
+        a.zero(u64::MAX - 1);
+        assert_eq!(a.get(u64::MAX - 1), 0.0);
+        a.clear();
+        assert_eq!(a.get(u64::MAX - 1), 0.0);
+    }
+
+    #[test]
+    fn advance_floor_slides_the_dense_window() {
+        let mut a = ScoreAccumulator::with_capacity(8);
+        a.add(5, 1.0);
+        // Floor must not move while keys are touched.
+        a.advance_floor(1_000_000);
+        assert_eq!(a.get(5), 1.0);
+        a.clear();
+        a.advance_floor(1_000_000);
+        let before = a.capacity();
+        // Keys near the new floor stay dense: capacity should not balloon.
+        for k in 1_000_000..1_000_050u64 {
+            a.add(k, 1.0);
+        }
+        assert!(a.capacity() <= before.max(64));
+        assert_eq!(a.len(), 50);
+        assert_eq!(a.get(1_000_025), 1.0);
+        // Keys *below* the floor still work via the spill table.
+        a.add(3, 9.0);
+        assert_eq!(a.get(3), 9.0);
+        assert_eq!(a.len(), 51);
+    }
+
+    #[test]
+    fn accumulate_matches_get_then_add() {
+        // The fused upsert must agree with the two-step idiom in every
+        // state: fresh, live-positive, zeroed, admit and no-admit.
+        let mut fused = ScoreAccumulator::new();
+        let mut twostep = ScoreAccumulator::new();
+        let script: &[(u64, f64, bool)] = &[
+            (5, 1.0, true),
+            (5, 0.5, false),
+            (6, 2.0, false),
+            (6, 2.0, true),
+            (u64::MAX - 3, 1.5, true),
+            (u64::MAX - 3, 1.5, false),
+        ];
+        for &(key, delta, admit) in script {
+            let got = fused.accumulate(key, delta, admit);
+            let current = twostep.get(key);
+            let want = if current > 0.0 {
+                Accumulated::Updated(twostep.add(key, delta))
+            } else if admit {
+                Accumulated::Admitted(twostep.add(key, delta))
+            } else {
+                Accumulated::Skipped
+            };
+            assert_eq!(got, want, "key {key} delta {delta} admit {admit}");
+            assert_eq!(fused.get(key), twostep.get(key));
+        }
+        // Zeroed slots re-admit (and only with admit_new).
+        fused.zero(5);
+        assert_eq!(fused.accumulate(5, 1.0, false), Accumulated::Skipped);
+        assert_eq!(fused.accumulate(5, 1.0, true), Accumulated::Admitted(1.0));
+    }
+
+    #[test]
+    fn floor_never_moves_backwards() {
+        let mut a = ScoreAccumulator::new();
+        a.advance_floor(100);
+        a.advance_floor(50);
+        a.add(100, 1.0);
+        assert_eq!(a.get(100), 1.0);
     }
 }

@@ -268,10 +268,7 @@ mod tests {
         b.push_back(4);
         b.push_back(5); // wraps
         assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
-        assert_eq!(
-            b.iter_rev().copied().collect::<Vec<_>>(),
-            vec![5, 4, 3, 2]
-        );
+        assert_eq!(b.iter_rev().copied().collect::<Vec<_>>(), vec![5, 4, 3, 2]);
     }
 
     #[test]

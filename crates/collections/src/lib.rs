@@ -4,15 +4,24 @@
 //! Section 6.2 of the paper names three implementation ingredients, all
 //! built here from scratch:
 //!
-//! * [`CircularBuffer`] — posting-list storage that doubles when full and
-//!   halves when occupancy drops below ¼, with O(1) truncation from the
-//!   old end (time filtering);
+//! * [`PostingBlock`] — flat posting-list blocks of packed 32-byte
+//!   entries in one allocation, with O(1) truncation from the old end
+//!   (time filtering) and O(log n) horizon expiry for time-ordered
+//!   lists: the cache-dense layout candidate generation scans (chosen
+//!   over fully-columnar splits by measurement — see [`posting`]);
+//! * [`CircularBuffer`] — general ring storage that doubles when full and
+//!   halves when occupancy drops below ¼ (used by the generalized-decay
+//!   join, whose entries are model-specific);
 //! * [`LinkedHashMap`] — a hash map threaded with an insertion-order list,
 //!   backing the residual direct index `R` and the `Q` array, so that
 //!   expired vectors can be pruned from the front in amortised O(1);
 //! * [`DecayedMaxVec`] — the lazily-decayed per-dimension running maximum
 //!   `m̂λ` (exact for uniform exponential decay), plus the plain running
-//!   maximum [`MaxVector`] `m` used by the AP-family bounds.
+//!   maximum [`MaxVector`] `m` used by the AP-family bounds;
+//! * [`ScoreAccumulator`] — the candidate score array `C[ι(y)]`: a dense,
+//!   epoch-stamped sliding window over live vector ids with O(1) reset
+//!   (no hashing, no per-query sweep) and a spill table for arbitrary
+//!   keys.
 //!
 //! Extensions beyond the paper's inventory:
 //!
@@ -25,14 +34,18 @@
 pub mod accumulator;
 pub mod circular;
 pub mod decayed_max;
+pub mod hash;
 pub mod linked_hash;
 pub mod max_vector;
+pub mod posting;
 pub mod varint;
 pub mod windowed_max;
 
-pub use accumulator::ScoreAccumulator;
+pub use accumulator::{Accumulated, ScoreAccumulator};
 pub use circular::CircularBuffer;
 pub use decayed_max::DecayedMaxVec;
+pub use hash::{FxBuildHasher, FxHasher};
 pub use linked_hash::LinkedHashMap;
 pub use max_vector::MaxVector;
+pub use posting::{PackedPosting, PostingBlock};
 pub use windowed_max::WindowedMaxVec;

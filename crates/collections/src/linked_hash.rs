@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use crate::hash::FxBuildHasher;
+
 const NIL: u32 = u32::MAX;
 
 #[derive(Clone, Debug)]
@@ -26,7 +28,7 @@ struct Node<K, V> {
 #[derive(Clone, Debug)]
 pub struct LinkedHashMap<K, V> {
     slab: Vec<Node<K, V>>,
-    index: HashMap<K, u32>,
+    index: HashMap<K, u32, FxBuildHasher>,
     head: u32,
     tail: u32,
     free: Vec<u32>,
@@ -37,7 +39,7 @@ impl<K: Hash + Eq + Copy, V> LinkedHashMap<K, V> {
     pub fn new() -> Self {
         LinkedHashMap {
             slab: Vec::new(),
-            index: HashMap::new(),
+            index: HashMap::default(),
             head: NIL,
             tail: NIL,
             free: Vec::new(),

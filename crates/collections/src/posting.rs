@@ -1,0 +1,340 @@
+//! Flat posting-list blocks with O(1) front truncation.
+//!
+//! A posting list stores, per entry, the L2AP triple `(ι(y), y_j, ‖y′_j‖)`
+//! plus the owning vector's arrival time — [`PackedPosting`], 32 bytes.
+//! Entries live in one contiguous buffer with a `start` cursor: the live
+//! region is always a plain slice, so candidate generation is a flat,
+//! branch-light walk with none of the ring-buffer wraparound masking the
+//! previous `CircularBuffer<StreamEntry>` layout paid per access, and the
+//! backward time-truncation of §6.2 becomes a binary search on the
+//! (non-decreasing) packed time field plus an O(1) front cut.
+//!
+//! Layout was chosen by measurement, not doctrine. Two columnar variants
+//! were tried first — four separate arrays, then a time column plus a
+//! packed scoring triple. Splitting costs every append several dirtied
+//! cache lines and several bounds checks (and, with per-column `Vec`s,
+//! four mallocs per list), which doubled insert time on the fig5
+//! workload; the scans gained nothing measurable because scoring reads
+//! every field of each admitted entry anyway, and at 32 bytes two entries
+//! share a cache line. The packed layout keeps appends at ring-buffer
+//! cost while retaining the flat-scan and binary-expiry wins.
+//!
+//! The storage is compacted in place (amortised O(1) per entry) once the
+//! dead prefix dominates, and capacity follows the paper's occupancy rule
+//! with deep hysteresis: it is released only when the live region falls
+//! far below the allocation, so a list whose occupancy is stable — the
+//! steady state — performs zero heap allocations.
+
+/// Initial per-list capacity (entries); one 256-byte allocation.
+const FIRST_CAP: usize = 8;
+
+/// One packed posting entry: the L2AP triple plus the arrival time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PackedPosting {
+    /// Reference to the indexed vector.
+    pub id: u64,
+    /// The coordinate value `y_j`.
+    pub weight: f64,
+    /// `‖y′_j‖` — norm of the prefix strictly before this coordinate.
+    pub prefix_norm: f64,
+    /// Arrival time of the owning vector, in seconds.
+    pub t: f64,
+}
+
+/// A flat posting list (single allocation) with O(1) front truncation.
+#[derive(Clone, Debug, Default)]
+pub struct PostingBlock {
+    buf: Vec<PackedPosting>,
+    /// Index of the first live entry; everything before it is dead.
+    start: usize,
+}
+
+impl PostingBlock {
+    /// Creates an empty block (no allocation until the first push).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether the block has no live entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.len() == self.start
+    }
+
+    /// Allocated entry capacity (for memory accounting).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.buf.capacity() * std::mem::size_of::<PackedPosting>()) as u64
+    }
+
+    /// The live entries, oldest first.
+    #[inline]
+    pub fn postings(&self) -> &[PackedPosting] {
+        &self.buf[self.start..]
+    }
+
+    /// Appends an entry at the new end.
+    #[inline]
+    pub fn push(&mut self, id: u64, weight: f64, prefix_norm: f64, t: f64) {
+        if self.buf.len() == self.buf.capacity() {
+            self.reserve_more();
+        }
+        self.buf.push(PackedPosting {
+            id,
+            weight,
+            prefix_norm,
+            t,
+        });
+    }
+
+    /// Growth is explicit (not `Vec`'s) so a dead prefix is compacted
+    /// away before any reallocation, the first allocation is
+    /// [`FIRST_CAP`] entries rather than `Vec`'s minimum, and the
+    /// compaction/shrink policy stays in one place.
+    #[cold]
+    fn reserve_more(&mut self) {
+        if self.start > 0 {
+            self.compact();
+            if self.buf.len() < self.buf.capacity() {
+                return; // Compaction made room; no growth needed.
+            }
+        }
+        let target = (self.buf.capacity() * 2).max(FIRST_CAP);
+        self.buf.reserve_exact(target - self.buf.len());
+    }
+
+    /// Drops the `n` oldest live entries in O(1) (amortised).
+    pub fn truncate_front(&mut self, n: usize) {
+        self.start += n.min(self.len());
+        self.maybe_compact();
+    }
+
+    /// Drops every live entry whose time is `< cutoff`, assuming times
+    /// are non-decreasing (the time-ordered lists of STR-INV / STR-L2),
+    /// and returns how many were dropped. O(log n) search + O(1)
+    /// truncation.
+    pub fn expire_before(&mut self, cutoff: f64) -> usize {
+        let live = self.postings();
+        if live.first().is_none_or(|e| e.t >= cutoff) {
+            return 0; // Nothing expired: the common steady-state case.
+        }
+        let n = live.partition_point(|e| e.t < cutoff);
+        self.truncate_front(n);
+        n
+    }
+
+    /// Keeps only the entries for which `keep` returns `true`, preserving
+    /// order, in one forward compacting pass (the STR-L2AP scan, whose
+    /// lists lose time order after re-indexing). Returns the number of
+    /// removed entries.
+    pub fn retain<F: FnMut(u64, f64, f64, f64) -> bool>(&mut self, mut keep: F) -> usize {
+        let mut w = 0;
+        for r in self.start..self.buf.len() {
+            let e = self.buf[r];
+            if keep(e.id, e.weight, e.prefix_norm, e.t) {
+                self.buf[w] = e;
+                w += 1;
+            }
+        }
+        // Only live entries count as removed; the dead prefix was already
+        // truncated away and is silently compacted over here.
+        let removed = (self.buf.len() - self.start) - w;
+        self.buf.truncate(w);
+        self.start = 0;
+        self.maybe_shrink();
+        removed
+    }
+
+    /// Removes all entries; keeps the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// Moves the live region to the front (capacity untouched).
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.copy_within(self.start.., 0);
+            let live = self.buf.len() - self.start;
+            self.buf.truncate(live);
+            self.start = 0;
+        }
+    }
+
+    /// Compacts the dead prefix away once it outweighs the live region
+    /// (amortised O(1); capacity untouched unless occupancy collapsed).
+    fn maybe_compact(&mut self) {
+        let live = self.len();
+        if self.start >= live.max(32) {
+            self.compact();
+            self.maybe_shrink();
+        }
+    }
+
+    /// Occupancy-based capacity release with deep hysteresis: shrink only
+    /// when the live region falls below ⅛ of a non-trivial allocation,
+    /// and leave 4× headroom. A list oscillating around a steady
+    /// occupancy therefore never sheds-and-regrows capacity (that cycle
+    /// is a realloc per swing — the exact thing the zero-allocation
+    /// steady state forbids), while a genuine collapse — a horizon shift,
+    /// a burst draining away — still returns memory.
+    fn maybe_shrink(&mut self) {
+        let cap = self.buf.capacity();
+        let live = self.buf.len();
+        if cap > 64 && live * 8 < cap {
+            self.buf.shrink_to((live * 4).max(FIRST_CAP));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: usize) -> PostingBlock {
+        let mut b = PostingBlock::new();
+        for i in 0..n {
+            b.push(i as u64, i as f64 * 0.5, i as f64 * 0.25, i as f64);
+        }
+        b
+    }
+
+    fn ids(b: &PostingBlock) -> Vec<u64> {
+        b.postings().iter().map(|p| p.id).collect()
+    }
+
+    fn times(b: &PostingBlock) -> Vec<f64> {
+        b.postings().iter().map(|p| p.t).collect()
+    }
+
+    #[test]
+    fn push_exposes_packed_entries() {
+        let b = filled(4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(ids(&b), vec![0, 1, 2, 3]);
+        assert_eq!(times(&b), vec![0.0, 1.0, 2.0, 3.0]);
+        let p = b.postings()[3];
+        assert_eq!((p.id, p.weight, p.prefix_norm, p.t), (3, 1.5, 0.75, 3.0));
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let b = filled(1000);
+        assert_eq!(b.len(), 1000);
+        for i in [0usize, 7, 8, 63, 64, 511, 999] {
+            let p = b.postings()[i];
+            assert_eq!(p.id, i as u64);
+            assert_eq!(p.weight, i as f64 * 0.5);
+            assert_eq!(p.prefix_norm, i as f64 * 0.25);
+            assert_eq!(p.t, i as f64);
+        }
+    }
+
+    #[test]
+    fn truncate_front_drops_oldest() {
+        let mut b = filled(8);
+        b.truncate_front(3);
+        assert_eq!(ids(&b), vec![3, 4, 5, 6, 7]);
+        b.truncate_front(100);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn expire_before_uses_time_order() {
+        let mut b = filled(10);
+        assert_eq!(b.expire_before(4.0), 4);
+        assert_eq!(ids(&b), vec![4, 5, 6, 7, 8, 9]);
+        assert_eq!(b.expire_before(0.0), 0);
+        assert_eq!(b.expire_before(100.0), 6);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn retain_preserves_order_and_reports_removed() {
+        let mut b = filled(10);
+        let removed = b.retain(|id, _, _, _| id % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(ids(&b), vec![0, 2, 4, 6, 8]);
+        assert_eq!(times(&b), vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn retain_after_truncation_sees_only_live() {
+        let mut b = filled(10);
+        b.truncate_front(4);
+        let removed = b.retain(|id, _, _, _| id != 7);
+        assert_eq!(removed, 1);
+        assert_eq!(ids(&b), vec![4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn retain_passes_fields_in_declared_order() {
+        let mut b = PostingBlock::new();
+        b.push(42, 0.5, 0.25, 9.0);
+        b.retain(|id, w, pn, t| {
+            assert_eq!(id, 42);
+            assert_eq!(w, 0.5);
+            assert_eq!(pn, 0.25);
+            assert_eq!(t, 9.0);
+            true
+        });
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn compaction_preserves_content_and_shrinks_on_collapse() {
+        let mut b = filled(1000);
+        let cap = b.capacity();
+        for _ in 0..996 {
+            b.truncate_front(1);
+        }
+        assert_eq!(ids(&b), vec![996, 997, 998, 999]);
+        // Occupancy collapsed far below the allocation: the occupancy
+        // rule must release capacity (the paper's §6.2 discipline).
+        assert!(b.capacity() < cap, "deep truncation must shrink");
+    }
+
+    #[test]
+    fn steady_state_interleave_is_allocation_stable() {
+        // Stable occupancy: capacity settles and never changes again.
+        let mut b = PostingBlock::new();
+        for i in 0..64u64 {
+            b.push(i, 0.0, 0.0, i as f64);
+        }
+        let mut cap = 0;
+        for i in 64..4096u64 {
+            b.push(i, 0.0, 0.0, i as f64);
+            b.truncate_front(1);
+            if i == 1000 {
+                cap = b.capacity();
+            }
+            if i > 1000 {
+                assert_eq!(b.capacity(), cap, "steady state must not realloc");
+            }
+        }
+        assert_eq!(b.len(), 64);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = filled(100);
+        let cap = b.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+        // And the block is fully reusable after a clear.
+        b.push(5, 1.0, 2.0, 3.0);
+        assert_eq!(ids(&b), vec![5]);
+        assert_eq!(b.postings()[0].weight, 1.0);
+    }
+}

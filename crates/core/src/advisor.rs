@@ -248,13 +248,7 @@ mod tests {
         // every Δt multiple of `gap`, so output volume responds to both
         // parameters smoothly.
         (0..n)
-            .map(|i| {
-                StreamRecord::new(
-                    i,
-                    Timestamp::new(i as f64 * gap),
-                    unit_vector(&[(7, 1.0)]),
-                )
-            })
+            .map(|i| StreamRecord::new(i, Timestamp::new(i as f64 * gap), unit_vector(&[(7, 1.0)])))
             .collect()
     }
 

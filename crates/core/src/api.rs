@@ -183,7 +183,14 @@ mod tests {
                 .name(),
             "MB-INV"
         );
-        assert_eq!(JoinBuilder::new(0.5, 0.1).minibatch().streaming().build().name(), "STR-L2");
+        assert_eq!(
+            JoinBuilder::new(0.5, 0.1)
+                .minibatch()
+                .streaming()
+                .build()
+                .name(),
+            "STR-L2"
+        );
     }
 
     #[test]

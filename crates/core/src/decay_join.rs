@@ -22,7 +22,7 @@
 use sssj_collections::{CircularBuffer, LinkedHashMap, ScoreAccumulator, WindowedMaxVec};
 use sssj_metrics::JoinStats;
 use sssj_types::{
-    dot, prefix_norms, DecayModel, SimilarPair, SparseVector, StreamRecord, VectorId, Weight,
+    dot, prefix_norms_into, DecayModel, SimilarPair, SparseVector, StreamRecord, VectorId, Weight,
 };
 
 use crate::algorithm::StreamJoin;
@@ -77,6 +77,8 @@ pub struct DecayStreaming {
     acc: ScoreAccumulator,
     live_postings: u64,
     stats: JoinStats,
+    /// Reusable prefix-norm scratch (steady-state allocation avoidance).
+    scratch_norms: Vec<f64>,
     scratch_hits: Vec<(VectorId, f64)>,
 }
 
@@ -114,6 +116,7 @@ impl DecayStreaming {
             acc: ScoreAccumulator::new(),
             live_postings: 0,
             stats: JoinStats::new(),
+            scratch_norms: Vec::new(),
             scratch_hits: Vec::new(),
         }
     }
@@ -147,11 +150,12 @@ impl DecayStreaming {
     /// time-truncating posting-list traversal (the lists are always
     /// time-ordered — no re-indexing exists without AP bounds).
     fn candidate_generation(&mut self, x: &SparseVector, now: f64) {
-        self.acc.clear();
+        // The accumulator was cleared by `process` (before the dense
+        // window slid); no further reset is needed here.
         let theta_slack = self.theta - PRUNE_EPS;
         let tau = self.tau;
         let model = self.model;
-        let xnorms = prefix_norms(x);
+        prefix_norms_into(x.weights(), &mut self.scratch_norms);
 
         // rs1w = Σ_j x_j · max over the window of coordinate j, shrunk as
         // the scan passes each dimension (mirrors rs1 of Algorithm 7).
@@ -163,6 +167,7 @@ impl DecayStreaming {
         let mut rs2: f64 = 1.0;
 
         let lists = &mut self.lists;
+        let xnorms = &self.scratch_norms;
         let acc = &mut self.acc;
         let stats = &mut self.stats;
         let live = &mut self.live_postings;
@@ -271,7 +276,7 @@ impl DecayStreaming {
             // always cross the boundary. Nothing can pair with x.
             return;
         };
-        let norms = prefix_norms(x);
+        prefix_norms_into(x.weights(), &mut self.scratch_norms);
         for (pos, (dim, w)) in x.iter().enumerate().skip(p) {
             let d = dim as usize;
             if d >= self.lists.len() {
@@ -280,7 +285,7 @@ impl DecayStreaming {
             self.lists[d].push_back(Entry {
                 id: record.id,
                 weight: w,
-                prefix_norm: norms[pos],
+                prefix_norm: self.scratch_norms[pos],
                 t,
             });
             self.live_postings += 1;
@@ -297,6 +302,13 @@ impl StreamJoin for DecayStreaming {
     fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
         let now = record.t.seconds();
         self.prune_residuals(now);
+        // Slide the accumulator's dense window to the oldest live id (the
+        // floor only moves while the accumulator is empty, so clear the
+        // previous record's touched set first).
+        self.acc.clear();
+        if let Some((&oldest, _)) = self.residual.front() {
+            self.acc.advance_floor(oldest);
+        }
         self.candidate_generation(&record.vector, now);
         self.candidate_verification(record, out);
         self.insert(record);

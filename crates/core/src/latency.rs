@@ -34,10 +34,7 @@ pub struct DelayStats {
 /// Pairs flushed by `finish` are attributed to the last record's
 /// timestamp (the earliest moment the flush could have happened).
 pub fn measure_report_delay(join: &mut dyn StreamJoin, records: &[StreamRecord]) -> DelayStats {
-    let arrival: HashMap<VectorId, f64> = records
-        .iter()
-        .map(|r| (r.id, r.t.seconds()))
-        .collect();
+    let arrival: HashMap<VectorId, f64> = records.iter().map(|r| (r.id, r.t.seconds())).collect();
     let mut delays: Vec<f64> = Vec::new();
     let mut out = Vec::new();
     let mut observe = |out: &mut Vec<sssj_types::SimilarPair>, now: f64| {

@@ -4,7 +4,7 @@ use sssj_collections::MaxVector;
 use sssj_metrics::JoinStats;
 use sssj_types::{Decay, SimilarPair, StreamRecord};
 
-use sssj_index::{BatchIndex, IndexKind};
+use sssj_index::{BatchIndex, BatchScratch, IndexKind, Match};
 
 use crate::algorithm::StreamJoin;
 use crate::config::SssjConfig;
@@ -41,6 +41,10 @@ pub struct MiniBatch {
     cur_m: MaxVector,
     live_postings: u64,
     stats: JoinStats,
+    /// Recycled allocations of the previous window's batch index.
+    scratch: BatchScratch,
+    /// Reusable per-record hit buffer.
+    hits: Vec<Match>,
 }
 
 impl MiniBatch {
@@ -61,6 +65,8 @@ impl MiniBatch {
             cur_m: MaxVector::new(),
             live_postings: 0,
             stats: JoinStats::new(),
+            scratch: BatchScratch::default(),
+            hits: Vec::new(),
         }
     }
 
@@ -107,14 +113,21 @@ impl MiniBatch {
         let mut m = self.prev_m.clone();
         m.merge(&self.cur_m);
 
-        let mut index = BatchIndex::with_max_vector(theta, self.kind.policy(), m);
-        let mut hits = Vec::new();
+        // The per-window index reuses the previous window's allocations
+        // (posting blocks, metadata map, accumulator, norm scratch).
+        let mut index = BatchIndex::with_scratch(
+            theta,
+            self.kind.policy(),
+            m,
+            std::mem::take(&mut self.scratch),
+        );
+        let hits = &mut self.hits;
         // IndConstr over the previous window: query-then-insert finds all
         // pairs within it.
         for r in &self.prev {
             hits.clear();
-            index.query_into(r, &mut hits);
-            for h in &hits {
+            index.query_into(r, hits);
+            for h in hits.iter() {
                 let sim = self.decay.apply(h.sim, h.dt);
                 if sim >= theta {
                     self.stats.pairs_output += 1;
@@ -127,8 +140,8 @@ impl MiniBatch {
         // Query phase: the current window probes the previous one.
         for r in &self.cur {
             hits.clear();
-            index.query_into(r, &mut hits);
-            for h in &hits {
+            index.query_into(r, hits);
+            for h in hits.iter() {
                 // ApplyDecay: only now is the time-dependent threshold
                 // enforced; the batch index worked on plain similarity.
                 let sim = self.decay.apply(h.sim, h.dt);
@@ -139,6 +152,8 @@ impl MiniBatch {
             }
         }
         let mut batch_stats = index.stats();
+        // Hand the window's allocations back for the next rebuild.
+        self.scratch = index.into_scratch();
         // The batch engine counted its own outputs; ours are decay-
         // filtered and already tallied above.
         batch_stats.pairs_output = 0;
@@ -278,10 +293,7 @@ mod tests {
     #[test]
     fn zero_lambda_degenerates_to_batch_join() {
         let config = SssjConfig::new(0.9, 0.0);
-        let stream = vec![
-            rec(0, 0.0, &[(1, 1.0)]),
-            rec(1, 1e9, &[(1, 1.0)]),
-        ];
+        let stream = vec![rec(0, 0.0, &[(1, 1.0)]), rec(1, 1e9, &[(1, 1.0)])];
         assert_eq!(run(IndexKind::L2, config, &stream), vec![(0, 1)]);
     }
 
@@ -306,7 +318,11 @@ mod tests {
         let stream: Vec<_> = (0..20).map(|i| rec(i, i as f64, &[(1, 1.0)])).collect();
         let mut join = MiniBatch::new(config, IndexKind::L2);
         run_stream(&mut join, &stream);
-        assert!(join.stats().windows >= 19, "windows={}", join.stats().windows);
+        assert!(
+            join.stats().windows >= 19,
+            "windows={}",
+            join.stats().windows
+        );
     }
 
     #[test]

@@ -28,11 +28,7 @@ pub struct PipelineOutput {
 /// thread, with a bounded queue of `queue` records between the stages.
 ///
 /// Panics in the producer propagate to the caller.
-pub fn run_threaded<I>(
-    join: &mut dyn StreamJoin,
-    source: I,
-    queue: usize,
-) -> PipelineOutput
+pub fn run_threaded<I>(join: &mut dyn StreamJoin, source: I, queue: usize) -> PipelineOutput
 where
     I: IntoIterator<Item = StreamRecord>,
     I::IntoIter: Send,
@@ -116,8 +112,11 @@ mod tests {
 
     #[test]
     fn empty_source_is_fine() {
-        let mut join =
-            build_algorithm(Framework::Streaming, IndexKind::L2, SssjConfig::new(0.5, 0.1));
+        let mut join = build_algorithm(
+            Framework::Streaming,
+            IndexKind::L2,
+            SssjConfig::new(0.5, 0.1),
+        );
         let out = run_threaded(join.as_mut(), Vec::new(), 4);
         assert!(out.pairs.is_empty());
     }
@@ -125,8 +124,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "queue")]
     fn zero_queue_rejected() {
-        let mut join =
-            build_algorithm(Framework::Streaming, IndexKind::L2, SssjConfig::new(0.5, 0.1));
+        let mut join = build_algorithm(
+            Framework::Streaming,
+            IndexKind::L2,
+            SssjConfig::new(0.5, 0.1),
+        );
         run_threaded(join.as_mut(), Vec::new(), 0);
     }
 }

@@ -341,7 +341,9 @@ pub fn read_snapshot<R: Read>(mut r: R) -> Result<RecoverableJoin, SnapshotError
 
     let count = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
     if count > u32::MAX as u64 {
-        return Err(SnapshotError::Corrupt(format!("absurd record count {count}")));
+        return Err(SnapshotError::Corrupt(format!(
+            "absurd record count {count}"
+        )));
     }
     let mut suppressed = Vec::new();
     let mut prev_t = f64::NEG_INFINITY;
@@ -460,7 +462,9 @@ fn read_compressed_body<R: Read>(
 
     let count = c.u64()?;
     if count > u32::MAX as u64 {
-        return Err(SnapshotError::Corrupt(format!("absurd record count {count}")));
+        return Err(SnapshotError::Corrupt(format!(
+            "absurd record count {count}"
+        )));
     }
     let mut suppressed = Vec::new();
     let mut prev_id = 0u64;
@@ -577,7 +581,10 @@ mod tests {
         let mut j = RecoverableJoin::new(SssjConfig::new(0.6, 0.05), IndexKind::L2ap);
         let mut out = Vec::new();
         for i in 0..10 {
-            j.process(&rec(i, i as f64, &[(2 * i as u32, 1.0), (100, 0.4)]), &mut out);
+            j.process(
+                &rec(i, i as f64, &[(2 * i as u32, 1.0), (100, 0.4)]),
+                &mut out,
+            );
         }
         let mut bytes = Vec::new();
         j.write_snapshot_compressed(&mut bytes).unwrap();

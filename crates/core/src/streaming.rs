@@ -1,11 +1,42 @@
 //! The STR framework (Algorithms 5–8): a single streaming index with time
 //! filtering built into every phase.
+//!
+//! # Hot-path layout
+//!
+//! The per-record loop — candidate generation over posting lists, then
+//! verification — is the paper's headline cost (Figs. 3–5), so this
+//! implementation keeps it flat and allocation-free at steady state:
+//!
+//! * posting lists are flat single-allocation [`PostingBlock`]s of
+//!   packed 32-byte entries: candidate generation is one contiguous
+//!   slice walk (no ring-buffer masking), and time truncation on
+//!   time-ordered lists is a binary search on the packed time field plus
+//!   an O(1) front cut instead of an entry-by-entry backward scan (the
+//!   layout was chosen over fully-columnar splits by measurement — see
+//!   `sssj_collections::posting`);
+//! * the candidate score array is a dense, epoch-stamped
+//!   [`ScoreAccumulator`] sliding over the live id window — O(1) reset,
+//!   no hashing, one fused probe per entry
+//!   ([`ScoreAccumulator::accumulate`]);
+//! * the decay factor `e^{-λΔt}` is read from a quantized upper-bound
+//!   [`DecayTable`] inside all *pruning* tests (safe: a larger factor
+//!   prunes less) and computed exactly only for the final similarity of
+//!   surviving candidates;
+//! * the index-construction bounds are replayed in squared space (no
+//!   per-coordinate square root), and the stored `‖y′_j‖` prefix norms
+//!   continue that recurrence so only indexed suffixes pay a `sqrt`;
+//! * residual vectors live in pooled [`Residual`] buffers recycled as
+//!   vectors expire, the residual map hashes with the fx construction,
+//!   and the hit buffer is owned by the join — steady-state processing
+//!   performs **zero** heap allocations per record on the STR-L2 path
+//!   (asserted by `tests/zero_alloc.rs`).
 
-use sssj_collections::{CircularBuffer, DecayedMaxVec, LinkedHashMap, MaxVector, ScoreAccumulator};
+use sssj_collections::{
+    Accumulated, DecayedMaxVec, LinkedHashMap, MaxVector, PostingBlock, ScoreAccumulator,
+};
 use sssj_metrics::JoinStats;
 use sssj_types::{
-    dot, prefix_norms, Decay, SimilarPair, SparseVector, StreamRecord, VectorId, VectorSummary,
-    Weight,
+    dot_sorted, Decay, DecayTable, SimilarPair, SparseVector, StreamRecord, VectorId, VectorSummary,
 };
 
 use sssj_index::{BoundPolicy, IndexKind};
@@ -18,23 +49,63 @@ use crate::config::SssjConfig;
 /// false negative; the final exact check still uses the true `θ`.
 const PRUNE_EPS: f64 = 1e-12;
 
-/// A streaming posting entry: the L2AP triple plus the arrival time that
-/// time filtering keys on.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-struct StreamEntry {
-    id: VectorId,
-    weight: Weight,
-    /// ‖y′_j‖ — prefix norm strictly before this coordinate.
-    prefix_norm: Weight,
-    /// Arrival time of the owning vector, in seconds.
-    t: f64,
+/// A pooled residual vector: the un-indexed prefix `R[ι(y)]`, stored as
+/// raw dimension/weight columns so expired vectors hand their buffers
+/// back for reuse instead of freeing them.
+#[derive(Clone, Debug, Default)]
+struct Residual {
+    dims: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl Residual {
+    #[inline]
+    fn nnz(&self) -> usize {
+        self.dims.len()
+    }
+
+    #[inline]
+    fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    #[inline]
+    fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Refills this buffer with the first `len` coordinates of `x`.
+    fn assign_prefix(&mut self, x: &SparseVector, len: usize) {
+        self.dims.clear();
+        self.weights.clear();
+        self.dims.extend_from_slice(&x.dims()[..len]);
+        self.weights.extend_from_slice(&x.weights()[..len]);
+    }
+
+    /// The weight at `dim`, or 0.0 when absent.
+    fn get(&self, dim: u32) -> f64 {
+        match self.dims.binary_search(&dim) {
+            Ok(i) => self.weights[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Keeps only the first `len` coordinates.
+    fn truncate(&mut self, len: usize) {
+        self.dims.truncate(len);
+        self.weights.truncate(len);
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        (self.dims.capacity() * 4 + self.weights.capacity() * 8) as u64
+    }
 }
 
 /// Per-vector state kept while the vector is inside the horizon: the
 /// residual `R[ι(y)]`, the `Q[ι(y)]` bound, summaries and the timestamp.
 #[derive(Clone, Debug, Default)]
 struct StreamMeta {
-    residual: SparseVector,
+    residual: Residual,
     residual_summary: VectorSummary,
     summary: VectorSummary,
     q: f64,
@@ -49,25 +120,29 @@ struct StreamMeta {
 /// then inserted. Time filtering works differently per variant:
 ///
 /// * **STR-INV / STR-L2** — posting lists stay time-ordered, so candidate
-///   generation scans them *backwards* from the newest entry, stops at the
-///   first entry beyond the horizon and truncates everything older in
-///   O(1) (§6.2).
+///   generation first drops the expired prefix (binary search on the time
+///   field + O(1) truncation, §6.2) and then scans only live entries —
+///   a flat walk over packed entries.
 /// * **STR-L2AP** — the `b1` bound consults the running max vector `m`;
 ///   when a new arrival raises `m`, the prefix-filtering invariant breaks
 ///   and affected residuals are *re-indexed* (§5.3), which appends
-///   out-of-order entries. Lists are therefore scanned *forwards*,
-///   dropping expired entries as they are met.
+///   out-of-order entries. Lists are therefore scanned *forwards* with an
+///   in-place compaction, dropping expired entries as they are met.
 pub struct Streaming {
     config: SssjConfig,
     kind: IndexKind,
     policy: BoundPolicy,
     decay: Decay,
+    /// Quantized upper bounds on the decay factor (pruning only).
+    table: DecayTable,
     tau: f64,
     /// Whether posting lists are guaranteed time-ordered (no re-indexing).
     time_ordered: bool,
-    lists: Vec<CircularBuffer<StreamEntry>>,
+    lists: Vec<PostingBlock>,
     /// Residual direct index `R` + `Q`, in arrival order for O(1) pruning.
     residual: LinkedHashMap<VectorId, StreamMeta>,
+    /// Recycled residual buffers from expired vectors.
+    pool: Vec<Residual>,
     /// Running max `m` over the stream so far (AP bounds only).
     m: MaxVector,
     /// Decayed max `m̂λ` over indexed vectors (AP bounds only).
@@ -77,6 +152,7 @@ pub struct Streaming {
     acc: ScoreAccumulator,
     live_postings: u64,
     stats: JoinStats,
+    /// Scratch: verified hits awaiting output.
     scratch_hits: Vec<(VectorId, f64, f64)>,
 }
 
@@ -84,15 +160,19 @@ impl Streaming {
     /// Creates an STR join with the given index variant.
     pub fn new(config: SssjConfig, kind: IndexKind) -> Self {
         let policy = kind.policy();
+        let decay = config.decay();
+        let tau = config.tau();
         Streaming {
             config,
             kind,
             policy,
-            decay: config.decay(),
-            tau: config.tau(),
+            decay,
+            table: DecayTable::new(decay, tau),
+            tau,
             time_ordered: !policy.ap,
             lists: Vec::new(),
             residual: LinkedHashMap::new(),
+            pool: Vec::new(),
             m: MaxVector::new(),
             mhat_lambda: DecayedMaxVec::new(config.lambda),
             residual_inverted: Vec::new(),
@@ -116,11 +196,13 @@ impl Streaming {
     /// Estimated heap footprint of the live join state, in bytes.
     ///
     /// Counts posting-list *capacities* (what is actually allocated, not
-    /// just occupied), the residual direct index `R` with its sparse
-    /// vectors, the `m`/`m̂λ` max vectors, the re-indexing inverted index
-    /// and the scratch structures. The per-entry overheads of the hash
-    /// map are approximated by a constant, so treat the result as an
-    /// estimate good to ~10 %, not an allocator-exact figure.
+    /// just occupied), the residual direct index `R` with its pooled
+    /// residual buffers (free-pool included — expired buffers are
+    /// retained for reuse, not released), the `m`/`m̂λ` max vectors, the
+    /// re-indexing inverted index, the decay table and the scratch
+    /// structures. The per-entry overheads of the hash map are
+    /// approximated by a constant, so treat the result as an estimate
+    /// good to ~10 %, not an allocator-exact figure.
     ///
     /// Cost is O(live state) — sample it periodically (the `harness
     /// memory` experiment samples every 64 records), not per record.
@@ -130,18 +212,13 @@ impl Streaming {
         // links, one hash slot, allocator rounding).
         const MAP_OVERHEAD: u64 = 48;
         let mut bytes = 0u64;
-        bytes += self
-            .lists
-            .iter()
-            .map(|l| l.capacity() as u64)
-            .sum::<u64>()
-            * size_of::<StreamEntry>() as u64;
-        bytes += self.lists.capacity() as u64 * size_of::<CircularBuffer<StreamEntry>>() as u64;
+        bytes += self.lists.iter().map(PostingBlock::heap_bytes).sum::<u64>();
+        bytes += self.lists.capacity() as u64 * size_of::<PostingBlock>() as u64;
         for (_, meta) in self.residual.iter() {
             bytes += size_of::<StreamMeta>() as u64 + MAP_OVERHEAD;
-            // Residual sparse vector: u32 dim + f64 weight per coordinate.
-            bytes += meta.residual.nnz() as u64 * 12;
+            bytes += meta.residual.heap_bytes();
         }
+        bytes += self.pool.iter().map(Residual::heap_bytes).sum::<u64>();
         bytes += self.m.dims() as u64 * 8;
         bytes += self.mhat_lambda.dims() as u64 * 16;
         bytes += self
@@ -149,18 +226,20 @@ impl Streaming {
             .iter()
             .map(|v| v.capacity() as u64 * 8 + size_of::<Vec<VectorId>>() as u64)
             .sum::<u64>();
-        bytes += self.acc.capacity() as u64 * (8 + 8 + 4);
-        bytes += self.scratch_hits.capacity() as u64
-            * size_of::<(VectorId, f64, f64)>() as u64;
+        bytes += self.acc.heap_bytes();
+        bytes += self.table.heap_bytes();
+        bytes += self.scratch_hits.capacity() as u64 * size_of::<(VectorId, f64, f64)>() as u64;
         bytes
     }
 
     /// Drops residual state for vectors beyond the horizon relative to
-    /// `now`. Posting entries are pruned lazily during scans instead.
+    /// `now`, recycling their buffers. Posting entries are pruned lazily
+    /// during scans instead.
     fn prune_residuals(&mut self, now: f64) {
         while let Some((_, meta)) = self.residual.front() {
             if now - meta.t > self.tau {
-                self.residual.pop_front();
+                let (_, meta) = self.residual.pop_front().expect("front exists");
+                self.pool.push(meta.residual);
             } else {
                 break;
             }
@@ -168,18 +247,24 @@ impl Streaming {
     }
 
     /// Candidate generation (Algorithm 7).
+    ///
+    /// The accumulator was cleared by [`Streaming::query`] (the clear
+    /// must precede the dense-window slide there); this function assumes
+    /// an empty accumulator.
     fn candidate_generation(&mut self, x: &SparseVector, now: f64) {
-        self.acc.clear();
+        debug_assert!(self.acc.is_empty(), "query() clears before generating");
         let theta = self.config.theta;
         let theta_slack = theta - PRUNE_EPS;
         let policy = self.policy;
         let tau = self.tau;
-        let lambda = self.config.lambda;
-        let xnorms = prefix_norms(x);
-
-        let summary = VectorSummary::of(x);
-        let sz1 = if policy.ap && summary.max_weight > 0.0 {
-            theta / summary.max_weight
+        let cutoff = now - tau;
+        let sz1 = if policy.ap {
+            let summary = VectorSummary::of(x);
+            if summary.max_weight > 0.0 {
+                theta / summary.max_weight
+            } else {
+                0.0
+            }
         } else {
             0.0
         };
@@ -194,83 +279,112 @@ impl Streaming {
         let mut rst: f64 = 1.0;
         let mut rs2 = if policy.l2 { 1.0 } else { f64::INFINITY };
 
+        let time_ordered = self.time_ordered;
         let lists = &mut self.lists;
         let residual = &self.residual;
         let acc = &mut self.acc;
         let stats = &mut self.stats;
         let live = &mut self.live_postings;
         let mhat_lambda = &self.mhat_lambda;
+        let table = &self.table;
 
-        for (pos, (dim, xj)) in x.iter().enumerate().rev() {
+        for (dim, xj) in x.iter().rev() {
             if let Some(list) = lists.get_mut(dim as usize) {
-                let xnorm_before = xnorms[pos];
-                let mut process = |e: &StreamEntry, dt: f64| {
-                    if policy.ap {
-                        match residual.get(&e.id) {
-                            Some(meta) => {
-                                let s = &meta.summary;
-                                if (s.nnz as f64) * s.max_weight < sz1 {
-                                    return;
-                                }
-                            }
-                            // Residual metadata is pruned at the same
-                            // horizon as entries; a missing entry means
-                            // the vector just expired.
-                            None => return,
-                        }
-                    }
-                    let df = (-lambda * dt).exp();
-                    let remscore = rs1.min(rs2 * df);
-                    let current = acc.get(e.id);
-                    if current > 0.0 || remscore >= theta_slack {
-                        if current == 0.0 {
-                            stats.candidates += 1;
-                        }
-                        let new = acc.add(e.id, xj * e.weight);
-                        if policy.l2 {
-                            let l2bound = new + xnorm_before * e.prefix_norm * df;
-                            if l2bound < theta_slack {
-                                acc.zero(e.id);
-                            }
-                        }
-                    }
+                // ‖x′_j‖ for the l2bound, recovered from the running
+                // suffix mass instead of a materialised prefix-norm
+                // array: x is unit-normalised, so during this iteration
+                // rst = Σ_{i ≤ pos} w_i² and the prefix before this
+                // coordinate has mass rst − x_j².
+                let xnorm_before = if policy.l2 {
+                    (rst - xj * xj).max(0.0).sqrt()
+                } else {
+                    0.0
                 };
-                if self.time_ordered {
-                    // Backward scan: newest first; stop at the horizon and
-                    // truncate everything older.
-                    let len = list.len();
-                    let mut cut = 0;
-                    for i in (0..len).rev() {
-                        let e = *list.get(i).expect("index in range");
-                        let dt = now - e.t;
-                        if dt > tau {
-                            cut = i + 1;
-                            break;
-                        }
-                        stats.entries_traversed += 1;
-                        process(&e, dt);
+                if time_ordered {
+                    // Time-ordered list: the expired prefix is exactly the
+                    // entries with t < now − τ. Drop it in O(log n) + O(1)
+                    // and scan only live entries, flat and forward.
+                    let pruned = list.expire_before(cutoff);
+                    if pruned > 0 {
+                        stats.entries_pruned += pruned as u64;
+                        *live -= pruned as u64;
                     }
-                    if cut > 0 {
-                        list.truncate_front(cut);
-                        stats.entries_pruned += cut as u64;
-                        *live -= cut as u64;
+                    let postings = list.postings();
+                    stats.entries_traversed += postings.len() as u64;
+                    if policy.l2 {
+                        // STR-L2, the paper's headline path: one flat
+                        // loop, table decay, one accumulator probe per
+                        // entry, no hashing. Newest-first (like the
+                        // seed's backward scan) so first-touch order —
+                        // and thus output order — is preserved; the walk
+                        // is contiguous either way.
+                        for p in postings.iter().rev() {
+                            let df = table.upper(now - p.t);
+                            let admit = rs2 * df >= theta_slack;
+                            let new = match acc.accumulate(p.id, xj * p.weight, admit) {
+                                Accumulated::Updated(new) => new,
+                                Accumulated::Admitted(new) => {
+                                    stats.candidates += 1;
+                                    new
+                                }
+                                Accumulated::Skipped => continue,
+                            };
+                            // Early ℓ2 pruning (Cauchy–Schwarz on the
+                            // unscanned prefixes, decayed).
+                            if new + xnorm_before * p.prefix_norm * df < theta_slack {
+                                acc.zero(p.id);
+                            }
+                        }
+                    } else {
+                        // STR-INV: no pruning bounds — accumulate all.
+                        for p in postings.iter().rev() {
+                            if let Accumulated::Admitted(_) =
+                                acc.accumulate(p.id, xj * p.weight, true)
+                            {
+                                stats.candidates += 1;
+                            }
+                        }
                     }
                 } else {
                     // Forward scan with in-place compaction (out-of-order
                     // lists cannot early-stop).
-                    let removed = list.retain(|e| {
+                    let removed = list.retain(|id, weight, pnorm, t| {
                         // Expired entries still cost a traversal here —
                         // the price of losing time order to re-indexing,
                         // which is why L2AP's traversal count can exceed
                         // INV's at short horizons (Figure 6).
                         stats.entries_traversed += 1;
-                        let dt = now - e.t;
+                        let dt = now - t;
                         if dt > tau {
-                            false
-                        } else {
-                            process(e, dt);
-                            true
+                            return false;
                         }
+                        if policy.ap {
+                            match residual.get(&id) {
+                                Some(meta) => {
+                                    let s = &meta.summary;
+                                    if (s.nnz as f64) * s.max_weight < sz1 {
+                                        return true;
+                                    }
+                                }
+                                // Residual metadata is pruned at the same
+                                // horizon as entries; a missing entry
+                                // means the vector just expired.
+                                None => return true,
+                            }
+                        }
+                        let df = table.upper(dt);
+                        let remscore = rs1.min(rs2 * df);
+                        let current = acc.get(id);
+                        if current > 0.0 || remscore >= theta_slack {
+                            if current == 0.0 {
+                                stats.candidates += 1;
+                            }
+                            let new = acc.add(id, xj * weight);
+                            if policy.l2 && new + xnorm_before * pnorm * df < theta_slack {
+                                acc.zero(id);
+                            }
+                        }
+                        true
                     });
                     stats.entries_pruned += removed as u64;
                     *live -= removed as u64;
@@ -287,6 +401,10 @@ impl Streaming {
     }
 
     /// Candidate verification (Algorithm 8).
+    ///
+    /// Pruning tests use the table's decay *upper bound* (cannot lose a
+    /// pair); only candidates that reach the full similarity pay the
+    /// exact `exp`.
     fn candidate_verification(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
         let theta = self.config.theta;
         let theta_slack = theta - PRUNE_EPS;
@@ -303,21 +421,27 @@ impl Streaming {
             let Some(meta) = self.residual.get(&id) else {
                 continue;
             };
-            let dt = now - meta.t;
-            let df = self.decay.factor(dt.max(0.0));
-            if policy.prunes() && (c + meta.q) * df < theta_slack {
+            let dt = (now - meta.t).max(0.0);
+            let df_up = self.table.upper(dt);
+            if policy.prunes() && (c + meta.q) * df_up < theta_slack {
                 continue;
             }
             if policy.ap {
                 let r = &meta.residual_summary;
-                let ds1 = (c + (sx.max_weight * r.sum).min(r.max_weight * sx.sum)) * df;
-                let sz2 = (c + (sx.nnz.min(r.nnz) as f64) * sx.max_weight * r.max_weight) * df;
+                let ds1 = (c + (sx.max_weight * r.sum).min(r.max_weight * sx.sum)) * df_up;
+                let sz2 = (c + (sx.nnz.min(r.nnz) as f64) * sx.max_weight * r.max_weight) * df_up;
                 if ds1 < theta_slack || sz2 < theta_slack {
                     continue;
                 }
             }
             self.stats.full_sims += 1;
-            let sim = (c + dot(x, &meta.residual)) * df;
+            let dot_res = dot_sorted(
+                x.dims(),
+                x.weights(),
+                meta.residual.dims(),
+                meta.residual.weights(),
+            );
+            let sim = (c + dot_res) * self.decay.factor(dt);
             if sim >= theta {
                 self.scratch_hits.push((id, sim, dt));
             }
@@ -329,51 +453,72 @@ impl Streaming {
     }
 
     /// Replays the index-construction bounds over a residual prefix with
-    /// the current `m`. Returns `(boundary, q)`: the position where
-    /// indexing must (re)start, or `None` when the whole prefix stays
-    /// below θ, together with the updated `Q` bound.
-    fn replay_boundary(&self, residual: &SparseVector) -> (Option<usize>, f64) {
+    /// the current `m`. Returns `(boundary, q, prefix_mass)`: the
+    /// position where indexing must (re)start — or `None` when the whole
+    /// prefix stays below θ — the updated `Q` bound, and the squared
+    /// norm `‖x′_boundary‖²` accumulated up to (excluding) the boundary,
+    /// which seeds the suffix prefix-norm recurrence of
+    /// [`Streaming::index_suffix`].
+    ///
+    /// The ℓ2 bound is compared in *squared* space (`bt ≥ θ²` instead of
+    /// `√bt ≥ θ`), so the per-coordinate square root disappears; the one
+    /// `sqrt` for the `Q` bound is paid only at the crossing.
+    fn replay_boundary(&self, dims: &[u32], weights: &[f64]) -> (Option<usize>, f64, f64) {
         let theta_slack = self.config.theta - PRUNE_EPS;
+        let theta_sq = theta_slack * theta_slack;
         let policy = self.policy;
         let mut b1: f64 = 0.0;
         let mut bt: f64 = 0.0;
-        for (pos, (dim, w)) in residual.iter().enumerate() {
-            let pscore = policy.combine(b1, bt.sqrt()).min(1.0);
+        for (pos, (&dim, &w)) in dims.iter().zip(weights).enumerate() {
+            let (b1_prev, bt_prev) = (b1, bt);
             if policy.ap {
                 b1 += w * self.m.get(dim);
             }
             if policy.l2 {
                 bt += w * w;
             }
-            if policy.combine(b1, bt.sqrt()) >= theta_slack {
-                return (Some(pos), pscore);
+            let crossed = match (policy.ap, policy.l2) {
+                (false, false) => true,
+                (true, false) => b1 >= theta_slack,
+                (false, true) => bt >= theta_sq,
+                (true, true) => b1 >= theta_slack && bt >= theta_sq,
+            };
+            if crossed {
+                let pscore = policy.combine(b1_prev, bt_prev.sqrt()).min(1.0);
+                return (Some(pos), pscore, bt_prev);
             }
         }
-        (None, policy.combine(b1, bt.sqrt()).min(1.0))
+        (None, policy.combine(b1, bt.sqrt()).min(1.0), bt)
     }
 
-    /// Appends posting entries for `residual[boundary..]` of vector `id`
-    /// at time `t`, returning how many entries were written.
+    /// Appends posting entries for coordinates `boundary..` of vector
+    /// `id` at time `t`, returning how many entries were written.
+    ///
+    /// `prefix_mass` is `‖x′_boundary‖²` from [`Streaming::replay_boundary`];
+    /// the stored `‖x′_j‖` values continue that recurrence, so only the
+    /// indexed suffix pays square roots. (The recurrence tracks the true
+    /// prefix norm only while the ℓ2 bound accumulates it — exactly the
+    /// policies that later read `prefix_norm`; AP-family postings carry a
+    /// partial value that their scans never consult.)
     fn index_suffix(
         &mut self,
         id: VectorId,
-        residual: &SparseVector,
+        dims: &[u32],
+        weights: &[f64],
         boundary: usize,
+        prefix_mass: f64,
         t: f64,
     ) -> u64 {
-        let norms = prefix_norms(residual);
+        let mut mass = prefix_mass;
         let mut added = 0;
-        for (pos, (dim, w)) in residual.iter().enumerate().skip(boundary) {
-            let d = dim as usize;
+        for pos in boundary..dims.len() {
+            let d = dims[pos] as usize;
             if d >= self.lists.len() {
-                self.lists.resize_with(d + 1, CircularBuffer::new);
+                self.lists.resize_with(d + 1, PostingBlock::new);
             }
-            self.lists[d].push_back(StreamEntry {
-                id,
-                weight: w,
-                prefix_norm: norms[pos],
-                t,
-            });
+            let w = weights[pos];
+            self.lists[d].push(id, w, mass.sqrt(), t);
+            mass += w * w;
             added += 1;
         }
         self.live_postings += added;
@@ -397,21 +542,22 @@ impl Streaming {
             if meta.residual.get(dim) == 0.0 {
                 continue; // already re-indexed past this dimension
             }
+            // Copy out so the index can be mutated while replaying (an
+            // AP-only path; the allocation is off the L2 hot loop).
             let residual = meta.residual.clone();
             let t = meta.t;
-            let (boundary, q) = self.replay_boundary(&residual);
+            let (boundary, q, mass) = self.replay_boundary(residual.dims(), residual.weights());
             match boundary {
                 Some(p) => {
-                    let added = self.index_suffix(id, &residual, p, t);
+                    let added =
+                        self.index_suffix(id, residual.dims(), residual.weights(), p, mass, t);
                     self.stats.reindexed_vectors += 1;
                     self.stats.reindexed_postings += added;
-                    let new_residual = residual.prefix(p);
-                    let still_has_dim = new_residual.get(dim) != 0.0;
                     let meta = self.residual.get_mut(&id).expect("checked above");
-                    meta.residual_summary = VectorSummary::of(&new_residual);
-                    meta.residual = new_residual;
+                    meta.residual.truncate(p);
+                    meta.residual_summary = VectorSummary::of_weights(meta.residual.weights());
                     meta.q = q;
-                    if still_has_dim {
+                    if meta.residual.get(dim) != 0.0 {
                         keep.push(id);
                     }
                 }
@@ -435,10 +581,10 @@ impl Streaming {
             return;
         }
         let t = record.t.seconds();
-        let (boundary, q) = self.replay_boundary(x);
+        let (boundary, q, mass) = self.replay_boundary(x.dims(), x.weights());
         let indexed_any = boundary.is_some();
         if let Some(p) = boundary {
-            self.index_suffix(record.id, x, p, t);
+            self.index_suffix(record.id, x.dims(), x.weights(), p, mass, t);
         }
         if self.policy.ap {
             // m̂λ covers the full vector (residual included), as rs1 bounds
@@ -452,10 +598,12 @@ impl Streaming {
         if !indexed_any && !self.policy.ap {
             return;
         }
-        let residual = x.prefix(boundary.unwrap_or(x.nnz()));
+        let blen = boundary.unwrap_or(x.nnz());
+        let mut residual = self.pool.pop().unwrap_or_default();
+        residual.assign_prefix(x, blen);
         self.stats.residual_coords += residual.nnz() as u64;
         if self.policy.ap {
-            for (dim, _) in residual.iter() {
+            for &dim in residual.dims() {
                 let d = dim as usize;
                 if d >= self.residual_inverted.len() {
                     self.residual_inverted.resize_with(d + 1, Vec::new);
@@ -463,16 +611,16 @@ impl Streaming {
                 self.residual_inverted[d].push(record.id);
             }
         }
-        self.residual.insert(
-            record.id,
-            StreamMeta {
-                residual_summary: VectorSummary::of(&residual),
-                residual,
-                summary: VectorSummary::of(x),
-                q,
-                t,
-            },
-        );
+        let meta = StreamMeta {
+            residual_summary: VectorSummary::of_weights(residual.weights()),
+            summary: VectorSummary::of(x),
+            q,
+            t,
+            residual,
+        };
+        if let Some(old) = self.residual.insert(record.id, meta) {
+            self.pool.push(old.residual);
+        }
         self.stats.observe_postings(self.live_postings);
     }
 }
@@ -490,6 +638,14 @@ impl Streaming {
     pub fn query(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
         let now = record.t.seconds();
         self.prune_residuals(now);
+        // Every candidate id is alive (within the horizon), so the score
+        // window can slide up to the oldest live id. The accumulator
+        // still holds the previous query's touched set — drop it first,
+        // the floor only moves when empty.
+        self.acc.clear();
+        if let Some((&oldest, _)) = self.residual.front() {
+            self.acc.advance_floor(oldest);
+        }
         if self.policy.ap {
             // Update m first and restore the prefix-filter invariant, so
             // that this very query cannot miss an under-indexed vector.
@@ -677,7 +833,32 @@ mod tests {
         for i in 0..100 {
             join.process(&rec(i, i as f64, &[(i as u32 % 7, 1.0)]), &mut out);
         }
-        assert!(join.residual.len() <= 2, "residuals={}", join.residual.len());
+        assert!(
+            join.residual.len() <= 2,
+            "residuals={}",
+            join.residual.len()
+        );
+        // Buffers cycle between live metas and the free pool; with ≤ 2
+        // live residuals the pool can never accumulate more than that.
+        assert!(join.pool.len() <= 2, "pool={}", join.pool.len());
+    }
+
+    #[test]
+    fn long_stream_with_sliding_id_window_stays_correct() {
+        // The accumulator's dense window must slide with the horizon: a
+        // long stream of monotonically growing ids keeps working and keeps
+        // finding pairs at the far end.
+        let config = SssjConfig::new(0.5, 0.5); // τ ≈ 1.39
+        let mut join = Streaming::new(config, IndexKind::L2);
+        let mut out = Vec::new();
+        for i in 0..20_000u64 {
+            join.process(&rec(i, i as f64 * 0.9, &[(1, 1.0)]), &mut out);
+        }
+        // Consecutive identical vectors are 0.9 apart: e^{-0.45} ≈ 0.64 ≥
+        // 0.5; the next-nearest gap 1.8 decays below θ. Every adjacent
+        // pair joins, nothing else.
+        assert_eq!(out.len(), 19_999);
+        assert!(out.iter().all(|p| p.right == p.left + 1));
     }
 
     #[test]

@@ -56,9 +56,7 @@ fn shift_times(records: &[StreamRecord], dt: f64) -> Vec<StreamRecord> {
 fn scale_times(records: &[StreamRecord], c: f64) -> Vec<StreamRecord> {
     records
         .iter()
-        .map(|r| {
-            StreamRecord::new(r.id, Timestamp::new(r.t.seconds() * c), r.vector.clone())
-        })
+        .map(|r| StreamRecord::new(r.id, Timestamp::new(r.t.seconds() * c), r.vector.clone()))
         .collect()
 }
 

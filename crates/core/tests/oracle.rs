@@ -8,11 +8,7 @@ use sssj_index::IndexKind;
 use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
 
 /// Random stream strategy: n records, arbitrary gaps, sparse vectors.
-fn stream(
-    n: usize,
-    dims: u32,
-    max_nnz: usize,
-) -> impl Strategy<Value = Vec<StreamRecord>> {
+fn stream(n: usize, dims: u32, max_nnz: usize) -> impl Strategy<Value = Vec<StreamRecord>> {
     proptest::collection::vec(
         (
             proptest::collection::vec((0..dims, 0.05f64..1.0), 1..=max_nnz),

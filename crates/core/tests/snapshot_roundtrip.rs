@@ -3,9 +3,7 @@
 //! on — for every index variant and across nested snapshots.
 
 use proptest::prelude::*;
-use sssj_core::{
-    read_snapshot, run_stream, RecoverableJoin, SssjConfig, StreamJoin, Streaming,
-};
+use sssj_core::{read_snapshot, run_stream, RecoverableJoin, SssjConfig, StreamJoin, Streaming};
 use sssj_index::IndexKind;
 use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
 
@@ -117,10 +115,7 @@ fn pre_snapshot_output_matches_uninterrupted_prefix() {
         plain.process(r, &mut b);
     }
     assert_eq!(sorted_keys(&a), sorted_keys(&b));
-    assert_eq!(
-        recoverable.stats().pairs_output,
-        plain.stats().pairs_output
-    );
+    assert_eq!(recoverable.stats().pairs_output, plain.stats().pairs_output);
 }
 
 proptest! {

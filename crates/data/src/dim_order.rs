@@ -104,11 +104,7 @@ impl DimOrdering {
                 for (d, w) in r.vector.iter() {
                     b.push(self.remap(d), w);
                 }
-                StreamRecord::new(
-                    r.id,
-                    r.t,
-                    b.build_normalized().expect("weights unchanged"),
-                )
+                StreamRecord::new(r.id, r.t, b.build_normalized().expect("weights unchanged"))
             })
             .collect()
     }

@@ -170,8 +170,8 @@ mod tests {
         config.avg_nnz = 20;
         config.dup_prob = 0.0;
         let records = generate(&config);
-        let avg: f64 = records.iter().map(|r| r.vector.nnz() as f64).sum::<f64>()
-            / records.len() as f64;
+        let avg: f64 =
+            records.iter().map(|r| r.vector.nnz() as f64).sum::<f64>() / records.len() as f64;
         // TF-merging collapses repeated draws, so the distinct-term count
         // sits below the raw draw count; just check the order of
         // magnitude.
@@ -210,7 +210,10 @@ mod tests {
         let mut far = Vec::new();
         for i in (0..1000).step_by(11) {
             near.push(sssj_types::dot(&records[i].vector, &records[i + 7].vector));
-            far.push(sssj_types::dot(&records[i].vector, &records[i + 173].vector));
+            far.push(sssj_types::dot(
+                &records[i].vector,
+                &records[i + 173].vector,
+            ));
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(

@@ -3,14 +3,13 @@
 
 use std::collections::HashMap;
 
-use sssj_collections::{MaxVector, ScoreAccumulator};
+use sssj_collections::{FxBuildHasher, MaxVector, PostingBlock, ScoreAccumulator};
 use sssj_metrics::JoinStats;
 use sssj_types::{
-    dot, dot_with_dense, prefix_norms, SparseVector, StreamRecord, Timestamp, VectorId,
-    VectorSummary,
+    dot, dot_with_dense, SparseVector, StreamRecord, Timestamp, VectorId, VectorSummary,
 };
 
-use crate::{BoundPolicy, PostingEntry};
+use crate::BoundPolicy;
 
 /// A candidate that survived verification: the indexed vector `id` with
 /// plain cosine similarity `sim` to the query and arrival-time gap `dt`.
@@ -43,6 +42,20 @@ struct Meta {
     t: Timestamp,
 }
 
+/// Recyclable allocations of a torn-down [`BatchIndex`]: posting blocks,
+/// the metadata map and the score accumulator.
+///
+/// The MiniBatch framework builds a fresh index every window; threading
+/// the previous window's scratch through
+/// [`BatchIndex::with_scratch`] / [`BatchIndex::into_scratch`] makes the
+/// per-window rebuild reuse all of its large allocations.
+#[derive(Default)]
+pub struct BatchScratch {
+    lists: Vec<PostingBlock>,
+    meta: HashMap<VectorId, Meta, FxBuildHasher>,
+    acc: ScoreAccumulator,
+}
+
 /// The shared batch index engine behind INV, AP, L2AP and L2.
 ///
 /// Construction order follows the incremental discipline of the paper:
@@ -61,8 +74,10 @@ pub struct BatchIndex {
     m: MaxVector,
     /// `m̂` — per-dimension max over the vectors indexed so far.
     mhat: MaxVector,
-    lists: Vec<Vec<PostingEntry>>,
-    meta: HashMap<VectorId, Meta>,
+    /// Flat packed posting lists (the batch engine stores arrival
+    /// seconds in each entry; `Match::dt` still comes from `Meta`).
+    lists: Vec<PostingBlock>,
+    meta: HashMap<VectorId, Meta, FxBuildHasher>,
     acc: ScoreAccumulator,
     live_postings: u64,
     stats: JoinStats,
@@ -81,20 +96,45 @@ impl BatchIndex {
     /// Creates an empty index with the dataset-wide max vector `m`
     /// (required for correctness of the AP `b1` bound).
     pub fn with_max_vector(theta: f64, policy: BoundPolicy, m: MaxVector) -> Self {
+        Self::with_scratch(theta, policy, m, BatchScratch::default())
+    }
+
+    /// Like [`BatchIndex::with_max_vector`], reusing the allocations of a
+    /// previous index (see [`BatchScratch`]).
+    pub fn with_scratch(
+        theta: f64,
+        policy: BoundPolicy,
+        m: MaxVector,
+        mut scratch: BatchScratch,
+    ) -> Self {
         assert!(
             theta > 0.0 && theta <= 1.0,
             "theta must be in (0, 1]: {theta}"
         );
+        for list in &mut scratch.lists {
+            list.clear();
+        }
+        scratch.meta.clear();
+        scratch.acc.clear();
         BatchIndex {
             theta,
             policy,
             m,
             mhat: MaxVector::new(),
-            lists: Vec::new(),
-            meta: HashMap::new(),
-            acc: ScoreAccumulator::new(),
+            lists: scratch.lists,
+            meta: scratch.meta,
+            acc: scratch.acc,
             live_postings: 0,
             stats: JoinStats::new(),
+        }
+    }
+
+    /// Tears the index down, handing its allocations back for reuse.
+    pub fn into_scratch(self) -> BatchScratch {
+        BatchScratch {
+            lists: self.lists,
+            meta: self.meta,
+            acc: self.acc,
         }
     }
 
@@ -145,7 +185,6 @@ impl BatchIndex {
         let theta = self.theta;
         let policy = self.policy;
         let summary = VectorSummary::of(x);
-        let xnorms = prefix_norms(x);
 
         // sz1: a similar vector must satisfy |y|·vm_y ≥ θ/vm_x.
         let sz1 = if policy.ap && summary.max_weight > 0.0 {
@@ -169,32 +208,40 @@ impl BatchIndex {
         let stats = &mut self.stats;
 
         // Reverse scan over the query's dimensions (suffix first).
-        for (pos, (dim, xj)) in x.iter().enumerate().rev() {
+        for (dim, xj) in x.iter().rev() {
             if let Some(list) = lists.get(dim as usize) {
                 let remscore = rs1.min(rs2);
                 let admit_new = remscore >= theta;
-                let xnorm_before = xnorms[pos];
-                for entry in list {
-                    stats.entries_traversed += 1;
+                // ‖x′_j‖ recovered from the running suffix mass (x is
+                // unit-normalised): rst = Σ_{i ≤ pos} w_i² here.
+                let xnorm_before = if policy.l2 {
+                    (rst - xj * xj).max(0.0).sqrt()
+                } else {
+                    0.0
+                };
+                // Flat walk over the list's packed triples.
+                let postings = list.postings();
+                stats.entries_traversed += postings.len() as u64;
+                for p in postings {
                     if policy.ap {
                         // Size filter: |y|·vm_y ≥ sz1.
-                        let s = &meta[&entry.id].summary;
+                        let s = &meta[&p.id].summary;
                         if (s.nnz as f64) * s.max_weight < sz1 {
                             continue;
                         }
                     }
-                    let current = acc.get(entry.id);
+                    let current = acc.get(p.id);
                     if current > 0.0 || admit_new {
                         if current == 0.0 {
                             stats.candidates += 1;
                         }
-                        let new = acc.add(entry.id, xj * entry.weight);
+                        let new = acc.add(p.id, xj * p.weight);
                         if policy.l2 {
                             // Early ℓ2 pruning: finish the rest of both
                             // vectors by Cauchy–Schwarz.
-                            let l2bound = new + xnorm_before * entry.prefix_norm;
+                            let l2bound = new + xnorm_before * p.prefix_norm;
                             if l2bound < theta {
-                                acc.zero(entry.id);
+                                acc.zero(p.id);
                             }
                         }
                     }
@@ -234,8 +281,7 @@ impl BatchIndex {
             if policy.ap {
                 let r = &m.residual_summary;
                 let ds1 = c + (sx.max_weight * r.sum).min(r.max_weight * sx.sum);
-                let sz2 =
-                    c + (sx.nnz.min(r.nnz) as f64) * sx.max_weight * r.max_weight;
+                let sz2 = c + (sx.nnz.min(r.nnz) as f64) * sx.max_weight * r.max_weight;
                 if ds1 < theta || sz2 < theta {
                     continue;
                 }
@@ -263,20 +309,26 @@ impl BatchIndex {
         }
         let policy = self.policy;
         let theta = self.theta;
+        let theta_sq = theta * theta;
         let summary = VectorSummary::of(x);
-        let xnorms = prefix_norms(x);
+        let t_secs = record.t.seconds();
+        if self.meta.is_empty() {
+            // First indexed vector: slide the accumulator's dense window
+            // to this id range (candidate ids are always indexed ids).
+            self.acc.advance_floor(record.id);
+        }
 
         let mut b1: f64 = 0.0;
         let mut bt: f64 = 0.0;
         let mut boundary: Option<usize> = None;
         let mut q = 0.0;
+        // ‖x′_j‖² recurrence for the stored prefix norms; tracks the true
+        // prefix mass exactly (meaningful to readers only under ℓ2
+        // policies, which are the ones that consult `prefix_norm`).
+        let mut mass: f64 = 0.0;
         for (pos, (dim, xj)) in x.iter().enumerate() {
             if boundary.is_none() {
-                let pscore = if policy.prunes() {
-                    policy.combine(b1, bt.sqrt())
-                } else {
-                    0.0
-                };
+                let (b1_prev, bt_prev) = (b1, bt);
                 if policy.ap {
                     // Algorithm 2 writes b1 += x_j·min(m_j, vm_x), but that
                     // refinement is only sound when vectors are processed in
@@ -288,21 +340,32 @@ impl BatchIndex {
                 if policy.l2 {
                     bt += xj * xj;
                 }
-                if policy.combine(b1, bt.sqrt()) >= theta {
+                // The ℓ2 half compares in squared space — no per-
+                // coordinate square root; `Q` pays its one sqrt at the
+                // crossing.
+                let crossed = match (policy.ap, policy.l2) {
+                    (false, false) => true,
+                    (true, false) => b1 >= theta,
+                    (false, true) => bt >= theta_sq,
+                    (true, true) => b1 >= theta && bt >= theta_sq,
+                };
+                if crossed {
                     boundary = Some(pos);
-                    q = pscore;
+                    q = if policy.prunes() {
+                        policy.combine(b1_prev, bt_prev.sqrt())
+                    } else {
+                        0.0
+                    };
+                    mass = bt_prev;
                 }
             }
             if boundary.is_some() {
                 let d = dim as usize;
                 if d >= self.lists.len() {
-                    self.lists.resize_with(d + 1, Vec::new);
+                    self.lists.resize_with(d + 1, PostingBlock::new);
                 }
-                self.lists[d].push(PostingEntry {
-                    id: record.id,
-                    weight: xj,
-                    prefix_norm: xnorms[pos],
-                });
+                self.lists[d].push(record.id, xj, mass.sqrt(), t_secs);
+                mass += xj * xj;
                 self.live_postings += 1;
                 self.stats.postings_added += 1;
             }
@@ -388,7 +451,11 @@ mod tests {
 
     #[test]
     fn orthogonal_vectors_never_pair() {
-        let data = vec![rec(0, &[(1, 1.0)]), rec(1, &[(2, 1.0)]), rec(2, &[(3, 1.0)])];
+        let data = vec![
+            rec(0, &[(1, 1.0)]),
+            rec(1, &[(2, 1.0)]),
+            rec(2, &[(3, 1.0)]),
+        ];
         for p in policies() {
             assert!(run(p, &data, 0.1).is_empty(), "policy {p:?}");
         }
@@ -397,10 +464,7 @@ mod tests {
     #[test]
     fn partial_overlap_respects_threshold() {
         // dot = 0.5 for two unit vectors sharing one of two equal coords.
-        let data = vec![
-            rec(0, &[(1, 1.0), (2, 1.0)]),
-            rec(1, &[(1, 1.0), (3, 1.0)]),
-        ];
+        let data = vec![rec(0, &[(1, 1.0), (2, 1.0)]), rec(1, &[(1, 1.0), (3, 1.0)])];
         for p in policies() {
             assert_eq!(run(p, &data, 0.4), vec![(0, 1)], "policy {p:?}");
             assert!(run(p, &data, 0.6).is_empty(), "policy {p:?}");

@@ -8,6 +8,11 @@ use sssj_types::{VectorId, Weight};
 /// `prefix_norm` is the Euclidean norm of the coordinates that precede
 /// `j` in the global dimension order — the Cauchy–Schwarz half of the
 /// `l2bound` candidate-pruning rule. INV and AP simply ignore it.
+///
+/// The engines now store entries in flat
+/// [`sssj_collections::PostingBlock`]s whose packed entries hold the
+/// same triple plus the arrival time. This type remains as the
+/// documented per-entry schema and for external consumers.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PostingEntry {
     /// Reference to the indexed vector.

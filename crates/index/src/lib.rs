@@ -39,7 +39,7 @@ pub mod driver;
 pub mod entry;
 pub mod policy;
 
-pub use batch::{BatchIndex, Match};
+pub use batch::{BatchIndex, BatchScratch, Match};
 pub use driver::{all_pairs, max_vector_of};
 pub use entry::PostingEntry;
 pub use policy::{BoundPolicy, IndexKind};

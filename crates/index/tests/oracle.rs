@@ -7,11 +7,7 @@ use sssj_index::{all_pairs, IndexKind};
 use sssj_types::{SparseVectorBuilder, StreamRecord, Timestamp};
 
 /// Builds a random dataset of `n` unit vectors over `dims` dimensions.
-fn dataset(
-    n: usize,
-    dims: u32,
-    max_nnz: usize,
-) -> impl Strategy<Value = Vec<StreamRecord>> {
+fn dataset(n: usize, dims: u32, max_nnz: usize) -> impl Strategy<Value = Vec<StreamRecord>> {
     proptest::collection::vec(
         proptest::collection::vec((0..dims, 0.05f64..1.0), 1..=max_nnz),
         1..=n,

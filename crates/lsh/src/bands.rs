@@ -26,7 +26,10 @@ impl Bands {
             "bands ({bands}) must divide signature width ({bits})"
         );
         let rows = bits / bands;
-        assert!((1..=64).contains(&rows), "rows per band must be in 1..=64: {rows}");
+        assert!(
+            (1..=64).contains(&rows),
+            "rows per band must be in 1..=64: {rows}"
+        );
         Bands { bands, rows }
     }
 
@@ -43,7 +46,11 @@ impl Bands {
     /// The bucket key for `band` of `sig`: the band's bits mixed with the
     /// band index, so different bands never share buckets.
     pub fn key(&self, sig: &Signature, band: u32) -> u64 {
-        assert!(band < self.bands, "band {band} out of range ({})", self.bands);
+        assert!(
+            band < self.bands,
+            "band {band} out of range ({})",
+            self.bands
+        );
         let raw = sig.extract(band * self.rows, self.rows);
         splitmix64(raw ^ ((band as u64) << 56) ^ 0xC0FF_EE00_D15E_A5E5)
     }
@@ -121,8 +128,7 @@ mod tests {
         let cosine: f64 = 0.8;
         let p = 1.0 - cosine.acos() / std::f64::consts::PI;
         assert!(
-            (bands.collision_probability_at(cosine) - bands.collision_probability(p)).abs()
-                < 1e-12
+            (bands.collision_probability_at(cosine) - bands.collision_probability(p)).abs() < 1e-12
         );
     }
 

@@ -7,7 +7,7 @@ use sssj_metrics::JoinStats;
 use sssj_types::{dot, Decay, SimilarPair, SparseVector, StreamRecord, VectorId};
 
 use crate::bands::Bands;
-use crate::simhash::{SimHasher, Signature};
+use crate::simhash::{Signature, SimHasher};
 
 /// How candidate pairs are scored before the threshold test.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -108,7 +108,10 @@ pub struct LshJoin {
 impl LshJoin {
     /// Creates an approximate join for threshold `θ` and decay `λ`.
     pub fn new(theta: f64, lambda: f64, params: LshParams) -> Self {
-        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]: {theta}");
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "theta must be in (0, 1]: {theta}"
+        );
         let decay = Decay::new(lambda);
         let tau = decay.horizon(theta);
         assert!(
@@ -219,10 +222,7 @@ impl StreamJoin for LshJoin {
             let sim = match self.params.verify {
                 VerifyMode::Exact => {
                     self.stats.full_sims += 1;
-                    let v = stored
-                        .vector
-                        .as_ref()
-                        .expect("Exact mode stores vectors");
+                    let v = stored.vector.as_ref().expect("Exact mode stores vectors");
                     dot(&record.vector, v) * df
                 }
                 VerifyMode::Estimate => sig.estimate_cosine(&stored.signature) * df,
@@ -383,7 +383,11 @@ mod tests {
         assert!(out.is_empty());
         // Each arrival lands in 32 band buckets; the previous occupant of
         // each is expired and pruned at probe time.
-        assert!(join.live_postings() <= 2 * 32, "live={}", join.live_postings());
+        assert!(
+            join.live_postings() <= 2 * 32,
+            "live={}",
+            join.live_postings()
+        );
         assert!(join.stats().entries_pruned > 0);
     }
 

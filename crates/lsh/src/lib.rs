@@ -37,4 +37,4 @@ pub mod simhash;
 pub use bands::Bands;
 pub use eval::{measure_accuracy, AccuracyReport};
 pub use join::{LshJoin, LshParams, VerifyMode};
-pub use simhash::{SimHasher, Signature};
+pub use simhash::{Signature, SimHasher};

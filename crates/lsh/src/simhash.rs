@@ -123,7 +123,10 @@ impl SimHasher {
     /// Creates a sketcher with the given signature width (a positive
     /// multiple of 64, so signatures pack exactly) and seed.
     pub fn new(bits: u32, seed: u64) -> Self {
-        assert!(bits > 0 && bits.is_multiple_of(64), "bits must be a positive multiple of 64: {bits}");
+        assert!(
+            bits > 0 && bits.is_multiple_of(64),
+            "bits must be a positive multiple of 64: {bits}"
+        );
         SimHasher { bits, seed }
     }
 

@@ -181,10 +181,14 @@ mod tests {
         }
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for q in [0.5, 0.9, 0.95, 0.99] {
-            let exact = values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
+            let exact =
+                values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
             let est = h.quantile(q);
             assert!(est >= exact * 0.999, "q={q}: est={est} < exact={exact}");
-            assert!(est <= exact * 1.1 + 1e-8, "q={q}: est={est} >> exact={exact}");
+            assert!(
+                est <= exact * 1.1 + 1e-8,
+                "q={q}: est={est} >> exact={exact}"
+            );
         }
     }
 

@@ -15,8 +15,8 @@
 
 pub mod budget;
 pub mod counters;
-pub mod histogram;
 pub mod csv;
+pub mod histogram;
 pub mod regression;
 pub mod table;
 pub mod timer;

@@ -38,7 +38,10 @@ impl TextTable {
     }
 
     fn numeric(cell: &str) -> bool {
-        !cell.is_empty() && cell.chars().all(|c| c.is_ascii_digit() || "+-.eE%×".contains(c))
+        !cell.is_empty()
+            && cell
+                .chars()
+                .all(|c| c.is_ascii_digit() || "+-.eE%×".contains(c))
     }
 
     /// Renders the table.

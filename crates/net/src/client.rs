@@ -176,9 +176,7 @@ impl JoinClient {
     /// it completed.
     pub fn send_text(&mut self, t: f64, text: &str) -> Result<Vec<SimilarPair>, NetError> {
         if text.contains('\n') {
-            return Err(NetError::Protocol(
-                "text may not contain newlines".into(),
-            ));
+            return Err(NetError::Protocol("text may not contain newlines".into()));
         }
         self.send_line(&Request::Text {
             t,
@@ -195,9 +193,7 @@ impl JoinClient {
         match self.read_response()? {
             Response::Stats(s) => Ok(s),
             Response::Err(m) => Err(NetError::Server(m)),
-            other => Err(NetError::Protocol(format!(
-                "expected stats, got {other:?}"
-            ))),
+            other => Err(NetError::Protocol(format!("expected stats, got {other:?}"))),
         }
     }
 

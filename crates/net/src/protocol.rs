@@ -150,8 +150,9 @@ impl Request {
                         .ok_or_else(|| err(format!("CONFIG expects key=value, got {kv:?}")))?;
                     match k {
                         "theta" => {
-                            let x: f64 =
-                                v.parse().map_err(|e| err(format!("bad theta {v:?}: {e}")))?;
+                            let x: f64 = v
+                                .parse()
+                                .map_err(|e| err(format!("bad theta {v:?}: {e}")))?;
                             if !(x > 0.0 && x <= 1.0) {
                                 return Err(err(format!("theta out of (0, 1]: {v}")));
                             }
@@ -185,8 +186,9 @@ impl Request {
                             );
                         }
                         "slack" => {
-                            let x: f64 =
-                                v.parse().map_err(|e| err(format!("bad slack {v:?}: {e}")))?;
+                            let x: f64 = v
+                                .parse()
+                                .map_err(|e| err(format!("bad slack {v:?}: {e}")))?;
                             if !(x.is_finite() && x >= 0.0) {
                                 return Err(err(format!("slack must be ≥ 0: {v}")));
                             }
@@ -222,9 +224,7 @@ impl Request {
                 Ok(Request::Vector { t, entries })
             }
             "T" => {
-                let (t_str, text) = rest
-                    .split_once(char::is_whitespace)
-                    .unwrap_or((rest, ""));
+                let (t_str, text) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
                 let t = parse_timestamp(if t_str.is_empty() { None } else { Some(t_str) })?;
                 Ok(Request::Text {
                     t,

@@ -5,9 +5,7 @@
 //! testable without networking. The server (see [`crate::server`]) only
 //! adds framing: read a line, parse, `handle`, write the responses.
 
-use sssj_core::{
-    build_algorithm, Framework, ReorderBuffer, SssjConfig, StreamJoin,
-};
+use sssj_core::{build_algorithm, Framework, ReorderBuffer, SssjConfig, StreamJoin};
 use sssj_index::IndexKind;
 use sssj_textsim::Tokenizer;
 use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
@@ -158,9 +156,7 @@ impl Session {
 
     fn handle_config(&mut self, c: ConfigRequest, out: &mut Vec<Response>) {
         if self.started {
-            out.push(Response::Err(
-                "CONFIG must precede the first record".into(),
-            ));
+            out.push(Response::Err("CONFIG must precede the first record".into()));
             return;
         }
         // Validate before constructing: the wire parser rejects these,
@@ -355,7 +351,10 @@ mod tests {
     fn text_mode_tokenises() {
         let mut s = Session::new(SessionDefaults::default());
         handle_line(&mut s, "CONFIG mode=text theta=0.9 lambda=0.001");
-        assert_eq!(ok_count(&handle_line(&mut s, "T 0.0 rust streaming join")), 0);
+        assert_eq!(
+            ok_count(&handle_line(&mut s, "T 0.0 rust streaming join")),
+            0
+        );
         let r = handle_line(&mut s, "T 1.0 rust streaming join");
         assert_eq!(ok_count(&r), 1);
         // Token-free text is accepted but joins nothing.
@@ -395,7 +394,11 @@ mod tests {
         handle_line(&mut s, "V 0.0 7:1.0");
         handle_line(&mut s, "V 1.0 7:1.0");
         let r = handle_line(&mut s, "FINISH");
-        assert_eq!(ok_count(&r), 1, "MB reports the within-window pair at flush");
+        assert_eq!(
+            ok_count(&r),
+            1,
+            "MB reports the within-window pair at flush"
+        );
         let r = handle_line(&mut s, "V 2.0 7:1.0");
         assert!(matches!(&r[0], Response::Err(m) if m.contains("finished")));
         // FINISH is idempotent.

@@ -50,8 +50,7 @@ fn request_line() -> impl Strategy<Value = String> {
             proptest::collection::vec((0u32..50, 0.01f64..2.0), 1..5)
         )
             .prop_map(|(t, entries)| {
-                let body: Vec<String> =
-                    entries.iter().map(|(d, w)| format!("{d}:{w}")).collect();
+                let body: Vec<String> = entries.iter().map(|(d, w)| format!("{d}:{w}")).collect();
                 format!("V {t} {}", body.join(" "))
             }),
         // Text records.

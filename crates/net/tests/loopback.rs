@@ -205,7 +205,9 @@ fn raw_socket_malformed_lines_get_error_responses() {
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);
 
-    writer.write_all(b"BLURB nonsense\nV 1.0 3:0.5\nQUIT\n").unwrap();
+    writer
+        .write_all(b"BLURB nonsense\nV 1.0 3:0.5\nQUIT\n")
+        .unwrap();
     writer.flush().unwrap();
 
     let mut line = String::new();

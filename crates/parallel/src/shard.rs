@@ -189,10 +189,7 @@ impl ShardedJoin {
 
 impl StreamJoin for ShardedJoin {
     fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
-        assert!(
-            self.final_stats.is_none(),
-            "process called after finish"
-        );
+        assert!(self.final_stats.is_none(), "process called after finish");
         let record = Arc::new(record.clone());
         for tx in &self.senders {
             tx.send(Msg::Record(Arc::clone(&record)))

@@ -1,0 +1,353 @@
+//! Offline stand-in for `criterion`: a small measuring bench harness with
+//! the API subset this workspace's benches use.
+//!
+//! Each benchmark is calibrated to a per-sample target time, then timed
+//! over a number of samples; the **median** per-iteration time is
+//! reported. Results go to stdout, and — when the `CRITERION_JSON`
+//! environment variable names a file — as JSON lines appended to that
+//! file, so harness scripts can collect machine-readable numbers:
+//!
+//! ```json
+//! {"group":"fig5_str_indexes","bench":"STR-L2/theta=0.5,lambda=0.001","median_ns":123456.0,"samples":10}
+//! ```
+//!
+//! Environment knobs:
+//! * `BENCH_FAST=1` — smoke mode: 2 samples, 10 ms sample budget;
+//! * `BENCH_SAMPLES=n` — override every group's sample count.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Measurement throughput annotation (accepted, recorded in JSON).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter display only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The per-benchmark timing driver passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    target: Duration,
+    /// Filled by `iter`: (median ns/iter, samples).
+    result: Option<(f64, usize)>,
+    /// Filled by `iter`: fastest sample (ns/iter).
+    min_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in the per-sample budget?
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target.min(Duration::from_millis(2)) || iters_per_sample > (1 << 20)
+            {
+                if elapsed < self.target && elapsed.as_nanos() > 0 {
+                    let scale = (self.target.as_nanos() as f64 / elapsed.as_nanos() as f64)
+                        .clamp(1.0, 1024.0);
+                    iters_per_sample =
+                        ((iters_per_sample as f64 * scale) as u64).max(iters_per_sample);
+                }
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter[per_iter.len() / 2];
+        // The minimum is the interference-robust statistic on shared
+        // machines: competing load only ever adds time.
+        self.min_ns = Some(per_iter[0]);
+        self.result = Some((median, self.samples));
+    }
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("BENCH_SAMPLES").ok()?.parse().ok()
+}
+
+fn fast_mode() -> bool {
+    std::env::var("BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// A group of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if env_samples().is_none() && !fast_mode() {
+            self.samples = n.max(2);
+        }
+        self
+    }
+
+    /// Records the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = self.bencher();
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Ends the group (separator line on stdout).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn bencher(&self) -> Bencher {
+        let (samples, target) = if fast_mode() {
+            (2, Duration::from_millis(10))
+        } else {
+            (
+                env_samples().unwrap_or(self.samples),
+                Duration::from_millis(50),
+            )
+        };
+        Bencher {
+            samples,
+            target,
+            result: None,
+            min_ns: None,
+        }
+    }
+
+    fn report(&mut self, bench: &str, b: &Bencher) {
+        let Some((median_ns, samples)) = b.result else {
+            return;
+        };
+        let min_ns = b.min_ns.unwrap_or(median_ns);
+        let mut line = format!(
+            "{}/{}: median {} / min {} ({} samples)",
+            self.name,
+            bench,
+            human_time(median_ns),
+            human_time(min_ns),
+            samples
+        );
+        if let Some(tp) = self.throughput {
+            let (amount, unit) = match tp {
+                Throughput::Bytes(n) => (n as f64, "MiB/s"),
+                Throughput::Elements(n) => (n as f64, "Melem/s"),
+            };
+            let per_sec = amount / (median_ns * 1e-9);
+            let _ = write!(line, " [{:.1} {}]", per_sec / (1024.0 * 1024.0), unit);
+        }
+        println!("{line}");
+        self.criterion
+            .record(&self.name, bench, median_ns, min_ns, samples);
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            json_path: std::env::var("CRITERION_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<N: fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            samples: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            samples: 10,
+            throughput: None,
+        };
+        g.bench_function(id, f);
+        self
+    }
+
+    fn record(&mut self, group: &str, bench: &str, median_ns: f64, min_ns: f64, samples: usize) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{}}}",
+                group.replace('"', "'"),
+                bench.replace('"', "'"),
+                median_ns,
+                min_ns,
+                samples
+            );
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: 3,
+            target: Duration::from_micros(200),
+            result: None,
+            min_ns: None,
+        };
+        b.iter(|| std::hint::black_box(2u64 + 2));
+        let (median, samples) = b.result.unwrap();
+        assert!(median >= 0.0);
+        assert_eq!(samples, 3);
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(2);
+        g.bench_function("add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * x))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The container this workspace builds in has no registry access, so this
+//! crate provides — under the same name — the property-testing subset the
+//! workspace uses: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! ranges / tuples / [`strategy::Just`] / regex-`&str` strategies,
+//! [`collection::vec`], [`sample::select`], `num::*::ANY`, `bool::ANY`,
+//! [`option::of`], weighted [`prop_oneof!`], and `ProptestConfig`.
+//!
+//! Differences from real proptest, by design:
+//! * **no shrinking** — failures report the case number; runs are fully
+//!   deterministic (the RNG is seeded from the test's module path), so a
+//!   failure reproduces exactly;
+//! * assertion macros panic instead of returning `Err`, which is
+//!   equivalent under the harness;
+//! * the default case count is 64 and can be overridden globally with the
+//!   `PROPTEST_CASES` environment variable.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty length range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// A strategy producing `Vec`s of values from `element`, with a length
+    /// drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with lengths in `len` (a
+    /// half-open range, an inclusive range, or an exact count).
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.lo..=self.len.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Numeric `ANY` strategies (`proptest::num::u64::ANY` …).
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident => $t:ty),* $(,)?) => {$(
+            #[allow(missing_docs)]
+            pub mod $m {
+                /// Uniform over the whole type.
+                pub const ANY: crate::strategy::Any<$t> =
+                    crate::strategy::Any(std::marker::PhantomData);
+            }
+        )*};
+    }
+    any_mod!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+             i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize,
+             f64 => f64, f32 => f32);
+}
+
+/// The `bool::ANY` strategy.
+pub mod bool {
+    /// Uniform over `{true, false}`.
+    pub const ANY: crate::strategy::Any<::core::primitive::bool> =
+        crate::strategy::Any(std::marker::PhantomData);
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A strategy producing `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` about a quarter of the time, `Some(inner)`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.random_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A strategy choosing uniformly among a fixed set of values.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Chooses uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// The one-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

@@ -1,0 +1,496 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use rand::RngExt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+pub use rand::SeedableRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic-from-seed generator.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// FNV-1a over a test name: a stable per-test seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Marker strategy for "any value of `T`" (see [`any`]).
+pub struct Any<T>(pub PhantomData<T>);
+
+/// Uniform strategy over the whole domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.random_range(0..2u32) == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite floats over a wide range, mixing magnitudes.
+        let mantissa = rng.random_range(-1.0f64..1.0);
+        let exp = rng.random_range(-300i32..300);
+        mantissa * (exp as f64).exp2()
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let mantissa = rng.random_range(-1.0f32..1.0);
+        let exp = rng.random_range(-120i32..120);
+        mantissa * (exp as f32).exp2()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A boxed generator function — the erased form used by [`Union`].
+pub type BoxedGen<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Erases a strategy into a weighted [`Union`] arm (used by
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub fn arm<S: Strategy + 'static>(weight: u32, s: S) -> (u32, BoxedGen<S::Value>) {
+    assert!(weight > 0, "arm weight must be positive");
+    (weight, Box::new(move |rng| s.generate(rng)))
+}
+
+/// A weighted choice among strategies with a common value type.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedGen<V>)>,
+    total: u32,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from weighted arms (see [`arm`]).
+    pub fn new(arms: Vec<(u32, BoxedGen<V>)>) -> Self {
+        assert!(!arms.is_empty(), "union requires at least one arm");
+        let total = arms.iter().map(|&(w, _)| w).sum();
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.random_range(0..self.total);
+        for (w, gen_fn) in &self.arms {
+            if pick < *w {
+                return gen_fn(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-pattern string strategies (`"[a-z ]{0,30}"` etc.)
+// ---------------------------------------------------------------------------
+
+enum Atom {
+    /// `.` — any char (control characters included: these patterns guard
+    /// parser-totality tests).
+    AnyChar,
+    /// `\PC` — any non-control char.
+    Printable,
+    /// `[...]` — an explicit char class.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                i += 3;
+                Atom::Printable
+            }
+            '\\' => {
+                // Escaped literal.
+                let c = *chars.get(i + 1).unwrap_or(&'\\');
+                i += 2;
+                Atom::Literal(c)
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() && chars[i + 2] != ']'
+                    {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                Atom::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 32)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 32)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .expect("unterminated {n,m} quantifier");
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_any_char(rng: &mut TestRng) -> char {
+    match rng.random_range(0..10u32) {
+        // Mostly printable ASCII …
+        0..=6 => rng.random_range(0x20u32..0x7F) as u8 as char,
+        // … some control characters …
+        7 => char::from_u32(rng.random_range(0u32..0x20)).unwrap(),
+        // … and some wider Unicode (skip surrogates by construction).
+        _ => char::from_u32(rng.random_range(0xA0u32..0xD7FF)).unwrap_or('¿'),
+    }
+}
+
+fn gen_printable(rng: &mut TestRng) -> char {
+    match rng.random_range(0..8u32) {
+        0..=6 => rng.random_range(0x20u32..0x7F) as u8 as char,
+        _ => char::from_u32(rng.random_range(0xA1u32..0x2000)).unwrap_or('¿'),
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.random_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::AnyChar => out.push(gen_any_char(rng)),
+                    Atom::Printable => out.push(gen_printable(rng)),
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+                        let c = rng.random_range(lo as u32..=hi as u32);
+                        out.push(char::from_u32(c).unwrap_or(lo));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Runs each contained `#[test] fn name(pat in strategy, …) { … }` over
+/// `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let cases = config.effective_cases();
+                let mut __proptest_rng =
+                    <$crate::strategy::TestRng as $crate::strategy::SeedableRng>::seed_from_u64(
+                        $crate::strategy::seed_from_name(concat!(
+                            module_path!(), "::", stringify!($name)
+                        )),
+                    );
+                for __proptest_case in 0..cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    let __proptest_guard = $crate::test_runner::CaseGuard::new(
+                        stringify!($name),
+                        __proptest_case,
+                    );
+                    // Mirror real proptest: the body may `return Ok(())`
+                    // early; a returned Err fails the case. The closure is
+                    // what makes the early `return` legal.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __proptest_result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __proptest_result {
+                        panic!("property test case returned Err: {e:?}");
+                    }
+                    __proptest_guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies sharing
+/// a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::arm($weight, $strat) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::arm(1, $strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Push(u64),
+        Pop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => any::<u64>().prop_map(Op::Push),
+            1 => Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0.25f64..0.5, n in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.5).contains(&y));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        /// Vec lengths respect the length range.
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(op(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        /// Tuples, select, option, regex strings all generate.
+        #[test]
+        fn composite_strategies(
+            (a, b) in (any::<u16>(), 0i64..5),
+            verb in prop::sample::select(vec!["GET", "PUT"]),
+            maybe in prop::option::of(0usize..10),
+            s in "[a-z ]{0,30}",
+            raw in ".*",
+        ) {
+            prop_assert!(u32::from(a) <= u32::from(u16::MAX) && b < 5);
+            prop_assert!(verb == "GET" || verb == "PUT");
+            if let Some(v) = maybe { prop_assert!(v < 10); }
+            prop_assert!(s.len() <= 30);
+            prop_assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+            let _ = raw;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::{seed_from_name, SeedableRng, Strategy, TestRng};
+        let strat = crate::collection::vec(0u32..100, 1..10);
+        let mut a = TestRng::seed_from_u64(seed_from_name("x"));
+        let mut b = TestRng::seed_from_u64(seed_from_name("x"));
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Test-run configuration (`ProptestConfig`).
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Sets the number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Smaller than real proptest's 256: these are deterministic runs
+        // in debug builds on CI; coverage can be raised via PROPTEST_CASES.
+        Config { cases: 64 }
+    }
+}
+
+/// A test-case failure (mirrors real proptest's error type name; bodies
+/// that `return Err(..)` fail the case).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Prints the failing case number if the test body panics.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard for one case.
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    /// Disarms the guard (the case passed).
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest: test `{}` failed at case #{} (deterministic seed; rerun reproduces)",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_cases_roundtrips() {
+        assert_eq!(Config::with_cases(7).cases, 7);
+    }
+
+    #[test]
+    fn default_is_positive() {
+        assert!(Config::default().cases > 0);
+    }
+}

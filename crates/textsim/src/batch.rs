@@ -14,7 +14,9 @@ pub(crate) const EPS: f64 = 1e-9;
 /// Required intersection size for `J(x, y) ≥ θ`:
 /// `⌈θ/(1+θ) · (|x| + |y|)⌉` (equivalence `J ≥ θ ⇔ |x∩y| ≥ θ|x∪y|`).
 pub(crate) fn required_overlap(theta: f64, nx: usize, ny: usize) -> usize {
-    (theta / (1.0 + theta) * (nx + ny) as f64 - EPS).ceil().max(0.0) as usize
+    (theta / (1.0 + theta) * (nx + ny) as f64 - EPS)
+        .ceil()
+        .max(0.0) as usize
 }
 
 /// The length filter `θ·|x| ≤ |y| ≤ |x|/θ`, slackened by [`EPS`].
@@ -150,7 +152,10 @@ mod tests {
         let large: TokenSet = (0..20).collect();
         let (pairs, stats) = batch_jaccard_join(&[small, large], 0.5);
         assert!(pairs.is_empty());
-        assert_eq!(stats.candidates, 0, "length filter must fire before overlap");
+        assert_eq!(
+            stats.candidates, 0,
+            "length filter must fire before overlap"
+        );
     }
 
     #[test]

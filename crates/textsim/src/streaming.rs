@@ -30,7 +30,11 @@ pub type JaccardPair = (u64, u64, f64);
 
 /// Brute-force oracle for the streaming, time-decayed Jaccard join:
 /// every pair with `J(x, y)·e^{-λΔt} ≥ θ`.
-pub fn brute_force_jaccard_stream(stream: &[TimedSet], theta: f64, lambda: f64) -> Vec<JaccardPair> {
+pub fn brute_force_jaccard_stream(
+    stream: &[TimedSet],
+    theta: f64,
+    lambda: f64,
+) -> Vec<JaccardPair> {
     assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
     assert!(lambda > 0.0, "lambda must be positive");
     let tau = (1.0 / theta).ln() / lambda;
@@ -88,7 +92,10 @@ pub struct StreamingJaccard {
 impl StreamingJaccard {
     /// Creates the join; `λ > 0` so the horizon is finite.
     pub fn new(theta: f64, lambda: f64) -> Self {
-        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]: {theta}");
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "theta must be in (0, 1]: {theta}"
+        );
         assert!(
             lambda.is_finite() && lambda > 0.0,
             "lambda must be positive and finite: {lambda}"
@@ -198,7 +205,10 @@ impl StreamingJaccard {
 
         // Index the prefix tokens and store the full set.
         for &tok in &x.tokens()[..prefix] {
-            self.lists.entry(tok).or_default().push_back((record.id, now));
+            self.lists
+                .entry(tok)
+                .or_default()
+                .push_back((record.id, now));
             self.live_postings += 1;
             self.stats.postings_added += 1;
         }

@@ -152,7 +152,11 @@ mod tests {
         let a = tok.token_set("breaking news: the queen has arrived in paris today");
         let b = tok.token_set("Breaking news — the queen arrived in Paris today!");
         let c = tok.token_set("completely different subject matter entirely unrelated");
-        assert!(jaccard(&a, &b) > 0.6, "near-duplicates: {}", jaccard(&a, &b));
+        assert!(
+            jaccard(&a, &b) > 0.6,
+            "near-duplicates: {}",
+            jaccard(&a, &b)
+        );
         assert!(jaccard(&a, &c) < 0.1, "unrelated: {}", jaccard(&a, &c));
     }
 

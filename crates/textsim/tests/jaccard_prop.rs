@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use sssj_textsim::{
-    batch_jaccard_join, brute_force_jaccard, brute_force_jaccard_stream, jaccard,
-    StreamingJaccard, TimedSet, TokenSet,
+    batch_jaccard_join, brute_force_jaccard, brute_force_jaccard_stream, jaccard, StreamingJaccard,
+    TimedSet, TokenSet,
 };
 
 fn sets_strategy(n: usize, vocab: u32, max_len: usize) -> impl Strategy<Value = Vec<TokenSet>> {

@@ -315,7 +315,14 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         for s in [
-            "", "exp", "exp:-1", "window:0", "linear:-2", "poly:1", "poly:1:0", "poly:1:2:3",
+            "",
+            "exp",
+            "exp:-1",
+            "window:0",
+            "linear:-2",
+            "poly:1",
+            "poly:1:0",
+            "poly:1:2:3",
             "gauss:1",
         ] {
             assert_eq!(DecayModel::parse(s), None, "{s:?}");

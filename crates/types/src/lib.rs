@@ -30,12 +30,12 @@ pub mod summary;
 pub mod time;
 pub mod vector;
 
-pub use decay::Decay;
+pub use decay::{Decay, DecayTable};
 pub use decay_model::DecayModel;
-pub use dot::{dot, dot_merge, dot_with_dense};
+pub use dot::{dot, dot_merge, dot_sorted, dot_with_dense};
 pub use error::TypesError;
 pub use forward_decay::ForwardDecay;
-pub use norm::{norm, prefix_norms};
+pub use norm::{norm, prefix_norms, prefix_norms_into};
 pub use pair::{SimilarPair, VectorId};
 pub use record::StreamRecord;
 pub use summary::VectorSummary;

@@ -17,14 +17,25 @@ pub fn norm(weights: &[Weight]) -> Weight {
 /// Posting entries of the ℓ2-based indexes store `‖x′_j‖` *excluding* the
 /// entry's own coordinate, which is `prefix_norms(x)[position_of_j]`.
 pub fn prefix_norms(x: &SparseVector) -> Vec<Weight> {
-    let mut out = Vec::with_capacity(x.nnz() + 1);
+    let mut out = Vec::new();
+    prefix_norms_into(x.weights(), &mut out);
+    out
+}
+
+/// Allocation-free variant of [`prefix_norms`]: fills `out` (cleared
+/// first) with the prefix norms of `weights`, for callers that keep a
+/// reusable scratch buffer (the generalized-decay join does; the STR/batch
+/// engines compute prefix norms by recurrence instead and skip the array
+/// entirely).
+pub fn prefix_norms_into(weights: &[Weight], out: &mut Vec<Weight>) {
+    out.clear();
+    out.reserve(weights.len() + 1);
     let mut acc = 0.0;
     out.push(0.0);
-    for &w in x.weights() {
+    for &w in weights {
         acc += w * w;
         out.push(acc.sqrt());
     }
-    out
 }
 
 #[cfg(test)]
@@ -48,5 +59,16 @@ mod tests {
     fn norm_of_pythagorean_triple() {
         assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
         assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn prefix_norms_into_reuses_buffer() {
+        let v = unit_vector(&[(1, 1.0), (2, 2.0), (5, 2.0)]);
+        let mut buf = vec![99.0; 64];
+        prefix_norms_into(v.weights(), &mut buf);
+        assert_eq!(buf, prefix_norms(&v));
+        // A second fill with a shorter input fully replaces the content.
+        prefix_norms_into(&[], &mut buf);
+        assert_eq!(buf, vec![0.0]);
     }
 }

@@ -40,7 +40,11 @@ impl SimilarPair {
 
 impl fmt::Display for SimilarPair {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {}) sim={:.6}", self.left, self.right, self.similarity)
+        write!(
+            f,
+            "({}, {}) sim={:.6}",
+            self.left, self.right, self.similarity
+        )
     }
 }
 

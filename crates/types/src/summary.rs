@@ -18,10 +18,22 @@ pub struct VectorSummary {
 impl VectorSummary {
     /// Computes the summary of a vector.
     pub fn of(v: &SparseVector) -> Self {
+        Self::of_weights(v.weights())
+    }
+
+    /// Computes the summary from a raw weight slice (the pooled-residual
+    /// form the streaming hot path stores).
+    pub fn of_weights(weights: &[Weight]) -> Self {
+        let mut max_weight = 0.0f64;
+        let mut sum = 0.0;
+        for &w in weights {
+            max_weight = max_weight.max(w);
+            sum += w;
+        }
         VectorSummary {
-            max_weight: v.max_weight(),
-            sum: v.sum(),
-            nnz: v.nnz() as u32,
+            max_weight,
+            sum,
+            nnz: weights.len() as u32,
         }
     }
 }

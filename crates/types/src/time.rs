@@ -112,8 +112,19 @@ mod tests {
 
     #[test]
     fn total_order_sorts() {
-        let mut v = vec![Timestamp::new(3.0), Timestamp::new(1.0), Timestamp::new(2.0)];
+        let mut v = vec![
+            Timestamp::new(3.0),
+            Timestamp::new(1.0),
+            Timestamp::new(2.0),
+        ];
         v.sort();
-        assert_eq!(v, vec![Timestamp::new(1.0), Timestamp::new(2.0), Timestamp::new(3.0)]);
+        assert_eq!(
+            v,
+            vec![
+                Timestamp::new(1.0),
+                Timestamp::new(2.0),
+                Timestamp::new(3.0)
+            ]
+        );
     }
 }

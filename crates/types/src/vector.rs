@@ -55,10 +55,7 @@ impl SparseVector {
     pub fn iter(
         &self,
     ) -> impl DoubleEndedIterator<Item = (DimId, Weight)> + ExactSizeIterator + '_ {
-        self.dims
-            .iter()
-            .copied()
-            .zip(self.weights.iter().copied())
+        self.dims.iter().copied().zip(self.weights.iter().copied())
     }
 
     /// The weight at dimension `dim`, or `0.0` when absent.
@@ -115,10 +112,7 @@ impl<'a> IntoIterator for &'a SparseVector {
     >;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.dims
-            .iter()
-            .copied()
-            .zip(self.weights.iter().copied())
+        self.dims.iter().copied().zip(self.weights.iter().copied())
     }
 }
 
@@ -268,10 +262,7 @@ mod tests {
     #[test]
     fn zero_vector_rejected() {
         let b = SparseVectorBuilder::new();
-        assert!(matches!(
-            b.build_normalized(),
-            Err(TypesError::ZeroVector)
-        ));
+        assert!(matches!(b.build_normalized(), Err(TypesError::ZeroVector)));
     }
 
     #[test]

@@ -33,7 +33,11 @@ fn synth_stream(seed: u64) -> Vec<TimedSet> {
                 .map(|&tok| if next(10) == 0 { next(500) } else { tok })
                 .chain(std::iter::once(1000 + burst)) // burst marker token
                 .collect();
-            out.push(TimedSet::new(id, t + copy as f64 * 0.3, TokenSet::new(tokens)));
+            out.push(TimedSet::new(
+                id,
+                t + copy as f64 * 0.3,
+                TokenSet::new(tokens),
+            ));
             id += 1;
         }
     }
@@ -59,7 +63,9 @@ fn main() {
     println!(
         "near-duplicate pairs: {} — e.g. {:?}",
         pairs.len(),
-        pairs.first().map(|&(a, b, s)| (a, b, (s * 100.0).round() / 100.0))
+        pairs
+            .first()
+            .map(|&(a, b, s)| (a, b, (s * 100.0).round() / 100.0))
     );
     let s = join.stats();
     println!(
@@ -72,7 +78,11 @@ fn main() {
     let sets: Vec<TokenSet> = stream.iter().map(|r| r.set.clone()).collect();
     let (batch_pairs, batch_stats) = batch_jaccard_join(&sets, theta);
     let brute = brute_force_jaccard(&sets, theta);
-    assert_eq!(batch_pairs.len(), brute.len(), "prefix filter must be exact");
+    assert_eq!(
+        batch_pairs.len(),
+        brute.len(),
+        "prefix filter must be exact"
+    );
     println!(
         "batch join (no decay): {} pairs with {} verifications — the \
          brute force needs {}",

@@ -94,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     a.join().expect("session A panicked")?;
     b.join().expect("session B panicked")?;
 
-    println!("\nserved {} independent sessions", server.sessions_started());
+    println!(
+        "\nserved {} independent sessions",
+        server.sessions_started()
+    );
     server.shutdown();
     Ok(())
 }

@@ -47,10 +47,7 @@ fn main() {
         .collect();
     delivery.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let shuffled: Vec<StreamRecord> = delivery.iter().map(|&(_, i)| sorted[i].clone()).collect();
-    let disordered = shuffled
-        .windows(2)
-        .filter(|w| w[1].t < w[0].t)
-        .count();
+    let disordered = shuffled.windows(2).filter(|w| w[1].t < w[0].t).count();
     println!(
         "delivery order: {} of {} adjacent pairs are out of order",
         disordered,

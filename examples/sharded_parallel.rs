@@ -54,7 +54,11 @@ fn main() {
             out.pairs.len(),
             elapsed,
             max_postings,
-            if keys == reference_keys { "exact" } else { "DIFFERS" }
+            if keys == reference_keys {
+                "exact"
+            } else {
+                "DIFFERS"
+            }
         );
         assert_eq!(keys, reference_keys, "sharding must not change the join");
     }

@@ -16,14 +16,23 @@ use sssj::textsim::{OnlineIdf, Tokenizer};
 /// (near-duplicates) amid unrelated chatter, in arrival order.
 fn feed() -> Vec<(f64, &'static str)> {
     vec![
-        (0.0, "breaking: severe storm hits the northern coast tonight"),
+        (
+            0.0,
+            "breaking: severe storm hits the northern coast tonight",
+        ),
         (2.0, "BREAKING — severe storm hits northern coast tonight!!"),
         (4.0, "totally unrelated post about sourdough baking"),
         (5.0, "storm update: northern coast severe weather continues"),
         (9.0, "cat pictures thread, post your best cat pictures"),
         (11.0, "sourdough baking tips for beginners and experts"),
-        (13.0, "the northern coast storm: severe damage reported tonight"),
-        (300.0, "breaking: severe storm hits the northern coast tonight"), // too late
+        (
+            13.0,
+            "the northern coast storm: severe damage reported tonight",
+        ),
+        (
+            300.0,
+            "breaking: severe storm hits the northern coast tonight",
+        ), // too late
     ]
 }
 
@@ -76,6 +85,13 @@ fn main() {
         !pairs.iter().any(|p| p.right == 7),
         "the 300-second rerun is beyond the horizon"
     );
-    assert!(kept.contains(&2) && kept.contains(&4), "unrelated posts kept");
-    println!("\nidf tracked {} tokens over {} documents", idf.vocabulary(), idf.documents());
+    assert!(
+        kept.contains(&2) && kept.contains(&4),
+        "unrelated posts kept"
+    );
+    println!(
+        "\nidf tracked {} tokens over {} documents",
+        idf.vocabulary(),
+        idf.documents()
+    );
 }

@@ -43,8 +43,8 @@
 //!
 //! | Module | Contents |
 //! |---|---|
-//! | [`types`] | sparse vectors, timestamps, decay, join records |
-//! | [`collections`] | circular buffers, linked hash map, decayed maxima |
+//! | [`types`] | sparse vectors, timestamps, decay (+ memoized decay table), join records |
+//! | [`collections`] | flat posting blocks, epoch accumulator, linked hash map, decayed maxima |
 //! | [`index`] | batch APSS: INV, AP, L2AP, L2 filtering indexes |
 //! | [`core`] | the MB and STR streaming frameworks |
 //! | [`data`] | synthetic corpora, presets, text/binary formats |
@@ -54,6 +54,39 @@
 //! | [`net`] | TCP join service: line-protocol server and client |
 //! | [`parallel`] | sharded multi-threaded STR execution |
 //! | [`textsim`] | set-similarity (Jaccard) joins, batch and streaming |
+//!
+//! ## The flat hot path
+//!
+//! The STR query/insert loop — the paper's headline cost — is built from
+//! flat, reusable structures so that steady-state processing performs
+//! **zero heap allocations per record** on the STR-L2 path (asserted by a
+//! counting-allocator test in `sssj-core`):
+//!
+//! * posting lists are single-allocation
+//!   [`collections::PostingBlock`]s: packed 32-byte entries, O(1) front
+//!   truncation, and the backward time-filtering of §6.2 as a binary
+//!   search on the packed time field;
+//! * the candidate score array `C[ι(y)]` is a dense, epoch-stamped
+//!   [`collections::ScoreAccumulator`] sliding over the live id window —
+//!   O(1) reset, no hashing, with a spill table for arbitrary ids;
+//! * decay factors come from a quantized upper-bound
+//!   [`types::DecayTable`] inside pruning tests (safe: a larger factor
+//!   only admits more), with the exact `exp` reserved for final
+//!   verification;
+//! * residual vectors live in pooled buffers recycled as vectors expire,
+//!   and index-construction bounds are replayed in squared space so the
+//!   per-coordinate square roots disappear.
+//!
+//! ## Benchmarks
+//!
+//! `cargo bench -p sssj-bench --bench fig5_str_indexes` (and the other
+//! `fig*`/`ext_*` benches) measure the paper's figures; the offline
+//! criterion stand-in prints `median / min` per benchmark and appends
+//! JSON lines to the file named by `CRITERION_JSON`. `BENCH_FAST=1`
+//! gives a smoke run; `BENCH_SAMPLES=n` overrides sampling. Recorded
+//! baselines live in `BENCH_baseline.json` (seed hot path) and
+//! `BENCH_pr1.json` (flattened hot path) at the repo root; on shared
+//! machines compare the interference-robust `min_ns` fields.
 
 pub use sssj_baseline as baseline;
 pub use sssj_collections as collections;

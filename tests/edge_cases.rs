@@ -46,7 +46,9 @@ fn single_item_stream() {
 
 #[test]
 fn identical_items_repeated() {
-    let records: Vec<_> = (0..25).map(|i| rec(i, i as f64 * 0.2, &[(7, 1.0)])).collect();
+    let records: Vec<_> = (0..25)
+        .map(|i| rec(i, i as f64 * 0.2, &[(7, 1.0)]))
+        .collect();
     check_all(&records, 0.8, 0.05, "repeated identical");
 }
 
@@ -57,7 +59,11 @@ fn alternating_bursts_and_silences() {
     for burst in 0..5 {
         let t0 = burst as f64 * 1000.0;
         for k in 0..8 {
-            records.push(rec(id, t0 + k as f64 * 0.1, &[(burst, 1.0), (100 + k, 0.4)]));
+            records.push(rec(
+                id,
+                t0 + k as f64 * 0.1,
+                &[(burst, 1.0), (100 + k, 0.4)],
+            ));
             id += 1;
         }
     }
@@ -144,7 +150,9 @@ fn empty_stream_is_fine() {
 
 #[test]
 fn disjoint_vectors_produce_no_work_pairs() {
-    let records: Vec<_> = (0..50).map(|i| rec(i, i as f64, &[(i as u32, 1.0)])).collect();
+    let records: Vec<_> = (0..50)
+        .map(|i| rec(i, i as f64, &[(i as u32, 1.0)]))
+        .collect();
     for framework in Framework::ALL {
         let mut join = build_algorithm(framework, IndexKind::L2, SssjConfig::new(0.5, 0.01));
         let out = run_stream(join.as_mut(), &records);

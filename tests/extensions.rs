@@ -44,17 +44,26 @@ fn all_exact_joins_agree() {
     let mut variants: Vec<(String, Vec<(u64, u64)>)> = Vec::new();
     for framework in Framework::ALL {
         let mut join = build_algorithm(framework, IndexKind::L2, config);
-        variants.push((join.name(), sorted_keys(&run_stream(join.as_mut(), &stream))));
+        variants.push((
+            join.name(),
+            sorted_keys(&run_stream(join.as_mut(), &stream)),
+        ));
     }
     let mut sharded = ShardedJoin::new(config, IndexKind::L2, 3);
-    variants.push((sharded.name(), sorted_keys(&run_stream(&mut sharded, &stream))));
+    variants.push((
+        sharded.name(),
+        sorted_keys(&run_stream(&mut sharded, &stream)),
+    ));
     let mut recoverable = RecoverableJoin::new(config, IndexKind::L2);
     variants.push((
         recoverable.name(),
         sorted_keys(&run_stream(&mut recoverable, &stream)),
     ));
     let mut generic = DecayStreaming::new(theta, DecayModel::exponential(lambda));
-    variants.push((generic.name(), sorted_keys(&run_stream(&mut generic, &stream))));
+    variants.push((
+        generic.name(),
+        sorted_keys(&run_stream(&mut generic, &stream)),
+    ));
 
     let oracle = sorted_keys(&brute_force_stream(&stream, theta, lambda));
     for (name, keys) in &variants {
@@ -98,7 +107,9 @@ fn topk_is_monotone_in_k() {
         .iter()
         .map(|&k| {
             let mut join = TopKJoin::new(config, IndexKind::L2, k);
-            sorted_keys(&run_stream(&mut join, &stream)).into_iter().collect()
+            sorted_keys(&run_stream(&mut join, &stream))
+                .into_iter()
+                .collect()
         })
         .collect();
     assert!(runs[0].is_subset(&runs[1]), "k=1 ⊄ k=3");
@@ -159,7 +170,12 @@ fn burst_and_silence_stress() {
 /// equal-size sets with J = 1 are also cosine-identical.
 #[test]
 fn jaccard_and_cosine_agree_on_exact_duplicates() {
-    let tokens = [vec![1u32, 2, 3], vec![1, 2, 3], vec![7, 8, 9], vec![1, 2, 3]];
+    let tokens = [
+        vec![1u32, 2, 3],
+        vec![1, 2, 3],
+        vec![7, 8, 9],
+        vec![1, 2, 3],
+    ];
     let times = [0.0, 1.0, 2.0, 3.0];
     let (theta, lambda) = (0.95, 0.01);
 
@@ -171,7 +187,10 @@ fn jaccard_and_cosine_agree_on_exact_duplicates() {
             &mut jpairs,
         );
     }
-    let mut jkeys: Vec<(u64, u64)> = jpairs.iter().map(|&(a, b, _)| (a.min(b), a.max(b))).collect();
+    let mut jkeys: Vec<(u64, u64)> = jpairs
+        .iter()
+        .map(|&(a, b, _)| (a.min(b), a.max(b)))
+        .collect();
     jkeys.sort_unstable();
 
     let stream: Vec<StreamRecord> = tokens

@@ -29,7 +29,11 @@ fn pair_counts_agree_across_all_algorithms() {
         for kind in IndexKind::ALL {
             let (keys, stats) = run(framework, kind, config, &records);
             assert_eq!(keys, reference, "{framework}-{kind}");
-            assert_eq!(stats.pairs_output as usize, keys.len(), "{framework}-{kind}");
+            assert_eq!(
+                stats.pairs_output as usize,
+                keys.len(),
+                "{framework}-{kind}"
+            );
         }
     }
 }

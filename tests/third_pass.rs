@@ -81,7 +81,9 @@ fn advisor_to_service_to_snapshot_pipeline() {
         recoverable.process(r, &mut sink);
     }
     let mut snapshot = Vec::new();
-    recoverable.write_snapshot_compressed(&mut snapshot).unwrap();
+    recoverable
+        .write_snapshot_compressed(&mut snapshot)
+        .unwrap();
     let restored = read_snapshot(&snapshot[..]).unwrap();
     assert_eq!(restored.config(), config);
     assert_eq!(restored.buffered_records(), recoverable.buffered_records());
