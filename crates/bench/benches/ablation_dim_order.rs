@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sssj_bench::run_algorithm;
-use sssj_core::{Framework, SssjConfig};
+use sssj_core::{Framework, JoinSpec, SssjConfig};
 use sssj_data::{generate, preset, DimOrdering, Preset};
 use sssj_index::IndexKind;
 use sssj_metrics::WorkBudget;
@@ -33,9 +33,7 @@ fn bench(c: &mut Criterion) {
     for (label, records) in &orderings {
         let r = run_algorithm(
             records,
-            Framework::Streaming,
-            IndexKind::L2,
-            config,
+            &JoinSpec::classic(Framework::Streaming, IndexKind::L2, config),
             WorkBudget::unlimited(),
         );
         eprintln!(
@@ -50,9 +48,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 black_box(run_algorithm(
                     records,
-                    Framework::Streaming,
-                    IndexKind::L2,
-                    config,
+                    &JoinSpec::classic(Framework::Streaming, IndexKind::L2, config),
                     WorkBudget::unlimited(),
                 ))
             })

@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sssj_bench::run_algorithm;
-use sssj_core::{Framework, SssjConfig};
+use sssj_core::{Framework, JoinSpec, SssjConfig};
 use sssj_data::{generate, preset, Preset};
 use sssj_index::IndexKind;
 use sssj_metrics::WorkBudget;
@@ -27,9 +27,11 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     black_box(run_algorithm(
                         records,
-                        Framework::Streaming,
-                        kind,
-                        SssjConfig::new(0.6, lambda),
+                        &JoinSpec::classic(
+                            Framework::Streaming,
+                            kind,
+                            SssjConfig::new(0.6, lambda),
+                        ),
                         WorkBudget::unlimited(),
                     ))
                 })

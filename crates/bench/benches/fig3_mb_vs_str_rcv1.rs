@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sssj_bench::run_algorithm;
-use sssj_core::{Framework, SssjConfig};
+use sssj_core::{Framework, JoinSpec, SssjConfig};
 use sssj_data::{generate, preset, Preset};
 use sssj_index::IndexKind;
 use sssj_metrics::WorkBudget;
@@ -26,9 +26,7 @@ fn bench(c: &mut Criterion) {
                     b.iter(|| {
                         black_box(run_algorithm(
                             records,
-                            framework,
-                            kind,
-                            SssjConfig::new(theta, lambda),
+                            &JoinSpec::classic(framework, kind, SssjConfig::new(theta, lambda)),
                             WorkBudget::unlimited(),
                         ))
                     })

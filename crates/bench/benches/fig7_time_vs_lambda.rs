@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sssj_bench::run_algorithm;
-use sssj_core::{Framework, SssjConfig};
+use sssj_core::{Framework, JoinSpec, SssjConfig};
 use sssj_data::{generate, preset, Preset};
 use sssj_index::IndexKind;
 use sssj_metrics::WorkBudget;
@@ -22,9 +22,11 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     black_box(run_algorithm(
                         records,
-                        Framework::Streaming,
-                        IndexKind::L2,
-                        SssjConfig::new(0.7, lambda),
+                        &JoinSpec::classic(
+                            Framework::Streaming,
+                            IndexKind::L2,
+                            SssjConfig::new(0.7, lambda),
+                        ),
                         WorkBudget::unlimited(),
                     ))
                 })

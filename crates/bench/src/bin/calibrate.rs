@@ -11,7 +11,7 @@
 //! ```
 
 use sssj_bench::run_algorithm;
-use sssj_core::{Framework, SssjConfig};
+use sssj_core::{Framework, JoinSpec, SssjConfig};
 use sssj_data::{generate, preset, Preset};
 use sssj_index::IndexKind;
 use sssj_metrics::WorkBudget;
@@ -48,7 +48,11 @@ fn main() {
             let wc = window_coords(&records, cfg.tau()).max(1);
             for fw in Framework::ALL {
                 for k in [IndexKind::Inv, IndexKind::L2ap, IndexKind::L2] {
-                    let r = run_algorithm(&records, fw, k, cfg, WorkBudget::unlimited());
+                    let r = run_algorithm(
+                        &records,
+                        &JoinSpec::classic(fw, k, cfg),
+                        WorkBudget::unlimited(),
+                    );
                     println!("{p} θ={theta} λ={lambda}: {fw}-{k} peak/wc={:.2} peak/coords={:.2} entries/coords={:.1}",
                         r.stats.peak_postings as f64 / wc as f64,
                         r.stats.peak_postings as f64 / coords as f64,

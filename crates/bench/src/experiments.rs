@@ -5,7 +5,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use sssj_core::{Framework, SssjConfig};
+use sssj_core::{Framework, JoinSpec, SssjConfig};
 use sssj_data::{DatasetStats, Preset};
 use sssj_index::IndexKind;
 use sssj_metrics::{linear_regression, Csv, TextTable, WorkBudget};
@@ -88,9 +88,7 @@ impl Experiments {
         let records = self.cache.get(dataset).to_vec();
         let result = run_algorithm(
             &records,
-            framework,
-            kind,
-            SssjConfig::new(theta, lambda),
+            &JoinSpec::classic(framework, kind, SssjConfig::new(theta, lambda)),
             self.safety,
         );
         self.runs += 1;
@@ -507,7 +505,7 @@ impl Experiments {
     /// MB reports within-window pairs only at window boundaries (delay up
     /// to 2τ); STR reports at completion time (delay 0).
     pub fn delay(&mut self) -> String {
-        use sssj_core::{build_algorithm, measure_report_delay};
+        use sssj_core::measure_report_delay;
         let mut table = TextTable::new([
             "Dataset",
             "algo",
@@ -531,7 +529,9 @@ impl Experiments {
         for p in Preset::ALL {
             let records = self.cache.get(p).to_vec();
             for framework in Framework::ALL {
-                let mut join = build_algorithm(framework, IndexKind::L2, config);
+                let mut join = JoinSpec::classic(framework, IndexKind::L2, config)
+                    .build()
+                    .expect("classic specs always build");
                 let d = measure_report_delay(join.as_mut(), &records);
                 table.row([
                     p.to_string(),

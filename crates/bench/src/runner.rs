@@ -1,6 +1,11 @@
-//! Budgeted single-run execution.
+//! Budgeted single-run execution, driven by [`JoinSpec`]s.
+//!
+//! The harness runs whatever pipeline a spec describes — the classic
+//! framework × index grid of the paper and every extended variant alike
+//! — through the one [`JoinSpec::build`] factory, enforcing a
+//! [`WorkBudget`] as it goes.
 
-use sssj_core::{build_algorithm, Framework, SssjConfig};
+use sssj_core::{Framework, JoinSpec, SssjConfig};
 use sssj_index::IndexKind;
 use sssj_metrics::{BudgetOutcome, JoinStats, Stopwatch, WorkBudget};
 use sssj_types::StreamRecord;
@@ -28,16 +33,25 @@ impl RunResult {
     }
 }
 
-/// Runs `framework`-`kind` at `(θ, λ)` over `records`, enforcing `budget`
+/// The spec of a classic framework × index run at `(θ, λ)` — the
+/// paper's original grid, spelled as a [`JoinSpec`].
+pub fn classic_spec(framework: Framework, kind: IndexKind, config: SssjConfig) -> JoinSpec {
+    JoinSpec::classic(framework, kind, config)
+}
+
+/// Runs the pipeline `spec` describes over `records`, enforcing `budget`
 /// (checked every 64 records).
-pub fn run_algorithm(
-    records: &[StreamRecord],
-    framework: Framework,
-    kind: IndexKind,
-    config: SssjConfig,
-    budget: WorkBudget,
-) -> RunResult {
-    let mut join = build_algorithm(framework, kind, config);
+///
+/// Panics on an unbuildable spec: harness inputs are authored, not
+/// user-supplied, and a typo should fail the experiment loudly.
+pub fn run_algorithm(records: &[StreamRecord], spec: &JoinSpec, budget: WorkBudget) -> RunResult {
+    // Extended engines (lsh, sharded) live downstream of sssj-core;
+    // make them buildable before the factory call.
+    sssj_lsh::register_spec_builder();
+    sssj_parallel::register_spec_builder();
+    let mut join = spec
+        .build()
+        .unwrap_or_else(|e| panic!("harness spec {spec}: {e}"));
     let watch = Stopwatch::start();
     let mut out = Vec::new();
     let mut outcome = BudgetOutcome::Ok;
@@ -85,9 +99,11 @@ mod tests {
         let records = generate(&preset(Preset::Rcv1, 200));
         let r = run_algorithm(
             &records,
-            Framework::Streaming,
-            IndexKind::L2,
-            SssjConfig::new(0.7, 0.01),
+            &classic_spec(
+                Framework::Streaming,
+                IndexKind::L2,
+                SssjConfig::new(0.7, 0.01),
+            ),
             WorkBudget::unlimited(),
         );
         assert!(r.ok());
@@ -105,9 +121,11 @@ mod tests {
         };
         let r = run_algorithm(
             &records,
-            Framework::Streaming,
-            IndexKind::Inv,
-            SssjConfig::new(0.5, 0.0001),
+            &classic_spec(
+                Framework::Streaming,
+                IndexKind::Inv,
+                SssjConfig::new(0.5, 0.0001),
+            ),
             budget,
         );
         assert_eq!(r.outcome, BudgetOutcome::WorkExceeded);
@@ -119,18 +137,29 @@ mod tests {
         let config = SssjConfig::new(0.6, 0.01);
         let a = run_algorithm(
             &records,
-            Framework::Streaming,
-            IndexKind::L2,
-            config,
+            &classic_spec(Framework::Streaming, IndexKind::L2, config),
             WorkBudget::unlimited(),
         );
         let b = run_algorithm(
             &records,
-            Framework::MiniBatch,
-            IndexKind::L2,
-            config,
+            &classic_spec(Framework::MiniBatch, IndexKind::L2, config),
             WorkBudget::unlimited(),
         );
         assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn extended_variants_run_from_spec_strings() {
+        let records = generate(&preset(Preset::Tweets, 150));
+        for s in [
+            "topk-l2?theta=0.6&lambda=0.01&k=2",
+            "lsh?theta=0.6&lambda=0.01",
+            "sharded-l2?theta=0.6&lambda=0.01&shards=2",
+            "decay?theta=0.6&model=window:50",
+        ] {
+            let spec: JoinSpec = s.parse().unwrap();
+            let r = run_algorithm(&records, &spec, WorkBudget::unlimited());
+            assert!(r.ok(), "{s}");
+        }
     }
 }

@@ -2,13 +2,50 @@
 
 use std::path::PathBuf;
 
-use sssj_core::{build_algorithm, Framework, SssjConfig};
+use sssj_core::{Framework, JoinSpec, SssjConfig};
 use sssj_data::{preset, DatasetStats, Preset};
 use sssj_index::IndexKind;
 use sssj_metrics::Stopwatch;
 
 use crate::args::parse;
 use crate::io::{load, save};
+
+/// Resolves the join pipeline for commands that accept either a full
+/// `--spec` string or the classic `--framework/--index/--theta/--lambda`
+/// flags. The two styles are mutually exclusive.
+pub fn spec_from_args(p: &crate::args::Parsed) -> Result<JoinSpec, String> {
+    if let Some(s) = p.get("spec") {
+        for flag in ["framework", "index", "theta", "lambda"] {
+            if p.get(flag).is_some() {
+                return Err(format!("--spec and --{flag} are mutually exclusive"));
+            }
+        }
+        return s.parse().map_err(|e| format!("--spec: {e}"));
+    }
+    let framework = match p.get("framework") {
+        Some(name) => {
+            Framework::parse(name).ok_or_else(|| format!("unknown framework {name:?}"))?
+        }
+        None => Framework::Streaming,
+    };
+    let kind = match p.get("index") {
+        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown index {name:?}"))?,
+        None => IndexKind::L2,
+    };
+    let theta: f64 = p.get_parsed("theta", 0.7)?;
+    let lambda: f64 = p.get_parsed("lambda", 0.01)?;
+    if !(0.0..=1.0).contains(&theta) || theta == 0.0 {
+        return Err(format!("--theta must be in (0, 1], got {theta}"));
+    }
+    if lambda < 0.0 {
+        return Err(format!("--lambda must be >= 0, got {lambda}"));
+    }
+    Ok(JoinSpec::classic(
+        framework,
+        kind,
+        SssjConfig::new(theta, lambda),
+    ))
+}
 
 /// `sssj generate --preset P --n N [--seed S] --out FILE`
 pub fn generate(args: &[String]) -> Result<(), String> {
@@ -64,34 +101,17 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `sssj run FILE --framework F --index I --theta T --lambda L [--pairs]`
+/// `sssj run FILE [--spec S | --framework F --index I --theta T
+/// --lambda L] [--pairs]` — `--spec` reaches every variant (see `sssj
+/// specs` for the grammar and one example per variant).
 pub fn run(args: &[String]) -> Result<(), String> {
     let p = parse(args, &["pairs"])?;
     let [input] = p.positional.as_slice() else {
         return Err("run needs exactly one path".into());
     };
-    let framework = match p.get("framework") {
-        Some(name) => {
-            Framework::parse(name).ok_or_else(|| format!("unknown framework {name:?}"))?
-        }
-        None => Framework::Streaming,
-    };
-    let kind = match p.get("index") {
-        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown index {name:?}"))?,
-        None => IndexKind::L2,
-    };
-    let theta: f64 = p.get_parsed("theta", 0.7)?;
-    let lambda: f64 = p.get_parsed("lambda", 0.01)?;
-    if !(0.0..=1.0).contains(&theta) || theta == 0.0 {
-        return Err(format!("--theta must be in (0, 1], got {theta}"));
-    }
-    if lambda < 0.0 {
-        return Err(format!("--lambda must be >= 0, got {lambda}"));
-    }
-
+    let spec = spec_from_args(&p)?;
     let records = load(&PathBuf::from(input))?;
-    let config = SssjConfig::new(theta, lambda);
-    let mut join = build_algorithm(framework, kind, config);
+    let mut join = spec.build().map_err(|e| e.to_string())?;
     let watch = Stopwatch::start();
     let mut out = Vec::new();
     for r in &records {
@@ -112,9 +132,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let elapsed = watch.seconds();
     let s = join.stats();
     eprintln!("algorithm : {}", join.name());
+    eprintln!("spec      : {spec}");
     eprintln!(
-        "theta     : {theta}   lambda: {lambda}   tau: {:.1}s",
-        config.tau()
+        "theta     : {}   lambda: {}   tau: {:.1}s",
+        spec.theta,
+        spec.lambda,
+        spec.config().tau()
     );
     eprintln!("records   : {}", records.len());
     eprintln!("pairs     : {}", s.pairs_output);

@@ -5,9 +5,7 @@
 use std::path::PathBuf;
 
 use sssj_baseline::brute_force_stream;
-use sssj_core::{
-    build_algorithm, run_stream, DecayStreaming, Framework, SssjConfig, StreamJoin, TopKJoin,
-};
+use sssj_core::{run_stream, EngineSpec, Framework, JoinSpec, SssjConfig, StreamJoin};
 use sssj_index::IndexKind;
 use sssj_lsh::{measure_accuracy, LshParams, VerifyMode};
 use sssj_metrics::Stopwatch;
@@ -67,7 +65,9 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
                 return Err(format!("invalid grid point θ={theta} λ={lambda}"));
             }
             let config = SssjConfig::new(theta, lambda);
-            let mut join = build_algorithm(framework, kind, config);
+            let mut join = JoinSpec::classic(framework, kind, config)
+                .build()
+                .map_err(|e| e.to_string())?;
             let watch = Stopwatch::start();
             let pairs = run_stream(join.as_mut(), &records);
             let elapsed = watch.seconds();
@@ -108,7 +108,9 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     let mut all_match = true;
     for framework in Framework::ALL {
         for kind in IndexKind::ALL {
-            let mut join = build_algorithm(framework, kind, config);
+            let mut join = JoinSpec::classic(framework, kind, config)
+                .build()
+                .map_err(|e| e.to_string())?;
             let watch = Stopwatch::start();
             let pairs = run_stream(join.as_mut(), &records);
             let elapsed = watch.seconds();
@@ -147,9 +149,14 @@ pub fn topk(args: &[String]) -> Result<(), String> {
         None => IndexKind::L2,
     };
     let records = load(&PathBuf::from(input))?;
-    let mut join = TopKJoin::new(SssjConfig::new(theta, lambda), kind, k);
+    let spec = JoinSpec {
+        engine: EngineSpec::TopK(k as u32),
+        index: kind,
+        ..JoinSpec::new(theta, lambda)
+    };
+    let mut join = spec.build().map_err(|e| e.to_string())?;
     let watch = Stopwatch::start();
-    let pairs = run_stream(&mut join, &records);
+    let pairs = run_stream(join.as_mut(), &records);
     let elapsed = watch.seconds();
     if p.flag("pairs") {
         for pair in &pairs {
@@ -157,11 +164,8 @@ pub fn topk(args: &[String]) -> Result<(), String> {
         }
     }
     eprintln!("algorithm : {}", join.name());
-    eprintln!(
-        "pairs     : {} ({} over-threshold truncated)",
-        pairs.len(),
-        join.truncated_pairs()
-    );
+    eprintln!("spec      : {spec}");
+    eprintln!("pairs     : {}", pairs.len());
     eprintln!("time      : {elapsed:.3} s");
     Ok(())
 }
@@ -248,6 +252,46 @@ pub fn shards(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One canonical spec string per join variant the workspace advertises —
+/// the surface `sssj specs` prints and CI smoke-builds.
+pub const ADVERTISED_SPECS: &[&str] = &[
+    "str-l2?theta=0.7&lambda=0.01",
+    "str-l2ap?theta=0.7&lambda=0.01",
+    "str-inv?theta=0.7&lambda=0.01",
+    "mb-l2?theta=0.7&lambda=0.01",
+    "mb-l2ap?theta=0.7&lambda=0.01",
+    "mb-inv?theta=0.7&lambda=0.01",
+    "decay?theta=0.7&model=window:10",
+    "decay?theta=0.7&model=linear:20",
+    "decay?theta=0.7&model=poly:2:5",
+    "topk-l2?theta=0.5&lambda=0.01&k=3",
+    "lsh?theta=0.7&lambda=0.01&bits=256&bands=32&verify=exact",
+    "lsh?theta=0.7&lambda=0.01&bits=256&bands=32&verify=est",
+    "sharded-l2?theta=0.7&lambda=0.01&shards=2",
+    "str-l2?theta=0.7&lambda=0.01&reorder=5",
+    "str-l2?theta=0.7&lambda=0.01&checked",
+    "str-l2?theta=0.7&lambda=0.01&snapshot",
+];
+
+/// `sssj specs` — one line per advertised join variant: the canonical
+/// spec string, a tab, and the `name()` of the join it builds. Every
+/// line is built through the one `JoinSpec::build` factory, so this
+/// doubles as the spec-grammar smoke check.
+pub fn specs(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    if !p.positional.is_empty() {
+        return Err("specs takes no arguments".into());
+    }
+    for s in ADVERTISED_SPECS {
+        let spec: JoinSpec = s.parse().map_err(|e| format!("{s}: {e}"))?;
+        let mut join = spec.build().map_err(|e| format!("{s}: {e}"))?;
+        println!("{spec}\t{}", join.name());
+        // Sharded joins spawn workers: run them down cleanly.
+        join.finish(&mut Vec::new());
+    }
+    Ok(())
+}
+
 /// `sssj decay FILE --model exp:0.01|window:W|linear:W|poly:A:S
 /// [--theta T] [--pairs]` — the generalised-decay join.
 pub fn decay(args: &[String]) -> Result<(), String> {
@@ -260,9 +304,14 @@ pub fn decay(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("cannot parse decay model {model_spec:?} (try exp:0.01, window:60, linear:60, poly:2:10)"))?;
     let theta: f64 = p.get_parsed("theta", 0.7)?;
     let records = load(&PathBuf::from(input))?;
-    let mut join = DecayStreaming::new(theta, model);
+    let spec = JoinSpec {
+        engine: EngineSpec::GenericDecay(model),
+        lambda: 0.0,
+        ..JoinSpec::new(theta, 0.0)
+    };
+    let mut join = spec.build().map_err(|e| e.to_string())?;
     let watch = Stopwatch::start();
-    let pairs = run_stream(&mut join, &records);
+    let pairs = run_stream(join.as_mut(), &records);
     let elapsed = watch.seconds();
     if p.flag("pairs") {
         for pair in &pairs {
@@ -270,7 +319,10 @@ pub fn decay(args: &[String]) -> Result<(), String> {
         }
     }
     eprintln!("algorithm : {}", join.name());
-    eprintln!("model     : {model}   horizon τ(θ): {:.2} s", join.tau());
+    eprintln!(
+        "model     : {model}   horizon τ(θ): {:.2} s",
+        model.horizon(theta)
+    );
     eprintln!("pairs     : {}", pairs.len());
     eprintln!("time      : {elapsed:.3} s");
     eprintln!("work      : {}", join.stats());

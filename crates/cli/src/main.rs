@@ -24,8 +24,10 @@ commands:
   generate   synthesise a stream           (--preset, --n, --seed, --out)
   convert    convert text <-> binary       (<in> <out>)
   stats      print dataset statistics      (<file>)
-  run        run a join over a stream      (<file>, --framework, --index,
-                                            --theta, --lambda, --pairs)
+  run        run a join over a stream      (<file>, --spec | --framework,
+                                            --index, --theta, --lambda;
+                                            --pairs)
+  specs      list every join variant as a buildable spec string
   sweep      (θ, λ) grid, CSV on stdout    (<file>, --thetas, --lambdas,
                                             --framework, --index)
   compare    all algorithms vs the oracle  (<file>, --theta, --lambda)
@@ -37,14 +39,17 @@ commands:
                                             --lambda, --index)
   decay      generalised decay models      (<file>, --model, --theta,
                                             --pairs)
-  serve      incremental join on stdin     (--theta, --lambda, --index,
-                                            --tokenize, --quiet)
-  net-serve  TCP join service              (--listen, --theta, --lambda,
-                                            --index, --framework)
-  net-send   stream a file to a service    (<file>, --connect, --theta,
-                                            --lambda, --index, --quiet)
+  serve      incremental join on stdin     (--spec | --theta, --lambda,
+                                            --index; --tokenize, --quiet)
+  net-serve  TCP join service              (--listen, --spec | --theta,
+                                            --lambda, --index, --framework)
+  net-send   stream a file to a service    (<file>, --connect, --spec,
+                                            --theta, --lambda, --index,
+                                            --quiet)
 
 run options:
+  --spec S                full pipeline spec, e.g. str-l2?theta=0.7&reorder=5
+                          (run `sssj specs` for one example per variant)
   --framework mb|str      (default str)
   --index inv|ap|l2ap|l2  (default l2)
   --theta T               similarity threshold in (0,1]   (default 0.7)
@@ -56,6 +61,8 @@ decay models (for `decay --model`):
 ";
 
 fn main() -> ExitCode {
+    // Make every engine spec-buildable before any command parses one.
+    sssj_net::register_spec_builders();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprint!("{USAGE}");
@@ -66,6 +73,7 @@ fn main() -> ExitCode {
         "convert" => commands::convert(rest),
         "stats" => commands::stats(rest),
         "run" => commands::run(rest),
+        "specs" => commands_ext::specs(rest),
         "sweep" => commands_ext::sweep(rest),
         "compare" => commands_ext::compare(rest),
         "topk" => commands_ext::topk(rest),

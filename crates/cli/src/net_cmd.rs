@@ -8,14 +8,18 @@
 
 use std::io::Read;
 
-use sssj_core::Framework;
+use sssj_core::{EngineSpec, Framework, JoinSpec, WrapperSpec};
 use sssj_index::IndexKind;
 use sssj_net::{ConfigRequest, JoinClient, Server, ServerOptions, SessionDefaults};
 
 use crate::args::parse;
 use crate::io::load;
 
-/// `sssj net-serve --listen 127.0.0.1:7878 [--theta --lambda --index --framework --mode --slack]`
+/// `sssj net-serve --listen 127.0.0.1:7878 [--spec S] [--theta --lambda
+/// --index --framework --mode --slack]`
+///
+/// `--spec` sets the default join pipeline for every session (any
+/// variant; see `sssj specs`); the scalar flags override its fields.
 ///
 /// Serves until stdin reaches EOF, so `sssj net-serve < /dev/null` exits
 /// immediately after binding (useful in scripts) while an interactive run
@@ -31,16 +35,20 @@ fn net_serve_impl(args: &[String], wait_on: &mut impl Read) -> Result<(), String
     }
     let listen = p.get("listen").unwrap_or("127.0.0.1:7878").to_string();
     let mut defaults = SessionDefaults::default();
-    defaults.config = sssj_core::SssjConfig::new(
-        p.get_parsed("theta", defaults.config.theta)?,
-        p.get_parsed("lambda", defaults.config.lambda)?,
-    );
+    let mut spec = match p.get("spec") {
+        Some(s) => s.parse::<JoinSpec>().map_err(|e| format!("--spec: {e}"))?,
+        None => defaults.spec,
+    };
+    spec.theta = p.get_parsed("theta", spec.theta)?;
+    spec.lambda = p.get_parsed("lambda", spec.lambda)?;
     if let Some(s) = p.get("index") {
-        defaults.index = IndexKind::parse(s).ok_or_else(|| format!("unknown index {s:?}"))?;
+        spec.index = IndexKind::parse(s).ok_or_else(|| format!("unknown index {s:?}"))?;
     }
     if let Some(s) = p.get("framework") {
-        defaults.framework =
-            Framework::parse(s).ok_or_else(|| format!("unknown framework {s:?}"))?;
+        spec.engine = match Framework::parse(s).ok_or_else(|| format!("unknown framework {s:?}"))? {
+            Framework::Streaming => EngineSpec::Streaming,
+            Framework::MiniBatch => EngineSpec::MiniBatch,
+        };
     }
     if let Some(s) = p.get("mode") {
         defaults.mode = match s {
@@ -54,23 +62,27 @@ fn net_serve_impl(args: &[String], wait_on: &mut impl Read) -> Result<(), String
         if !(slack.is_finite() && slack >= 0.0) {
             return Err(format!("slack must be ≥ 0: {s}"));
         }
-        defaults.slack = slack;
+        if let (inner, Some(_)) = spec.split_outer_reorder() {
+            spec = inner;
+        }
+        if slack > 0.0 {
+            spec.wrappers.push(WrapperSpec::Reorder(slack));
+        }
     }
+    spec.validate().map_err(|e| e.to_string())?;
+    defaults.spec = spec;
     let server = Server::bind(
         &listen,
         ServerOptions {
-            defaults,
+            defaults: defaults.clone(),
             ..Default::default()
         },
     )
     .map_err(|e| format!("cannot bind {listen}: {e}"))?;
     eprintln!(
-        "sssj: serving on {} (θ={}, λ={}, {} {}); close stdin to stop",
+        "sssj: serving on {} (spec {}); close stdin to stop",
         server.local_addr(),
-        defaults.config.theta,
-        defaults.config.lambda,
-        defaults.framework,
-        defaults.index,
+        defaults.spec,
     );
     // Block until the controlling stream closes.
     let mut sink = [0u8; 1024];
@@ -89,7 +101,8 @@ fn net_serve_impl(args: &[String], wait_on: &mut impl Read) -> Result<(), String
     Ok(())
 }
 
-/// `sssj net-send <file> --connect 127.0.0.1:7878 [--theta --lambda --index --framework --quiet]`
+/// `sssj net-send <file> --connect 127.0.0.1:7878 [--spec S] [--theta
+/// --lambda --index --framework --quiet]`
 pub fn net_send(args: &[String]) -> Result<(), String> {
     let p = parse(args, &["quiet"])?;
     let [file] = p.positional.as_slice() else {
@@ -113,6 +126,9 @@ pub fn net_send(args: &[String]) -> Result<(), String> {
             .transpose()?,
         ..Default::default()
     };
+    if let Some(s) = p.get("spec") {
+        config.spec = Some(s.parse().map_err(|e| format!("--spec: {e}"))?);
+    }
     if let Some(s) = p.get("index") {
         config.index = Some(IndexKind::parse(s).ok_or_else(|| format!("unknown index {s:?}"))?);
     }

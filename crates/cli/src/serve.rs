@@ -17,13 +17,13 @@
 
 use std::io::{BufRead, Write};
 
-use sssj_core::{SssjConfig, StreamJoin, Streaming};
+use sssj_core::StreamJoin;
 use sssj_data::text::parse_line;
-use sssj_index::IndexKind;
 use sssj_textsim::Tokenizer;
 use sssj_types::{SimilarPair, StreamRecord, Timestamp};
 
 use crate::args::parse;
+use crate::commands::spec_from_args;
 
 /// Parses a `--tokenize`-mode line: `<timestamp> <raw text…>`.
 fn parse_text_line(
@@ -58,22 +58,26 @@ pub fn serve_streams<R: BufRead, W: Write>(
     if !p.positional.is_empty() {
         return Err("serve reads from stdin; no file argument expected".into());
     }
-    let theta: f64 = p.get_parsed("theta", 0.7)?;
-    let lambda: f64 = p.get_parsed("lambda", 0.01)?;
-    if !(theta > 0.0 && theta <= 1.0) {
-        return Err(format!("--theta must be in (0, 1], got {theta}"));
-    }
-    if lambda <= 0.0 {
-        return Err(format!("--lambda must be > 0 for streaming, got {lambda}"));
-    }
-    let kind = match p.get("index") {
-        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown index {name:?}"))?,
-        None => IndexKind::L2,
+    sssj_net::register_spec_builders();
+    let spec = spec_from_args(&p)?;
+    // A long-lived stdin service needs a finite forgetting horizon,
+    // whichever way the pipeline was specified: λ = 0 (or an exp:0
+    // decay model) would mean nothing ever expires and the index grows
+    // without bound.
+    let horizon = match spec.engine {
+        sssj_core::EngineSpec::GenericDecay(model) => model.horizon(spec.theta),
+        _ => spec.config().tau(),
     };
+    if !horizon.is_finite() {
+        return Err(
+            "serve needs a finite forgetting horizon: use lambda > 0 or a windowed decay model"
+                .into(),
+        );
+    }
     let tokenize = p.flag("tokenize");
     let tokenizer = Tokenizer::new();
 
-    let mut join = Streaming::new(SssjConfig::new(theta, lambda), kind);
+    let mut join = spec.build().map_err(|e| e.to_string())?;
     let mut out: Vec<SimilarPair> = Vec::new();
     let mut id = 0u64;
     let mut last_t = f64::NEG_INFINITY;
@@ -113,6 +117,19 @@ pub fn serve_streams<R: BufRead, W: Write>(
         // Per-record flush: downstream sees pairs as they happen.
         output.flush().map_err(|e| format!("stdout: {e}"))?;
     }
+    // Engines that buffer (MiniBatch windows, sharded workers) hand the
+    // rest back at end-of-stream.
+    out.clear();
+    join.finish(&mut out);
+    for pair in &out {
+        writeln!(
+            output,
+            "{} {} {:.6}",
+            pair.left, pair.right, pair.similarity
+        )
+        .map_err(|e| format!("stdout: {e}"))?;
+    }
+    output.flush().map_err(|e| format!("stdout: {e}"))?;
     if !p.flag("quiet") {
         let s = join.stats();
         eprintln!(
@@ -191,5 +208,24 @@ mod tests {
         assert!(run(&["--theta", "0"], "").is_err());
         assert!(run(&["--lambda", "0"], "").is_err());
         assert!(run(&["--index", "bogus"], "").is_err());
+        // The horizon guard applies to --spec pipelines too.
+        assert!(run(&["--spec", "str-l2?theta=0.7&lambda=0"], "").is_err());
+        assert!(run(&["--spec", "mb-l2?lambda=0"], "").is_err());
+    }
+
+    #[test]
+    fn spec_selects_the_pipeline() {
+        let input = "0.0 1:1.0 2:1.0\n1.0 1:1.0 2:1.0\n900.0 1:1.0 2:1.0\n";
+        // MB buffers the within-window pair; the end-of-stream flush
+        // must surface it.
+        let out = run(&["--spec", "mb-l2?theta=0.7&lambda=0.01", "--quiet"], input).unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        // A windowed decay model provides its own finite horizon.
+        let out = run(
+            &["--spec", "decay?theta=0.7&model=window:10", "--quiet"],
+            input,
+        )
+        .unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
     }
 }

@@ -1,13 +1,52 @@
-//! Ergonomic entry points: a fluent builder and an iterator adapter.
+//! Ergonomic entry points: a fluent builder over [`JoinSpec`] and an
+//! iterator adapter.
+//!
+//! [`JoinBuilder`] is a thin fluent front-end over the declarative
+//! [`JoinSpec`]: every method mutates the spec, [`JoinBuilder::build`]
+//! delegates to the one factory [`JoinSpec::build`], and
+//! [`JoinBuilder::spec`] hands the spec out for serialization (its
+//! compact text form drives the CLI and the net protocol). One worked
+//! example per variant:
+//!
+//! ```
+//! use sssj_core::JoinBuilder;
+//! use sssj_index::IndexKind;
+//! use sssj_types::DecayModel;
+//!
+//! // The paper's eight framework × index combinations:
+//! let join = JoinBuilder::new(0.7, 0.01).minibatch().index(IndexKind::Inv).build();
+//! assert_eq!(join.name(), "MB-INV");
+//!
+//! // Generalised decay models (hard window, linear, polynomial):
+//! let join = JoinBuilder::new(0.7, 0.0).decay_model(DecayModel::sliding_window(10.0)).build();
+//! assert_eq!(join.name(), "STR-L2[window:10]");
+//!
+//! // Per-arrival top-k selection:
+//! let join = JoinBuilder::new(0.5, 0.01).top_k(3).build();
+//! assert_eq!(join.name(), "STR-L2-top3");
+//!
+//! // Out-of-order tolerance and online self-verification wrap any base:
+//! let join = JoinBuilder::new(0.7, 0.01).checked().reorder_slack(5.0).build();
+//! assert_eq!(join.name(), "Reorder(checked(STR-L2))");
+//!
+//! // Checkpointable STR (see sssj_core::snapshot):
+//! let spec = JoinBuilder::new(0.7, 0.01).snapshot().spec().clone();
+//! assert_eq!(spec.to_string(), "str-l2?theta=0.7&lambda=0.01&snapshot");
+//! ```
+//!
+//! The LSH and sharded engines are spec-addressable too
+//! ([`JoinBuilder::lsh`], [`JoinBuilder::sharded`]); building those
+//! requires the providing crate (`sssj-lsh` / `sssj-parallel`) to be
+//! linked and registered — every workspace binary does this at startup.
 
 use sssj_index::IndexKind;
-use sssj_types::{SimilarPair, StreamRecord};
+use sssj_types::{DecayModel, SimilarPair, StreamRecord};
 
-use crate::algorithm::{build_algorithm, Framework, StreamJoin};
+use crate::algorithm::StreamJoin;
 use crate::config::SssjConfig;
-use crate::reorder::ReorderBuffer;
+use crate::spec::{EngineSpec, JoinSpec, LshSpec, SpecError, WrapperSpec};
 
-/// Fluent configuration of a streaming join.
+/// Fluent configuration of a streaming join — sugar over [`JoinSpec`].
 ///
 /// ```
 /// use sssj_core::JoinBuilder;
@@ -15,12 +54,9 @@ use crate::reorder::ReorderBuffer;
 /// let join = JoinBuilder::new(0.7, 0.01).minibatch().build();
 /// assert_eq!(join.name(), "MB-L2");
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct JoinBuilder {
-    config: SssjConfig,
-    framework: Framework,
-    kind: IndexKind,
-    slack: f64,
+    spec: JoinSpec,
 }
 
 impl JoinBuilder {
@@ -28,10 +64,7 @@ impl JoinBuilder {
     /// recommended STR-L2.
     pub fn new(theta: f64, lambda: f64) -> Self {
         JoinBuilder {
-            config: SssjConfig::new(theta, lambda),
-            framework: Framework::Streaming,
-            kind: IndexKind::L2,
-            slack: 0.0,
+            spec: JoinSpec::new(theta, lambda),
         }
     }
 
@@ -39,57 +72,123 @@ impl JoinBuilder {
     /// items still matter.
     pub fn from_horizon(theta: f64, tau: f64) -> Self {
         JoinBuilder {
-            config: SssjConfig::from_horizon(theta, tau),
-            framework: Framework::Streaming,
-            kind: IndexKind::L2,
-            slack: 0.0,
+            spec: JoinSpec::from_horizon(theta, tau),
         }
+    }
+
+    /// Starts from an explicit spec (e.g. one parsed from its text form).
+    pub fn from_spec(spec: JoinSpec) -> Self {
+        JoinBuilder { spec }
     }
 
     /// Selects the MiniBatch framework.
     pub fn minibatch(mut self) -> Self {
-        self.framework = Framework::MiniBatch;
+        self.spec.engine = EngineSpec::MiniBatch;
         self
     }
 
     /// Selects the Streaming framework (the default).
     pub fn streaming(mut self) -> Self {
-        self.framework = Framework::Streaming;
+        self.spec.engine = EngineSpec::Streaming;
         self
     }
 
     /// Selects the index variant (default [`IndexKind::L2`]).
     pub fn index(mut self, kind: IndexKind) -> Self {
-        self.kind = kind;
+        self.spec.index = kind;
+        self
+    }
+
+    /// Generalises the decay to an arbitrary [`DecayModel`] (the engine
+    /// becomes the L2-only generic-decay join; λ is carried by the
+    /// model).
+    pub fn decay_model(mut self, model: DecayModel) -> Self {
+        self.spec.engine = EngineSpec::GenericDecay(model);
+        self.spec.lambda = 0.0;
+        self
+    }
+
+    /// Caps output at the `k` best matches per arrival.
+    pub fn top_k(mut self, k: u32) -> Self {
+        self.spec.engine = EngineSpec::TopK(k);
+        self
+    }
+
+    /// Selects the approximate SimHash/banding engine (requires the
+    /// `sssj-lsh` crate to be registered in this binary).
+    pub fn lsh(mut self, params: LshSpec) -> Self {
+        self.spec.engine = EngineSpec::Lsh(params);
+        self
+    }
+
+    /// Runs the join across `shards` worker threads (requires the
+    /// `sssj-parallel` crate to be registered in this binary).
+    pub fn sharded(mut self, shards: u32) -> Self {
+        self.spec.engine = EngineSpec::Sharded { shards };
         self
     }
 
     /// Tolerates records arriving up to `slack` time units out of order
-    /// by wrapping the join in a [`ReorderBuffer`]; hopelessly late
-    /// records are counted and dropped. Zero (the default) requires
-    /// sorted input.
+    /// by wrapping the join in a [`crate::ReorderBuffer`]; hopelessly
+    /// late records are counted and dropped. Zero (the default) requires
+    /// sorted input. The last call wins — a later `0` removes the
+    /// wrapper again, matching the pre-spec field semantics.
     pub fn reorder_slack(mut self, slack: f64) -> Self {
         assert!(
             slack.is_finite() && slack >= 0.0,
             "slack must be finite and non-negative: {slack}"
         );
-        self.slack = slack;
+        self.spec
+            .wrappers
+            .retain(|w| !matches!(w, WrapperSpec::Reorder(_)));
+        if slack > 0.0 {
+            self.spec.wrappers.push(WrapperSpec::Reorder(slack));
+        }
+        self
+    }
+
+    /// Shadows the join with the exact oracle ([`crate::CheckedJoin`]) —
+    /// a debugging aid, O(n·w) like the oracle. Idempotent.
+    pub fn checked(mut self) -> Self {
+        if !self.spec.wrappers.contains(&WrapperSpec::Checked) {
+            self.spec.wrappers.push(WrapperSpec::Checked);
+        }
+        self
+    }
+
+    /// Makes the join checkpointable ([`crate::RecoverableJoin`]; STR
+    /// engine only). Idempotent.
+    pub fn snapshot(mut self) -> Self {
+        if !self.spec.wrappers.contains(&WrapperSpec::Snapshot) {
+            self.spec.wrappers.insert(0, WrapperSpec::Snapshot);
+        }
         self
     }
 
     /// The resolved configuration.
     pub fn config(&self) -> SssjConfig {
-        self.config
+        self.spec.config()
     }
 
-    /// Builds the join.
+    /// The underlying declarative spec.
+    pub fn spec(&self) -> &JoinSpec {
+        &self.spec
+    }
+
+    /// Builds the join through the single [`JoinSpec::build`] factory.
+    ///
+    /// Panics when the spec is invalid (mismatched engine/wrapper
+    /// combination, unregistered extension engine); use
+    /// [`JoinBuilder::try_build`] to handle those as values.
     pub fn build(self) -> Box<dyn StreamJoin> {
-        let join = build_algorithm(self.framework, self.kind, self.config);
-        if self.slack > 0.0 {
-            Box::new(ReorderBuffer::new(join, self.slack))
-        } else {
-            join
-        }
+        let spec = self.spec;
+        spec.build()
+            .unwrap_or_else(|e| panic!("JoinBuilder: {e} (spec: {spec})"))
+    }
+
+    /// Builds the join, reporting invalid specs as [`SpecError`]s.
+    pub fn try_build(self) -> Result<Box<dyn StreamJoin>, SpecError> {
+        self.spec.build()
     }
 
     /// Builds the join and wraps a record source into a pair iterator.
@@ -104,11 +203,16 @@ impl JoinBuilder {
 /// An iterator adapter: pulls records from a source, pushes out similar
 /// pairs as they complete, and flushes buffered output (MiniBatch) when
 /// the source ends.
+///
+/// Pairs are staged in a single reusable buffer that the join appends to
+/// directly; a cursor walks it and the buffer is recycled once drained,
+/// so no pair is ever copied between containers.
 pub struct PairIter<I> {
     join: Box<dyn StreamJoin>,
     source: I,
-    pending: std::collections::VecDeque<SimilarPair>,
-    scratch: Vec<SimilarPair>,
+    /// Pairs produced but not yet yielded; `buf[cursor..]` is pending.
+    buf: Vec<SimilarPair>,
+    cursor: usize,
     finished: bool,
 }
 
@@ -118,8 +222,8 @@ impl<I: Iterator<Item = StreamRecord>> PairIter<I> {
         PairIter {
             join,
             source,
-            pending: std::collections::VecDeque::new(),
-            scratch: Vec::new(),
+            buf: Vec::new(),
+            cursor: 0,
             finished: false,
         }
     }
@@ -135,23 +239,22 @@ impl<I: Iterator<Item = StreamRecord>> Iterator for PairIter<I> {
 
     fn next(&mut self) -> Option<SimilarPair> {
         loop {
-            if let Some(pair) = self.pending.pop_front() {
-                return Some(pair);
+            if let Some(pair) = self.buf.get(self.cursor) {
+                self.cursor += 1;
+                return Some(*pair);
             }
             if self.finished {
                 return None;
             }
+            // Buffer drained: recycle it and let the join append straight
+            // into it.
+            self.buf.clear();
+            self.cursor = 0;
             match self.source.next() {
-                Some(record) => {
-                    self.scratch.clear();
-                    self.join.process(&record, &mut self.scratch);
-                    self.pending.extend(self.scratch.drain(..));
-                }
+                Some(record) => self.join.process(&record, &mut self.buf),
                 None => {
                     self.finished = true;
-                    self.scratch.clear();
-                    self.join.finish(&mut self.scratch);
-                    self.pending.extend(self.scratch.drain(..));
+                    self.join.finish(&mut self.buf);
                 }
             }
         }
@@ -194,6 +297,45 @@ mod tests {
     }
 
     #[test]
+    fn builder_is_a_front_end_over_the_spec() {
+        let b = JoinBuilder::new(0.5, 0.1)
+            .minibatch()
+            .index(IndexKind::Inv)
+            .reorder_slack(4.0);
+        assert_eq!(
+            b.spec().to_string(),
+            "mb-inv?theta=0.5&lambda=0.1&reorder=4"
+        );
+        // Round-trip through the compact form builds the same pipeline.
+        let spec: JoinSpec = b.spec().to_string().parse().unwrap();
+        assert_eq!(
+            JoinBuilder::from_spec(spec).build().name(),
+            b.build().name()
+        );
+    }
+
+    #[test]
+    fn builder_reaches_extended_variants() {
+        assert_eq!(
+            JoinBuilder::new(0.5, 0.0)
+                .decay_model(sssj_types::DecayModel::linear(8.0))
+                .build()
+                .name(),
+            "STR-L2[linear:8]"
+        );
+        assert_eq!(
+            JoinBuilder::new(0.5, 0.1).top_k(2).build().name(),
+            "STR-L2-top2"
+        );
+        assert_eq!(
+            JoinBuilder::new(0.5, 0.1).checked().build().name(),
+            "checked(STR-L2)"
+        );
+        // Invalid combinations surface as errors, not panics, via try_build.
+        assert!(JoinBuilder::new(0.5, 0.1).top_k(0).try_build().is_err());
+    }
+
+    #[test]
     fn builder_reorder_slack_fixes_disorder() {
         let mut shuffled = stream();
         shuffled.swap(0, 1); // timestamps 1.0, 0.0, 2.0, 3.0
@@ -211,6 +353,30 @@ mod tests {
             JoinBuilder::new(0.5, 0.2).reorder_slack(5.0).build().name(),
             "Reorder(STR-L2)"
         );
+    }
+
+    #[test]
+    fn wrapper_methods_are_last_call_wins_and_idempotent() {
+        // A later reorder_slack replaces the earlier one; 0 disables.
+        let b = JoinBuilder::new(0.5, 0.1)
+            .reorder_slack(5.0)
+            .reorder_slack(0.0);
+        assert!(b.spec().wrappers.is_empty());
+        let b = JoinBuilder::new(0.5, 0.1)
+            .reorder_slack(5.0)
+            .reorder_slack(2.0);
+        assert_eq!(b.spec().wrappers, vec![WrapperSpec::Reorder(2.0)]);
+        // checked/snapshot never stack.
+        let b = JoinBuilder::new(0.5, 0.1)
+            .snapshot()
+            .checked()
+            .snapshot()
+            .checked();
+        assert_eq!(
+            b.spec().wrappers,
+            vec![WrapperSpec::Snapshot, WrapperSpec::Checked]
+        );
+        b.build();
     }
 
     #[test]

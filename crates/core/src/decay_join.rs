@@ -19,25 +19,16 @@
 //! `dot(x, y) ≤ Σ_j x_j·max_window(j)` holds for any in-horizon `y`, so
 //! `remscore = min(rs1w, rs2·f(Δt))` stays a safe upper bound.
 
-use sssj_collections::{CircularBuffer, LinkedHashMap, ScoreAccumulator, WindowedMaxVec};
-use sssj_metrics::JoinStats;
-use sssj_types::{
-    dot, prefix_norms_into, DecayModel, SimilarPair, SparseVector, StreamRecord, VectorId, Weight,
+use sssj_collections::{
+    Accumulated, LinkedHashMap, PostingBlock, ScoreAccumulator, WindowedMaxVec,
 };
+use sssj_metrics::JoinStats;
+use sssj_types::{dot, DecayModel, SimilarPair, SparseVector, StreamRecord, VectorId};
 
 use crate::algorithm::StreamJoin;
 
 /// Same safe-side slack as the exponential STR implementation.
 const PRUNE_EPS: f64 = 1e-12;
-
-/// A time-ordered posting entry (id, weight, prefix norm, arrival time).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-struct Entry {
-    id: VectorId,
-    weight: Weight,
-    prefix_norm: Weight,
-    t: f64,
-}
 
 /// Residual state per in-horizon vector.
 #[derive(Clone, Debug, Default)]
@@ -72,13 +63,15 @@ pub struct DecayStreaming {
     tau: f64,
     /// Optional window-max candidate bound (`rs1w`), ablatable.
     window_max: Option<WindowedMaxVec>,
-    lists: Vec<CircularBuffer<Entry>>,
+    /// Flat, time-ordered posting lists — the same single-allocation
+    /// blocks the exponential hot path scans (generic decay models never
+    /// re-index, so lists stay time-ordered and expiry is a binary
+    /// search + O(1) front cut).
+    lists: Vec<PostingBlock>,
     residual: LinkedHashMap<VectorId, Meta>,
     acc: ScoreAccumulator,
     live_postings: u64,
     stats: JoinStats,
-    /// Reusable prefix-norm scratch (steady-state allocation avoidance).
-    scratch_norms: Vec<f64>,
     scratch_hits: Vec<(VectorId, f64)>,
 }
 
@@ -116,7 +109,6 @@ impl DecayStreaming {
             acc: ScoreAccumulator::new(),
             live_postings: 0,
             stats: JoinStats::new(),
-            scratch_norms: Vec::new(),
             scratch_hits: Vec::new(),
         }
     }
@@ -146,16 +138,17 @@ impl DecayStreaming {
         }
     }
 
-    /// Candidate generation: reverse-order dimension scan with backward,
-    /// time-truncating posting-list traversal (the lists are always
-    /// time-ordered — no re-indexing exists without AP bounds).
+    /// Candidate generation: reverse-order dimension scan over the flat,
+    /// time-ordered posting blocks (no re-indexing exists without AP
+    /// bounds), exactly the exponential hot path with `model.factor`
+    /// substituted for the decay table.
     fn candidate_generation(&mut self, x: &SparseVector, now: f64) {
         // The accumulator was cleared by `process` (before the dense
         // window slid); no further reset is needed here.
         let theta_slack = self.theta - PRUNE_EPS;
         let tau = self.tau;
+        let cutoff = now - tau;
         let model = self.model;
-        prefix_norms_into(x.weights(), &mut self.scratch_norms);
 
         // rs1w = Σ_j x_j · max over the window of coordinate j, shrunk as
         // the scan passes each dimension (mirrors rs1 of Algorithm 7).
@@ -167,42 +160,42 @@ impl DecayStreaming {
         let mut rs2: f64 = 1.0;
 
         let lists = &mut self.lists;
-        let xnorms = &self.scratch_norms;
         let acc = &mut self.acc;
         let stats = &mut self.stats;
         let live = &mut self.live_postings;
 
-        for (pos, (dim, xj)) in x.iter().enumerate().rev() {
+        for (dim, xj) in x.iter().rev() {
             if let Some(list) = lists.get_mut(dim as usize) {
-                let xnorm_before = xnorms[pos];
-                let len = list.len();
-                let mut cut = 0;
-                for i in (0..len).rev() {
-                    let e = *list.get(i).expect("index in range");
-                    let dt = now - e.t;
-                    if dt > tau {
-                        cut = i + 1;
-                        break;
-                    }
-                    stats.entries_traversed += 1;
-                    let df = model.factor(dt);
-                    let remscore = rs1w.min(rs2 * df);
-                    let current = acc.get(e.id);
-                    if current > 0.0 || remscore >= theta_slack {
-                        if current == 0.0 {
-                            stats.candidates += 1;
-                        }
-                        let new = acc.add(e.id, xj * e.weight);
-                        let l2bound = new + xnorm_before * e.prefix_norm * df;
-                        if l2bound < theta_slack {
-                            acc.zero(e.id);
-                        }
-                    }
+                // ‖x′_j‖ recovered from the running suffix mass: during
+                // this iteration rst = Σ_{i ≤ pos} w_i², so the prefix
+                // before this coordinate has mass rst − x_j².
+                let xnorm_before = (rst - xj * xj).max(0.0).sqrt();
+                // Time-ordered list: the expired prefix is exactly the
+                // entries with t < now − τ; drop it in O(log n) + O(1).
+                let pruned = list.expire_before(cutoff);
+                if pruned > 0 {
+                    stats.entries_pruned += pruned as u64;
+                    *live -= pruned as u64;
                 }
-                if cut > 0 {
-                    list.truncate_front(cut);
-                    stats.entries_pruned += cut as u64;
-                    *live -= cut as u64;
+                let postings = list.postings();
+                stats.entries_traversed += postings.len() as u64;
+                // Newest-first flat walk, one fused accumulator probe per
+                // entry (preserves the first-touch order of the previous
+                // backward scan).
+                for p in postings.iter().rev() {
+                    let df = model.factor(now - p.t);
+                    let admit = rs1w.min(rs2 * df) >= theta_slack;
+                    let new = match acc.accumulate(p.id, xj * p.weight, admit) {
+                        Accumulated::Updated(new) => new,
+                        Accumulated::Admitted(new) => {
+                            stats.candidates += 1;
+                            new
+                        }
+                        Accumulated::Skipped => continue,
+                    };
+                    if new + xnorm_before * p.prefix_norm * df < theta_slack {
+                        acc.zero(p.id);
+                    }
                 }
             }
             if let Some(wm) = &mut self.window_max {
@@ -246,7 +239,8 @@ impl DecayStreaming {
     }
 
     /// Index construction: pure `b2 = ‖x′‖` boundary (Algorithm 2, green
-    /// lines only).
+    /// lines only), replayed in squared space so only the indexed suffix
+    /// pays square roots — mirroring the exponential path.
     fn insert(&mut self, record: &StreamRecord) {
         let x = &record.vector;
         if x.is_empty() {
@@ -254,15 +248,16 @@ impl DecayStreaming {
         }
         let t = record.t.seconds();
         let theta_slack = self.theta - PRUNE_EPS;
+        let theta_sq = theta_slack * theta_slack;
         let mut bt: f64 = 0.0;
         let mut boundary = None;
         let mut q = 0.0;
         for (pos, (_, w)) in x.iter().enumerate() {
-            let pscore = bt.sqrt().min(1.0);
+            let bt_prev = bt;
             bt += w * w;
-            if bt.sqrt() >= theta_slack {
-                boundary = Some(pos);
-                q = pscore;
+            if bt >= theta_sq {
+                boundary = Some((pos, bt_prev));
+                q = bt_prev.sqrt().min(1.0);
                 break;
             }
         }
@@ -271,23 +266,21 @@ impl DecayStreaming {
                 wm.update(dim, t, w);
             }
         }
-        let Some(p) = boundary else {
+        let Some((p, prefix_mass)) = boundary else {
             // ‖x‖ < θ can only happen for non-unit vectors; unit vectors
             // always cross the boundary. Nothing can pair with x.
             return;
         };
-        prefix_norms_into(x.weights(), &mut self.scratch_norms);
-        for (pos, (dim, w)) in x.iter().enumerate().skip(p) {
+        // The stored ‖x′_j‖ prefix norms continue the squared-space
+        // recurrence from the boundary.
+        let mut mass = prefix_mass;
+        for (dim, w) in x.iter().skip(p) {
             let d = dim as usize;
             if d >= self.lists.len() {
-                self.lists.resize_with(d + 1, CircularBuffer::new);
+                self.lists.resize_with(d + 1, PostingBlock::new);
             }
-            self.lists[d].push_back(Entry {
-                id: record.id,
-                weight: w,
-                prefix_norm: self.scratch_norms[pos],
-                t,
-            });
+            self.lists[d].push(record.id, w, mass.sqrt(), t);
+            mass += w * w;
             self.live_postings += 1;
             self.stats.postings_added += 1;
         }

@@ -22,13 +22,23 @@
 //! Both frameworks are instantiated with any [`sssj_index::IndexKind`];
 //! the paper's headline configuration is STR with the L2 index.
 //!
-//! ```
-//! use sssj_core::{SssjConfig, Streaming, StreamJoin};
-//! use sssj_index::IndexKind;
-//! use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
+//! # One config surface: [`spec::JoinSpec`]
 //!
-//! let config = SssjConfig::new(0.7, 0.1);
-//! let mut join = Streaming::new(config, IndexKind::L2);
+//! The whole variant family — STR/MB × index, generalised decay, top-k,
+//! LSH, sharding, plus the reorder/checked/snapshot wrappers — is
+//! described by one declarative, serializable [`spec::JoinSpec`] and
+//! built by its single factory [`spec::JoinSpec::build`]. The compact
+//! text form (e.g. `str-l2?theta=0.7&lambda=0.01&reorder=5`) is what the
+//! CLI and the net protocol speak; [`JoinBuilder`] is the fluent
+//! front-end over the same spec.
+//!
+//! ```
+//! use sssj_core::spec::JoinSpec;
+//!
+//! let spec: JoinSpec = "str-l2?theta=0.7&lambda=0.1".parse().unwrap();
+//! let mut join = spec.build().unwrap();
+//! # use sssj_core::StreamJoin;
+//! # use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
 //! let mut out = Vec::new();
 //! for (i, t) in [0.0, 1.0, 100.0].into_iter().enumerate() {
 //!     let r = StreamRecord::new(i as u64, Timestamp::new(t), unit_vector(&[(1, 1.0)]));
@@ -49,6 +59,7 @@ pub mod minibatch;
 pub mod pipeline;
 pub mod reorder;
 pub mod snapshot;
+pub mod spec;
 pub mod streaming;
 pub mod topk;
 pub mod verify;
@@ -63,6 +74,7 @@ pub use minibatch::MiniBatch;
 pub use pipeline::{run_threaded, PipelineOutput};
 pub use reorder::{LateRecord, ReorderBuffer};
 pub use snapshot::{read_snapshot, RecoverableJoin, SnapshotError};
+pub use spec::{EngineSpec, JoinSpec, LshSpec, SpecError, WrapperSpec};
 pub use streaming::Streaming;
 pub use topk::TopKJoin;
 pub use verify::CheckedJoin;

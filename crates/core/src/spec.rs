@@ -1,0 +1,1366 @@
+//! `JoinSpec` — the declarative description of a complete join pipeline,
+//! and the **single factory** every entry surface (library, CLI, network
+//! protocol, benchmark harness) builds joins through.
+//!
+//! The paper's message is that one streaming index subsumes a family of
+//! variants; this module gives that family one configuration surface. A
+//! spec names a base engine, an index kind, the problem parameters, and
+//! an ordered list of wrappers, and [`JoinSpec::build`] turns it into a
+//! running [`StreamJoin`].
+//!
+//! # The compact text form
+//!
+//! ```text
+//! spec    := engine [ "-" index ] [ "?" param ( "&" param )* ]
+//! engine  := "str" | "mb" | "decay" | "topk" | "lsh" | "sharded"
+//! index   := "l2" | "l2ap" | "ap" | "inv"          (str/mb/topk/sharded)
+//! param   := key "=" value | "checked" | "snapshot"
+//! ```
+//!
+//! Engine parameters (`&`-separated, order-insensitive):
+//!
+//! | key      | engines   | meaning                                        |
+//! |----------|-----------|------------------------------------------------|
+//! | `theta`  | all       | similarity threshold θ ∈ (0, 1] (default 0.7)  |
+//! | `lambda` | all but `decay` | decay rate λ ≥ 0 (default 0.01)          |
+//! | `tau`    | all but `decay` | horizon; sets λ = ln(1/θ)/τ (§3 recipe)  |
+//! | `model`  | `decay`   | decay model, e.g. `window:10`, `poly:2:5`      |
+//! | `k`      | `topk`    | per-record output cap (k ≥ 1)                  |
+//! | `shards` | `sharded` | worker threads (≥ 1)                           |
+//! | `bits`   | `lsh`     | signature width, positive multiple of 64       |
+//! | `bands`  | `lsh`     | band count (divides bits, rows ≤ 64)           |
+//! | `seed`   | `lsh`     | hyperplane seed                                |
+//! | `verify` | `lsh`     | `exact` or `est`                               |
+//!
+//! Wrapper parameters are order-*sensitive*: each wraps everything listed
+//! before it, so `str-l2?checked&reorder=5` is `Reorder(Checked(STR-L2))`.
+//!
+//! | key       | meaning                                                  |
+//! |-----------|----------------------------------------------------------|
+//! | `reorder` | tolerate records up to `slack` time units out of order   |
+//! | `checked` | shadow the join with the exact oracle (debugging aid)    |
+//! | `snapshot`| checkpointable join (STR engines only, innermost)        |
+//!
+//! Examples:
+//!
+//! ```text
+//! str-l2?theta=0.7&lambda=0.01&reorder=5
+//! mb-inv?theta=0.5&lambda=0.1
+//! decay?theta=0.7&model=window:10
+//! topk-l2?theta=0.5&lambda=0.01&k=3
+//! lsh?theta=0.7&lambda=0.01&bits=256&bands=32&verify=est
+//! sharded-l2?theta=0.6&lambda=0.1&shards=4
+//! ```
+//!
+//! # Building
+//!
+//! ```
+//! use sssj_core::spec::JoinSpec;
+//!
+//! let spec: JoinSpec = "str-l2?theta=0.7&lambda=0.1".parse().unwrap();
+//! let join = spec.build().unwrap();
+//! assert_eq!(join.name(), "STR-L2");
+//! ```
+//!
+//! The LSH and sharded engines live in crates *downstream* of `sssj-core`
+//! (`sssj-lsh`, `sssj-parallel`), so their constructors are injected via
+//! [`register_lsh_builder`] / [`register_sharded_builder`] — the same
+//! bolt-on pattern ProvSQL uses for its single entry point. Every binary
+//! that links those crates registers them once at startup (the CLI, the
+//! net server and the bench harness all do); building such a spec without
+//! the registration yields [`SpecError::EngineUnavailable`], never a
+//! silent fallback.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+use sssj_index::IndexKind;
+use sssj_types::{Decay, DecayModel};
+
+use crate::algorithm::{Framework, StreamJoin};
+use crate::config::SssjConfig;
+use crate::decay_join::DecayStreaming;
+use crate::minibatch::MiniBatch;
+use crate::reorder::ReorderBuffer;
+use crate::snapshot::RecoverableJoin;
+use crate::streaming::Streaming;
+use crate::topk::TopKJoin;
+use crate::verify::CheckedJoin;
+
+/// Default similarity threshold when a spec string omits `theta`.
+pub const DEFAULT_THETA: f64 = 0.7;
+/// Default decay rate when a spec string omits `lambda`/`tau`.
+pub const DEFAULT_LAMBDA: f64 = 0.01;
+/// Default LSH signature width in bits.
+pub const DEFAULT_LSH_BITS: u32 = 256;
+/// Default LSH band count.
+pub const DEFAULT_LSH_BANDS: u32 = 32;
+/// Default LSH hyperplane seed ("SSSJ").
+pub const DEFAULT_LSH_SEED: u64 = 0x5353_534A;
+
+/// LSH tuning carried by a spec — plain data mirrored here so the spec
+/// layer does not depend on `sssj-lsh` (which depends on this crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LshSpec {
+    /// Signature width in bits (positive multiple of 64).
+    pub bits: u32,
+    /// Number of bands (must divide `bits` into rows of ≤ 64).
+    pub bands: u32,
+    /// Hyperplane seed.
+    pub seed: u64,
+    /// Score candidates from signatures only (`verify=est`) instead of
+    /// the exact stored vectors (`verify=exact`, the default).
+    pub estimate: bool,
+}
+
+impl Default for LshSpec {
+    fn default() -> Self {
+        LshSpec {
+            bits: DEFAULT_LSH_BITS,
+            bands: DEFAULT_LSH_BANDS,
+            seed: DEFAULT_LSH_SEED,
+            estimate: false,
+        }
+    }
+}
+
+/// The base engine of a join pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EngineSpec {
+    /// STR: one incrementally maintained, time-filtered index.
+    Streaming,
+    /// MB: batch indexes over τ-sized windows.
+    MiniBatch,
+    /// STR-L2 generalised to an arbitrary decay model.
+    GenericDecay(DecayModel),
+    /// Per-arrival top-k selection over the STR threshold join.
+    TopK(u32),
+    /// Approximate SimHash/banding join (built by `sssj-lsh`).
+    Lsh(LshSpec),
+    /// Broadcast-query / partition-insert sharding over STR workers
+    /// (built by `sssj-parallel`).
+    Sharded {
+        /// Number of worker threads (≥ 1).
+        shards: u32,
+    },
+}
+
+impl EngineSpec {
+    /// The grammar name of the engine.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            EngineSpec::Streaming => "str",
+            EngineSpec::MiniBatch => "mb",
+            EngineSpec::GenericDecay(_) => "decay",
+            EngineSpec::TopK(_) => "topk",
+            EngineSpec::Lsh(_) => "lsh",
+            EngineSpec::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// Whether the engine is parameterised by an [`IndexKind`].
+    pub fn takes_index(&self) -> bool {
+        !matches!(self, EngineSpec::GenericDecay(_) | EngineSpec::Lsh(_))
+    }
+}
+
+/// One wrapper layer around the base engine. Wrappers apply in list
+/// order: the first wraps the engine, the last is outermost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WrapperSpec {
+    /// [`ReorderBuffer`]: tolerate records up to `slack` time units late.
+    Reorder(f64),
+    /// [`CheckedJoin`]: shadow the join with the exact oracle.
+    Checked,
+    /// [`RecoverableJoin`]: checkpointable join (STR engine, innermost).
+    Snapshot,
+}
+
+/// A declarative, serializable description of a complete join pipeline.
+///
+/// Construct one with [`JoinSpec::new`] and the `with_*` methods, parse
+/// the compact text form with [`FromStr`], or decode the JSON mapping
+/// with [`JoinSpec::from_json`]; then call [`JoinSpec::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinSpec {
+    /// The base engine.
+    pub engine: EngineSpec,
+    /// Index variant (ignored by `decay` — always L2 — and `lsh`).
+    pub index: IndexKind,
+    /// Similarity threshold θ ∈ (0, 1].
+    pub theta: f64,
+    /// Exponential decay rate λ ≥ 0 (unused by `decay`, whose model
+    /// carries its own parameters).
+    pub lambda: f64,
+    /// Wrapper layers, innermost first.
+    pub wrappers: Vec<WrapperSpec>,
+}
+
+/// Why a spec failed to parse, validate or build.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The compact text or JSON form is malformed.
+    Parse(String),
+    /// The spec is structurally well-formed but invalid (out-of-range
+    /// parameter, unsupported wrapper/engine combination, …).
+    Invalid(String),
+    /// The engine's constructor is not registered in this binary (the
+    /// crate providing it was not linked or never registered).
+    EngineUnavailable(&'static str),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(m) => write!(f, "cannot parse spec: {m}"),
+            SpecError::Invalid(m) => write!(f, "invalid spec: {m}"),
+            SpecError::EngineUnavailable(e) => write!(
+                f,
+                "engine {e:?} is not registered in this binary \
+                 (link the providing crate and call its register function)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn invalid(msg: impl Into<String>) -> SpecError {
+    SpecError::Invalid(msg.into())
+}
+
+fn parse_err(msg: impl Into<String>) -> SpecError {
+    SpecError::Parse(msg.into())
+}
+
+// ---------------------------------------------------------------------
+// Extension registry: constructors for engines living downstream.
+// ---------------------------------------------------------------------
+
+/// Constructor for [`EngineSpec::Lsh`] specs, provided by `sssj-lsh`.
+pub type LshBuilder = fn(theta: f64, lambda: f64, params: LshSpec) -> Box<dyn StreamJoin>;
+
+/// Constructor for [`EngineSpec::Sharded`] specs, provided by
+/// `sssj-parallel`.
+pub type ShardedBuilder =
+    fn(config: SssjConfig, kind: IndexKind, shards: u32) -> Box<dyn StreamJoin>;
+
+static LSH_BUILDER: OnceLock<LshBuilder> = OnceLock::new();
+static SHARDED_BUILDER: OnceLock<ShardedBuilder> = OnceLock::new();
+
+/// Registers the LSH constructor (idempotent; first registration wins).
+/// Called by `sssj_lsh::register_spec_builder()`.
+pub fn register_lsh_builder(f: LshBuilder) {
+    let _ = LSH_BUILDER.set(f);
+}
+
+/// Registers the sharded constructor (idempotent; first registration
+/// wins). Called by `sssj_parallel::register_spec_builder()`.
+pub fn register_sharded_builder(f: ShardedBuilder) {
+    let _ = SHARDED_BUILDER.set(f);
+}
+
+impl JoinSpec {
+    /// An STR-L2 spec with the given problem parameters — the paper's
+    /// recommended configuration and the starting point for `with_*`
+    /// customisation.
+    pub fn new(theta: f64, lambda: f64) -> Self {
+        JoinSpec {
+            engine: EngineSpec::Streaming,
+            index: IndexKind::L2,
+            theta,
+            lambda,
+            wrappers: Vec::new(),
+        }
+    }
+
+    /// The §3 recipe: θ from the content threshold, λ = ln(1/θ)/τ from
+    /// the largest acceptable gap between identical items.
+    pub fn from_horizon(theta: f64, tau: f64) -> Self {
+        let decay = Decay::from_horizon(theta, tau);
+        JoinSpec::new(theta, decay.lambda())
+    }
+
+    /// A classic framework × index combination (the paper's original
+    /// eight algorithms).
+    pub fn classic(framework: Framework, index: IndexKind, config: SssjConfig) -> Self {
+        JoinSpec {
+            engine: match framework {
+                Framework::Streaming => EngineSpec::Streaming,
+                Framework::MiniBatch => EngineSpec::MiniBatch,
+            },
+            index,
+            theta: config.theta,
+            lambda: config.lambda,
+            wrappers: Vec::new(),
+        }
+    }
+
+    /// Replaces the base engine.
+    pub fn with_engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replaces the index kind.
+    pub fn with_index(mut self, index: IndexKind) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// Appends a wrapper layer (outside any already present).
+    pub fn wrap(mut self, wrapper: WrapperSpec) -> Self {
+        self.wrappers.push(wrapper);
+        self
+    }
+
+    /// The `(θ, λ)` pair as an [`SssjConfig`].
+    pub fn config(&self) -> SssjConfig {
+        SssjConfig::new(self.theta, self.lambda)
+    }
+
+    /// Splits off an *outermost* reorder wrapper, if present: returns the
+    /// spec without it and the slack. Lets callers that must observe late
+    /// records (the net session reports them as protocol errors) keep the
+    /// [`ReorderBuffer`] un-type-erased while still building everything
+    /// else through the factory.
+    pub fn split_outer_reorder(&self) -> (JoinSpec, Option<f64>) {
+        let mut inner = self.clone();
+        match inner.wrappers.last() {
+            Some(WrapperSpec::Reorder(slack)) => {
+                let slack = *slack;
+                inner.wrappers.pop();
+                (inner, Some(slack))
+            }
+            _ => (inner, None),
+        }
+    }
+
+    /// Checks every cross-parameter rule the grammar cannot express.
+    /// [`JoinSpec::build`] calls this first; [`FromStr`] validates too,
+    /// so a parsed spec is always buildable (up to engine registration).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if !(self.theta > 0.0 && self.theta <= 1.0) {
+            return Err(invalid(format!("theta out of (0, 1]: {}", self.theta)));
+        }
+        if !(self.lambda.is_finite() && self.lambda >= 0.0) {
+            return Err(invalid(format!(
+                "lambda must be finite and >= 0: {}",
+                self.lambda
+            )));
+        }
+        match &self.engine {
+            EngineSpec::Streaming | EngineSpec::MiniBatch => {}
+            EngineSpec::GenericDecay(model) => {
+                if self.index != IndexKind::L2 {
+                    return Err(invalid(format!(
+                        "the decay engine is L2-only (its pruning bounds are \
+                         index-independent); got index {}",
+                        self.index
+                    )));
+                }
+                if !model.horizon(self.theta).is_finite() {
+                    return Err(invalid(format!(
+                        "decay model {model} has an infinite horizon at theta={}",
+                        self.theta
+                    )));
+                }
+            }
+            EngineSpec::TopK(k) => {
+                if *k == 0 {
+                    return Err(invalid("topk requires k >= 1"));
+                }
+            }
+            EngineSpec::Lsh(p) => {
+                if p.bits == 0 || p.bits % 64 != 0 {
+                    return Err(invalid(format!(
+                        "lsh bits must be a positive multiple of 64: {}",
+                        p.bits
+                    )));
+                }
+                if p.bands == 0 || p.bits % p.bands != 0 || p.bits / p.bands > 64 {
+                    return Err(invalid(format!(
+                        "lsh bands must divide bits into rows of <= 64: bits={} bands={}",
+                        p.bits, p.bands
+                    )));
+                }
+                if self.lambda <= 0.0 {
+                    return Err(invalid(
+                        "lsh requires lambda > 0 (a finite forgetting horizon)",
+                    ));
+                }
+            }
+            EngineSpec::Sharded { shards } => {
+                if *shards == 0 {
+                    return Err(invalid("sharded requires shards >= 1"));
+                }
+            }
+        }
+        for (pos, w) in self.wrappers.iter().enumerate() {
+            match w {
+                WrapperSpec::Reorder(slack) => {
+                    if !(slack.is_finite() && *slack >= 0.0) {
+                        return Err(invalid(format!(
+                            "reorder slack must be finite and >= 0: {slack}"
+                        )));
+                    }
+                }
+                WrapperSpec::Checked => match self.engine {
+                    EngineSpec::Streaming | EngineSpec::MiniBatch | EngineSpec::Sharded { .. } => {}
+                    EngineSpec::TopK(_) | EngineSpec::Lsh(_) => {
+                        return Err(invalid(format!(
+                            "checked cannot wrap {:?}: it drops pairs by design, \
+                             which the oracle would flag",
+                            self.engine.keyword()
+                        )));
+                    }
+                    EngineSpec::GenericDecay(_) => {
+                        return Err(invalid(
+                            "checked cannot wrap decay: the oracle assumes exponential decay",
+                        ));
+                    }
+                },
+                WrapperSpec::Snapshot => {
+                    if self.engine != EngineSpec::Streaming {
+                        return Err(invalid("snapshot requires the str engine"));
+                    }
+                    if pos != 0 {
+                        return Err(invalid(
+                            "snapshot must be the innermost wrapper (listed first)",
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// **The** factory: builds the complete pipeline this spec describes.
+    ///
+    /// This is the only construction path in the workspace — the fluent
+    /// [`crate::JoinBuilder`], the CLI, the net server and the benchmark
+    /// harness all funnel through it.
+    pub fn build(&self) -> Result<Box<dyn StreamJoin>, SpecError> {
+        self.validate()?;
+        let mut snapshot_base = false;
+        if let Some(WrapperSpec::Snapshot) = self.wrappers.first() {
+            snapshot_base = true;
+        }
+        let mut join: Box<dyn StreamJoin> = match &self.engine {
+            EngineSpec::Streaming => {
+                if snapshot_base {
+                    Box::new(RecoverableJoin::new(self.config(), self.index))
+                } else {
+                    Box::new(Streaming::new(self.config(), self.index))
+                }
+            }
+            EngineSpec::MiniBatch => Box::new(MiniBatch::new(self.config(), self.index)),
+            EngineSpec::GenericDecay(model) => Box::new(DecayStreaming::new(self.theta, *model)),
+            EngineSpec::TopK(k) => Box::new(TopKJoin::new(self.config(), self.index, *k as usize)),
+            EngineSpec::Lsh(params) => {
+                let f = LSH_BUILDER
+                    .get()
+                    .ok_or(SpecError::EngineUnavailable("lsh"))?;
+                f(self.theta, self.lambda, *params)
+            }
+            EngineSpec::Sharded { shards } => {
+                let f = SHARDED_BUILDER
+                    .get()
+                    .ok_or(SpecError::EngineUnavailable("sharded"))?;
+                f(self.config(), self.index, *shards)
+            }
+        };
+        for w in &self.wrappers {
+            join = match w {
+                WrapperSpec::Snapshot => join, // consumed as the base above
+                WrapperSpec::Reorder(slack) => Box::new(ReorderBuffer::new(join, *slack)),
+                WrapperSpec::Checked => Box::new(CheckedJoin::new(join, self.config())),
+            };
+        }
+        Ok(join)
+    }
+
+    // -----------------------------------------------------------------
+    // JSON mapping (for the net protocol and programmatic clients).
+    // -----------------------------------------------------------------
+
+    /// The JSON form, e.g.
+    /// `{"engine":"str","index":"l2","theta":0.7,"lambda":0.01,"wrappers":[["reorder",5]]}`.
+    ///
+    /// Engine parameters appear as top-level keys (`model`, `k`,
+    /// `shards`, `bits`, `bands`, `seed`, `verify`); wrappers are an
+    /// ordered array of `["reorder", slack]` / `["checked"]` /
+    /// `["snapshot"]` entries.
+    pub fn to_json(&self) -> String {
+        use fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "{{\"engine\":\"{}\"", self.engine.keyword());
+        if self.engine.takes_index() {
+            let _ = write!(
+                s,
+                ",\"index\":\"{}\"",
+                self.index.to_string().to_ascii_lowercase()
+            );
+        }
+        let _ = write!(s, ",\"theta\":{}", self.theta);
+        match &self.engine {
+            EngineSpec::GenericDecay(model) => {
+                let _ = write!(s, ",\"model\":\"{model}\"");
+            }
+            engine => {
+                let _ = write!(s, ",\"lambda\":{}", self.lambda);
+                match engine {
+                    EngineSpec::TopK(k) => {
+                        let _ = write!(s, ",\"k\":{k}");
+                    }
+                    EngineSpec::Sharded { shards } => {
+                        let _ = write!(s, ",\"shards\":{shards}");
+                    }
+                    EngineSpec::Lsh(p) => {
+                        let _ = write!(
+                            s,
+                            ",\"bits\":{},\"bands\":{},\"seed\":{},\"verify\":\"{}\"",
+                            p.bits,
+                            p.bands,
+                            p.seed,
+                            if p.estimate { "est" } else { "exact" }
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !self.wrappers.is_empty() {
+            s.push_str(",\"wrappers\":[");
+            for (i, w) in self.wrappers.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                match w {
+                    WrapperSpec::Reorder(slack) => {
+                        let _ = write!(s, "[\"reorder\",{slack}]");
+                    }
+                    WrapperSpec::Checked => s.push_str("[\"checked\"]"),
+                    WrapperSpec::Snapshot => s.push_str("[\"snapshot\"]"),
+                }
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses the JSON form produced by [`JoinSpec::to_json`]. Unknown
+    /// keys are rejected (a typo must not silently fall back to a
+    /// default); the result is validated like the text form.
+    pub fn from_json(json: &str) -> Result<JoinSpec, SpecError> {
+        let value = json::parse(json).map_err(parse_err)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| parse_err("expected a JSON object"))?;
+        let mut params = ParamBag::default();
+        let mut engine_name: Option<String> = None;
+        for (key, v) in obj {
+            match key.as_str() {
+                "engine" => {
+                    engine_name = Some(
+                        v.as_str()
+                            .ok_or_else(|| parse_err("engine must be a string"))?
+                            .to_string(),
+                    );
+                }
+                "index" => {
+                    let s = v
+                        .as_str()
+                        .ok_or_else(|| parse_err("index must be a string"))?;
+                    params.index = Some(
+                        IndexKind::parse(s)
+                            .ok_or_else(|| parse_err(format!("unknown index {s:?}")))?,
+                    );
+                }
+                "theta" => {
+                    params.theta = Some(
+                        v.as_f64()
+                            .ok_or_else(|| parse_err("theta must be a number"))?,
+                    )
+                }
+                "lambda" => {
+                    params.lambda = Some(
+                        v.as_f64()
+                            .ok_or_else(|| parse_err("lambda must be a number"))?,
+                    )
+                }
+                "tau" => {
+                    params.tau = Some(
+                        v.as_f64()
+                            .ok_or_else(|| parse_err("tau must be a number"))?,
+                    )
+                }
+                "model" => {
+                    let s = v
+                        .as_str()
+                        .ok_or_else(|| parse_err("model must be a string"))?;
+                    params.model = Some(
+                        DecayModel::parse(s)
+                            .ok_or_else(|| parse_err(format!("unknown decay model {s:?}")))?,
+                    );
+                }
+                "k" => params.k = Some(as_u64(v, "k")? as u32),
+                "shards" => params.shards = Some(as_u64(v, "shards")? as u32),
+                "bits" => params.bits = Some(as_u64(v, "bits")? as u32),
+                "bands" => params.bands = Some(as_u64(v, "bands")? as u32),
+                "seed" => params.seed = Some(as_u64(v, "seed")?),
+                "verify" => {
+                    let s = v
+                        .as_str()
+                        .ok_or_else(|| parse_err("verify must be a string"))?;
+                    params.estimate = Some(parse_verify(s)?);
+                }
+                "wrappers" => {
+                    let arr = v
+                        .as_array()
+                        .ok_or_else(|| parse_err("wrappers must be an array"))?;
+                    for w in arr {
+                        let entry = w
+                            .as_array()
+                            .ok_or_else(|| parse_err("each wrapper must be an array"))?;
+                        let name = entry
+                            .first()
+                            .and_then(|n| n.as_str())
+                            .ok_or_else(|| parse_err("wrapper name must be a string"))?;
+                        let wrapper = match (name, entry.len()) {
+                            ("reorder", 2) => WrapperSpec::Reorder(
+                                entry[1]
+                                    .as_f64()
+                                    .ok_or_else(|| parse_err("reorder slack must be a number"))?,
+                            ),
+                            ("checked", 1) => WrapperSpec::Checked,
+                            ("snapshot", 1) => WrapperSpec::Snapshot,
+                            _ => {
+                                return Err(parse_err(format!("unknown wrapper {name:?}")));
+                            }
+                        };
+                        params.wrappers.push(wrapper);
+                    }
+                }
+                other => return Err(parse_err(format!("unknown key {other:?}"))),
+            }
+        }
+        let engine_name = engine_name.ok_or_else(|| parse_err("missing \"engine\""))?;
+        params.finish(&engine_name)
+    }
+}
+
+fn as_u64(v: &json::Value, key: &str) -> Result<u64, SpecError> {
+    v.as_u64()
+        .ok_or_else(|| parse_err(format!("{key} must be a non-negative integer")))
+}
+
+fn parse_verify(s: &str) -> Result<bool, SpecError> {
+    match s {
+        "exact" => Ok(false),
+        "est" | "estimate" => Ok(true),
+        other => Err(parse_err(format!(
+            "verify must be exact|est, got {other:?}"
+        ))),
+    }
+}
+
+/// Parameters gathered during parsing, turned into a [`JoinSpec`] once
+/// the engine is known (both the text and the JSON path end here, so the
+/// cross-parameter rules live in one place).
+#[derive(Default)]
+struct ParamBag {
+    index: Option<IndexKind>,
+    theta: Option<f64>,
+    lambda: Option<f64>,
+    tau: Option<f64>,
+    model: Option<DecayModel>,
+    k: Option<u32>,
+    shards: Option<u32>,
+    bits: Option<u32>,
+    bands: Option<u32>,
+    seed: Option<u64>,
+    estimate: Option<bool>,
+    wrappers: Vec<WrapperSpec>,
+}
+
+impl ParamBag {
+    fn reject(&self, cond: bool, msg: &str) -> Result<(), SpecError> {
+        if cond {
+            Err(parse_err(msg.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn finish(self, engine_name: &str) -> Result<JoinSpec, SpecError> {
+        let theta = self.theta.unwrap_or(DEFAULT_THETA);
+        if self.lambda.is_some() && self.tau.is_some() {
+            return Err(parse_err("lambda and tau are mutually exclusive"));
+        }
+        let lambda = match (self.lambda, self.tau) {
+            (Some(_), Some(_)) => unreachable!("rejected above"),
+            (Some(l), None) => l,
+            (None, Some(tau)) => {
+                if !(tau.is_finite() && tau > 0.0) {
+                    return Err(parse_err(format!("tau must be finite and > 0: {tau}")));
+                }
+                if !(theta > 0.0 && theta <= 1.0) {
+                    return Err(parse_err(format!("theta out of (0, 1]: {theta}")));
+                }
+                Decay::from_horizon(theta, tau).lambda()
+            }
+            (None, None) => DEFAULT_LAMBDA,
+        };
+        let lsh_keys = self.bits.is_some()
+            || self.bands.is_some()
+            || self.seed.is_some()
+            || self.estimate.is_some();
+        let engine = match engine_name {
+            "str" | "mb" => {
+                self.reject(self.model.is_some(), "model= requires the decay engine")?;
+                self.reject(self.k.is_some(), "k= requires the topk engine")?;
+                self.reject(self.shards.is_some(), "shards= requires the sharded engine")?;
+                self.reject(lsh_keys, "bits/bands/seed/verify require the lsh engine")?;
+                if engine_name == "str" {
+                    EngineSpec::Streaming
+                } else {
+                    EngineSpec::MiniBatch
+                }
+            }
+            "decay" => {
+                self.reject(self.index.is_some(), "the decay engine takes no index")?;
+                self.reject(
+                    self.lambda.is_some() || self.tau.is_some(),
+                    "the decay engine takes model=, not lambda=/tau=",
+                )?;
+                self.reject(self.k.is_some(), "k= requires the topk engine")?;
+                self.reject(self.shards.is_some(), "shards= requires the sharded engine")?;
+                self.reject(lsh_keys, "bits/bands/seed/verify require the lsh engine")?;
+                let model = self
+                    .model
+                    .ok_or_else(|| parse_err("the decay engine requires model="))?;
+                EngineSpec::GenericDecay(model)
+            }
+            "topk" => {
+                self.reject(self.model.is_some(), "model= requires the decay engine")?;
+                self.reject(self.shards.is_some(), "shards= requires the sharded engine")?;
+                self.reject(lsh_keys, "bits/bands/seed/verify require the lsh engine")?;
+                EngineSpec::TopK(self.k.ok_or_else(|| parse_err("topk requires k="))?)
+            }
+            "lsh" => {
+                self.reject(self.index.is_some(), "the lsh engine takes no index")?;
+                self.reject(self.model.is_some(), "model= requires the decay engine")?;
+                self.reject(self.k.is_some(), "k= requires the topk engine")?;
+                self.reject(self.shards.is_some(), "shards= requires the sharded engine")?;
+                EngineSpec::Lsh(LshSpec {
+                    bits: self.bits.unwrap_or(DEFAULT_LSH_BITS),
+                    bands: self.bands.unwrap_or(DEFAULT_LSH_BANDS),
+                    seed: self.seed.unwrap_or(DEFAULT_LSH_SEED),
+                    estimate: self.estimate.unwrap_or(false),
+                })
+            }
+            "sharded" => {
+                self.reject(self.model.is_some(), "model= requires the decay engine")?;
+                self.reject(self.k.is_some(), "k= requires the topk engine")?;
+                self.reject(lsh_keys, "bits/bands/seed/verify require the lsh engine")?;
+                EngineSpec::Sharded {
+                    shards: self
+                        .shards
+                        .ok_or_else(|| parse_err("sharded requires shards="))?,
+                }
+            }
+            other => return Err(parse_err(format!("unknown engine {other:?}"))),
+        };
+        let spec = JoinSpec {
+            engine,
+            index: self.index.unwrap_or(IndexKind::L2),
+            theta,
+            // The decay engine's model carries the decay; pin λ to 0 so
+            // the canonical form (which omits it) round-trips exactly.
+            lambda: if matches!(engine, EngineSpec::GenericDecay(_)) {
+                0.0
+            } else {
+                lambda
+            },
+            wrappers: self.wrappers,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl FromStr for JoinSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<JoinSpec, SpecError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(parse_err("empty spec"));
+        }
+        let (head, query) = match s.split_once('?') {
+            Some((h, q)) => (h, Some(q)),
+            None => (s, None),
+        };
+        let (engine_name, index) = match head.split_once('-') {
+            Some((e, i)) => {
+                let kind =
+                    IndexKind::parse(i).ok_or_else(|| parse_err(format!("unknown index {i:?}")))?;
+                (e, Some(kind))
+            }
+            None => (head, None),
+        };
+        let mut params = ParamBag {
+            index,
+            ..ParamBag::default()
+        };
+        if let Some(query) = query {
+            for kv in query.split('&') {
+                let (key, value) = match kv.split_once('=') {
+                    Some((k, v)) => (k, Some(v)),
+                    None => (kv, None),
+                };
+                fn want<'a>(key: &str, v: Option<&'a str>) -> Result<&'a str, SpecError> {
+                    v.ok_or_else(|| parse_err(format!("{key}= needs a value")))
+                }
+                let f64_of = |v: &str| -> Result<f64, SpecError> {
+                    v.parse::<f64>()
+                        .map_err(|e| parse_err(format!("bad {key} {v:?}: {e}")))
+                };
+                let u_of = |v: &str| -> Result<u64, SpecError> {
+                    v.parse::<u64>()
+                        .map_err(|e| parse_err(format!("bad {key} {v:?}: {e}")))
+                };
+                match key {
+                    "theta" => params.theta = Some(f64_of(want(key, value)?)?),
+                    "lambda" => params.lambda = Some(f64_of(want(key, value)?)?),
+                    "tau" => params.tau = Some(f64_of(want(key, value)?)?),
+                    "model" => {
+                        let v = want(key, value)?;
+                        params.model = Some(
+                            DecayModel::parse(v)
+                                .ok_or_else(|| parse_err(format!("unknown decay model {v:?}")))?,
+                        );
+                    }
+                    "k" => params.k = Some(u_of(want(key, value)?)? as u32),
+                    "shards" => params.shards = Some(u_of(want(key, value)?)? as u32),
+                    "bits" => params.bits = Some(u_of(want(key, value)?)? as u32),
+                    "bands" => params.bands = Some(u_of(want(key, value)?)? as u32),
+                    "seed" => params.seed = Some(u_of(want(key, value)?)?),
+                    "verify" => params.estimate = Some(parse_verify(want(key, value)?)?),
+                    "reorder" => params
+                        .wrappers
+                        .push(WrapperSpec::Reorder(f64_of(want(key, value)?)?)),
+                    "checked" => {
+                        if value.is_some() {
+                            return Err(parse_err("checked takes no value"));
+                        }
+                        params.wrappers.push(WrapperSpec::Checked);
+                    }
+                    "snapshot" => {
+                        if value.is_some() {
+                            return Err(parse_err("snapshot takes no value"));
+                        }
+                        params.wrappers.push(WrapperSpec::Snapshot);
+                    }
+                    other => return Err(parse_err(format!("unknown key {other:?}"))),
+                }
+            }
+        }
+        params.finish(engine_name)
+    }
+}
+
+impl fmt::Display for JoinSpec {
+    /// The canonical compact form: engine(-index) with every engine
+    /// parameter spelled out (defaults included) so that two specs
+    /// compare equal iff their strings do, and wrappers in order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.engine.keyword())?;
+        if self.engine.takes_index() {
+            write!(f, "-{}", self.index.to_string().to_ascii_lowercase())?;
+        }
+        write!(f, "?theta={}", self.theta)?;
+        match &self.engine {
+            EngineSpec::GenericDecay(model) => write!(f, "&model={model}")?,
+            engine => {
+                write!(f, "&lambda={}", self.lambda)?;
+                match engine {
+                    EngineSpec::TopK(k) => write!(f, "&k={k}")?,
+                    EngineSpec::Sharded { shards } => write!(f, "&shards={shards}")?,
+                    EngineSpec::Lsh(p) => {
+                        write!(f, "&bits={}&bands={}", p.bits, p.bands)?;
+                        if p.seed != DEFAULT_LSH_SEED {
+                            write!(f, "&seed={}", p.seed)?;
+                        }
+                        write!(f, "&verify={}", if p.estimate { "est" } else { "exact" })?;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for w in &self.wrappers {
+            match w {
+                WrapperSpec::Reorder(slack) => write!(f, "&reorder={slack}")?,
+                WrapperSpec::Checked => f.write_str("&checked")?,
+                WrapperSpec::Snapshot => f.write_str("&snapshot")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A minimal JSON reader for the spec mapping — objects, arrays,
+/// strings, numbers, booleans and null; no external dependencies (the
+/// container has no registry access, and this is the only JSON the
+/// workspace parses).
+mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number: the f64 value plus the raw text, so 64-bit
+        /// integers (e.g. LSH seeds) survive without f64 rounding.
+        Num(f64, String),
+        /// A string (escapes decoded).
+        Str(String),
+        /// An ordered array.
+        Arr(Vec<Value>),
+        /// An object, insertion-ordered.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x, _) => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// The exact integer value, read from the raw digits (f64 would
+        /// round anything above 2⁵³).
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(_, raw) => raw.parse::<u64>().ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<u8> {
+            let b = self.peek()?;
+            self.pos += 1;
+            Some(b)
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.bump() == Some(b) {
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at offset {}", b as char, self.pos))
+            }
+        }
+
+        fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at offset {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.lit("true", Value::Bool(true)),
+                Some(b'f') => self.lit("false", Value::Bool(false)),
+                Some(b'n') => self.lit("null", Value::Null),
+                Some(_) => self.number(),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                entries.push((key, value));
+                self.skip_ws();
+                match self.bump() {
+                    Some(b',') => continue,
+                    Some(b'}') => return Ok(Value::Obj(entries)),
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.bump() {
+                    Some(b',') => continue,
+                    Some(b']') => return Ok(Value::Arr(items)),
+                    _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bump() {
+                    Some(b'"') => return Ok(out),
+                    Some(b'\\') => match self.bump() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| "bad \\u escape".to_string())?,
+                            );
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    },
+                    Some(b) if b < 0x20 => {
+                        return Err(format!("raw control byte at offset {}", self.pos))
+                    }
+                    Some(b) => {
+                        // Re-assemble UTF-8: push the raw byte sequence.
+                        let start = self.pos - 1;
+                        let len = match b {
+                            0x00..=0x7F => 1,
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        if start + len > self.bytes.len() {
+                            return Err("truncated UTF-8".into());
+                        }
+                        let chunk = std::str::from_utf8(&self.bytes[start..start + len])
+                            .map_err(|_| "bad UTF-8".to_string())?;
+                        out.push_str(chunk);
+                        self.pos = start + len;
+                    }
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "bad number".to_string())?;
+            text.parse::<f64>()
+                .map(|x| Value::Num(x, text.to_string()))
+                .map_err(|_| format!("bad number {text:?} at offset {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> JoinSpec {
+        s.parse().unwrap_or_else(|e| panic!("{s:?}: {e}"))
+    }
+
+    #[test]
+    fn canonical_examples_roundtrip() {
+        for s in [
+            "str-l2?theta=0.7&lambda=0.01",
+            "str-inv?theta=0.5&lambda=0.1",
+            "mb-l2ap?theta=0.99&lambda=0.0001",
+            "decay?theta=0.7&model=window:10",
+            "decay?theta=0.55&model=poly:1.5:4",
+            "topk-l2?theta=0.5&lambda=0.01&k=3",
+            "lsh?theta=0.7&lambda=0.01&bits=256&bands=32&verify=exact",
+            "lsh?theta=0.7&lambda=0.01&bits=128&bands=16&seed=9&verify=est",
+            "sharded-l2?theta=0.6&lambda=0.1&shards=4",
+            "str-l2?theta=0.7&lambda=0.01&reorder=5",
+            "str-l2?theta=0.7&lambda=0.01&checked&reorder=2",
+            "str-l2?theta=0.7&lambda=0.01&snapshot",
+        ] {
+            let spec = parse(s);
+            assert_eq!(spec.to_string(), s, "not canonical: {s}");
+            assert_eq!(parse(&spec.to_string()), spec);
+        }
+    }
+
+    #[test]
+    fn defaults_and_tau_are_accepted() {
+        let spec = parse("str-l2");
+        assert_eq!(spec.theta, DEFAULT_THETA);
+        assert_eq!(spec.lambda, DEFAULT_LAMBDA);
+        let spec = parse("str");
+        assert_eq!(spec.index, IndexKind::L2);
+        let spec = parse("str-l2?theta=0.5&tau=100");
+        assert!((spec.config().tau() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_engines_build_and_name() {
+        for (s, name) in [
+            ("str-l2?theta=0.7&lambda=0.1", "STR-L2"),
+            ("str-inv?theta=0.7&lambda=0.1", "STR-INV"),
+            ("mb-l2?theta=0.7&lambda=0.1", "MB-L2"),
+            ("decay?theta=0.7&model=window:10", "STR-L2[window:10]"),
+            ("topk-l2?theta=0.5&lambda=0.1&k=3", "STR-L2-top3"),
+            ("str-l2?theta=0.7&lambda=0.1&reorder=5", "Reorder(STR-L2)"),
+            ("str-l2?theta=0.7&lambda=0.1&checked", "checked(STR-L2)"),
+            (
+                "str-l2?theta=0.7&lambda=0.1&checked&reorder=5",
+                "Reorder(checked(STR-L2))",
+            ),
+            ("str-l2?theta=0.7&lambda=0.1&snapshot", "STR-L2"),
+        ] {
+            let join = parse(s).build().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(join.name(), name, "{s}");
+        }
+    }
+
+    #[test]
+    fn snapshot_spec_builds_a_recoverable_join() {
+        use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
+        let mut join = parse("str-l2?theta=0.7&lambda=0.1&snapshot")
+            .build()
+            .unwrap();
+        let mut out = Vec::new();
+        join.process(
+            &StreamRecord::new(0, Timestamp::new(0.0), unit_vector(&[(1, 1.0)])),
+            &mut out,
+        );
+        join.process(
+            &StreamRecord::new(1, Timestamp::new(1.0), unit_vector(&[(1, 1.0)])),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn unregistered_extensions_report_unavailable() {
+        // This unit test runs inside sssj-core, where the lsh/parallel
+        // constructors cannot exist; the error must say so. (Downstream
+        // crates register and cover the success path.)
+        for s in [
+            "lsh?theta=0.7&lambda=0.1",
+            "sharded-l2?theta=0.7&lambda=0.1&shards=2",
+        ] {
+            match parse(s).build() {
+                Err(SpecError::EngineUnavailable(_)) => {}
+                Err(e) => panic!("{s}: expected EngineUnavailable, got {e:?}"),
+                Ok(_) => panic!("{s}: built without registration"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in [
+            "",
+            "quantum",
+            "str-quantum",
+            "str-l2?theta",
+            "str-l2?theta=x",
+            "str-l2?theta=0.7&flux=1",
+            "str-l2?lambda=1&tau=5",
+            "str-l2?checked=1",
+            "decay-l2?model=window:10",
+            "decay?theta=0.5",
+            "decay?model=window:10&lambda=0.1",
+            "topk-l2?theta=0.5",
+            "topk-l2?k=0",
+            "sharded-l2?shards=0",
+            "sharded-l2",
+            "lsh?bits=100",
+            "lsh?bits=256&bands=7",
+            "lsh?verify=maybe",
+            "lsh-l2",
+            "mb?k=2",
+            "str?shards=2",
+            "str?theta=1.5",
+            "str?lambda=-1",
+            "str?reorder=-2",
+            "str?tau=0",
+        ] {
+            assert!(s.parse::<JoinSpec>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn validate_enforces_wrapper_rules() {
+        // snapshot on non-str engines / non-innermost position.
+        assert!("mb-l2?snapshot".parse::<JoinSpec>().is_err());
+        assert!("str-l2?reorder=1&snapshot".parse::<JoinSpec>().is_err());
+        // checked on variants that drop pairs by design.
+        assert!("topk-l2?k=1&checked".parse::<JoinSpec>().is_err());
+        assert!("lsh?checked".parse::<JoinSpec>().is_err());
+        assert!("decay?model=window:5&checked".parse::<JoinSpec>().is_err());
+        // infinite-horizon decay.
+        assert!("decay?model=exp:0".parse::<JoinSpec>().is_err());
+        assert!("lsh?lambda=0".parse::<JoinSpec>().is_err());
+    }
+
+    #[test]
+    fn wrapper_order_is_preserved() {
+        let spec = parse("str-l2?checked&reorder=3");
+        assert_eq!(
+            spec.wrappers,
+            vec![WrapperSpec::Checked, WrapperSpec::Reorder(3.0)]
+        );
+        let (inner, slack) = spec.split_outer_reorder();
+        assert_eq!(slack, Some(3.0));
+        assert_eq!(inner.wrappers, vec![WrapperSpec::Checked]);
+        // No outer reorder: untouched.
+        let spec = parse("str-l2?reorder=3&checked");
+        let (inner, slack) = spec.split_outer_reorder();
+        assert_eq!(slack, None);
+        assert_eq!(inner.wrappers.len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrips_every_engine() {
+        for s in [
+            "str-l2?theta=0.7&lambda=0.01",
+            "mb-inv?theta=0.5&lambda=0.1",
+            "decay?theta=0.7&model=linear:8",
+            "topk-l2ap?theta=0.5&lambda=0.01&k=7",
+            "lsh?theta=0.7&lambda=0.01&bits=128&bands=16&seed=5&verify=est",
+            "sharded-inv?theta=0.6&lambda=0.1&shards=3",
+            "str-l2?theta=0.7&lambda=0.01&snapshot&checked&reorder=2.5",
+        ] {
+            let spec = parse(s);
+            let json = spec.to_json();
+            let back = JoinSpec::from_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+            assert_eq!(back, spec, "{json}");
+        }
+    }
+
+    #[test]
+    fn json_accepts_whitespace_and_rejects_unknown_keys() {
+        let spec = JoinSpec::from_json(
+            " { \"engine\" : \"str\" , \"index\" : \"inv\", \"theta\" : 0.5 , \
+             \"wrappers\" : [ [\"reorder\", 5 ] ] } ",
+        )
+        .unwrap();
+        assert_eq!(spec.index, IndexKind::Inv);
+        assert_eq!(spec.wrappers, vec![WrapperSpec::Reorder(5.0)]);
+        assert!(JoinSpec::from_json("{\"engine\":\"str\",\"volume\":11}").is_err());
+        assert!(JoinSpec::from_json("{\"theta\":0.5}").is_err());
+        assert!(JoinSpec::from_json("not json").is_err());
+        assert!(JoinSpec::from_json("{\"engine\":\"str\"} extra").is_err());
+    }
+
+    #[test]
+    fn classic_covers_the_papers_grid() {
+        for framework in Framework::ALL {
+            for kind in IndexKind::ALL {
+                let spec = JoinSpec::classic(framework, kind, SssjConfig::new(0.7, 0.1));
+                let join = spec.build().unwrap();
+                assert!(join.name().starts_with(&framework.to_string()));
+                let reparsed: JoinSpec = spec.to_string().parse().unwrap();
+                assert_eq!(reparsed, spec);
+            }
+        }
+    }
+}

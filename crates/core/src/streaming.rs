@@ -25,7 +25,7 @@
 //! * the index-construction bounds are replayed in squared space (no
 //!   per-coordinate square root), and the stored `‖y′_j‖` prefix norms
 //!   continue that recurrence so only indexed suffixes pay a `sqrt`;
-//! * residual vectors live in pooled [`Residual`] buffers recycled as
+//! * residual vectors live in pooled `Residual` buffers recycled as
 //!   vectors expire, the residual map hashes with the fx construction,
 //!   and the hit buffer is owned by the join — steady-state processing
 //!   performs **zero** heap allocations per record on the STR-L2 path

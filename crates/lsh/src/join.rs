@@ -63,6 +63,103 @@ struct Stored {
     vector: Option<SparseVector>,
 }
 
+/// Offsets past this bound go to the spill map instead of padding the
+/// dense window with empty slots (mirrors the accumulator's span limit).
+const DENSE_GAP_LIMIT: u64 = 1 << 16;
+
+/// Hard cap on the dense window's total slot count. `Stored` entries are
+/// two orders of magnitude bigger than accumulator slots, so the span
+/// bound is correspondingly tighter: ids that would stretch the window
+/// past this spill instead, keeping worst-case empty-slot overhead at a
+/// few tens of MB even for adversarial id patterns whose steps always
+/// stay under [`DENSE_GAP_LIMIT`].
+const DENSE_SPAN_LIMIT: u64 = 1 << 18;
+
+/// Signature cache keyed by the dense id window — the
+/// [`sssj_collections::ScoreAccumulator`] pattern applied to the LSH
+/// store. Stream ids are assigned in arrival order and every collision
+/// candidate is in-horizon, so the live keys form a dense, slowly
+/// sliding window `[base, base + slots.len())`: the per-candidate
+/// signature/vector lookup — the hottest read of the scoring loop — is
+/// one bounds check and an array index instead of a hash probe. Ids far
+/// outside the window (arbitrary `u64`s are allowed) fall back to a
+/// spill map, so correctness never depends on id density.
+///
+/// [`sssj_collections::ScoreAccumulator`]: https://docs.rs/sssj-collections
+#[derive(Default)]
+struct SigCache {
+    /// Id of `slots[0]`.
+    base: u64,
+    /// The dense window; `None` marks evicted or never-seen ids.
+    slots: VecDeque<Option<Stored>>,
+    /// Live entries in `slots`.
+    dense_len: usize,
+    /// Fallback for ids outside the dense window.
+    spill: HashMap<VectorId, Stored>,
+}
+
+impl SigCache {
+    fn len(&self) -> usize {
+        self.dense_len + self.spill.len()
+    }
+
+    #[inline]
+    fn get(&self, id: VectorId) -> Option<&Stored> {
+        match id.checked_sub(self.base) {
+            Some(off) if (off as usize) < self.slots.len() => self.slots[off as usize].as_ref(),
+            _ => self.spill.get(&id),
+        }
+    }
+
+    fn insert(&mut self, id: VectorId, stored: Stored) {
+        if self.dense_len == 0 && self.spill.is_empty() {
+            // Empty cache: restart the window at the new id.
+            self.slots.clear();
+            self.base = id;
+        }
+        match id.checked_sub(self.base) {
+            Some(off)
+                if off < DENSE_SPAN_LIMIT && off < self.slots.len() as u64 + DENSE_GAP_LIMIT =>
+            {
+                let off = off as usize;
+                while self.slots.len() <= off {
+                    self.slots.push_back(None);
+                }
+                if self.slots[off].replace(stored).is_none() {
+                    self.dense_len += 1;
+                }
+                // A re-inserted id may have spilled earlier; drop the
+                // stale copy so the two stores never disagree.
+                if !self.spill.is_empty() {
+                    self.spill.remove(&id);
+                }
+            }
+            _ => {
+                self.spill.insert(id, stored);
+            }
+        }
+    }
+
+    fn remove(&mut self, id: VectorId) {
+        match id.checked_sub(self.base) {
+            Some(off) if (off as usize) < self.slots.len() => {
+                if self.slots[off as usize].take().is_some() {
+                    self.dense_len -= 1;
+                }
+                // Slide the window past the dead prefix (eviction is
+                // oldest-first, so this keeps the deque at the live span).
+                while let Some(None) = self.slots.front() {
+                    self.slots.pop_front();
+                    self.base += 1;
+                }
+            }
+            _ => {
+                self.spill.remove(&id);
+            }
+        }
+    }
+}
+
 /// Approximate streaming similarity self-join: SimHash + banding +
 /// time-filtered collision buckets.
 ///
@@ -94,8 +191,8 @@ pub struct LshJoin {
     params: LshParams,
     /// band key → arrival-ordered (id, t) entries.
     buckets: HashMap<u64, VecDeque<(VectorId, f64)>>,
-    /// id → stored sketch (+vector in Exact mode).
-    store: HashMap<VectorId, Stored>,
+    /// Dense-id-window cache of stored sketches (+vector in Exact mode).
+    store: SigCache,
     /// Arrival order of stored ids, for horizon eviction.
     arrivals: VecDeque<(f64, VectorId)>,
     candidates: HashSet<VectorId>,
@@ -126,7 +223,7 @@ impl LshJoin {
             bands: Bands::new(params.bits, params.bands),
             params,
             buckets: HashMap::new(),
-            store: HashMap::new(),
+            store: SigCache::default(),
             arrivals: VecDeque::new(),
             candidates: HashSet::new(),
             stats: JoinStats::new(),
@@ -154,7 +251,7 @@ impl LshJoin {
         while let Some(&(t, id)) = self.arrivals.front() {
             if now - t > self.tau {
                 self.arrivals.pop_front();
-                self.store.remove(&id);
+                self.store.remove(id);
             } else {
                 break;
             }
@@ -212,9 +309,10 @@ impl StreamJoin for LshJoin {
             }
         }
 
-        // Score candidates.
+        // Score candidates: one dense-window probe each, no hashing for
+        // in-window ids.
         for &id in &self.candidates {
-            let Some(stored) = self.store.get(&id) else {
+            let Some(stored) = self.store.get(id) else {
                 continue;
             };
             self.stats.candidates += 1;
@@ -410,6 +508,53 @@ mod tests {
             join.live_postings()
         );
         assert_eq!(join.stored_vectors(), 1);
+    }
+
+    #[test]
+    fn sparse_ids_fall_back_to_spill() {
+        // Ids far outside the dense window must land in the spill map and
+        // still pair correctly in both directions.
+        let mut join = LshJoin::new(0.7, 0.1, LshParams::default());
+        let mut out = Vec::new();
+        join.process(&rec(0, 0.0, &[(1, 1.0)]), &mut out);
+        join.process(&rec(u64::MAX - 5, 0.5, &[(1, 1.0)]), &mut out);
+        join.process(&rec(1, 1.0, &[(1, 1.0)]), &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert_eq!(join.stored_vectors(), 3);
+    }
+
+    #[test]
+    fn wide_id_steps_cannot_balloon_the_dense_window() {
+        // Ids stepping just under the gap limit stay "dense" only until
+        // the span cap; beyond it they spill, so slot memory is bounded
+        // by the span, not the id range.
+        let mut join = LshJoin::new(0.7, 0.001, LshParams::default()); // τ ≈ 357
+        let mut out = Vec::new();
+        let step = (1u64 << 16) - 1;
+        for i in 0..40u64 {
+            join.process(&rec(i * step, i as f64, &[(1, 1.0)]), &mut out);
+        }
+        assert_eq!(join.stored_vectors(), 40);
+        assert!(
+            (join.store.slots.len() as u64) <= DENSE_SPAN_LIMIT,
+            "slots={}",
+            join.store.slots.len()
+        );
+        // Every consecutive pair still found (spilled ids stay correct).
+        assert_eq!(out.len(), 39 * 40 / 2, "{}", out.len());
+    }
+
+    #[test]
+    fn dense_window_slides_with_eviction() {
+        let mut join = LshJoin::new(0.5, 1.0, LshParams::default()); // τ ≈ 0.69
+        let mut out = Vec::new();
+        for i in 0..5_000u64 {
+            join.process(&rec(i, i as f64, &[(1, 1.0)]), &mut out);
+        }
+        // Only the newest vector is in-horizon; the window must have
+        // slid along rather than grown with the stream.
+        assert_eq!(join.stored_vectors(), 1);
+        assert!(join.store.slots.len() <= 2, "window did not slide");
     }
 
     #[test]

@@ -38,3 +38,53 @@ pub use bands::Bands;
 pub use eval::{measure_accuracy, AccuracyReport};
 pub use join::{LshJoin, LshParams, VerifyMode};
 pub use simhash::{Signature, SimHasher};
+
+/// Registers the LSH engine with the [`sssj_core::spec`] factory, so
+/// `lsh?…` [`sssj_core::JoinSpec`] strings build an [`LshJoin`].
+/// Idempotent; every workspace binary calls it at startup.
+pub fn register_spec_builder() {
+    sssj_core::spec::register_lsh_builder(|theta, lambda, p| {
+        Box::new(LshJoin::new(theta, lambda, LshParams::from(p)))
+    });
+}
+
+impl From<sssj_core::LshSpec> for LshParams {
+    fn from(p: sssj_core::LshSpec) -> LshParams {
+        LshParams {
+            bits: p.bits,
+            bands: p.bands,
+            seed: p.seed,
+            verify: if p.estimate {
+                VerifyMode::Estimate
+            } else {
+                VerifyMode::Exact
+            },
+        }
+    }
+}
+
+impl From<LshParams> for sssj_core::LshSpec {
+    fn from(p: LshParams) -> sssj_core::LshSpec {
+        sssj_core::LshSpec {
+            bits: p.bits,
+            bands: p.bands,
+            seed: p.seed,
+            estimate: p.verify == VerifyMode::Estimate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use sssj_core::StreamJoin;
+
+    #[test]
+    fn lsh_spec_builds_through_the_factory() {
+        super::register_spec_builder();
+        let spec: sssj_core::JoinSpec = "lsh?theta=0.7&lambda=0.1&bits=128&bands=16&verify=est"
+            .parse()
+            .unwrap();
+        let join = spec.build().unwrap();
+        assert_eq!(join.name(), "LSH-16x8-est");
+    }
+}

@@ -5,23 +5,55 @@
 //! `V`/`T` request is answered by zero or more `P` lines followed by one
 //! `OK <count>` line, so the client always knows when the response is
 //! complete. The session state machine lives in
-//! [`crate::server::Session`]; this module is pure parsing/formatting and
-//! is round-trip property-tested.
+//! [`crate::session::Session`]; this module is pure parsing/formatting
+//! and is round-trip property-tested.
 //!
 //! ```text
 //! client → server                         server → client
 //! ------------------------------------    -----------------------------
-//! CONFIG theta=0.7 lambda=0.1 index=l2    OK 0            (or E <msg>)
+//! CONFIG spec=str-l2?theta=0.7&reorder=5  OK 0            (or E <msg>)
+//! CONFIG theta=0.7 lambda=0.1 index=l2    OK 0
+//! CONFIGJ {"engine":"str","theta":0.7}    OK 0
 //! V 12.5 3:0.6 9:0.8                      P 0 4 0.8231…   zero or more
 //! T 13.0 some raw text                    OK 2            always last
 //! STATS                                   S records=5 pairs=2 …
 //! FINISH                                  P … / OK <count>
 //! QUIT                                    BYE
 //! ```
+//!
+//! # Negotiating the join: the spec grammar
+//!
+//! A session runs one join pipeline, described by a
+//! [`sssj_core::JoinSpec`]. `CONFIG` accepts the spec's compact text
+//! form under the `spec=` key — the full grammar is documented in
+//! [`sssj_core::spec`]:
+//!
+//! ```text
+//! spec    := engine [ "-" index ] [ "?" param ( "&" param )* ]
+//! engine  := "str" | "mb" | "decay" | "topk" | "lsh" | "sharded"
+//! index   := "l2" | "l2ap" | "ap" | "inv"
+//! param   := theta= | lambda= | tau= | model= | k= | shards=
+//!          | bits= | bands= | seed= | verify= | reorder= | checked | snapshot
+//! ```
+//!
+//! so *every* join variant the workspace implements — not just the
+//! classic framework × index grid — is reachable over the wire, e.g.
+//! `CONFIG spec=topk-l2?theta=0.5&lambda=0.01&k=3` or
+//! `CONFIG spec=lsh?theta=0.7&lambda=0.01&verify=est`. The compact form
+//! is whitespace-free, so it embeds in the line protocol's `key=value`
+//! framing unchanged. The scalar keys (`theta=`, `lambda=`, `index=`,
+//! `framework=`, `slack=`) are retained for simple clients and apply
+//! *on top of* the spec (they override its corresponding fields), in
+//! the order: spec first, then scalars.
+//!
+//! `CONFIGJ` carries the same spec as a single JSON object
+//! ([`sssj_core::JoinSpec::to_json`] /
+//! [`sssj_core::JoinSpec::from_json`]) for programmatic clients, e.g.
+//! `CONFIGJ {"engine":"topk","index":"l2","theta":0.5,"lambda":0.01,"k":3}`.
 
 use std::fmt;
 
-use sssj_core::Framework;
+use sssj_core::{Framework, JoinSpec};
 use sssj_index::IndexKind;
 use sssj_types::SimilarPair;
 
@@ -57,10 +89,14 @@ impl fmt::Display for SessionMode {
     }
 }
 
-/// Session parameters carried by a `CONFIG` request. Fields left `None`
-/// keep the server's defaults.
-#[derive(Clone, Copy, Debug, PartialEq, Default)]
+/// Session parameters carried by a `CONFIG`/`CONFIGJ` request. Fields
+/// left `None` keep the server's defaults. When `spec` is present it is
+/// applied first and the scalar fields override it.
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct ConfigRequest {
+    /// A complete join pipeline description (compact form via
+    /// `CONFIG spec=…`, JSON via `CONFIGJ`).
+    pub spec: Option<JoinSpec>,
     /// Similarity threshold `θ`.
     pub theta: Option<f64>,
     /// Decay rate `λ`.
@@ -149,6 +185,12 @@ impl Request {
                         .split_once('=')
                         .ok_or_else(|| err(format!("CONFIG expects key=value, got {kv:?}")))?;
                     match k {
+                        "spec" => {
+                            c.spec = Some(
+                                v.parse::<JoinSpec>()
+                                    .map_err(|e| err(format!("bad spec {v:?}: {e}")))?,
+                            );
+                        }
                         "theta" => {
                             let x: f64 = v
                                 .parse()
@@ -199,6 +241,13 @@ impl Request {
                 }
                 Ok(Request::Config(c))
             }
+            "CONFIGJ" => {
+                let spec = JoinSpec::from_json(rest).map_err(|e| err(format!("CONFIGJ: {e}")))?;
+                Ok(Request::Config(ConfigRequest {
+                    spec: Some(spec),
+                    ..Default::default()
+                }))
+            }
             "V" => {
                 let mut parts = rest.split_ascii_whitespace();
                 let t = parse_timestamp(parts.next())?;
@@ -245,6 +294,9 @@ impl fmt::Display for Request {
         match self {
             Request::Config(c) => {
                 write!(f, "CONFIG")?;
+                if let Some(x) = &c.spec {
+                    write!(f, " spec={x}")?;
+                }
                 if let Some(x) = c.theta {
                     write!(f, " theta={x}")?;
                 }
@@ -425,6 +477,44 @@ mod tests {
     }
 
     #[test]
+    fn parse_config_spec_request() {
+        let r = Request::parse("CONFIG spec=topk-l2?theta=0.5&lambda=0.01&k=3 mode=text").unwrap();
+        match r {
+            Request::Config(c) => {
+                let spec = c.spec.expect("spec parsed");
+                assert_eq!(spec.to_string(), "topk-l2?theta=0.5&lambda=0.01&k=3");
+                assert_eq!(c.mode, Some(SessionMode::Text));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        // Display → parse round-trips the spec-carrying config.
+        let req = Request::Config(ConfigRequest {
+            spec: Some("str-l2?theta=0.8&lambda=0.1&reorder=2".parse().unwrap()),
+            ..Default::default()
+        });
+        assert_eq!(Request::parse(&req.to_string()).unwrap(), req);
+    }
+
+    #[test]
+    fn configj_parses_json_spec() {
+        let r = Request::parse(
+            "CONFIGJ {\"engine\":\"lsh\",\"theta\":0.7,\"lambda\":0.01,\
+             \"bits\":128,\"bands\":16,\"verify\":\"est\"}",
+        )
+        .unwrap();
+        match r {
+            Request::Config(c) => {
+                let spec = c.spec.expect("spec parsed");
+                assert_eq!(
+                    spec.to_string(),
+                    "lsh?theta=0.7&lambda=0.01&bits=128&bands=16&verify=est"
+                );
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
     fn parse_text_request_keeps_whole_text() {
         let r = Request::parse("T 3.0 the quick  brown fox").unwrap();
         assert_eq!(
@@ -464,6 +554,11 @@ mod tests {
             "CONFIG slack=-1",
             "CONFIG slack=inf",
             "CONFIG flux=9",
+            "CONFIG spec=quantum",
+            "CONFIG spec=topk-l2?k=0",
+            "CONFIGJ",
+            "CONFIGJ not json",
+            "CONFIGJ {\"volume\":11}",
             "T",
         ] {
             assert!(Request::parse(bad).is_err(), "accepted {bad:?}");

@@ -1,5 +1,5 @@
-//! The TCP server: one [`Session`](crate::session::Session) per
-//! connection, one thread per session.
+//! The TCP server: one [`Session`] per connection, one thread per
+//! session.
 //!
 //! Concurrency model: sessions are fully independent — each connection
 //! runs its own join over its own stream, so there is no shared mutable
@@ -24,7 +24,7 @@ use crate::protocol::{Request, Response, MAX_LINE_BYTES};
 use crate::session::{Session, SessionDefaults};
 
 /// Server tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerOptions {
     /// Defaults every session starts from (overridable via `CONFIG`).
     pub defaults: SessionDefaults,
@@ -81,6 +81,7 @@ impl Server {
                     };
                     accept_started.fetch_add(1, Ordering::SeqCst);
                     let stop = Arc::clone(&accept_stop);
+                    let options = options.clone();
                     let handle = thread::Builder::new()
                         .name("sssj-net-session".into())
                         .spawn(move || serve_connection(stream, options, &stop))

@@ -5,37 +5,30 @@
 //! testable without networking. The server (see [`crate::server`]) only
 //! adds framing: read a line, parse, `handle`, write the responses.
 
-use sssj_core::{build_algorithm, Framework, ReorderBuffer, SssjConfig, StreamJoin};
-use sssj_index::IndexKind;
+use sssj_core::{
+    EngineSpec, Framework, JoinSpec, ReorderBuffer, SpecError, StreamJoin, WrapperSpec,
+};
 use sssj_textsim::Tokenizer;
 use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
 
 use crate::protocol::{ConfigRequest, Request, Response, SessionMode, SessionStats};
 
-/// Server-side defaults a session starts from; `CONFIG` overrides fields
-/// per session.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// Server-side defaults a session starts from; `CONFIG` overrides them
+/// per session. The join pipeline is a full [`JoinSpec`], so any variant
+/// the workspace implements can be the server default.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SessionDefaults {
-    /// Join parameters (θ, λ).
-    pub config: SssjConfig,
-    /// Index kind.
-    pub index: IndexKind,
-    /// Framework.
-    pub framework: Framework,
+    /// The join pipeline (engine, index, θ/λ, wrappers).
+    pub spec: JoinSpec,
     /// Payload interpretation.
     pub mode: SessionMode,
-    /// Out-of-order tolerance (0 = require sorted input).
-    pub slack: f64,
 }
 
 impl Default for SessionDefaults {
     fn default() -> Self {
         SessionDefaults {
-            config: SssjConfig::new(0.7, 0.01),
-            index: IndexKind::L2,
-            framework: Framework::Streaming,
+            spec: JoinSpec::new(0.7, 0.01),
             mode: SessionMode::Vector,
-            slack: 0.0,
         }
     }
 }
@@ -77,6 +70,8 @@ impl SessionJoin {
 pub struct Session {
     defaults: SessionDefaults,
     current: SessionDefaults,
+    /// Slack of the current spec's outermost reorder wrapper (0 = none).
+    slack: f64,
     join: SessionJoin,
     tokenizer: Tokenizer,
     next_id: u64,
@@ -87,22 +82,41 @@ pub struct Session {
     finished: bool,
 }
 
-fn build_join(d: &SessionDefaults) -> SessionJoin {
-    let inner = build_algorithm(d.framework, d.index, d.config);
-    if d.slack > 0.0 {
-        SessionJoin::Reordered(ReorderBuffer::new(inner, d.slack))
-    } else {
-        SessionJoin::Plain(inner)
-    }
+/// Builds the session's join through the one spec factory. An outermost
+/// reorder wrapper is split off and kept un-type-erased so late records
+/// can be reported as `E` responses rather than silently dropped;
+/// everything inside it comes from [`JoinSpec::build`]. Returns the join
+/// and that wrapper's slack.
+fn build_join(spec: &JoinSpec) -> Result<(SessionJoin, f64), SpecError> {
+    // Validate the *whole* spec first, so an invalid outer wrapper
+    // combination cannot slip through the split.
+    spec.validate()?;
+    let (inner, slack) = spec.split_outer_reorder();
+    let join = inner.build()?;
+    Ok(match slack {
+        Some(slack) if slack > 0.0 => (
+            SessionJoin::Reordered(ReorderBuffer::new(join, slack)),
+            slack,
+        ),
+        _ => (SessionJoin::Plain(join), 0.0),
+    })
 }
 
 impl Session {
     /// Creates a session with the server's defaults.
+    ///
+    /// Panics when the default spec cannot be built — server defaults
+    /// are operator-supplied configuration, not client input. Client
+    /// `CONFIG` requests never panic; they answer `E` lines.
     pub fn new(defaults: SessionDefaults) -> Self {
+        crate::register_spec_builders();
+        let (join, slack) = build_join(&defaults.spec)
+            .unwrap_or_else(|e| panic!("invalid server default spec {}: {e}", defaults.spec));
         Session {
+            current: defaults.clone(),
             defaults,
-            current: defaults,
-            join: build_join(&defaults),
+            slack,
+            join,
             tokenizer: Tokenizer::new(),
             next_id: 0,
             last_t: f64::NEG_INFINITY,
@@ -114,8 +128,8 @@ impl Session {
     }
 
     /// The configuration currently in effect.
-    pub fn current_config(&self) -> SessionDefaults {
-        self.current
+    pub fn current_config(&self) -> &SessionDefaults {
+        &self.current
     }
 
     /// Handles one request, appending the responses. Returns `false`
@@ -159,33 +173,52 @@ impl Session {
             out.push(Response::Err("CONFIG must precede the first record".into()));
             return;
         }
-        // Validate before constructing: the wire parser rejects these,
-        // but a directly-built `ConfigRequest` must not panic the session.
-        let theta = c.theta.unwrap_or(self.defaults.config.theta);
-        if !(theta > 0.0 && theta <= 1.0) {
-            out.push(Response::Err(format!("theta out of (0, 1]: {theta}")));
-            return;
+        // The spec replaces the pipeline wholesale; scalar keys override
+        // its fields on top (in that order — see the protocol docs).
+        let mut spec = c.spec.unwrap_or_else(|| self.defaults.spec.clone());
+        if let Some(theta) = c.theta {
+            spec.theta = theta;
         }
-        let lambda = c.lambda.unwrap_or(self.defaults.config.lambda);
-        if !(lambda.is_finite() && lambda >= 0.0) {
-            out.push(Response::Err(format!("lambda must be ≥ 0: {lambda}")));
-            return;
+        if let Some(lambda) = c.lambda {
+            spec.lambda = lambda;
+        }
+        if let Some(index) = c.index {
+            spec.index = index;
+        }
+        if let Some(framework) = c.framework {
+            spec.engine = match framework {
+                Framework::Streaming => EngineSpec::Streaming,
+                Framework::MiniBatch => EngineSpec::MiniBatch,
+            };
         }
         if let Some(slack) = c.slack {
             if !(slack.is_finite() && slack >= 0.0) {
                 out.push(Response::Err(format!("slack must be ≥ 0: {slack}")));
                 return;
             }
+            // Replace any outer reorder wrapper with the requested slack.
+            if let (inner, Some(_)) = spec.split_outer_reorder() {
+                spec = inner;
+            }
+            if slack > 0.0 {
+                spec.wrappers.push(WrapperSpec::Reorder(slack));
+            }
         }
-        let mut d = self.defaults;
-        d.config = SssjConfig::new(theta, lambda);
-        d.index = c.index.unwrap_or(d.index);
-        d.framework = c.framework.unwrap_or(d.framework);
-        d.mode = c.mode.unwrap_or(d.mode);
-        d.slack = c.slack.unwrap_or(d.slack);
-        self.current = d;
-        self.join = build_join(&d);
-        out.push(Response::Ok(0));
+        // Validate by building: every error — out-of-range parameter,
+        // invalid wrapper combination, unregistered engine — comes back
+        // as an `E` line and the session stays on its previous join.
+        match build_join(&spec) {
+            Ok((join, slack)) => {
+                self.join = join;
+                self.slack = slack;
+                self.current = SessionDefaults {
+                    spec,
+                    mode: c.mode.unwrap_or(self.defaults.mode),
+                };
+                out.push(Response::Ok(0));
+            }
+            Err(e) => out.push(Response::Err(e.to_string())),
+        }
     }
 
     fn handle_vector(&mut self, t: f64, entries: &[(u32, f64)], out: &mut Vec<Response>) {
@@ -240,7 +273,7 @@ impl Session {
                 if let Err(late) = join.push(&record, &mut pairs) {
                     out.push(Response::Err(format!(
                         "record at t={t} is more than slack={} late (released up to t={})",
-                        self.current.slack, late.released_up_to
+                        self.slack, late.released_up_to
                     )));
                     return;
                 }
@@ -431,6 +464,88 @@ mod tests {
             s.handle(Request::Config(bad), &mut out);
             assert!(matches!(&out[0], Response::Err(_)), "{out:?}");
         }
+    }
+
+    #[test]
+    fn spec_negotiates_extended_variants() {
+        // Top-k over the wire: two matches for the third record, k=1
+        // keeps only the better one.
+        let mut s = Session::new(SessionDefaults::default());
+        let r = handle_line(&mut s, "CONFIG spec=topk-l2?theta=0.3&lambda=0.01&k=1");
+        assert!(matches!(r[0], Response::Ok(0)), "{r:?}");
+        handle_line(&mut s, "V 0.0 1:1.0");
+        handle_line(&mut s, "V 0.5 1:1.0 2:1.0");
+        let r = handle_line(&mut s, "V 1.0 1:1.0");
+        assert_eq!(ok_count(&r), 1, "{r:?}");
+
+        // The approximate LSH engine is reachable too.
+        let mut s = Session::new(SessionDefaults::default());
+        let r = handle_line(&mut s, "CONFIG spec=lsh?theta=0.7&lambda=0.1");
+        assert!(matches!(r[0], Response::Ok(0)), "{r:?}");
+        handle_line(&mut s, "V 0.0 7:1.0 8:2.0");
+        let r = handle_line(&mut s, "V 1.0 7:1.0 8:2.0");
+        assert_eq!(ok_count(&r), 1, "identical signatures always collide");
+
+        // And the sharded engine (pairs may surface at FINISH).
+        let mut s = Session::new(SessionDefaults::default());
+        let r = handle_line(
+            &mut s,
+            "CONFIG spec=sharded-l2?theta=0.7&lambda=0.1&shards=2",
+        );
+        assert!(matches!(r[0], Response::Ok(0)), "{r:?}");
+        handle_line(&mut s, "V 0.0 7:1.0");
+        let n = ok_count(&handle_line(&mut s, "V 1.0 7:1.0"));
+        let m = ok_count(&handle_line(&mut s, "FINISH"));
+        assert_eq!(n + m, 1, "the sharded pair must arrive by FINISH");
+    }
+
+    #[test]
+    fn scalar_keys_override_the_spec() {
+        let mut s = Session::new(SessionDefaults::default());
+        // theta= overrides the spec's theta; e^{-1} ≈ 0.37 < 0.99.
+        handle_line(&mut s, "CONFIG spec=str-l2?theta=0.5&lambda=1.0 theta=0.99");
+        handle_line(&mut s, "V 0.0 7:1.0");
+        assert_eq!(ok_count(&handle_line(&mut s, "V 1.0 7:1.0")), 0);
+    }
+
+    #[test]
+    fn configj_and_spec_reorder_work_over_the_session() {
+        let mut s = Session::new(SessionDefaults::default());
+        let r = handle_line(
+            &mut s,
+            "CONFIGJ {\"engine\":\"str\",\"index\":\"l2\",\"theta\":0.7,\
+             \"lambda\":0.01,\"wrappers\":[[\"reorder\",10]]}",
+        );
+        assert!(matches!(r[0], Response::Ok(0)), "{r:?}");
+        handle_line(&mut s, "V 5.0 7:1.0");
+        let r = handle_line(&mut s, "V 1.0 7:1.0"); // 4 late, within slack
+        assert!(!matches!(&r[0], Response::Err(_)), "{r:?}");
+        assert_eq!(ok_count(&handle_line(&mut s, "FINISH")), 1);
+    }
+
+    #[test]
+    fn invalid_spec_is_an_error_and_session_survives() {
+        let mut s = Session::new(SessionDefaults::default());
+        let mut out = Vec::new();
+        // Parse-level garbage is rejected by the wire parser; a
+        // structurally valid but unbuildable spec must come back as E.
+        s.handle(
+            Request::Config(ConfigRequest {
+                spec: Some(sssj_core::JoinSpec {
+                    engine: sssj_core::EngineSpec::TopK(0),
+                    ..sssj_core::JoinSpec::new(0.7, 0.01)
+                }),
+                ..Default::default()
+            }),
+            &mut out,
+        );
+        assert!(
+            matches!(&out[0], Response::Err(m) if m.contains("k >= 1")),
+            "{out:?}"
+        );
+        // The previous join is still live.
+        handle_line(&mut s, "V 0.0 7:1.0");
+        assert_eq!(ok_count(&handle_line(&mut s, "V 1.0 7:1.0")), 1);
     }
 
     #[test]

@@ -19,10 +19,34 @@
 //! Two entry points:
 //!
 //! * [`sharded_run`] — one-call execution of a whole stream;
-//! * [`ShardedJoin`] — an incremental [`StreamJoin`] that feeds worker
+//! * [`ShardedJoin`] — an incremental [`sssj_core::StreamJoin`] that feeds worker
 //!   threads through bounded channels (backpressure) and reports pairs as
 //!   workers hand them back.
 
 pub mod shard;
 
 pub use shard::{sharded_run, ShardedJoin, ShardedOutput};
+
+/// Registers the sharded engine with the [`sssj_core::spec`] factory, so
+/// `sharded-…` [`sssj_core::JoinSpec`] strings build a [`ShardedJoin`].
+/// Idempotent; every workspace binary calls it at startup.
+pub fn register_spec_builder() {
+    sssj_core::spec::register_sharded_builder(|config, kind, shards| {
+        Box::new(ShardedJoin::new(config, kind, shards as usize))
+    });
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use sssj_core::StreamJoin;
+
+    #[test]
+    fn sharded_spec_builds_through_the_factory() {
+        super::register_spec_builder();
+        let spec: sssj_core::JoinSpec = "sharded-l2?theta=0.6&lambda=0.1&shards=3".parse().unwrap();
+        let mut join = spec.build().unwrap();
+        assert_eq!(join.name(), "STR-L2x3");
+        let mut out = Vec::new();
+        join.finish(&mut out);
+    }
+}

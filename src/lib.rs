@@ -15,12 +15,17 @@
 //!
 //! ## Quick start
 //!
+//! Every join variant in the workspace is described by one declarative
+//! [`core::spec::JoinSpec`] — engine, index, θ/λ, wrappers — with a
+//! compact text form and a single factory. The CLI, the TCP protocol
+//! and the benchmark harness all speak it:
+//!
 //! ```
 //! use sssj::prelude::*;
 //!
 //! // θ = 0.7, λ = 0.1  →  horizon τ ≈ 3.6 time units.
-//! let config = SssjConfig::new(0.7, 0.1);
-//! let mut join = Streaming::new(config, IndexKind::L2); // the paper's best
+//! let spec: JoinSpec = "str-l2?theta=0.7&lambda=0.1".parse().unwrap();
+//! let mut join = spec.build().unwrap(); // the paper's best variant
 //!
 //! let stream = vec![
 //!     StreamRecord::new(0, Timestamp::new(0.0), unit_vector(&[(1, 1.0), (2, 1.0)])),
@@ -38,6 +43,15 @@
 //! assert_eq!(out.len(), 1);
 //! assert_eq!((out[0].left, out[0].right), (0, 1));
 //! ```
+//!
+//! The same grammar reaches the whole family — `mb-inv`,
+//! `decay?model=window:10`, `topk-l2?k=3`, `lsh?verify=est`,
+//! `sharded-l2?shards=4`, plus `reorder=`/`checked`/`snapshot` wrappers
+//! (see [`core::spec`] for the grammar). The LSH and sharded engines
+//! live in their own crates: call [`register_all_engines`] once before
+//! building those two from specs in an embedding application (the
+//! workspace binaries — the CLI, the net server, the bench harness —
+//! already register them at startup).
 //!
 //! ## Crate map
 //!
@@ -100,12 +114,24 @@ pub use sssj_parallel as parallel;
 pub use sssj_textsim as textsim;
 pub use sssj_types as types;
 
+/// Registers every engine that lives downstream of `sssj-core` (LSH,
+/// sharded) with the [`core::spec::JoinSpec`] factory. Idempotent; call
+/// it once before building `lsh?…` / `sharded-…` specs in an embedding
+/// application. (The workspace binaries — CLI, net server, bench
+/// harness — already do.)
+pub fn register_all_engines() {
+    sssj_lsh::register_spec_builder();
+    sssj_parallel::register_spec_builder();
+}
+
 /// The one-stop import for applications.
 pub mod prelude {
+    pub use crate::register_all_engines;
     pub use sssj_core::{
         advise, advise_from_examples, build_algorithm, read_snapshot, run_stream, Advice,
-        DecayStreaming, Framework, JoinBuilder, MiniBatch, RecoverableJoin, ReorderBuffer,
-        SssjConfig, StreamJoin, Streaming, TopKJoin,
+        DecayStreaming, EngineSpec, Framework, JoinBuilder, JoinSpec, LshSpec, MiniBatch,
+        RecoverableJoin, ReorderBuffer, SpecError, SssjConfig, StreamJoin, Streaming, TopKJoin,
+        WrapperSpec,
     };
     pub use sssj_index::{all_pairs, BatchIndex, BoundPolicy, IndexKind};
     pub use sssj_lsh::{LshJoin, LshParams};
