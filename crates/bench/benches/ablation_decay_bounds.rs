@@ -5,61 +5,46 @@
 //! (`rs1w`). This bench measures what that bound buys on top of the
 //! `rs2`/`l2bound` pruning, per decay model. Output is identical either
 //! way (tested in `decay_generic.rs`); only the work changes.
+//!
+//! Both arms are expressed as [`JoinSpec`] strings through the `bounds=`
+//! key (`bounds=wmax` is the default, `bounds=l2` the ablation), so the
+//! ablation runs through the same single factory as every other bench.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sssj_core::{DecayStreaming, StreamJoin};
+use sssj_bench::run_algorithm;
+use sssj_core::JoinSpec;
 use sssj_data::{generate, preset, Preset};
-use sssj_types::DecayModel;
+use sssj_metrics::WorkBudget;
 use std::hint::black_box;
 
-fn models() -> Vec<(&'static str, DecayModel)> {
-    vec![
-        ("exp", DecayModel::exponential(0.01)),
-        ("window", DecayModel::sliding_window(50.0)),
-        ("linear", DecayModel::linear(120.0)),
-        ("poly", DecayModel::polynomial(2.0, 30.0)),
-    ]
+const MODELS: [&str; 4] = ["exp:0.01", "window:50", "linear:120", "poly:2:30"];
+
+fn spec_for(model: &str, bounds: &str) -> JoinSpec {
+    let s = format!("decay?theta=0.6&model={model}&bounds={bounds}");
+    s.parse().unwrap_or_else(|e| panic!("{s}: {e}"))
 }
 
 fn bench(c: &mut Criterion) {
     let stream = generate(&preset(Preset::Rcv1, 800));
-    let theta = 0.6;
 
-    for (label, model) in models() {
-        for (bound, use_wm) in [("with-rs1w", true), ("without-rs1w", false)] {
-            let mut join = DecayStreaming::with_options(theta, model, use_wm);
-            let mut out = Vec::new();
-            for r in &stream {
-                join.process(r, &mut out);
-            }
+    for model in MODELS {
+        for bounds in ["wmax", "l2"] {
+            let r = run_algorithm(&stream, &spec_for(model, bounds), WorkBudget::unlimited());
             eprintln!(
-                "{label} {bound}: entries={} candidates={} full_sims={} pairs={}",
-                join.stats().entries_traversed,
-                join.stats().candidates,
-                join.stats().full_sims,
-                out.len()
+                "{model} bounds={bounds}: entries={} candidates={} full_sims={} pairs={}",
+                r.stats.entries_traversed, r.stats.candidates, r.stats.full_sims, r.pairs
             );
         }
     }
 
     let mut g = c.benchmark_group("ablation_decay_bounds");
     g.sample_size(10);
-    for (label, model) in models() {
-        for (bound, use_wm) in [("with-rs1w", true), ("without-rs1w", false)] {
-            g.bench_with_input(
-                BenchmarkId::new(label, bound),
-                &(model, use_wm),
-                |b, &(model, use_wm)| {
-                    b.iter(|| {
-                        let mut join = DecayStreaming::with_options(theta, model, use_wm);
-                        let mut out = Vec::new();
-                        for r in &stream {
-                            join.process(r, &mut out);
-                        }
-                        black_box(out.len())
-                    })
-                },
-            );
+    for model in MODELS {
+        for bounds in ["wmax", "l2"] {
+            let spec = spec_for(model, bounds);
+            g.bench_with_input(BenchmarkId::new(model, bounds), &spec, |b, spec| {
+                b.iter(|| black_box(run_algorithm(&stream, spec, WorkBudget::unlimited()).pairs))
+            });
         }
     }
     g.finish();

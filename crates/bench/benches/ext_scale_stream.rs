@@ -1,0 +1,121 @@
+//! Extension: streaming-scale sequential vs sharded (broadcast vs routed).
+//!
+//! The fig5 rows at n=800 are constant-overhead-bound for the tight-θ
+//! configurations; this bench runs the Tweets-like preset at n ≥ 10⁵
+//! (Table 1's workload shapes at laptop scale) so the per-record scan
+//! work dominates. Three contestants per θ ∈ {0.5, 0.7}:
+//!
+//! * `sequential` — STR-L2 on one thread;
+//! * `broadcast/4` — the pre-routing sharded mode: every record is
+//!   delivered to all 4 shards;
+//! * `routed/4` — dimension-partitioned, candidate-aware routing: shards
+//!   with no live posting on any of the record's dimensions never see it.
+//!
+//! Output equality across all three is asserted before timing, and the
+//! routing skip rate is printed (the Tweets preset's Zipfian topic
+//! vocabulary is what gives the router shards to skip). `BENCH_FAST=1`
+//! shrinks n for the CI smoke run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_core::{run_stream, JoinSpec, Streaming};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_parallel::{run_sharded, RoutingMode};
+use std::hint::black_box;
+
+const SHARDS: usize = 4;
+/// Forgetting horizon, seconds — the §3 recipe (`tau=` sets
+/// `λ = ln(1/θ)/τ`), so both θ rows see the same live window.
+const TAU: f64 = 10.0;
+
+fn scale() -> usize {
+    if std::env::var("BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+fn sharded_spec(theta: f64) -> JoinSpec {
+    format!("sharded?theta={theta}&tau={TAU}&shards={SHARDS}&inner=str-l2")
+        .parse()
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = scale();
+    let stream = generate(&preset(Preset::Tweets, n));
+    eprintln!("ext_scale_stream: n={n} tweets-like records");
+
+    for theta in [0.5, 0.7] {
+        let spec = sharded_spec(theta);
+        let config = spec.config();
+        let mut seq = Streaming::new(config, IndexKind::L2);
+        let mut expected: Vec<_> = run_stream(&mut seq, &stream)
+            .iter()
+            .map(|p| p.key())
+            .collect();
+        expected.sort_unstable();
+
+        for (label, mode) in [
+            ("broadcast", RoutingMode::Broadcast),
+            ("routed", RoutingMode::CandidateAware),
+        ] {
+            let out = run_sharded(&stream, &spec, mode).unwrap();
+            let mut keys: Vec<_> = out.pairs.iter().map(|p| p.key()).collect();
+            keys.sort_unstable();
+            assert_eq!(keys, expected, "θ={theta} {label} must not change output");
+            let max_routed = out.report.per_shard.iter().map(|l| l.routed).max().unwrap();
+            eprintln!(
+                "θ={theta} {label}: pairs={} skip-rate={:.1}% critical-path records={} \
+                 entries(total)={}",
+                out.pairs.len(),
+                100.0 * out.report.skip_rate(),
+                max_routed,
+                out.stats.entries_traversed,
+            );
+            if mode == RoutingMode::CandidateAware {
+                assert!(
+                    out.report.skip_rate() > 0.0,
+                    "θ={theta}: routing must avoid some deliveries on a Zipfian stream"
+                );
+            }
+        }
+    }
+
+    let mut g = c.benchmark_group("ext_scale_stream");
+    g.sample_size(5);
+    for theta in [0.5, 0.7] {
+        let config = sharded_spec(theta).config();
+        g.bench_with_input(
+            BenchmarkId::new("sequential", format!("theta={theta}")),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    let mut join = Streaming::new(config, IndexKind::L2);
+                    black_box(run_stream(&mut join, &stream).len())
+                })
+            },
+        );
+        let spec = sharded_spec(theta);
+        for (label, mode) in [
+            ("broadcast/4", RoutingMode::Broadcast),
+            ("routed/4", RoutingMode::CandidateAware),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("theta={theta}")),
+                &spec,
+                |b, spec| {
+                    b.iter(|| black_box(run_sharded(&stream, spec, mode).unwrap().pairs.len()))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -102,15 +102,20 @@ pub fn stats(args: &[String]) -> Result<(), String> {
 }
 
 /// `sssj run FILE [--spec S | --framework F --index I --theta T
-/// --lambda L] [--pairs]` — `--spec` reaches every variant (see `sssj
-/// specs` for the grammar and one example per variant).
+/// --lambda L] [--pairs] [--shard-stats]` — `--spec` reaches every
+/// variant (see `sssj specs` for the grammar and one example per
+/// variant); `--shard-stats` requires a `sharded?…` spec and prints the
+/// per-shard load and routing-skip report after the run.
 pub fn run(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["pairs"])?;
+    let p = parse(args, &["pairs", "shard-stats"])?;
     let [input] = p.positional.as_slice() else {
         return Err("run needs exactly one path".into());
     };
     let spec = spec_from_args(&p)?;
     let records = load(&PathBuf::from(input))?;
+    if p.flag("shard-stats") {
+        return run_shard_stats(&spec, &records, p.flag("pairs"));
+    }
     let mut join = spec.build().map_err(|e| e.to_string())?;
     let watch = Stopwatch::start();
     let mut out = Vec::new();
@@ -143,5 +148,63 @@ pub fn run(args: &[String]) -> Result<(), String> {
     eprintln!("pairs     : {}", s.pairs_output);
     eprintln!("time      : {elapsed:.3} s");
     eprintln!("work      : {s}");
+    Ok(())
+}
+
+/// The `--shard-stats` variant of `run`: drives the concrete
+/// [`sssj_parallel::ShardedJoin`] (the type-erased factory output cannot
+/// surface per-shard detail) and prints its routing/load report.
+fn run_shard_stats(
+    spec: &JoinSpec,
+    records: &[sssj_types::StreamRecord],
+    print_pairs: bool,
+) -> Result<(), String> {
+    use sssj_core::{run_stream, EngineSpec, StreamJoin};
+    use sssj_parallel::ShardedJoin;
+    if !matches!(spec.engine, EngineSpec::Sharded { .. }) {
+        return Err(format!("--shard-stats requires a sharded spec, got {spec}"));
+    }
+    if !spec.wrappers.is_empty() {
+        return Err("--shard-stats requires a bare sharded spec (no wrappers)".into());
+    }
+    let mut join = ShardedJoin::from_spec(spec).map_err(|e| e.to_string())?;
+    let watch = Stopwatch::start();
+    let pairs = run_stream(&mut join, records);
+    let elapsed = watch.seconds();
+    if print_pairs {
+        for pair in &pairs {
+            println!("{pair}");
+        }
+    }
+    let report = join.shard_report().expect("run_stream calls finish");
+    eprintln!("algorithm : {}", join.name());
+    eprintln!("spec      : {spec}");
+    eprintln!("records   : {}", records.len());
+    eprintln!("pairs     : {}", report.stats.pairs_output);
+    eprintln!("time      : {elapsed:.3} s");
+    eprintln!(
+        "routing   : {} — skip rate {:.1}% ({} of {} sends avoided)",
+        if report.candidate_aware {
+            "candidate-aware"
+        } else {
+            "broadcast (inner engine exposes no dimensions)"
+        },
+        100.0 * report.skip_rate(),
+        report.skipped_sends,
+        report.records * report.per_shard.len() as u64,
+    );
+    eprintln!(
+        "{:>5} {:>10} {:>10} {:>12} {:>10}",
+        "shard", "routed", "postings", "entries", "pairs"
+    );
+    for (w, load) in report.per_shard.iter().enumerate() {
+        eprintln!(
+            "{w:>5} {:>10} {:>10} {:>12} {:>10}",
+            load.routed,
+            load.stats.postings_added,
+            load.stats.entries_traversed,
+            load.stats.pairs_output
+        );
+    }
     Ok(())
 }

@@ -9,7 +9,7 @@ use sssj_core::{run_stream, EngineSpec, Framework, JoinSpec, SssjConfig, StreamJ
 use sssj_index::IndexKind;
 use sssj_lsh::{measure_accuracy, LshParams, VerifyMode};
 use sssj_metrics::Stopwatch;
-use sssj_parallel::sharded_run;
+use sssj_parallel::{run_sharded, RoutingMode};
 use sssj_types::{DecayModel, SimilarPair};
 
 use crate::args::parse;
@@ -219,9 +219,11 @@ pub fn lsh(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `sssj shards FILE --shards N [--theta T] [--lambda L] [--index I]`
+/// `sssj shards FILE --shards N [--theta T] [--lambda L] [--index I]
+/// [--broadcast]` — `--broadcast` disables candidate-aware routing (the
+/// A/B reference).
 pub fn shards(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &[])?;
+    let p = parse(args, &["broadcast"])?;
     let [input] = p.positional.as_slice() else {
         return Err("shards needs exactly one path".into());
     };
@@ -236,17 +238,39 @@ pub fn shards(args: &[String]) -> Result<(), String> {
         None => IndexKind::L2,
     };
     let records = load(&PathBuf::from(input))?;
-    let config = SssjConfig::new(theta, lambda);
+    let spec = JoinSpec::new(theta, lambda)
+        .with_engine(EngineSpec::Sharded {
+            shards: n as u32,
+            inner: sssj_core::ShardedInner::Streaming,
+        })
+        .with_index(kind);
+    let mode = if p.flag("broadcast") {
+        RoutingMode::Broadcast
+    } else {
+        RoutingMode::CandidateAware
+    };
     let watch = Stopwatch::start();
-    let out = sharded_run(&records, config, kind, n);
+    let out = run_sharded(&records, &spec, mode).map_err(|e| e.to_string())?;
     let elapsed = watch.seconds();
     println!("shards   : {n}");
     println!("pairs    : {}", out.pairs.len());
     println!("time     : {elapsed:.3} s");
-    for (i, s) in out.per_shard.iter().enumerate() {
+    println!(
+        "routing  : {} (skip rate {:.1}%)",
+        if out.report.candidate_aware {
+            "candidate-aware"
+        } else {
+            "broadcast"
+        },
+        100.0 * out.report.skip_rate()
+    );
+    for (i, load) in out.report.per_shard.iter().enumerate() {
         println!(
-            "shard {i:>2} : postings={} entries={} pairs={}",
-            s.postings_added, s.entries_traversed, s.pairs_output
+            "shard {i:>2} : routed={} postings={} entries={} pairs={}",
+            load.routed,
+            load.stats.postings_added,
+            load.stats.entries_traversed,
+            load.stats.pairs_output
         );
     }
     Ok(())
@@ -264,10 +288,14 @@ pub const ADVERTISED_SPECS: &[&str] = &[
     "decay?theta=0.7&model=window:10",
     "decay?theta=0.7&model=linear:20",
     "decay?theta=0.7&model=poly:2:5",
+    "decay?theta=0.7&model=window:10&bounds=l2",
     "topk-l2?theta=0.5&lambda=0.01&k=3",
     "lsh?theta=0.7&lambda=0.01&bits=256&bands=32&verify=exact",
     "lsh?theta=0.7&lambda=0.01&bits=256&bands=32&verify=est",
-    "sharded-l2?theta=0.7&lambda=0.01&shards=2",
+    "sharded?theta=0.7&lambda=0.01&shards=2&inner=str-l2",
+    "sharded?theta=0.7&lambda=0.01&shards=2&inner=mb-l2ap",
+    "sharded?theta=0.7&shards=2&inner=decay&model=window:10",
+    "sharded?theta=0.7&lambda=0.01&shards=2&inner=lsh&bits=256&bands=32&verify=exact",
     "str-l2?theta=0.7&lambda=0.01&reorder=5",
     "str-l2?theta=0.7&lambda=0.01&checked",
     "str-l2?theta=0.7&lambda=0.01&snapshot",
@@ -305,7 +333,7 @@ pub fn decay(args: &[String]) -> Result<(), String> {
     let theta: f64 = p.get_parsed("theta", 0.7)?;
     let records = load(&PathBuf::from(input))?;
     let spec = JoinSpec {
-        engine: EngineSpec::GenericDecay(model),
+        engine: EngineSpec::GenericDecay(sssj_core::DecaySpec::new(model)),
         lambda: 0.0,
         ..JoinSpec::new(theta, 0.0)
     };

@@ -26,7 +26,7 @@ commands:
   stats      print dataset statistics      (<file>)
   run        run a join over a stream      (<file>, --spec | --framework,
                                             --index, --theta, --lambda;
-                                            --pairs)
+                                            --pairs, --shard-stats)
   specs      list every join variant as a buildable spec string
   sweep      (θ, λ) grid, CSV on stdout    (<file>, --thetas, --lambdas,
                                             --framework, --index)
@@ -36,7 +36,7 @@ commands:
   lsh        approximate join + accuracy   (<file>, --theta, --lambda,
                                             --bits, --bands, --estimate)
   shards     multi-threaded sharded run    (<file>, --shards, --theta,
-                                            --lambda, --index)
+                                            --lambda, --index, --broadcast)
   decay      generalised decay models      (<file>, --model, --theta,
                                             --pairs)
   serve      incremental join on stdin     (--spec | --theta, --lambda,
@@ -49,12 +49,14 @@ commands:
 
 run options:
   --spec S                full pipeline spec, e.g. str-l2?theta=0.7&reorder=5
-                          (run `sssj specs` for one example per variant)
+                          (run `sssj specs` for one example per variant;
+                          sharded?shards=4&inner=mb-l2ap runs MB workers)
   --framework mb|str      (default str)
   --index inv|ap|l2ap|l2  (default l2)
   --theta T               similarity threshold in (0,1]   (default 0.7)
   --lambda L              decay rate >= 0                 (default 0.01)
   --pairs                 print every similar pair
+  --shard-stats           (sharded specs) per-shard load + routing skip rate
 
 decay models (for `decay --model`):
   exp:LAMBDA   window:SECONDS   linear:SECONDS   poly:ALPHA:SCALE

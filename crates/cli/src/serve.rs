@@ -65,7 +65,7 @@ pub fn serve_streams<R: BufRead, W: Write>(
     // decay model) would mean nothing ever expires and the index grows
     // without bound.
     let horizon = match spec.engine {
-        sssj_core::EngineSpec::GenericDecay(model) => model.horizon(spec.theta),
+        sssj_core::EngineSpec::GenericDecay(d) => d.model.horizon(spec.theta),
         _ => spec.config().tau(),
     };
     if !horizon.is_finite() {

@@ -185,6 +185,69 @@ fn shards_matches_sequential_pair_count() {
         "{stdout} vs {seq_pairs}"
     );
     assert_eq!(stdout.matches("shard ").count(), 3, "{stdout}");
+    assert!(stdout.contains("routing  : candidate-aware"), "{stdout}");
+
+    // The broadcast A/B reference: same pairs, zero skips.
+    let out = bin()
+        .arg("shards")
+        .arg(&data)
+        .args(["--shards", "3", "--theta", "0.6", "--lambda", "0.05"])
+        .arg("--broadcast")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&format!("pairs    : {seq_pairs}")),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("routing  : broadcast (skip rate 0.0%)"),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_shard_stats_prints_the_routing_report() {
+    let dir = tmpdir("shardstats");
+    let data = dataset(&dir, 250);
+    let out = bin()
+        .arg("run")
+        .arg(&data)
+        .args([
+            "--spec",
+            "sharded?theta=0.6&lambda=0.05&shards=3&inner=str-l2",
+            "--shard-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("routing   : candidate-aware"), "{stderr}");
+    assert!(stderr.contains("skip rate"), "{stderr}");
+    // One header + three per-shard rows.
+    assert!(stderr.contains("shard"), "{stderr}");
+    for shard in ["0 ", "1 ", "2 "] {
+        assert!(
+            stderr.lines().any(|l| l.trim_start().starts_with(shard)),
+            "missing shard row {shard}: {stderr}"
+        );
+    }
+
+    // Non-sharded specs are rejected with a pointer at the flag.
+    let out = bin()
+        .arg("run")
+        .arg(&data)
+        .args(["--spec", "str-l2?theta=0.6&lambda=0.05", "--shard-stats"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shard-stats requires a sharded spec"),);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -34,8 +34,8 @@ fn expected_name_fragment(spec: &str) -> &'static str {
     if spec.starts_with("lsh?") {
         return "LSH-";
     }
-    if spec.starts_with("sharded-") {
-        return "x2"; // STR-L2x2 for shards=2
+    if spec.starts_with("sharded") {
+        return "x2"; // …x2 for shards=2, any inner engine
     }
     if spec.starts_with("mb-") {
         return "MB-";
@@ -55,11 +55,18 @@ fn every_advertised_spec_builds_and_names_match() {
     let lines: Vec<&str> = stdout.lines().collect();
     assert!(lines.len() >= 16, "expected every variant listed: {stdout}");
 
-    // Every engine keyword and every wrapper is represented.
-    for keyword in ["str-", "mb-", "decay?", "topk-", "lsh?", "sharded-"] {
+    // Every engine keyword, every sharded inner and every wrapper is
+    // represented.
+    for keyword in ["str-", "mb-", "decay?", "topk-", "lsh?", "sharded?"] {
         assert!(
             lines.iter().any(|l| l.starts_with(keyword)),
             "missing {keyword} in {stdout}"
+        );
+    }
+    for inner in ["inner=str-", "inner=mb-", "inner=decay", "inner=lsh"] {
+        assert!(
+            lines.iter().any(|l| l.contains(inner)),
+            "missing {inner} in {stdout}"
         );
     }
     for wrapper in ["&reorder=", "&checked", "&snapshot"] {
@@ -98,9 +105,13 @@ fn run_reaches_every_variant_through_spec_strings() {
         "str-l2?theta=0.6&lambda=0.05",
         "mb-inv?theta=0.6&lambda=0.05",
         "decay?theta=0.6&model=window:30",
+        "decay?theta=0.6&model=window:30&bounds=l2",
         "topk-l2?theta=0.6&lambda=0.05&k=2",
         "lsh?theta=0.6&lambda=0.05",
-        "sharded-l2?theta=0.6&lambda=0.05&shards=2",
+        "sharded?theta=0.6&lambda=0.05&shards=2&inner=str-l2",
+        "sharded?theta=0.6&lambda=0.05&shards=2&inner=mb-l2",
+        "sharded?theta=0.6&shards=2&inner=decay&model=window:30",
+        "sharded?theta=0.6&lambda=0.05&shards=2&inner=lsh",
         "str-l2?theta=0.6&lambda=0.05&checked&reorder=5",
         "str-l2?theta=0.6&lambda=0.05&snapshot",
     ] {

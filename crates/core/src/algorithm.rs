@@ -53,6 +53,32 @@ impl StreamJoin for Box<dyn StreamJoin> {
     }
 }
 
+/// The query/insert decomposition of a streaming join, plus the
+/// index-dimension occupancy information candidate-aware routing needs.
+///
+/// Sharded execution (`sssj-parallel`) partitions [`StreamJoin::process`]
+/// into two halves: every shard may *query* with a record, but each record
+/// is *inserted* at exactly one shard, so a pair is found exactly once —
+/// at the shard owning its earlier member. Engines that support that
+/// decomposition implement this trait; [`crate::JoinSpec::build_shard_worker`]
+/// constructs them for the sharded driver.
+pub trait ShardableJoin: StreamJoin {
+    /// Processes one record, making it findable by later arrivals only
+    /// when `insert` is true (query-only otherwise). With `insert` always
+    /// true this must behave exactly like [`StreamJoin::process`].
+    fn process_routed(&mut self, record: &StreamRecord, insert: bool, out: &mut Vec<SimilarPair>);
+
+    /// The engine's dimension-occupancy horizon: `Some(τ)` when a query
+    /// can only pair with records that were *inserted* within the last
+    /// `τ` time units **and** share at least one vector dimension with it
+    /// — the contract that lets a sharded driver skip shards holding no
+    /// live posting on any of the query's dimensions. `None` when
+    /// candidate generation is not dimension-driven (e.g. LSH signature
+    /// banding, where even disjoint-support vectors can collide): the
+    /// driver must broadcast queries to every shard.
+    fn occupancy_horizon(&self) -> Option<f64>;
+}
+
 /// The two algorithmic frameworks of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Framework {

@@ -32,6 +32,20 @@
 //! // Checkpointable STR (see sssj_core::snapshot):
 //! let spec = JoinBuilder::new(0.7, 0.01).snapshot().spec().clone();
 //! assert_eq!(spec.to_string(), "str-l2?theta=0.7&lambda=0.01&snapshot");
+//!
+//! // Candidate-aware sharded execution around any shardable inner
+//! // engine (built by sssj-parallel once registered; `inner=str-l2` is
+//! // the default — `sharded?shards=4&inner=mb-l2ap` runs MB workers):
+//! use sssj_core::ShardedInner;
+//! let spec = JoinBuilder::new(0.7, 0.01)
+//!     .index(IndexKind::L2ap)
+//!     .sharded_inner(4, ShardedInner::MiniBatch)
+//!     .spec()
+//!     .clone();
+//! assert_eq!(
+//!     spec.to_string(),
+//!     "sharded?theta=0.7&lambda=0.01&shards=4&inner=mb-l2ap"
+//! );
 //! ```
 //!
 //! The LSH and sharded engines are spec-addressable too
@@ -44,7 +58,7 @@ use sssj_types::{DecayModel, SimilarPair, StreamRecord};
 
 use crate::algorithm::StreamJoin;
 use crate::config::SssjConfig;
-use crate::spec::{EngineSpec, JoinSpec, LshSpec, SpecError, WrapperSpec};
+use crate::spec::{DecaySpec, EngineSpec, JoinSpec, LshSpec, ShardedInner, SpecError, WrapperSpec};
 
 /// Fluent configuration of a streaming join — sugar over [`JoinSpec`].
 ///
@@ -103,8 +117,22 @@ impl JoinBuilder {
     /// becomes the L2-only generic-decay join; λ is carried by the
     /// model).
     pub fn decay_model(mut self, model: DecayModel) -> Self {
-        self.spec.engine = EngineSpec::GenericDecay(model);
+        self.spec.engine = EngineSpec::GenericDecay(DecaySpec::new(model));
         self.spec.lambda = 0.0;
+        self
+    }
+
+    /// Enables or ablates the decay engine's window-max candidate bound
+    /// (the `bounds=wmax|l2` spec key). Only meaningful after
+    /// [`JoinBuilder::decay_model`]; panics otherwise.
+    pub fn decay_bounds(mut self, window_max: bool) -> Self {
+        match &mut self.spec.engine {
+            EngineSpec::GenericDecay(d) => d.window_max = window_max,
+            engine => panic!(
+                "decay_bounds applies to the decay engine, not {:?}",
+                engine.keyword()
+            ),
+        }
         self
     }
 
@@ -121,10 +149,19 @@ impl JoinBuilder {
         self
     }
 
-    /// Runs the join across `shards` worker threads (requires the
-    /// `sssj-parallel` crate to be registered in this binary).
-    pub fn sharded(mut self, shards: u32) -> Self {
-        self.spec.engine = EngineSpec::Sharded { shards };
+    /// Runs the join across `shards` worker threads of STR workers
+    /// (requires the `sssj-parallel` crate to be registered in this
+    /// binary).
+    pub fn sharded(self, shards: u32) -> Self {
+        self.sharded_inner(shards, ShardedInner::Streaming)
+    }
+
+    /// Runs the join across `shards` worker threads of the given inner
+    /// engine — `sharded?shards=N&inner=…` as a builder call. Queries are
+    /// routed candidate-aware for dimension-indexed inners (str/mb/decay)
+    /// and broadcast for lsh.
+    pub fn sharded_inner(mut self, shards: u32, inner: ShardedInner) -> Self {
+        self.spec.engine = EngineSpec::Sharded { shards, inner };
         self
     }
 

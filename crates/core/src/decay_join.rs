@@ -25,7 +25,7 @@ use sssj_collections::{
 use sssj_metrics::JoinStats;
 use sssj_types::{dot, DecayModel, SimilarPair, SparseVector, StreamRecord, VectorId};
 
-use crate::algorithm::StreamJoin;
+use crate::algorithm::{ShardableJoin, StreamJoin};
 
 /// Same safe-side slack as the exponential STR implementation.
 const PRUNE_EPS: f64 = 1e-12;
@@ -291,8 +291,14 @@ impl DecayStreaming {
     }
 }
 
-impl StreamJoin for DecayStreaming {
-    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+impl DecayStreaming {
+    /// The query half of [`StreamJoin::process`]: reports pairs between
+    /// `record` and the vectors currently indexed, *without* inserting
+    /// `record` — the decomposition sharded execution partitions (see
+    /// [`crate::Streaming::query`]). The window-max bound is updated only
+    /// on insert: it bounds dot products against *indexed* candidates, so
+    /// query-only records never need to raise it.
+    pub fn query(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
         let now = record.t.seconds();
         self.prune_residuals(now);
         // Slide the accumulator's dense window to the oldest live id (the
@@ -304,6 +310,32 @@ impl StreamJoin for DecayStreaming {
         }
         self.candidate_generation(&record.vector, now);
         self.candidate_verification(record, out);
+    }
+
+    /// The insert half of [`StreamJoin::process`].
+    pub fn insert_record(&mut self, record: &StreamRecord) {
+        self.insert(record);
+    }
+}
+
+impl ShardableJoin for DecayStreaming {
+    fn process_routed(&mut self, record: &StreamRecord, insert: bool, out: &mut Vec<SimilarPair>) {
+        self.query(record, out);
+        if insert {
+            self.insert(record);
+        }
+    }
+
+    /// Generic decay models never re-index, so every stored coordinate
+    /// expires exactly at the model's horizon `τ(θ)`.
+    fn occupancy_horizon(&self) -> Option<f64> {
+        Some(self.tau)
+    }
+}
+
+impl StreamJoin for DecayStreaming {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        self.query(record, out);
         self.insert(record);
     }
 

@@ -65,7 +65,7 @@ pub mod topk;
 pub mod verify;
 
 pub use advisor::{advise, advise_from_examples, Advice, AdvisorError};
-pub use algorithm::{build_algorithm, run_stream, Framework, StreamJoin};
+pub use algorithm::{build_algorithm, run_stream, Framework, ShardableJoin, StreamJoin};
 pub use api::{JoinBuilder, PairIter};
 pub use config::SssjConfig;
 pub use decay_join::DecayStreaming;
@@ -74,7 +74,7 @@ pub use minibatch::MiniBatch;
 pub use pipeline::{run_threaded, PipelineOutput};
 pub use reorder::{LateRecord, ReorderBuffer};
 pub use snapshot::{read_snapshot, RecoverableJoin, SnapshotError};
-pub use spec::{EngineSpec, JoinSpec, LshSpec, SpecError, WrapperSpec};
+pub use spec::{DecaySpec, EngineSpec, JoinSpec, LshSpec, ShardedInner, SpecError, WrapperSpec};
 pub use streaming::Streaming;
 pub use topk::TopKJoin;
 pub use verify::CheckedJoin;

@@ -6,7 +6,7 @@ use sssj_types::{Decay, SimilarPair, StreamRecord};
 
 use sssj_index::{BatchIndex, BatchScratch, IndexKind, Match};
 
-use crate::algorithm::StreamJoin;
+use crate::algorithm::{ShardableJoin, StreamJoin};
 use crate::config::SssjConfig;
 
 /// MB-IDX: the MiniBatch streaming similarity self-join.
@@ -35,9 +35,12 @@ pub struct MiniBatch {
     decay: Decay,
     tau: f64,
     window_end: Option<f64>,
-    prev: Vec<StreamRecord>,
+    /// Buffered windows; the flag marks records this join *indexes* (in
+    /// sharded execution only owned records are indexed — unflagged ones
+    /// query the window index but never enter it).
+    prev: Vec<(StreamRecord, bool)>,
     prev_m: MaxVector,
-    cur: Vec<StreamRecord>,
+    cur: Vec<(StreamRecord, bool)>,
     cur_m: MaxVector,
     live_postings: u64,
     stats: JoinStats,
@@ -91,10 +94,10 @@ impl MiniBatch {
     /// O(state) estimate to be sampled, not read per record.
     pub fn memory_bytes(&self) -> u64 {
         use std::mem::size_of;
-        let window = |records: &[StreamRecord]| -> u64 {
+        let window = |records: &[(StreamRecord, bool)]| -> u64 {
             records
                 .iter()
-                .map(|r| size_of::<StreamRecord>() as u64 + r.vector.nnz() as u64 * 12)
+                .map(|(r, _)| size_of::<StreamRecord>() as u64 + r.vector.nnz() as u64 * 12)
                 .sum()
         };
         window(&self.prev)
@@ -123,8 +126,10 @@ impl MiniBatch {
         );
         let hits = &mut self.hits;
         // IndConstr over the previous window: query-then-insert finds all
-        // pairs within it.
-        for r in &self.prev {
+        // pairs within it. Unflagged (non-owned) records query but are
+        // never indexed, so a pair is reported only by the shard that
+        // owns its earlier member.
+        for (r, indexed) in &self.prev {
             hits.clear();
             index.query_into(r, hits);
             for h in hits.iter() {
@@ -134,11 +139,13 @@ impl MiniBatch {
                     out.push(SimilarPair::new(h.id, r.id, sim));
                 }
             }
-            index.insert(r);
+            if *indexed {
+                index.insert(r);
+            }
         }
         self.live_postings = index.live_postings();
         // Query phase: the current window probes the previous one.
-        for r in &self.cur {
+        for (r, _) in &self.cur {
             hits.clear();
             index.query_into(r, hits);
             for h in hits.iter() {
@@ -170,13 +177,13 @@ impl MiniBatch {
     }
 
     fn buffered_coords(&self) -> u64 {
-        (self.prev.iter().map(|r| r.vector.nnz()).sum::<usize>()
-            + self.cur.iter().map(|r| r.vector.nnz()).sum::<usize>()) as u64
+        (self.prev.iter().map(|(r, _)| r.vector.nnz()).sum::<usize>()
+            + self.cur.iter().map(|(r, _)| r.vector.nnz()).sum::<usize>()) as u64
     }
 }
 
-impl StreamJoin for MiniBatch {
-    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+impl ShardableJoin for MiniBatch {
+    fn process_routed(&mut self, record: &StreamRecord, insert: bool, out: &mut Vec<SimilarPair>) {
         let t = record.t.seconds();
         let end = *self.window_end.get_or_insert(t + self.tau);
         if t >= end {
@@ -192,12 +199,27 @@ impl StreamJoin for MiniBatch {
             }
             self.window_end = Some(new_end);
         }
-        self.cur.push(record.clone());
+        self.cur.push((record.clone(), insert));
+        // §6.1: m must cover the querying window too, so every buffered
+        // record raises it — indexed or not.
         for (d, w) in record.vector.iter() {
             self.cur_m.update(d, w);
         }
         self.stats
             .observe_postings(self.live_postings + self.buffered_coords());
+    }
+
+    /// MB probes pairs as far apart as `2τ`, but `ApplyDecay` rejects
+    /// everything beyond `τ`, so dimension occupancy older than `τ`
+    /// cannot contribute output.
+    fn occupancy_horizon(&self) -> Option<f64> {
+        Some(self.tau)
+    }
+}
+
+impl StreamJoin for MiniBatch {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        self.process_routed(record, true, out);
     }
 
     fn finish(&mut self, out: &mut Vec<SimilarPair>) {

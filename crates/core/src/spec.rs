@@ -13,7 +13,7 @@
 //! ```text
 //! spec    := engine [ "-" index ] [ "?" param ( "&" param )* ]
 //! engine  := "str" | "mb" | "decay" | "topk" | "lsh" | "sharded"
-//! index   := "l2" | "l2ap" | "ap" | "inv"          (str/mb/topk/sharded)
+//! index   := "l2" | "l2ap" | "ap" | "inv"          (str/mb/topk)
 //! param   := key "=" value | "checked" | "snapshot"
 //! ```
 //!
@@ -25,12 +25,22 @@
 //! | `lambda` | all but `decay` | decay rate λ ≥ 0 (default 0.01)          |
 //! | `tau`    | all but `decay` | horizon; sets λ = ln(1/θ)/τ (§3 recipe)  |
 //! | `model`  | `decay`   | decay model, e.g. `window:10`, `poly:2:5`      |
+//! | `bounds` | `decay`   | `wmax` (window-max bound, default) or `l2`     |
 //! | `k`      | `topk`    | per-record output cap (k ≥ 1)                  |
-//! | `shards` | `sharded` | worker threads (≥ 1)                           |
+//! | `shards` | `sharded` | worker threads (1 ≤ shards ≤ 64)               |
+//! | `inner`  | `sharded` | per-shard engine: `str`/`mb` (with `-index`),  |
+//! |          |           | `decay` or `lsh` (default `str-l2`)            |
 //! | `bits`   | `lsh`     | signature width, positive multiple of 64       |
 //! | `bands`  | `lsh`     | band count (divides bits, rows ≤ 64)           |
 //! | `seed`   | `lsh`     | hyperplane seed                                |
 //! | `verify` | `lsh`     | `exact` or `est`                               |
+//!
+//! A `sharded` spec carries its inner engine in `inner=` — the index goes
+//! on the inner token (`inner=mb-l2ap`), and the inner engine's own keys
+//! (`model=`/`bounds=` for `decay`, `bits=`/`bands=`/`seed=`/`verify=`
+//! for `lsh`) stay top-level. `sharded-l2?shards=4` remains accepted as
+//! shorthand for `inner=str-l2`. `topk` cannot shard (its per-arrival
+//! selection is global), and `sharded` cannot nest.
 //!
 //! Wrapper parameters are order-*sensitive*: each wraps everything listed
 //! before it, so `str-l2?checked&reorder=5` is `Reorder(Checked(STR-L2))`.
@@ -46,10 +56,12 @@
 //! ```text
 //! str-l2?theta=0.7&lambda=0.01&reorder=5
 //! mb-inv?theta=0.5&lambda=0.1
-//! decay?theta=0.7&model=window:10
+//! decay?theta=0.7&model=window:10&bounds=l2
 //! topk-l2?theta=0.5&lambda=0.01&k=3
 //! lsh?theta=0.7&lambda=0.01&bits=256&bands=32&verify=est
-//! sharded-l2?theta=0.6&lambda=0.1&shards=4
+//! sharded?theta=0.6&lambda=0.1&shards=4&inner=str-l2
+//! sharded?theta=0.6&shards=4&inner=decay&model=window:10
+//! sharded?theta=0.6&lambda=0.1&shards=4&inner=lsh&bits=256&bands=32&verify=exact
 //! ```
 //!
 //! # Building
@@ -78,7 +90,7 @@ use std::sync::OnceLock;
 use sssj_index::IndexKind;
 use sssj_types::{Decay, DecayModel};
 
-use crate::algorithm::{Framework, StreamJoin};
+use crate::algorithm::{Framework, ShardableJoin, StreamJoin};
 use crate::config::SssjConfig;
 use crate::decay_join::DecayStreaming;
 use crate::minibatch::MiniBatch;
@@ -125,6 +137,66 @@ impl Default for LshSpec {
     }
 }
 
+/// Decay-engine tuning carried by a spec: the model plus whether
+/// candidate generation uses the windowed-max `rs1w` bound (`bounds=wmax`,
+/// the default) or only the ℓ2 bounds (`bounds=l2`, the ablation the
+/// `ablation_decay_bounds` bench measures). Output is identical either
+/// way; only the pruning work changes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecaySpec {
+    /// The decay model.
+    pub model: DecayModel,
+    /// Whether the window-max candidate bound is enabled.
+    pub window_max: bool,
+}
+
+impl DecaySpec {
+    /// A decay spec with the window-max bound enabled (the default).
+    pub fn new(model: DecayModel) -> Self {
+        DecaySpec {
+            model,
+            window_max: true,
+        }
+    }
+}
+
+/// The engine each shard of a sharded join runs — the shardable subset
+/// of [`EngineSpec`]: engines whose processing decomposes into a query
+/// half and an insert half (see [`crate::ShardableJoin`]). `topk` is
+/// excluded (its per-arrival selection is global) and `sharded` cannot
+/// nest.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ShardedInner {
+    /// STR workers (the default). Dimension-indexed: queries are routed
+    /// only to shards with live postings on a shared dimension.
+    Streaming,
+    /// MB workers. Dimension-indexed, routed like STR.
+    MiniBatch,
+    /// Generalised-decay STR-L2 workers. Dimension-indexed.
+    GenericDecay(DecaySpec),
+    /// LSH workers. Signature-driven — exposes no dimension information,
+    /// so the driver falls back to broadcasting queries.
+    Lsh(LshSpec),
+}
+
+impl ShardedInner {
+    /// The grammar name used in the `inner=` key.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ShardedInner::Streaming => "str",
+            ShardedInner::MiniBatch => "mb",
+            ShardedInner::GenericDecay(_) => "decay",
+            ShardedInner::Lsh(_) => "lsh",
+        }
+    }
+
+    /// Whether the inner engine is parameterised by an [`IndexKind`]
+    /// (spelled on the inner token, e.g. `inner=mb-l2ap`).
+    pub fn takes_index(&self) -> bool {
+        matches!(self, ShardedInner::Streaming | ShardedInner::MiniBatch)
+    }
+}
+
 /// The base engine of a join pipeline.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum EngineSpec {
@@ -133,16 +205,18 @@ pub enum EngineSpec {
     /// MB: batch indexes over τ-sized windows.
     MiniBatch,
     /// STR-L2 generalised to an arbitrary decay model.
-    GenericDecay(DecayModel),
+    GenericDecay(DecaySpec),
     /// Per-arrival top-k selection over the STR threshold join.
     TopK(u32),
     /// Approximate SimHash/banding join (built by `sssj-lsh`).
     Lsh(LshSpec),
-    /// Broadcast-query / partition-insert sharding over STR workers
-    /// (built by `sssj-parallel`).
+    /// Dimension-partitioned, candidate-aware sharding over per-shard
+    /// worker engines (built by `sssj-parallel`).
     Sharded {
-        /// Number of worker threads (≥ 1).
+        /// Number of worker threads (1 ≤ shards ≤ 64).
         shards: u32,
+        /// The engine each shard runs.
+        inner: ShardedInner,
     },
 }
 
@@ -159,9 +233,26 @@ impl EngineSpec {
         }
     }
 
-    /// Whether the engine is parameterised by an [`IndexKind`].
+    /// Whether the compact form spells an [`IndexKind`] on the *head*
+    /// token (`str-l2`). Sharded specs carry the index on the inner token
+    /// instead (`inner=mb-l2ap`).
     pub fn takes_index(&self) -> bool {
-        !matches!(self, EngineSpec::GenericDecay(_) | EngineSpec::Lsh(_))
+        matches!(
+            self,
+            EngineSpec::Streaming | EngineSpec::MiniBatch | EngineSpec::TopK(_)
+        )
+    }
+
+    /// Whether the spec's `index` field is meaningful for this engine at
+    /// all (drives the JSON mapping; a superset of [`takes_index`], since
+    /// sharded str/mb inners use the index without a head token).
+    ///
+    /// [`takes_index`]: EngineSpec::takes_index
+    pub fn uses_index(&self) -> bool {
+        match self {
+            EngineSpec::Sharded { inner, .. } => inner.takes_index(),
+            engine => engine.takes_index(),
+        }
     }
 }
 
@@ -242,12 +333,18 @@ fn parse_err(msg: impl Into<String>) -> SpecError {
 pub type LshBuilder = fn(theta: f64, lambda: f64, params: LshSpec) -> Box<dyn StreamJoin>;
 
 /// Constructor for [`EngineSpec::Sharded`] specs, provided by
-/// `sssj-parallel`.
-pub type ShardedBuilder =
-    fn(config: SssjConfig, kind: IndexKind, shards: u32) -> Box<dyn StreamJoin>;
+/// `sssj-parallel`. Receives the whole validated sharded spec.
+pub type ShardedBuilder = fn(spec: &JoinSpec) -> Result<Box<dyn StreamJoin>, SpecError>;
+
+/// Constructor for the per-shard worker of a [`ShardedInner::Lsh`]
+/// sharded spec, provided by `sssj-lsh` (the shard driver lives in
+/// `sssj-parallel`, which does not link the LSH crate).
+pub type LshShardBuilder =
+    fn(theta: f64, lambda: f64, params: LshSpec) -> Box<dyn ShardableJoin + Send>;
 
 static LSH_BUILDER: OnceLock<LshBuilder> = OnceLock::new();
 static SHARDED_BUILDER: OnceLock<ShardedBuilder> = OnceLock::new();
+static LSH_SHARD_BUILDER: OnceLock<LshShardBuilder> = OnceLock::new();
 
 /// Registers the LSH constructor (idempotent; first registration wins).
 /// Called by `sssj_lsh::register_spec_builder()`.
@@ -259,6 +356,12 @@ pub fn register_lsh_builder(f: LshBuilder) {
 /// wins). Called by `sssj_parallel::register_spec_builder()`.
 pub fn register_sharded_builder(f: ShardedBuilder) {
     let _ = SHARDED_BUILDER.set(f);
+}
+
+/// Registers the per-shard LSH worker constructor (idempotent; first
+/// registration wins). Called by `sssj_lsh::register_spec_builder()`.
+pub fn register_lsh_shard_builder(f: LshShardBuilder) {
+    let _ = LSH_SHARD_BUILDER.set(f);
 }
 
 impl JoinSpec {
@@ -350,50 +453,69 @@ impl JoinSpec {
                 self.lambda
             )));
         }
+        // The per-engine parameter rules, shared between base engines and
+        // sharded inners (an inner engine obeys exactly the rules of the
+        // corresponding base engine).
+        let check_decay = |d: &DecaySpec| -> Result<(), SpecError> {
+            if self.index != IndexKind::L2 {
+                return Err(invalid(format!(
+                    "the decay engine is L2-only (its pruning bounds are \
+                     index-independent); got index {}",
+                    self.index
+                )));
+            }
+            let model = d.model;
+            if !model.horizon(self.theta).is_finite() {
+                return Err(invalid(format!(
+                    "decay model {model} has an infinite horizon at theta={}",
+                    self.theta
+                )));
+            }
+            Ok(())
+        };
+        let check_lsh = |p: &LshSpec| -> Result<(), SpecError> {
+            if p.bits == 0 || !p.bits.is_multiple_of(64) {
+                return Err(invalid(format!(
+                    "lsh bits must be a positive multiple of 64: {}",
+                    p.bits
+                )));
+            }
+            if p.bands == 0 || !p.bits.is_multiple_of(p.bands) || p.bits / p.bands > 64 {
+                return Err(invalid(format!(
+                    "lsh bands must divide bits into rows of <= 64: bits={} bands={}",
+                    p.bits, p.bands
+                )));
+            }
+            if self.lambda <= 0.0 {
+                return Err(invalid(
+                    "lsh requires lambda > 0 (a finite forgetting horizon)",
+                ));
+            }
+            Ok(())
+        };
         match &self.engine {
             EngineSpec::Streaming | EngineSpec::MiniBatch => {}
-            EngineSpec::GenericDecay(model) => {
-                if self.index != IndexKind::L2 {
-                    return Err(invalid(format!(
-                        "the decay engine is L2-only (its pruning bounds are \
-                         index-independent); got index {}",
-                        self.index
-                    )));
-                }
-                if !model.horizon(self.theta).is_finite() {
-                    return Err(invalid(format!(
-                        "decay model {model} has an infinite horizon at theta={}",
-                        self.theta
-                    )));
-                }
-            }
+            EngineSpec::GenericDecay(d) => check_decay(d)?,
             EngineSpec::TopK(k) => {
                 if *k == 0 {
                     return Err(invalid("topk requires k >= 1"));
                 }
             }
-            EngineSpec::Lsh(p) => {
-                if p.bits == 0 || p.bits % 64 != 0 {
-                    return Err(invalid(format!(
-                        "lsh bits must be a positive multiple of 64: {}",
-                        p.bits
-                    )));
-                }
-                if p.bands == 0 || p.bits % p.bands != 0 || p.bits / p.bands > 64 {
-                    return Err(invalid(format!(
-                        "lsh bands must divide bits into rows of <= 64: bits={} bands={}",
-                        p.bits, p.bands
-                    )));
-                }
-                if self.lambda <= 0.0 {
-                    return Err(invalid(
-                        "lsh requires lambda > 0 (a finite forgetting horizon)",
-                    ));
-                }
-            }
-            EngineSpec::Sharded { shards } => {
+            EngineSpec::Lsh(p) => check_lsh(p)?,
+            EngineSpec::Sharded { shards, inner } => {
                 if *shards == 0 {
                     return Err(invalid("sharded requires shards >= 1"));
+                }
+                if *shards > 64 {
+                    return Err(invalid(format!(
+                        "sharded supports at most 64 shards (routing masks \
+                         are 64-bit): {shards}"
+                    )));
+                }
+                match inner {
+                    ShardedInner::Streaming | ShardedInner::MiniBatch => {}
+                    ShardedInner::GenericDecay(d) => check_decay(d)?,
+                    ShardedInner::Lsh(p) => check_lsh(p)?,
                 }
             }
         }
@@ -407,15 +529,28 @@ impl JoinSpec {
                     }
                 }
                 WrapperSpec::Checked => match self.engine {
-                    EngineSpec::Streaming | EngineSpec::MiniBatch | EngineSpec::Sharded { .. } => {}
-                    EngineSpec::TopK(_) | EngineSpec::Lsh(_) => {
-                        return Err(invalid(format!(
-                            "checked cannot wrap {:?}: it drops pairs by design, \
-                             which the oracle would flag",
-                            self.engine.keyword()
-                        )));
+                    EngineSpec::Streaming
+                    | EngineSpec::MiniBatch
+                    | EngineSpec::Sharded {
+                        inner: ShardedInner::Streaming | ShardedInner::MiniBatch,
+                        ..
+                    } => {}
+                    EngineSpec::TopK(_)
+                    | EngineSpec::Lsh(_)
+                    | EngineSpec::Sharded {
+                        inner: ShardedInner::Lsh(_),
+                        ..
+                    } => {
+                        return Err(invalid(
+                            "checked cannot wrap lsh/topk engines: they drop pairs \
+                             by design, which the oracle would flag",
+                        ));
                     }
-                    EngineSpec::GenericDecay(_) => {
+                    EngineSpec::GenericDecay(_)
+                    | EngineSpec::Sharded {
+                        inner: ShardedInner::GenericDecay(_),
+                        ..
+                    } => {
                         return Err(invalid(
                             "checked cannot wrap decay: the oracle assumes exponential decay",
                         ));
@@ -456,7 +591,11 @@ impl JoinSpec {
                 }
             }
             EngineSpec::MiniBatch => Box::new(MiniBatch::new(self.config(), self.index)),
-            EngineSpec::GenericDecay(model) => Box::new(DecayStreaming::new(self.theta, *model)),
+            EngineSpec::GenericDecay(d) => Box::new(DecayStreaming::with_options(
+                self.theta,
+                d.model,
+                d.window_max,
+            )),
             EngineSpec::TopK(k) => Box::new(TopKJoin::new(self.config(), self.index, *k as usize)),
             EngineSpec::Lsh(params) => {
                 let f = LSH_BUILDER
@@ -464,11 +603,11 @@ impl JoinSpec {
                     .ok_or(SpecError::EngineUnavailable("lsh"))?;
                 f(self.theta, self.lambda, *params)
             }
-            EngineSpec::Sharded { shards } => {
+            EngineSpec::Sharded { .. } => {
                 let f = SHARDED_BUILDER
                     .get()
                     .ok_or(SpecError::EngineUnavailable("sharded"))?;
-                f(self.config(), self.index, *shards)
+                f(self)?
             }
         };
         for w in &self.wrappers {
@@ -481,6 +620,40 @@ impl JoinSpec {
         Ok(join)
     }
 
+    /// Builds the engine **one shard** of a sharded spec runs — the
+    /// [`ShardableJoin`] the `sssj-parallel` driver spawns per worker
+    /// thread. Only meaningful for [`EngineSpec::Sharded`] specs; the
+    /// wrapper stack belongs to the driver, not the workers, and is
+    /// ignored here.
+    ///
+    /// Like [`JoinSpec::build`], the LSH worker constructor lives
+    /// downstream and must be registered ([`register_lsh_shard_builder`],
+    /// done by `sssj_lsh::register_spec_builder`).
+    pub fn build_shard_worker(&self) -> Result<Box<dyn ShardableJoin + Send>, SpecError> {
+        self.validate()?;
+        let EngineSpec::Sharded { inner, .. } = &self.engine else {
+            return Err(invalid(format!(
+                "build_shard_worker requires a sharded spec, got engine {:?}",
+                self.engine.keyword()
+            )));
+        };
+        Ok(match inner {
+            ShardedInner::Streaming => Box::new(Streaming::new(self.config(), self.index)),
+            ShardedInner::MiniBatch => Box::new(MiniBatch::new(self.config(), self.index)),
+            ShardedInner::GenericDecay(d) => Box::new(DecayStreaming::with_options(
+                self.theta,
+                d.model,
+                d.window_max,
+            )),
+            ShardedInner::Lsh(params) => {
+                let f = LSH_SHARD_BUILDER
+                    .get()
+                    .ok_or(SpecError::EngineUnavailable("lsh"))?;
+                f(self.theta, self.lambda, *params)
+            }
+        })
+    }
+
     // -----------------------------------------------------------------
     // JSON mapping (for the net protocol and programmatic clients).
     // -----------------------------------------------------------------
@@ -488,15 +661,33 @@ impl JoinSpec {
     /// The JSON form, e.g.
     /// `{"engine":"str","index":"l2","theta":0.7,"lambda":0.01,"wrappers":[["reorder",5]]}`.
     ///
-    /// Engine parameters appear as top-level keys (`model`, `k`,
-    /// `shards`, `bits`, `bands`, `seed`, `verify`); wrappers are an
-    /// ordered array of `["reorder", slack]` / `["checked"]` /
-    /// `["snapshot"]` entries.
+    /// Engine parameters appear as top-level keys (`model`, `bounds`,
+    /// `k`, `shards`, `inner`, `bits`, `bands`, `seed`, `verify`);
+    /// wrappers are an ordered array of `["reorder", slack]` /
+    /// `["checked"]` / `["snapshot"]` entries. A sharded spec names its
+    /// per-shard engine under `inner`, with that engine's keys top-level,
+    /// e.g. `{"engine":"sharded","shards":4,"inner":"mb","index":"l2ap",…}`.
     pub fn to_json(&self) -> String {
         use fmt::Write;
+        fn write_decay(s: &mut String, d: &DecaySpec) {
+            let _ = write!(s, ",\"model\":\"{}\"", d.model);
+            if !d.window_max {
+                s.push_str(",\"bounds\":\"l2\"");
+            }
+        }
+        fn write_lsh(s: &mut String, p: &LshSpec) {
+            let _ = write!(
+                s,
+                ",\"bits\":{},\"bands\":{},\"seed\":{},\"verify\":\"{}\"",
+                p.bits,
+                p.bands,
+                p.seed,
+                if p.estimate { "est" } else { "exact" }
+            );
+        }
         let mut s = String::new();
         let _ = write!(s, "{{\"engine\":\"{}\"", self.engine.keyword());
-        if self.engine.takes_index() {
+        if self.engine.uses_index() {
             let _ = write!(
                 s,
                 ",\"index\":\"{}\"",
@@ -505,8 +696,17 @@ impl JoinSpec {
         }
         let _ = write!(s, ",\"theta\":{}", self.theta);
         match &self.engine {
-            EngineSpec::GenericDecay(model) => {
-                let _ = write!(s, ",\"model\":\"{model}\"");
+            EngineSpec::GenericDecay(d) => write_decay(&mut s, d),
+            EngineSpec::Sharded { shards, inner } => {
+                if !matches!(inner, ShardedInner::GenericDecay(_)) {
+                    let _ = write!(s, ",\"lambda\":{}", self.lambda);
+                }
+                let _ = write!(s, ",\"shards\":{shards},\"inner\":\"{}\"", inner.keyword());
+                match inner {
+                    ShardedInner::GenericDecay(d) => write_decay(&mut s, d),
+                    ShardedInner::Lsh(p) => write_lsh(&mut s, p),
+                    _ => {}
+                }
             }
             engine => {
                 let _ = write!(s, ",\"lambda\":{}", self.lambda);
@@ -514,19 +714,7 @@ impl JoinSpec {
                     EngineSpec::TopK(k) => {
                         let _ = write!(s, ",\"k\":{k}");
                     }
-                    EngineSpec::Sharded { shards } => {
-                        let _ = write!(s, ",\"shards\":{shards}");
-                    }
-                    EngineSpec::Lsh(p) => {
-                        let _ = write!(
-                            s,
-                            ",\"bits\":{},\"bands\":{},\"seed\":{},\"verify\":\"{}\"",
-                            p.bits,
-                            p.bands,
-                            p.seed,
-                            if p.estimate { "est" } else { "exact" }
-                        );
-                    }
+                    EngineSpec::Lsh(p) => write_lsh(&mut s, p),
                     _ => {}
                 }
             }
@@ -606,8 +794,21 @@ impl JoinSpec {
                             .ok_or_else(|| parse_err(format!("unknown decay model {s:?}")))?,
                     );
                 }
+                "bounds" => {
+                    let s = v
+                        .as_str()
+                        .ok_or_else(|| parse_err("bounds must be a string"))?;
+                    params.window_max = Some(parse_bounds(s)?);
+                }
                 "k" => params.k = Some(as_u64(v, "k")? as u32),
                 "shards" => params.shards = Some(as_u64(v, "shards")? as u32),
+                "inner" => {
+                    params.inner = Some(
+                        v.as_str()
+                            .ok_or_else(|| parse_err("inner must be a string"))?
+                            .to_string(),
+                    );
+                }
                 "bits" => params.bits = Some(as_u64(v, "bits")? as u32),
                 "bands" => params.bands = Some(as_u64(v, "bands")? as u32),
                 "seed" => params.seed = Some(as_u64(v, "seed")?),
@@ -667,6 +868,16 @@ fn parse_verify(s: &str) -> Result<bool, SpecError> {
     }
 }
 
+/// `bounds=` values: `wmax` enables the window-max candidate bound (the
+/// default), `l2` ablates it.
+fn parse_bounds(s: &str) -> Result<bool, SpecError> {
+    match s {
+        "wmax" => Ok(true),
+        "l2" => Ok(false),
+        other => Err(parse_err(format!("bounds must be wmax|l2, got {other:?}"))),
+    }
+}
+
 /// Parameters gathered during parsing, turned into a [`JoinSpec`] once
 /// the engine is known (both the text and the JSON path end here, so the
 /// cross-parameter rules live in one place).
@@ -677,8 +888,10 @@ struct ParamBag {
     lambda: Option<f64>,
     tau: Option<f64>,
     model: Option<DecayModel>,
+    window_max: Option<bool>,
     k: Option<u32>,
     shards: Option<u32>,
+    inner: Option<String>,
     bits: Option<u32>,
     bands: Option<u32>,
     seed: Option<u64>,
@@ -718,11 +931,17 @@ impl ParamBag {
             || self.bands.is_some()
             || self.seed.is_some()
             || self.estimate.is_some();
+        let mut index = self.index;
         let engine = match engine_name {
             "str" | "mb" => {
                 self.reject(self.model.is_some(), "model= requires the decay engine")?;
+                self.reject(
+                    self.window_max.is_some(),
+                    "bounds= requires the decay engine",
+                )?;
                 self.reject(self.k.is_some(), "k= requires the topk engine")?;
                 self.reject(self.shards.is_some(), "shards= requires the sharded engine")?;
+                self.reject(self.inner.is_some(), "inner= requires the sharded engine")?;
                 self.reject(lsh_keys, "bits/bands/seed/verify require the lsh engine")?;
                 if engine_name == "str" {
                     EngineSpec::Streaming
@@ -738,57 +957,134 @@ impl ParamBag {
                 )?;
                 self.reject(self.k.is_some(), "k= requires the topk engine")?;
                 self.reject(self.shards.is_some(), "shards= requires the sharded engine")?;
+                self.reject(self.inner.is_some(), "inner= requires the sharded engine")?;
                 self.reject(lsh_keys, "bits/bands/seed/verify require the lsh engine")?;
                 let model = self
                     .model
                     .ok_or_else(|| parse_err("the decay engine requires model="))?;
-                EngineSpec::GenericDecay(model)
+                EngineSpec::GenericDecay(DecaySpec {
+                    model,
+                    window_max: self.window_max.unwrap_or(true),
+                })
             }
             "topk" => {
                 self.reject(self.model.is_some(), "model= requires the decay engine")?;
+                self.reject(
+                    self.window_max.is_some(),
+                    "bounds= requires the decay engine",
+                )?;
                 self.reject(self.shards.is_some(), "shards= requires the sharded engine")?;
+                self.reject(self.inner.is_some(), "inner= requires the sharded engine")?;
                 self.reject(lsh_keys, "bits/bands/seed/verify require the lsh engine")?;
                 EngineSpec::TopK(self.k.ok_or_else(|| parse_err("topk requires k="))?)
             }
             "lsh" => {
                 self.reject(self.index.is_some(), "the lsh engine takes no index")?;
                 self.reject(self.model.is_some(), "model= requires the decay engine")?;
+                self.reject(
+                    self.window_max.is_some(),
+                    "bounds= requires the decay engine",
+                )?;
                 self.reject(self.k.is_some(), "k= requires the topk engine")?;
                 self.reject(self.shards.is_some(), "shards= requires the sharded engine")?;
-                EngineSpec::Lsh(LshSpec {
-                    bits: self.bits.unwrap_or(DEFAULT_LSH_BITS),
-                    bands: self.bands.unwrap_or(DEFAULT_LSH_BANDS),
-                    seed: self.seed.unwrap_or(DEFAULT_LSH_SEED),
-                    estimate: self.estimate.unwrap_or(false),
-                })
+                self.reject(self.inner.is_some(), "inner= requires the sharded engine")?;
+                EngineSpec::Lsh(self.lsh_params())
             }
             "sharded" => {
-                self.reject(self.model.is_some(), "model= requires the decay engine")?;
                 self.reject(self.k.is_some(), "k= requires the topk engine")?;
-                self.reject(lsh_keys, "bits/bands/seed/verify require the lsh engine")?;
+                let token = self.inner.clone().unwrap_or_else(|| "str".to_string());
+                let (inner_name, inner_index) = match token.split_once('-') {
+                    Some((e, i)) => {
+                        let kind = IndexKind::parse(i)
+                            .ok_or_else(|| parse_err(format!("unknown inner index {i:?}")))?;
+                        (e, Some(kind))
+                    }
+                    None => (token.as_str(), None),
+                };
+                if inner_index.is_some() && index.is_some() {
+                    return Err(parse_err(
+                        "index given twice (on the sharded head and in inner=)",
+                    ));
+                }
+                index = inner_index.or(index);
+                let inner = match inner_name {
+                    "str" | "mb" => {
+                        self.reject(self.model.is_some(), "model= requires a decay inner")?;
+                        self.reject(self.window_max.is_some(), "bounds= requires a decay inner")?;
+                        self.reject(lsh_keys, "bits/bands/seed/verify require an lsh inner")?;
+                        if inner_name == "str" {
+                            ShardedInner::Streaming
+                        } else {
+                            ShardedInner::MiniBatch
+                        }
+                    }
+                    "decay" => {
+                        self.reject(index.is_some(), "the decay engine takes no index")?;
+                        self.reject(
+                            self.lambda.is_some() || self.tau.is_some(),
+                            "the decay engine takes model=, not lambda=/tau=",
+                        )?;
+                        self.reject(lsh_keys, "bits/bands/seed/verify require an lsh inner")?;
+                        let model = self
+                            .model
+                            .ok_or_else(|| parse_err("the decay engine requires model="))?;
+                        ShardedInner::GenericDecay(DecaySpec {
+                            model,
+                            window_max: self.window_max.unwrap_or(true),
+                        })
+                    }
+                    "lsh" => {
+                        self.reject(index.is_some(), "the lsh engine takes no index")?;
+                        self.reject(self.model.is_some(), "model= requires a decay inner")?;
+                        self.reject(self.window_max.is_some(), "bounds= requires a decay inner")?;
+                        ShardedInner::Lsh(self.lsh_params())
+                    }
+                    "topk" => {
+                        return Err(parse_err(
+                            "topk cannot shard: its per-arrival selection is global",
+                        ))
+                    }
+                    "sharded" => return Err(parse_err("sharded cannot nest")),
+                    other => return Err(parse_err(format!("unknown inner engine {other:?}"))),
+                };
                 EngineSpec::Sharded {
                     shards: self
                         .shards
                         .ok_or_else(|| parse_err("sharded requires shards="))?,
+                    inner,
                 }
             }
             other => return Err(parse_err(format!("unknown engine {other:?}"))),
         };
+        // The decay engine's model carries the decay; pin λ to 0 so the
+        // canonical form (which omits it) round-trips exactly.
+        let decay_engine = matches!(
+            engine,
+            EngineSpec::GenericDecay(_)
+                | EngineSpec::Sharded {
+                    inner: ShardedInner::GenericDecay(_),
+                    ..
+                }
+        );
         let spec = JoinSpec {
             engine,
-            index: self.index.unwrap_or(IndexKind::L2),
+            index: index.unwrap_or(IndexKind::L2),
             theta,
-            // The decay engine's model carries the decay; pin λ to 0 so
-            // the canonical form (which omits it) round-trips exactly.
-            lambda: if matches!(engine, EngineSpec::GenericDecay(_)) {
-                0.0
-            } else {
-                lambda
-            },
+            lambda: if decay_engine { 0.0 } else { lambda },
             wrappers: self.wrappers,
         };
         spec.validate()?;
         Ok(spec)
+    }
+
+    /// LSH parameters with the documented defaults filled in.
+    fn lsh_params(&self) -> LshSpec {
+        LshSpec {
+            bits: self.bits.unwrap_or(DEFAULT_LSH_BITS),
+            bands: self.bands.unwrap_or(DEFAULT_LSH_BANDS),
+            seed: self.seed.unwrap_or(DEFAULT_LSH_SEED),
+            estimate: self.estimate.unwrap_or(false),
+        }
     }
 }
 
@@ -844,8 +1140,10 @@ impl FromStr for JoinSpec {
                                 .ok_or_else(|| parse_err(format!("unknown decay model {v:?}")))?,
                         );
                     }
+                    "bounds" => params.window_max = Some(parse_bounds(want(key, value)?)?),
                     "k" => params.k = Some(u_of(want(key, value)?)? as u32),
                     "shards" => params.shards = Some(u_of(want(key, value)?)? as u32),
+                    "inner" => params.inner = Some(want(key, value)?.to_string()),
                     "bits" => params.bits = Some(u_of(want(key, value)?)? as u32),
                     "bands" => params.bands = Some(u_of(want(key, value)?)? as u32),
                     "seed" => params.seed = Some(u_of(want(key, value)?)?),
@@ -882,21 +1180,41 @@ impl fmt::Display for JoinSpec {
         if self.engine.takes_index() {
             write!(f, "-{}", self.index.to_string().to_ascii_lowercase())?;
         }
+        fn write_decay(f: &mut fmt::Formatter<'_>, d: &DecaySpec) -> fmt::Result {
+            write!(f, "&model={}", d.model)?;
+            if !d.window_max {
+                f.write_str("&bounds=l2")?;
+            }
+            Ok(())
+        }
+        fn write_lsh(f: &mut fmt::Formatter<'_>, p: &LshSpec) -> fmt::Result {
+            write!(f, "&bits={}&bands={}", p.bits, p.bands)?;
+            if p.seed != DEFAULT_LSH_SEED {
+                write!(f, "&seed={}", p.seed)?;
+            }
+            write!(f, "&verify={}", if p.estimate { "est" } else { "exact" })
+        }
         write!(f, "?theta={}", self.theta)?;
         match &self.engine {
-            EngineSpec::GenericDecay(model) => write!(f, "&model={model}")?,
+            EngineSpec::GenericDecay(d) => write_decay(f, d)?,
+            EngineSpec::Sharded { shards, inner } => {
+                if !matches!(inner, ShardedInner::GenericDecay(_)) {
+                    write!(f, "&lambda={}", self.lambda)?;
+                }
+                write!(f, "&shards={shards}&inner={}", inner.keyword())?;
+                match inner {
+                    ShardedInner::Streaming | ShardedInner::MiniBatch => {
+                        write!(f, "-{}", self.index.to_string().to_ascii_lowercase())?
+                    }
+                    ShardedInner::GenericDecay(d) => write_decay(f, d)?,
+                    ShardedInner::Lsh(p) => write_lsh(f, p)?,
+                }
+            }
             engine => {
                 write!(f, "&lambda={}", self.lambda)?;
                 match engine {
                     EngineSpec::TopK(k) => write!(f, "&k={k}")?,
-                    EngineSpec::Sharded { shards } => write!(f, "&shards={shards}")?,
-                    EngineSpec::Lsh(p) => {
-                        write!(f, "&bits={}&bands={}", p.bits, p.bands)?;
-                        if p.seed != DEFAULT_LSH_SEED {
-                            write!(f, "&seed={}", p.seed)?;
-                        }
-                        write!(f, "&verify={}", if p.estimate { "est" } else { "exact" })?;
-                    }
+                    EngineSpec::Lsh(p) => write_lsh(f, p)?,
                     _ => {}
                 }
             }
@@ -1173,10 +1491,15 @@ mod tests {
             "mb-l2ap?theta=0.99&lambda=0.0001",
             "decay?theta=0.7&model=window:10",
             "decay?theta=0.55&model=poly:1.5:4",
+            "decay?theta=0.7&model=window:10&bounds=l2",
             "topk-l2?theta=0.5&lambda=0.01&k=3",
             "lsh?theta=0.7&lambda=0.01&bits=256&bands=32&verify=exact",
             "lsh?theta=0.7&lambda=0.01&bits=128&bands=16&seed=9&verify=est",
-            "sharded-l2?theta=0.6&lambda=0.1&shards=4",
+            "sharded?theta=0.6&lambda=0.1&shards=4&inner=str-l2",
+            "sharded?theta=0.6&lambda=0.1&shards=2&inner=mb-l2ap",
+            "sharded?theta=0.6&shards=2&inner=decay&model=window:10",
+            "sharded?theta=0.6&shards=2&inner=decay&model=linear:20&bounds=l2",
+            "sharded?theta=0.6&lambda=0.1&shards=2&inner=lsh&bits=256&bands=32&verify=exact",
             "str-l2?theta=0.7&lambda=0.01&reorder=5",
             "str-l2?theta=0.7&lambda=0.01&checked&reorder=2",
             "str-l2?theta=0.7&lambda=0.01&snapshot",
@@ -1185,6 +1508,45 @@ mod tests {
             assert_eq!(spec.to_string(), s, "not canonical: {s}");
             assert_eq!(parse(&spec.to_string()), spec);
         }
+    }
+
+    #[test]
+    fn legacy_sharded_head_index_is_shorthand_for_inner_str() {
+        let legacy = parse("sharded-inv?theta=0.6&lambda=0.1&shards=4");
+        assert_eq!(
+            legacy,
+            parse("sharded?theta=0.6&lambda=0.1&shards=4&inner=str-inv")
+        );
+        assert_eq!(
+            legacy.to_string(),
+            "sharded?theta=0.6&lambda=0.1&shards=4&inner=str-inv"
+        );
+        // Bare sharded defaults to STR-L2 workers.
+        let spec = parse("sharded?shards=2");
+        assert_eq!(
+            spec.engine,
+            EngineSpec::Sharded {
+                shards: 2,
+                inner: ShardedInner::Streaming
+            }
+        );
+        assert_eq!(spec.index, IndexKind::L2);
+    }
+
+    #[test]
+    fn bounds_key_drives_the_window_max_ablation() {
+        let spec = parse("decay?theta=0.6&model=window:10&bounds=l2");
+        assert_eq!(
+            spec.engine,
+            EngineSpec::GenericDecay(DecaySpec {
+                model: DecayModel::sliding_window(10.0),
+                window_max: false
+            })
+        );
+        // Explicit wmax parses to the default and canonicalises away.
+        let spec = parse("decay?theta=0.6&model=window:10&bounds=wmax");
+        assert_eq!(spec.to_string(), "decay?theta=0.6&model=window:10");
+        spec.build().unwrap();
     }
 
     #[test]
@@ -1272,6 +1634,19 @@ mod tests {
             "topk-l2?k=0",
             "sharded-l2?shards=0",
             "sharded-l2",
+            "sharded?shards=65&inner=str-l2",
+            "sharded?shards=2&inner=topk",
+            "sharded?shards=2&inner=sharded",
+            "sharded?shards=2&inner=quantum",
+            "sharded?shards=2&inner=decay",
+            "sharded?shards=2&inner=decay-l2&model=window:5",
+            "sharded?shards=2&inner=lsh-l2",
+            "sharded-l2?shards=2&inner=str-inv",
+            "sharded?shards=2&inner=str&model=window:5",
+            "sharded?shards=2&inner=str&bounds=l2",
+            "str?inner=str",
+            "str?bounds=l2",
+            "decay?model=window:10&bounds=bogus",
             "lsh?bits=100",
             "lsh?bits=256&bands=7",
             "lsh?verify=maybe",
@@ -1296,6 +1671,16 @@ mod tests {
         assert!("topk-l2?k=1&checked".parse::<JoinSpec>().is_err());
         assert!("lsh?checked".parse::<JoinSpec>().is_err());
         assert!("decay?model=window:5&checked".parse::<JoinSpec>().is_err());
+        // ... including behind a sharded driver; exact inners stay fine.
+        assert!("sharded?shards=2&inner=lsh&checked"
+            .parse::<JoinSpec>()
+            .is_err());
+        assert!("sharded?shards=2&inner=decay&model=window:5&checked"
+            .parse::<JoinSpec>()
+            .is_err());
+        assert!("sharded?shards=2&inner=mb-l2&checked"
+            .parse::<JoinSpec>()
+            .is_ok());
         // infinite-horizon decay.
         assert!("decay?model=exp:0".parse::<JoinSpec>().is_err());
         assert!("lsh?lambda=0".parse::<JoinSpec>().is_err());
@@ -1327,6 +1712,9 @@ mod tests {
             "topk-l2ap?theta=0.5&lambda=0.01&k=7",
             "lsh?theta=0.7&lambda=0.01&bits=128&bands=16&seed=5&verify=est",
             "sharded-inv?theta=0.6&lambda=0.1&shards=3",
+            "sharded?theta=0.6&lambda=0.1&shards=2&inner=mb-l2ap",
+            "sharded?theta=0.6&shards=2&inner=decay&model=poly:2:5&bounds=l2",
+            "sharded?theta=0.6&lambda=0.1&shards=2&inner=lsh&bits=128&bands=16&verify=est",
             "str-l2?theta=0.7&lambda=0.01&snapshot&checked&reorder=2.5",
         ] {
             let spec = parse(s);

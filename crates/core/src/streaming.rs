@@ -41,7 +41,7 @@ use sssj_types::{
 
 use sssj_index::{BoundPolicy, IndexKind};
 
-use crate::algorithm::StreamJoin;
+use crate::algorithm::{ShardableJoin, StreamJoin};
 use crate::config::SssjConfig;
 
 /// Float guard for threshold comparisons: pruning tests are slackened by
@@ -695,6 +695,23 @@ impl Streaming {
             .filter(|(_, &v)| v > 0.0)
             .map(|(d, &v)| (d as u32, v))
             .collect()
+    }
+}
+
+impl ShardableJoin for Streaming {
+    fn process_routed(&mut self, record: &StreamRecord, insert: bool, out: &mut Vec<SimilarPair>) {
+        self.query(record, out);
+        if insert {
+            self.insert(record);
+        }
+    }
+
+    /// Postings (and residual coordinates) expire at `τ = ln(1/θ)/λ`, and
+    /// candidate generation only matches on shared dimensions, so a shard
+    /// whose in-horizon inserts share no dimension with the query cannot
+    /// produce a pair.
+    fn occupancy_horizon(&self) -> Option<f64> {
+        Some(self.tau)
     }
 }
 

@@ -3,7 +3,7 @@
 //! every engine and wrapper combination the grammar admits.
 
 use proptest::prelude::*;
-use sssj_core::{EngineSpec, JoinSpec, LshSpec, WrapperSpec};
+use sssj_core::{DecaySpec, EngineSpec, JoinSpec, LshSpec, ShardedInner, WrapperSpec};
 use sssj_index::IndexKind;
 use sssj_types::DecayModel;
 
@@ -26,7 +26,11 @@ fn decay_model() -> impl Strategy<Value = DecayModel> {
     ]
 }
 
-fn engine() -> impl Strategy<Value = EngineSpec> {
+fn decay_spec() -> impl Strategy<Value = DecaySpec> {
+    (decay_model(), any::<bool>()).prop_map(|(model, window_max)| DecaySpec { model, window_max })
+}
+
+fn lsh_spec() -> impl Strategy<Value = LshSpec> {
     // (bits, bands) pairs restricted to valid shapes (bands divides
     // bits, rows ≤ 64).
     let lsh_shape = prop_oneof![
@@ -37,20 +41,32 @@ fn engine() -> impl Strategy<Value = EngineSpec> {
         Just((256, 4)),
         Just((512, 64)),
     ];
+    (lsh_shape, any::<u64>(), any::<bool>()).prop_map(|((bits, bands), seed, estimate)| LshSpec {
+        bits,
+        bands,
+        seed,
+        estimate,
+    })
+}
+
+fn sharded_inner() -> impl Strategy<Value = ShardedInner> {
+    prop_oneof![
+        Just(ShardedInner::Streaming),
+        Just(ShardedInner::MiniBatch),
+        decay_spec().prop_map(ShardedInner::GenericDecay),
+        lsh_spec().prop_map(ShardedInner::Lsh),
+    ]
+}
+
+fn engine() -> impl Strategy<Value = EngineSpec> {
     prop_oneof![
         Just(EngineSpec::Streaming),
         Just(EngineSpec::MiniBatch),
-        decay_model().prop_map(EngineSpec::GenericDecay),
+        decay_spec().prop_map(EngineSpec::GenericDecay),
         (1u32..50).prop_map(EngineSpec::TopK),
-        (lsh_shape, any::<u64>(), any::<bool>()).prop_map(|((bits, bands), seed, estimate)| {
-            EngineSpec::Lsh(LshSpec {
-                bits,
-                bands,
-                seed,
-                estimate,
-            })
-        }),
-        (1u32..16).prop_map(|shards| EngineSpec::Sharded { shards }),
+        lsh_spec().prop_map(EngineSpec::Lsh),
+        ((1u32..=64), sharded_inner())
+            .prop_map(|(shards, inner)| EngineSpec::Sharded { shards, inner }),
     ]
 }
 
@@ -76,9 +92,10 @@ fn join_spec() -> impl Strategy<Value = JoinSpec> {
             |((engine, index, theta, lambda), (snapshot, checked, reorder, reorder_first))| {
                 let mut spec = JoinSpec {
                     engine,
-                    // decay is L2-only and lsh carries no index; the
-                    // canonical form omits the index for both.
-                    index: if engine.takes_index() {
+                    // decay is L2-only and lsh carries no index (directly
+                    // or as a sharded inner); the canonical form omits the
+                    // index for those.
+                    index: if engine.uses_index() {
                         index
                     } else {
                         IndexKind::L2
@@ -87,14 +104,23 @@ fn join_spec() -> impl Strategy<Value = JoinSpec> {
                     lambda: match engine {
                         // decay engines pin λ = 0 (the model carries it);
                         // lsh needs λ > 0 for a finite horizon.
-                        EngineSpec::GenericDecay(_) => 0.0,
+                        EngineSpec::GenericDecay(_)
+                        | EngineSpec::Sharded {
+                            inner: ShardedInner::GenericDecay(_),
+                            ..
+                        } => 0.0,
                         _ => lambda as f64 / 10_000.0,
                     },
                     wrappers: Vec::new(),
                 };
                 let checked_ok = matches!(
                     engine,
-                    EngineSpec::Streaming | EngineSpec::MiniBatch | EngineSpec::Sharded { .. }
+                    EngineSpec::Streaming
+                        | EngineSpec::MiniBatch
+                        | EngineSpec::Sharded {
+                            inner: ShardedInner::Streaming | ShardedInner::MiniBatch,
+                            ..
+                        }
                 );
                 if snapshot && engine == EngineSpec::Streaming {
                     spec.wrappers.push(WrapperSpec::Snapshot);

@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use sssj_core::StreamJoin;
+use sssj_core::{ShardableJoin, StreamJoin};
 use sssj_metrics::JoinStats;
 use sssj_types::{dot, Decay, SimilarPair, SparseVector, StreamRecord, VectorId};
 
@@ -282,16 +282,22 @@ impl LshJoin {
     }
 }
 
-impl StreamJoin for LshJoin {
-    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+impl LshJoin {
+    /// The query half of processing: evict, probe the band buckets with
+    /// `sig` and score the collision candidates.
+    fn query_with_sig(
+        &mut self,
+        record: &StreamRecord,
+        sig: &Signature,
+        out: &mut Vec<SimilarPair>,
+    ) {
         let now = record.t.seconds();
         self.evict(now);
-        let sig = self.hasher.sign(&record.vector);
         self.candidates.clear();
 
         // Probe: collect in-horizon collision candidates, pruning bucket
         // fronts (time filtering — buckets are arrival-ordered).
-        for key in self.bands.keys(&sig) {
+        for key in self.bands.keys(sig) {
             if let Some(bucket) = self.buckets.get_mut(&key) {
                 while let Some(&(_, t)) = bucket.front() {
                     if now - t > self.tau {
@@ -330,8 +336,11 @@ impl StreamJoin for LshJoin {
                 out.push(SimilarPair::new(id, record.id, sim));
             }
         }
+    }
 
-        // Insert: one bucket entry per band, plus the store.
+    /// The insert half: one bucket entry per band, plus the store.
+    fn insert_with_sig(&mut self, record: &StreamRecord, sig: Signature) {
+        let now = record.t.seconds();
         for key in self.bands.keys(&sig) {
             self.buckets
                 .entry(key)
@@ -357,6 +366,33 @@ impl StreamJoin for LshJoin {
         );
         self.arrivals.push_back((now, record.id));
         self.stats.observe_postings(self.live_postings);
+    }
+}
+
+impl ShardableJoin for LshJoin {
+    fn process_routed(&mut self, record: &StreamRecord, insert: bool, out: &mut Vec<SimilarPair>) {
+        let sig = self.hasher.sign(&record.vector);
+        self.query_with_sig(record, &sig, out);
+        if insert {
+            self.insert_with_sig(record, sig);
+        }
+    }
+
+    /// Banding collisions are signature-driven, not dimension-driven: two
+    /// vectors with *disjoint* support can land in the same bucket (and in
+    /// `verify=est` mode even pair above `θ`), so no dimension-occupancy
+    /// table can prove a shard candidate-free. A sharded driver must
+    /// broadcast.
+    fn occupancy_horizon(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl StreamJoin for LshJoin {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        let sig = self.hasher.sign(&record.vector);
+        self.query_with_sig(record, &sig, out);
+        self.insert_with_sig(record, sig);
     }
 
     fn finish(&mut self, _out: &mut Vec<SimilarPair>) {}

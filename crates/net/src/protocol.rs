@@ -32,14 +32,19 @@
 //! spec    := engine [ "-" index ] [ "?" param ( "&" param )* ]
 //! engine  := "str" | "mb" | "decay" | "topk" | "lsh" | "sharded"
 //! index   := "l2" | "l2ap" | "ap" | "inv"
-//! param   := theta= | lambda= | tau= | model= | k= | shards=
-//!          | bits= | bands= | seed= | verify= | reorder= | checked | snapshot
+//! param   := theta= | lambda= | tau= | model= | bounds= | k= | shards=
+//!          | inner= | bits= | bands= | seed= | verify= | reorder=
+//!          | checked | snapshot
 //! ```
 //!
 //! so *every* join variant the workspace implements — not just the
 //! classic framework × index grid — is reachable over the wire, e.g.
-//! `CONFIG spec=topk-l2?theta=0.5&lambda=0.01&k=3` or
-//! `CONFIG spec=lsh?theta=0.7&lambda=0.01&verify=est`. The compact form
+//! `CONFIG spec=topk-l2?theta=0.5&lambda=0.01&k=3`,
+//! `CONFIG spec=lsh?theta=0.7&lambda=0.01&verify=est` or a sharded
+//! pipeline with its inner engine spelled out,
+//! `CONFIG spec=sharded?theta=0.7&lambda=0.01&shards=4&inner=mb-l2ap`
+//! (the inner spec round-trips through negotiation like any other
+//! parameter). The compact form
 //! is whitespace-free, so it embeds in the line protocol's `key=value`
 //! framing unchanged. The scalar keys (`theta=`, `lambda=`, `index=`,
 //! `framework=`, `slack=`) are retained for simple clients and apply

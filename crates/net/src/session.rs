@@ -500,6 +500,53 @@ mod tests {
     }
 
     #[test]
+    fn sharded_inner_specs_negotiate_over_the_wire() {
+        // The inner engine spec round-trips through CONFIG: MB workers
+        // behind the sharded driver, reported by FINISH at the latest.
+        for (config_line, canonical) in [
+            (
+                "CONFIG spec=sharded?theta=0.7&lambda=0.1&shards=2&inner=mb-l2",
+                "sharded?theta=0.7&lambda=0.1&shards=2&inner=mb-l2",
+            ),
+            (
+                "CONFIG spec=sharded?theta=0.7&shards=2&inner=decay&model=window:10",
+                "sharded?theta=0.7&shards=2&inner=decay&model=window:10",
+            ),
+            (
+                "CONFIG spec=sharded?theta=0.7&lambda=0.1&shards=2&inner=lsh",
+                "sharded?theta=0.7&lambda=0.1&shards=2&inner=lsh\
+                 &bits=256&bands=32&verify=exact",
+            ),
+        ] {
+            let mut s = Session::new(SessionDefaults::default());
+            let r = handle_line(&mut s, config_line);
+            assert!(matches!(r[0], Response::Ok(0)), "{config_line}: {r:?}");
+            assert_eq!(
+                s.current_config().spec.to_string(),
+                canonical,
+                "{config_line}"
+            );
+            handle_line(&mut s, "V 0.0 7:1.0");
+            let n = ok_count(&handle_line(&mut s, "V 1.0 7:1.0"));
+            let m = ok_count(&handle_line(&mut s, "FINISH"));
+            assert_eq!(n + m, 1, "{config_line}: pair must arrive by FINISH");
+        }
+
+        // CONFIGJ speaks the same inner mapping.
+        let mut s = Session::new(SessionDefaults::default());
+        let r = handle_line(
+            &mut s,
+            "CONFIGJ {\"engine\":\"sharded\",\"index\":\"l2ap\",\"theta\":0.7,\
+             \"lambda\":0.1,\"shards\":2,\"inner\":\"mb\"}",
+        );
+        assert!(matches!(r[0], Response::Ok(0)), "{r:?}");
+        assert_eq!(
+            s.current_config().spec.to_string(),
+            "sharded?theta=0.7&lambda=0.1&shards=2&inner=mb-l2ap"
+        );
+    }
+
+    #[test]
     fn scalar_keys_override_the_spec() {
         let mut s = Session::new(SessionDefaults::default());
         // theta= overrides the spec's theta; e^{-1} ≈ 0.37 < 0.99.

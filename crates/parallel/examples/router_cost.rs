@@ -1,0 +1,41 @@
+//! Dev probe: what the routing decision itself costs, isolated from the
+//! join (`cargo run --release -p sssj-parallel --example router_cost`).
+//!
+//! Numbers on the PR-3 container: broadcast ~9 ns/record (owner hash +
+//! counters only), full occupancy ~100 ns, suffix occupancy ~130 ns —
+//! the stamp-table walk is cache-bound, and suffix mode trades a few
+//! extra mask probes (sparser masks exit the full-mask fast path less
+//! often) for roughly double the skip rate.
+
+use sssj_data::{generate, preset, Preset};
+use sssj_parallel::Router;
+use std::time::Instant;
+
+fn main() {
+    let stream = generate(&preset(Preset::Tweets, 100_000));
+    let horizon = 10.0;
+    for label in ["full-occupancy", "suffix-occupancy", "broadcast"] {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let mut router = match label {
+                "full-occupancy" => Router::new(4, Some(horizon)),
+                "suffix-occupancy" => Router::new(4, Some(horizon)).with_suffix_occupancy(0.5),
+                _ => Router::new(4, None),
+            };
+            let start = Instant::now();
+            let mut acc = 0u64;
+            for r in &stream {
+                let (mask, owner) = router.route(r);
+                acc = acc.wrapping_add(mask).wrapping_add(owner as u64);
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            std::hint::black_box(acc);
+            best = best.min(elapsed);
+        }
+        println!(
+            "{label}: {:.1} ms for 100k records ({:.0} ns/record)",
+            best * 1e3,
+            best * 1e4
+        );
+    }
+}

@@ -1,0 +1,378 @@
+//! Candidate-aware routing: the driver-side dimension-occupancy table.
+//!
+//! The sharded driver decides two things per record: which shard **owns**
+//! it (inserts it into its index) and which shards must **query** with it.
+//! Ownership partitions the indexed dimensions: every dimension is
+//! assigned to one shard by hash, and a record is owned by the shard of
+//! its *last* (highest, under the workspace's frequency-descending
+//! dimension order: rarest) coordinate — records sharing their rarest
+//! term cluster on the same shard, which is what makes query masks
+//! sparse.
+//!
+//! The query mask comes from an occupancy table the driver maintains
+//! without ever synchronising with workers: for every `(dimension,
+//! shard)` pair it records the *newest insert timestamp* of a record
+//! containing that dimension routed to that shard. A shard can produce a
+//! candidate for a query only if it holds a live (in-horizon) coordinate
+//! on one of the query's dimensions — see the correctness argument in the
+//! [crate docs](crate) — so shards whose every stamp is stale are skipped
+//! outright: no channel send, no `Arc` clone, no worker wake-up.
+//!
+//! Engines that expose no dimension information
+//! ([`sssj_core::ShardableJoin::occupancy_horizon`] returns `None`, e.g.
+//! LSH banding) get a broadcast router: the mask is always full and the
+//! table is never consulted.
+
+use sssj_types::StreamRecord;
+
+/// Fibonacci hashing: spreads small consecutive keys (dimension ids,
+/// vector ids) evenly over the shard range.
+#[inline]
+fn fib_shard(key: u64, shards: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+}
+
+/// The driver-side routing table. See the [module docs](self).
+pub struct Router {
+    shards: usize,
+    /// Bitmask with one bit per shard, all set.
+    full_mask: u64,
+    /// Occupancy horizon; `None` means broadcast (mask always full).
+    horizon: Option<f64>,
+    /// `stamps[dim * shards + w]`: newest insert timestamp of a record
+    /// containing `dim` owned by shard `w`; `-inf` when never inserted.
+    /// Stored as `f32` *rounded up* — an overestimated stamp keeps a
+    /// shard in the mask a hair longer (safe), and the table is the
+    /// router's one cache-hostile structure: halving it matters more
+    /// than microsecond stamp precision.
+    stamps: Vec<f32>,
+    /// When set (pure-ℓ2 inner engines), only coordinates from the
+    /// prefix-filter boundary on are stamped — see
+    /// [`Router::with_suffix_occupancy`]. Holds the slackened θ² the
+    /// boundary replay crosses.
+    suffix_theta_sq: Option<f64>,
+    /// Records inserted per shard (owner two-choice balancing).
+    inserted: Vec<u64>,
+    /// Records routed so far.
+    records: u64,
+    /// Query sends avoided so far (records × shards skipped).
+    skipped: u64,
+}
+
+impl Router {
+    /// Creates a router for `shards` workers. `horizon = None` routes
+    /// every record to every shard (broadcast).
+    pub fn new(shards: usize, horizon: Option<f64>) -> Self {
+        assert!(
+            (1..=64).contains(&shards),
+            "routing masks are 64-bit: shards must be in 1..=64, got {shards}"
+        );
+        Router {
+            shards,
+            full_mask: if shards == 64 {
+                u64::MAX
+            } else {
+                (1u64 << shards) - 1
+            },
+            horizon,
+            stamps: Vec::new(),
+            suffix_theta_sq: None,
+            inserted: vec![0; shards],
+            records: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Restricts occupancy stamping to the coordinates a pure-ℓ2 engine
+    /// actually *indexes*: the suffix from the first position where the
+    /// running norm `‖x′‖²` crosses `θ²`.
+    ///
+    /// Safe only when the inner engine's index-construction bound depends
+    /// on nothing but the vector itself (STR-L2, generic decay — never
+    /// the AP family, whose boundary moves with the stream maximum `m`):
+    /// a query overlapping only the unindexed prefix of `x` satisfies
+    /// `dot(prefix(x), y) ≤ ‖prefix(x)‖ < θ` by Cauchy–Schwarz, so a
+    /// shard holding only such prefixes genuinely cannot produce a pair.
+    /// The hot, frequent dimensions live in the prefix, so this is what
+    /// keeps hot dimensions from lighting every shard up.
+    ///
+    /// The replay slack (θ − 1e-9, vs the engines' θ − 1e-12) crosses
+    /// no later than the engine's own boundary, so the stamped set is
+    /// always a superset of the indexed set.
+    pub fn with_suffix_occupancy(mut self, theta: f64) -> Self {
+        let slack = (theta - 1e-9).max(0.0);
+        self.suffix_theta_sq = Some(slack * slack);
+        self
+    }
+
+    /// The first coordinate position of `record` the occupancy table must
+    /// cover ([`Router::with_suffix_occupancy`]); `nnz` when the vector
+    /// never crosses the boundary (nothing indexable).
+    fn stamp_start(&self, record: &StreamRecord) -> usize {
+        let Some(theta_sq) = self.suffix_theta_sq else {
+            return 0;
+        };
+        let mut bt = 0.0;
+        for (pos, &w) in record.vector.weights().iter().enumerate() {
+            bt += w * w;
+            if bt >= theta_sq {
+                return pos;
+            }
+        }
+        record.vector.nnz()
+    }
+
+    /// Whether this router consults the occupancy table (as opposed to
+    /// broadcasting).
+    pub fn is_candidate_aware(&self) -> bool {
+        self.horizon.is_some()
+    }
+
+    /// The shard that owns (inserts) `record`: the less-loaded of the
+    /// shards owning its two last — rarest — dimension slices (two-choice
+    /// balancing keeps one hot cluster from saturating a shard while
+    /// records still cluster by rare terms), or an id hash for empty
+    /// vectors. Deterministic given the stream prefix, which is all
+    /// correctness needs — any assignment inserting each record exactly
+    /// once is valid.
+    pub fn owner(&self, record: &StreamRecord) -> usize {
+        let dims = record.vector.dims();
+        match *dims {
+            [] => fib_shard(record.id, self.shards),
+            [.., a, b] => {
+                let (wa, wb) = (
+                    fib_shard(a as u64, self.shards),
+                    fib_shard(b as u64, self.shards),
+                );
+                if self.inserted[wa] < self.inserted[wb] {
+                    wa
+                } else {
+                    wb
+                }
+            }
+            [d] => fib_shard(d as u64, self.shards),
+        }
+    }
+
+    /// A stamp value covering `t` from above: the smallest `f32` ≥ `t`.
+    #[inline]
+    fn stamp_of(t: f64) -> f32 {
+        let s = t as f32;
+        if (s as f64) < t {
+            s.next_up()
+        } else {
+            s
+        }
+    }
+
+    /// The shards whose index may hold a candidate for `record` at its
+    /// timestamp: one bit per shard with a live stamp on at least one of
+    /// the record's dimensions. Does **not** include the owner bit unless
+    /// occupied; may be zero.
+    pub fn query_mask(&self, record: &StreamRecord) -> u64 {
+        let Some(horizon) = self.horizon else {
+            return self.full_mask;
+        };
+        let now = record.t.seconds();
+        let mut mask = 0u64;
+        for &dim in record.vector.dims() {
+            let base = dim as usize * self.shards;
+            if base >= self.stamps.len() {
+                continue; // dimension never inserted anywhere
+            }
+            for w in 0..self.shards {
+                if mask & (1u64 << w) == 0 && now - self.stamps[base + w] as f64 <= horizon {
+                    mask |= 1u64 << w;
+                }
+            }
+            if mask == self.full_mask {
+                break;
+            }
+        }
+        mask
+    }
+
+    /// Records that `record` was inserted at `shard`, stamping its
+    /// dimensions. By default *every* coordinate is stamped — indexed
+    /// suffix and residual prefix alike — so the mask can never miss a
+    /// shard capable of producing a candidate; under
+    /// [`Router::with_suffix_occupancy`] the provably-unindexable prefix
+    /// is left out.
+    pub fn note_insert(&mut self, shard: usize, record: &StreamRecord) {
+        if self.horizon.is_none() {
+            return;
+        }
+        let t = record.t.seconds();
+        if let Some(&max_dim) = record.vector.dims().last() {
+            let needed = (max_dim as usize + 1) * self.shards;
+            if needed > self.stamps.len() {
+                self.stamps.resize(needed, f32::NEG_INFINITY);
+            }
+        }
+        let stamp = Self::stamp_of(t);
+        for &dim in &record.vector.dims()[self.stamp_start(record)..] {
+            let slot = &mut self.stamps[dim as usize * self.shards + shard];
+            if stamp > *slot {
+                *slot = stamp;
+            }
+        }
+        self.inserted[shard] += 1;
+    }
+
+    /// Routes one record end to end: computes the query mask, adds the
+    /// owner (the owner always receives the record — it must insert it),
+    /// stamps the insertion, and updates the skip counters. Returns
+    /// `(mask, owner)`.
+    ///
+    /// Equivalent to `query_mask` + `note_insert`, fused into a single
+    /// pass over the stamp rows: the table is bigger than cache at real
+    /// vocabularies, and touching each row once instead of twice is the
+    /// difference between the router paying for itself and not.
+    pub fn route(&mut self, record: &StreamRecord) -> (u64, usize) {
+        let owner = self.owner(record);
+        let owner_bit = 1u64 << owner;
+        let mut mask = owner_bit;
+        if let Some(horizon) = self.horizon {
+            let now = record.t.seconds();
+            if let Some(&max_dim) = record.vector.dims().last() {
+                let needed = (max_dim as usize + 1) * self.shards;
+                if needed > self.stamps.len() {
+                    self.stamps.resize(needed, f32::NEG_INFINITY);
+                }
+            }
+            let stamp = Self::stamp_of(now);
+            let stamp_from = self.stamp_start(record);
+            for (pos, &dim) in record.vector.dims().iter().enumerate() {
+                if mask == self.full_mask && pos < stamp_from {
+                    continue; // nothing left to learn, nothing to stamp
+                }
+                let row = &mut self.stamps[dim as usize * self.shards..][..self.shards];
+                if mask != self.full_mask {
+                    for (w, &slot) in row.iter().enumerate() {
+                        if mask & (1u64 << w) == 0 && now - slot as f64 <= horizon {
+                            mask |= 1u64 << w;
+                        }
+                    }
+                }
+                // Stamp the insertion while the row is hot (timestamps
+                // are non-decreasing, so plain max).
+                if pos >= stamp_from && stamp > row[owner] {
+                    row[owner] = stamp;
+                }
+            }
+        } else {
+            mask = self.full_mask;
+        }
+        self.inserted[owner] += 1;
+        self.records += 1;
+        self.skipped += (self.shards as u32 - mask.count_ones()) as u64;
+        (mask, owner)
+    }
+
+    /// Records routed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Query sends avoided so far — for each record, the number of shards
+    /// that never saw it.
+    pub fn skipped_sends(&self) -> u64 {
+        self.skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    fn rec(id: u64, t: f64, dims: &[u32]) -> StreamRecord {
+        let entries: Vec<(u32, f64)> = dims.iter().map(|&d| (d, 1.0)).collect();
+        StreamRecord::new(id, Timestamp::new(t), unit_vector(&entries))
+    }
+
+    #[test]
+    fn unseen_dimensions_miss_every_shard() {
+        // A record whose dimensions have no live occupancy anywhere gets
+        // an *empty* query mask — the driver sends it only to its owner
+        // (for insertion), never as a query.
+        let mut r = Router::new(4, Some(10.0));
+        assert_eq!(r.query_mask(&rec(0, 0.0, &[3, 7])), 0);
+        let (mask, owner) = r.route(&rec(0, 0.0, &[3, 7]));
+        assert_eq!(mask, 1 << owner, "owner-only: no query sends");
+        assert_eq!(r.skipped_sends(), 3);
+    }
+
+    #[test]
+    fn occupancy_routes_shared_dimensions() {
+        let mut r = Router::new(4, Some(10.0));
+        let (_, owner) = r.route(&rec(0, 0.0, &[5]));
+        // A later record sharing dim 5 must be routed to the owner.
+        let mask = r.query_mask(&rec(1, 1.0, &[5]));
+        assert_eq!(mask, 1 << owner);
+        // A record on a disjoint dimension is not.
+        assert_eq!(r.query_mask(&rec(2, 1.0, &[6])), 0);
+    }
+
+    #[test]
+    fn occupancy_expires_at_the_horizon() {
+        let mut r = Router::new(2, Some(10.0));
+        let (_, owner) = r.route(&rec(0, 0.0, &[5]));
+        assert_eq!(r.query_mask(&rec(1, 10.0, &[5])), 1 << owner, "t=τ live");
+        assert_eq!(r.query_mask(&rec(1, 10.1, &[5])), 0, "t>τ expired");
+    }
+
+    #[test]
+    fn broadcast_router_always_returns_the_full_mask() {
+        let mut r = Router::new(3, None);
+        assert_eq!(r.query_mask(&rec(0, 0.0, &[1])), 0b111);
+        let (mask, _) = r.route(&rec(0, 0.0, &[1]));
+        assert_eq!(mask, 0b111);
+        assert_eq!(r.skipped_sends(), 0);
+        assert!(!r.is_candidate_aware());
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_dimension_driven() {
+        let r = Router::new(8, Some(1.0));
+        // Same last dimension → same owner, regardless of id or prefix.
+        let a = r.owner(&rec(1, 0.0, &[2, 9]));
+        let b = r.owner(&rec(77, 5.0, &[4, 9]));
+        assert_eq!(a, b);
+        // Owners spread over shards as the anchor dimension varies.
+        let owners: std::collections::HashSet<usize> =
+            (0..64u32).map(|d| r.owner(&rec(0, 0.0, &[d]))).collect();
+        assert!(owners.len() >= 4, "hash spread: {owners:?}");
+    }
+
+    #[test]
+    fn suffix_occupancy_skips_the_unindexed_prefix() {
+        // θ = 0.8: for a two-coordinate vector split ~0.45/0.89, the
+        // first coordinate stays under θ² and is never indexed by an
+        // ℓ2 engine — so it must not light up occupancy either.
+        let mut r = Router::new(2, Some(100.0)).with_suffix_occupancy(0.8);
+        let v = unit_vector(&[(3, 1.0), (7, 2.0)]);
+        let record = StreamRecord::new(0, Timestamp::new(0.0), v);
+        let (_, owner) = r.route(&record);
+        // Prefix dim 3: unstamped; suffix dim 7: stamped at the owner.
+        assert_eq!(r.query_mask(&rec(1, 1.0, &[3])), 0, "prefix dim");
+        assert_eq!(r.query_mask(&rec(1, 1.0, &[7])), 1 << owner, "suffix dim");
+        // Without the option both dims are stamped.
+        let mut r = Router::new(2, Some(100.0));
+        let v = unit_vector(&[(3, 1.0), (7, 2.0)]);
+        let (_, owner) = r.route(&StreamRecord::new(0, Timestamp::new(0.0), v));
+        assert_eq!(r.query_mask(&rec(1, 1.0, &[3])), 1 << owner);
+    }
+
+    #[test]
+    fn sixty_four_shards_mask_does_not_overflow() {
+        let r = Router::new(64, None);
+        assert_eq!(r.query_mask(&rec(0, 0.0, &[1])), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be in 1..=64")]
+    fn more_than_sixty_four_shards_rejected() {
+        Router::new(65, Some(1.0));
+    }
+}

@@ -46,7 +46,8 @@
 //!
 //! The same grammar reaches the whole family — `mb-inv`,
 //! `decay?model=window:10`, `topk-l2?k=3`, `lsh?verify=est`,
-//! `sharded-l2?shards=4`, plus `reorder=`/`checked`/`snapshot` wrappers
+//! `sharded?shards=4&inner=mb-l2ap` (candidate-aware sharding around any
+//! shardable inner engine), plus `reorder=`/`checked`/`snapshot` wrappers
 //! (see [`core::spec`] for the grammar). The LSH and sharded engines
 //! live in their own crates: call [`register_all_engines`] once before
 //! building those two from specs in an embedding application (the
@@ -66,7 +67,7 @@
 //! | [`metrics`] | counters, budgets, tables, regression |
 //! | [`lsh`] | approximate join: SimHash + banding + time filtering |
 //! | [`net`] | TCP join service: line-protocol server and client |
-//! | [`parallel`] | sharded multi-threaded STR execution |
+//! | [`parallel`] | dimension-partitioned, candidate-aware sharded execution |
 //! | [`textsim`] | set-similarity (Jaccard) joins, batch and streaming |
 //!
 //! ## The flat hot path
@@ -129,13 +130,13 @@ pub mod prelude {
     pub use crate::register_all_engines;
     pub use sssj_core::{
         advise, advise_from_examples, build_algorithm, read_snapshot, run_stream, Advice,
-        DecayStreaming, EngineSpec, Framework, JoinBuilder, JoinSpec, LshSpec, MiniBatch,
-        RecoverableJoin, ReorderBuffer, SpecError, SssjConfig, StreamJoin, Streaming, TopKJoin,
-        WrapperSpec,
+        DecaySpec, DecayStreaming, EngineSpec, Framework, JoinBuilder, JoinSpec, LshSpec,
+        MiniBatch, RecoverableJoin, ReorderBuffer, ShardableJoin, ShardedInner, SpecError,
+        SssjConfig, StreamJoin, Streaming, TopKJoin, WrapperSpec,
     };
     pub use sssj_index::{all_pairs, BatchIndex, BoundPolicy, IndexKind};
     pub use sssj_lsh::{LshJoin, LshParams};
-    pub use sssj_parallel::{sharded_run, ShardedJoin};
+    pub use sssj_parallel::{run_sharded, sharded_run, RoutingMode, ShardReport, ShardedJoin};
     pub use sssj_types::{
         vector::unit_vector, Decay, DecayModel, SimilarPair, SparseVector, SparseVectorBuilder,
         StreamRecord, Timestamp, VectorId,
