@@ -45,10 +45,12 @@ pub fn classic_spec(framework: Framework, kind: IndexKind, config: SssjConfig) -
 /// Panics on an unbuildable spec: harness inputs are authored, not
 /// user-supplied, and a typo should fail the experiment loudly.
 pub fn run_algorithm(records: &[StreamRecord], spec: &JoinSpec, budget: WorkBudget) -> RunResult {
-    // Extended engines (lsh, sharded) live downstream of sssj-core;
-    // make them buildable before the factory call.
+    // Extended engines (lsh, sharded) and the durable store live
+    // downstream of sssj-core; make them buildable before the factory
+    // call.
     sssj_lsh::register_spec_builder();
     sssj_parallel::register_spec_builder();
+    sssj_store::register_spec_builder();
     let mut join = spec
         .build()
         .unwrap_or_else(|e| panic!("harness spec {spec}: {e}"));

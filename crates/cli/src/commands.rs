@@ -117,9 +117,26 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return run_shard_stats(&spec, &records, p.flag("pairs"));
     }
     let mut join = spec.build().map_err(|e| e.to_string())?;
+    // A durable spec pointing at an existing store *resumes* it: skip
+    // the prefix the store already ingested (re-feeding it would arrive
+    // behind the recovered watermark), mirroring `sssj recover --input`.
+    let skip = match sssj_core::StreamJoin::resume_point(&join) {
+        Some((n, t)) => {
+            if (records.len() as u64) < n {
+                return Err(format!(
+                    "{input} holds {} records but the durable store already \
+                     ingested {n} — wrong stream?",
+                    records.len()
+                ));
+            }
+            eprintln!("resumed durable store: {n} records already ingested, watermark t={t:.3}");
+            n as usize
+        }
+        None => 0,
+    };
     let watch = Stopwatch::start();
     let mut out = Vec::new();
-    for r in &records {
+    for r in &records[skip..] {
         join.process(r, &mut out);
         if p.flag("pairs") {
             for pair in &out {

@@ -16,6 +16,7 @@ mod commands;
 mod commands_ext;
 mod io;
 mod net_cmd;
+mod recover;
 mod serve;
 
 const USAGE: &str = "usage: sssj <command> [options]
@@ -40,7 +41,9 @@ commands:
   decay      generalised decay models      (<file>, --model, --theta,
                                             --pairs)
   serve      incremental join on stdin     (--spec | --theta, --lambda,
-                                            --index; --tokenize, --quiet)
+                                            --index; --tokenize, --quiet,
+                                            --durable DIR)
+  recover    crash-recover a durable store (<dir>, --input FILE, --pairs)
   net-serve  TCP join service              (--listen, --spec | --theta,
                                             --lambda, --index, --framework)
   net-send   stream a file to a service    (<file>, --connect, --spec,
@@ -50,7 +53,9 @@ commands:
 run options:
   --spec S                full pipeline spec, e.g. str-l2?theta=0.7&reorder=5
                           (run `sssj specs` for one example per variant;
-                          sharded?shards=4&inner=mb-l2ap runs MB workers)
+                          sharded?shards=4&inner=mb-l2ap runs MB workers;
+                          append durable=DIR for WAL + checkpoints — the
+                          store resumes when DIR already holds a manifest)
   --framework mb|str      (default str)
   --index inv|ap|l2ap|l2  (default l2)
   --theta T               similarity threshold in (0,1]   (default 0.7)
@@ -83,6 +88,7 @@ fn main() -> ExitCode {
         "shards" => commands_ext::shards(rest),
         "decay" => commands_ext::decay(rest),
         "serve" => serve::serve(rest),
+        "recover" => recover::recover(rest),
         "net-serve" => net_cmd::net_serve(rest),
         "net-send" => net_cmd::net_send(rest),
         "-h" | "--help" => {

@@ -1,0 +1,144 @@
+//! `sssj recover` — crash recovery for a durable store.
+//!
+//! ```text
+//! sssj recover <dir> [--input FILE] [--pairs] [--quiet]
+//! ```
+//!
+//! Recovers the durable join rooted at `<dir>` (created by a
+//! `…&durable=<dir>` spec): loads the newest checkpoint, replays the
+//! WAL tail — self-truncating at any torn frame a `kill -9` left
+//! behind — and re-emits the pairs whose pre-crash delivery cannot be
+//! proven (pairs delivered before the last checkpoint are never
+//! repeated). With `--input`, the remainder of the stream (everything
+//! after the `ingested` records the store already holds) is then
+//! processed to completion, so
+//!
+//! ```text
+//! sssj run --spec '…durable=D' stream.txt --pairs   # crashes midway
+//! sssj recover D --input stream.txt --pairs
+//! ```
+//!
+//! together print a pair set equal to the uninterrupted run (the CI
+//! recovery-smoke job asserts exactly this, `kill -9` included).
+
+use std::path::PathBuf;
+
+use sssj_core::StreamJoin;
+use sssj_metrics::Stopwatch;
+
+use crate::args::parse;
+use crate::io::load;
+
+/// `sssj recover <dir> [--input FILE] [--pairs] [--quiet]`
+pub fn recover(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["pairs", "quiet"])?;
+    let [dir] = p.positional.as_slice() else {
+        return Err("recover needs exactly one path: the durable store directory".into());
+    };
+    // Sharded/LSH inner specs in the stored SPEC need their builders.
+    sssj_net::register_spec_builders();
+
+    let watch = Stopwatch::start();
+    let rec =
+        sssj_store::recover(&PathBuf::from(dir)).map_err(|e| format!("recover {dir}: {e}"))?;
+    let mut join = rec.join;
+    let mut pairs = rec.replayed;
+    let replayed = pairs.len();
+    if p.flag("pairs") {
+        for pair in &pairs {
+            println!("{pair}");
+        }
+    }
+    pairs.clear();
+
+    let mut continued = 0u64;
+    if let Some(input) = p.get("input") {
+        let records = load(&PathBuf::from(input))?;
+        if (records.len() as u64) < rec.ingested {
+            return Err(format!(
+                "--input {input} holds {} records but the store already ingested {} — \
+                 wrong stream?",
+                records.len(),
+                rec.ingested
+            ));
+        }
+        for r in &records[rec.ingested as usize..] {
+            join.process(r, &mut pairs);
+            continued += 1;
+            if p.flag("pairs") {
+                for pair in &pairs {
+                    println!("{pair}");
+                }
+                pairs.clear();
+            }
+        }
+        join.finish(&mut pairs);
+        if p.flag("pairs") {
+            for pair in &pairs {
+                println!("{pair}");
+            }
+        }
+    }
+    let elapsed = watch.seconds();
+    if !p.flag("quiet") {
+        eprintln!("store     : {dir}");
+        eprintln!("spec      : {}", join.spec_text());
+        eprintln!(
+            "recovered : {} records ingested, watermark t={:.3}",
+            rec.ingested,
+            join.last_timestamp()
+        );
+        eprintln!("replayed  : {replayed} pairs re-emitted");
+        if p.get("input").is_some() {
+            eprintln!("continued : {continued} records from --input");
+        }
+        eprintln!(
+            "wal       : {} segments retained, {} collected",
+            join.wal_segments(),
+            join.wal_segments_collected()
+        );
+        eprintln!("time      : {elapsed:.3} s");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_core::JoinSpec;
+    use sssj_store::{DurableJoin, DurableOptions};
+    use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn recover_command_reports_and_continues() {
+        let dir = std::env::temp_dir().join(format!(
+            "sssj-cli-recover-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Build a small store, crash without finish.
+        let spec: JoinSpec = "str-l2?theta=0.7&lambda=0.01".parse().unwrap();
+        let mut join = DurableJoin::open(&spec, &dir, DurableOptions::default()).unwrap();
+        let mut out = Vec::new();
+        for i in 0..3u64 {
+            join.process(
+                &StreamRecord::new(i, Timestamp::new(i as f64), unit_vector(&[(7, 1.0)])),
+                &mut out,
+            );
+        }
+        drop(join);
+
+        let dir_s = dir.display().to_string();
+        recover(&argv(&[&dir_s, "--quiet"])).unwrap();
+        // Not a store:
+        assert!(recover(&argv(&["/nonexistent-sssj-store"])).is_err());
+        // Wrong arity:
+        assert!(recover(&argv(&[])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

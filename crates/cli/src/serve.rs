@@ -59,7 +59,22 @@ pub fn serve_streams<R: BufRead, W: Write>(
         return Err("serve reads from stdin; no file argument expected".into());
     }
     sssj_net::register_spec_builders();
-    let spec = spec_from_args(&p)?;
+    let mut spec = spec_from_args(&p)?;
+    // `--durable DIR` wraps the pipeline in the WAL + checkpoint store
+    // (equivalent to a durable= spec key): state survives a kill and
+    // the service resumes from DIR's manifest on restart.
+    if let Some(dir) = p.get("durable") {
+        if spec
+            .wrappers
+            .iter()
+            .any(|w| matches!(w, sssj_core::WrapperSpec::Durable(_)))
+        {
+            return Err("--durable and a durable= spec key are mutually exclusive".into());
+        }
+        spec.wrappers
+            .insert(0, sssj_core::WrapperSpec::Durable(dir.to_string()));
+        spec.validate().map_err(|e| e.to_string())?;
+    }
     // A long-lived stdin service needs a finite forgetting horizon,
     // whichever way the pipeline was specified: λ = 0 (or an exp:0
     // decay model) would mean nothing ever expires and the index grows
@@ -79,8 +94,18 @@ pub fn serve_streams<R: BufRead, W: Write>(
 
     let mut join = spec.build().map_err(|e| e.to_string())?;
     let mut out: Vec<SimilarPair> = Vec::new();
-    let mut id = 0u64;
-    let mut last_t = f64::NEG_INFINITY;
+    // A resumed durable store continues ids and the timestamp watermark
+    // where the previous incarnation stopped (recovered tail pairs
+    // surface with the first record).
+    let (mut id, mut last_t) = match join.resume_point() {
+        Some((n, t)) => {
+            if !p.flag("quiet") {
+                eprintln!("resumed durable store: {n} records ingested, watermark t={t:.3}");
+            }
+            (n, t)
+        }
+        None => (0, f64::NEG_INFINITY),
+    };
     for (lineno, line) in input.lines().enumerate() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
         let trimmed = line.trim();
@@ -142,7 +167,8 @@ pub fn serve_streams<R: BufRead, W: Write>(
     Ok(())
 }
 
-/// `sssj serve [--theta T] [--lambda L] [--index I] [--tokenize]`
+/// `sssj serve [--spec S | --theta T --lambda L --index I] [--tokenize]
+/// [--durable DIR]`
 pub fn serve(args: &[String]) -> Result<(), String> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -211,6 +237,44 @@ mod tests {
         // The horizon guard applies to --spec pipelines too.
         assert!(run(&["--spec", "str-l2?theta=0.7&lambda=0"], "").is_err());
         assert!(run(&["--spec", "mb-l2?lambda=0"], "").is_err());
+    }
+
+    #[test]
+    fn durable_serve_resumes_across_restarts() {
+        let dir = std::env::temp_dir().join(format!(
+            "sssj-serve-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.display().to_string();
+        let args = [
+            "--theta",
+            "0.7",
+            "--lambda",
+            "0.01",
+            "--durable",
+            &d,
+            "--quiet",
+        ];
+
+        // First incarnation: one pair, clean end-of-stream checkpoint.
+        let out = run(&args, "0.0 7:1.0\n1.0 7:1.0\n").unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        assert!(out.starts_with("0 1 "), "{out}");
+
+        // Restart against the same directory: the store resumes, ids
+        // continue at 2, and the new record pairs with both recovered
+        // in-horizon records.
+        let out = run(&args, "1.5 7:1.0\n").unwrap();
+        let mut keys: Vec<&str> = out.lines().map(|l| l.rsplit_once(' ').unwrap().0).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec!["0 2", "1 2"], "{out}");
+
+        // The recovered watermark survives too: going backwards in time
+        // is rejected.
+        assert!(run(&args, "0.5 7:1.0\n").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

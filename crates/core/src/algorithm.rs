@@ -29,6 +29,16 @@ pub trait StreamJoin {
 
     /// Human-readable name, e.g. `STR-L2`.
     fn name(&self) -> String;
+
+    /// For joins that resumed from durable storage (`sssj-store`): the
+    /// `(records already ingested, timestamp of the newest ingested
+    /// record)` pair a caller needs to continue the stream seamlessly —
+    /// id assignment restarts after the recovered prefix and the
+    /// monotonic-timestamp check picks up at the recovered watermark.
+    /// `None` for every non-resumed join. Wrappers forward it.
+    fn resume_point(&self) -> Option<(u64, f64)> {
+        None
+    }
 }
 
 impl StreamJoin for Box<dyn StreamJoin> {
@@ -51,6 +61,57 @@ impl StreamJoin for Box<dyn StreamJoin> {
     fn name(&self) -> String {
         (**self).name()
     }
+
+    fn resume_point(&self) -> Option<(u64, f64)> {
+        (**self).resume_point()
+    }
+}
+
+/// A [`StreamJoin`] the durability subsystem (`sssj-store`) can
+/// checkpoint and rebuild.
+///
+/// The design splits recoverable state in two. The bulk — everything a
+/// pair can still be formed from — is a deterministic function of the
+/// recent record stream, which the write-ahead log already persists; it
+/// is rebuilt by *replaying* the WAL through a freshly built engine. The
+/// checkpoint itself only carries what replay cannot reconstruct:
+///
+/// * **aux state** that accumulates beyond the replay horizon (the STR
+///   running-max vector `m`, which steers indexing decisions for all
+///   future records — see [`crate::Streaming::seed_max`]); engines with
+///   none (MiniBatch, generic decay) write an empty blob;
+/// * the set of **recently emitted pairs**, so replay can suppress
+///   output that was already delivered before the checkpoint (the
+///   exactly-once half of recovery; see `sssj-store`'s crate docs for
+///   the correctness argument).
+///
+/// Implemented by [`crate::Streaming`], [`crate::MiniBatch`],
+/// [`crate::DecayStreaming`] and (in `sssj-parallel`) the sharded
+/// driver, which captures aux per shard at a batch boundary so the cut
+/// is consistent.
+pub trait Checkpointable: StreamJoin {
+    /// Serialises the engine-specific aux state (empty when the engine
+    /// has none). Takes `&mut self` because asynchronous engines (the
+    /// sharded driver) must flush in-flight batches to capture a
+    /// consistent cut.
+    fn write_aux(&mut self, out: &mut Vec<u8>);
+
+    /// Seeds aux state written by [`Checkpointable::write_aux`] into a
+    /// freshly built engine, before WAL replay.
+    fn read_aux(&mut self, bytes: &[u8]) -> Result<(), String>;
+
+    /// How long (in stream-time units) a record stays *output-relevant*:
+    /// a WAL segment whose newest record is older than `now − horizon`
+    /// can never contribute a pair again and may be garbage-collected
+    /// once a checkpoint covers it. `f64::INFINITY` disables GC (e.g.
+    /// MiniBatch with `λ = 0`).
+    fn replay_horizon(&self) -> f64;
+
+    /// Drains all in-flight asynchronous work so that every pair
+    /// completed by already-processed records has surfaced in `out`.
+    /// Synchronous engines need nothing; the sharded driver flushes its
+    /// pending batch and round-trips every worker.
+    fn quiesce(&mut self, _out: &mut Vec<SimilarPair>) {}
 }
 
 /// The query/insert decomposition of a streaming join, plus the
@@ -77,6 +138,20 @@ pub trait ShardableJoin: StreamJoin {
     /// banding, where even disjoint-support vectors can collide): the
     /// driver must broadcast queries to every shard.
     fn occupancy_horizon(&self) -> Option<f64>;
+
+    /// Serialises this worker's checkpoint aux state (see
+    /// [`Checkpointable::write_aux`]); the sharded driver requests it
+    /// over the control channel at a batch boundary and merges the
+    /// per-shard blobs. Default: no aux.
+    fn checkpoint_aux(&self, _out: &mut Vec<u8>) {}
+
+    /// Seeds merged aux state into this worker before replay. Seeding a
+    /// *merged* (hence possibly larger) max vector is safe for the AP
+    /// family: a larger `m` only indexes more eagerly, never drops a
+    /// reachable pair. Default: ignore.
+    fn seed_checkpoint_aux(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// The two algorithmic frameworks of the paper.

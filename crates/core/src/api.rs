@@ -52,6 +52,37 @@
 //! ([`JoinBuilder::lsh`], [`JoinBuilder::sharded`]); building those
 //! requires the providing crate (`sssj-lsh` / `sssj-parallel`) to be
 //! linked and registered — every workspace binary does this at startup.
+//!
+//! # Durability
+//!
+//! [`JoinBuilder::durable`] (spec key `durable=<dir>`) wraps the engine
+//! in the `sssj-store` subsystem: every ingested record is appended to
+//! a segmented, CRC-framed **write-ahead log** under `<dir>` before the
+//! engine sees it, and a **checkpoint manager** periodically persists
+//! the engine's [`crate::Checkpointable`] aux state plus the
+//! recently-emitted-pair set, publishing each checkpoint by atomically
+//! renaming `MANIFEST`. Log segments fall to horizon-aware GC once a
+//! checkpoint covers them — a record older than `now − τ` can never
+//! pair again, so disk usage tracks the live window, not the stream.
+//!
+//! Building the same spec against a directory that already holds a
+//! manifest **resumes** it: the last checkpoint is loaded, the WAL tail
+//! (self-truncated at any torn frame a `kill -9` left) is replayed with
+//! output suppressed up to the checkpointed state, and
+//! [`StreamJoin::resume_point`] reports how many records the store
+//! already ingested so the caller can continue ids and the timestamp
+//! watermark seamlessly. The contract — verified by crash-injection
+//! tests for every engine × index variant — is that *pre-crash output ∪
+//! post-recovery output* is set-equal to the uninterrupted run, with no
+//! pair delivered before the last checkpoint ever emitted twice.
+//!
+//! Worked example (serve → kill → recover): see the crate-root docs of
+//! the `sssj` facade, whose doctest runs it end to end; operationally
+//! the same flow is `sssj serve --durable <dir>` (or
+//! `sssj run --spec '…durable=<dir>'`), `kill -9`, `sssj recover <dir>`.
+//! Supported engines: `str`, `mb`, `decay`, and `sharded` over those —
+//! the sharded driver checkpoints per shard at a batch boundary so the
+//! cut is consistent.
 
 use sssj_index::IndexKind;
 use sssj_types::{DecayModel, SimilarPair, StreamRecord};
@@ -199,6 +230,20 @@ impl JoinBuilder {
         if !self.spec.wrappers.contains(&WrapperSpec::Snapshot) {
             self.spec.wrappers.insert(0, WrapperSpec::Snapshot);
         }
+        self
+    }
+
+    /// Makes the join durable: WAL + checkpoints under `dir`
+    /// (`sssj-store`; resumes when the directory already holds a
+    /// manifest — see the module docs' Durability section). Replaces any
+    /// previous durable directory.
+    pub fn durable(mut self, dir: impl Into<String>) -> Self {
+        self.spec
+            .wrappers
+            .retain(|w| !matches!(w, WrapperSpec::Durable(_)));
+        self.spec
+            .wrappers
+            .insert(0, WrapperSpec::Durable(dir.into()));
         self
     }
 

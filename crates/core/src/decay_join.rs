@@ -333,6 +333,30 @@ impl ShardableJoin for DecayStreaming {
     }
 }
 
+impl crate::algorithm::Checkpointable for DecayStreaming {
+    /// Pure-ℓ2 bounds depend on nothing but the vectors themselves, and
+    /// the windowed max covers only in-horizon records: there is no
+    /// state to carry beyond what WAL replay rebuilds.
+    fn write_aux(&mut self, _out: &mut Vec<u8>) {}
+
+    fn read_aux(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "DecayStreaming carries no aux state, got {} bytes",
+                bytes.len()
+            ))
+        }
+    }
+
+    /// The model's horizon `τ(θ)` — finite by construction (asserted at
+    /// build time).
+    fn replay_horizon(&self) -> f64 {
+        self.tau
+    }
+}
+
 impl StreamJoin for DecayStreaming {
     fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
         self.query(record, out);

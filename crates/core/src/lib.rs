@@ -65,7 +65,9 @@ pub mod topk;
 pub mod verify;
 
 pub use advisor::{advise, advise_from_examples, Advice, AdvisorError};
-pub use algorithm::{build_algorithm, run_stream, Framework, ShardableJoin, StreamJoin};
+pub use algorithm::{
+    build_algorithm, run_stream, Checkpointable, Framework, ShardableJoin, StreamJoin,
+};
 pub use api::{JoinBuilder, PairIter};
 pub use config::SssjConfig;
 pub use decay_join::DecayStreaming;
@@ -73,7 +75,9 @@ pub use latency::{measure_report_delay, DelayStats};
 pub use minibatch::MiniBatch;
 pub use pipeline::{run_threaded, PipelineOutput};
 pub use reorder::{LateRecord, ReorderBuffer};
-pub use snapshot::{read_snapshot, RecoverableJoin, SnapshotError};
+pub use snapshot::{
+    read_max_aux, read_snapshot, write_max_aux, RecoverableJoin, SnapshotError, MAX_SNAPSHOT_DIM,
+};
 pub use spec::{DecaySpec, EngineSpec, JoinSpec, LshSpec, ShardedInner, SpecError, WrapperSpec};
 pub use streaming::Streaming;
 pub use topk::TopKJoin;

@@ -217,6 +217,36 @@ impl ShardableJoin for MiniBatch {
     }
 }
 
+impl crate::algorithm::Checkpointable for MiniBatch {
+    /// MB has no state that outlives its two buffered windows: the
+    /// per-window max vectors are rebuilt by replay, and the window grid
+    /// re-anchors on the first replayed record. A shifted grid changes
+    /// *when* pairs are reported, never *which* — any pair within `τ`
+    /// lands in the same or adjacent windows under every grid phase, and
+    /// `ApplyDecay` filters exactly — which is all the set-based replay
+    /// suppression of `sssj-store` needs.
+    fn write_aux(&mut self, _out: &mut Vec<u8>) {}
+
+    fn read_aux(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "MiniBatch carries no aux state, got {} bytes",
+                bytes.len()
+            ))
+        }
+    }
+
+    /// Two windows of length `τ` stay buffered (the previous window is
+    /// probed by the current one), so replay needs `2τ` of history to
+    /// rebuild the exact buffered state. Infinite when `λ = 0` (the
+    /// degenerate single-batch mode) — the WAL is then never collected.
+    fn replay_horizon(&self) -> f64 {
+        2.0 * self.tau
+    }
+}
+
 impl StreamJoin for MiniBatch {
     fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
         self.process_routed(record, true, out);

@@ -233,6 +233,10 @@ impl<J: StreamJoin> StreamJoin for ReorderBuffer<J> {
     fn name(&self) -> String {
         format!("Reorder({})", self.inner.name())
     }
+
+    fn resume_point(&self) -> Option<(u64, f64)> {
+        self.inner.resume_point()
+    }
 }
 
 #[cfg(test)]

@@ -62,11 +62,19 @@ const MAGIC: &[u8; 8] = b"SSSJSNAP";
 const VERSION: u8 = 1;
 const VERSION_COMPRESSED: u8 = 2;
 
-/// Largest dimension id a snapshot may carry. The join keeps one posting
-/// list slot per dimension, so an unbounded id from untrusted bytes
-/// would translate into an attacker-chosen allocation. 2²⁸ ≈ 268 M
-/// comfortably covers the paper's 10⁵–10⁶-dimensional corpora.
-const MAX_DIM: u32 = 1 << 28;
+/// Largest dimension id a snapshot (or WAL frame — `sssj-store` reuses
+/// the bound) may carry.
+///
+/// The join keeps one posting-list slot per dimension and the running
+/// max vector is dense, so a dimension id taken from untrusted bytes
+/// translates directly into an attacker-chosen allocation: every reader
+/// must reject ids above this bound **before** any structure sized by
+/// the id is touched ([`read_snapshot`] validates each id as it is
+/// decoded, ahead of `seed_max` and ahead of replaying the record into
+/// the posting lists). 2²⁴ ≈ 16.8 M caps that allocation at ~hundreds
+/// of MB while still covering the paper's 10⁵–10⁶-dimensional corpora
+/// with an order of magnitude to spare.
+pub const MAX_SNAPSHOT_DIM: u32 = 1 << 24;
 
 /// Errors from restoring a snapshot.
 #[derive(Debug)]
@@ -92,6 +100,65 @@ impl From<io::Error> for SnapshotError {
     fn from(e: io::Error) -> Self {
         SnapshotError::Io(e)
     }
+}
+
+/// Encodes a max-vector aux blob (the [`crate::Checkpointable`] aux
+/// state of [`Streaming`]): entry count, then per entry the dimension as
+/// a strictly-increasing delta varint and the raw `f64` value. Entries
+/// are sorted by dimension here, so callers can pass
+/// [`Streaming::max_entries`] directly.
+pub fn write_max_aux(entries: &[(u32, f64)], out: &mut Vec<u8>) {
+    let mut sorted: Vec<(u32, f64)> = entries.to_vec();
+    sorted.sort_unstable_by_key(|&(d, _)| d);
+    varint::write_u64(sorted.len() as u64, out);
+    let mut prev = 0u64;
+    for (dim, v) in sorted {
+        varint::write_u64(dim as u64 - prev, out);
+        prev = dim as u64 + 1;
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decodes an aux blob written by [`write_max_aux`], applying the same
+/// untrusted-input validation as [`read_snapshot`]: dimension ids are
+/// rejected above [`MAX_SNAPSHOT_DIM`] *before* anything is sized from
+/// them, and values must be finite and in `(0, 1]`.
+pub fn read_max_aux(bytes: &[u8]) -> Result<Vec<(u32, f64)>, String> {
+    let mut pos = 0usize;
+    let u64_at = |bytes: &[u8], pos: &mut usize| -> Result<u64, String> {
+        let (v, n) = varint::read_u64(&bytes[*pos..]).map_err(|e| format!("varint: {e}"))?;
+        *pos += n;
+        Ok(v)
+    };
+    let len = u64_at(bytes, &mut pos)?;
+    if len > MAX_SNAPSHOT_DIM as u64 {
+        return Err(format!("absurd aux length {len}"));
+    }
+    let mut entries = Vec::with_capacity((len as usize).min(65_536));
+    let mut prev = 0u64;
+    for _ in 0..len {
+        let dim = prev + u64_at(bytes, &mut pos)?;
+        if dim > MAX_SNAPSHOT_DIM as u64 {
+            return Err(format!("aux dimension {dim} too large"));
+        }
+        prev = dim + 1;
+        let end = pos
+            .checked_add(8)
+            .filter(|&e| e <= bytes.len())
+            .ok_or("truncated aux value")?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[pos..end]);
+        pos = end;
+        let v = f64::from_le_bytes(b);
+        if !v.is_finite() || v <= 0.0 || v > 1.0 + 1e-9 {
+            return Err(format!("invalid aux value {v}"));
+        }
+        entries.push((dim as u32, v));
+    }
+    if pos != bytes.len() {
+        return Err(format!("{} trailing aux bytes", bytes.len() - pos));
+    }
+    Ok(entries)
 }
 
 fn kind_tag(kind: IndexKind) -> u8 {
@@ -325,10 +392,13 @@ pub fn read_snapshot<R: Read>(mut r: R) -> Result<RecoverableJoin, SnapshotError
     }
 
     let m_len = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
+    if m_len > MAX_SNAPSHOT_DIM {
+        return Err(SnapshotError::Corrupt(format!("absurd m length {m_len}")));
+    }
     let mut maxima = Vec::with_capacity((m_len as usize).min(65_536));
     for _ in 0..m_len {
         let dim = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
-        if dim > MAX_DIM {
+        if dim > MAX_SNAPSHOT_DIM {
             return Err(SnapshotError::Corrupt(format!("dimension {dim} too large")));
         }
         let v = f64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
@@ -359,7 +429,7 @@ pub fn read_snapshot<R: Read>(mut r: R) -> Result<RecoverableJoin, SnapshotError
         let mut prev_dim = None;
         for _ in 0..nnz {
             let d = u32::from_le_bytes(read_exact::<_, 4>(&mut r)?);
-            if d > MAX_DIM {
+            if d > MAX_SNAPSHOT_DIM {
                 return Err(SnapshotError::Corrupt(format!("dimension {d} too large")));
             }
             if prev_dim.is_some_and(|p| d <= p) {
@@ -441,14 +511,14 @@ fn read_compressed_body<R: Read>(
     let mut c = Cursor { buf: &body, pos: 0 };
 
     let m_len = c.u64()?;
-    if m_len > MAX_DIM as u64 {
+    if m_len > MAX_SNAPSHOT_DIM as u64 {
         return Err(SnapshotError::Corrupt(format!("absurd m length {m_len}")));
     }
     let mut maxima = Vec::with_capacity((m_len as usize).min(65_536));
     let mut prev_dim = 0u64;
     for _ in 0..m_len {
         let dim = prev_dim + c.u64()?;
-        if dim > MAX_DIM as u64 {
+        if dim > MAX_SNAPSHOT_DIM as u64 {
             return Err(SnapshotError::Corrupt(format!("dimension {dim} too large")));
         }
         prev_dim = dim + 1;
@@ -481,7 +551,7 @@ fn read_compressed_body<R: Read>(
         }
         prev_t = t;
         let nnz = c.u64()?;
-        if nnz > MAX_DIM as u64 {
+        if nnz > MAX_SNAPSHOT_DIM as u64 {
             return Err(SnapshotError::Corrupt(format!("absurd nnz {nnz}")));
         }
         // Never pre-allocate from an untrusted count (see the v1 path).
@@ -490,7 +560,7 @@ fn read_compressed_body<R: Read>(
         let mut prev = 0u64;
         for _ in 0..nnz {
             let d = prev + c.u64()?;
-            if d > MAX_DIM as u64 {
+            if d > MAX_SNAPSHOT_DIM as u64 {
                 return Err(SnapshotError::Corrupt(format!("dimension {d} too large")));
             }
             prev = d + 1;
@@ -650,6 +720,92 @@ mod tests {
             corrupted[pos] ^= 0x41;
             let _ = read_snapshot(&corrupted[..]); // any Result, no panic
         }
+    }
+
+    /// Fuzz-style header corruption: a crafted header carrying dimension
+    /// ids (or counts) above `MAX_SNAPSHOT_DIM` must be rejected as
+    /// `Corrupt` *before* any posting-list- or max-vector-sized
+    /// allocation happens. The test completes instantly precisely
+    /// because nothing is allocated from the hostile values.
+    #[test]
+    fn oversized_dims_in_header_are_rejected_before_allocation() {
+        // Valid prefix: magic, version 1, kind L2, θ=0.5, λ=0.1.
+        let mut base = Vec::new();
+        base.extend_from_slice(MAGIC);
+        base.push(VERSION);
+        base.push(3);
+        base.extend_from_slice(&0.5f64.to_le_bytes());
+        base.extend_from_slice(&0.1f64.to_le_bytes());
+
+        // A max-vector entry with a hostile dimension id.
+        let mut bytes = base.clone();
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // m_len = 1
+        bytes.extend_from_slice(&(MAX_SNAPSHOT_DIM + 1).to_le_bytes());
+        bytes.extend_from_slice(&0.5f64.to_le_bytes());
+        assert!(
+            matches!(read_snapshot(&bytes[..]), Err(SnapshotError::Corrupt(m)) if m.contains("too large")),
+        );
+
+        // An absurd m_len must be rejected outright.
+        let mut bytes = base.clone();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(
+            matches!(read_snapshot(&bytes[..]), Err(SnapshotError::Corrupt(m)) if m.contains("absurd")),
+        );
+
+        // A record with a hostile dimension id (posting lists are sized
+        // by dimension at replay; the id must never reach them).
+        let mut bytes = base.clone();
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // m_len = 0
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // one record
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // id
+        bytes.extend_from_slice(&0.0f64.to_le_bytes()); // t
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // nnz
+        bytes.extend_from_slice(&(MAX_SNAPSHOT_DIM + 7).to_le_bytes());
+        bytes.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(
+            matches!(read_snapshot(&bytes[..]), Err(SnapshotError::Corrupt(m)) if m.contains("too large")),
+        );
+
+        // Random byte-flips across the whole header never panic.
+        let mut ok = base.clone();
+        ok.extend_from_slice(&0u32.to_le_bytes());
+        ok.extend_from_slice(&0u64.to_le_bytes());
+        for pos in 0..ok.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupted = ok.clone();
+                corrupted[pos] ^= flip;
+                let _ = read_snapshot(&corrupted[..]); // any Result, no panic
+            }
+        }
+    }
+
+    #[test]
+    fn max_aux_roundtrips_and_rejects_corruption() {
+        let entries = vec![(3u32, 0.25f64), (100, 1.0), (7, 0.5)];
+        let mut blob = Vec::new();
+        write_max_aux(&entries, &mut blob);
+        let back = read_max_aux(&blob).unwrap();
+        assert_eq!(back, vec![(3, 0.25), (7, 0.5), (100, 1.0)]);
+        // Empty blob round-trips.
+        let mut empty = Vec::new();
+        write_max_aux(&[], &mut empty);
+        assert!(read_max_aux(&empty).unwrap().is_empty());
+        // Truncations and bit-flips never panic; truncations always err.
+        for cut in 0..blob.len() {
+            assert!(read_max_aux(&blob[..cut]).is_err(), "cut at {cut}");
+        }
+        for pos in 0..blob.len() {
+            let mut corrupted = blob.clone();
+            corrupted[pos] ^= 0x41;
+            let _ = read_max_aux(&corrupted);
+        }
+        // A hostile dimension is rejected without allocation.
+        let mut hostile = Vec::new();
+        varint::write_u64(1, &mut hostile);
+        varint::write_u64(MAX_SNAPSHOT_DIM as u64 + 1, &mut hostile);
+        hostile.extend_from_slice(&0.5f64.to_le_bytes());
+        assert!(read_max_aux(&hostile).unwrap_err().contains("too large"));
     }
 
     #[test]

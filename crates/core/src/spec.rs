@@ -50,6 +50,9 @@
 //! | `reorder` | tolerate records up to `slack` time units out of order   |
 //! | `checked` | shadow the join with the exact oracle (debugging aid)    |
 //! | `snapshot`| checkpointable join (STR engines only, innermost)        |
+//! | `durable` | WAL + checkpoints under the given directory (innermost;  |
+//! |           | str/mb/decay and sharded over those; resumes from an     |
+//! |           | existing manifest — see `sssj-store`)                    |
 //!
 //! Examples:
 //!
@@ -62,6 +65,7 @@
 //! sharded?theta=0.6&lambda=0.1&shards=4&inner=str-l2
 //! sharded?theta=0.6&shards=4&inner=decay&model=window:10
 //! sharded?theta=0.6&lambda=0.1&shards=4&inner=lsh&bits=256&bands=32&verify=exact
+//! str-l2?theta=0.7&tau=10&durable=/var/sssj
 //! ```
 //!
 //! # Building
@@ -90,7 +94,7 @@ use std::sync::OnceLock;
 use sssj_index::IndexKind;
 use sssj_types::{Decay, DecayModel};
 
-use crate::algorithm::{Framework, ShardableJoin, StreamJoin};
+use crate::algorithm::{Checkpointable, Framework, ShardableJoin, StreamJoin};
 use crate::config::SssjConfig;
 use crate::decay_join::DecayStreaming;
 use crate::minibatch::MiniBatch;
@@ -258,7 +262,7 @@ impl EngineSpec {
 
 /// One wrapper layer around the base engine. Wrappers apply in list
 /// order: the first wraps the engine, the last is outermost.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum WrapperSpec {
     /// [`ReorderBuffer`]: tolerate records up to `slack` time units late.
     Reorder(f64),
@@ -266,6 +270,12 @@ pub enum WrapperSpec {
     Checked,
     /// [`RecoverableJoin`]: checkpointable join (STR engine, innermost).
     Snapshot,
+    /// Durable join (`sssj-store`): the engine is wrapped in a segmented
+    /// write-ahead log plus checkpoint manager rooted at the given
+    /// directory, and *resumes* from that directory when it already
+    /// holds a manifest. Innermost; engines with a replay path only
+    /// (str/mb/decay and sharded over those).
+    Durable(String),
 }
 
 /// A declarative, serializable description of a complete join pipeline.
@@ -342,9 +352,22 @@ pub type ShardedBuilder = fn(spec: &JoinSpec) -> Result<Box<dyn StreamJoin>, Spe
 pub type LshShardBuilder =
     fn(theta: f64, lambda: f64, params: LshSpec) -> Box<dyn ShardableJoin + Send>;
 
+/// Constructor for [`WrapperSpec::Durable`] pipelines, provided by
+/// `sssj-store`. Receives the spec with the durable wrapper *stripped*
+/// (engine plus parameters only) and the storage directory; creates the
+/// store or resumes from its manifest.
+pub type DurableBuilder = fn(spec: &JoinSpec, dir: &str) -> Result<Box<dyn StreamJoin>, SpecError>;
+
+/// Constructor building a sharded spec as a [`Checkpointable`] join
+/// (the durable base), provided by `sssj-parallel`.
+pub type ShardedCheckpointableBuilder =
+    fn(spec: &JoinSpec) -> Result<Box<dyn Checkpointable>, SpecError>;
+
 static LSH_BUILDER: OnceLock<LshBuilder> = OnceLock::new();
 static SHARDED_BUILDER: OnceLock<ShardedBuilder> = OnceLock::new();
 static LSH_SHARD_BUILDER: OnceLock<LshShardBuilder> = OnceLock::new();
+static DURABLE_BUILDER: OnceLock<DurableBuilder> = OnceLock::new();
+static SHARDED_CHECKPOINTABLE_BUILDER: OnceLock<ShardedCheckpointableBuilder> = OnceLock::new();
 
 /// Registers the LSH constructor (idempotent; first registration wins).
 /// Called by `sssj_lsh::register_spec_builder()`.
@@ -362,6 +385,19 @@ pub fn register_sharded_builder(f: ShardedBuilder) {
 /// registration wins). Called by `sssj_lsh::register_spec_builder()`.
 pub fn register_lsh_shard_builder(f: LshShardBuilder) {
     let _ = LSH_SHARD_BUILDER.set(f);
+}
+
+/// Registers the durable-wrapper constructor (idempotent; first
+/// registration wins). Called by `sssj_store::register_spec_builder()`.
+pub fn register_durable_builder(f: DurableBuilder) {
+    let _ = DURABLE_BUILDER.set(f);
+}
+
+/// Registers the sharded [`Checkpointable`] constructor (idempotent;
+/// first registration wins). Called by
+/// `sssj_parallel::register_spec_builder()`.
+pub fn register_sharded_checkpointable_builder(f: ShardedCheckpointableBuilder) {
+    let _ = SHARDED_CHECKPOINTABLE_BUILDER.set(f);
 }
 
 impl JoinSpec {
@@ -566,6 +602,58 @@ impl JoinSpec {
                         ));
                     }
                 }
+                WrapperSpec::Durable(dir) => {
+                    if pos != 0 {
+                        return Err(invalid(
+                            "durable must be the innermost wrapper (listed first): \
+                             the WAL records exactly what the engine sees",
+                        ));
+                    }
+                    if dir.is_empty()
+                        || dir.chars().any(|c| {
+                            matches!(c, '&' | '=' | '?' | '#' | '"' | '\\') || c.is_whitespace()
+                        })
+                    {
+                        return Err(invalid(format!(
+                            "durable directory {dir:?} must be non-empty and free of \
+                             '&', '=', '?', '#', quotes, backslashes and whitespace \
+                             (it is part of the spec grammar)"
+                        )));
+                    }
+                    match &self.engine {
+                        EngineSpec::Streaming
+                        | EngineSpec::MiniBatch
+                        | EngineSpec::GenericDecay(_) => {}
+                        EngineSpec::Sharded {
+                            inner: ShardedInner::Lsh(_),
+                            ..
+                        }
+                        | EngineSpec::Lsh(_) => {
+                            return Err(invalid(
+                                "durable supports str/mb/decay engines (and sharded \
+                                 over those); lsh workers are not checkpointable",
+                            ));
+                        }
+                        EngineSpec::Sharded { .. } => {}
+                        EngineSpec::TopK(_) => {
+                            return Err(invalid(
+                                "durable cannot wrap topk: its per-arrival selection \
+                                 depends on emission history, which replay suppression \
+                                 would skew",
+                            ));
+                        }
+                    }
+                    if self
+                        .wrappers
+                        .iter()
+                        .any(|w| matches!(w, WrapperSpec::Checked))
+                    {
+                        return Err(invalid(
+                            "checked cannot combine with durable: recovery re-emits \
+                             pairs the oracle has not seen",
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -578,46 +666,105 @@ impl JoinSpec {
     /// harness all funnel through it.
     pub fn build(&self) -> Result<Box<dyn StreamJoin>, SpecError> {
         self.validate()?;
-        let mut snapshot_base = false;
-        if let Some(WrapperSpec::Snapshot) = self.wrappers.first() {
-            snapshot_base = true;
-        }
-        let mut join: Box<dyn StreamJoin> = match &self.engine {
-            EngineSpec::Streaming => {
-                if snapshot_base {
-                    Box::new(RecoverableJoin::new(self.config(), self.index))
-                } else {
-                    Box::new(Streaming::new(self.config(), self.index))
+        let mut join: Box<dyn StreamJoin> =
+            if let Some(WrapperSpec::Durable(dir)) = self.wrappers.first() {
+                // The durable base wraps the *bare* engine (validate pinned
+                // the wrapper to position 0); remaining wrappers stack on
+                // top below. The constructor lives downstream in
+                // `sssj-store` and either creates the store or resumes from
+                // its manifest.
+                let f = DURABLE_BUILDER
+                    .get()
+                    .ok_or(SpecError::EngineUnavailable("durable"))?;
+                let mut bare = self.clone();
+                bare.wrappers.clear();
+                f(&bare, dir)?
+            } else {
+                let snapshot_base = matches!(self.wrappers.first(), Some(WrapperSpec::Snapshot));
+                match &self.engine {
+                    EngineSpec::Streaming => {
+                        if snapshot_base {
+                            Box::new(RecoverableJoin::new(self.config(), self.index))
+                        } else {
+                            Box::new(Streaming::new(self.config(), self.index))
+                        }
+                    }
+                    EngineSpec::MiniBatch => Box::new(MiniBatch::new(self.config(), self.index)),
+                    EngineSpec::GenericDecay(d) => Box::new(DecayStreaming::with_options(
+                        self.theta,
+                        d.model,
+                        d.window_max,
+                    )),
+                    EngineSpec::TopK(k) => {
+                        Box::new(TopKJoin::new(self.config(), self.index, *k as usize))
+                    }
+                    EngineSpec::Lsh(params) => {
+                        let f = LSH_BUILDER
+                            .get()
+                            .ok_or(SpecError::EngineUnavailable("lsh"))?;
+                        f(self.theta, self.lambda, *params)
+                    }
+                    EngineSpec::Sharded { .. } => {
+                        let f = SHARDED_BUILDER
+                            .get()
+                            .ok_or(SpecError::EngineUnavailable("sharded"))?;
+                        f(self)?
+                    }
                 }
-            }
+            };
+        for w in &self.wrappers {
+            join = match w {
+                // Consumed as the base above.
+                WrapperSpec::Snapshot | WrapperSpec::Durable(_) => join,
+                WrapperSpec::Reorder(slack) => Box::new(ReorderBuffer::new(join, *slack)),
+                WrapperSpec::Checked => Box::new(CheckedJoin::new(join, self.config())),
+            };
+        }
+        Ok(join)
+    }
+
+    /// Builds the bare engine as a [`Checkpointable`] join — the base
+    /// the durability layer (`sssj-store`) wraps. Requires a wrapper-free
+    /// spec (the durable builder strips its own wrapper before calling
+    /// this) and an engine with a replay path: `str`, `mb`, `decay`, or
+    /// `sharded` over those (the sharded constructor lives downstream
+    /// and must be registered, see
+    /// [`register_sharded_checkpointable_builder`]).
+    pub fn build_checkpointable(&self) -> Result<Box<dyn Checkpointable>, SpecError> {
+        self.validate()?;
+        if !self.wrappers.is_empty() {
+            return Err(invalid(
+                "build_checkpointable requires a wrapper-free spec: the durable \
+                 layer wraps the bare engine",
+            ));
+        }
+        Ok(match &self.engine {
+            EngineSpec::Streaming => Box::new(Streaming::new(self.config(), self.index)),
             EngineSpec::MiniBatch => Box::new(MiniBatch::new(self.config(), self.index)),
             EngineSpec::GenericDecay(d) => Box::new(DecayStreaming::with_options(
                 self.theta,
                 d.model,
                 d.window_max,
             )),
-            EngineSpec::TopK(k) => Box::new(TopKJoin::new(self.config(), self.index, *k as usize)),
-            EngineSpec::Lsh(params) => {
-                let f = LSH_BUILDER
-                    .get()
-                    .ok_or(SpecError::EngineUnavailable("lsh"))?;
-                f(self.theta, self.lambda, *params)
+            EngineSpec::Sharded {
+                inner: ShardedInner::Lsh(_),
+                ..
+            }
+            | EngineSpec::Lsh(_)
+            | EngineSpec::TopK(_) => {
+                return Err(invalid(format!(
+                    "engine {:?} is not checkpointable (durable supports str/mb/decay \
+                     and sharded over those)",
+                    self.engine.keyword()
+                )));
             }
             EngineSpec::Sharded { .. } => {
-                let f = SHARDED_BUILDER
+                let f = SHARDED_CHECKPOINTABLE_BUILDER
                     .get()
                     .ok_or(SpecError::EngineUnavailable("sharded"))?;
                 f(self)?
             }
-        };
-        for w in &self.wrappers {
-            join = match w {
-                WrapperSpec::Snapshot => join, // consumed as the base above
-                WrapperSpec::Reorder(slack) => Box::new(ReorderBuffer::new(join, *slack)),
-                WrapperSpec::Checked => Box::new(CheckedJoin::new(join, self.config())),
-            };
-        }
-        Ok(join)
+        })
     }
 
     /// Builds the engine **one shard** of a sharded spec runs — the
@@ -731,6 +878,11 @@ impl JoinSpec {
                     }
                     WrapperSpec::Checked => s.push_str("[\"checked\"]"),
                     WrapperSpec::Snapshot => s.push_str("[\"snapshot\"]"),
+                    // validate() bans quotes/backslashes in the dir, so
+                    // the string embeds without escaping.
+                    WrapperSpec::Durable(dir) => {
+                        let _ = write!(s, "[\"durable\",\"{dir}\"]");
+                    }
                 }
             }
             s.push(']');
@@ -838,6 +990,12 @@ impl JoinSpec {
                             ),
                             ("checked", 1) => WrapperSpec::Checked,
                             ("snapshot", 1) => WrapperSpec::Snapshot,
+                            ("durable", 2) => WrapperSpec::Durable(
+                                entry[1]
+                                    .as_str()
+                                    .ok_or_else(|| parse_err("durable directory must be a string"))?
+                                    .to_string(),
+                            ),
                             _ => {
                                 return Err(parse_err(format!("unknown wrapper {name:?}")));
                             }
@@ -1163,6 +1321,9 @@ impl FromStr for JoinSpec {
                         }
                         params.wrappers.push(WrapperSpec::Snapshot);
                     }
+                    "durable" => params
+                        .wrappers
+                        .push(WrapperSpec::Durable(want(key, value)?.to_string())),
                     other => return Err(parse_err(format!("unknown key {other:?}"))),
                 }
             }
@@ -1224,6 +1385,7 @@ impl fmt::Display for JoinSpec {
                 WrapperSpec::Reorder(slack) => write!(f, "&reorder={slack}")?,
                 WrapperSpec::Checked => f.write_str("&checked")?,
                 WrapperSpec::Snapshot => f.write_str("&snapshot")?,
+                WrapperSpec::Durable(dir) => write!(f, "&durable={dir}")?,
             }
         }
         Ok(())

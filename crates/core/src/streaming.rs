@@ -713,6 +713,33 @@ impl ShardableJoin for Streaming {
     fn occupancy_horizon(&self) -> Option<f64> {
         Some(self.tau)
     }
+
+    fn checkpoint_aux(&self, out: &mut Vec<u8>) {
+        crate::snapshot::write_max_aux(&self.max_entries(), out);
+    }
+
+    fn seed_checkpoint_aux(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.seed_max(crate::snapshot::read_max_aux(bytes)?);
+        Ok(())
+    }
+}
+
+impl crate::algorithm::Checkpointable for Streaming {
+    /// Aux = the AP running-max vector `m`, the one structure that
+    /// accumulates beyond the horizon (empty for non-AP indexes, where
+    /// [`Streaming::max_entries`] returns nothing).
+    fn write_aux(&mut self, out: &mut Vec<u8>) {
+        ShardableJoin::checkpoint_aux(self, out);
+    }
+
+    fn read_aux(&mut self, bytes: &[u8]) -> Result<(), String> {
+        ShardableJoin::seed_checkpoint_aux(self, bytes)
+    }
+
+    /// Everything output-relevant lives inside the horizon `τ`.
+    fn replay_horizon(&self) -> f64 {
+        self.tau
+    }
 }
 
 impl StreamJoin for Streaming {

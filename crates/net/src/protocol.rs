@@ -55,6 +55,23 @@
 //! ([`sssj_core::JoinSpec::to_json`] /
 //! [`sssj_core::JoinSpec::from_json`]) for programmatic clients, e.g.
 //! `CONFIGJ {"engine":"topk","index":"l2","theta":0.5,"lambda":0.01,"k":3}`.
+//!
+//! # Durable sessions: resuming from a manifest
+//!
+//! A `durable=<dir>` parameter (the `sssj-store` wrapper) makes the
+//! session's state survive crashes:
+//! `CONFIG spec=str-l2?theta=0.7&tau=10&durable=/var/sssj` *creates*
+//! the store on first use and **resumes** it whenever `<dir>` already
+//! holds a manifest — the server reloads the last checkpoint, replays
+//! the WAL tail, and the session continues the recovered stream: record
+//! ids restart *after* the ingested prefix (so `P` lines keep referring
+//! to pre-crash records), the monotonic-timestamp watermark picks up at
+//! the recovered stamp, and any pairs whose pre-crash delivery cannot
+//! be proven are re-emitted with the first record's response
+//! (at-least-once; pairs delivered before the last checkpoint are never
+//! repeated). A producer that replays its own stream should skip the
+//! first `ingested` records — the count a resumed session starts ids
+//! at.
 
 use std::fmt;
 

@@ -63,6 +63,13 @@ impl SessionJoin {
             SessionJoin::Reordered(j) => j.finish(out),
         }
     }
+
+    fn resume_point(&self) -> Option<(u64, f64)> {
+        match self {
+            SessionJoin::Plain(j) => j.resume_point(),
+            SessionJoin::Reordered(j) => j.resume_point(),
+        }
+    }
 }
 
 /// One client session: configuration, the running join, and id/time
@@ -112,14 +119,18 @@ impl Session {
         crate::register_spec_builders();
         let (join, slack) = build_join(&defaults.spec)
             .unwrap_or_else(|e| panic!("invalid server default spec {}: {e}", defaults.spec));
+        // A durable default spec may have *resumed* from its manifest:
+        // continue id assignment and the timestamp watermark where the
+        // previous incarnation stopped.
+        let (next_id, last_t) = join.resume_point().unwrap_or((0, f64::NEG_INFINITY));
         Session {
             current: defaults.clone(),
             defaults,
             slack,
             join,
             tokenizer: Tokenizer::new(),
-            next_id: 0,
-            last_t: f64::NEG_INFINITY,
+            next_id,
+            last_t,
             records: 0,
             pairs: 0,
             started: false,
@@ -209,6 +220,15 @@ impl Session {
         // as an `E` line and the session stays on its previous join.
         match build_join(&spec) {
             Ok((join, slack)) => {
+                // Resuming a durable store (`…&durable=<dir>` with an
+                // existing manifest): the session continues the
+                // recovered stream — ids restart after the ingested
+                // prefix, the watermark at the recovered timestamp, and
+                // the replay tail surfaces with the first record's
+                // response.
+                let (next_id, last_t) = join.resume_point().unwrap_or((0, f64::NEG_INFINITY));
+                self.next_id = next_id;
+                self.last_t = last_t;
                 self.join = join;
                 self.slack = slack;
                 self.current = SessionDefaults {
@@ -593,6 +613,53 @@ mod tests {
         // The previous join is still live.
         handle_line(&mut s, "V 0.0 7:1.0");
         assert_eq!(ok_count(&handle_line(&mut s, "V 1.0 7:1.0")), 1);
+    }
+
+    #[test]
+    fn durable_spec_resumes_the_session_from_the_manifest() {
+        let dir = std::env::temp_dir().join(format!(
+            "sssj-net-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = format!(
+            "CONFIG spec=str-l2?theta=0.7&lambda=0.01&durable={}",
+            dir.display()
+        );
+
+        // First incarnation: two records, one pair, clean FINISH (which
+        // publishes a checkpoint).
+        let mut s = Session::new(SessionDefaults::default());
+        let r = handle_line(&mut s, &config);
+        assert!(matches!(r[0], Response::Ok(0)), "{r:?}");
+        handle_line(&mut s, "V 0.0 7:1.0");
+        assert_eq!(ok_count(&handle_line(&mut s, "V 1.0 7:1.0")), 1);
+        handle_line(&mut s, "FINISH");
+        drop(s);
+
+        // Second incarnation resumes: ids continue after the recovered
+        // prefix and new arrivals pair with pre-restart records.
+        let mut s = Session::new(SessionDefaults::default());
+        let r = handle_line(&mut s, &config);
+        assert!(matches!(r[0], Response::Ok(0)), "{r:?}");
+        let r = handle_line(&mut s, "V 1.5 7:1.0");
+        assert_eq!(ok_count(&r), 2, "pairs with both recovered records: {r:?}");
+        let keys: Vec<(u64, u64)> = r
+            .iter()
+            .filter_map(|resp| match resp {
+                Response::Pair(p) => Some(p.key()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            keys.contains(&(0, 2)) && keys.contains(&(1, 2)),
+            "resumed ids must continue at 2: {keys:?}"
+        );
+        // The recovered watermark still rejects out-of-order input.
+        let r = handle_line(&mut s, "V 0.5 7:1.0");
+        assert!(matches!(&r[0], Response::Err(m) if m.contains("out-of-order")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

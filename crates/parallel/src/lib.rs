@@ -78,6 +78,12 @@ pub fn register_spec_builder() {
     sssj_core::spec::register_sharded_builder(|spec| {
         ShardedJoin::from_spec(spec).map(|j| Box::new(j) as Box<dyn sssj_core::StreamJoin>)
     });
+    // The durable layer (`sssj-store`) builds sharded engines through
+    // this hook; per-shard aux capture happens at a batch boundary via
+    // the worker control channel.
+    sssj_core::spec::register_sharded_checkpointable_builder(|spec| {
+        ShardedJoin::from_spec(spec).map(|j| Box::new(j) as Box<dyn sssj_core::Checkpointable>)
+    });
 }
 
 #[cfg(test)]

@@ -51,8 +51,17 @@ pub struct Router {
     /// [`Router::with_suffix_occupancy`]. Holds the slackened θ² the
     /// boundary replay crosses.
     suffix_theta_sq: Option<f64>,
-    /// Records inserted per shard (owner two-choice balancing).
+    /// Records inserted per shard.
     inserted: Vec<u64>,
+    /// Records *delivered* per shard — owned inserts plus routed queries.
+    /// This is what the two-choice owner balancing compares: a shard's
+    /// load is the records it must process, and on a Zipfian stream the
+    /// hot dimension slices attract query traffic far beyond their
+    /// insert share, which insert-count balancing cannot see.
+    delivered: Vec<u64>,
+    /// Balance owners on insert counts instead of delivery counts — the
+    /// pre-PR-4 behaviour, kept for A/B measurement.
+    balance_on_inserts: bool,
     /// Records routed so far.
     records: u64,
     /// Query sends avoided so far (records × shards skipped).
@@ -78,9 +87,19 @@ impl Router {
             stamps: Vec::new(),
             suffix_theta_sq: None,
             inserted: vec![0; shards],
+            delivered: vec![0; shards],
+            balance_on_inserts: false,
             records: 0,
             skipped: 0,
         }
+    }
+
+    /// Balances owners on *insert* counts instead of delivery counts —
+    /// the pre-delivery-balancing behaviour, kept for A/B measurement
+    /// (see `tests/differential.rs`).
+    pub fn with_insert_balancing(mut self) -> Self {
+        self.balance_on_inserts = true;
+        self
     }
 
     /// Restricts occupancy stamping to the coordinates a pure-ℓ2 engine
@@ -132,10 +151,19 @@ impl Router {
     /// shards owning its two last — rarest — dimension slices (two-choice
     /// balancing keeps one hot cluster from saturating a shard while
     /// records still cluster by rare terms), or an id hash for empty
-    /// vectors. Deterministic given the stream prefix, which is all
-    /// correctness needs — any assignment inserting each record exactly
-    /// once is valid.
+    /// vectors. Load is measured in *deliveries* (owned inserts plus
+    /// routed queries — what a shard actually processes), so a slice
+    /// that attracts heavy query traffic sheds ownership to its
+    /// alternative even when its insert count looks balanced.
+    /// Deterministic given the stream prefix, which is all correctness
+    /// needs — any assignment inserting each record exactly once is
+    /// valid.
     pub fn owner(&self, record: &StreamRecord) -> usize {
+        let load = if self.balance_on_inserts {
+            &self.inserted
+        } else {
+            &self.delivered
+        };
         let dims = record.vector.dims();
         match *dims {
             [] => fib_shard(record.id, self.shards),
@@ -144,7 +172,7 @@ impl Router {
                     fib_shard(a as u64, self.shards),
                     fib_shard(b as u64, self.shards),
                 );
-                if self.inserted[wa] < self.inserted[wb] {
+                if load[wa] < load[wb] {
                     wa
                 } else {
                     wb
@@ -217,6 +245,7 @@ impl Router {
             }
         }
         self.inserted[shard] += 1;
+        self.delivered[shard] += 1;
     }
 
     /// Routes one record end to end: computes the query mask, adds the
@@ -264,6 +293,15 @@ impl Router {
             mask = self.full_mask;
         }
         self.inserted[owner] += 1;
+        // Tally deliveries — every set mask bit is one record a shard
+        // must process — so the next owner() decision sees query load,
+        // not just insert load.
+        let mut bits = mask;
+        while bits != 0 {
+            let w = bits.trailing_zeros() as usize;
+            self.delivered[w] += 1;
+            bits &= bits - 1;
+        }
         self.records += 1;
         self.skipped += (self.shards as u32 - mask.count_ones()) as u64;
         (mask, owner)
@@ -272,6 +310,11 @@ impl Router {
     /// Records routed so far.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Deliveries (owned inserts + routed queries) per shard so far.
+    pub fn delivered(&self) -> &[u64] {
+        &self.delivered
     }
 
     /// Query sends avoided so far — for each record, the number of shards

@@ -8,7 +8,8 @@ use std::time::{Duration, Instant};
 use crossbeam_channel::{bounded, Receiver, Sender};
 
 use sssj_core::{
-    run_stream, EngineSpec, JoinSpec, ShardedInner, SpecError, SssjConfig, StreamJoin,
+    read_max_aux, run_stream, write_max_aux, Checkpointable, EngineSpec, JoinSpec, ShardedInner,
+    SpecError, SssjConfig, StreamJoin,
 };
 use sssj_index::IndexKind;
 use sssj_metrics::JoinStats;
@@ -59,6 +60,23 @@ impl Batch {
             routes: Vec::with_capacity(BATCH_RECORDS),
         }
     }
+}
+
+/// One worker-inbox message. The inbox is FIFO, so a control message is
+/// handled after every batch sent before it — which is exactly what
+/// makes the checkpoint cut consistent: the reply covers all records
+/// delivered up to the batch boundary the driver flushed, and nothing
+/// after.
+enum ShardMsg {
+    /// A batch of routed records.
+    Batch(Arc<Batch>),
+    /// Checkpoint barrier: reply with this worker's aux blob
+    /// ([`sssj_core::ShardableJoin::checkpoint_aux`]) once everything
+    /// delivered before this message has been processed.
+    Checkpoint(Sender<Vec<u8>>),
+    /// Seed merged aux state into the worker (recovery path, sent before
+    /// any batch).
+    Seed(Arc<Vec<u8>>),
 }
 
 /// Per-shard load figures, reported by [`ShardedJoin::shard_report`].
@@ -129,7 +147,7 @@ pub struct ShardedJoin {
     pending: Batch,
     /// When the oldest record of `pending` arrived (latency flush).
     pending_since: Instant,
-    senders: Vec<Sender<Arc<Batch>>>,
+    senders: Vec<Sender<ShardMsg>>,
     pair_rx: Receiver<Vec<SimilarPair>>,
     handles: Vec<JoinHandle<JoinStats>>,
     live: Vec<Arc<AtomicU64>>,
@@ -213,7 +231,7 @@ impl ShardedJoin {
         let mut handles = Vec::with_capacity(shards);
         let mut live = Vec::with_capacity(shards);
         for (w, mut join) in workers.into_iter().enumerate() {
-            let (tx, rx) = bounded::<Arc<Batch>>(INBOX_DEPTH);
+            let (tx, rx) = bounded::<ShardMsg>(INBOX_DEPTH);
             senders.push(tx);
             let pair_tx = pair_tx.clone();
             let live_ctr = Arc::new(AtomicU64::new(0));
@@ -221,7 +239,29 @@ impl ShardedJoin {
             handles.push(std::thread::spawn(move || {
                 let mut out = Vec::new();
                 let bit = 1u64 << w;
-                for batch in rx {
+                for msg in rx {
+                    let batch = match msg {
+                        ShardMsg::Batch(batch) => batch,
+                        ShardMsg::Checkpoint(ack) => {
+                            // Pairs found by earlier batches were already
+                            // sent per batch; reply with the aux state of
+                            // everything processed so far. The driver
+                            // validated any seed blob, so encoding here
+                            // cannot fail.
+                            let mut aux = Vec::new();
+                            join.checkpoint_aux(&mut aux);
+                            let _ = ack.send(aux);
+                            continue;
+                        }
+                        ShardMsg::Seed(bytes) => {
+                            // The driver validates the merged blob before
+                            // broadcasting; a decode failure here would
+                            // mean driver/worker disagree on the format.
+                            join.seed_checkpoint_aux(&bytes)
+                                .expect("driver-validated aux blob");
+                            continue;
+                        }
+                    };
                     for (record, &(mask, owner)) in batch.records.iter().zip(&batch.routes) {
                         if mask & bit == 0 {
                             continue;
@@ -286,10 +326,106 @@ impl ShardedJoin {
             if count > 0 {
                 self.routed[w] += count as u64;
                 self.senders[w]
-                    .send(Arc::clone(&batch))
+                    .send(ShardMsg::Batch(Arc::clone(&batch)))
                     .expect("worker alive while sending");
             }
         }
+    }
+
+    /// Flushes the pending batch and round-trips a
+    /// [`ShardMsg::Checkpoint`] through every worker, returning the
+    /// per-shard aux blobs. FIFO inboxes make the cut consistent: each
+    /// reply covers exactly the records delivered before the flushed
+    /// batch boundary. Returns nothing after [`StreamJoin::finish`]
+    /// (workers are gone; their state was already flushed).
+    fn control_sync(&mut self) -> Vec<Vec<u8>> {
+        if self.senders.is_empty() {
+            return Vec::new();
+        }
+        self.flush_batch();
+        let acks: Vec<Receiver<Vec<u8>>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (ack_tx, ack_rx) = bounded(1);
+                tx.send(ShardMsg::Checkpoint(ack_tx))
+                    .expect("worker alive while sending");
+                ack_rx
+            })
+            .collect();
+        // Workers never block on the pair channel (its capacity covers
+        // every in-flight batch), so each reply arrives after a bounded
+        // amount of work — no deadlock against a full pair channel.
+        acks.iter()
+            .map(|rx| rx.recv().expect("worker alive at checkpoint"))
+            .collect()
+    }
+}
+
+impl Checkpointable for ShardedJoin {
+    /// Captures each shard's aux state at a batch boundary (the control
+    /// round-trip described on the worker-inbox message type) and merges the per-shard max
+    /// vectors coordinate-wise. Recovery seeds the *merged* vector into
+    /// every shard: replay re-routes records, so per-shard attribution
+    /// is meaningless, and an over-large `m` only indexes more eagerly —
+    /// never drops a pair (the [`sssj_core::Streaming::seed_max`]
+    /// argument).
+    fn write_aux(&mut self, out: &mut Vec<u8>) {
+        let mut merged: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+        for blob in self.control_sync() {
+            if blob.is_empty() {
+                continue; // worker engine with no aux (MB, decay)
+            }
+            let entries = read_max_aux(&blob).expect("worker-encoded aux blob");
+            for (dim, v) in entries {
+                let slot = merged.entry(dim).or_insert(0.0);
+                if v > *slot {
+                    *slot = v;
+                }
+            }
+        }
+        let entries: Vec<(u32, f64)> = merged.into_iter().collect();
+        write_max_aux(&entries, out);
+    }
+
+    fn read_aux(&mut self, bytes: &[u8]) -> Result<(), String> {
+        // Validate *before* broadcasting: workers trust this blob.
+        let entries = read_max_aux(bytes)?;
+        if entries.is_empty() || self.senders.is_empty() {
+            return Ok(());
+        }
+        let shared = Arc::new(bytes.to_vec());
+        for tx in &self.senders {
+            tx.send(ShardMsg::Seed(Arc::clone(&shared)))
+                .map_err(|_| "worker gone while seeding aux".to_string())?;
+        }
+        Ok(())
+    }
+
+    fn replay_horizon(&self) -> f64 {
+        let EngineSpec::Sharded { inner, .. } = &self.spec.engine else {
+            unreachable!("constructors require a sharded spec");
+        };
+        match inner {
+            ShardedInner::Streaming => self.spec.config().tau(),
+            ShardedInner::MiniBatch => 2.0 * self.spec.config().tau(),
+            ShardedInner::GenericDecay(d) => d.model.horizon(self.spec.theta),
+            // Not checkpointable (the spec layer rejects durable over
+            // lsh inners); infinity would simply disable WAL GC.
+            ShardedInner::Lsh(_) => f64::INFINITY,
+        }
+    }
+
+    /// Flushes the pending batch, waits for every worker to drain its
+    /// inbox, then collects every pair already handed back — after this
+    /// returns, all pairs completed by previously processed records have
+    /// surfaced.
+    fn quiesce(&mut self, out: &mut Vec<SimilarPair>) {
+        let _ = self.control_sync();
+        // Each worker sent its pairs *before* replying to the barrier
+        // (same thread, channel sends are ordered), so a try_recv drain
+        // now sees everything.
+        self.drain_ready(out);
     }
 }
 

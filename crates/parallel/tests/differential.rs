@@ -132,6 +132,32 @@ fn lsh_inner_falls_back_to_broadcast_and_matches_sequential() {
 }
 
 #[test]
+fn delivery_balancing_does_not_regress_the_hottest_shard() {
+    // PR-3 open item: two-choice owner balancing compared *insert*
+    // counts, blind to the query traffic hot dimension slices attract.
+    // Balancing on *delivery* counts (queries included) must not make
+    // the hottest shard's share worse — on a Zipfian clustered stream it
+    // should shave it.
+    use sssj_parallel::Router;
+    let stream = clustered_stream(31, 4000, 12);
+    let hottest_share = |mut router: Router| -> f64 {
+        let mut total = 0u64;
+        for r in &stream {
+            let (mask, _) = router.route(r);
+            total += mask.count_ones() as u64;
+        }
+        *router.delivered().iter().max().unwrap() as f64 / total as f64
+    };
+    let insert_balanced = hottest_share(Router::new(4, Some(5.0)).with_insert_balancing());
+    let delivery_balanced = hottest_share(Router::new(4, Some(5.0)));
+    assert!(
+        delivery_balanced <= insert_balanced + 1e-9,
+        "hottest-shard delivery share regressed: {delivery_balanced:.4} (delivery-balanced) \
+         vs {insert_balanced:.4} (insert-balanced)"
+    );
+}
+
+#[test]
 fn zipfian_clusters_produce_a_positive_skip_rate() {
     // The acceptance property behind `--shard-stats`: on a clustered
     // (Zipfian) dimension stream, routing must actually avoid deliveries.

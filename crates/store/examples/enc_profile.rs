@@ -1,0 +1,41 @@
+//! Encode-only microprofile: frame encoding + CRC without any file I/O.
+//! Run with `cargo run --release -p sssj-store --example enc_profile`.
+
+use sssj_data::{generate, preset, Preset};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let stream = generate(&preset(Preset::Tweets, 20_000));
+    let mut buf = Vec::new();
+    // Warm.
+    for r in &stream {
+        buf.clear();
+        sssj_store::wal::encode_frame_for_profile(r, &mut buf);
+    }
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for _ in 0..10 {
+        for r in &stream {
+            buf.clear();
+            sssj_store::wal::encode_frame_for_profile(r, &mut buf);
+            total += buf.len();
+        }
+    }
+    let dt = t0.elapsed();
+    println!(
+        "encode+crc: {:?} per record ({} bytes avg)",
+        dt / (10 * stream.len() as u32),
+        total / (10 * stream.len())
+    );
+    // CRC alone on the same payload sizes.
+    let payload = vec![0xA5u8; 90];
+    let t0 = Instant::now();
+    let mut acc = 0u32;
+    for _ in 0..200_000 {
+        acc ^= sssj_store::crc::crc32c(black_box(&payload));
+    }
+    println!("crc32c(90B): {:?}", t0.elapsed() / 200_000);
+    black_box(acc);
+    black_box(total);
+}

@@ -1,0 +1,117 @@
+//! The acceptance measurement, in-process: plain vs durable STR-L2 on
+//! the Tweets-like n=100k stream (the `ext_scale_stream` shape),
+//! interleaved rounds, wall-clock minima. Run with
+//! `cargo run --release -p sssj-store --example overhead_100k`.
+
+use sssj_core::{run_stream, JoinSpec, Streaming};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_store::{DurableJoin, DurableOptions};
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::var("N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let rounds: usize = std::env::var("ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let stream = generate(&preset(Preset::Tweets, n));
+    let dir = std::env::temp_dir().join(format!("sssj-ovh-{}", std::process::id()));
+
+    for theta in [0.5, 0.7] {
+        let spec: JoinSpec = format!("str-l2?theta={theta}&tau=10").parse().unwrap();
+        let mut plain_min = f64::INFINITY;
+        let mut walonly_min = f64::INFINITY;
+        let mut nockpt_min = f64::INFINITY;
+        let mut durable_min = f64::INFINITY;
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            let mut join = Streaming::new(spec.config(), IndexKind::L2);
+            std::hint::black_box(run_stream(&mut join, &stream).len());
+            drop(join);
+            plain_min = plain_min.min(t0.elapsed().as_secs_f64());
+
+            // Engine + bare WAL appends (no wrapper, no checkpoints).
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let t0 = Instant::now();
+            let mut wal = sssj_store::Wal::create(&dir, 4096, false).unwrap();
+            let mut join = Streaming::new(spec.config(), IndexKind::L2);
+            let mut out = Vec::new();
+            for r in &stream {
+                wal.append(r).unwrap();
+                sssj_core::StreamJoin::process(&mut join, r, &mut out);
+            }
+            wal.flush().unwrap();
+            std::hint::black_box(out.len());
+            drop((wal, join));
+            walonly_min = walonly_min.min(t0.elapsed().as_secs_f64());
+
+            // Full DurableJoin, checkpoints disabled.
+            let _ = std::fs::remove_dir_all(&dir);
+            let t0 = Instant::now();
+            let opts = DurableOptions {
+                checkpoint_every: u64::MAX,
+                ..DurableOptions::default()
+            };
+            let mut join = DurableJoin::open(&spec, &dir, opts).unwrap();
+            let mut out = Vec::new();
+            for r in &stream {
+                sssj_core::StreamJoin::process(&mut join, r, &mut out);
+            }
+            std::hint::black_box(out.len());
+            drop(join);
+            nockpt_min = nockpt_min.min(t0.elapsed().as_secs_f64());
+
+            let _ = std::fs::remove_dir_all(&dir);
+            let t0 = Instant::now();
+            let mut join = DurableJoin::open(&spec, &dir, DurableOptions::default()).unwrap();
+            std::hint::black_box(run_stream(&mut join, &stream).len());
+            drop(join);
+            durable_min = durable_min.min(t0.elapsed().as_secs_f64());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        println!(
+            "theta={theta}: plain {:.2}ms wal-only {:.2}ms no-ckpt {:.2}ms durable {:.2}ms \
+             overhead {:.1}%",
+            plain_min * 1e3,
+            walonly_min * 1e3,
+            nockpt_min * 1e3,
+            durable_min * 1e3,
+            100.0 * (durable_min / plain_min - 1.0)
+        );
+
+        // The production configuration: the 4-shard driver, plain vs
+        // durable (the WAL rides the driver thread).
+        sssj_parallel::register_spec_builder();
+        let sharded: JoinSpec = format!("sharded?theta={theta}&tau=10&shards=4&inner=str-l2")
+            .parse()
+            .unwrap();
+        let mut s_plain = f64::INFINITY;
+        let mut s_durable = f64::INFINITY;
+        for _ in 0..rounds.min(4) {
+            let t0 = Instant::now();
+            let mut join = sharded.build().unwrap();
+            std::hint::black_box(run_stream(&mut join, &stream).len());
+            drop(join);
+            s_plain = s_plain.min(t0.elapsed().as_secs_f64());
+
+            let _ = std::fs::remove_dir_all(&dir);
+            let t0 = Instant::now();
+            let mut join = DurableJoin::open(&sharded, &dir, DurableOptions::default()).unwrap();
+            std::hint::black_box(run_stream(&mut join, &stream).len());
+            drop(join);
+            s_durable = s_durable.min(t0.elapsed().as_secs_f64());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        println!(
+            "theta={theta}: sharded/4 {:.2}ms durable-sharded/4 {:.2}ms overhead {:.1}%",
+            s_plain * 1e3,
+            s_durable * 1e3,
+            100.0 * (s_durable / s_plain - 1.0)
+        );
+    }
+}

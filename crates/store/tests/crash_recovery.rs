@@ -1,0 +1,546 @@
+//! Crash-recovery differential: for every durable engine × index
+//! variant, `pre-crash output ∪ recovered output` must be set-equal to
+//! the uninterrupted run — under random crash points, random mid-frame
+//! WAL truncation, and random checkpoint cadence — and recovery itself
+//! must never emit one pair twice.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use sssj_core::{JoinSpec, StreamJoin};
+use sssj_store::{recover, DurableJoin, DurableOptions};
+use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sssj-crash-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every engine × index variant the durability layer supports. The
+/// sharded entries cover the per-shard batch-boundary checkpoint path.
+fn engine_specs() -> Vec<&'static str> {
+    vec![
+        "str-inv?theta=0.6&lambda=0.3",
+        "str-ap?theta=0.6&lambda=0.3",
+        "str-l2ap?theta=0.6&lambda=0.3",
+        "str-l2?theta=0.6&lambda=0.3",
+        "mb-inv?theta=0.6&lambda=0.3",
+        "mb-ap?theta=0.6&lambda=0.3",
+        "mb-l2ap?theta=0.6&lambda=0.3",
+        "mb-l2?theta=0.6&lambda=0.3",
+        "decay?theta=0.6&model=window:4",
+        "decay?theta=0.6&model=window:4&bounds=l2",
+        "sharded?theta=0.6&lambda=0.3&shards=2&inner=str-l2",
+        "sharded?theta=0.6&lambda=0.3&shards=3&inner=str-l2ap",
+        "sharded?theta=0.6&lambda=0.3&shards=2&inner=mb-l2",
+        "sharded?theta=0.6&shards=2&inner=decay&model=window:4",
+    ]
+}
+
+/// A clustered random stream (the shape that exercises routing and
+/// window churn): ~pair-dense, timestamps advancing ~0.2/record so a
+/// τ≈1.7 horizon (θ=0.6, λ=0.3) spans a few dozen records.
+fn random_stream(seed: u64, n: usize) -> Vec<StreamRecord> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n as u64)
+        .map(|i| {
+            t += rng.random_range(0.0..0.4);
+            let entries: Vec<(u32, f64)> = (0..rng.random_range(1..5))
+                .map(|_| (rng.random_range(0..24u32), rng.random_range(0.1..1.0)))
+                .collect();
+            let mut b = SparseVectorBuilder::with_capacity(entries.len());
+            for (d, w) in entries {
+                b.push(d, w);
+            }
+            StreamRecord::new(i, Timestamp::new(t), b.build_normalized().unwrap())
+        })
+        .collect()
+}
+
+type PairKeys = BTreeSet<(u64, u64)>;
+
+fn keys(pairs: &[SimilarPair]) -> PairKeys {
+    pairs.iter().map(|p| p.key()).collect()
+}
+
+/// The uninterrupted run's pair set (the differential reference).
+fn uninterrupted(spec: &JoinSpec, stream: &[StreamRecord]) -> PairKeys {
+    let mut join = spec.build().unwrap_or_else(|e| panic!("{spec}: {e}"));
+    let mut out = Vec::new();
+    for r in stream {
+        join.process(r, &mut out);
+    }
+    join.finish(&mut out);
+    keys(&out)
+}
+
+/// Truncates the newest WAL segment at `cut` bytes (modulo its length),
+/// simulating a torn tail — possibly mid-frame, possibly mid-header.
+fn truncate_wal(dir: &Path, cut: u64) {
+    let wal_dir = dir.join("wal");
+    let mut segs: Vec<PathBuf> = fs::read_dir(&wal_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    segs.sort();
+    if let Some(last) = segs.last() {
+        let len = fs::metadata(last).unwrap().len();
+        if len > 0 {
+            fs::OpenOptions::new()
+                .write(true)
+                .open(last)
+                .unwrap()
+                .set_len(cut % len)
+                .unwrap();
+        }
+    }
+}
+
+/// One full crash → recover → continue cycle; asserts the differential
+/// and returns `(pre-crash keys, recovered keys)` for extra checks.
+fn crash_cycle(
+    spec_text: &str,
+    stream: &[StreamRecord],
+    crash_at: usize,
+    truncate: Option<u64>,
+    opts: DurableOptions,
+) -> (PairKeys, PairKeys) {
+    sssj_parallel::register_spec_builder();
+    let spec: JoinSpec = spec_text.parse().unwrap();
+    let expected = uninterrupted(&spec, stream);
+    let dir = tmp_dir("cycle");
+
+    // Pre-crash phase: process a prefix, then "crash" (drop without
+    // finish — no final checkpoint, in-flight sharded pairs lost).
+    let mut join = DurableJoin::open(&spec, &dir, opts).unwrap();
+    let mut pre = Vec::new();
+    for r in &stream[..crash_at] {
+        join.process(r, &mut pre);
+    }
+    drop(join);
+    if let Some(cut) = truncate {
+        truncate_wal(&dir, cut);
+    }
+
+    // Recovery phase: replay, then continue from where the store says.
+    let rec = recover(&dir).unwrap_or_else(|e| panic!("{spec_text}: recover: {e}"));
+    let ingested = rec.ingested as usize;
+    assert!(
+        ingested <= crash_at,
+        "{spec_text}: store claims more records than were fed"
+    );
+    let mut out = rec.replayed;
+    let mut join = rec.join;
+    if ingested < stream.len() {
+        assert_eq!(
+            join.resume_point().map(|(n, _)| n),
+            Some(rec.ingested),
+            "{spec_text}: resume point"
+        );
+    }
+    for r in &stream[ingested..] {
+        join.process(r, &mut out);
+    }
+    join.finish(&mut out);
+
+    // Recovery must never emit one pair twice.
+    let rec_keys = keys(&out);
+    assert_eq!(
+        rec_keys.len(),
+        out.len(),
+        "{spec_text}: recovered output contains duplicates"
+    );
+
+    // The differential: union == uninterrupted run.
+    let pre_keys = keys(&pre);
+    let union: BTreeSet<_> = pre_keys.union(&rec_keys).copied().collect();
+    assert_eq!(
+        union,
+        expected,
+        "{spec_text}: crash@{crash_at} truncate={truncate:?} union mismatch \
+         (missing: {:?}, extra: {:?})",
+        expected.difference(&union).collect::<Vec<_>>(),
+        union.difference(&expected).collect::<Vec<_>>()
+    );
+    let _ = fs::remove_dir_all(&dir);
+    (pre_keys, rec_keys)
+}
+
+#[test]
+fn crash_recovery_differential_every_engine_and_index() {
+    let stream = random_stream(7, 160);
+    let opts = DurableOptions {
+        segment_records: 16,
+        checkpoint_every: 32,
+        sync_appends: false,
+        fsync: false,
+    };
+    for spec in engine_specs() {
+        // Mid-stream crash, clean tail.
+        crash_cycle(spec, &stream, 90, None, opts);
+        // Mid-frame truncation (97 bytes into the newest segment).
+        crash_cycle(spec, &stream, 90, Some(97), opts);
+    }
+}
+
+#[test]
+fn truncation_inside_the_segment_header_drops_the_segment_cleanly() {
+    let stream = random_stream(11, 120);
+    let opts = DurableOptions {
+        segment_records: 16,
+        checkpoint_every: 32,
+        sync_appends: false,
+        fsync: false,
+    };
+    for cut in [0, 3, 15] {
+        crash_cycle("str-l2?theta=0.6&lambda=0.3", &stream, 70, Some(cut), opts);
+    }
+}
+
+#[test]
+fn no_pre_checkpoint_pair_is_emitted_twice() {
+    // STR emits pairs synchronously, so "emitted before the last
+    // checkpoint" is exactly the output surfaced while processing the
+    // first ⌊crash/k⌋·k records. None of those may reappear in the
+    // recovered output.
+    let stream = random_stream(13, 140);
+    let spec: JoinSpec = "str-l2?theta=0.6&lambda=0.3".parse().unwrap();
+    let k = 25usize;
+    let crash_at = 112; // last checkpoint at record 100
+    let opts = DurableOptions {
+        segment_records: 16,
+        checkpoint_every: k as u64,
+        sync_appends: false,
+        fsync: false,
+    };
+    let dir = tmp_dir("dupes");
+    let mut join = DurableJoin::open(&spec, &dir, opts).unwrap();
+    let mut pre = Vec::new();
+    let mut at_ckpt = 0usize;
+    for (i, r) in stream[..crash_at].iter().enumerate() {
+        join.process(r, &mut pre);
+        if (i + 1) % k == 0 {
+            at_ckpt = pre.len();
+        }
+    }
+    let before_ckpt = keys(&pre[..at_ckpt]);
+    assert!(!before_ckpt.is_empty(), "test needs pre-checkpoint pairs");
+    drop(join);
+
+    let rec = recover(&dir).unwrap();
+    let mut out = rec.replayed;
+    let mut join = rec.join;
+    for r in &stream[rec.ingested as usize..] {
+        join.process(r, &mut out);
+    }
+    join.finish(&mut out);
+    let dupes: Vec<_> = keys(&out).intersection(&before_ckpt).copied().collect();
+    assert!(
+        dupes.is_empty(),
+        "pairs emitted before the last checkpoint re-emitted by recovery: {dupes:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cadence_checkpoint_never_suppresses_undelivered_output() {
+    // The crash window the cadence checkpoint must survive: output that
+    // an engine handed back but the caller never delivered (crash
+    // before serve's writeln). The automatic checkpoint runs at the top
+    // of process() and publishes only pairs from *completed* calls, so
+    // discarding the final call's output must always be recoverable.
+    sssj_parallel::register_spec_builder();
+    let stream = random_stream(37, 120);
+    let k = 20u64;
+    for spec_text in [
+        "str-l2?theta=0.6&lambda=0.3",
+        "sharded?theta=0.6&lambda=0.3&shards=2&inner=str-l2",
+    ] {
+        let spec: JoinSpec = spec_text.parse().unwrap();
+        let expected = uninterrupted(&spec, &stream);
+        let dir = tmp_dir("undelivered");
+        let opts = DurableOptions {
+            segment_records: 16,
+            checkpoint_every: k,
+            sync_appends: false,
+            fsync: false,
+        };
+        // Two crash placements around the cadence boundary. `crash_at =
+        // k`: the crash lands with since_ckpt == k but before the next
+        // call would publish — no checkpoint may have claimed call k's
+        // pairs. `crash_at = k+1`: the publish fires inside call k+1,
+        // whose own output is the discarded one.
+        for crash_at in [k as usize, k as usize + 1] {
+            let _ = fs::remove_dir_all(&dir);
+            let mut join = DurableJoin::open(&spec, &dir, opts).unwrap();
+            let mut delivered = Vec::new();
+            for r in &stream[..crash_at - 1] {
+                join.process(r, &mut delivered);
+            }
+            let mut lost = Vec::new();
+            join.process(&stream[crash_at - 1], &mut lost);
+            drop(join); // crash before `lost` reaches anyone
+            drop(lost);
+
+            let rec = recover(&dir).unwrap();
+            let mut out = rec.replayed;
+            let mut join = rec.join;
+            for r in &stream[rec.ingested as usize..] {
+                join.process(r, &mut out);
+            }
+            join.finish(&mut out);
+            let union: BTreeSet<_> = keys(&delivered).union(&keys(&out)).copied().collect();
+            assert_eq!(
+                union,
+                expected,
+                "{spec_text} crash@{crash_at}: discarded output of the final call \
+                 must be recoverable (missing: {:?})",
+                expected.difference(&union).collect::<Vec<_>>()
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn finish_flush_right_after_cadence_checkpoint_is_still_published() {
+    // MB buffers within-window pairs until finish(); when a checkpoint
+    // lands right before finish (no record in between), the final
+    // publish must still happen — a pair emission alone marks the store
+    // dirty — otherwise resuming re-emits the whole finish flush.
+    let k = 40usize;
+    let stream = random_stream(41, k);
+    let spec: JoinSpec = "mb-l2?theta=0.6&lambda=0.3".parse().unwrap();
+    let dir = tmp_dir("finishflush");
+    let opts = DurableOptions {
+        segment_records: 16,
+        checkpoint_every: u64::MAX,
+        sync_appends: false,
+        fsync: false,
+    };
+    let mut join = DurableJoin::open(&spec, &dir, opts).unwrap();
+    let mut out = Vec::new();
+    for r in &stream {
+        join.process(r, &mut out);
+    }
+    // Explicit checkpoint immediately before finish: clears `dirty`
+    // with the finish flush still buffered inside the engine.
+    join.checkpoint(&mut out).unwrap();
+    join.finish(&mut out);
+    assert!(!out.is_empty(), "test needs a finish flush");
+    drop(join);
+
+    // Resume + finish must regenerate nothing: every finish pair was
+    // acknowledged by the final checkpoint.
+    let rec = recover(&dir).unwrap();
+    let mut again = rec.replayed;
+    let mut join = rec.join;
+    join.finish(&mut again);
+    assert!(
+        again.is_empty(),
+        "finish flush re-emitted after clean finish: {again:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn backwards_timestamps_are_rejected_at_append_not_at_recovery() {
+    // A logged out-of-order frame would read as corruption on the next
+    // open and truncate everything after it; the WAL must refuse it up
+    // front instead.
+    use sssj_types::vector::unit_vector;
+    let dir = tmp_dir("backwards");
+    fs::create_dir_all(&dir).unwrap();
+    let mut wal = sssj_store::Wal::create(&dir, 16, false).unwrap();
+    let rec = |id: u64, t: f64| StreamRecord::new(id, Timestamp::new(t), unit_vector(&[(1, 1.0)]));
+    wal.append(&rec(0, 10.0)).unwrap();
+    let err = wal.append(&rec(1, 9.5)).unwrap_err();
+    assert!(err.to_string().contains("out-of-order"), "{err}");
+    // Equal timestamps are fine; the log continues.
+    wal.append(&rec(2, 10.0)).unwrap();
+    assert_eq!(wal.next_seq(), 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_finish_resumes_without_replay_tail() {
+    let stream = random_stream(17, 80);
+    let spec: JoinSpec = "str-l2?theta=0.6&lambda=0.3".parse().unwrap();
+    let dir = tmp_dir("clean");
+    let opts = DurableOptions {
+        segment_records: 16,
+        checkpoint_every: 32,
+        sync_appends: false,
+        fsync: false,
+    };
+    let mut join = DurableJoin::open(&spec, &dir, opts).unwrap();
+    let mut out = Vec::new();
+    for r in &stream {
+        join.process(r, &mut out);
+    }
+    join.finish(&mut out);
+    drop(join);
+
+    // A cleanly finished store recovers with nothing to re-emit.
+    let rec = recover(&dir).unwrap();
+    assert!(
+        rec.replayed.is_empty(),
+        "clean finish left a replay tail: {:?}",
+        rec.replayed
+    );
+    assert_eq!(rec.ingested, stream.len() as u64);
+
+    // And the resumed join still pairs new arrivals with recovered
+    // in-horizon state.
+    let last_t = stream.last().unwrap().t.seconds();
+    let near = stream.last().unwrap().vector.clone();
+    let mut join = rec.join;
+    let mut more = Vec::new();
+    join.process(
+        &StreamRecord::new(stream.len() as u64, Timestamp::new(last_t + 0.01), near),
+        &mut more,
+    );
+    assert!(
+        more.iter().any(|p| p.left == stream.len() as u64 - 1),
+        "resumed join must pair with the pre-restart record: {more:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_gc_collects_behind_the_horizon() {
+    // τ ≈ 1.7 at (θ=0.6, λ=0.3); 600 records × ~0.2 s stride spans ~120 s
+    // of stream time, so almost every sealed segment falls behind the
+    // horizon and must be collected at checkpoints.
+    let stream = random_stream(19, 600);
+    let spec: JoinSpec = "str-l2?theta=0.6&lambda=0.3".parse().unwrap();
+    let dir = tmp_dir("gc");
+    let opts = DurableOptions {
+        segment_records: 32,
+        checkpoint_every: 64,
+        sync_appends: false,
+        fsync: false,
+    };
+    let mut join = DurableJoin::open(&spec, &dir, opts).unwrap();
+    let mut out = Vec::new();
+    for r in &stream {
+        join.process(r, &mut out);
+    }
+    assert!(
+        join.wal_segments_collected() > 0,
+        "horizon GC never collected a segment"
+    );
+    assert!(
+        join.wal_segments() < 8,
+        "retained segments grew without bound: {}",
+        join.wal_segments()
+    );
+    // GC must not break recovery: crash now and run the differential.
+    drop(join);
+    let expected = uninterrupted(&spec, &stream);
+    let rec = recover(&dir).unwrap();
+    let mut rec_out = rec.replayed;
+    let mut join = rec.join;
+    join.finish(&mut rec_out);
+    let union: BTreeSet<_> = keys(&out).union(&keys(&rec_out)).copied().collect();
+    assert_eq!(union, expected);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spec_mismatch_is_rejected() {
+    let dir = tmp_dir("mismatch");
+    let spec: JoinSpec = "str-l2?theta=0.6&lambda=0.3".parse().unwrap();
+    let join = DurableJoin::open(&spec, &dir, DurableOptions::default()).unwrap();
+    drop(join);
+    let other: JoinSpec = "mb-l2?theta=0.6&lambda=0.3".parse().unwrap();
+    let Err(err) = DurableJoin::open(&other, &dir, DurableOptions::default()) else {
+        panic!("mismatched spec must be rejected");
+    };
+    assert!(
+        err.to_string().contains("created for spec"),
+        "unexpected error: {err}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_spec_builds_and_resumes_through_the_factory() {
+    sssj_parallel::register_spec_builder();
+    sssj_store::register_spec_builder();
+    let dir = tmp_dir("factory");
+    let dir_s = dir.display().to_string();
+    let stream = random_stream(23, 60);
+
+    let spec: JoinSpec = format!("str-l2?theta=0.6&lambda=0.3&durable={dir_s}")
+        .parse()
+        .unwrap();
+    // Display/parse round-trip keeps the directory.
+    assert_eq!(spec.to_string().parse::<JoinSpec>().unwrap(), spec);
+
+    let mut join = spec.build().unwrap();
+    assert_eq!(join.name(), "STR-L2+wal");
+    assert_eq!(join.resume_point(), None, "fresh store");
+    let mut out = Vec::new();
+    for r in &stream[..40] {
+        join.process(r, &mut out);
+    }
+    drop(join); // crash
+
+    // Rebuilding the same spec resumes; the replay tail surfaces on the
+    // first process call and the resume point reports the WAL position.
+    let mut join = spec.build().unwrap();
+    let (n, t) = join.resume_point().expect("resumed store");
+    assert_eq!(n, 40);
+    assert_eq!(t, stream[39].t.seconds());
+    let mut out2 = Vec::new();
+    for r in &stream[40..] {
+        join.process(r, &mut out2);
+    }
+    join.finish(&mut out2);
+    let expected = uninterrupted(&"str-l2?theta=0.6&lambda=0.3".parse().unwrap(), &stream);
+    let union: BTreeSet<_> = keys(&out).union(&keys(&out2)).copied().collect();
+    assert_eq!(union, expected);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The satellite property: K records, checkpoint cadence k,
+    /// crash at a random record, truncate the WAL at a random byte,
+    /// recover, finish the stream — union set-equal to the
+    /// uninterrupted run, for a rotating sample of engine variants.
+    #[test]
+    fn union_equals_uninterrupted_run(
+        seed in 0u64..1000,
+        engine in 0usize..14,
+        crash_frac in 0.1f64..0.95,
+        ckpt_every in 8u64..48,
+        cut in proptest::option::of(0u64..4096),
+    ) {
+        let stream = random_stream(seed, 120);
+        let crash_at = ((stream.len() as f64) * crash_frac) as usize;
+        let opts = DurableOptions {
+            segment_records: 16,
+            checkpoint_every: ckpt_every,
+            sync_appends: false,
+            fsync: false,
+        };
+        let specs = engine_specs();
+        crash_cycle(specs[engine % specs.len()], &stream, crash_at.max(1), cut, opts);
+    }
+}

@@ -47,12 +47,62 @@
 //! The same grammar reaches the whole family — `mb-inv`,
 //! `decay?model=window:10`, `topk-l2?k=3`, `lsh?verify=est`,
 //! `sharded?shards=4&inner=mb-l2ap` (candidate-aware sharding around any
-//! shardable inner engine), plus `reorder=`/`checked`/`snapshot` wrappers
-//! (see [`core::spec`] for the grammar). The LSH and sharded engines
-//! live in their own crates: call [`register_all_engines`] once before
-//! building those two from specs in an embedding application (the
-//! workspace binaries — the CLI, the net server, the bench harness —
-//! already register them at startup).
+//! shardable inner engine), plus `reorder=`/`checked`/`snapshot`/
+//! `durable=` wrappers (see [`core::spec`] for the grammar). The LSH,
+//! sharded and durable constructors live in their own crates: call
+//! [`register_all_engines`] once before building those from specs in an
+//! embedding application (the workspace binaries — the CLI, the net
+//! server, the bench harness — already register them at startup).
+//!
+//! ## Durability: serve → kill → recover
+//!
+//! Appending `durable=<dir>` to a spec wraps the engine in the
+//! [`store`] subsystem: a segmented, CRC-framed write-ahead log of the
+//! record stream plus periodic checkpoints published under an atomic
+//! `MANIFEST`. Building the same spec again — after a crash, a
+//! `kill -9`, a redeploy — *resumes* from that state: the WAL tail is
+//! replayed through a fresh engine with output suppressed up to the
+//! last checkpoint, so no pair is delivered twice, and nothing inside
+//! the horizon is lost. The worked example (`sssj serve` → kill →
+//! `sssj recover`, shown here via the library API the CLI wraps):
+//!
+//! ```
+//! use sssj::prelude::*;
+//!
+//! # let dir = std::env::temp_dir().join(format!("sssj-facade-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! sssj::register_all_engines();
+//! let spec: JoinSpec = format!("str-l2?theta=0.7&lambda=0.1&durable={}", dir.display())
+//!     .parse().unwrap();
+//!
+//! // First incarnation: `sssj serve --durable <dir>` in the real
+//! // deployment. Two near-duplicates pair up; then the process dies
+//! // without warning (we just drop the join — no finish, no flush).
+//! let mut join = spec.build().unwrap();
+//! let mut out = Vec::new();
+//! join.process(&StreamRecord::new(0, Timestamp::new(0.0), unit_vector(&[(7, 1.0)])), &mut out);
+//! join.process(&StreamRecord::new(1, Timestamp::new(1.0), unit_vector(&[(7, 1.0)])), &mut out);
+//! assert_eq!(out.len(), 1); // pair (0, 1) was delivered pre-crash
+//! drop(join);               // ⚡ crash
+//!
+//! // Second incarnation: `sssj recover <dir>` / restarting the server.
+//! // The store replays its WAL; the session continues where it stopped
+//! // (resume_point = 2 records ingested) and new arrivals still pair
+//! // with pre-crash, in-horizon records.
+//! let mut join = spec.build().unwrap();
+//! let (ingested, watermark) = join.resume_point().unwrap();
+//! assert_eq!(ingested, 2);
+//! let mut out = Vec::new();
+//! join.process(
+//!     &StreamRecord::new(2, Timestamp::new(watermark + 0.5), unit_vector(&[(7, 1.0)])),
+//!     &mut out,
+//! );
+//! assert!(out.iter().any(|p| (p.left, p.right) == (1, 2)));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
+//! Recovery semantics, the WAL frame and `MANIFEST` formats, and the
+//! crash-differential guarantee are documented in [`store`].
 //!
 //! ## Crate map
 //!
@@ -68,6 +118,7 @@
 //! | [`lsh`] | approximate join: SimHash + banding + time filtering |
 //! | [`net`] | TCP join service: line-protocol server and client |
 //! | [`parallel`] | dimension-partitioned, candidate-aware sharded execution |
+//! | [`store`] | durability: segmented WAL, checkpoints, crash recovery |
 //! | [`textsim`] | set-similarity (Jaccard) joins, batch and streaming |
 //!
 //! ## The flat hot path
@@ -112,17 +163,19 @@ pub use sssj_lsh as lsh;
 pub use sssj_metrics as metrics;
 pub use sssj_net as net;
 pub use sssj_parallel as parallel;
+pub use sssj_store as store;
 pub use sssj_textsim as textsim;
 pub use sssj_types as types;
 
-/// Registers every engine that lives downstream of `sssj-core` (LSH,
-/// sharded) with the [`core::spec::JoinSpec`] factory. Idempotent; call
-/// it once before building `lsh?…` / `sharded-…` specs in an embedding
-/// application. (The workspace binaries — CLI, net server, bench
-/// harness — already do.)
+/// Registers every constructor that lives downstream of `sssj-core`
+/// (LSH, sharded, the durable store) with the [`core::spec::JoinSpec`]
+/// factory. Idempotent; call it once before building `lsh?…` /
+/// `sharded-…` / `…durable=` specs in an embedding application. (The
+/// workspace binaries — CLI, net server, bench harness — already do.)
 pub fn register_all_engines() {
     sssj_lsh::register_spec_builder();
     sssj_parallel::register_spec_builder();
+    sssj_store::register_spec_builder();
 }
 
 /// The one-stop import for applications.
@@ -130,13 +183,14 @@ pub mod prelude {
     pub use crate::register_all_engines;
     pub use sssj_core::{
         advise, advise_from_examples, build_algorithm, read_snapshot, run_stream, Advice,
-        DecaySpec, DecayStreaming, EngineSpec, Framework, JoinBuilder, JoinSpec, LshSpec,
-        MiniBatch, RecoverableJoin, ReorderBuffer, ShardableJoin, ShardedInner, SpecError,
+        Checkpointable, DecaySpec, DecayStreaming, EngineSpec, Framework, JoinBuilder, JoinSpec,
+        LshSpec, MiniBatch, RecoverableJoin, ReorderBuffer, ShardableJoin, ShardedInner, SpecError,
         SssjConfig, StreamJoin, Streaming, TopKJoin, WrapperSpec,
     };
     pub use sssj_index::{all_pairs, BatchIndex, BoundPolicy, IndexKind};
     pub use sssj_lsh::{LshJoin, LshParams};
     pub use sssj_parallel::{run_sharded, sharded_run, RoutingMode, ShardReport, ShardedJoin};
+    pub use sssj_store::{recover, DurableJoin, DurableOptions, StoreError};
     pub use sssj_types::{
         vector::unit_vector, Decay, DecayModel, SimilarPair, SparseVector, SparseVectorBuilder,
         StreamRecord, Timestamp, VectorId,
