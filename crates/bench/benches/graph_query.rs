@@ -1,0 +1,186 @@
+//! Extension: live-graph query latency under concurrent ingest.
+//!
+//! The graph subsystem (`sssj-graph`) opens a read-heavy workload on
+//! top of the write-heavy join path: *serve top-k-neighbour queries
+//! while the stream keeps flowing*. This bench measures three things on
+//! the Tweets-like n = 10⁵ workload (τ = 10 s horizon, the
+//! `ext_scale_stream` shape):
+//!
+//! * `ingest/plain` vs `ingest/graph` — what maintaining the graph
+//!   costs the join hot path (the tap + per-edge adjacency appends);
+//! * `topk/idle` — top-k query latency against a populated, quiescent
+//!   graph (the pure read path: flat adjacency scan through a k-heap);
+//! * `topk/under_ingest` — the same queries while a background thread
+//!   continuously re-ingests the stream through a graph-wrapped join,
+//!   contending for the graph mutex (the serving scenario).
+//!
+//! Query targets cycle over the live id window so every query hits a
+//! node with edges. Record the interleaved min-based A/B into
+//! `BENCH_pr5.json` (repo-root protocol: 6 interleaved rounds, compare
+//! `min_ns` on this 1-vCPU container). `BENCH_FAST=1` shrinks n for the
+//! CI smoke run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_core::{run_stream, JoinSpec, StreamJoin};
+use sssj_data::{generate, preset, Preset};
+use sssj_graph::build_with_handle;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Forgetting horizon, seconds — matches `ext_scale_stream`.
+const TAU: f64 = 10.0;
+/// Neighbours per top-k query.
+const K: usize = 10;
+
+fn scale() -> usize {
+    if std::env::var("BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+fn spec(theta: f64, graph: bool) -> JoinSpec {
+    let g = if graph { "&graph" } else { "" };
+    format!("str-l2?theta={theta}&tau={TAU}{g}")
+        .parse()
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    sssj_graph::register_spec_builder();
+    let n = scale();
+    let stream = generate(&preset(Preset::Tweets, n));
+    eprintln!("graph_query: n={n} tweets-like records, tau={TAU}s, k={K}");
+
+    let theta = 0.5;
+
+    // Sanity: the tap must not change the join's output. Drive the
+    // graph run manually so delivery stamps are logged — the stamps
+    // give the set of nodes with *live* edges at the watermark, which
+    // is what the queries must target (querying long-expired ids would
+    // measure an empty-map lookup, not the read path).
+    let plain_pairs = {
+        let mut join = spec(theta, false).build().unwrap();
+        run_stream(join.as_mut(), &stream).len()
+    };
+    let (mut gjoin, graph) = build_with_handle(&spec(theta, true)).unwrap();
+    let mut log: Vec<(u64, u64, f64)> = Vec::new();
+    let mut out = Vec::new();
+    for r in &stream {
+        out.clear();
+        gjoin.process(r, &mut out);
+        for p in &out {
+            log.push((p.left, p.right, r.t.seconds()));
+        }
+    }
+    out.clear();
+    gjoin.finish(&mut out);
+    let now = stream.last().unwrap().t.seconds();
+    for p in &out {
+        log.push((p.left, p.right, now));
+    }
+    assert_eq!(plain_pairs, log.len(), "graph tap changed the output");
+    let edges = graph.live_edges();
+    assert!(edges > 0, "workload sanity: no live edges to query");
+    // Nodes with at least one live edge, the query target pool (padded
+    // from the recent delivery log if the tail window is thin).
+    let mut targets: Vec<u64> = log
+        .iter()
+        .rev()
+        .take_while(|&&(_, _, t)| now - t <= 4.0 * TAU)
+        .flat_map(|&(l, r, _)| [l, r])
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    eprintln!(
+        "graph_query: {plain_pairs} pairs total, {edges} live edges, {} query targets",
+        targets.len()
+    );
+
+    // Ingest-side cost of maintaining the graph.
+    let mut g = c.benchmark_group("graph_ingest");
+    g.sample_size(5);
+    g.bench_function(BenchmarkId::new("plain", format!("theta={theta}")), |b| {
+        b.iter(|| {
+            let mut join = spec(theta, false).build().unwrap();
+            black_box(run_stream(join.as_mut(), &stream).len())
+        })
+    });
+    g.bench_function(BenchmarkId::new("graph", format!("theta={theta}")), |b| {
+        b.iter(|| {
+            let (mut join, _handle) = build_with_handle(&spec(theta, true)).unwrap();
+            black_box(run_stream(&mut join, &stream).len())
+        })
+    });
+    g.finish();
+
+    // Query latency: idle graph, then under concurrent ingest. Targets
+    // cycle over nodes that actually carry recent edges.
+    let window = (n as u64 / 50).max(1); // ~2% of the stream ≈ live ids
+    let mut g = c.benchmark_group("graph_query");
+    g.sample_size(5);
+    let cursor = AtomicU64::new(0);
+    g.bench_function(BenchmarkId::new("topk", "idle"), |b| {
+        b.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+            let node = targets[i % targets.len()];
+            black_box(graph.topk(node, K, now).len())
+        })
+    });
+
+    // Background ingest: re-feed the stream through a fresh graph tap
+    // sharing a pre-made handle (the join itself is built inside the
+    // thread — trait objects are not `Send`; the handle is), and query
+    // that handle while it runs.
+    let bg_handle = sssj_graph::GraphHandle::new(TAU);
+    let stop = Arc::new(AtomicBool::new(false));
+    let hi_water = Arc::new(AtomicU64::new(0));
+    let ingest = {
+        let stop = Arc::clone(&stop);
+        let hi_water = Arc::clone(&hi_water);
+        let stream = stream.clone();
+        let sink = bg_handle.clone();
+        let spec = spec(theta, false);
+        std::thread::spawn(move || {
+            let inner = spec.build().expect("core engine");
+            let mut bg_join = sssj_core::SinkedJoin::new(inner, sink);
+            let mut out = Vec::new();
+            for r in &stream {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                out.clear();
+                bg_join.process(r, &mut out);
+                hi_water.store(r.id, Ordering::Relaxed);
+            }
+            bg_join.finish(&mut out);
+        })
+    };
+    // Let the ingester build up a live window first.
+    while hi_water.load(Ordering::Relaxed) < window && !ingest.is_finished() {
+        std::thread::yield_now();
+    }
+    g.bench_function(BenchmarkId::new("topk", "under_ingest"), |b| {
+        b.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let hi = hi_water.load(Ordering::Relaxed);
+            let node = hi.saturating_sub(i % window.min(hi + 1));
+            // `now = 0` defers to the graph's internal clock (its
+            // `advance` is monotone), i.e. the ingester's watermark;
+            // targets trail the watermark, so they sit in the live
+            // window the ingester is currently building.
+            black_box(bg_handle.topk(node, K, 0.0).len())
+        })
+    });
+    stop.store(true, Ordering::Relaxed);
+    ingest.join().expect("ingest thread");
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

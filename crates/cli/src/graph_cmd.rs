@@ -1,0 +1,398 @@
+//! `sssj graph` — run a stream into a live similarity graph and query
+//! it.
+//!
+//! ```sh
+//! sssj graph tweets.bin --spec 'str-l2?theta=0.7&tau=10' \
+//!     --query 'topk 17 3; neighbors 17; component 17; stats'
+//! ```
+//!
+//! The spec gets the `graph` wrapper appended when absent, the stream is
+//! driven through the one spec factory, and each `;`-separated query is
+//! answered at end-of-stream against the live graph (at the stream
+//! watermark). With `--brute-force` the same queries are answered by
+//! recomputing from the run's emitted-pair log instead of the graph —
+//! identical output is the differential property, which CI's graph
+//! smoke diffs (and `crates/graph/tests/differential.rs` asserts at
+//! every prefix).
+
+use std::path::PathBuf;
+
+use sssj_core::{StreamJoin, WrapperSpec};
+use sssj_graph::{build_with_handle, GraphHandle};
+use sssj_types::SimilarPair;
+
+use crate::args::parse;
+use crate::commands::spec_from_args;
+use crate::io::load;
+
+/// One parsed `--query` item.
+#[derive(Clone, Copy, Debug)]
+pub enum Query {
+    /// `neighbors <node>`
+    Neighbors(u64),
+    /// `topk <node> <k>`
+    TopK(u64, usize),
+    /// `component <node>`
+    Component(u64),
+    /// `stats`
+    Stats,
+}
+
+/// Parses a `;`-separated query list: `neighbors N | topk N K |
+/// component N | stats`.
+pub fn parse_queries(s: &str) -> Result<Vec<Query>, String> {
+    let mut out = Vec::new();
+    for item in s.split(';') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let mut parts = item.split_ascii_whitespace();
+        let kind = parts.next().expect("non-empty item");
+        let mut num = |what: &str| -> Result<u64, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("query {item:?}: missing {what}"))?
+                .parse()
+                .map_err(|e| format!("query {item:?}: bad {what}: {e}"))
+        };
+        let q = match kind {
+            "neighbors" => Query::Neighbors(num("node")?),
+            "topk" => {
+                let node = num("node")?;
+                let k = num("k")? as usize;
+                if k == 0 {
+                    return Err(format!("query {item:?}: k must be >= 1"));
+                }
+                Query::TopK(node, k)
+            }
+            "component" => Query::Component(num("node")?),
+            "stats" => Query::Stats,
+            other => {
+                return Err(format!(
+                    "unknown query {other:?} (neighbors|topk|component|stats)"
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(format!("query {item:?}: trailing arguments"));
+        }
+        out.push(q);
+    }
+    if out.is_empty() {
+        return Err("no queries given (try --query 'stats')".into());
+    }
+    Ok(out)
+}
+
+/// The canonical one-line answer format, shared by the local command,
+/// the net client printer and the brute-force path so outputs diff
+/// cleanly.
+pub fn format_edge_list(label: &str, edges: &[(u64, f64)]) -> String {
+    let mut line = format!("{label}:");
+    for (id, sim) in edges {
+        line.push_str(&format!(" {id}:{sim:.6}"));
+    }
+    line
+}
+
+/// Formats one query answer from the live graph.
+fn answer_from_graph(q: Query, graph: &GraphHandle, now: f64) -> String {
+    match q {
+        Query::Neighbors(node) => {
+            let edges: Vec<(u64, f64)> = graph
+                .neighbors(node, now)
+                .iter()
+                .map(|e| (e.neighbor, e.similarity))
+                .collect();
+            format_edge_list(&format!("neighbors {node}"), &edges)
+        }
+        Query::TopK(node, k) => {
+            let edges: Vec<(u64, f64)> = graph
+                .topk(node, k, now)
+                .iter()
+                .map(|e| (e.neighbor, e.similarity))
+                .collect();
+            format_edge_list(&format!("topk {node} {k}"), &edges)
+        }
+        Query::Component(node) => {
+            let (root, size) = graph.component(node, now).unwrap_or((node, 0));
+            format!("component {node}: root={root} size={size}")
+        }
+        Query::Stats => {
+            let s = graph.stats(now);
+            format!(
+                "stats: nodes={} edges={} components={}",
+                s.nodes, s.edges, s.components
+            )
+        }
+    }
+}
+
+/// Formats one query answer by brute force over the delivery log
+/// (`(left, right, sim, stamp)` per delivered pair).
+fn answer_from_log(q: Query, log: &[(u64, u64, f64, f64)], horizon: f64, now: f64) -> String {
+    let live: Vec<&(u64, u64, f64, f64)> = log.iter().filter(|e| now - e.3 <= horizon).collect();
+    let neighbors = |node: u64| -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = live
+            .iter()
+            .filter_map(|&&(l, r, sim, _)| {
+                if l == node {
+                    Some((r, sim))
+                } else if r == node {
+                    Some((l, sim))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_by_key(|&(id, _)| id);
+        out
+    };
+    match q {
+        Query::Neighbors(node) => format_edge_list(&format!("neighbors {node}"), &neighbors(node)),
+        Query::TopK(node, k) => {
+            let mut all = neighbors(node);
+            all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            all.truncate(k);
+            format_edge_list(&format!("topk {node} {k}"), &all)
+        }
+        Query::Component(node) => {
+            // Breadth-first over the live edges.
+            let mut members = vec![node];
+            let mut frontier = vec![node];
+            while let Some(x) = frontier.pop() {
+                for (id, _) in neighbors(x) {
+                    if !members.contains(&id) {
+                        members.push(id);
+                        frontier.push(id);
+                    }
+                }
+            }
+            if members.len() == 1 && neighbors(node).is_empty() {
+                format!("component {node}: root={node} size=0")
+            } else {
+                let root = *members.iter().min().expect("non-empty");
+                format!("component {node}: root={root} size={}", members.len())
+            }
+        }
+        Query::Stats => {
+            let mut nodes: Vec<u64> = live.iter().flat_map(|&&(l, r, _, _)| [l, r]).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            // Count components by BFS sweep.
+            let mut seen: Vec<u64> = Vec::new();
+            let mut components = 0u64;
+            for &n in &nodes {
+                if seen.contains(&n) {
+                    continue;
+                }
+                components += 1;
+                let mut frontier = vec![n];
+                while let Some(x) = frontier.pop() {
+                    if seen.contains(&x) {
+                        continue;
+                    }
+                    seen.push(x);
+                    frontier.extend(neighbors(x).into_iter().map(|(id, _)| id));
+                }
+            }
+            format!(
+                "stats: nodes={} edges={} components={components}",
+                nodes.len(),
+                live.len()
+            )
+        }
+    }
+}
+
+/// Ensures the spec carries the `graph` wrapper, inserting it at its
+/// one valid position: directly above a durable/snapshot base (the
+/// grammar pins those to position 0 and `graph` to position 1 when
+/// `durable=` is present), innermost otherwise — so a user spec like
+/// `…&durable=D&reorder=2` gains the wrapper without tripping the
+/// position rule. Idempotent.
+fn with_graph_wrapper(mut spec: sssj_core::JoinSpec) -> sssj_core::JoinSpec {
+    if !spec.wrappers.contains(&WrapperSpec::Graph) {
+        let at = usize::from(matches!(
+            spec.wrappers.first(),
+            Some(WrapperSpec::Durable(_) | WrapperSpec::Snapshot)
+        ));
+        spec.wrappers.insert(at, WrapperSpec::Graph);
+    }
+    spec
+}
+
+/// `sssj graph FILE [--spec S | --theta --lambda --index --framework]
+/// --query 'Q[; Q…]' [--brute-force] [--pairs] [--quiet]`
+pub fn graph(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["brute-force", "pairs", "quiet"])?;
+    let [input] = p.positional.as_slice() else {
+        return Err("graph needs exactly one path".into());
+    };
+    let spec = with_graph_wrapper(spec_from_args(&p)?);
+    spec.validate().map_err(|e| e.to_string())?;
+    let queries = parse_queries(p.get("query").unwrap_or("stats"))?;
+    let records = load(&PathBuf::from(input))?;
+
+    sssj_net::register_spec_builders();
+    let (mut join, graph) = build_with_handle(&spec).map_err(|e| e.to_string())?;
+    let horizon = spec.horizon();
+    // The delivery log exists for the brute-force path only — on a
+    // dense stream it is O(total pairs) of extra heap the live graph
+    // does not need.
+    let brute_force = p.flag("brute-force");
+    let mut log: Vec<(u64, u64, f64, f64)> = Vec::new();
+    let mut delivered = 0u64;
+    let mut out: Vec<SimilarPair> = Vec::new();
+    let mut last_t = f64::NEG_INFINITY;
+    for record in &records {
+        out.clear();
+        join.process(record, &mut out);
+        last_t = last_t.max(record.t.seconds());
+        delivered += out.len() as u64;
+        for pair in &out {
+            if p.flag("pairs") {
+                println!("{} {} {:.6}", pair.left, pair.right, pair.similarity);
+            }
+            if brute_force {
+                log.push((pair.left, pair.right, pair.similarity, last_t));
+            }
+        }
+    }
+    out.clear();
+    join.finish(&mut out);
+    delivered += out.len() as u64;
+    for pair in &out {
+        if p.flag("pairs") {
+            println!("{} {} {:.6}", pair.left, pair.right, pair.similarity);
+        }
+        if brute_force {
+            log.push((pair.left, pair.right, pair.similarity, last_t));
+        }
+    }
+
+    if !p.flag("quiet") {
+        eprintln!(
+            "sssj: {} records -> {delivered} delivered pairs; answering {} quer{} at watermark t={last_t:.3}{}",
+            records.len(),
+            queries.len(),
+            if queries.len() == 1 { "y" } else { "ies" },
+            if brute_force {
+                " by brute force over the pair log"
+            } else {
+                ""
+            }
+        );
+    }
+    for q in queries {
+        let line = if brute_force {
+            answer_from_log(q, &log, horizon, last_t)
+        } else {
+            answer_from_graph(q, &graph, last_t)
+        };
+        println!("{line}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_core::JoinSpec;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn mini_file(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sssj-graph-cmd-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("mini.txt");
+        std::fs::write(&file, "0.0 7:1.0\n1.0 7:1.0\n2.0 7:1.0\n").unwrap();
+        file
+    }
+
+    #[test]
+    fn graph_wrapper_lands_above_a_durable_base() {
+        let spec: JoinSpec = "str-l2?theta=0.7&lambda=0.01&durable=/var/sssj&reorder=2"
+            .parse()
+            .unwrap();
+        let wrapped = with_graph_wrapper(spec);
+        assert!(wrapped.validate().is_ok(), "{wrapped}");
+        assert_eq!(
+            wrapped.to_string(),
+            "str-l2?theta=0.7&lambda=0.01&durable=/var/sssj&graph&reorder=2"
+        );
+        // Idempotent, and plain specs get it innermost.
+        let plain: JoinSpec = "str-l2?theta=0.7&lambda=0.01&graph".parse().unwrap();
+        assert_eq!(with_graph_wrapper(plain.clone()), plain);
+    }
+
+    #[test]
+    fn parse_queries_accepts_the_grammar() {
+        let qs = parse_queries("topk 5 3; neighbors 2;stats; component 0").unwrap();
+        assert_eq!(qs.len(), 4);
+        for bad in [
+            "",
+            "what 1",
+            "neighbors",
+            "neighbors x",
+            "topk 5",
+            "topk 5 0",
+            "stats 9",
+        ] {
+            assert!(parse_queries(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn graph_command_answers_queries() {
+        let file = mini_file("run");
+        graph(&argv(&[
+            file.to_str().unwrap(),
+            "--spec",
+            "str-l2?theta=0.5&tau=10",
+            "--query",
+            "neighbors 1; topk 1 1; component 2; stats",
+            "--quiet",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(file.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn graph_and_brute_force_agree() {
+        // The differential property at CLI level: both paths print the
+        // same answers (the test suite in sssj-graph covers every
+        // prefix; this covers the command plumbing end to end).
+        let file = mini_file("bf");
+        let records = load(&file).unwrap();
+        let spec: JoinSpec = "str-l2?theta=0.5&tau=10&graph".parse().unwrap();
+        sssj_net::register_spec_builders();
+        let (mut join, g) = build_with_handle(&spec).unwrap();
+        let mut log = Vec::new();
+        let mut out = Vec::new();
+        let mut last_t = f64::NEG_INFINITY;
+        for r in &records {
+            out.clear();
+            join.process(r, &mut out);
+            last_t = last_t.max(r.t.seconds());
+            for p in &out {
+                log.push((p.left, p.right, p.similarity, last_t));
+            }
+        }
+        for q in parse_queries("neighbors 0; topk 1 2; component 2; stats").unwrap() {
+            assert_eq!(
+                answer_from_graph(q, &g, last_t),
+                answer_from_log(q, &log, spec.horizon(), last_t),
+                "{q:?}"
+            );
+        }
+        std::fs::remove_dir_all(file.parent().unwrap()).ok();
+    }
+}

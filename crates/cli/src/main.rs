@@ -14,6 +14,7 @@ use std::process::ExitCode;
 mod args;
 mod commands;
 mod commands_ext;
+mod graph_cmd;
 mod io;
 mod net_cmd;
 mod recover;
@@ -40,6 +41,10 @@ commands:
                                             --lambda, --index, --broadcast)
   decay      generalised decay models      (<file>, --model, --theta,
                                             --pairs)
+  graph      live similarity-graph queries (<file>, --spec, --query
+                                            'topk N K; neighbors N;
+                                            component N; stats',
+                                            --brute-force, --pairs)
   serve      incremental join on stdin     (--spec | --theta, --lambda,
                                             --index; --tokenize, --quiet,
                                             --durable DIR)
@@ -48,14 +53,17 @@ commands:
                                             --lambda, --index, --framework)
   net-send   stream a file to a service    (<file>, --connect, --spec,
                                             --theta, --lambda, --index,
-                                            --quiet)
+                                            --quiet, --subscribe N,
+                                            --query 'topk N K; ...')
 
 run options:
   --spec S                full pipeline spec, e.g. str-l2?theta=0.7&reorder=5
                           (run `sssj specs` for one example per variant;
                           sharded?shards=4&inner=mb-l2ap runs MB workers;
                           append durable=DIR for WAL + checkpoints — the
-                          store resumes when DIR already holds a manifest)
+                          store resumes when DIR already holds a manifest;
+                          append graph for a live similarity graph served
+                          by `sssj graph` and the net QUERY/SUBSCRIBE verbs)
   --framework mb|str      (default str)
   --index inv|ap|l2ap|l2  (default l2)
   --theta T               similarity threshold in (0,1]   (default 0.7)
@@ -87,6 +95,7 @@ fn main() -> ExitCode {
         "lsh" => commands_ext::lsh(rest),
         "shards" => commands_ext::shards(rest),
         "decay" => commands_ext::decay(rest),
+        "graph" => graph_cmd::graph(rest),
         "serve" => serve::serve(rest),
         "recover" => recover::recover(rest),
         "net-serve" => net_cmd::net_serve(rest),

@@ -102,7 +102,15 @@ fn net_serve_impl(args: &[String], wait_on: &mut impl Read) -> Result<(), String
 }
 
 /// `sssj net-send <file> --connect 127.0.0.1:7878 [--spec S] [--theta
-/// --lambda --index --framework --quiet]`
+/// --lambda --index --framework --quiet] [--subscribe N]
+/// [--query 'topk N K; neighbors N; component N; stats']`
+///
+/// With a graph-wrapped `--spec` (`…&graph`), `--subscribe` registers
+/// for pushed `U` edge updates before streaming (printed as
+/// `update <node>: <left> <right> <sim>`), and `--query` answers each
+/// `;`-separated graph query over the wire after the stream finishes —
+/// in the same one-line format as the local `sssj graph` command, so
+/// the two diff cleanly.
 pub fn net_send(args: &[String]) -> Result<(), String> {
     let p = parse(args, &["quiet"])?;
     let [file] = p.positional.as_slice() else {
@@ -139,6 +147,16 @@ pub fn net_send(args: &[String]) -> Result<(), String> {
     if config != ConfigRequest::default() {
         client.configure(config).map_err(|e| e.to_string())?;
     }
+    let queries = p
+        .get("query")
+        .map(crate::graph_cmd::parse_queries)
+        .transpose()?;
+    if let Some(node) = p.get("subscribe") {
+        let node: u64 = node
+            .parse()
+            .map_err(|e| format!("--subscribe: bad node id: {e}"))?;
+        client.subscribe(node).map_err(|e| e.to_string())?;
+    }
 
     let mut total = 0u64;
     for r in &records {
@@ -153,6 +171,59 @@ pub fn net_send(args: &[String]) -> Result<(), String> {
         total += 1;
         if !quiet {
             println!("{} {} {}", pair.left, pair.right, pair.similarity);
+        }
+    }
+    for (node, pair) in client.take_updates() {
+        println!(
+            "update {node}: {} {} {:.6}",
+            pair.left, pair.right, pair.similarity
+        );
+    }
+    if let Some(queries) = queries {
+        use crate::graph_cmd::{format_edge_list, Query};
+        // An edge pair (node, neighbour) comes back id-normalised; the
+        // neighbour is whichever member is not the queried node.
+        let far = |node: u64, p: &sssj_types::SimilarPair| {
+            if p.left == node {
+                p.right
+            } else {
+                p.left
+            }
+        };
+        for q in queries {
+            let line = match q {
+                Query::Neighbors(node) => {
+                    let edges: Vec<(u64, f64)> = client
+                        .query_neighbors(node)
+                        .map_err(|e| e.to_string())?
+                        .iter()
+                        .map(|p| (far(node, p), p.similarity))
+                        .collect();
+                    format_edge_list(&format!("neighbors {node}"), &edges)
+                }
+                Query::TopK(node, k) => {
+                    let edges: Vec<(u64, f64)> = client
+                        .query_topk(node, k as u32)
+                        .map_err(|e| e.to_string())?
+                        .iter()
+                        .map(|p| (far(node, p), p.similarity))
+                        .collect();
+                    format_edge_list(&format!("topk {node} {k}"), &edges)
+                }
+                Query::Component(node) => {
+                    let (root, size) = client.query_component(node).map_err(|e| e.to_string())?;
+                    format!("component {node}: root={root} size={size}")
+                }
+                Query::Stats => {
+                    let fields = client.graph_stats().map_err(|e| e.to_string())?;
+                    let mut line = "stats:".to_string();
+                    for (k, v) in fields {
+                        line.push_str(&format!(" {k}={v}"));
+                    }
+                    line
+                }
+            };
+            println!("{line}");
         }
     }
     let stats = client.stats().map_err(|e| e.to_string())?;
@@ -237,5 +308,42 @@ mod tests {
     #[test]
     fn net_send_requires_a_file() {
         assert!(net_send(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn net_send_serves_graph_queries_and_subscriptions() {
+        let dir = std::env::temp_dir().join(format!("sssj-net-graph-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("mini.txt");
+        std::fs::write(&file, "0.0 7:1.0\n1.0 7:1.0\n2.0 7:1.0\n").unwrap();
+
+        let server = Server::bind("127.0.0.1:0", ServerOptions::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        net_send(&s(&[
+            file.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--spec",
+            "str-l2?theta=0.5&tau=10&graph",
+            "--subscribe",
+            "0",
+            "--query",
+            "neighbors 1; topk 1 1; component 2; stats",
+            "--quiet",
+        ]))
+        .unwrap();
+        // Queries against a non-graph session come back as errors.
+        let err = net_send(&s(&[
+            file.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--query",
+            "stats",
+            "--quiet",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no graph"), "{err}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -77,13 +77,9 @@ pub fn serve_streams<R: BufRead, W: Write>(
     }
     // A long-lived stdin service needs a finite forgetting horizon,
     // whichever way the pipeline was specified: λ = 0 (or an exp:0
-    // decay model) would mean nothing ever expires and the index grows
-    // without bound.
-    let horizon = match spec.engine {
-        sssj_core::EngineSpec::GenericDecay(d) => d.model.horizon(spec.theta),
-        _ => spec.config().tau(),
-    };
-    if !horizon.is_finite() {
+    // decay model) would mean nothing ever expires and the index — and
+    // any graph wrapper's edge set — grows without bound.
+    if !spec.horizon().is_finite() {
         return Err(
             "serve needs a finite forgetting horizon: use lambda > 0 or a windowed decay model"
                 .into(),

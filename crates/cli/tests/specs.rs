@@ -19,6 +19,9 @@ fn tmpdir(name: &str) -> PathBuf {
 /// What each advertised spec must build, asserted by `name()` fragments
 /// keyed on the spec string.
 fn expected_name_fragment(spec: &str) -> &'static str {
+    if spec.contains("&graph") {
+        return "graph(";
+    }
     if spec.contains("&reorder=") {
         return "Reorder(";
     }
@@ -69,7 +72,7 @@ fn every_advertised_spec_builds_and_names_match() {
             "missing {inner} in {stdout}"
         );
     }
-    for wrapper in ["&reorder=", "&checked", "&snapshot"] {
+    for wrapper in ["&reorder=", "&checked", "&snapshot", "&graph"] {
         assert!(
             lines.iter().any(|l| l.contains(wrapper)),
             "missing {wrapper} in {stdout}"
@@ -114,6 +117,8 @@ fn run_reaches_every_variant_through_spec_strings() {
         "sharded?theta=0.6&lambda=0.05&shards=2&inner=lsh",
         "str-l2?theta=0.6&lambda=0.05&checked&reorder=5",
         "str-l2?theta=0.6&lambda=0.05&snapshot",
+        "str-l2?theta=0.6&lambda=0.05&graph",
+        "sharded?theta=0.6&lambda=0.05&shards=2&inner=mb-l2&graph",
     ] {
         let out = bin()
             .arg("run")

@@ -29,7 +29,11 @@
 //!   window (monotonic deques), replacing `m̂λ` for non-exponential decay
 //!   models where the lazy-decay trick does not apply;
 //! * [`varint`] — LEB128/zigzag integer coding, the substrate of the
-//!   compressed snapshot format in `sssj-core`.
+//!   compressed snapshot format in `sssj-core`;
+//! * [`TimedBlock`] — the posting-block storage discipline generalised
+//!   over the entry payload (append + binary-search horizon expiry +
+//!   compaction/hysteresis policy), backing both [`PostingBlock`] and
+//!   the adjacency lists of the live similarity graph in `sssj-graph`.
 
 pub mod accumulator;
 pub mod circular;
@@ -38,6 +42,7 @@ pub mod hash;
 pub mod linked_hash;
 pub mod max_vector;
 pub mod posting;
+pub mod timed_block;
 pub mod varint;
 pub mod windowed_max;
 
@@ -48,4 +53,5 @@ pub use hash::{FxBuildHasher, FxHasher};
 pub use linked_hash::LinkedHashMap;
 pub use max_vector::MaxVector;
 pub use posting::{PackedPosting, PostingBlock};
+pub use timed_block::{TimedBlock, TimedEntry};
 pub use windowed_max::WindowedMaxVec;

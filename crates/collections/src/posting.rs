@@ -19,14 +19,14 @@
 //! share a cache line. The packed layout keeps appends at ring-buffer
 //! cost while retaining the flat-scan and binary-expiry wins.
 //!
-//! The storage is compacted in place (amortised O(1) per entry) once the
-//! dead prefix dominates, and capacity follows the paper's occupancy rule
-//! with deep hysteresis: it is released only when the live region falls
-//! far below the allocation, so a list whose occupancy is stable — the
-//! steady state — performs zero heap allocations.
+//! The storage discipline — `start`-cursor truncation, amortised in-place
+//! compaction, occupancy-rule capacity release with deep hysteresis —
+//! lives in the payload-generic [`TimedBlock`] so the live similarity
+//! graph of `sssj-graph` (whose adjacency lists follow the same
+//! append-and-expire pattern) reuses it; this type is the L2AP
+//! specialisation with the join engines' 4-field entry API.
 
-/// Initial per-list capacity (entries); one 256-byte allocation.
-const FIRST_CAP: usize = 8;
+use crate::timed_block::{TimedBlock, TimedEntry};
 
 /// One packed posting entry: the L2AP triple plus the arrival time.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -41,12 +41,17 @@ pub struct PackedPosting {
     pub t: f64,
 }
 
+impl TimedEntry for PackedPosting {
+    #[inline]
+    fn time(&self) -> f64 {
+        self.t
+    }
+}
+
 /// A flat posting list (single allocation) with O(1) front truncation.
 #[derive(Clone, Debug, Default)]
 pub struct PostingBlock {
-    buf: Vec<PackedPosting>,
-    /// Index of the first live entry; everything before it is dead.
-    start: usize,
+    block: TimedBlock<PackedPosting>,
 }
 
 impl PostingBlock {
@@ -58,38 +63,35 @@ impl PostingBlock {
     /// Number of live entries.
     #[inline]
     pub fn len(&self) -> usize {
-        self.buf.len() - self.start
+        self.block.len()
     }
 
     /// Whether the block has no live entries.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.buf.len() == self.start
+        self.block.is_empty()
     }
 
     /// Allocated entry capacity (for memory accounting).
     pub fn capacity(&self) -> usize {
-        self.buf.capacity()
+        self.block.capacity()
     }
 
     /// Estimated heap footprint in bytes.
     pub fn heap_bytes(&self) -> u64 {
-        (self.buf.capacity() * std::mem::size_of::<PackedPosting>()) as u64
+        self.block.heap_bytes()
     }
 
     /// The live entries, oldest first.
     #[inline]
     pub fn postings(&self) -> &[PackedPosting] {
-        &self.buf[self.start..]
+        self.block.entries()
     }
 
     /// Appends an entry at the new end.
     #[inline]
     pub fn push(&mut self, id: u64, weight: f64, prefix_norm: f64, t: f64) {
-        if self.buf.len() == self.buf.capacity() {
-            self.reserve_more();
-        }
-        self.buf.push(PackedPosting {
+        self.block.push(PackedPosting {
             id,
             weight,
             prefix_norm,
@@ -97,26 +99,9 @@ impl PostingBlock {
         });
     }
 
-    /// Growth is explicit (not `Vec`'s) so a dead prefix is compacted
-    /// away before any reallocation, the first allocation is
-    /// [`FIRST_CAP`] entries rather than `Vec`'s minimum, and the
-    /// compaction/shrink policy stays in one place.
-    #[cold]
-    fn reserve_more(&mut self) {
-        if self.start > 0 {
-            self.compact();
-            if self.buf.len() < self.buf.capacity() {
-                return; // Compaction made room; no growth needed.
-            }
-        }
-        let target = (self.buf.capacity() * 2).max(FIRST_CAP);
-        self.buf.reserve_exact(target - self.buf.len());
-    }
-
     /// Drops the `n` oldest live entries in O(1) (amortised).
     pub fn truncate_front(&mut self, n: usize) {
-        self.start += n.min(self.len());
-        self.maybe_compact();
+        self.block.truncate_front(n);
     }
 
     /// Drops every live entry whose time is `< cutoff`, assuming times
@@ -124,13 +109,7 @@ impl PostingBlock {
     /// and returns how many were dropped. O(log n) search + O(1)
     /// truncation.
     pub fn expire_before(&mut self, cutoff: f64) -> usize {
-        let live = self.postings();
-        if live.first().is_none_or(|e| e.t >= cutoff) {
-            return 0; // Nothing expired: the common steady-state case.
-        }
-        let n = live.partition_point(|e| e.t < cutoff);
-        self.truncate_front(n);
-        n
+        self.block.expire_before(cutoff)
     }
 
     /// Keeps only the entries for which `keep` returns `true`, preserving
@@ -138,62 +117,13 @@ impl PostingBlock {
     /// lists lose time order after re-indexing). Returns the number of
     /// removed entries.
     pub fn retain<F: FnMut(u64, f64, f64, f64) -> bool>(&mut self, mut keep: F) -> usize {
-        let mut w = 0;
-        for r in self.start..self.buf.len() {
-            let e = self.buf[r];
-            if keep(e.id, e.weight, e.prefix_norm, e.t) {
-                self.buf[w] = e;
-                w += 1;
-            }
-        }
-        // Only live entries count as removed; the dead prefix was already
-        // truncated away and is silently compacted over here.
-        let removed = (self.buf.len() - self.start) - w;
-        self.buf.truncate(w);
-        self.start = 0;
-        self.maybe_shrink();
-        removed
+        self.block
+            .retain(|e| keep(e.id, e.weight, e.prefix_norm, e.t))
     }
 
     /// Removes all entries; keeps the allocation.
     pub fn clear(&mut self) {
-        self.buf.clear();
-        self.start = 0;
-    }
-
-    /// Moves the live region to the front (capacity untouched).
-    fn compact(&mut self) {
-        if self.start > 0 {
-            self.buf.copy_within(self.start.., 0);
-            let live = self.buf.len() - self.start;
-            self.buf.truncate(live);
-            self.start = 0;
-        }
-    }
-
-    /// Compacts the dead prefix away once it outweighs the live region
-    /// (amortised O(1); capacity untouched unless occupancy collapsed).
-    fn maybe_compact(&mut self) {
-        let live = self.len();
-        if self.start >= live.max(32) {
-            self.compact();
-            self.maybe_shrink();
-        }
-    }
-
-    /// Occupancy-based capacity release with deep hysteresis: shrink only
-    /// when the live region falls below ⅛ of a non-trivial allocation,
-    /// and leave 4× headroom. A list oscillating around a steady
-    /// occupancy therefore never sheds-and-regrows capacity (that cycle
-    /// is a realloc per swing — the exact thing the zero-allocation
-    /// steady state forbids), while a genuine collapse — a horizon shift,
-    /// a burst draining away — still returns memory.
-    fn maybe_shrink(&mut self) {
-        let cap = self.buf.capacity();
-        let live = self.buf.len();
-        if cap > 64 && live * 8 < cap {
-            self.buf.shrink_to((live * 4).max(FIRST_CAP));
-        }
+        self.block.clear();
     }
 }
 

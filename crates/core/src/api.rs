@@ -83,6 +83,39 @@
 //! Supported engines: `str`, `mb`, `decay`, and `sharded` over those —
 //! the sharded driver checkpoints per shard at a batch boundary so the
 //! cut is consistent.
+//!
+//! # Querying the live graph
+//!
+//! [`JoinBuilder::graph`] (spec key `graph`) turns the join's pair
+//! stream into **queryable live state** (the `sssj-graph` subsystem):
+//! every delivered pair becomes an edge stamped with its delivery time
+//! and expiring at the pipeline's horizon ([`JoinSpec::horizon`]), and
+//! the graph serves *neighbours of X right now*, *X's top-k matches*
+//! (ranked by similarity), *X's connected component* (epoch-rebuilt
+//! union-find — unions are incremental, expiry triggers a lazy
+//! rebuild), and aggregate stats. The plumbing is the [`crate::PairSink`]
+//! trait: the wrapper hands each pair to the sink straight from the
+//! output buffer, no intermediate queue; for the sharded engine the
+//! sink hangs off the driver, which already funnels every worker's
+//! batched pair returns.
+//!
+//! ```text
+//! str-l2?theta=0.7&tau=10&graph                      tap any engine
+//! sharded?theta=0.6&tau=10&shards=4&inner=mb-l2ap&graph
+//! str-l2?theta=0.7&tau=10&durable=/var/sssj&graph    edges ride checkpoints
+//! ```
+//!
+//! Construction goes through the one spec factory once
+//! `sssj_graph::register_spec_builder()` has run (every workspace
+//! binary registers at startup); `sssj_graph::build_with_handle` is the
+//! same path but also hands back the query handle, which is what the
+//! net session serves `QUERY neighbors|topk|component|stats` and
+//! `SUBSCRIBE <node>` from (grammar in `sssj_net::protocol`) and what
+//! `sssj graph <file> --query '…'` prints. With `durable=`, the graph
+//! sits directly above the durable wrapper and its live edge set rides
+//! the checkpoint aux blob, so recovery restores edges whose member
+//! records are already behind the WAL horizon. A runnable serve → query
+//! doctest lives at the `sssj` facade crate root.
 
 use sssj_index::IndexKind;
 use sssj_types::{DecayModel, SimilarPair, StreamRecord};
@@ -247,6 +280,23 @@ impl JoinBuilder {
         self
     }
 
+    /// Maintains a live similarity graph over the pair stream (spec key
+    /// `graph`; built by `sssj-graph` once registered — see the
+    /// [module docs](self) for the query surface). Placed directly
+    /// above the durable wrapper when one is present, so graph edges
+    /// ride the checkpoint; idempotent.
+    pub fn graph(mut self) -> Self {
+        if self.spec.wrappers.contains(&WrapperSpec::Graph) {
+            return self;
+        }
+        let at = usize::from(matches!(
+            self.spec.wrappers.first(),
+            Some(WrapperSpec::Durable(_) | WrapperSpec::Snapshot)
+        ));
+        self.spec.wrappers.insert(at, WrapperSpec::Graph);
+        self
+    }
+
     /// The resolved configuration.
     pub fn config(&self) -> SssjConfig {
         self.spec.config()
@@ -355,6 +405,24 @@ mod tests {
             StreamRecord::new(2, Timestamp::new(2.0), unit_vector(&[(9, 1.0)])),
             StreamRecord::new(3, Timestamp::new(3.0), unit_vector(&[(1, 1.0)])),
         ]
+    }
+
+    #[test]
+    fn builder_graph_places_the_wrapper() {
+        let spec = JoinBuilder::new(0.7, 0.01).graph().graph().spec().clone();
+        assert_eq!(spec.to_string(), "str-l2?theta=0.7&lambda=0.01&graph");
+        // With durable, graph lands directly above it (position 1).
+        let spec = JoinBuilder::new(0.7, 0.01)
+            .graph()
+            .durable("/var/sssj")
+            .graph()
+            .spec()
+            .clone();
+        assert!(spec.validate().is_ok(), "{spec}");
+        assert_eq!(
+            spec.to_string(),
+            "str-l2?theta=0.7&lambda=0.01&durable=/var/sssj&graph"
+        );
     }
 
     #[test]

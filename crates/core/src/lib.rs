@@ -58,6 +58,7 @@ pub mod latency;
 pub mod minibatch;
 pub mod pipeline;
 pub mod reorder;
+pub mod sink;
 pub mod snapshot;
 pub mod spec;
 pub mod streaming;
@@ -75,6 +76,7 @@ pub use latency::{measure_report_delay, DelayStats};
 pub use minibatch::MiniBatch;
 pub use pipeline::{run_threaded, PipelineOutput};
 pub use reorder::{LateRecord, ReorderBuffer};
+pub use sink::{PairSink, SinkedJoin};
 pub use snapshot::{
     read_max_aux, read_snapshot, write_max_aux, RecoverableJoin, SnapshotError, MAX_SNAPSHOT_DIM,
 };

@@ -1,0 +1,134 @@
+//! [`PairSink`] — a push-style consumer of the join's pair output, and
+//! [`SinkedJoin`], the wrapper that feeds one from any [`StreamJoin`].
+//!
+//! Every engine in the workspace reports pairs by appending to the
+//! caller's `out` buffer; callers that *consume* the stream (the live
+//! similarity graph of `sssj-graph`, metrics taps, external publishers)
+//! previously had to drain that buffer into their own queue — one more
+//! copy and one more allocation per batch. A [`PairSink`] receives each
+//! pair by reference the moment it lands in the output buffer: the
+//! wrapper tracks the buffer's length across the inner `process` call
+//! and hands the new tail to the sink in place, so nothing is staged in
+//! an intermediate `Vec`.
+//!
+//! For the sharded engine the wrapper naturally hangs off the *driver*:
+//! workers batch pair returns through the driver's channel, the driver
+//! appends them to `out` inside `process`/`finish`, and the sink sees
+//! them right there — no per-worker plumbing.
+
+use sssj_types::{SimilarPair, StreamRecord};
+
+use crate::algorithm::StreamJoin;
+use sssj_metrics::JoinStats;
+
+/// A consumer of emitted pairs. `now` is the stream time at which the
+/// pair was *delivered* (the timestamp of the record whose processing
+/// surfaced it, or the stream watermark for end-of-stream flushes) —
+/// for engines that report with delay (MiniBatch windows, sharded
+/// batches) this is later than the pair's later member.
+pub trait PairSink {
+    /// Accepts one delivered pair.
+    fn accept(&mut self, pair: &SimilarPair, now: f64);
+}
+
+/// A [`StreamJoin`] wrapper pushing every delivered pair into a
+/// [`PairSink`] *in addition to* the normal output buffer. Transparent
+/// otherwise: stats, name and resume point forward to the inner join.
+pub struct SinkedJoin<S: PairSink> {
+    inner: Box<dyn StreamJoin>,
+    sink: S,
+    /// Newest delivered timestamp — the `now` stamp for finish flushes.
+    last_t: f64,
+}
+
+impl<S: PairSink> SinkedJoin<S> {
+    /// Wraps `inner`, feeding `sink`.
+    pub fn new(inner: Box<dyn StreamJoin>, sink: S) -> Self {
+        // A resumed durable join continues mid-stream: start the
+        // delivery clock at its watermark.
+        let last_t = inner.resume_point().map_or(f64::NEG_INFINITY, |(_, t)| t);
+        SinkedJoin {
+            inner,
+            sink,
+            last_t,
+        }
+    }
+
+    /// The sink (for querying consumers that expose state).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+}
+
+impl<S: PairSink> StreamJoin for SinkedJoin<S> {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        let start = out.len();
+        self.inner.process(record, out);
+        let now = record.t.seconds();
+        if now > self.last_t {
+            self.last_t = now;
+        }
+        for p in &out[start..] {
+            self.sink.accept(p, self.last_t);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimilarPair>) {
+        let start = out.len();
+        self.inner.finish(out);
+        for p in &out[start..] {
+            self.sink.accept(p, self.last_t);
+        }
+    }
+
+    fn stats(&self) -> JoinStats {
+        self.inner.stats()
+    }
+
+    fn live_postings(&self) -> u64 {
+        self.inner.live_postings()
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn resume_point(&self) -> Option<(u64, f64)> {
+        self.inner.resume_point()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SssjConfig, Streaming};
+    use sssj_index::IndexKind;
+    use sssj_types::{vector::unit_vector, Timestamp};
+
+    #[derive(Default)]
+    struct Collecting(Vec<(u64, u64, f64)>);
+
+    impl PairSink for Collecting {
+        fn accept(&mut self, pair: &SimilarPair, now: f64) {
+            self.0.push((pair.left, pair.right, now));
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_pair_with_its_delivery_time() {
+        let inner = Box::new(Streaming::new(SssjConfig::new(0.5, 0.01), IndexKind::L2));
+        let mut join = SinkedJoin::new(inner, Collecting::default());
+        let mut out = Vec::new();
+        for (i, t) in [0.0, 1.0, 2.0].into_iter().enumerate() {
+            let r = StreamRecord::new(i as u64, Timestamp::new(t), unit_vector(&[(1, 1.0)]));
+            join.process(&r, &mut out);
+        }
+        join.finish(&mut out);
+        // Three identical vectors: pairs (0,1)@1, (0,2)@2, (1,2)@2.
+        let mut seen = join.sink().0.clone();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, vec![(0, 1, 1.0), (0, 2, 2.0), (1, 2, 2.0)]);
+        // The sink saw exactly what the buffer got — no drop, no dup.
+        assert_eq!(out.len(), join.sink().0.len());
+    }
+}

@@ -14,7 +14,7 @@
 //! spec    := engine [ "-" index ] [ "?" param ( "&" param )* ]
 //! engine  := "str" | "mb" | "decay" | "topk" | "lsh" | "sharded"
 //! index   := "l2" | "l2ap" | "ap" | "inv"          (str/mb/topk)
-//! param   := key "=" value | "checked" | "snapshot"
+//! param   := key "=" value | "checked" | "snapshot" | "graph"
 //! ```
 //!
 //! Engine parameters (`&`-separated, order-insensitive):
@@ -53,6 +53,13 @@
 //! | `durable` | WAL + checkpoints under the given directory (innermost;  |
 //! |           | str/mb/decay and sharded over those; resumes from an     |
 //! |           | existing manifest — see `sssj-store`)                    |
+//! | `graph`   | live similarity graph over the pair stream (`sssj-graph`)|
+//! |           | — every emitted pair becomes a horizon-expiring edge,    |
+//! |           | queryable for neighbours / top-k / components. At most   |
+//! |           | one per spec; with `durable=` it sits directly above the |
+//! |           | durable wrapper and its edges ride the checkpoint aux,   |
+//! |           | so recovery restores the graph without replaying beyond  |
+//! |           | the WAL horizon                                          |
 //!
 //! Examples:
 //!
@@ -66,6 +73,8 @@
 //! sharded?theta=0.6&shards=4&inner=decay&model=window:10
 //! sharded?theta=0.6&lambda=0.1&shards=4&inner=lsh&bits=256&bands=32&verify=exact
 //! str-l2?theta=0.7&tau=10&durable=/var/sssj
+//! str-l2?theta=0.7&tau=10&graph
+//! sharded?theta=0.6&tau=10&shards=4&inner=str-l2&durable=/var/sssj&graph
 //! ```
 //!
 //! # Building
@@ -276,6 +285,16 @@ pub enum WrapperSpec {
     /// holds a manifest. Innermost; engines with a replay path only
     /// (str/mb/decay and sharded over those).
     Durable(String),
+    /// Live similarity graph (`sssj-graph`): every emitted pair becomes
+    /// an edge stamped with its delivery time and expiring at the
+    /// spec's horizon ([`JoinSpec::horizon`]); the graph serves
+    /// neighbour / top-k / component queries. At most one per spec.
+    /// Combined with [`WrapperSpec::Durable`] it must sit directly
+    /// above the durable wrapper (position 1): the graph is then built
+    /// *inside* the durability boundary and its live edges ride the
+    /// checkpoint aux blob, so recovery restores edges whose members
+    /// are already behind the WAL horizon.
+    Graph,
 }
 
 /// A declarative, serializable description of a complete join pipeline.
@@ -363,11 +382,26 @@ pub type DurableBuilder = fn(spec: &JoinSpec, dir: &str) -> Result<Box<dyn Strea
 pub type ShardedCheckpointableBuilder =
     fn(spec: &JoinSpec) -> Result<Box<dyn Checkpointable>, SpecError>;
 
+/// Constructor for [`WrapperSpec::Graph`] pipelines without a durable
+/// base, provided by `sssj-graph`: wraps an already-built inner join in
+/// the live-graph tap. Receives the full spec for the edge horizon
+/// ([`JoinSpec::horizon`]).
+pub type GraphBuilder = fn(inner: Box<dyn StreamJoin>, spec: &JoinSpec) -> Box<dyn StreamJoin>;
+
+/// Constructor building a graph-wrapped spec as a [`Checkpointable`]
+/// engine (the durable base of `…&durable=<dir>&graph` pipelines),
+/// provided by `sssj-graph`. Receives the spec with the graph wrapper
+/// still attached (and everything else stripped).
+pub type GraphCheckpointableBuilder =
+    fn(spec: &JoinSpec) -> Result<Box<dyn Checkpointable>, SpecError>;
+
 static LSH_BUILDER: OnceLock<LshBuilder> = OnceLock::new();
 static SHARDED_BUILDER: OnceLock<ShardedBuilder> = OnceLock::new();
 static LSH_SHARD_BUILDER: OnceLock<LshShardBuilder> = OnceLock::new();
 static DURABLE_BUILDER: OnceLock<DurableBuilder> = OnceLock::new();
 static SHARDED_CHECKPOINTABLE_BUILDER: OnceLock<ShardedCheckpointableBuilder> = OnceLock::new();
+static GRAPH_BUILDER: OnceLock<GraphBuilder> = OnceLock::new();
+static GRAPH_CHECKPOINTABLE_BUILDER: OnceLock<GraphCheckpointableBuilder> = OnceLock::new();
 
 /// Registers the LSH constructor (idempotent; first registration wins).
 /// Called by `sssj_lsh::register_spec_builder()`.
@@ -398,6 +432,19 @@ pub fn register_durable_builder(f: DurableBuilder) {
 /// `sssj_parallel::register_spec_builder()`.
 pub fn register_sharded_checkpointable_builder(f: ShardedCheckpointableBuilder) {
     let _ = SHARDED_CHECKPOINTABLE_BUILDER.set(f);
+}
+
+/// Registers the graph-wrapper constructor (idempotent; first
+/// registration wins). Called by `sssj_graph::register_spec_builder()`.
+pub fn register_graph_builder(f: GraphBuilder) {
+    let _ = GRAPH_BUILDER.set(f);
+}
+
+/// Registers the graph [`Checkpointable`] constructor (idempotent;
+/// first registration wins). Called by
+/// `sssj_graph::register_spec_builder()`.
+pub fn register_graph_checkpointable_builder(f: GraphCheckpointableBuilder) {
+    let _ = GRAPH_CHECKPOINTABLE_BUILDER.set(f);
 }
 
 impl JoinSpec {
@@ -457,6 +504,22 @@ impl JoinSpec {
     /// The `(θ, λ)` pair as an [`SssjConfig`].
     pub fn config(&self) -> SssjConfig {
         SssjConfig::new(self.theta, self.lambda)
+    }
+
+    /// The pipeline's *forgetting horizon* in stream-time seconds: how
+    /// long a record (or an emitted edge, for `graph`-wrapped specs)
+    /// stays output-relevant. `τ = ln(1/θ)/λ` for exponential decay, the
+    /// model's own horizon for the `decay` engine, and `∞` when λ = 0
+    /// (nothing ever expires).
+    pub fn horizon(&self) -> f64 {
+        match &self.engine {
+            EngineSpec::GenericDecay(d)
+            | EngineSpec::Sharded {
+                inner: ShardedInner::GenericDecay(d),
+                ..
+            } => d.model.horizon(self.theta),
+            _ => self.config().tau(),
+        }
     }
 
     /// Splits off an *outermost* reorder wrapper, if present: returns the
@@ -654,6 +717,21 @@ impl JoinSpec {
                         ));
                     }
                 }
+                WrapperSpec::Graph => {
+                    if self.wrappers[..pos]
+                        .iter()
+                        .any(|w| matches!(w, WrapperSpec::Graph))
+                    {
+                        return Err(invalid("graph may appear at most once"));
+                    }
+                    let durable = matches!(self.wrappers.first(), Some(WrapperSpec::Durable(_)));
+                    if durable && pos != 1 {
+                        return Err(invalid(
+                            "with durable=, graph must sit directly above the durable \
+                             wrapper (listed second): its edges ride the checkpoint",
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -677,7 +755,11 @@ impl JoinSpec {
                     .get()
                     .ok_or(SpecError::EngineUnavailable("durable"))?;
                 let mut bare = self.clone();
-                bare.wrappers.clear();
+                // A graph wrapper stays on the bare spec: it is built
+                // *inside* the durability boundary (via
+                // [`JoinSpec::build_checkpointable`]) so its edges ride
+                // the checkpoint aux blob.
+                bare.wrappers.retain(|w| matches!(w, WrapperSpec::Graph));
                 f(&bare, dir)?
             } else {
                 let snapshot_base = matches!(self.wrappers.first(), Some(WrapperSpec::Snapshot));
@@ -712,10 +794,22 @@ impl JoinSpec {
                     }
                 }
             };
+        let graph_in_base = matches!(self.wrappers.first(), Some(WrapperSpec::Durable(_)));
         for w in &self.wrappers {
             join = match w {
                 // Consumed as the base above.
                 WrapperSpec::Snapshot | WrapperSpec::Durable(_) => join,
+                WrapperSpec::Graph => {
+                    if graph_in_base {
+                        // Already built inside the durable base.
+                        join
+                    } else {
+                        let f = GRAPH_BUILDER
+                            .get()
+                            .ok_or(SpecError::EngineUnavailable("graph"))?;
+                        f(join, self)
+                    }
+                }
                 WrapperSpec::Reorder(slack) => Box::new(ReorderBuffer::new(join, *slack)),
                 WrapperSpec::Checked => Box::new(CheckedJoin::new(join, self.config())),
             };
@@ -732,10 +826,19 @@ impl JoinSpec {
     /// [`register_sharded_checkpointable_builder`]).
     pub fn build_checkpointable(&self) -> Result<Box<dyn Checkpointable>, SpecError> {
         self.validate()?;
+        if self.wrappers == [WrapperSpec::Graph] {
+            // A graph-wrapped durable base: `sssj-graph` builds the bare
+            // engine (through this function, graph wrapper stripped) and
+            // taps it, checkpointing the live edge set as aux state.
+            let f = GRAPH_CHECKPOINTABLE_BUILDER
+                .get()
+                .ok_or(SpecError::EngineUnavailable("graph"))?;
+            return f(self);
+        }
         if !self.wrappers.is_empty() {
             return Err(invalid(
-                "build_checkpointable requires a wrapper-free spec: the durable \
-                 layer wraps the bare engine",
+                "build_checkpointable requires a wrapper-free spec (or exactly the \
+                 graph wrapper): the durable layer wraps the bare engine",
             ));
         }
         Ok(match &self.engine {
@@ -878,6 +981,7 @@ impl JoinSpec {
                     }
                     WrapperSpec::Checked => s.push_str("[\"checked\"]"),
                     WrapperSpec::Snapshot => s.push_str("[\"snapshot\"]"),
+                    WrapperSpec::Graph => s.push_str("[\"graph\"]"),
                     // validate() bans quotes/backslashes in the dir, so
                     // the string embeds without escaping.
                     WrapperSpec::Durable(dir) => {
@@ -990,6 +1094,7 @@ impl JoinSpec {
                             ),
                             ("checked", 1) => WrapperSpec::Checked,
                             ("snapshot", 1) => WrapperSpec::Snapshot,
+                            ("graph", 1) => WrapperSpec::Graph,
                             ("durable", 2) => WrapperSpec::Durable(
                                 entry[1]
                                     .as_str()
@@ -1324,6 +1429,12 @@ impl FromStr for JoinSpec {
                     "durable" => params
                         .wrappers
                         .push(WrapperSpec::Durable(want(key, value)?.to_string())),
+                    "graph" => {
+                        if value.is_some() {
+                            return Err(parse_err("graph takes no value"));
+                        }
+                        params.wrappers.push(WrapperSpec::Graph);
+                    }
                     other => return Err(parse_err(format!("unknown key {other:?}"))),
                 }
             }
@@ -1386,6 +1497,7 @@ impl fmt::Display for JoinSpec {
                 WrapperSpec::Checked => f.write_str("&checked")?,
                 WrapperSpec::Snapshot => f.write_str("&snapshot")?,
                 WrapperSpec::Durable(dir) => write!(f, "&durable={dir}")?,
+                WrapperSpec::Graph => f.write_str("&graph")?,
             }
         }
         Ok(())
@@ -1665,6 +1777,10 @@ mod tests {
             "str-l2?theta=0.7&lambda=0.01&reorder=5",
             "str-l2?theta=0.7&lambda=0.01&checked&reorder=2",
             "str-l2?theta=0.7&lambda=0.01&snapshot",
+            "str-l2?theta=0.7&lambda=0.01&graph",
+            "str-l2?theta=0.7&lambda=0.01&graph&reorder=5",
+            "sharded?theta=0.6&lambda=0.1&shards=2&inner=mb-l2ap&graph",
+            "str-l2?theta=0.7&lambda=0.01&durable=/var/sssj&graph",
         ] {
             let spec = parse(s);
             assert_eq!(spec.to_string(), s, "not canonical: {s}");
@@ -1762,6 +1878,24 @@ mod tests {
     }
 
     #[test]
+    fn graph_wrapper_rules() {
+        // At most one graph; with durable it must sit directly above.
+        assert!("str-l2?graph".parse::<JoinSpec>().is_ok());
+        assert!("str-l2?durable=/tmp/g&graph".parse::<JoinSpec>().is_ok());
+        assert!("mb-l2?graph&checked".parse::<JoinSpec>().is_ok());
+        let spec: JoinSpec = "str-l2?theta=0.7&lambda=0.01&graph".parse().unwrap();
+        assert!((spec.horizon() - (1.0f64 / 0.7).ln() / 0.01).abs() < 1e-9);
+        // Unregistered in sssj-core: the graph crate lives downstream.
+        for s in ["str-l2?graph", "str-l2?graph&reorder=2"] {
+            match s.parse::<JoinSpec>().unwrap().build() {
+                Err(SpecError::EngineUnavailable("graph")) => {}
+                Err(e) => panic!("{s}: expected graph-unavailable, got {e:?}"),
+                Ok(_) => panic!("{s}: built without registration"),
+            }
+        }
+    }
+
+    #[test]
     fn unregistered_extensions_report_unavailable() {
         // This unit test runs inside sssj-core, where the lsh/parallel
         // constructors cannot exist; the error must say so. (Downstream
@@ -1819,6 +1953,9 @@ mod tests {
             "str?lambda=-1",
             "str?reorder=-2",
             "str?tau=0",
+            "str?graph=1",
+            "str?graph&graph",
+            "str?durable=/tmp/x&reorder=1&graph",
         ] {
             assert!(s.parse::<JoinSpec>().is_err(), "accepted {s:?}");
         }
@@ -1878,6 +2015,8 @@ mod tests {
             "sharded?theta=0.6&shards=2&inner=decay&model=poly:2:5&bounds=l2",
             "sharded?theta=0.6&lambda=0.1&shards=2&inner=lsh&bits=128&bands=16&verify=est",
             "str-l2?theta=0.7&lambda=0.01&snapshot&checked&reorder=2.5",
+            "str-l2?theta=0.7&lambda=0.01&graph&reorder=2",
+            "mb-l2?theta=0.7&lambda=0.01&durable=/var/sssj&graph",
         ] {
             let spec = parse(s);
             let json = spec.to_json();

@@ -92,12 +92,13 @@ fn join_spec() -> impl Strategy<Value = JoinSpec> {
                 Just("rel/store.d"),
                 Just("/tmp/sssj-∂-unicode"),
             ]),
+            any::<bool>(), // graph
         ),
     )
         .prop_map(
             |(
                 (engine, index, theta, lambda),
-                (snapshot, checked, reorder, reorder_first, durable),
+                (snapshot, checked, reorder, reorder_first, durable, graph),
             )| {
                 let mut spec = JoinSpec {
                     engine,
@@ -148,6 +149,12 @@ fn join_spec() -> impl Strategy<Value = JoinSpec> {
                 if snapshot && durable.is_none() && engine == EngineSpec::Streaming {
                     spec.wrappers.push(WrapperSpec::Snapshot);
                 }
+                // Graph rides any engine; with durable it must sit
+                // directly above (position 1), which pushing here —
+                // right after the durable/snapshot base — satisfies.
+                if graph {
+                    spec.wrappers.push(WrapperSpec::Graph);
+                }
                 let reorder = reorder.map(|s| WrapperSpec::Reorder(s as f64 / 100.0));
                 if reorder_first {
                     spec.wrappers.extend(reorder.clone());
@@ -197,7 +204,7 @@ proptest! {
         ) && !spec
             .wrappers
             .iter()
-            .any(|w| matches!(w, WrapperSpec::Durable(_)));
+            .any(|w| matches!(w, WrapperSpec::Durable(_) | WrapperSpec::Graph));
         if buildable_here {
             let a = spec.build().unwrap_or_else(|e| panic!("{spec}: {e}"));
             let reparsed: JoinSpec = spec.to_string().parse().unwrap();

@@ -1,0 +1,239 @@
+//! The stream-side wiring: [`GraphHandle`] (the shared, queryable
+//! graph), [`GraphJoin`] (the [`StreamJoin`] tap feeding it), and
+//! [`GraphedEngine`] (the [`Checkpointable`] variant whose edges ride
+//! the durable checkpoint).
+
+use std::sync::{Arc, Mutex};
+
+use sssj_core::{Checkpointable, PairSink, SinkedJoin, StreamJoin};
+use sssj_metrics::JoinStats;
+use sssj_types::{SimilarPair, StreamRecord};
+
+use crate::graph::{Edge, GraphStats, SimilarityGraph};
+
+/// A cloneable, thread-safe handle to a live [`SimilarityGraph`].
+///
+/// The ingest side pushes edges through the [`PairSink`] impl; any
+/// number of query-side holders (net sessions, the CLI, benches) ask
+/// for neighbours, top-k, components and stats concurrently. Queries
+/// take the graph's `now` from the caller — pass the stream watermark,
+/// so expiry is judged against the data's clock, not the wall clock.
+#[derive(Clone)]
+pub struct GraphHandle(Arc<Mutex<SimilarityGraph>>);
+
+impl GraphHandle {
+    /// A handle to a fresh graph with the given edge horizon.
+    pub fn new(horizon: f64) -> Self {
+        GraphHandle(Arc::new(Mutex::new(SimilarityGraph::new(horizon))))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimilarityGraph> {
+        self.0.lock().expect("graph lock poisoned")
+    }
+
+    /// The live neighbours of `node` at stream time `now`, sorted by
+    /// neighbour id.
+    pub fn neighbors(&self, node: u64, now: f64) -> Vec<Edge> {
+        self.lock().neighbors(node, now)
+    }
+
+    /// The `k` best live neighbours of `node` at `now`, best first.
+    pub fn topk(&self, node: u64, k: usize, now: f64) -> Vec<Edge> {
+        self.lock().topk(node, k, now)
+    }
+
+    /// `node`'s connected component at `now`: `(canonical minimum
+    /// member id, size)`, or `None` for a node with no live edge.
+    pub fn component(&self, node: u64, now: f64) -> Option<(u64, u64)> {
+        self.lock().component(node, now)
+    }
+
+    /// Aggregate graph counters at `now`.
+    pub fn stats(&self, now: f64) -> GraphStats {
+        self.lock().stats(now)
+    }
+
+    /// Live edge count (no sweep; cheap).
+    pub fn live_edges(&self) -> u64 {
+        self.lock().live_edges()
+    }
+}
+
+impl PairSink for GraphHandle {
+    fn accept(&mut self, pair: &SimilarPair, now: f64) {
+        self.lock()
+            .add_edge(pair.left, pair.right, pair.similarity, now);
+    }
+}
+
+/// A [`StreamJoin`] wrapper maintaining a live similarity graph from
+/// the inner join's pair output ([`sssj_core::SinkedJoin`] over a
+/// [`GraphHandle`]). For the sharded engine the tap wraps the *driver*:
+/// workers batch pairs back through the driver's channels, and the sink
+/// sees them as the driver surfaces them.
+pub struct GraphJoin {
+    tap: SinkedJoin<GraphHandle>,
+    handle: GraphHandle,
+}
+
+impl GraphJoin {
+    /// Taps `inner`, feeding a fresh graph whose edges expire `horizon`
+    /// seconds after delivery.
+    pub fn new(inner: Box<dyn StreamJoin>, horizon: f64) -> Self {
+        let handle = GraphHandle::new(horizon);
+        GraphJoin {
+            tap: SinkedJoin::new(inner, handle.clone()),
+            handle,
+        }
+    }
+
+    /// The queryable graph handle (clone freely).
+    pub fn handle(&self) -> GraphHandle {
+        self.handle.clone()
+    }
+}
+
+impl StreamJoin for GraphJoin {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        self.tap.process(record, out);
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimilarPair>) {
+        self.tap.finish(out);
+    }
+
+    fn stats(&self) -> JoinStats {
+        self.tap.stats()
+    }
+
+    fn live_postings(&self) -> u64 {
+        self.tap.live_postings()
+    }
+
+    fn name(&self) -> String {
+        format!("graph({})", self.tap.name())
+    }
+
+    fn resume_point(&self) -> Option<(u64, f64)> {
+        self.tap.resume_point()
+    }
+}
+
+/// The [`Checkpointable`] graph tap — the durable base of
+/// `…&durable=<dir>&graph` pipelines.
+///
+/// The graph sits *inside* the durability boundary: its live edge set
+/// is appended to the engine's checkpoint aux blob, so recovery
+/// restores edges whose members are already behind the WAL horizon —
+/// the WAL alone could never regenerate them (their records are
+/// garbage-collected), and the checkpointed emitted-pair set carries no
+/// similarity scores. Replay re-delivers post-checkpoint pairs into the
+/// restored graph; the restored-pair suppression set (see
+/// [`SimilarityGraph::load_aux`]) keeps those from duplicating edges.
+pub struct GraphedEngine {
+    inner: Box<dyn Checkpointable>,
+    handle: GraphHandle,
+    /// Newest delivered timestamp (stamp for finish/quiesce flushes).
+    last_t: f64,
+}
+
+impl GraphedEngine {
+    /// Taps the checkpointable `inner`, feeding a fresh graph.
+    pub fn new(inner: Box<dyn Checkpointable>, horizon: f64) -> Self {
+        GraphedEngine {
+            inner,
+            handle: GraphHandle::new(horizon),
+            last_t: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The queryable graph handle (clone freely).
+    pub fn handle(&self) -> GraphHandle {
+        self.handle.clone()
+    }
+
+    /// Pushes `out[start..]` into the graph, stamped at the delivery
+    /// watermark.
+    fn feed_tail(&mut self, out: &[SimilarPair], start: usize) {
+        if out.len() == start {
+            return;
+        }
+        let mut g = self.handle.lock();
+        for p in &out[start..] {
+            g.add_edge(p.left, p.right, p.similarity, self.last_t);
+        }
+    }
+}
+
+impl StreamJoin for GraphedEngine {
+    fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
+        let start = out.len();
+        self.inner.process(record, out);
+        let now = record.t.seconds();
+        if now > self.last_t {
+            self.last_t = now;
+        }
+        self.feed_tail(out, start);
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimilarPair>) {
+        let start = out.len();
+        self.inner.finish(out);
+        self.feed_tail(out, start);
+    }
+
+    fn stats(&self) -> JoinStats {
+        self.inner.stats()
+    }
+
+    fn live_postings(&self) -> u64 {
+        self.inner.live_postings()
+    }
+
+    fn name(&self) -> String {
+        format!("graph({})", self.inner.name())
+    }
+
+    fn resume_point(&self) -> Option<(u64, f64)> {
+        self.inner.resume_point()
+    }
+}
+
+impl Checkpointable for GraphedEngine {
+    /// `u64 inner_len` + the engine's aux + the graph's live edge set.
+    fn write_aux(&mut self, out: &mut Vec<u8>) {
+        let mut inner = Vec::new();
+        self.inner.write_aux(&mut inner);
+        out.extend_from_slice(&(inner.len() as u64).to_le_bytes());
+        out.extend_from_slice(&inner);
+        self.handle.lock().write_aux(self.last_t, out);
+    }
+
+    fn read_aux(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.len() < 8 {
+            return Err("graph aux: truncated header".into());
+        }
+        let inner_len = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+        let rest = &bytes[8..];
+        if rest.len() < inner_len {
+            return Err("graph aux: truncated inner blob".into());
+        }
+        self.inner.read_aux(&rest[..inner_len])?;
+        let mut g = self.handle.lock();
+        g.load_aux(&rest[inner_len..])?;
+        if g.now() > self.last_t {
+            self.last_t = g.now();
+        }
+        Ok(())
+    }
+
+    fn replay_horizon(&self) -> f64 {
+        self.inner.replay_horizon()
+    }
+
+    fn quiesce(&mut self, out: &mut Vec<SimilarPair>) {
+        let start = out.len();
+        self.inner.quiesce(out);
+        self.feed_tail(out, start);
+    }
+}

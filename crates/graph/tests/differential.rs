@@ -1,0 +1,320 @@
+//! Differential suite for the live similarity graph: after **any
+//! prefix** of the stream, graph queries — neighbour sets, top-k,
+//! components — must equal a brute-force recomputation from the
+//! engine's emitted-pair log, for str/mb/decay/sharded inners × random
+//! horizons.
+//!
+//! The brute force consumes the *same delivery log* the graph does
+//! (pairs as they surface from `process`/`finish`, stamped with the
+//! delivering record's time), so engines that report with delay
+//! (MiniBatch windows, sharded batches — whose delivery timing is even
+//! nondeterministic across runs) are compared against their own
+//! observed behaviour, which is exactly the graph's contract: it
+//! mirrors the pair *stream*, not a hypothetical oracle.
+
+use proptest::prelude::*;
+use sssj_core::{JoinSpec, StreamJoin};
+use sssj_graph::{build_with_handle, GraphHandle};
+use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
+
+/// One delivery-log entry: the pair plus its delivery stamp.
+type LogEntry = (u64, u64, f64, f64); // left, right, sim, stamp
+
+/// Brute-force model of the graph at `now`: live log entries only.
+struct BruteForce<'a> {
+    log: &'a [LogEntry],
+    horizon: f64,
+    now: f64,
+}
+
+impl BruteForce<'_> {
+    fn live(&self) -> impl Iterator<Item = &LogEntry> + '_ {
+        self.log.iter().filter(|e| self.now - e.3 <= self.horizon)
+    }
+
+    /// `(neighbor, sim)` pairs of `node`, sorted by neighbour id.
+    fn neighbors(&self, node: u64) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self
+            .live()
+            .filter_map(|&(l, r, sim, _)| {
+                if l == node {
+                    Some((r, sim))
+                } else if r == node {
+                    Some((l, sim))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Top-k by (sim desc, neighbour id asc).
+    fn topk(&self, node: u64, k: usize) -> Vec<(u64, f64)> {
+        let mut all = self.neighbors(node);
+        all.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite sims")
+                .then(a.0.cmp(&b.0))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// `(min member id, size)` of `node`'s component, `None` if isolated.
+    fn component(&self, node: u64) -> Option<(u64, u64)> {
+        // Tiny union-find over the live node set.
+        let mut nodes: Vec<u64> = self.live().flat_map(|&(l, r, _, _)| [l, r]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let idx = |x: u64| nodes.binary_search(&x).ok();
+        idx(node)?;
+        let mut parent: Vec<usize> = (0..nodes.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(l, r, _, _) in self.live() {
+            let (a, b) = (idx(l).unwrap(), idx(r).unwrap());
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, idx(node).unwrap());
+        let members: Vec<u64> = (0..nodes.len())
+            .filter(|&i| find(&mut parent, i) == root)
+            .map(|i| nodes[i])
+            .collect();
+        Some((members[0], members.len() as u64))
+    }
+
+    fn stats(&self) -> (u64, u64, u64) {
+        let mut nodes: Vec<u64> = self.live().flat_map(|&(l, r, _, _)| [l, r]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let edges = self.live().count() as u64;
+        let mut components = 0u64;
+        let mut seen = vec![false; nodes.len()];
+        for (i, &n) in nodes.iter().enumerate() {
+            if !seen[i] {
+                components += 1;
+                // Mark n's whole component via repeated BFS over live edges.
+                let mut stack = vec![n];
+                while let Some(x) = stack.pop() {
+                    let xi = nodes.binary_search(&x).unwrap();
+                    if seen[xi] {
+                        continue;
+                    }
+                    seen[xi] = true;
+                    for &(l, r, _, _) in self.live() {
+                        if l == x {
+                            stack.push(r);
+                        } else if r == x {
+                            stack.push(l);
+                        }
+                    }
+                }
+            }
+        }
+        (nodes.len() as u64, edges, components)
+    }
+}
+
+fn clustered_stream(seed: u64, n: usize, clusters: u32) -> Vec<StreamRecord> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n as u64)
+        .map(|i| {
+            t += rng.random_range(0.0..0.4);
+            let u: f64 = rng.random_range(0.0..1.0);
+            let cluster = ((u * u) * clusters as f64) as u32;
+            let base = cluster * 32;
+            let entries: Vec<(u32, f64)> = (0..rng.random_range(1..6))
+                .map(|_| {
+                    let dim = if rng.random_range(0.0..1.0) < 0.05 {
+                        rng.random_range(0..clusters * 32)
+                    } else {
+                        base + rng.random_range(0..12u32)
+                    };
+                    (dim, rng.random_range(0.1..1.0))
+                })
+                .collect();
+            let mut b = SparseVectorBuilder::with_capacity(entries.len());
+            for (d, w) in entries {
+                b.push(d, w);
+            }
+            StreamRecord::new(i, Timestamp::new(t), b.build_normalized().unwrap())
+        })
+        .collect()
+}
+
+fn graph_neighbors(graph: &GraphHandle, node: u64, now: f64) -> Vec<(u64, f64)> {
+    graph
+        .neighbors(node, now)
+        .iter()
+        .map(|e| (e.neighbor, e.similarity))
+        .collect()
+}
+
+fn graph_topk(graph: &GraphHandle, node: u64, k: usize, now: f64) -> Vec<(u64, f64)> {
+    graph
+        .topk(node, k, now)
+        .iter()
+        .map(|e| (e.neighbor, e.similarity))
+        .collect()
+}
+
+/// Drives `spec` (graph wrapper appended) over the stream, probing the
+/// graph against the brute-force log every `probe_every` records and at
+/// the end. Returns the delivered-pair count as a sanity signal.
+fn assert_graph_matches_log(spec: &str, stream: &[StreamRecord], probe_every: usize) -> usize {
+    sssj_parallel::register_spec_builder();
+    let spec: JoinSpec = format!("{spec}&graph")
+        .parse()
+        .unwrap_or_else(|e| panic!("{spec}: {e}"));
+    let horizon = spec.horizon();
+    let (mut join, graph) = build_with_handle(&spec).unwrap();
+    let mut log: Vec<LogEntry> = Vec::new();
+    let mut out: Vec<SimilarPair> = Vec::new();
+    let mut last_t = f64::NEG_INFINITY;
+    let mut probe_nodes: Vec<u64> = Vec::new();
+    for (i, record) in stream.iter().enumerate() {
+        out.clear();
+        join.process(record, &mut out);
+        last_t = last_t.max(record.t.seconds());
+        for p in &out {
+            log.push((p.left, p.right, p.similarity, last_t));
+            probe_nodes.push(p.left);
+        }
+        if (i + 1) % probe_every == 0 {
+            probe(&graph, &log, horizon, last_t, record.id, &probe_nodes);
+        }
+    }
+    out.clear();
+    join.finish(&mut out);
+    for p in &out {
+        log.push((p.left, p.right, p.similarity, last_t));
+    }
+    probe(
+        &graph,
+        &log,
+        horizon,
+        last_t,
+        stream.last().map_or(0, |r| r.id),
+        &probe_nodes,
+    );
+    log.len()
+}
+
+fn probe(
+    graph: &GraphHandle,
+    log: &[LogEntry],
+    horizon: f64,
+    now: f64,
+    newest_id: u64,
+    probe_nodes: &[u64],
+) {
+    let bf = BruteForce { log, horizon, now };
+    // Probe a deterministic sample: recent pair members, the newest
+    // record, and a node id that never appears.
+    let mut nodes: Vec<u64> = probe_nodes.iter().rev().take(8).copied().collect();
+    nodes.push(newest_id);
+    nodes.push(u64::MAX);
+    for node in nodes {
+        let expected = bf.neighbors(node);
+        let got = graph_neighbors(graph, node, now);
+        assert_eq!(got, expected, "neighbors({node}) at now={now}");
+        for k in [1usize, 3] {
+            let expected = bf.topk(node, k);
+            let got = graph_topk(graph, node, k, now);
+            assert_eq!(got, expected, "topk({node}, {k}) at now={now}");
+        }
+        let expected = bf.component(node);
+        let got = graph.component(node, now);
+        assert_eq!(got, expected, "component({node}) at now={now}");
+    }
+    let (nodes, edges, components) = bf.stats();
+    let s = graph.stats(now);
+    assert_eq!(
+        (s.nodes, s.edges, s.components),
+        (nodes, edges, components),
+        "stats at now={now}"
+    );
+}
+
+#[test]
+fn str_graph_matches_brute_force() {
+    let stream = clustered_stream(41, 400, 6);
+    for tau in [2.0, 7.5, 30.0] {
+        let n = assert_graph_matches_log(&format!("str-l2?theta=0.5&tau={tau}"), &stream, 25);
+        assert!(n > 0, "tau={tau}: the workload must produce pairs");
+    }
+}
+
+#[test]
+fn mb_graph_matches_brute_force() {
+    // MB delivers within-window pairs late; the graph must mirror the
+    // delivery log, late stamps included.
+    let stream = clustered_stream(43, 350, 6);
+    assert_graph_matches_log("mb-l2?theta=0.5&tau=5", &stream, 30);
+}
+
+#[test]
+fn decay_graph_matches_brute_force() {
+    let stream = clustered_stream(47, 300, 6);
+    assert_graph_matches_log("decay?theta=0.5&model=window:6", &stream, 30);
+}
+
+#[test]
+fn sharded_graph_matches_brute_force() {
+    // The sink hangs off the driver: batched, nondeterministically
+    // interleaved worker returns all funnel through one tap, and the
+    // graph must agree with the log of that exact run.
+    let stream = clustered_stream(53, 400, 6);
+    for inner in ["str-l2", "mb-l2ap"] {
+        assert_graph_matches_log(
+            &format!("sharded?theta=0.5&tau=8&shards=3&inner={inner}"),
+            &stream,
+            40,
+        );
+    }
+}
+
+#[test]
+fn topk_engine_graph_matches_brute_force() {
+    // Even pair-dropping engines are valid graph sources: the graph
+    // mirrors whatever stream they emit.
+    let stream = clustered_stream(59, 250, 4);
+    assert_graph_matches_log("topk-l2?theta=0.4&tau=6&k=2", &stream, 25);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random streams × random horizon × engine family: the graph
+    /// always equals the brute-force recomputation at every probe.
+    #[test]
+    fn graph_queries_match_brute_force(
+        seed in 0u64..500,
+        n in 40usize..160,
+        tau in 1.0f64..20.0,
+        engine in prop_oneof![
+            Just("str-l2"),
+            Just("mb-l2"),
+            Just("decay"),
+            Just("sharded"),
+        ],
+    ) {
+        let stream = clustered_stream(seed, n, 4);
+        let spec = match engine {
+            "decay" => format!("decay?theta=0.5&model=window:{tau}"),
+            "sharded" => format!("sharded?theta=0.5&tau={tau}&shards=2&inner=str-l2"),
+            e => format!("{e}?theta=0.5&tau={tau}"),
+        };
+        assert_graph_matches_log(&spec, &stream, 17);
+    }
+}

@@ -1,0 +1,128 @@
+//! The durable integration: a `…&durable=<dir>&graph` pipeline
+//! checkpoints the live edge set as engine aux, so a resumed session's
+//! graph equals the uninterrupted one — without duplicated edges from
+//! WAL replay and without relying on replay to regenerate edges whose
+//! earlier member is behind the WAL horizon.
+
+use std::path::PathBuf;
+
+use sssj_core::{JoinSpec, StreamJoin};
+use sssj_graph::build_with_handle;
+use sssj_types::{vector::unit_vector, StreamRecord, Timestamp};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sssj-graph-durable-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn rec(id: u64, t: f64, dim: u32) -> StreamRecord {
+    StreamRecord::new(id, Timestamp::new(t), unit_vector(&[(dim, 1.0)]))
+}
+
+fn registered() {
+    sssj_store::register_spec_builder();
+    sssj_graph::register_spec_builder();
+}
+
+#[test]
+fn clean_restart_restores_the_graph_without_duplicates() {
+    registered();
+    let dir = fresh_dir("clean");
+    let spec: JoinSpec = format!("str-l2?theta=0.7&tau=10&durable={}&graph", dir.display())
+        .parse()
+        .unwrap();
+
+    // First incarnation: records 0,1,2 on one dimension → 3 edges.
+    let (mut join, graph) = build_with_handle(&spec).unwrap();
+    assert_eq!(join.name(), "graph(STR-L2)+wal");
+    let mut out = Vec::new();
+    for (i, t) in [(0u64, 0.0), (1, 1.0), (2, 2.0)] {
+        join.process(&rec(i, t, 7), &mut out);
+    }
+    join.finish(&mut out); // publishes the final checkpoint (graph aux)
+    assert_eq!(out.len(), 3);
+    assert_eq!(graph.live_edges(), 3);
+    drop(join);
+
+    // Second incarnation resumes: the graph is restored from aux, and
+    // the checkpoint suppressed the replay tail — but even a re-played
+    // pair must not duplicate an edge.
+    let (mut join, graph) = build_with_handle(&spec).unwrap();
+    assert_eq!(join.resume_point(), Some((3, 2.0)));
+    assert_eq!(graph.live_edges(), 3, "restored from checkpoint aux");
+    assert_eq!(graph.component(0, 2.0), Some((0, 3)));
+    // A new arrival pairs with all three recovered records; the graph
+    // grows to 6 edges, never 7+.
+    let mut out = Vec::new();
+    join.process(&rec(3, 2.5, 7), &mut out);
+    join.finish(&mut out);
+    assert_eq!(out.len(), 3, "{out:?}");
+    assert_eq!(graph.live_edges(), 6);
+    assert_eq!(graph.component(3, 2.5), Some((0, 4)));
+    drop(join);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_without_checkpoint_rebuilds_the_graph_from_replay() {
+    registered();
+    let dir = fresh_dir("crash");
+    let spec: JoinSpec = format!("str-l2?theta=0.7&tau=10&durable={}&graph", dir.display())
+        .parse()
+        .unwrap();
+
+    let (mut join, _graph) = build_with_handle(&spec).unwrap();
+    let mut out = Vec::new();
+    for (i, t) in [(0u64, 0.0), (1, 1.0)] {
+        join.process(&rec(i, t, 7), &mut out);
+    }
+    assert_eq!(out.len(), 1);
+    drop(join); // crash: no finish, no checkpoint — WAL only
+
+    let (mut join, graph) = build_with_handle(&spec).unwrap();
+    // Replay regenerated the pair straight into the graph.
+    assert_eq!(graph.live_edges(), 1);
+    assert_eq!(graph.neighbors(0, 1.0).len(), 1);
+    // The replay tail re-emits it (at-least-once), but the graph
+    // counted it once.
+    let mut out = Vec::new();
+    join.process(&rec(2, 1.5, 7), &mut out);
+    assert_eq!(graph.live_edges(), 3);
+    join.finish(&mut out);
+    drop(join);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_durable_graph_round_trips() {
+    registered();
+    sssj_parallel::register_spec_builder();
+    let dir = fresh_dir("sharded");
+    let spec: JoinSpec = format!(
+        "sharded?theta=0.7&tau=10&shards=2&inner=str-l2&durable={}&graph",
+        dir.display()
+    )
+    .parse()
+    .unwrap();
+
+    let (mut join, graph) = build_with_handle(&spec).unwrap();
+    let mut out = Vec::new();
+    for (i, t) in [(0u64, 0.0), (1, 0.5), (2, 1.0)] {
+        join.process(&rec(i, t, 7), &mut out);
+    }
+    join.finish(&mut out);
+    assert_eq!(graph.live_edges(), 3);
+    drop(join);
+
+    let (mut join, graph) = build_with_handle(&spec).unwrap();
+    assert_eq!(graph.live_edges(), 3, "restored through the sharded cut");
+    assert_eq!(graph.stats(1.0).components, 1);
+    join.finish(&mut Vec::new());
+    drop(join);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use sssj_types::{SimilarPair, StreamRecord};
 
-use crate::protocol::{ConfigRequest, Request, Response, SessionStats};
+use crate::protocol::{ConfigRequest, GraphQuery, Request, Response, SessionStats};
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -66,6 +66,9 @@ pub struct JoinClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     records_sent: u64,
+    /// Pushed `U` subscription updates collected while reading other
+    /// responses; drained by [`JoinClient::take_updates`].
+    updates: Vec<(u64, SimilarPair)>,
 }
 
 impl JoinClient {
@@ -91,6 +94,7 @@ impl JoinClient {
             reader: BufReader::new(stream),
             writer,
             records_sent: 0,
+            updates: Vec::new(),
         })
     }
 
@@ -118,12 +122,14 @@ impl JoinClient {
     }
 
     /// Reads `P` lines until the terminating `OK`; `E` becomes
-    /// [`NetError::Server`].
+    /// [`NetError::Server`]. Pushed `U` updates are collected aside
+    /// (see [`JoinClient::take_updates`]) and never counted.
     fn read_pairs(&mut self) -> Result<Vec<SimilarPair>, NetError> {
         let mut pairs = Vec::new();
         loop {
             match self.read_response()? {
                 Response::Pair(p) => pairs.push(p),
+                Response::Update { node, pair } => self.updates.push((node, pair)),
                 Response::Ok(n) => {
                     if n as usize != pairs.len() {
                         return Err(NetError::Protocol(format!(
@@ -202,6 +208,72 @@ impl JoinClient {
     pub fn finish(&mut self) -> Result<Vec<SimilarPair>, NetError> {
         self.send_line(&Request::Finish)?;
         self.read_pairs()
+    }
+
+    /// The pushed subscription updates received so far (each is the
+    /// subscribed node plus the pair that touched it), oldest first.
+    /// Updates arrive interleaved with the responses to `V`/`T`/`FINISH`
+    /// requests after a [`JoinClient::subscribe`].
+    pub fn take_updates(&mut self) -> Vec<(u64, SimilarPair)> {
+        std::mem::take(&mut self.updates)
+    }
+
+    /// Subscribes to pushed edge updates for `node` (graph sessions).
+    pub fn subscribe(&mut self, node: u64) -> Result<(), NetError> {
+        self.send_line(&Request::Subscribe { node })?;
+        self.read_pairs().map(|_| ())
+    }
+
+    /// `QUERY neighbors <node>`: every live neighbour of `node` as
+    /// pairs `(node, neighbour)` with the edge similarity.
+    pub fn query_neighbors(&mut self, node: u64) -> Result<Vec<SimilarPair>, NetError> {
+        self.send_line(&Request::Query(GraphQuery::Neighbors { node }))?;
+        self.read_pairs()
+    }
+
+    /// `QUERY topk <node> <k>`: the `k` best live neighbours, best
+    /// first.
+    pub fn query_topk(&mut self, node: u64, k: u32) -> Result<Vec<SimilarPair>, NetError> {
+        self.send_line(&Request::Query(GraphQuery::TopK { node, k }))?;
+        self.read_pairs()
+    }
+
+    /// `QUERY component <node>`: the node's connected component as
+    /// `(canonical root, size)`; size 0 means the node has no live edge.
+    pub fn query_component(&mut self, node: u64) -> Result<(u64, u64), NetError> {
+        self.send_line(&Request::Query(GraphQuery::Component { node }))?;
+        let fields = self.read_graph_fields()?;
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+                .ok_or_else(|| NetError::Protocol(format!("G reply missing {key}=")))
+        };
+        Ok((get("root")?, get("size")?))
+    }
+
+    /// `QUERY stats`: the graph's aggregate counters as the server's
+    /// ordered `key=value` fields (`nodes`, `edges`, `components`).
+    pub fn graph_stats(&mut self) -> Result<Vec<(String, u64)>, NetError> {
+        self.send_line(&Request::Query(GraphQuery::Stats))?;
+        self.read_graph_fields()
+    }
+
+    /// Reads one `G` response (collecting any pushed `U` lines aside).
+    fn read_graph_fields(&mut self) -> Result<Vec<(String, u64)>, NetError> {
+        loop {
+            match self.read_response()? {
+                Response::Graph(fields) => return Ok(fields),
+                Response::Update { node, pair } => self.updates.push((node, pair)),
+                Response::Err(m) => return Err(NetError::Server(m)),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected a G reply, got {other:?}"
+                    )))
+                }
+            }
+        }
     }
 
     /// Closes the session gracefully.

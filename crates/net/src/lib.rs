@@ -40,18 +40,20 @@ pub mod server;
 pub mod session;
 
 pub use client::{JoinClient, NetError};
-pub use protocol::{ConfigRequest, Request, Response, SessionMode, SessionStats};
+pub use protocol::{ConfigRequest, GraphQuery, Request, Response, SessionMode, SessionStats};
 pub use server::{Server, ServerOptions};
 pub use session::{Session, SessionDefaults};
 
-/// Registers the downstream engines (LSH, sharded) and the durable
-/// store with the [`sssj_core::spec`] factory, so client-negotiated
-/// specs reach every variant — including `…&durable=<dir>` pipelines,
-/// which create or resume persistent state. Idempotent;
-/// [`Session::new`] calls it, so any server built on this crate serves
-/// the full family automatically.
+/// Registers the downstream engines (LSH, sharded), the durable store
+/// and the live graph with the [`sssj_core::spec`] factory, so
+/// client-negotiated specs reach every variant — including
+/// `…&durable=<dir>` pipelines, which create or resume persistent
+/// state, and `…&graph` pipelines, whose sessions serve the
+/// `QUERY`/`SUBSCRIBE` verbs. Idempotent; [`Session::new`] calls it, so
+/// any server built on this crate serves the full family automatically.
 pub fn register_spec_builders() {
     sssj_lsh::register_spec_builder();
     sssj_parallel::register_spec_builder();
     sssj_store::register_spec_builder();
+    sssj_graph::register_spec_builder();
 }

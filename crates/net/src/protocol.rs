@@ -18,6 +18,11 @@
 //! T 13.0 some raw text                    OK 2            always last
 //! STATS                                   S records=5 pairs=2 …
 //! FINISH                                  P … / OK <count>
+//! QUERY neighbors 4                       P 4 0 0.82… / OK <count>
+//! QUERY topk 4 3                          P 4 9 0.93… / OK <count>
+//! QUERY component 4                       G root=0 size=17
+//! QUERY stats                             G nodes=40 edges=95 components=3
+//! SUBSCRIBE 4                             OK 0
 //! QUIT                                    BYE
 //! ```
 //!
@@ -55,6 +60,38 @@
 //! ([`sssj_core::JoinSpec::to_json`] /
 //! [`sssj_core::JoinSpec::from_json`]) for programmatic clients, e.g.
 //! `CONFIGJ {"engine":"topk","index":"l2","theta":0.5,"lambda":0.01,"k":3}`.
+//!
+//! # Querying the live graph: `QUERY` and `SUBSCRIBE`
+//!
+//! A session configured with a `graph`-wrapped spec (e.g.
+//! `CONFIG spec=str-l2?theta=0.7&tau=10&graph`) maintains a live
+//! similarity graph over its pair stream (`sssj-graph`) and serves it
+//! over four query verbs, evaluated at the session's stream watermark
+//! (the newest accepted timestamp — the data's clock, not the wall
+//! clock):
+//!
+//! ```text
+//! QUERY neighbors <node>      every live neighbour of <node>, one
+//!                             `P <node> <nbr> <sim>` line each
+//!                             (neighbour-id order), then `OK <count>`
+//! QUERY topk <node> <k>       the k best neighbours, best first
+//!                             (similarity desc, id asc ties), same framing
+//! QUERY component <node>      `G root=<min-member-id> size=<n>`;
+//!                             `G root=<node> size=0` for an edgeless node
+//! QUERY stats                 `G nodes=<n> edges=<e> components=<c>`
+//! SUBSCRIBE <node>            `OK 0`; from then on, every delivered pair
+//!                             touching <node> additionally produces a
+//!                             pushed `U <node> <left> <right> <sim>` line,
+//!                             interleaved before the `OK` of the `V`/`T`/
+//!                             `FINISH` request that surfaced it
+//! ```
+//!
+//! `U` lines are *push* traffic in the netidx sense — the server
+//! volunteers them as edges are emitted; they are not counted by the
+//! enclosing `OK <count>` (which keeps counting `P` lines only), so
+//! pre-subscription clients remain wire-compatible. On a session whose
+//! spec has no `graph` wrapper, every `QUERY`/`SUBSCRIBE` answers
+//! `E session has no graph …`.
 //!
 //! # Durable sessions: resuming from a manifest
 //!
@@ -136,6 +173,31 @@ pub struct ConfigRequest {
     pub slack: Option<f64>,
 }
 
+/// A graph query (`QUERY …`), served by sessions whose spec carries the
+/// `graph` wrapper. See the [module docs](self) for the grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphQuery {
+    /// `QUERY neighbors <node>` — every live neighbour.
+    Neighbors {
+        /// The queried record id.
+        node: u64,
+    },
+    /// `QUERY topk <node> <k>` — the `k` best live neighbours.
+    TopK {
+        /// The queried record id.
+        node: u64,
+        /// How many neighbours to return.
+        k: u32,
+    },
+    /// `QUERY component <node>` — the node's connected component.
+    Component {
+        /// The queried record id.
+        node: u64,
+    },
+    /// `QUERY stats` — aggregate graph counters.
+    Stats,
+}
+
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -157,6 +219,14 @@ pub enum Request {
     },
     /// Ask for the session's work counters.
     Stats,
+    /// A live-graph query (graph-wrapped sessions only).
+    Query(GraphQuery),
+    /// Subscribe to pushed `U` edge updates for one node
+    /// (graph-wrapped sessions only).
+    Subscribe {
+        /// The record id to watch.
+        node: u64,
+    },
     /// End-of-stream: flush buffered pairs (MiniBatch reports late).
     Finish,
     /// Close the session.
@@ -303,6 +373,61 @@ impl Request {
                 })
             }
             "STATS" => Ok(Request::Stats),
+            "QUERY" => {
+                let mut parts = rest.split_ascii_whitespace();
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err("QUERY expects neighbors|topk|component|stats"))?;
+                let mut node = |what: &str| -> Result<u64, ProtocolError> {
+                    let s = parts
+                        .next()
+                        .ok_or_else(|| err(format!("QUERY {what}: missing node id")))?;
+                    s.parse()
+                        .map_err(|e| err(format!("QUERY {what}: bad node id {s:?}: {e}")))
+                };
+                let query = match kind {
+                    "neighbors" => GraphQuery::Neighbors {
+                        node: node("neighbors")?,
+                    },
+                    "topk" => {
+                        let n = node("topk")?;
+                        let k_str = parts.next().ok_or_else(|| err("QUERY topk: missing k"))?;
+                        let k: u32 = k_str
+                            .parse()
+                            .map_err(|e| err(format!("QUERY topk: bad k {k_str:?}: {e}")))?;
+                        if k == 0 {
+                            return Err(err("QUERY topk: k must be >= 1"));
+                        }
+                        GraphQuery::TopK { node: n, k }
+                    }
+                    "component" => GraphQuery::Component {
+                        node: node("component")?,
+                    },
+                    "stats" => GraphQuery::Stats,
+                    other => {
+                        return Err(err(format!(
+                            "unknown QUERY kind {other:?} (neighbors|topk|component|stats)"
+                        )))
+                    }
+                };
+                if parts.next().is_some() {
+                    return Err(err("QUERY: trailing arguments"));
+                }
+                Ok(Request::Query(query))
+            }
+            "SUBSCRIBE" => {
+                let mut parts = rest.split_ascii_whitespace();
+                let s = parts
+                    .next()
+                    .ok_or_else(|| err("SUBSCRIBE: missing node id"))?;
+                let node: u64 = s
+                    .parse()
+                    .map_err(|e| err(format!("SUBSCRIBE: bad node id {s:?}: {e}")))?;
+                if parts.next().is_some() {
+                    return Err(err("SUBSCRIBE: trailing arguments"));
+                }
+                Ok(Request::Subscribe { node })
+            }
             "FINISH" => Ok(Request::Finish),
             "QUIT" => Ok(Request::Quit),
             "" => Err(err("empty request")),
@@ -348,6 +473,13 @@ impl fmt::Display for Request {
             }
             Request::Text { t, text } => write!(f, "T {t} {text}"),
             Request::Stats => f.write_str("STATS"),
+            Request::Query(q) => match q {
+                GraphQuery::Neighbors { node } => write!(f, "QUERY neighbors {node}"),
+                GraphQuery::TopK { node, k } => write!(f, "QUERY topk {node} {k}"),
+                GraphQuery::Component { node } => write!(f, "QUERY component {node}"),
+                GraphQuery::Stats => f.write_str("QUERY stats"),
+            },
+            Request::Subscribe { node } => write!(f, "SUBSCRIBE {node}"),
             Request::Finish => f.write_str("FINISH"),
             Request::Quit => f.write_str("QUIT"),
         }
@@ -383,6 +515,17 @@ pub enum Response {
     Err(String),
     /// Stats snapshot.
     Stats(SessionStats),
+    /// A pushed edge update for a subscribed node
+    /// (`U <node> <left> <right> <sim>`). Not counted by `OK <count>`.
+    Update {
+        /// The subscribed node this update is for.
+        node: u64,
+        /// The delivered pair forming the new edge.
+        pair: SimilarPair,
+    },
+    /// A graph scalar answer (`G key=value …`, e.g. `component` /
+    /// `stats` replies), insertion-ordered.
+    Graph(Vec<(String, u64)>),
     /// Session closed by the server (answer to `QUIT`).
     Bye,
 }
@@ -444,6 +587,43 @@ impl Response {
                 }
                 Ok(Response::Stats(s))
             }
+            "U" => {
+                let mut p = rest.split_ascii_whitespace();
+                let mut num = |what: &str| -> Result<u64, ProtocolError> {
+                    p.next()
+                        .ok_or_else(|| err(format!("U: missing {what}")))?
+                        .parse()
+                        .map_err(|e| err(format!("U: bad {what}: {e}")))
+                };
+                let node = num("node")?;
+                let left = num("left id")?;
+                let right = num("right id")?;
+                let similarity: f64 = p
+                    .next()
+                    .ok_or_else(|| err("U: missing similarity"))?
+                    .parse()
+                    .map_err(|e| err(format!("U: bad similarity: {e}")))?;
+                Ok(Response::Update {
+                    node,
+                    pair: SimilarPair::new(left, right, similarity),
+                })
+            }
+            "G" => {
+                let mut fields = Vec::new();
+                for kv in rest.split_ascii_whitespace() {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("G: expected key=value, got {kv:?}")))?;
+                    let v: u64 = v
+                        .parse()
+                        .map_err(|e| err(format!("G: bad value in {kv:?}: {e}")))?;
+                    fields.push((k.to_string(), v));
+                }
+                if fields.is_empty() {
+                    return Err(err("G: no fields"));
+                }
+                Ok(Response::Graph(fields))
+            }
             "BYE" => Ok(Response::Bye),
             other => Err(err(format!("unknown response verb {other:?}"))),
         }
@@ -461,6 +641,18 @@ impl fmt::Display for Response {
                 "S records={} pairs={} entries={} candidates={} full_sims={} live_postings={}",
                 s.records, s.pairs, s.entries_traversed, s.candidates, s.full_sims, s.live_postings
             ),
+            Response::Update { node, pair } => write!(
+                f,
+                "U {node} {} {} {}",
+                pair.left, pair.right, pair.similarity
+            ),
+            Response::Graph(fields) => {
+                f.write_str("G")?;
+                for (k, v) in fields {
+                    write!(f, " {k}={v}")?;
+                }
+                Ok(())
+            }
             Response::Bye => f.write_str("BYE"),
         }
     }
@@ -553,6 +745,80 @@ mod tests {
         assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
         assert_eq!(Request::parse("FINISH\r\n").unwrap(), Request::Finish);
         assert_eq!(Request::parse("QUIT").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn query_and_subscribe_roundtrip() {
+        for (line, req) in [
+            (
+                "QUERY neighbors 5",
+                Request::Query(GraphQuery::Neighbors { node: 5 }),
+            ),
+            (
+                "QUERY topk 5 3",
+                Request::Query(GraphQuery::TopK { node: 5, k: 3 }),
+            ),
+            (
+                "QUERY component 9",
+                Request::Query(GraphQuery::Component { node: 9 }),
+            ),
+            ("QUERY stats", Request::Query(GraphQuery::Stats)),
+            ("SUBSCRIBE 7", Request::Subscribe { node: 7 }),
+        ] {
+            assert_eq!(Request::parse(line).unwrap(), req, "{line}");
+            assert_eq!(Request::parse(&req.to_string()).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn update_and_graph_responses_roundtrip() {
+        for (line, resp) in [
+            (
+                "U 4 0 4 0.75",
+                Response::Update {
+                    node: 4,
+                    pair: SimilarPair::new(0, 4, 0.75),
+                },
+            ),
+            (
+                "G root=0 size=17",
+                Response::Graph(vec![("root".into(), 0), ("size".into(), 17)]),
+            ),
+            (
+                "G nodes=40 edges=95 components=3",
+                Response::Graph(vec![
+                    ("nodes".into(), 40),
+                    ("edges".into(), 95),
+                    ("components".into(), 3),
+                ]),
+            ),
+        ] {
+            assert_eq!(Response::parse(line).unwrap(), resp, "{line}");
+            assert_eq!(Response::parse(&resp.to_string()).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_graph_requests() {
+        for bad in [
+            "QUERY",
+            "QUERY everything",
+            "QUERY neighbors",
+            "QUERY neighbors x",
+            "QUERY topk 5",
+            "QUERY topk 5 0",
+            "QUERY topk 5 k",
+            "QUERY component 5 6",
+            "QUERY stats 5",
+            "SUBSCRIBE",
+            "SUBSCRIBE x",
+            "SUBSCRIBE 1 2",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        for bad in ["U 1 2 3", "U 1 2 3 x", "G", "G root", "G root=x"] {
+            assert!(Response::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

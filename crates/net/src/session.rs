@@ -8,10 +8,11 @@
 use sssj_core::{
     EngineSpec, Framework, JoinSpec, ReorderBuffer, SpecError, StreamJoin, WrapperSpec,
 };
+use sssj_graph::GraphHandle;
 use sssj_textsim::Tokenizer;
 use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
 
-use crate::protocol::{ConfigRequest, Request, Response, SessionMode, SessionStats};
+use crate::protocol::{ConfigRequest, GraphQuery, Request, Response, SessionMode, SessionStats};
 
 /// Server-side defaults a session starts from; `CONFIG` overrides them
 /// per session. The join pipeline is a full [`JoinSpec`], so any variant
@@ -80,6 +81,11 @@ pub struct Session {
     /// Slack of the current spec's outermost reorder wrapper (0 = none).
     slack: f64,
     join: SessionJoin,
+    /// The live graph handle when the spec carries the `graph` wrapper —
+    /// what `QUERY`/`SUBSCRIBE` are served from.
+    graph: Option<GraphHandle>,
+    /// Nodes with live `SUBSCRIBE`s (insertion order; deduplicated).
+    subs: Vec<u64>,
     tokenizer: Tokenizer,
     next_id: u64,
     last_t: f64,
@@ -92,20 +98,33 @@ pub struct Session {
 /// Builds the session's join through the one spec factory. An outermost
 /// reorder wrapper is split off and kept un-type-erased so late records
 /// can be reported as `E` responses rather than silently dropped;
-/// everything inside it comes from [`JoinSpec::build`]. Returns the join
-/// and that wrapper's slack.
-fn build_join(spec: &JoinSpec) -> Result<(SessionJoin, f64), SpecError> {
+/// everything inside it comes from [`JoinSpec::build`] — except that a
+/// `graph`-wrapped spec goes through `sssj_graph::build_with_handle`,
+/// which is the same factory path plus the query handle `QUERY`/
+/// `SUBSCRIBE` are served from. Returns the join, that wrapper's slack,
+/// and the graph handle (if any).
+fn build_join(spec: &JoinSpec) -> Result<(SessionJoin, f64, Option<GraphHandle>), SpecError> {
     // Validate the *whole* spec first, so an invalid outer wrapper
     // combination cannot slip through the split.
     spec.validate()?;
     let (inner, slack) = spec.split_outer_reorder();
-    let join = inner.build()?;
+    let (join, graph) = if inner
+        .wrappers
+        .iter()
+        .any(|w| matches!(w, WrapperSpec::Graph))
+    {
+        let (join, handle) = sssj_graph::build_with_handle(&inner)?;
+        (join, Some(handle))
+    } else {
+        (inner.build()?, None)
+    };
     Ok(match slack {
         Some(slack) if slack > 0.0 => (
             SessionJoin::Reordered(ReorderBuffer::new(join, slack)),
             slack,
+            graph,
         ),
-        _ => (SessionJoin::Plain(join), 0.0),
+        _ => (SessionJoin::Plain(join), 0.0, graph),
     })
 }
 
@@ -117,7 +136,7 @@ impl Session {
     /// `CONFIG` requests never panic; they answer `E` lines.
     pub fn new(defaults: SessionDefaults) -> Self {
         crate::register_spec_builders();
-        let (join, slack) = build_join(&defaults.spec)
+        let (join, slack, graph) = build_join(&defaults.spec)
             .unwrap_or_else(|e| panic!("invalid server default spec {}: {e}", defaults.spec));
         // A durable default spec may have *resumed* from its manifest:
         // continue id assignment and the timestamp watermark where the
@@ -128,6 +147,8 @@ impl Session {
             defaults,
             slack,
             join,
+            graph,
+            subs: Vec::new(),
             tokenizer: Tokenizer::new(),
             next_id,
             last_t,
@@ -150,6 +171,21 @@ impl Session {
             Request::Config(c) => self.handle_config(c, out),
             Request::Vector { t, entries } => self.handle_vector(t, &entries, out),
             Request::Text { t, text } => self.handle_text(t, &text, out),
+            Request::Query(q) => self.handle_query(q, out),
+            Request::Subscribe { node } => {
+                if self.graph.is_none() {
+                    out.push(Response::Err(
+                        "session has no graph (configure a graph-wrapped spec, \
+                         e.g. CONFIG spec=str-l2?theta=0.7&tau=10&graph)"
+                            .into(),
+                    ));
+                } else {
+                    if !self.subs.contains(&node) {
+                        self.subs.push(node);
+                    }
+                    out.push(Response::Ok(0));
+                }
+            }
             Request::Stats => {
                 let s = self.join.stats();
                 out.push(Response::Stats(SessionStats {
@@ -219,7 +255,7 @@ impl Session {
         // invalid wrapper combination, unregistered engine — comes back
         // as an `E` line and the session stays on its previous join.
         match build_join(&spec) {
-            Ok((join, slack)) => {
+            Ok((join, slack, graph)) => {
                 // Resuming a durable store (`…&durable=<dir>` with an
                 // existing manifest): the session continues the
                 // recovered stream — ids restart after the ingested
@@ -230,6 +266,8 @@ impl Session {
                 self.next_id = next_id;
                 self.last_t = last_t;
                 self.join = join;
+                self.graph = graph;
+                self.subs.clear();
                 self.slack = slack;
                 self.current = SessionDefaults {
                     spec,
@@ -311,8 +349,77 @@ impl Session {
     fn emit(&mut self, pairs: Vec<SimilarPair>, out: &mut Vec<Response>) {
         let n = pairs.len() as u64;
         self.pairs += n;
+        // Pushed subscription updates ride between the P lines and the
+        // OK; they are not counted (wire compatibility for clients that
+        // never subscribe).
+        let updates: Vec<Response> = if self.subs.is_empty() {
+            Vec::new()
+        } else {
+            pairs
+                .iter()
+                .flat_map(|p| {
+                    [p.left, p.right]
+                        .into_iter()
+                        .filter(|node| self.subs.contains(node))
+                        .map(|node| Response::Update { node, pair: *p })
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
         out.extend(pairs.into_iter().map(Response::Pair));
+        out.extend(updates);
         out.push(Response::Ok(n));
+    }
+
+    /// Serves one `QUERY` against the live graph, at the session's
+    /// stream watermark.
+    fn handle_query(&mut self, query: GraphQuery, out: &mut Vec<Response>) {
+        let Some(graph) = &self.graph else {
+            out.push(Response::Err(
+                "session has no graph (configure a graph-wrapped spec, \
+                 e.g. CONFIG spec=str-l2?theta=0.7&tau=10&graph)"
+                    .into(),
+            ));
+            return;
+        };
+        let now = self.last_t;
+        match query {
+            GraphQuery::Neighbors { node } => {
+                let edges = graph.neighbors(node, now);
+                let n = edges.len() as u64;
+                out.extend(
+                    edges
+                        .into_iter()
+                        .map(|e| Response::Pair(SimilarPair::new(node, e.neighbor, e.similarity))),
+                );
+                out.push(Response::Ok(n));
+            }
+            GraphQuery::TopK { node, k } => {
+                let edges = graph.topk(node, k as usize, now);
+                let n = edges.len() as u64;
+                out.extend(
+                    edges
+                        .into_iter()
+                        .map(|e| Response::Pair(SimilarPair::new(node, e.neighbor, e.similarity))),
+                );
+                out.push(Response::Ok(n));
+            }
+            GraphQuery::Component { node } => {
+                let (root, size) = graph.component(node, now).unwrap_or((node, 0));
+                out.push(Response::Graph(vec![
+                    ("root".into(), root),
+                    ("size".into(), size),
+                ]));
+            }
+            GraphQuery::Stats => {
+                let s = graph.stats(now);
+                out.push(Response::Graph(vec![
+                    ("nodes".into(), s.nodes),
+                    ("edges".into(), s.edges),
+                    ("components".into(), s.components),
+                ]));
+            }
+        }
     }
 }
 
@@ -660,6 +767,92 @@ mod tests {
         let r = handle_line(&mut s, "V 0.5 7:1.0");
         assert!(matches!(&r[0], Response::Err(m) if m.contains("out-of-order")));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn graph_session_serves_queries_and_subscriptions() {
+        let mut s = Session::new(SessionDefaults::default());
+        // Queries before a graph config are errors, not panics.
+        let r = handle_line(&mut s, "QUERY stats");
+        assert!(matches!(&r[0], Response::Err(m) if m.contains("no graph")));
+        let r = handle_line(&mut s, "SUBSCRIBE 0");
+        assert!(matches!(&r[0], Response::Err(m) if m.contains("no graph")));
+
+        let r = handle_line(&mut s, "CONFIG spec=str-l2?theta=0.5&tau=10&graph");
+        assert!(matches!(r[0], Response::Ok(0)), "{r:?}");
+        handle_line(&mut s, "SUBSCRIBE 0");
+        handle_line(&mut s, "V 0.0 7:1.0");
+        // Record 1 pairs with 0: one P line, one pushed U line for the
+        // subscription, OK still counts only the P line.
+        let r = handle_line(&mut s, "V 1.0 7:1.0");
+        assert!(
+            matches!(&r[0], Response::Pair(p) if p.key() == (0, 1)),
+            "{r:?}"
+        );
+        assert!(
+            matches!(&r[1], Response::Update { node: 0, pair } if pair.key() == (0, 1)),
+            "{r:?}"
+        );
+        assert_eq!(ok_count(&r), 1, "{r:?}");
+        handle_line(&mut s, "V 2.0 7:1.0");
+
+        // neighbors / topk answer P-framed edge lists.
+        let r = handle_line(&mut s, "QUERY neighbors 1");
+        assert_eq!(ok_count(&r), 2, "{r:?}");
+        let r = handle_line(&mut s, "QUERY topk 1 1");
+        assert_eq!(ok_count(&r), 1, "{r:?}");
+        match &r[0] {
+            Response::Pair(p) => assert_eq!(p.key(), (0, 1), "tie → smaller id"),
+            other => panic!("expected edge, got {other:?}"),
+        }
+
+        // component / stats answer G lines.
+        let r = handle_line(&mut s, "QUERY component 2");
+        assert_eq!(
+            r,
+            vec![Response::Graph(vec![
+                ("root".into(), 0),
+                ("size".into(), 3)
+            ])]
+        );
+        let r = handle_line(&mut s, "QUERY component 99");
+        assert_eq!(
+            r,
+            vec![Response::Graph(vec![
+                ("root".into(), 99),
+                ("size".into(), 0)
+            ])]
+        );
+        let r = handle_line(&mut s, "QUERY stats");
+        assert_eq!(
+            r,
+            vec![Response::Graph(vec![
+                ("nodes".into(), 3),
+                ("edges".into(), 3),
+                ("components".into(), 1),
+            ])]
+        );
+    }
+
+    #[test]
+    fn graph_queries_respect_the_stream_watermark() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "CONFIG spec=str-l2?theta=0.5&tau=5&graph");
+        handle_line(&mut s, "V 0.0 7:1.0");
+        handle_line(&mut s, "V 1.0 7:1.0");
+        assert_eq!(ok_count(&handle_line(&mut s, "QUERY neighbors 0")), 1);
+        // Advancing the stream far enough expires the edge — queries
+        // are judged at the watermark, not the wall clock.
+        handle_line(&mut s, "V 20.0 9:1.0");
+        assert_eq!(ok_count(&handle_line(&mut s, "QUERY neighbors 0")), 0);
+        let r = handle_line(&mut s, "QUERY component 0");
+        assert_eq!(
+            r,
+            vec![Response::Graph(vec![
+                ("root".into(), 0),
+                ("size".into(), 0)
+            ])]
+        );
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! End-to-end over TCP: a graph-wrapped session serves QUERY and
+//! SUBSCRIBE through the real server and client.
+
+use sssj_net::{ConfigRequest, JoinClient, Server, ServerOptions};
+
+#[test]
+fn graph_queries_and_subscriptions_over_the_wire() {
+    let server = Server::bind("127.0.0.1:0", ServerOptions::default()).unwrap();
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+    client
+        .configure(ConfigRequest {
+            spec: Some("str-l2?theta=0.5&tau=10&graph".parse().unwrap()),
+            ..Default::default()
+        })
+        .unwrap();
+    client.subscribe(0).unwrap();
+
+    assert!(client.send_vector(0.0, &[(7, 1.0)]).unwrap().is_empty());
+    let pairs = client.send_vector(1.0, &[(7, 1.0)]).unwrap();
+    assert_eq!(pairs.len(), 1);
+    client.send_vector(2.0, &[(7, 1.0)]).unwrap();
+
+    // The subscription pushed updates for node 0 alongside the pairs.
+    let updates = client.take_updates();
+    assert_eq!(updates.len(), 2, "{updates:?}");
+    assert!(updates.iter().all(|(node, _)| *node == 0));
+
+    // Graph queries answer over the same connection.
+    let n = client.query_neighbors(1).unwrap();
+    assert_eq!(n.len(), 2);
+    let top = client.query_topk(1, 1).unwrap();
+    assert_eq!(top.len(), 1);
+    assert_eq!(top[0].key(), (0, 1));
+    assert_eq!(client.query_component(2).unwrap(), (0, 3));
+    let stats = client.graph_stats().unwrap();
+    assert_eq!(
+        stats,
+        vec![
+            ("nodes".to_string(), 3),
+            ("edges".to_string(), 3),
+            ("components".to_string(), 1),
+        ]
+    );
+
+    // A non-graph session refuses queries with a server error.
+    let mut plain = JoinClient::connect(server.local_addr()).unwrap();
+    plain
+        .configure(ConfigRequest {
+            theta: Some(0.5),
+            ..Default::default()
+        })
+        .unwrap();
+    assert!(matches!(
+        plain.query_neighbors(0),
+        Err(sssj_net::NetError::Server(m)) if m.contains("no graph")
+    ));
+
+    client.quit().unwrap();
+    server.shutdown();
+}

@@ -10,13 +10,43 @@
 //! sparse.
 //!
 //! The query mask comes from an occupancy table the driver maintains
-//! without ever synchronising with workers: for every `(dimension,
-//! shard)` pair it records the *newest insert timestamp* of a record
-//! containing that dimension routed to that shard. A shard can produce a
+//! without ever synchronising with workers. A shard can produce a
 //! candidate for a query only if it holds a live (in-horizon) coordinate
 //! on one of the query's dimensions — see the correctness argument in the
-//! [crate docs](crate) — so shards whose every stamp is stale are skipped
-//! outright: no channel send, no `Arc` clone, no worker wake-up.
+//! [crate docs](crate) — so shards with no possibly-live occupancy are
+//! skipped outright: no channel send, no `Arc` clone, no worker wake-up.
+//!
+//! # Epoch-rotated, memory-bounded occupancy
+//!
+//! The first implementation kept one `f32` last-insert stamp per
+//! `(dimension, shard)` — `vocab × shards × 4 B`, never shrinking: a
+//! streaming vocabulary (fresh URLs, hashtags, typo tokens) would grow
+//! it forever (the PR-3 open item). The table is now a fixed budget of
+//! **rotating bit-planes**:
+//!
+//! * the horizon is split into [`SUB_EPOCHS`] sub-epochs; the table
+//!   keeps `SUB_EPOCHS + 1` planes, one per sub-epoch in the live
+//!   window, rotated (cleared and reused) as stream time advances;
+//! * each plane maps a dimension **row** to a 64-bit shard mask:
+//!   "some record containing a dimension in this row was inserted at
+//!   these shards during this sub-epoch";
+//! * rows are a power-of-two hash table (Fibonacci hash of the
+//!   dimension id), grown by doubling up to [`MAX_ROWS`] and then
+//!   **capped**: collisions merge dimensions, which can only *add*
+//!   shards to a mask — a false positive costs one redundant delivery,
+//!   never a missed pair. Growth duplicates plane contents (old row `r`
+//!   feeds new rows `r` and `r + old_rows`), again a superset.
+//!
+//! A query ORs the planes covering `(now − τ − τ/S, now]` for each of
+//! its dimensions' rows: over-retention is bounded by one sub-epoch
+//! (`τ/S`, 12.5 % at the default `S = 8`), and total memory is bounded
+//! by `(S + 1) × MAX_ROWS × 8 B ≈ 4.7 MiB` of mask words per router —
+//! plus per-plane dirty-row lists of at most the same order (rotation
+//! clears only stamped rows, so its cost amortises against the
+//! stamping work instead of memsetting the table every `τ/S`) —
+//! **independent of vocabulary size**, versus unbounded growth before.
+//! `tests/differential.rs` asserts the skip rate stays within a few
+//! percent of an exact-stamp oracle.
 //!
 //! Engines that expose no dimension information
 //! ([`sssj_core::ShardableJoin::occupancy_horizon`] returns `None`, e.g.
@@ -25,11 +55,190 @@
 
 use sssj_types::StreamRecord;
 
+/// Sub-epochs per horizon: the expiry slack is `horizon / SUB_EPOCHS`.
+pub const SUB_EPOCHS: usize = 8;
+
+/// Hash-table row cap: the hard memory bound. `(SUB_EPOCHS + 1) ×
+/// MAX_ROWS × 8 B ≈ 4.7 MiB` per router at the default 8 sub-epochs.
+pub const MAX_ROWS: usize = 1 << 16;
+
+/// Initial row count (grown by doubling as the seen vocabulary grows).
+const FIRST_ROWS: usize = 1 << 10;
+
 /// Fibonacci hashing: spreads small consecutive keys (dimension ids,
 /// vector ids) evenly over the shard range.
 #[inline]
 fn fib_shard(key: u64, shards: usize) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+}
+
+/// The ring size: one plane per sub-epoch in the live window.
+const RING: usize = SUB_EPOCHS + 1;
+
+/// The rotating-plane occupancy table. See the [module docs](self).
+///
+/// Storage is **row-major interleaved**: the [`RING`] sub-epoch words
+/// of one row sit contiguously (`words[row * RING + slot]`), so the
+/// per-dimension read of the query path — OR the live planes for one
+/// row — touches one or two cache lines instead of nine scattered
+/// arrays, and the insert stamp lands in the same lines the read just
+/// pulled. Rotation clears only the rows stamped during the retiring
+/// sub-epoch (per-slot dirty lists), so its cost amortises against the
+/// stamping work already done instead of memsetting the table every
+/// `τ/S` of stream time.
+struct EpochTable {
+    /// Sub-epoch length in stream seconds (`horizon / SUB_EPOCHS`;
+    /// infinite horizons degrade to a single eternal sub-epoch).
+    sub_len: f64,
+    /// `rows × RING` shard-mask words, row-major.
+    words: Vec<u64>,
+    /// Per ring slot: the rows stamped since that slot was cleared.
+    dirty: Vec<Vec<u32>>,
+    /// The sub-epoch index each ring slot currently holds.
+    slot_sub: Vec<i64>,
+    /// Current row count (power of two).
+    rows: usize,
+    /// Newest sub-epoch index seen; `None` until the first touch.
+    cur: Option<i64>,
+}
+
+impl EpochTable {
+    fn new(horizon: f64) -> Self {
+        let sub_len = if horizon.is_finite() && horizon > 0.0 {
+            horizon / SUB_EPOCHS as f64
+        } else {
+            f64::INFINITY
+        };
+        EpochTable {
+            sub_len,
+            words: vec![0u64; FIRST_ROWS * RING],
+            dirty: vec![Vec::new(); RING],
+            slot_sub: vec![i64::MIN; RING],
+            rows: FIRST_ROWS,
+            cur: None,
+        }
+    }
+
+    #[inline]
+    fn sub_of(&self, t: f64) -> i64 {
+        if self.sub_len.is_infinite() {
+            0
+        } else {
+            (t / self.sub_len).floor() as i64
+        }
+    }
+
+    #[inline]
+    fn row_of(&self, dim: u32) -> usize {
+        ((dim as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (self.rows - 1)
+    }
+
+    /// Assigns each ring slot `i` the sub-epoch `s` of the window
+    /// `(sub − ring + 1 ..= sub)` with `s ≡ i (mod ring)`, so
+    /// slot lookup by `s.rem_euclid(ring)` stays consistent.
+    fn anchor(slot_sub: &mut [i64], sub: i64, ring: i64) {
+        let base = sub - ring + 1;
+        for (i, s) in slot_sub.iter_mut().enumerate() {
+            let off = (i as i64 - base.rem_euclid(ring)).rem_euclid(ring);
+            *s = base + off;
+        }
+    }
+
+    /// Clears one ring slot's stamped rows.
+    fn clear_slot(&mut self, slot: usize) {
+        let dirty = std::mem::take(&mut self.dirty[slot]);
+        for &r in &dirty {
+            self.words[r as usize * RING + slot] = 0;
+        }
+        let mut dirty = dirty;
+        dirty.clear();
+        self.dirty[slot] = dirty;
+    }
+
+    /// Rotates planes so the ring covers `(sub − SUB_EPOCHS ..= sub)`.
+    fn advance(&mut self, t: f64) {
+        let sub = self.sub_of(t);
+        let ring = RING as i64;
+        let Some(cur) = self.cur else {
+            Self::anchor(&mut self.slot_sub, sub, ring);
+            self.cur = Some(sub);
+            return;
+        };
+        if sub <= cur {
+            return; // timestamps are non-decreasing; same sub-epoch
+        }
+        if sub - cur >= ring {
+            // A jump past the whole window: everything is stale.
+            for slot in 0..RING {
+                self.clear_slot(slot);
+            }
+            Self::anchor(&mut self.slot_sub, sub, ring);
+        } else {
+            for s in cur + 1..=sub {
+                let slot = s.rem_euclid(ring) as usize;
+                self.clear_slot(slot);
+                self.slot_sub[slot] = s;
+            }
+        }
+        self.cur = Some(sub);
+    }
+
+    /// Grows the row table towards the seen vocabulary, up to
+    /// [`MAX_ROWS`]. Duplicating plane contents keeps every mask a
+    /// superset of the truth.
+    fn maybe_grow(&mut self, max_dim: u32) {
+        let wanted = ((max_dim as usize).saturating_add(1))
+            .next_power_of_two()
+            .min(MAX_ROWS);
+        while self.rows < wanted {
+            let old = self.rows;
+            // Old row r now feeds rows r and r + old: duplicating both
+            // the words (row-major, so one block copy) and the dirty
+            // lists keeps every mask a superset and every nonzero word
+            // clearable.
+            self.words.extend_from_within(..);
+            for dirty in &mut self.dirty {
+                let dirtied = dirty.len();
+                for i in 0..dirtied {
+                    let r = dirty[i];
+                    dirty.push(r + old as u32);
+                }
+            }
+            self.rows *= 2;
+        }
+    }
+
+    /// The shards with possibly-live occupancy on `row` for a query in
+    /// sub-epoch `query_sub`.
+    #[inline]
+    fn occupied(&self, row: usize, query_sub: i64) -> u64 {
+        let floor = query_sub - SUB_EPOCHS as i64;
+        let mut mask = 0u64;
+        let words = &self.words[row * RING..row * RING + RING];
+        for (i, &w) in words.iter().enumerate() {
+            if self.slot_sub[i] >= floor && self.slot_sub[i] <= query_sub {
+                mask |= w;
+            }
+        }
+        mask
+    }
+
+    /// Records an insert of `row` at `shard` in the current sub-epoch.
+    #[inline]
+    fn stamp(&mut self, row: usize, shard: usize) {
+        let cur = self.cur.expect("advance() before stamp()");
+        let slot = cur.rem_euclid(RING as i64) as usize;
+        let w = &mut self.words[row * RING + slot];
+        if *w == 0 {
+            self.dirty[slot].push(row as u32);
+        }
+        *w |= 1u64 << shard;
+    }
+
+    /// Allocated table bytes (the memory-bound assertion hook).
+    fn bytes(&self) -> usize {
+        self.words.len() * 8 + self.dirty.iter().map(|d| d.capacity() * 4).sum::<usize>()
+    }
 }
 
 /// The driver-side routing table. See the [module docs](self).
@@ -39,13 +248,8 @@ pub struct Router {
     full_mask: u64,
     /// Occupancy horizon; `None` means broadcast (mask always full).
     horizon: Option<f64>,
-    /// `stamps[dim * shards + w]`: newest insert timestamp of a record
-    /// containing `dim` owned by shard `w`; `-inf` when never inserted.
-    /// Stored as `f32` *rounded up* — an overestimated stamp keeps a
-    /// shard in the mask a hair longer (safe), and the table is the
-    /// router's one cache-hostile structure: halving it matters more
-    /// than microsecond stamp precision.
-    stamps: Vec<f32>,
+    /// The epoch-rotated occupancy planes (unused when broadcasting).
+    table: EpochTable,
     /// When set (pure-ℓ2 inner engines), only coordinates from the
     /// prefix-filter boundary on are stamped — see
     /// [`Router::with_suffix_occupancy`]. Holds the slackened θ² the
@@ -84,7 +288,7 @@ impl Router {
                 (1u64 << shards) - 1
             },
             horizon,
-            stamps: Vec::new(),
+            table: EpochTable::new(horizon.unwrap_or(f64::INFINITY)),
             suffix_theta_sq: None,
             inserted: vec![0; shards],
             delivered: vec![0; shards],
@@ -182,42 +386,25 @@ impl Router {
         }
     }
 
-    /// A stamp value covering `t` from above: the smallest `f32` ≥ `t`.
-    #[inline]
-    fn stamp_of(t: f64) -> f32 {
-        let s = t as f32;
-        if (s as f64) < t {
-            s.next_up()
-        } else {
-            s
-        }
-    }
-
     /// The shards whose index may hold a candidate for `record` at its
-    /// timestamp: one bit per shard with a live stamp on at least one of
-    /// the record's dimensions. Does **not** include the owner bit unless
-    /// occupied; may be zero.
+    /// timestamp: one bit per shard with possibly-live occupancy on at
+    /// least one of the record's dimensions (a superset of the exact
+    /// stamp answer, over by at most one sub-epoch plus any row-hash
+    /// collisions). Does **not** include the owner bit unless occupied;
+    /// may be zero. Read-only: the table is neither rotated nor stamped.
     pub fn query_mask(&self, record: &StreamRecord) -> u64 {
-        let Some(horizon) = self.horizon else {
+        let Some(_) = self.horizon else {
             return self.full_mask;
         };
-        let now = record.t.seconds();
+        let query_sub = self.table.sub_of(record.t.seconds());
         let mut mask = 0u64;
         for &dim in record.vector.dims() {
-            let base = dim as usize * self.shards;
-            if base >= self.stamps.len() {
-                continue; // dimension never inserted anywhere
-            }
-            for w in 0..self.shards {
-                if mask & (1u64 << w) == 0 && now - self.stamps[base + w] as f64 <= horizon {
-                    mask |= 1u64 << w;
-                }
-            }
+            mask |= self.table.occupied(self.table.row_of(dim), query_sub);
             if mask == self.full_mask {
                 break;
             }
         }
-        mask
+        mask & self.full_mask
     }
 
     /// Records that `record` was inserted at `shard`, stamping its
@@ -230,19 +417,14 @@ impl Router {
         if self.horizon.is_none() {
             return;
         }
-        let t = record.t.seconds();
+        self.table.advance(record.t.seconds());
         if let Some(&max_dim) = record.vector.dims().last() {
-            let needed = (max_dim as usize + 1) * self.shards;
-            if needed > self.stamps.len() {
-                self.stamps.resize(needed, f32::NEG_INFINITY);
-            }
+            self.table.maybe_grow(max_dim);
         }
-        let stamp = Self::stamp_of(t);
-        for &dim in &record.vector.dims()[self.stamp_start(record)..] {
-            let slot = &mut self.stamps[dim as usize * self.shards + shard];
-            if stamp > *slot {
-                *slot = stamp;
-            }
+        let from = self.stamp_start(record);
+        for &dim in &record.vector.dims()[from..] {
+            let row = self.table.row_of(dim);
+            self.table.stamp(row, shard);
         }
         self.inserted[shard] += 1;
         self.delivered[shard] += 1;
@@ -254,39 +436,30 @@ impl Router {
     /// `(mask, owner)`.
     ///
     /// Equivalent to `query_mask` + `note_insert`, fused into a single
-    /// pass over the stamp rows: the table is bigger than cache at real
-    /// vocabularies, and touching each row once instead of twice is the
-    /// difference between the router paying for itself and not.
+    /// pass over the rows: each of the record's dimension rows is read
+    /// (mask OR) and written (owner stamp) while hot.
     pub fn route(&mut self, record: &StreamRecord) -> (u64, usize) {
         let owner = self.owner(record);
         let owner_bit = 1u64 << owner;
         let mut mask = owner_bit;
-        if let Some(horizon) = self.horizon {
+        if self.horizon.is_some() {
             let now = record.t.seconds();
+            self.table.advance(now);
             if let Some(&max_dim) = record.vector.dims().last() {
-                let needed = (max_dim as usize + 1) * self.shards;
-                if needed > self.stamps.len() {
-                    self.stamps.resize(needed, f32::NEG_INFINITY);
-                }
+                self.table.maybe_grow(max_dim);
             }
-            let stamp = Self::stamp_of(now);
+            let query_sub = self.table.sub_of(now);
             let stamp_from = self.stamp_start(record);
             for (pos, &dim) in record.vector.dims().iter().enumerate() {
                 if mask == self.full_mask && pos < stamp_from {
                     continue; // nothing left to learn, nothing to stamp
                 }
-                let row = &mut self.stamps[dim as usize * self.shards..][..self.shards];
+                let row = self.table.row_of(dim);
                 if mask != self.full_mask {
-                    for (w, &slot) in row.iter().enumerate() {
-                        if mask & (1u64 << w) == 0 && now - slot as f64 <= horizon {
-                            mask |= 1u64 << w;
-                        }
-                    }
+                    mask |= self.table.occupied(row, query_sub) & self.full_mask;
                 }
-                // Stamp the insertion while the row is hot (timestamps
-                // are non-decreasing, so plain max).
-                if pos >= stamp_from && stamp > row[owner] {
-                    row[owner] = stamp;
+                if pos >= stamp_from {
+                    self.table.stamp(row, owner);
                 }
             }
         } else {
@@ -321,6 +494,13 @@ impl Router {
     /// that never saw it.
     pub fn skipped_sends(&self) -> u64 {
         self.skipped
+    }
+
+    /// Bytes held by the occupancy table — bounded by
+    /// `(SUB_EPOCHS + 1) × MAX_ROWS × 8` regardless of how many distinct
+    /// dimensions the stream has used.
+    pub fn occupancy_bytes(&self) -> usize {
+        self.table.bytes()
     }
 }
 
@@ -358,11 +538,32 @@ mod tests {
     }
 
     #[test]
-    fn occupancy_expires_at_the_horizon() {
+    fn occupancy_expires_within_one_sub_epoch_past_the_horizon() {
+        // Epoch granularity: an insert stays possibly-live through the
+        // horizon (never expires early — correctness) and must expire
+        // within one extra sub-epoch (τ/8 — the documented slack).
         let mut r = Router::new(2, Some(10.0));
         let (_, owner) = r.route(&rec(0, 0.0, &[5]));
         assert_eq!(r.query_mask(&rec(1, 10.0, &[5])), 1 << owner, "t=τ live");
-        assert_eq!(r.query_mask(&rec(1, 10.1, &[5])), 0, "t>τ expired");
+        let slack = 10.0 / SUB_EPOCHS as f64;
+        assert_eq!(
+            r.query_mask(&rec(1, 10.0 + slack, &[5])),
+            0,
+            "t>τ+τ/{SUB_EPOCHS} expired"
+        );
+    }
+
+    #[test]
+    fn rotation_never_expires_a_live_insert() {
+        // Sweep insert/query gaps across sub-epoch boundaries: a gap
+        // within the horizon must always keep the shard in the mask.
+        for gap_tenths in 0..=100u32 {
+            let gap = gap_tenths as f64 * 0.1;
+            let mut r = Router::new(2, Some(10.0));
+            let (_, owner) = r.route(&rec(0, 3.21, &[5]));
+            let mask = r.query_mask(&rec(1, 3.21 + gap, &[5]));
+            assert_eq!(mask, 1 << owner, "gap={gap}");
+        }
     }
 
     #[test]
@@ -411,6 +612,44 @@ mod tests {
     fn sixty_four_shards_mask_does_not_overflow() {
         let r = Router::new(64, None);
         assert_eq!(r.query_mask(&rec(0, 0.0, &[1])), u64::MAX);
+    }
+
+    #[test]
+    fn streaming_vocabulary_keeps_memory_bounded() {
+        // The PR-3 open item: ever-fresh dimensions must not grow the
+        // table past the documented cap.
+        let mut r = Router::new(4, Some(10.0));
+        // Mask words (8 B/row/plane) plus dirty-row lists: each row
+        // enters a plane's list at most once (length ≤ rows), and Vec
+        // doubling caps the capacity at twice that — ≤ 8 B/row/plane.
+        let bound = (SUB_EPOCHS + 1) * MAX_ROWS * (8 + 8);
+        for i in 0..200_000u64 {
+            // A brand-new dimension every record, forever.
+            let dim = (i * 17) as u32;
+            r.route(&rec(i, i as f64 * 0.01, &[dim]));
+            assert!(
+                r.occupancy_bytes() <= bound,
+                "table grew past the cap at record {i}: {} > {bound}",
+                r.occupancy_bytes()
+            );
+        }
+        let words_at_cap = (SUB_EPOCHS + 1) * MAX_ROWS * 8;
+        assert!(
+            r.occupancy_bytes() >= words_at_cap,
+            "row cap reached: {} < {words_at_cap}",
+            r.occupancy_bytes()
+        );
+    }
+
+    #[test]
+    fn long_silence_clears_the_whole_window() {
+        let mut r = Router::new(2, Some(10.0));
+        let (_, owner) = r.route(&rec(0, 0.0, &[5]));
+        assert_eq!(r.query_mask(&rec(1, 5.0, &[5])), 1 << owner);
+        // A jump far past the horizon: everything must be stale.
+        let (mask2, owner2) = r.route(&rec(2, 1000.0, &[5]));
+        assert_eq!(mask2, 1 << owner2, "no stale occupancy after the jump");
+        assert_eq!(r.query_mask(&rec(3, 1001.0, &[5])), 1 << owner2);
     }
 
     #[test]

@@ -158,6 +158,62 @@ fn delivery_balancing_does_not_regress_the_hottest_shard() {
 }
 
 #[test]
+fn epoch_occupancy_skip_rate_tracks_the_exact_stamp_oracle() {
+    // PR-3 open item closed this PR: the per-(dim, shard) f32 stamp
+    // table (vocab × shards × 4 B, never shrinking) became
+    // epoch-rotated, hash-bounded bit-planes. The new table may only
+    // *over*-approximate occupancy (sub-epoch granularity + row-hash
+    // collisions), so (a) its mask must be a superset of the exact
+    // answer — no pair can be lost — and (b) the skip rate must stay
+    // within a few percent of an exact-stamp oracle, or routing has
+    // regressed into broadcast.
+    use sssj_parallel::Router;
+    let horizon = 5.0;
+    let shards = 4usize;
+    let stream = clustered_stream(37, 3000, 10);
+    let mut router = Router::new(shards, Some(horizon));
+    // The oracle replays the router's own ownership decisions against
+    // full-precision per-(dim, shard) stamps.
+    let mut exact: std::collections::HashMap<(u32, usize), f64> = std::collections::HashMap::new();
+    let (mut epoch_skip, mut exact_skip) = (0u64, 0u64);
+    for r in &stream {
+        let (mask, owner) = router.route(r);
+        let now = r.t.seconds();
+        let mut exact_mask = 1u64 << owner;
+        for &dim in r.vector.dims() {
+            for w in 0..shards {
+                if let Some(&t) = exact.get(&(dim, w)) {
+                    if now - t <= horizon {
+                        exact_mask |= 1 << w;
+                    }
+                }
+            }
+        }
+        for &dim in r.vector.dims() {
+            exact.insert((dim, owner), now);
+        }
+        assert_eq!(
+            mask & exact_mask,
+            exact_mask,
+            "epoch mask dropped a shard the exact oracle routes to (id {})",
+            r.id
+        );
+        epoch_skip += shards as u64 - mask.count_ones() as u64;
+        exact_skip += shards as u64 - exact_mask.count_ones() as u64;
+    }
+    let possible = (stream.len() * shards) as f64;
+    let (epoch_rate, exact_rate) = (epoch_skip as f64 / possible, exact_skip as f64 / possible);
+    assert!(
+        exact_rate > 0.05,
+        "workload sanity: the oracle itself must skip ({exact_rate:.3})"
+    );
+    assert!(
+        epoch_rate >= exact_rate - 0.05,
+        "skip-rate regression: epoch-rotated {epoch_rate:.3} vs exact {exact_rate:.3}"
+    );
+}
+
+#[test]
 fn zipfian_clusters_produce_a_positive_skip_rate() {
     // The acceptance property behind `--shard-stats`: on a clustered
     // (Zipfian) dimension stream, routing must actually avoid deliveries.

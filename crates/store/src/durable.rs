@@ -52,6 +52,94 @@ use crate::checkpoint::{self, Checkpoint};
 use crate::wal::Wal;
 use crate::StoreError;
 
+/// The store's exclusive session lock: a `LOCK` file holding the owning
+/// pid, created with `O_EXCL` so two live sessions can never share one
+/// store directory (the PR-4 open item — concurrent WAL appends and
+/// manifest flips from two processes would corrupt the store in ways
+/// the spec-mismatch check cannot see).
+///
+/// Staleness is detected by pid: a `LOCK` whose recorded process is no
+/// longer alive (crashed incarnation, `kill -9`) is reclaimed
+/// automatically, so crash recovery never needs manual cleanup. The
+/// guard removes the file on drop — including every error path of
+/// [`DurableJoin::open`] — which is the clean-shutdown release.
+struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    fn acquire(dir: &Path) -> Result<LockFile, StoreError> {
+        let path = dir.join("LOCK");
+        // The lock must appear atomically *with its pid content* — a
+        // create-then-write would leave a window where a concurrent
+        // opener reads an empty file, calls it garbage and reclaims a
+        // live lock. So the pid is written to a per-process temp file
+        // first and hard-linked into place: link(2) fails with
+        // `AlreadyExists` if the lock exists, and a successful link
+        // publishes the fully-written content in one step.
+        let tmp = dir.join(format!("LOCK.{}", std::process::id()));
+        fs::write(&tmp, format!("{}", std::process::id()))?;
+        // Two attempts: the second runs only after removing a stale
+        // lock, and losing that race to another process is a genuine
+        // `Locked` condition, not something to spin on.
+        let mut result = Err(StoreError::Locked { pid: 0 });
+        for _ in 0..2 {
+            match fs::hard_link(&tmp, &path) {
+                Ok(()) => {
+                    result = Ok(LockFile { path });
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if Self::alive(pid) => {
+                            result = Err(StoreError::Locked { pid });
+                            break;
+                        }
+                        // Dead holder (or a pre-atomic-format leftover):
+                        // reclaim and retry the link. The reclaim is an
+                        // atomic rename-away — two concurrent reclaimers
+                        // cannot both win it, so neither can delete a
+                        // lock the other just legitimately acquired; the
+                        // loser's rename fails and its retried link
+                        // re-examines the fresh state.
+                        _ => {
+                            let stale = dir.join(format!("LOCK.stale.{}", std::process::id()));
+                            if fs::rename(&path, &stale).is_ok() {
+                                let _ = fs::remove_file(&stale);
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    result = Err(e.into());
+                    break;
+                }
+            }
+        }
+        let _ = fs::remove_file(&tmp);
+        result
+    }
+
+    /// Whether `pid` names a live process. Procfs on Linux; elsewhere a
+    /// lock is conservatively treated as held (never silently stolen).
+    fn alive(pid: u32) -> bool {
+        if cfg!(target_os = "linux") {
+            Path::new(&format!("/proc/{pid}")).exists()
+        } else {
+            true
+        }
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
 /// Tuning for a [`DurableJoin`].
 #[derive(Clone, Copy, Debug)]
 pub struct DurableOptions {
@@ -130,6 +218,8 @@ pub struct DurableJoin {
     resumed: bool,
     finished: bool,
     scratch: Vec<SimilarPair>,
+    /// Exclusive session lock; released (file removed) on drop.
+    _lock: LockFile,
 }
 
 impl DurableJoin {
@@ -145,15 +235,18 @@ impl DurableJoin {
         dir: &Path,
         opts: DurableOptions,
     ) -> Result<DurableJoin, StoreError> {
-        if !spec.wrappers.is_empty() {
+        if !spec.wrappers.is_empty() && spec.wrappers != [sssj_core::WrapperSpec::Graph] {
             return Err(StoreError::Corrupt(
-                "DurableJoin::open requires a wrapper-free inner spec".into(),
+                "DurableJoin::open requires a wrapper-free inner spec (or exactly \
+                 the graph wrapper, whose edges ride the checkpoint)"
+                    .into(),
             ));
         }
         let mut engine = spec.build_checkpointable().map_err(StoreError::Spec)?;
         let horizon = engine.replay_horizon();
         let spec_text = spec.to_string();
         fs::create_dir_all(dir)?;
+        let lock = LockFile::acquire(dir)?;
 
         let spec_path = dir.join("SPEC");
         if spec_path.exists() {
@@ -191,6 +284,7 @@ impl DurableJoin {
                 resumed: false,
                 finished: false,
                 scratch: Vec::new(),
+                _lock: lock,
             });
         }
 
@@ -241,6 +335,7 @@ impl DurableJoin {
             resumed: true,
             finished: false,
             scratch: Vec::new(),
+            _lock: lock,
         };
         join.since_ckpt = join.seq.saturating_sub(ckpt.as_ref().map_or(0, |c| c.seq));
         // Replay with suppression: pairs already delivered before the

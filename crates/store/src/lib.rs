@@ -90,6 +90,11 @@ pub enum StoreError {
         /// The spec this open requested.
         requested: String,
     },
+    /// Another live session holds the store's exclusive `LOCK`.
+    Locked {
+        /// The pid recorded in the lock file.
+        pid: u32,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -102,6 +107,12 @@ impl std::fmt::Display for StoreError {
                 f,
                 "store was created for spec {stored:?} but {requested:?} was requested \
                  (point durable= at a fresh directory to change pipelines)"
+            ),
+            StoreError::Locked { pid } => write!(
+                f,
+                "store is locked by running process {pid}: two sessions writing one \
+                 store would corrupt it; stop the other session first (a LOCK left \
+                 by a dead process is detected and reclaimed automatically)"
             ),
         }
     }

@@ -1,0 +1,74 @@
+//! The durable store's exclusive session lock: two live sessions can
+//! never share one store directory; locks left by dead processes are
+//! reclaimed automatically.
+
+use std::path::PathBuf;
+
+use sssj_core::JoinSpec;
+use sssj_store::{recover, DurableJoin, DurableOptions, StoreError};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sssj-lock-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> JoinSpec {
+    "str-l2?theta=0.7&lambda=0.01".parse().unwrap()
+}
+
+#[test]
+fn second_live_session_is_rejected() {
+    let dir = fresh_dir("live");
+    let first = DurableJoin::open(&spec(), &dir, DurableOptions::default()).unwrap();
+    // While the first session lives (this very process), a second open
+    // must fail with a clear Locked error naming the holder.
+    match DurableJoin::open(&spec(), &dir, DurableOptions::default()) {
+        Err(StoreError::Locked { pid }) => {
+            assert_eq!(pid, std::process::id());
+            let msg = StoreError::Locked { pid }.to_string();
+            assert!(msg.contains("locked by running process"), "{msg}");
+        }
+        Err(e) => panic!("expected Locked, got {e}"),
+        Ok(_) => panic!("two live sessions shared one store"),
+    }
+    // `recover` goes through the same gate.
+    assert!(matches!(recover(&dir), Err(StoreError::Locked { .. })));
+    drop(first);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_shutdown_releases_the_lock() {
+    let dir = fresh_dir("release");
+    let join = DurableJoin::open(&spec(), &dir, DurableOptions::default()).unwrap();
+    assert!(dir.join("LOCK").exists());
+    drop(join);
+    assert!(!dir.join("LOCK").exists(), "drop must remove LOCK");
+    // The next session acquires freely.
+    let again = DurableJoin::open(&spec(), &dir, DurableOptions::default()).unwrap();
+    drop(again);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_lock_of_a_dead_process_is_reclaimed() {
+    let dir = fresh_dir("stale");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Pids are bounded well below 2^22 on Linux; this one cannot be
+    // alive (and /proc/<it> cannot exist).
+    std::fs::write(dir.join("LOCK"), format!("{}", u32::MAX)).unwrap();
+    let join = DurableJoin::open(&spec(), &dir, DurableOptions::default())
+        .expect("stale lock must be reclaimed");
+    drop(join);
+    // Garbage content is treated as stale too.
+    std::fs::write(dir.join("LOCK"), "not-a-pid").unwrap();
+    let join = DurableJoin::open(&spec(), &dir, DurableOptions::default())
+        .expect("garbage lock must be reclaimed");
+    drop(join);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -104,6 +104,55 @@
 //! Recovery semantics, the WAL frame and `MANIFEST` formats, and the
 //! crash-differential guarantee are documented in [`store`].
 //!
+//! ## Querying the live graph: serve → query
+//!
+//! Appending `graph` to a spec turns the join's pair firehose into
+//! **queryable live state** (the [`graph`] subsystem): every delivered
+//! pair becomes an edge stamped with its delivery time and expiring at
+//! the pipeline's horizon, and the graph answers *who is similar to X
+//! right now* (`neighbors`), *X's best matches* (`topk`), and *which
+//! cluster is X in* (`component`) — over the net protocol's
+//! `QUERY`/`SUBSCRIBE` verbs, the CLI's `sssj graph` command, or the
+//! library handle. The worked example (`sssj net-serve` → queries, via
+//! the same server and client the CLI wraps):
+//!
+//! ```
+//! use sssj::prelude::*;
+//! use sssj::net::{ConfigRequest, JoinClient, Server, ServerOptions};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerOptions::default())?;
+//! let mut client = JoinClient::connect(server.local_addr())?;
+//! client.configure(ConfigRequest {
+//!     spec: Some("str-l2?theta=0.6&tau=10&graph".parse().unwrap()),
+//!     ..Default::default()
+//! })?;
+//! client.subscribe(0)?; // push me every new edge touching record 0
+//!
+//! // Stream three near-duplicates; pairs flow back as usual...
+//! client.send_vector(0.0, &[(7, 1.0)])?;
+//! client.send_vector(1.0, &[(7, 1.0)])?;
+//! client.send_vector(2.0, &[(7, 1.0)])?;
+//!
+//! // ...and the session now also serves the live graph.
+//! assert_eq!(client.query_neighbors(1)?.len(), 2);
+//! let best = client.query_topk(1, 1)?;
+//! assert_eq!(best[0].key(), (0, 1));
+//! let (root, size) = client.query_component(2)?;
+//! assert_eq!((root, size), (0, 3), "records 0..3 form one cluster");
+//! assert_eq!(client.take_updates().len(), 2, "pushed U lines for node 0");
+//! client.quit()?;
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Offline, `sssj graph tweets.bin --spec 'str-l2?theta=0.7&tau=10'
+//! --query 'topk 17 3; component 17; stats'` answers the same queries
+//! after driving a file through the pipeline (`--brute-force` recomputes
+//! them from the emitted-pair log — the differential check CI runs).
+//! Combined with `durable=<dir>`, the graph's live edges ride the
+//! checkpoint aux blob, so a recovered session serves the same graph
+//! without replaying beyond the WAL horizon (see [`graph`]).
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
@@ -119,6 +168,7 @@
 //! | [`net`] | TCP join service: line-protocol server and client |
 //! | [`parallel`] | dimension-partitioned, candidate-aware sharded execution |
 //! | [`store`] | durability: segmented WAL, checkpoints, crash recovery |
+//! | [`graph`] | live similarity-graph queries over the pair stream |
 //! | [`textsim`] | set-similarity (Jaccard) joins, batch and streaming |
 //!
 //! ## The flat hot path
@@ -158,6 +208,7 @@ pub use sssj_baseline as baseline;
 pub use sssj_collections as collections;
 pub use sssj_core as core;
 pub use sssj_data as data;
+pub use sssj_graph as graph;
 pub use sssj_index as index;
 pub use sssj_lsh as lsh;
 pub use sssj_metrics as metrics;
@@ -168,14 +219,16 @@ pub use sssj_textsim as textsim;
 pub use sssj_types as types;
 
 /// Registers every constructor that lives downstream of `sssj-core`
-/// (LSH, sharded, the durable store) with the [`core::spec::JoinSpec`]
-/// factory. Idempotent; call it once before building `lsh?…` /
-/// `sharded-…` / `…durable=` specs in an embedding application. (The
-/// workspace binaries — CLI, net server, bench harness — already do.)
+/// (LSH, sharded, the durable store, the live graph) with the
+/// [`core::spec::JoinSpec`] factory. Idempotent; call it once before
+/// building `lsh?…` / `sharded-…` / `…durable=` / `…&graph` specs in an
+/// embedding application. (The workspace binaries — CLI, net server,
+/// bench harness — already do.)
 pub fn register_all_engines() {
     sssj_lsh::register_spec_builder();
     sssj_parallel::register_spec_builder();
     sssj_store::register_spec_builder();
+    sssj_graph::register_spec_builder();
 }
 
 /// The one-stop import for applications.
@@ -187,6 +240,7 @@ pub mod prelude {
         LshSpec, MiniBatch, RecoverableJoin, ReorderBuffer, ShardableJoin, ShardedInner, SpecError,
         SssjConfig, StreamJoin, Streaming, TopKJoin, WrapperSpec,
     };
+    pub use sssj_graph::{GraphHandle, GraphJoin, GraphStats, SimilarityGraph};
     pub use sssj_index::{all_pairs, BatchIndex, BoundPolicy, IndexKind};
     pub use sssj_lsh::{LshJoin, LshParams};
     pub use sssj_parallel::{run_sharded, sharded_run, RoutingMode, ShardReport, ShardedJoin};
