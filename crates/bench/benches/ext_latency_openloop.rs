@@ -1,0 +1,160 @@
+//! Extension: open-loop per-record latency, scalar vs dispatched SIMD.
+//!
+//! Replays two workloads through STR-L2 at a fixed target arrival rate
+//! (see the latency methodology in `sssj_bench`'s crate docs — latency
+//! runs from *scheduled* arrival to completion, so queueing delay is
+//! charged, not hidden):
+//!
+//! * `rcv1` — the fig5-style moderate-density preset;
+//! * `dense` — the denser-than-Tweets stress preset, where the
+//!   candidate-generation inner loops dominate and the SIMD kernels
+//!   have the most to win.
+//!
+//! Each workload runs twice, once with the kernels forced to their
+//! scalar references and once under runtime dispatch, same schedule.
+//! Reported per run: ingest p50/p99/p999 + max, graph top-k query
+//! p50/p99/p999, backpressure stalls, achieved rate. Rows append to
+//! `$CRITERION_JSON` when set (the `BENCH_pr6.json` protocol).
+//!
+//! Caveat for absolute numbers: this container is 1 vCPU, so the replay
+//! thread shares its core with the OS; tails (p999, max) include
+//! scheduler noise that a pinned multi-core host would not show.
+//! Scalar-vs-SIMD *ratios* on the same schedule remain meaningful.
+//! `BENCH_FAST=1` shrinks the streams for the CI smoke run.
+
+use sssj_bench::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+use sssj_core::{SssjConfig, Streaming};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_kernels::Lane;
+
+fn fast() -> bool {
+    std::env::var("BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// One workload: preset, stream length, θ, λ, target rate.
+struct Workload {
+    name: &'static str,
+    preset: Preset,
+    n: usize,
+    theta: f64,
+    lambda: f64,
+    rate: f64,
+}
+
+fn workloads() -> Vec<Workload> {
+    let (n_rcv1, n_dense) = if fast() {
+        (2_000, 1_000)
+    } else {
+        (20_000, 8_000)
+    };
+    vec![
+        Workload {
+            name: "rcv1",
+            preset: Preset::Rcv1,
+            n: n_rcv1,
+            theta: 0.5,
+            lambda: 0.05,
+            rate: if fast() { 20_000.0 } else { 10_000.0 },
+        },
+        Workload {
+            name: "dense",
+            preset: Preset::Dense,
+            n: n_dense,
+            theta: 0.5,
+            lambda: 0.05,
+            rate: if fast() { 5_000.0 } else { 2_000.0 },
+        },
+    ]
+}
+
+fn run_lane(w: &Workload, lane: Option<Lane>) -> OpenLoopReport {
+    sssj_kernels::force_lane(lane);
+    let records = generate(&preset(w.preset, w.n));
+    let mut join = Streaming::new(SssjConfig::new(w.theta, w.lambda), IndexKind::L2);
+    let cfg = OpenLoopConfig {
+        rate: w.rate,
+        query_every: 16,
+        k: 8,
+        warmup: (w.n / 20).max(32),
+        graph_horizon: f64::INFINITY,
+    };
+    let rep = run_open_loop(&mut join, &records, &cfg);
+    sssj_kernels::force_lane(None);
+    rep
+}
+
+fn emit_json(w: &Workload, lane: &str, rep: &OpenLoopReport) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let row = format!(
+        concat!(
+            "{{\"group\":\"openloop\",\"bench\":\"{}/{}\",",
+            "\"rate\":{:.0},\"achieved\":{:.0},\"stalls\":{},\"pairs\":{},",
+            "\"ingest_p50_ns\":{:.0},\"ingest_p99_ns\":{:.0},",
+            "\"ingest_p999_ns\":{:.0},\"ingest_max_ns\":{:.0},",
+            "\"query_p50_ns\":{:.0},\"query_p99_ns\":{:.0},",
+            "\"query_p999_ns\":{:.0}}}\n"
+        ),
+        w.name,
+        lane,
+        rep.target_rate,
+        rep.achieved_rate,
+        rep.stalls,
+        rep.pairs,
+        rep.ingest.quantile(0.5) * 1e9,
+        rep.ingest.quantile(0.99) * 1e9,
+        rep.ingest.quantile(0.999) * 1e9,
+        rep.ingest.max() * 1e9,
+        rep.query.quantile(0.5) * 1e9,
+        rep.query.quantile(0.99) * 1e9,
+        rep.query.quantile(0.999) * 1e9,
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open CRITERION_JSON");
+    f.write_all(row.as_bytes()).expect("append CRITERION_JSON");
+}
+
+fn main() {
+    for w in workloads() {
+        // Same schedule both lanes: generation is seeded by the preset,
+        // so the two runs replay identical records at identical offsets.
+        for (label, lane) in [("scalar", Some(Lane::Scalar)), ("auto", None)] {
+            let rep = run_lane(&w, lane);
+            println!(
+                "openloop/{}/{} rate={:.0}/s achieved={:.0}/s stalls={} \
+                 p50={:.1}us p99={:.1}us p999={:.1}us max={:.1}us \
+                 qp50={:.1}us qp99={:.1}us pairs={}",
+                w.name,
+                label,
+                rep.target_rate,
+                rep.achieved_rate,
+                rep.stalls,
+                rep.ingest.quantile(0.5) * 1e6,
+                rep.ingest.quantile(0.99) * 1e6,
+                rep.ingest.quantile(0.999) * 1e6,
+                rep.ingest.max() * 1e6,
+                rep.query.quantile(0.5) * 1e6,
+                rep.query.quantile(0.99) * 1e6,
+                rep.pairs,
+            );
+            assert!(
+                rep.ingest.quantile(0.99) >= rep.ingest.quantile(0.5),
+                "openloop/{}/{label}: p99 below p50",
+                w.name
+            );
+            assert!(rep.ingest.count() > 0, "openloop/{}/{label}: empty", w.name);
+            emit_json(&w, label, &rep);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Open-loop latency replay: timestamped arrivals at a target rate,
+//! per-record ingest and per-query graph latency.
+//!
+//! # Latency methodology
+//!
+//! The throughput harness ([`crate::runner`]) is **closed-loop**: it
+//! feeds the next record the moment the previous one finishes, so the
+//! join itself paces the load and a slow record silently delays every
+//! later arrival. Closed-loop numbers measure *service time*, not the
+//! latency a client would see, and they suffer **coordinated omission**:
+//! exactly when the system stalls, the harness stops issuing the
+//! requests that would have observed the stall.
+//!
+//! This module is **open-loop**: the arrival schedule is fixed *before*
+//! the run from the stream's own timestamps (rescaled to a target mean
+//! rate, burstiness preserved), and every record's latency is measured
+//! from its **scheduled arrival** to completion — if the join falls
+//! behind, the queueing delay of every backed-up record is charged to
+//! it, exactly as a real subscriber would experience. Records whose
+//! processing *starts* more than one mean inter-arrival period late are
+//! additionally counted as backpressure stalls.
+//!
+//! Latencies land in fixed-footprint [`LogLinearHistogram`]s (recording
+//! is a single array increment — the measured path never allocates) and
+//! are reported as p50/p99/p999 plus the exact max.
+
+use std::time::{Duration, Instant};
+
+use sssj_core::StreamJoin;
+use sssj_graph::SimilarityGraph;
+use sssj_metrics::LogLinearHistogram;
+use sssj_types::{SimilarPair, StreamRecord};
+
+/// Configuration for one open-loop replay.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopConfig {
+    /// Target mean arrival rate, records per wall-clock second.
+    pub rate: f64,
+    /// Issue a graph top-k query after every `query_every` ingests
+    /// (0 disables the query stream and the graph tap entirely).
+    pub query_every: usize,
+    /// `k` for the top-k query stream.
+    pub k: usize,
+    /// Leading records processed but not recorded (index warm-up).
+    pub warmup: usize,
+    /// Stream-time horizon for the similarity graph's edges.
+    pub graph_horizon: f64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            rate: 20_000.0,
+            query_every: 16,
+            k: 8,
+            warmup: 64,
+            graph_horizon: f64::INFINITY,
+        }
+    }
+}
+
+/// Latency report of one open-loop replay.
+#[derive(Clone, Debug)]
+pub struct OpenLoopReport {
+    /// Scheduled-arrival → ingest-completion latency per record.
+    pub ingest: LogLinearHistogram,
+    /// Scheduled-arrival → query-completion latency per graph query.
+    pub query: LogLinearHistogram,
+    /// Records whose processing started more than one mean
+    /// inter-arrival period after their scheduled arrival.
+    pub stalls: u64,
+    /// Records replayed (including warm-up).
+    pub records: u64,
+    /// Graph queries issued (including warm-up).
+    pub queries: u64,
+    /// Pairs emitted by the join over the whole replay.
+    pub pairs: u64,
+    /// Wall-clock duration of the replay.
+    pub wall_seconds: f64,
+    /// The configured target rate.
+    pub target_rate: f64,
+    /// Records per wall-clock second actually achieved.
+    pub achieved_rate: f64,
+}
+
+impl OpenLoopReport {
+    /// Multi-line human summary.
+    pub fn render(&self) -> String {
+        format!(
+            "open-loop n={} target={:.0}/s achieved={:.0}/s stalls={} pairs={}\n  \
+             ingest: {}\n  query:  {}",
+            self.records,
+            self.target_rate,
+            self.achieved_rate,
+            self.stalls,
+            self.pairs,
+            self.ingest.summary(),
+            self.query.summary(),
+        )
+    }
+}
+
+/// Wall-clock arrival offsets from the stream's own timestamps, rescaled
+/// so the mean rate is `rate` while the relative gaps — the burstiness —
+/// are preserved. Degenerate spans (single record, or all timestamps
+/// equal) fall back to uniform `1/rate` spacing.
+fn schedule(records: &[StreamRecord], rate: f64) -> Vec<Duration> {
+    let n = records.len();
+    let span = match (records.first(), records.last()) {
+        (Some(a), Some(b)) => b.t.seconds() - a.t.seconds(),
+        _ => 0.0,
+    };
+    let uniform = 1.0 / rate;
+    if n < 2 || span <= 0.0 {
+        return (0..n)
+            .map(|i| Duration::from_secs_f64(i as f64 * uniform))
+            .collect();
+    }
+    let scale = ((n - 1) as f64 * uniform) / span;
+    let t0 = records[0].t.seconds();
+    records
+        .iter()
+        .map(|r| Duration::from_secs_f64((r.t.seconds() - t0) * scale))
+        .collect()
+}
+
+/// Busy-waits the tail of a wait so the scheduled instant is hit with
+/// sub-scheduler precision; sleeps while more than 50 µs out.
+fn wait_until(deadline: Instant) {
+    const SPIN: Duration = Duration::from_micros(50);
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let left = deadline - now;
+        if left > SPIN {
+            std::thread::sleep(left - SPIN);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Replays `records` through `join` open-loop at `cfg.rate` and reports
+/// ingest and graph-query latency distributions.
+///
+/// Emitted pairs feed a [`SimilarityGraph`] keyed by stream time; every
+/// `cfg.query_every` ingests, a top-`k` query for the just-ingested
+/// record runs and is charged from that record's scheduled arrival (the
+/// query logically becomes answerable at that instant).
+pub fn run_open_loop(
+    join: &mut dyn StreamJoin,
+    records: &[StreamRecord],
+    cfg: &OpenLoopConfig,
+) -> OpenLoopReport {
+    assert!(
+        cfg.rate > 0.0 && cfg.rate.is_finite(),
+        "rate must be positive"
+    );
+    let offsets = schedule(records, cfg.rate);
+    let period = Duration::from_secs_f64(1.0 / cfg.rate);
+
+    let mut graph = (cfg.query_every > 0).then(|| SimilarityGraph::new(cfg.graph_horizon));
+    let mut ingest = LogLinearHistogram::new();
+    let mut query = LogLinearHistogram::new();
+    let mut out: Vec<SimilarPair> = Vec::new();
+    let mut stalls = 0u64;
+    let mut queries = 0u64;
+    let mut pairs = 0u64;
+
+    let start = Instant::now();
+    for (i, (r, &off)) in records.iter().zip(&offsets).enumerate() {
+        let scheduled = start + off;
+        wait_until(scheduled);
+        let begun = Instant::now();
+        if begun.duration_since(scheduled) > period {
+            stalls += 1;
+        }
+        out.clear();
+        join.process(r, &mut out);
+        pairs += out.len() as u64;
+        if let Some(g) = graph.as_mut() {
+            for p in &out {
+                g.add_edge(p.left, p.right, p.similarity, r.t.seconds());
+            }
+        }
+        let done = Instant::now();
+        if i >= cfg.warmup {
+            ingest.record(done.duration_since(scheduled).as_secs_f64());
+        }
+        if let Some(g) = graph.as_mut() {
+            if (i + 1) % cfg.query_every == 0 {
+                let top = g.topk(r.id, cfg.k, r.t.seconds());
+                std::hint::black_box(&top);
+                queries += 1;
+                if i >= cfg.warmup {
+                    query.record(Instant::now().duration_since(scheduled).as_secs_f64());
+                }
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    OpenLoopReport {
+        ingest,
+        query,
+        stalls,
+        records: records.len() as u64,
+        queries,
+        pairs,
+        wall_seconds: wall,
+        target_rate: cfg.rate,
+        achieved_rate: if wall > 0.0 {
+            records.len() as f64 / wall
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssj_core::{SssjConfig, Streaming};
+    use sssj_data::{generate, preset, Preset};
+    use sssj_index::IndexKind;
+
+    #[test]
+    fn replay_reports_consistent_latencies() {
+        let records = generate(&preset(Preset::Tweets, 400));
+        let mut join = Streaming::new(SssjConfig::new(0.6, 0.05), IndexKind::L2);
+        let cfg = OpenLoopConfig {
+            rate: 50_000.0,
+            query_every: 8,
+            k: 4,
+            warmup: 32,
+            graph_horizon: f64::INFINITY,
+        };
+        let rep = run_open_loop(&mut join, &records, &cfg);
+        assert_eq!(rep.records, 400);
+        assert_eq!(rep.ingest.count(), 400 - 32);
+        assert_eq!(rep.queries, 400 / 8);
+        assert!(rep.query.count() > 0);
+        assert!(rep.achieved_rate > 0.0);
+        // Tail ordering: the histogram contract, end to end.
+        assert!(rep.ingest.quantile(0.99) >= rep.ingest.quantile(0.5));
+        assert!(rep.ingest.quantile(0.999) <= rep.ingest.max());
+        let text = rep.render();
+        assert!(text.contains("p999=") && text.contains("stalls="), "{text}");
+    }
+
+    #[test]
+    fn schedule_preserves_burstiness_and_mean_rate() {
+        let records = generate(&preset(Preset::Blogs, 200));
+        let offs = schedule(&records, 1000.0);
+        assert_eq!(offs[0], Duration::ZERO);
+        // Mean rate: last offset ≈ (n−1)/rate.
+        let want = (records.len() - 1) as f64 / 1000.0;
+        assert!((offs.last().unwrap().as_secs_f64() - want).abs() < 1e-9);
+        // Monotone non-decreasing.
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+        // Bursty arrivals: gap dispersion survives rescaling (not all
+        // gaps equal, unlike the uniform fallback).
+        let gaps: Vec<f64> = offs
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(gaps.iter().any(|g| (g - mean).abs() > mean * 0.5));
+    }
+
+    #[test]
+    fn query_stream_can_be_disabled() {
+        let records = generate(&preset(Preset::Tweets, 100));
+        let mut join = Streaming::new(SssjConfig::new(0.7, 0.05), IndexKind::L2);
+        let cfg = OpenLoopConfig {
+            query_every: 0,
+            warmup: 0,
+            rate: 100_000.0,
+            ..OpenLoopConfig::default()
+        };
+        let rep = run_open_loop(&mut join, &records, &cfg);
+        assert_eq!(rep.queries, 0);
+        assert_eq!(rep.query.count(), 0);
+        assert_eq!(rep.ingest.count(), 100);
+    }
+}

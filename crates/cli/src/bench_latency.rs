@@ -1,0 +1,66 @@
+//! `sssj bench-latency` — open-loop latency replay against a running
+//! join (see the "Latency methodology" section in `sssj_bench`'s crate
+//! docs: latency is measured from *scheduled* arrival, so queueing
+//! delay shows up in the tail instead of being coordinated away).
+
+use std::path::PathBuf;
+
+use sssj_bench::{run_open_loop, OpenLoopConfig};
+use sssj_core::{SssjConfig, Streaming};
+use sssj_data::{generate, preset, Preset};
+use sssj_index::IndexKind;
+use sssj_kernels::Lane;
+
+use crate::args::parse;
+use crate::io::load;
+
+/// `sssj bench-latency [FILE] [--preset P --n N] [--rate R] [--theta T]
+/// [--lambda L] [--index I] [--k K] [--query-every Q] [--lane auto|scalar]`
+pub fn bench_latency(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    let records = match p.positional.as_slice() {
+        [] => {
+            let name = p.get("preset").unwrap_or("rcv1");
+            let preset_kind =
+                Preset::parse(name).ok_or_else(|| format!("unknown preset {name:?}"))?;
+            let n = p.get_parsed("n", 10_000usize)?;
+            generate(&preset(preset_kind, n))
+        }
+        [input] => load(&PathBuf::from(input))?,
+        _ => return Err("bench-latency takes at most one path".into()),
+    };
+    if records.is_empty() {
+        return Err("empty stream".into());
+    }
+    let theta = p.get_parsed("theta", 0.5)?;
+    let lambda = p.get_parsed("lambda", 0.05)?;
+    let kind = match p.get("index") {
+        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown index {name:?}"))?,
+        None => IndexKind::L2,
+    };
+    let lane = match p.get("lane").unwrap_or("auto") {
+        "auto" => None,
+        "scalar" => Some(Lane::Scalar),
+        other => return Err(format!("--lane must be auto or scalar, got {other:?}")),
+    };
+    let cfg = OpenLoopConfig {
+        rate: p.get_parsed("rate", 10_000.0)?,
+        query_every: p.get_parsed("query-every", 16usize)?,
+        k: p.get_parsed("k", 8usize)?,
+        warmup: (records.len() / 20).max(32).min(records.len() / 2),
+        graph_horizon: f64::INFINITY,
+    };
+    if !cfg.rate.is_finite() || cfg.rate <= 0.0 {
+        return Err("--rate must be positive".into());
+    }
+    let mut join = Streaming::new(SssjConfig::new(theta, lambda), kind);
+    sssj_kernels::force_lane(lane);
+    let report = run_open_loop(&mut join, &records, &cfg);
+    sssj_kernels::force_lane(None);
+    println!(
+        "lane={} index={kind} theta={theta} lambda={lambda}",
+        lane.map_or("auto", |_| "scalar"),
+    );
+    println!("{}", report.render());
+    Ok(())
+}

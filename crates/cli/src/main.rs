@@ -12,6 +12,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod bench_latency;
 mod commands;
 mod commands_ext;
 mod graph_cmd;
@@ -55,6 +56,10 @@ commands:
                                             --theta, --lambda, --index,
                                             --quiet, --subscribe N,
                                             --query 'topk N K; ...')
+  bench-latency  open-loop latency replay  ([file] | --preset, --n;
+                                            --rate, --theta, --lambda,
+                                            --index, --k, --query-every,
+                                            --lane auto|scalar)
 
 run options:
   --spec S                full pipeline spec, e.g. str-l2?theta=0.7&reorder=5
@@ -100,6 +105,7 @@ fn main() -> ExitCode {
         "recover" => recover::recover(rest),
         "net-serve" => net_cmd::net_serve(rest),
         "net-send" => net_cmd::net_send(rest),
+        "bench-latency" => bench_latency::bench_latency(rest),
         "-h" | "--help" => {
             print!("{USAGE}");
             Ok(())

@@ -173,6 +173,59 @@ impl ScoreAccumulator {
         }
     }
 
+    /// Applies one kernel-prepared candidate batch, newest entry first.
+    ///
+    /// The SIMD batch kernels (`sssj_kernels::l2_candidate_batch`)
+    /// evaluate a posting chunk into parallel arrays — ids, score
+    /// deltas, admission flags and per-entry prune thresholds; this
+    /// method replays them through [`Self::accumulate`] in *reverse*
+    /// (the engines walk posting lists newest-first, and chunks arrive
+    /// via `rchunks`, so reverse order inside each chunk reproduces the
+    /// exact per-entry traversal of the scalar loop). A touched entry
+    /// whose new score falls below its prune threshold is zeroed on the
+    /// spot — Algorithm 3's candidate pruning. Returns how many entries
+    /// were newly admitted.
+    pub fn accumulate_batch_rev(
+        &mut self,
+        ids: &[u64],
+        deltas: &[f64],
+        admit: &[u8],
+        prune_below: &[f64],
+    ) -> u32 {
+        debug_assert!(
+            ids.len() == deltas.len() && ids.len() == admit.len() && ids.len() == prune_below.len()
+        );
+        let mut admitted = 0u32;
+        for i in (0..ids.len()).rev() {
+            let new = match self.accumulate(ids[i], deltas[i], admit[i] != 0) {
+                Accumulated::Updated(new) => new,
+                Accumulated::Admitted(new) => {
+                    admitted += 1;
+                    new
+                }
+                Accumulated::Skipped => continue,
+            };
+            if new < prune_below[i] {
+                self.zero(ids[i]);
+            }
+        }
+        admitted
+    }
+
+    /// The unconditional-admission variant of [`Self::accumulate_batch_rev`]
+    /// (the INV index admits every touched candidate and never prunes
+    /// mid-scan). Returns how many entries were newly admitted.
+    pub fn accumulate_all_rev(&mut self, ids: &[u64], deltas: &[f64]) -> u32 {
+        debug_assert_eq!(ids.len(), deltas.len());
+        let mut admitted = 0u32;
+        for i in (0..ids.len()).rev() {
+            if let Accumulated::Admitted(_) = self.accumulate(ids[i], deltas[i], true) {
+                admitted += 1;
+            }
+        }
+        admitted
+    }
+
     /// Adds `delta` to the score of `key`, returning the new value.
     #[inline]
     pub fn add(&mut self, key: u64, delta: f64) -> f64 {
@@ -530,6 +583,59 @@ mod tests {
         fused.zero(5);
         assert_eq!(fused.accumulate(5, 1.0, false), Accumulated::Skipped);
         assert_eq!(fused.accumulate(5, 1.0, true), Accumulated::Admitted(1.0));
+    }
+
+    #[test]
+    fn batch_rev_replays_the_scalar_traversal() {
+        // The batch is applied newest-first (reverse index order) with
+        // per-entry pruning; the oracle is the open-coded loop the
+        // engines used before the kernels.
+        let ids: Vec<u64> = vec![3, 9, 3, 11, 7, 9, 2];
+        let deltas = [0.4, 0.2, 0.5, 0.1, 0.6, -0.3, 0.2];
+        let admit = [1u8, 0, 1, 1, 0, 1, 1];
+        let prune = [0.3, 0.25, 0.45, 0.5, 0.1, 0.0, 0.15];
+        let mut batch = ScoreAccumulator::new();
+        batch.accumulate(9, 0.9, true); // pre-existing live candidate
+        let mut scalar = ScoreAccumulator::new();
+        scalar.accumulate(9, 0.9, true);
+        let mut want_admitted = 0;
+        for i in (0..ids.len()).rev() {
+            let new = match scalar.accumulate(ids[i], deltas[i], admit[i] != 0) {
+                Accumulated::Updated(new) => new,
+                Accumulated::Admitted(new) => {
+                    want_admitted += 1;
+                    new
+                }
+                Accumulated::Skipped => continue,
+            };
+            if new < prune[i] {
+                scalar.zero(ids[i]);
+            }
+        }
+        let got = batch.accumulate_batch_rev(&ids, &deltas, &admit, &prune);
+        assert_eq!(got, want_admitted);
+        let mut want: Vec<(u64, f64)> = scalar.iter().collect();
+        let mut have: Vec<(u64, f64)> = batch.iter().collect();
+        want.sort_by_key(|&(k, _)| k);
+        have.sort_by_key(|&(k, _)| k);
+        assert_eq!(have.len(), want.len());
+        for ((ka, va), (kb, vb)) in have.iter().zip(&want) {
+            assert_eq!(ka, kb);
+            assert_eq!(va.to_bits(), vb.to_bits(), "key {ka}");
+        }
+        assert!(got >= 1, "the script admits at least one entry");
+    }
+
+    #[test]
+    fn accumulate_all_rev_admits_everything() {
+        let ids = [4u64, 8, 4, 15];
+        let deltas = [0.25, 0.5, 0.25, 1.0];
+        let mut a = ScoreAccumulator::new();
+        let admitted = a.accumulate_all_rev(&ids, &deltas);
+        assert_eq!(admitted, 3, "4 appears twice, admitted once");
+        assert_eq!(a.get(4), 0.5);
+        assert_eq!(a.get(8), 0.5);
+        assert_eq!(a.get(15), 1.0);
     }
 
     #[test]

@@ -29,6 +29,11 @@
 use crate::timed_block::{TimedBlock, TimedEntry};
 
 /// One packed posting entry: the L2AP triple plus the arrival time.
+///
+/// `#[repr(C)]` pins the field order so a posting slice can be viewed as
+/// a flat `u64` word stream ([`Self::as_words`]) for the SIMD batch
+/// kernels; the word offsets match `sssj_kernels::POSTING_*`.
+#[repr(C)]
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PackedPosting {
     /// Reference to the indexed vector.
@@ -39,6 +44,30 @@ pub struct PackedPosting {
     pub prefix_norm: f64,
     /// Arrival time of the owning vector, in seconds.
     pub t: f64,
+}
+
+impl PackedPosting {
+    /// 64-bit words per entry in the [`Self::as_words`] view.
+    pub const WORDS: usize = 4;
+
+    /// Views a posting slice as its raw 64-bit words, [`Self::WORDS`]
+    /// per entry in declaration order `[id, weight_bits, prefix_bits,
+    /// t_bits]` — the layout the `sssj_kernels` batch kernels consume.
+    #[inline]
+    pub fn as_words(postings: &[PackedPosting]) -> &[u64] {
+        const _: () = assert!(
+            std::mem::size_of::<PackedPosting>() == PackedPosting::WORDS * 8
+                && std::mem::align_of::<PackedPosting>() == 8
+        );
+        // SAFETY: `#[repr(C)]` with four 8-byte fields and no padding
+        // (checked above); every bit pattern is a valid `u64`.
+        unsafe {
+            std::slice::from_raw_parts(
+                postings.as_ptr() as *const u64,
+                postings.len() * Self::WORDS,
+            )
+        }
+    }
 }
 
 impl TimedEntry for PackedPosting {
@@ -106,10 +135,27 @@ impl PostingBlock {
 
     /// Drops every live entry whose time is `< cutoff`, assuming times
     /// are non-decreasing (the time-ordered lists of STR-INV / STR-L2),
-    /// and returns how many were dropped. O(log n) search + O(1)
-    /// truncation.
+    /// and returns how many were dropped.
+    ///
+    /// Short lists — the steady-state common case, where expiry trims a
+    /// handful of entries per call — use the SIMD strided time scan
+    /// (`partition_time_strided`, exact by contract); longer lists keep
+    /// the O(log n) binary search + O(1) truncation.
     pub fn expire_before(&mut self, cutoff: f64) -> usize {
-        self.block.expire_before(cutoff)
+        let n = {
+            let live = self.block.entries();
+            if live.len() > 128 {
+                return self.block.expire_before(cutoff);
+            }
+            sssj_kernels::partition_time_strided(
+                PackedPosting::as_words(live),
+                PackedPosting::WORDS,
+                sssj_kernels::POSTING_TIME,
+                cutoff,
+            )
+        };
+        self.block.truncate_front(n);
+        n
     }
 
     /// Keeps only the entries for which `keep` returns `true`, preserving
@@ -187,6 +233,33 @@ mod tests {
         assert_eq!(b.expire_before(0.0), 0);
         assert_eq!(b.expire_before(100.0), 6);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn as_words_matches_declared_layout() {
+        let b = filled(3);
+        let words = PackedPosting::as_words(b.postings());
+        assert_eq!(words.len(), 3 * PackedPosting::WORDS);
+        assert_eq!(words[0], 0); // id of entry 0
+        assert_eq!(words[4], 1); // id of entry 1
+        assert_eq!(f64::from_bits(words[4 + 1]), 0.5); // weight of entry 1
+        assert_eq!(f64::from_bits(words[2 * 4 + 2]), 0.5); // prefix norm of 2
+        assert_eq!(f64::from_bits(words[2 * 4 + 3]), 2.0); // time of entry 2
+    }
+
+    #[test]
+    fn expire_simd_path_matches_binary_search() {
+        // Below the 128-entry threshold the SIMD strided scan runs; the
+        // generic block's binary search is the oracle. Include a
+        // truncated block so the scan sees an offset live slice.
+        for cut in [-1.0, 0.0, 0.5, 3.0, 64.0, 119.5, 1000.0] {
+            let mut a = filled(120);
+            let mut b = filled(120);
+            a.truncate_front(5);
+            b.truncate_front(5);
+            assert_eq!(a.expire_before(cut), b.block.expire_before(cut), "{cut}");
+            assert_eq!(ids(&a), ids(&b), "{cut}");
+        }
     }
 
     #[test]

@@ -120,6 +120,29 @@ impl<P: TimedEntry> TimedBlock<P> {
         n
     }
 
+    /// Like [`Self::expire_before`], but partitioning a caller-provided
+    /// flat word view of the live entries with the SIMD strided-scan
+    /// kernel. `view` must reinterpret the slice as `stride` `u64`
+    /// words per entry with the time (an `f64` bit pattern) at word
+    /// `offset` — a `repr(C)` payload's raw words. Small blocks keep
+    /// the binary search (the vector setup doesn't pay for itself);
+    /// behaviour is identical to [`Self::expire_before`].
+    pub fn expire_before_strided(
+        &mut self,
+        cutoff: f64,
+        stride: usize,
+        offset: usize,
+        view: impl FnOnce(&[P]) -> &[u64],
+    ) -> usize {
+        let live = self.entries();
+        if live.len() <= 128 || live.first().is_none_or(|e| e.time() >= cutoff) {
+            return self.expire_before(cutoff);
+        }
+        let n = sssj_kernels::partition_time_strided(view(live), stride, offset, cutoff);
+        self.truncate_front(n);
+        n
+    }
+
     /// Keeps only the entries for which `keep` returns `true`, preserving
     /// order, in one forward compacting pass (for blocks whose entries
     /// lose time order). Returns the number of removed entries.

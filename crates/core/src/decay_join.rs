@@ -20,8 +20,9 @@
 //! `remscore = min(rs1w, rs2·f(Δt))` stays a safe upper bound.
 
 use sssj_collections::{
-    Accumulated, LinkedHashMap, PostingBlock, ScoreAccumulator, WindowedMaxVec,
+    LinkedHashMap, PackedPosting, PostingBlock, ScoreAccumulator, WindowedMaxVec,
 };
+use sssj_kernels::{candidate_batch_with_df, L2BatchParams};
 use sssj_metrics::JoinStats;
 use sssj_types::{dot, DecayModel, SimilarPair, SparseVector, StreamRecord, VectorId};
 
@@ -164,6 +165,15 @@ impl DecayStreaming {
         let stats = &mut self.stats;
         let live = &mut self.live_postings;
 
+        // Stack scratch for the batched candidate kernel (see the
+        // exponential hot path in `streaming.rs` for the layout).
+        const BATCH: usize = 64;
+        let mut b_dfs = [0.0f64; BATCH];
+        let mut b_ids = [0u64; BATCH];
+        let mut b_deltas = [0.0f64; BATCH];
+        let mut b_prune = [0.0f64; BATCH];
+        let mut b_admit = [0u8; BATCH];
+
         for (dim, xj) in x.iter().rev() {
             if let Some(list) = lists.get_mut(dim as usize) {
                 // ‖x′_j‖ recovered from the running suffix mass: during
@@ -179,23 +189,46 @@ impl DecayStreaming {
                 }
                 let postings = list.postings();
                 stats.entries_traversed += postings.len() as u64;
-                // Newest-first flat walk, one fused accumulator probe per
-                // entry (preserves the first-touch order of the previous
-                // backward scan).
-                for p in postings.iter().rev() {
-                    let df = model.factor(now - p.t);
-                    let admit = rs1w.min(rs2 * df) >= theta_slack;
-                    let new = match acc.accumulate(p.id, xj * p.weight, admit) {
-                        Accumulated::Updated(new) => new,
-                        Accumulated::Admitted(new) => {
-                            stats.candidates += 1;
-                            new
-                        }
-                        Accumulated::Skipped => continue,
-                    };
-                    if new + xnorm_before * p.prefix_norm * df < theta_slack {
-                        acc.zero(p.id);
+                // Newest-first batched walk (`rchunks` + reverse replay
+                // in the accumulator ≡ the previous backward scan). The
+                // model's exact transcendental fills a per-chunk factor
+                // buffer; the SIMD kernel fuses deltas, admission and
+                // the ℓ2 prune threshold. The window-max conjunct
+                // `min(rs1w, rs2·df) ≥ θₛ ⟺ rs1w ≥ θₛ ∧ rs2·df ≥ θₛ`
+                // folds into the kernel by vetoing with `rs2 = −∞`.
+                let rs2_eff = if rs1w >= theta_slack {
+                    rs2
+                } else {
+                    f64::NEG_INFINITY
+                };
+                let params = L2BatchParams {
+                    xj,
+                    now,
+                    xnorm_before,
+                    rs2: rs2_eff,
+                    theta_slack,
+                    inv_step: 1.0,
+                };
+                for chunk in postings.rchunks(BATCH) {
+                    let n = chunk.len();
+                    for (df, p) in b_dfs[..n].iter_mut().zip(chunk) {
+                        *df = model.factor(now - p.t);
                     }
+                    candidate_batch_with_df(
+                        PackedPosting::as_words(chunk),
+                        &b_dfs[..n],
+                        &params,
+                        &mut b_ids[..n],
+                        &mut b_deltas[..n],
+                        &mut b_prune[..n],
+                        &mut b_admit[..n],
+                    );
+                    stats.candidates += acc.accumulate_batch_rev(
+                        &b_ids[..n],
+                        &b_deltas[..n],
+                        &b_admit[..n],
+                        &b_prune[..n],
+                    ) as u64;
                 }
             }
             if let Some(wm) = &mut self.window_max {

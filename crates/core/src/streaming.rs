@@ -32,8 +32,10 @@
 //!   (asserted by `tests/zero_alloc.rs`).
 
 use sssj_collections::{
-    Accumulated, DecayedMaxVec, LinkedHashMap, MaxVector, PostingBlock, ScoreAccumulator,
+    Accumulated, DecayedMaxVec, LinkedHashMap, MaxVector, PackedPosting, PostingBlock,
+    ScoreAccumulator,
 };
+use sssj_kernels::L2BatchParams;
 use sssj_metrics::JoinStats;
 use sssj_types::{
     dot_sorted, Decay, DecayTable, SimilarPair, SparseVector, StreamRecord, VectorId, VectorSummary,
@@ -288,6 +290,15 @@ impl Streaming {
         let mhat_lambda = &self.mhat_lambda;
         let table = &self.table;
 
+        // Fixed-size scratch for the SIMD candidate-batch kernels: stack
+        // arrays, so the zero-allocation steady-state contract
+        // (`tests/zero_alloc.rs`) holds with batching too.
+        const BATCH: usize = 64;
+        let mut b_ids = [0u64; BATCH];
+        let mut b_deltas = [0.0f64; BATCH];
+        let mut b_prune = [0.0f64; BATCH];
+        let mut b_admit = [0u8; BATCH];
+
         for (dim, xj) in x.iter().rev() {
             if let Some(list) = lists.get_mut(dim as usize) {
                 // ‖x′_j‖ for the l2bound, recovered from the running
@@ -312,37 +323,76 @@ impl Streaming {
                     let postings = list.postings();
                     stats.entries_traversed += postings.len() as u64;
                     if policy.l2 {
-                        // STR-L2, the paper's headline path: one flat
-                        // loop, table decay, one accumulator probe per
-                        // entry, no hashing. Newest-first (like the
-                        // seed's backward scan) so first-touch order —
-                        // and thus output order — is preserved; the walk
-                        // is contiguous either way.
-                        for p in postings.iter().rev() {
-                            let df = table.upper(now - p.t);
-                            let admit = rs2 * df >= theta_slack;
-                            let new = match acc.accumulate(p.id, xj * p.weight, admit) {
-                                Accumulated::Updated(new) => new,
-                                Accumulated::Admitted(new) => {
-                                    stats.candidates += 1;
-                                    new
-                                }
-                                Accumulated::Skipped => continue,
+                        // STR-L2, the paper's headline path. The SIMD
+                        // batch kernel evaluates decay bounds, score
+                        // deltas, admission flags and prune thresholds
+                        // for 64 postings at a time; the accumulator
+                        // replays them newest-first (`rchunks` + reverse
+                        // within each chunk ≡ the old `.iter().rev()`
+                        // walk), preserving first-touch — and thus
+                        // output — order. The early ℓ2 prune
+                        // (Cauchy–Schwarz on the unscanned prefixes,
+                        // decayed) is folded into the per-entry
+                        // threshold `θₛ − ‖x′‖·pn·df`.
+                        if let Some((factors, inv_step)) = table.lookup() {
+                            let params = L2BatchParams {
+                                xj,
+                                now,
+                                xnorm_before,
+                                rs2,
+                                theta_slack,
+                                inv_step,
                             };
-                            // Early ℓ2 pruning (Cauchy–Schwarz on the
-                            // unscanned prefixes, decayed).
-                            if new + xnorm_before * p.prefix_norm * df < theta_slack {
-                                acc.zero(p.id);
+                            for chunk in postings.rchunks(BATCH) {
+                                let n = chunk.len();
+                                sssj_kernels::l2_candidate_batch(
+                                    PackedPosting::as_words(chunk),
+                                    &params,
+                                    factors,
+                                    &mut b_ids[..n],
+                                    &mut b_deltas[..n],
+                                    &mut b_prune[..n],
+                                    &mut b_admit[..n],
+                                );
+                                stats.candidates += acc.accumulate_batch_rev(
+                                    &b_ids[..n],
+                                    &b_deltas[..n],
+                                    &b_admit[..n],
+                                    &b_prune[..n],
+                                ) as u64;
+                            }
+                        } else {
+                            // Degenerate decay table (λ = 0 or infinite
+                            // horizon): keep the exact per-entry form.
+                            for p in postings.iter().rev() {
+                                let df = table.upper(now - p.t);
+                                let admit = rs2 * df >= theta_slack;
+                                let new = match acc.accumulate(p.id, xj * p.weight, admit) {
+                                    Accumulated::Updated(new) => new,
+                                    Accumulated::Admitted(new) => {
+                                        stats.candidates += 1;
+                                        new
+                                    }
+                                    Accumulated::Skipped => continue,
+                                };
+                                if new + xnorm_before * p.prefix_norm * df < theta_slack {
+                                    acc.zero(p.id);
+                                }
                             }
                         }
                     } else {
-                        // STR-INV: no pruning bounds — accumulate all.
-                        for p in postings.iter().rev() {
-                            if let Accumulated::Admitted(_) =
-                                acc.accumulate(p.id, xj * p.weight, true)
-                            {
-                                stats.candidates += 1;
-                            }
+                        // STR-INV: no pruning bounds — accumulate all,
+                        // batched through the id/delta kernel.
+                        for chunk in postings.rchunks(BATCH) {
+                            let n = chunk.len();
+                            sssj_kernels::posting_products(
+                                PackedPosting::as_words(chunk),
+                                xj,
+                                &mut b_ids[..n],
+                                &mut b_deltas[..n],
+                            );
+                            stats.candidates +=
+                                acc.accumulate_all_rev(&b_ids[..n], &b_deltas[..n]) as u64;
                         }
                     }
                 } else {

@@ -120,4 +120,45 @@ proptest! {
         }
         prop_assert_eq!(sorted_keys(&split), sorted_keys(&fused));
     }
+
+    /// End-to-end lane differential: every engine emits the same pair set
+    /// with the SIMD kernels forced to their scalar references as with
+    /// runtime dispatch. This is the whole-join counterpart of the
+    /// per-kernel tests in `sssj-kernels` — it catches dispatch-boundary
+    /// mistakes (wrong slack rearrangement, order-dependent accumulation)
+    /// no micro test can see.
+    #[test]
+    fn forced_scalar_lane_matches_auto_dispatch(
+        records in stream_strategy(),
+        theta in 0.3f64..0.9,
+        lambda in 0.05f64..1.0,
+    ) {
+        // The lane override is process-global; serialize with any other
+        // test that touches it and always restore.
+        static LANE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LANE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                sssj_kernels::force_lane(None);
+            }
+        }
+        let _restore = Restore;
+
+        for kind in [IndexKind::L2, IndexKind::Inv] {
+            sssj_kernels::force_lane(None);
+            let auto = run_streaming(kind, &records, theta, lambda);
+            sssj_kernels::force_lane(Some(sssj_kernels::Lane::Scalar));
+            let scalar = run_streaming(kind, &records, theta, lambda);
+            sssj_kernels::force_lane(None);
+            prop_assert_eq!(
+                sorted_keys(&scalar),
+                sorted_keys(&auto),
+                "lane-dependent pair set for {} θ={} λ={}",
+                kind,
+                theta,
+                lambda
+            );
+        }
+    }
 }

@@ -22,10 +22,18 @@ pub enum Preset {
     Blogs,
     /// Tweets-like: tiny documents, high-rate bursty arrivals.
     Tweets,
+    /// A stress workload denser than Tweets, outside Table 1: small
+    /// vocabulary with moderate documents and warm topic overlap, so
+    /// posting lists carry a much higher live degree per dimension than
+    /// any real preset at the same horizon. Used by the latency harness
+    /// to expose inner-loop (SIMD-sensitive) cost rather than indexing
+    /// overhead. Not in [`Preset::ALL`] — it mimics no dataset.
+    Dense,
 }
 
 impl Preset {
-    /// All presets, in Table 1 order.
+    /// All Table 1 presets, in Table 1 order. [`Preset::Dense`] is a
+    /// synthetic stress workload and deliberately excluded.
     pub const ALL: [Preset; 4] = [Preset::WebSpam, Preset::Rcv1, Preset::Blogs, Preset::Tweets];
 
     /// Parses the names used by the CLI and the harness.
@@ -35,6 +43,7 @@ impl Preset {
             "rcv1" => Some(Preset::Rcv1),
             "blogs" => Some(Preset::Blogs),
             "tweets" => Some(Preset::Tweets),
+            "dense" => Some(Preset::Dense),
             _ => None,
         }
     }
@@ -46,6 +55,7 @@ impl Preset {
             Preset::Rcv1 => "sequential",
             Preset::Blogs => "publishing date",
             Preset::Tweets => "publishing date",
+            Preset::Dense => "poisson",
         }
     }
 }
@@ -57,6 +67,7 @@ impl fmt::Display for Preset {
             Preset::Rcv1 => "RCV1",
             Preset::Blogs => "Blogs",
             Preset::Tweets => "Tweets",
+            Preset::Dense => "Dense",
         })
     }
 }
@@ -130,6 +141,22 @@ pub fn preset(which: Preset, n: usize) -> DatasetConfig {
             },
             ..base
         },
+        // Stress workload: an 800-term vocabulary under 64-term documents
+        // with strong topic affinity and a heavy near-duplicate stream
+        // pushes per-dimension live degree far past any Table 1 preset —
+        // candidate generation dominates end to end.
+        Preset::Dense => DatasetConfig {
+            vocab: 800,
+            avg_nnz: 64,
+            zipf_exponent: 0.8,
+            topics: 6,
+            topic_affinity: 0.85,
+            dup_prob: 0.15,
+            dup_mutation: 0.1,
+            dup_window: 400,
+            arrival: ArrivalProcess::Poisson { rate: 4.0 },
+            ..base
+        },
     }
 }
 
@@ -167,10 +194,42 @@ mod tests {
 
     #[test]
     fn every_preset_generates_valid_streams() {
-        for p in Preset::ALL {
+        for p in [
+            Preset::WebSpam,
+            Preset::Rcv1,
+            Preset::Blogs,
+            Preset::Tweets,
+            Preset::Dense,
+        ] {
             let records = generate(&preset(p, 50));
             assert_eq!(records.len(), 50, "{p}");
             assert_eq!(sssj_types::record::validate_stream(&records), Ok(()), "{p}");
         }
+    }
+
+    #[test]
+    fn dense_preset_outweighs_tweets_per_dimension() {
+        // Per-dimension collision pressure (avg nnz / vocab) is what the
+        // candidate-generation inner loop pays for; Dense must dwarf
+        // every Table 1 preset on it, and carry more terms per document
+        // than Tweets.
+        let dense_cfg = preset(Preset::Dense, 200);
+        let dense_pressure = dense_cfg.avg_nnz as f64 / dense_cfg.vocab as f64;
+        for p in Preset::ALL {
+            let cfg = preset(p, 200);
+            let pressure = cfg.avg_nnz as f64 / cfg.vocab as f64;
+            assert!(
+                dense_pressure > 2.0 * pressure,
+                "Dense pressure {dense_pressure} vs {p} {pressure}"
+            );
+        }
+        let dense = generate(&dense_cfg);
+        let tweets = generate(&preset(Preset::Tweets, 200));
+        let avg = |rs: &[sssj_types::StreamRecord]| {
+            rs.iter().map(|r| r.vector.nnz()).sum::<usize>() as f64 / rs.len() as f64
+        };
+        assert!(avg(&dense) > avg(&tweets), "denser than Tweets per doc");
+        assert_eq!(Preset::parse("dense"), Some(Preset::Dense));
+        assert!(!Preset::ALL.contains(&Preset::Dense));
     }
 }

@@ -43,7 +43,11 @@ use sssj_collections::{FxBuildHasher, TimedBlock, TimedEntry};
 
 /// One directed half of a stored edge: the far endpoint, the similarity
 /// score, and the delivery stamp.
+///
+/// `repr(C)` so adjacency runs expose a flat word view
+/// ([`Edge::as_words`]) to the strided SIMD scan kernels.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C)]
 pub struct Edge {
     /// The far endpoint's record id.
     pub neighbor: u64,
@@ -52,6 +56,27 @@ pub struct Edge {
     /// Delivery stamp: the stream time at which the join handed the
     /// pair back.
     pub t: f64,
+}
+
+impl Edge {
+    /// 64-bit words per edge in the flat view.
+    pub const WORDS: usize = 3;
+    /// Word offset of `similarity` within the flat view.
+    pub const SIMILARITY_WORD: usize = 1;
+    /// Word offset of the delivery stamp `t` within the flat view.
+    pub const TIME_WORD: usize = 2;
+
+    /// Reinterprets a run of edges as the raw 64-bit words the strided
+    /// scan kernels consume (`stride = WORDS`, similarity at offset
+    /// [`Self::SIMILARITY_WORD`]).
+    pub fn as_words(edges: &[Edge]) -> &[u64] {
+        const _: () = assert!(
+            std::mem::size_of::<Edge>() == Edge::WORDS * 8 && std::mem::align_of::<Edge>() == 8
+        );
+        // SAFETY: repr(C) with the layout asserted above; u64 has no
+        // validity requirements beyond initialised bytes.
+        unsafe { std::slice::from_raw_parts(edges.as_ptr().cast(), edges.len() * Edge::WORDS) }
+    }
 }
 
 impl TimedEntry for Edge {
@@ -286,7 +311,7 @@ impl SimilarityGraph {
     fn sweep(&mut self) {
         let cutoff = self.cutoff();
         self.adj.retain(|_, block| {
-            block.expire_before(cutoff);
+            block.expire_before_strided(cutoff, Edge::WORDS, Edge::TIME_WORD, Edge::as_words);
             !block.is_empty()
         });
         self.expired_since_sweep = 0;
@@ -318,7 +343,7 @@ impl SimilarityGraph {
         let Some(block) = self.adj.get_mut(&node) else {
             return Vec::new();
         };
-        block.expire_before(cutoff);
+        block.expire_before_strided(cutoff, Edge::WORDS, Edge::TIME_WORD, Edge::as_words);
         let mut out: Vec<Edge> = block.entries().to_vec();
         out.sort_by_key(|e| e.neighbor);
         out
@@ -336,16 +361,38 @@ impl SimilarityGraph {
         let Some(block) = self.adj.get_mut(&node) else {
             return Vec::new();
         };
-        block.expire_before(cutoff);
+        block.expire_before_strided(cutoff, Edge::WORDS, Edge::TIME_WORD, Edge::as_words);
         // A k-sized heap of the best edges seen so far, rooted at the
-        // current worst (RankedEdge orders worse-is-greater): push each
-        // live edge, pop whenever the heap overflows k. O(d log k) over
-        // the degree, O(k) memory — `k` is a query parameter (small).
+        // current worst (RankedEdge orders worse-is-greater). O(d log k)
+        // over the degree, O(k) memory — `k` is a query parameter
+        // (small). Seed it with the first k edges, then let the SIMD
+        // similarity filter skip chunks of edges that cannot displace
+        // the root: once the heap holds k, push+pop of an edge scoring
+        // strictly below the root is an identity. The filter keeps ties
+        // (`≥`, they may still win on neighbour id) and the root's score
+        // only rises, so over-selection is harmless and under-selection
+        // impossible — output is exactly the full-heap scan's.
+        let entries = block.entries();
+        let seed = entries.len().min(k);
         let mut heap = std::collections::BinaryHeap::with_capacity(k + 1);
-        for e in block.entries() {
+        for e in &entries[..seed] {
             heap.push(RankedEdge(*e));
-            if heap.len() > k {
-                heap.pop();
+        }
+        let mut idx = [0u32; 64];
+        for chunk in entries[seed..].chunks(idx.len()) {
+            let root_sim = heap.peek().map_or(f64::NEG_INFINITY, |r| r.0.similarity);
+            let kept = sssj_kernels::select_ge_strided(
+                Edge::as_words(chunk),
+                Edge::WORDS,
+                Edge::SIMILARITY_WORD,
+                root_sim,
+                &mut idx[..chunk.len()],
+            );
+            for &i in &idx[..kept] {
+                heap.push(RankedEdge(chunk[i as usize]));
+                if heap.len() > k {
+                    heap.pop();
+                }
             }
         }
         // Ascending RankedEdge order is best-first.
@@ -364,7 +411,7 @@ impl SimilarityGraph {
         // check liveness through the adjacency, not the union-find.
         let cutoff = self.cutoff();
         let block = self.adj.get_mut(&node)?;
-        block.expire_before(cutoff);
+        block.expire_before_strided(cutoff, Edge::WORDS, Edge::TIME_WORD, Edge::as_words);
         if block.is_empty() {
             return None;
         }
@@ -523,6 +570,57 @@ mod tests {
         assert_eq!(ids(&g.topk(0, 10, 3.0)), vec![2, 3, 4, 1]);
         assert!(g.topk(0, 0, 3.0).is_empty());
         assert!(g.topk(99, 3, 3.0).is_empty());
+    }
+
+    #[test]
+    fn topk_simd_prefilter_matches_full_heap_scan() {
+        // High-degree node (several SIMD chunks) with heavy similarity
+        // ties so the `≥` filter's tie-keeping and the heap's id
+        // tiebreak both get exercised; oracle is the plain all-push
+        // k-heap the prefilter claims to reproduce exactly.
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut g = SimilarityGraph::new(f64::INFINITY);
+        let mut edges = Vec::new();
+        for i in 0..500u64 {
+            let sim = (rng.random_range(0..20u32) as f64) / 20.0;
+            g.add_edge(0, i + 1, sim, i as f64 * 0.01);
+            edges.push(Edge {
+                neighbor: i + 1,
+                similarity: sim,
+                t: i as f64 * 0.01,
+            });
+        }
+        for k in [1, 3, 17, 64, 200, 600] {
+            let mut heap = std::collections::BinaryHeap::new();
+            for e in &edges {
+                heap.push(RankedEdge(*e));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+            let want: Vec<u64> = heap
+                .into_sorted_vec()
+                .into_iter()
+                .map(|r| r.0.neighbor)
+                .collect();
+            assert_eq!(ids(&g.topk(0, k, 5.0)), want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn strided_expiry_matches_binary_search() {
+        // Degree past the SIMD threshold (> 128) so the strided kernel
+        // path actually runs; the horizon semantics must be identical
+        // to the generic binary-search expiry.
+        let mut g = SimilarityGraph::new(2.0);
+        for i in 0..300u64 {
+            g.add_edge(0, i + 1, 0.9, i as f64 * 0.01);
+        }
+        // now = 4.0 ⇒ cutoff 2.0 ⇒ edges with t < 2.0 (i < 200) die.
+        let live = g.neighbors(0, 4.0);
+        assert_eq!(live.len(), 100);
+        assert!(live.iter().all(|e| e.t >= 2.0));
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Measures the probe↔merge crossover: for each |long|/|short| ratio,
+//! times the merge and probe kernels under runtime dispatch and prints
+//! which wins. Used to calibrate `sssj_types::PROBE_CROSSOVER`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+fn sparse(n: usize, vocab: u32, seed: u64) -> (Vec<u32>, Vec<f64>) {
+    // Tiny xorshift so the example needs no dev-deps.
+    let mut s = seed | 1;
+    let mut next = || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut dims: Vec<u32> = (0..n * 2).map(|_| (next() % vocab as u64) as u32).collect();
+    dims.sort_unstable();
+    dims.dedup();
+    dims.truncate(n);
+    let weights = dims
+        .iter()
+        .map(|_| (next() % 1000) as f64 / 1000.0 + 0.01)
+        .collect();
+    (dims, weights)
+}
+
+fn time_ns(mut f: impl FnMut() -> f64) -> f64 {
+    // Warm up, then best-of-5 × 20k iterations.
+    for _ in 0..5_000 {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..20_000 {
+            black_box(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e9 / 20_000.0);
+    }
+    best
+}
+
+fn main() {
+    println!("lane: {}", sssj_kernels::active_lane().name());
+    for short_n in [4usize, 8, 16] {
+        for ratio in [4usize, 8, 12, 16, 20, 24, 32, 48, 64] {
+            let long_n = short_n * ratio;
+            let (sd, sw) = sparse(short_n, 60_000, 9 + short_n as u64);
+            let (ld, lw) = sparse(long_n, 60_000, 77 + ratio as u64);
+            if sd.len() < short_n || ld.len() < long_n {
+                continue;
+            }
+            let merge = time_ns(|| sssj_kernels::dot_merge(&sd, &sw, &ld, &lw));
+            let probe = time_ns(|| sssj_kernels::dot_probe(&sd, &sw, &ld, &lw));
+            println!(
+                "short={short_n:>2} ratio={ratio:>2} long={long_n:>4}  merge={merge:>7.1}ns  \
+                 probe={probe:>7.1}ns  winner={}",
+                if probe < merge { "probe" } else { "merge" }
+            );
+        }
+    }
+}

@@ -24,7 +24,7 @@ pub mod timer;
 pub use budget::{BudgetOutcome, WorkBudget};
 pub use counters::JoinStats;
 pub use csv::Csv;
-pub use histogram::LatencyHistogram;
+pub use histogram::{LatencyHistogram, LogLinearHistogram};
 pub use regression::{linear_regression, Regression};
 pub use table::TextTable;
 pub use timer::Stopwatch;

@@ -160,6 +160,21 @@ impl DecayTable {
         self.decay.factor(dt)
     }
 
+    /// The raw quantized table, `(factors, 1/step)`, when one exists —
+    /// `None` for the degenerate exact form (λ = 0 or an unbounded
+    /// horizon), which callers must keep on the per-entry [`Self::upper`]
+    /// path. The batched kernels (`sssj_kernels::l2_candidate_batch`,
+    /// `decay_upper_batch`) consume this pair and reproduce
+    /// [`Self::upper`] bit for bit over every non-NaN gap.
+    #[inline]
+    pub fn lookup(&self) -> Option<(&[f64], f64)> {
+        if self.inv_step > 0.0 {
+            Some((&self.factors, self.inv_step))
+        } else {
+            None
+        }
+    }
+
     /// Estimated heap footprint in bytes.
     pub fn heap_bytes(&self) -> u64 {
         self.factors.len() as u64 * 8
@@ -248,6 +263,28 @@ mod tests {
         assert_eq!(none.upper(1e12), 1.0);
         let inf = DecayTable::new(Decay::new(0.3), f64::INFINITY);
         assert!((inf.upper(2.0) - (-0.6f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lookup_exposes_table_iff_quantized() {
+        let real = DecayTable::new(Decay::new(0.1), 20.0);
+        let (factors, inv_step) = real.lookup().expect("quantized table");
+        assert!(inv_step > 0.0);
+        // The batched kernel over the exposed pair must reproduce
+        // `upper` bit for bit — that is the contract the engines'
+        // batch path relies on.
+        let dts: Vec<f64> = (-3..40).map(|i| i as f64 * 0.7).collect();
+        let mut out = vec![0.0; dts.len()];
+        sssj_kernels::decay_upper_batch(&dts, inv_step, factors, &mut out);
+        for (dt, got) in dts.iter().zip(&out) {
+            assert_eq!(got.to_bits(), real.upper(*dt).to_bits(), "dt={dt}");
+        }
+        assert!(DecayTable::new(Decay::new(0.0), f64::INFINITY)
+            .lookup()
+            .is_none());
+        assert!(DecayTable::new(Decay::new(0.3), f64::INFINITY)
+            .lookup()
+            .is_none());
     }
 
     #[test]

