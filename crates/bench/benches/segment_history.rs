@@ -1,0 +1,201 @@
+//! Extension: the historical segment tier (`sssj-segments`).
+//!
+//! The history tier turns horizon GC from a delete into an archive:
+//! retired WAL segments and expired graph edges become immutable sorted
+//! segment files, and graph queries gain a time-travel form
+//! (`… at=<t>`). This bench measures what that costs and what the read
+//! path delivers on a Tweets-like stream (τ = 10 s horizon):
+//!
+//! * `history_ingest/durable_graph` vs `history_ingest/with_history` —
+//!   the ingest-path overhead of capturing expired edges and compacting
+//!   retired WAL segments instead of deleting them;
+//! * `time_travel/live` — `topk` against the live graph (the baseline
+//!   read path);
+//! * `time_travel/overlay_near` — `topk … at=watermark` through the
+//!   overlay (live window + pending + segment probe, bloom-gated);
+//! * `time_travel/overlay_deep` — `topk … at=25 % of the span`, a time
+//!   the live graph has fully expired: every answer comes off the
+//!   mmap'd segment files.
+//!
+//! `BENCH_FAST=1` shrinks n for the CI smoke run. Record A/B rounds into
+//! `BENCH_pr7.json` (repo-root protocol: interleaved rounds, compare
+//! `min_ns`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sssj_core::{run_stream, JoinSpec};
+use sssj_data::{generate, preset, Preset};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forgetting horizon, seconds — matches `graph_query`.
+const TAU: f64 = 10.0;
+/// Neighbours per top-k query.
+const K: usize = 10;
+
+fn scale() -> usize {
+    if std::env::var("BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+fn bench_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sssj-bench-history-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn spec(theta: f64, root: &std::path::Path, history: bool) -> JoinSpec {
+    let h = if history {
+        format!("&history={}", root.join("hist").display())
+    } else {
+        String::new()
+    };
+    format!(
+        "str-l2?theta={theta}&tau={TAU}&durable={}&graph{h}",
+        root.join("wal").display()
+    )
+    .parse()
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    sssj_segments::register_spec_builder();
+    let n = scale();
+    let stream = generate(&preset(Preset::Tweets, n));
+    let theta = 0.5;
+    eprintln!("segment_history: n={n} tweets-like records, tau={TAU}s, k={K}");
+
+    // Ingest-path overhead of the history tier: identical durable+graph
+    // pipeline, with and without the compactor on the GC sink. Fresh
+    // directories per iteration — both sides pay the same WAL cost, the
+    // delta is the archive.
+    let mut g = c.benchmark_group("history_ingest");
+    g.sample_size(5);
+    let round = AtomicU64::new(0);
+    g.bench_function(
+        BenchmarkId::new("durable_graph", format!("theta={theta}")),
+        |b| {
+            b.iter(|| {
+                let root = bench_root(&format!("plain-{}", round.fetch_add(1, Ordering::Relaxed)));
+                let (mut join, _g) =
+                    sssj_graph::build_with_handle(&spec(theta, &root, false)).unwrap();
+                let pairs = run_stream(&mut join, &stream).len();
+                drop(join);
+                std::fs::remove_dir_all(&root).ok();
+                black_box(pairs)
+            })
+        },
+    );
+    g.bench_function(
+        BenchmarkId::new("with_history", format!("theta={theta}")),
+        |b| {
+            b.iter(|| {
+                let root = bench_root(&format!("hist-{}", round.fetch_add(1, Ordering::Relaxed)));
+                let (mut join, _g, _h) =
+                    sssj_segments::build_with_handles(&spec(theta, &root, true)).unwrap();
+                let pairs = run_stream(join.as_mut(), &stream).len();
+                drop(join);
+                std::fs::remove_dir_all(&root).ok();
+                black_box(pairs)
+            })
+        },
+    );
+    g.finish();
+
+    // One populated tier for the read-path comparison.
+    let root = bench_root("read");
+    let (mut join, graph, history) =
+        sssj_segments::build_with_handles(&spec(theta, &root, true)).unwrap();
+    let graph = graph.expect("graph wrapper present");
+    let mut out = Vec::new();
+    let mut log: Vec<(u64, f64)> = Vec::new();
+    for r in &stream {
+        out.clear();
+        join.process(r, &mut out);
+        for p in &out {
+            log.push((p.left, r.t.seconds()));
+            log.push((p.right, r.t.seconds()));
+        }
+    }
+    out.clear();
+    join.finish(&mut out);
+    let now = stream.last().unwrap().t.seconds();
+    let t0 = stream.first().unwrap().t.seconds();
+    let deep = t0 + (now - t0) * 0.25;
+    let boundary = history.boundary();
+    eprintln!(
+        "segment_history: {} segments archived, oldest_t={:?}, watermark={now:.1}",
+        boundary.segments, boundary.oldest_t
+    );
+    assert!(
+        boundary.segments > 0,
+        "workload sanity: nothing was archived"
+    );
+    // Query pools: ids with edges near the watermark, and ids that were
+    // active around the deep time-travel point. Pair deliveries can be
+    // sparse around any particular instant, so an empty window falls
+    // back to the ids whose deliveries were *closest* in time.
+    let pool = |center: f64, width: f64| -> Vec<u64> {
+        let mut v: Vec<u64> = log
+            .iter()
+            .filter(|&&(_, t)| (t - center).abs() <= width)
+            .map(|&(id, _)| id)
+            .collect();
+        if v.is_empty() {
+            let mut idx: Vec<usize> = (0..log.len()).collect();
+            idx.sort_by(|&a, &b| {
+                (log[a].1 - center)
+                    .abs()
+                    .total_cmp(&(log[b].1 - center).abs())
+            });
+            v = idx.into_iter().take(256).map(|i| log[i].0).collect();
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    assert!(
+        !log.is_empty(),
+        "workload sanity: the join emitted no pairs"
+    );
+    let near_targets = pool(now, 4.0 * TAU);
+    let deep_targets = pool(deep, TAU);
+
+    let horizon = TAU;
+    let mut g = c.benchmark_group("time_travel");
+    g.sample_size(5);
+    let cursor = AtomicU64::new(0);
+    g.bench_function(BenchmarkId::new("live", "topk"), |b| {
+        b.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+            let node = near_targets[i % near_targets.len()];
+            black_box(graph.topk(node, K, now).len())
+        })
+    });
+    g.bench_function(BenchmarkId::new("overlay_near", "topk_at"), |b| {
+        b.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+            let node = near_targets[i % near_targets.len()];
+            black_box(history.topk_at(Some(&graph), node, K, now, horizon).len())
+        })
+    });
+    g.bench_function(BenchmarkId::new("overlay_deep", "topk_at"), |b| {
+        b.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+            let node = deep_targets[i % deep_targets.len()];
+            black_box(history.topk_at(Some(&graph), node, K, deep, horizon).len())
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

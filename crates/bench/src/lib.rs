@@ -37,5 +37,5 @@ pub mod runner;
 pub use datasets::default_n;
 pub use experiments::Experiments;
 pub use grid::{LAMBDAS, THETAS};
-pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+pub use openloop::{run_open_loop, run_open_loop_with_hooks, OpenLoopConfig, OpenLoopReport};
 pub use runner::{run_algorithm, RunOutcome, RunResult};

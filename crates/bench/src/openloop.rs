@@ -154,6 +154,44 @@ pub fn run_open_loop(
     records: &[StreamRecord],
     cfg: &OpenLoopConfig,
 ) -> OpenLoopReport {
+    let graph = std::cell::RefCell::new(
+        (cfg.query_every > 0).then(|| SimilarityGraph::new(cfg.graph_horizon)),
+    );
+    let k = cfg.k;
+    let mut on_pairs = |r: &StreamRecord, out: &[SimilarPair]| {
+        if let Some(g) = graph.borrow_mut().as_mut() {
+            for p in out {
+                g.add_edge(p.left, p.right, p.similarity, r.t.seconds());
+            }
+        }
+    };
+    let mut query = |r: &StreamRecord| {
+        if let Some(g) = graph.borrow_mut().as_mut() {
+            let top = g.topk(r.id, k, r.t.seconds());
+            std::hint::black_box(&top);
+        }
+    };
+    run_open_loop_with_hooks(join, records, cfg, &mut on_pairs, &mut query)
+}
+
+/// The generalised replay behind [`run_open_loop`]: the caller supplies
+/// what happens to each record's emitted pairs (`on_pairs`) and what the
+/// periodic query does (`query`) — e.g. a time-travel `topk … at=<t>`
+/// against a history tier instead of the in-process graph tap.
+///
+/// `on_pairs` runs inside the timed ingest window (it is part of the
+/// serving path); `query` runs every `cfg.query_every` ingests and is
+/// charged from the same scheduled arrival as the ingest it follows.
+/// `cfg.query_every == 0` disables the query stream; `cfg.k` and
+/// `cfg.graph_horizon` are the default hooks' concern and are ignored
+/// here.
+pub fn run_open_loop_with_hooks(
+    join: &mut dyn StreamJoin,
+    records: &[StreamRecord],
+    cfg: &OpenLoopConfig,
+    on_pairs: &mut dyn FnMut(&StreamRecord, &[SimilarPair]),
+    query: &mut dyn FnMut(&StreamRecord),
+) -> OpenLoopReport {
     assert!(
         cfg.rate > 0.0 && cfg.rate.is_finite(),
         "rate must be positive"
@@ -161,9 +199,8 @@ pub fn run_open_loop(
     let offsets = schedule(records, cfg.rate);
     let period = Duration::from_secs_f64(1.0 / cfg.rate);
 
-    let mut graph = (cfg.query_every > 0).then(|| SimilarityGraph::new(cfg.graph_horizon));
     let mut ingest = LogLinearHistogram::new();
-    let mut query = LogLinearHistogram::new();
+    let mut query_hist = LogLinearHistogram::new();
     let mut out: Vec<SimilarPair> = Vec::new();
     let mut stalls = 0u64;
     let mut queries = 0u64;
@@ -180,23 +217,16 @@ pub fn run_open_loop(
         out.clear();
         join.process(r, &mut out);
         pairs += out.len() as u64;
-        if let Some(g) = graph.as_mut() {
-            for p in &out {
-                g.add_edge(p.left, p.right, p.similarity, r.t.seconds());
-            }
-        }
+        on_pairs(r, &out);
         let done = Instant::now();
         if i >= cfg.warmup {
             ingest.record(done.duration_since(scheduled).as_secs_f64());
         }
-        if let Some(g) = graph.as_mut() {
-            if (i + 1) % cfg.query_every == 0 {
-                let top = g.topk(r.id, cfg.k, r.t.seconds());
-                std::hint::black_box(&top);
-                queries += 1;
-                if i >= cfg.warmup {
-                    query.record(Instant::now().duration_since(scheduled).as_secs_f64());
-                }
+        if cfg.query_every > 0 && (i + 1) % cfg.query_every == 0 {
+            query(r);
+            queries += 1;
+            if i >= cfg.warmup {
+                query_hist.record(Instant::now().duration_since(scheduled).as_secs_f64());
             }
         }
     }
@@ -204,7 +234,7 @@ pub fn run_open_loop(
 
     OpenLoopReport {
         ingest,
-        query,
+        query: query_hist,
         stalls,
         records: records.len() as u64,
         queries,
@@ -268,6 +298,26 @@ mod tests {
             .collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         assert!(gaps.iter().any(|g| (g - mean).abs() > mean * 0.5));
+    }
+
+    #[test]
+    fn hooks_see_every_pair_and_query_tick() {
+        let records = generate(&preset(Preset::Tweets, 200));
+        let mut join = Streaming::new(SssjConfig::new(0.6, 0.05), IndexKind::L2);
+        let cfg = OpenLoopConfig {
+            rate: 100_000.0,
+            query_every: 8,
+            warmup: 0,
+            ..OpenLoopConfig::default()
+        };
+        let mut seen_pairs = 0u64;
+        let mut query_ticks = 0u64;
+        let mut on_pairs = |_r: &StreamRecord, out: &[SimilarPair]| seen_pairs += out.len() as u64;
+        let mut query = |_r: &StreamRecord| query_ticks += 1;
+        let rep = run_open_loop_with_hooks(&mut join, &records, &cfg, &mut on_pairs, &mut query);
+        assert_eq!(seen_pairs, rep.pairs);
+        assert_eq!(query_ticks, rep.queries);
+        assert_eq!(rep.queries, 200 / 8);
     }
 
     #[test]

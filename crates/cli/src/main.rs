@@ -12,6 +12,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod backfill_cmd;
 mod bench_latency;
 mod commands;
 mod commands_ext;
@@ -44,8 +45,13 @@ commands:
                                             --pairs)
   graph      live similarity-graph queries (<file>, --spec, --query
                                             'topk N K; neighbors N;
-                                            component N; stats',
+                                            component N; stats';
+                                            append `at=T` to a query for
+                                            time travel (needs history=
+                                            in the spec or --brute-force),
                                             --brute-force, --pairs)
+  backfill   re-join an archived range     (<history-dir>, --spec,
+                                            --from T, --to T, --pairs)
   serve      incremental join on stdin     (--spec | --theta, --lambda,
                                             --index; --tokenize, --quiet,
                                             --durable DIR)
@@ -59,7 +65,9 @@ commands:
   bench-latency  open-loop latency replay  ([file] | --preset, --n;
                                             --rate, --theta, --lambda,
                                             --index, --k, --query-every,
-                                            --lane auto|scalar)
+                                            --lane auto|scalar,
+                                            --history DIR for a
+                                            time-travel at= query mix)
 
 run options:
   --spec S                full pipeline spec, e.g. str-l2?theta=0.7&reorder=5
@@ -68,7 +76,11 @@ run options:
                           append durable=DIR for WAL + checkpoints — the
                           store resumes when DIR already holds a manifest;
                           append graph for a live similarity graph served
-                          by `sssj graph` and the net QUERY/SUBSCRIBE verbs)
+                          by `sssj graph` and the net QUERY/SUBSCRIBE verbs;
+                          append history=DIR after durable= to compact
+                          retired WAL segments and expired edges into an
+                          immutable tier serving `QUERY … at=T` time travel
+                          and `sssj backfill`)
   --framework mb|str      (default str)
   --index inv|ap|l2ap|l2  (default l2)
   --theta T               similarity threshold in (0,1]   (default 0.7)
@@ -101,6 +113,7 @@ fn main() -> ExitCode {
         "shards" => commands_ext::shards(rest),
         "decay" => commands_ext::decay(rest),
         "graph" => graph_cmd::graph(rest),
+        "backfill" => backfill_cmd::backfill_cmd(rest),
         "serve" => serve::serve(rest),
         "recover" => recover::recover(rest),
         "net-serve" => net_cmd::net_serve(rest),

@@ -192,27 +192,29 @@ pub fn net_send(args: &[String]) -> Result<(), String> {
         };
         for q in queries {
             let line = match q {
-                Query::Neighbors(node) => {
+                Query::Neighbors(node, at) => {
                     let edges: Vec<(u64, f64)> = client
-                        .query_neighbors(node)
+                        .query_neighbors_at(node, at)
                         .map_err(|e| e.to_string())?
                         .iter()
                         .map(|p| (far(node, p), p.similarity))
                         .collect();
-                    format_edge_list(&format!("neighbors {node}"), &edges)
+                    format_edge_list(&q.label(), &edges)
                 }
-                Query::TopK(node, k) => {
+                Query::TopK(node, k, at) => {
                     let edges: Vec<(u64, f64)> = client
-                        .query_topk(node, k as u32)
+                        .query_topk_at(node, k as u32, at)
                         .map_err(|e| e.to_string())?
                         .iter()
                         .map(|p| (far(node, p), p.similarity))
                         .collect();
-                    format_edge_list(&format!("topk {node} {k}"), &edges)
+                    format_edge_list(&q.label(), &edges)
                 }
-                Query::Component(node) => {
-                    let (root, size) = client.query_component(node).map_err(|e| e.to_string())?;
-                    format!("component {node}: root={root} size={size}")
+                Query::Component(node, at) => {
+                    let (root, size) = client
+                        .query_component_at(node, at)
+                        .map_err(|e| e.to_string())?;
+                    format!("{}: root={root} size={size}", q.label())
                 }
                 Query::Stats => {
                     let fields = client.graph_stats().map_err(|e| e.to_string())?;
@@ -343,6 +345,55 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("no graph"), "{err}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn net_send_serves_time_travel_queries() {
+        let dir = std::env::temp_dir().join(format!("sssj-net-travel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("mini.txt");
+        // Two near-duplicates, then enough disjoint filler to expire
+        // their edge out of the live window (tau=4).
+        let mut body = String::from("0.0 7:1.0\n1.0 7:1.0\n");
+        for i in 0..40 {
+            body.push_str(&format!("{}.0 {}:1.0\n", 20 + i, 100 + i));
+        }
+        std::fs::write(&file, body).unwrap();
+
+        let server = Server::bind("127.0.0.1:0", ServerOptions::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let spec = format!(
+            "str-l2?theta=0.5&tau=4&durable={}&graph&history={}",
+            dir.join("wal").display(),
+            dir.join("hist").display()
+        );
+        net_send(&s(&[
+            file.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--spec",
+            &spec,
+            "--query",
+            "neighbors 0 at=1.5; component 0 at=1.5; neighbors 0; stats",
+            "--quiet",
+        ]))
+        .unwrap();
+        // at= against a history-less graph session is a server error.
+        let err = net_send(&s(&[
+            file.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--spec",
+            "str-l2?theta=0.5&tau=4&graph",
+            "--query",
+            "neighbors 0 at=1.5",
+            "--quiet",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("history"), "{err}");
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }

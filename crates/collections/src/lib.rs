@@ -33,9 +33,13 @@
 //! * [`TimedBlock`] — the posting-block storage discipline generalised
 //!   over the entry payload (append + binary-search horizon expiry +
 //!   compaction/hysteresis policy), backing both [`PostingBlock`] and
-//!   the adjacency lists of the live similarity graph in `sssj-graph`.
+//!   the adjacency lists of the live similarity graph in `sssj-graph`;
+//! * [`BloomFilter`] — a split-block bloom filter over `u64` keys with
+//!   a serialisable word layout, gating the per-node segment probes of
+//!   the historical tier in `sssj-segments`.
 
 pub mod accumulator;
+pub mod bloom;
 pub mod circular;
 pub mod decayed_max;
 pub mod hash;
@@ -47,6 +51,7 @@ pub mod varint;
 pub mod windowed_max;
 
 pub use accumulator::{Accumulated, ScoreAccumulator};
+pub use bloom::BloomFilter;
 pub use circular::CircularBuffer;
 pub use decayed_max::DecayedMaxVec;
 pub use hash::{FxBuildHasher, FxHasher};

@@ -116,6 +116,56 @@
 //! the checkpoint aux blob, so recovery restores edges whose member
 //! records are already behind the WAL horizon. A runnable serve → query
 //! doctest lives at the `sssj` facade crate root.
+//!
+//! # Historical queries & backfill
+//!
+//! [`JoinBuilder::history`] (spec key `history=<dir>`, requires
+//! `durable=`) redirects horizon GC from deletion into an **archive**:
+//! retired WAL segments and expired graph edges are compacted into
+//! immutable, CRC-framed, sorted segment files under `<dir>` (the
+//! `sssj-segments` subsystem), published under the same atomic-rename
+//! `MANIFEST` discipline as checkpoints — a crash mid-compaction leaves
+//! either the WAL segment or the published archive pair, never neither.
+//! Graph queries then gain a **time-travel** form: append `at=<t>` to
+//! `neighbors`/`topk`/`component` over the net protocol (grammar in
+//! `sssj_net::protocol`), in `sssj graph --query '… at=<t>'`, or call
+//! the `*_at` methods on `sssj_segments::HistoryHandle` — each answered
+//! from an overlay of the live window and the overlapping segments. And
+//! `sssj backfill <dir>` (library: `sssj_segments::backfill`) re-joins
+//! an archived time range under *new* parameters — a lower θ, a
+//! different λ — without touching the live store.
+//!
+//! ```
+//! use sssj_core::{JoinBuilder, JoinSpec};
+//!
+//! let spec = JoinBuilder::new(0.7, 0.1)
+//!     .durable("/var/sssj/wal")
+//!     .graph()
+//!     .history("/var/sssj/hist")
+//!     .spec()
+//!     .clone();
+//! assert_eq!(
+//!     spec.to_string(),
+//!     "str-l2?theta=0.7&lambda=0.1&durable=/var/sssj/wal&graph&history=/var/sssj/hist"
+//! );
+//! assert!(spec.validate().is_ok());
+//! let reparsed: JoinSpec = spec.to_string().parse().unwrap();
+//! assert_eq!(reparsed, spec);
+//!
+//! // history= compacts the durable store's GC stream, so it cannot
+//! // exist without the durable base — the grammar rejects the orphan.
+//! let err = "str-l2?theta=0.7&lambda=0.1&history=/tmp/h"
+//!     .parse::<JoinSpec>()
+//!     .unwrap_err();
+//! assert!(err.to_string().contains("durable"), "{err}");
+//! ```
+//!
+//! Building a history-wrapped spec goes through the one factory once
+//! `sssj_segments::register_spec_builder()` has run;
+//! `sssj_segments::build_with_handles` additionally hands back the
+//! graph and history handles the queries are served from. A runnable
+//! serve → expire → time-travel doctest lives at the `sssj` facade
+//! crate root.
 
 use sssj_index::IndexKind;
 use sssj_types::{DecayModel, SimilarPair, StreamRecord};
@@ -297,6 +347,35 @@ impl JoinBuilder {
         self
     }
 
+    /// Archives what horizon GC would delete into an immutable segment
+    /// tier under `dir` (spec key `history=<dir>`; built by
+    /// `sssj-segments` once registered — see the module docs'
+    /// [Historical queries & backfill](self) section). Requires a
+    /// durable base; placed directly above the graph wrapper when one
+    /// is present, else above the durable wrapper. Replaces any
+    /// previous history directory.
+    pub fn history(mut self, dir: impl Into<String>) -> Self {
+        self.spec
+            .wrappers
+            .retain(|w| !matches!(w, WrapperSpec::History(_)));
+        let at = self
+            .spec
+            .wrappers
+            .iter()
+            .position(|w| matches!(w, WrapperSpec::Graph))
+            .or_else(|| {
+                self.spec
+                    .wrappers
+                    .iter()
+                    .position(|w| matches!(w, WrapperSpec::Durable(_)))
+            })
+            .map_or(0, |i| i + 1);
+        self.spec
+            .wrappers
+            .insert(at, WrapperSpec::History(dir.into()));
+        self
+    }
+
     /// The resolved configuration.
     pub fn config(&self) -> SssjConfig {
         self.spec.config()
@@ -422,6 +501,34 @@ mod tests {
         assert_eq!(
             spec.to_string(),
             "str-l2?theta=0.7&lambda=0.01&durable=/var/sssj&graph"
+        );
+    }
+
+    #[test]
+    fn builder_history_places_the_wrapper() {
+        // Above the graph when present (replacing an earlier tier)…
+        let spec = JoinBuilder::new(0.7, 0.01)
+            .durable("/var/sssj/wal")
+            .history("/old")
+            .graph()
+            .history("/var/sssj/hist")
+            .spec()
+            .clone();
+        assert!(spec.validate().is_ok(), "{spec}");
+        assert_eq!(
+            spec.to_string(),
+            "str-l2?theta=0.7&lambda=0.01&durable=/var/sssj/wal&graph&history=/var/sssj/hist"
+        );
+        // …and directly above a bare durable base otherwise.
+        let spec = JoinBuilder::new(0.7, 0.01)
+            .durable("/var/sssj/wal")
+            .history("/var/sssj/hist")
+            .spec()
+            .clone();
+        assert!(spec.validate().is_ok(), "{spec}");
+        assert_eq!(
+            spec.to_string(),
+            "str-l2?theta=0.7&lambda=0.01&durable=/var/sssj/wal&history=/var/sssj/hist"
         );
     }
 

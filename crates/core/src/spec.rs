@@ -295,6 +295,14 @@ pub enum WrapperSpec {
     /// checkpoint aux blob, so recovery restores edges whose members
     /// are already behind the WAL horizon.
     Graph,
+    /// Historical tier (`sssj-segments`): horizon GC feeds a compactor
+    /// that persists retired WAL segments and expired graph edges as
+    /// immutable sorted segment files under the given directory, and
+    /// queries gain a time-travel form (`… at=<t>`). Requires
+    /// [`WrapperSpec::Durable`] (the compactor attaches to the WAL's GC
+    /// sink) and sits directly above it — or above the graph wrapper
+    /// when one is present. At most one per spec.
+    History(String),
 }
 
 /// A declarative, serializable description of a complete join pipeline.
@@ -395,6 +403,12 @@ pub type GraphBuilder = fn(inner: Box<dyn StreamJoin>, spec: &JoinSpec) -> Box<d
 pub type GraphCheckpointableBuilder =
     fn(spec: &JoinSpec) -> Result<Box<dyn Checkpointable>, SpecError>;
 
+/// Constructor for [`WrapperSpec::History`] pipelines, provided by
+/// `sssj-segments`. Receives the **full** spec (the history builder
+/// composes the durable and graph layers itself, attaching the
+/// compactor in between) and the history directory.
+pub type HistoryBuilder = fn(spec: &JoinSpec, dir: &str) -> Result<Box<dyn StreamJoin>, SpecError>;
+
 static LSH_BUILDER: OnceLock<LshBuilder> = OnceLock::new();
 static SHARDED_BUILDER: OnceLock<ShardedBuilder> = OnceLock::new();
 static LSH_SHARD_BUILDER: OnceLock<LshShardBuilder> = OnceLock::new();
@@ -402,6 +416,7 @@ static DURABLE_BUILDER: OnceLock<DurableBuilder> = OnceLock::new();
 static SHARDED_CHECKPOINTABLE_BUILDER: OnceLock<ShardedCheckpointableBuilder> = OnceLock::new();
 static GRAPH_BUILDER: OnceLock<GraphBuilder> = OnceLock::new();
 static GRAPH_CHECKPOINTABLE_BUILDER: OnceLock<GraphCheckpointableBuilder> = OnceLock::new();
+static HISTORY_BUILDER: OnceLock<HistoryBuilder> = OnceLock::new();
 
 /// Registers the LSH constructor (idempotent; first registration wins).
 /// Called by `sssj_lsh::register_spec_builder()`.
@@ -445,6 +460,13 @@ pub fn register_graph_builder(f: GraphBuilder) {
 /// `sssj_graph::register_spec_builder()`.
 pub fn register_graph_checkpointable_builder(f: GraphCheckpointableBuilder) {
     let _ = GRAPH_CHECKPOINTABLE_BUILDER.set(f);
+}
+
+/// Registers the history-wrapper constructor (idempotent; first
+/// registration wins). Called by
+/// `sssj_segments::register_spec_builder()`.
+pub fn register_history_builder(f: HistoryBuilder) {
+    let _ = HISTORY_BUILDER.set(f);
 }
 
 impl JoinSpec {
@@ -732,6 +754,46 @@ impl JoinSpec {
                         ));
                     }
                 }
+                WrapperSpec::History(dir) => {
+                    if dir.is_empty()
+                        || dir.chars().any(|c| {
+                            matches!(c, '&' | '=' | '?' | '#' | '"' | '\\') || c.is_whitespace()
+                        })
+                    {
+                        return Err(invalid(format!(
+                            "history directory {dir:?} must be non-empty and free of \
+                             '&', '=', '?', '#', quotes, backslashes and whitespace \
+                             (it is part of the spec grammar)"
+                        )));
+                    }
+                    if self.wrappers[..pos]
+                        .iter()
+                        .any(|w| matches!(w, WrapperSpec::History(_)))
+                    {
+                        return Err(invalid("history may appear at most once"));
+                    }
+                    if !matches!(self.wrappers.first(), Some(WrapperSpec::Durable(_))) {
+                        return Err(invalid(
+                            "history= requires a durable= base: the compactor feeds \
+                             on the WAL's horizon GC",
+                        ));
+                    }
+                    let want = if self
+                        .wrappers
+                        .iter()
+                        .any(|w| matches!(w, WrapperSpec::Graph))
+                    {
+                        2
+                    } else {
+                        1
+                    };
+                    if pos != want {
+                        return Err(invalid(
+                            "history must sit directly above the durable wrapper \
+                             (and above graph, when present)",
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -744,61 +806,73 @@ impl JoinSpec {
     /// harness all funnel through it.
     pub fn build(&self) -> Result<Box<dyn StreamJoin>, SpecError> {
         self.validate()?;
-        let mut join: Box<dyn StreamJoin> =
-            if let Some(WrapperSpec::Durable(dir)) = self.wrappers.first() {
-                // The durable base wraps the *bare* engine (validate pinned
-                // the wrapper to position 0); remaining wrappers stack on
-                // top below. The constructor lives downstream in
-                // `sssj-store` and either creates the store or resumes from
-                // its manifest.
-                let f = DURABLE_BUILDER
-                    .get()
-                    .ok_or(SpecError::EngineUnavailable("durable"))?;
-                let mut bare = self.clone();
-                // A graph wrapper stays on the bare spec: it is built
-                // *inside* the durability boundary (via
-                // [`JoinSpec::build_checkpointable`]) so its edges ride
-                // the checkpoint aux blob.
-                bare.wrappers.retain(|w| matches!(w, WrapperSpec::Graph));
-                f(&bare, dir)?
-            } else {
-                let snapshot_base = matches!(self.wrappers.first(), Some(WrapperSpec::Snapshot));
-                match &self.engine {
-                    EngineSpec::Streaming => {
-                        if snapshot_base {
-                            Box::new(RecoverableJoin::new(self.config(), self.index))
-                        } else {
-                            Box::new(Streaming::new(self.config(), self.index))
-                        }
-                    }
-                    EngineSpec::MiniBatch => Box::new(MiniBatch::new(self.config(), self.index)),
-                    EngineSpec::GenericDecay(d) => Box::new(DecayStreaming::with_options(
-                        self.theta,
-                        d.model,
-                        d.window_max,
-                    )),
-                    EngineSpec::TopK(k) => {
-                        Box::new(TopKJoin::new(self.config(), self.index, *k as usize))
-                    }
-                    EngineSpec::Lsh(params) => {
-                        let f = LSH_BUILDER
-                            .get()
-                            .ok_or(SpecError::EngineUnavailable("lsh"))?;
-                        f(self.theta, self.lambda, *params)
-                    }
-                    EngineSpec::Sharded { .. } => {
-                        let f = SHARDED_BUILDER
-                            .get()
-                            .ok_or(SpecError::EngineUnavailable("sharded"))?;
-                        f(self)?
+        let history_dir = self.wrappers.iter().find_map(|w| match w {
+            WrapperSpec::History(dir) => Some(dir.clone()),
+            _ => None,
+        });
+        let mut join: Box<dyn StreamJoin> = if let Some(dir) = &history_dir {
+            // The historical tier composes the whole durable(+graph)
+            // base itself: it must hold the concrete store handle to
+            // install its compactor as the GC sink, which the
+            // type-erased durable hook below cannot hand back.
+            let f = HISTORY_BUILDER
+                .get()
+                .ok_or(SpecError::EngineUnavailable("history"))?;
+            f(self, dir)?
+        } else if let Some(WrapperSpec::Durable(dir)) = self.wrappers.first() {
+            // The durable base wraps the *bare* engine (validate pinned
+            // the wrapper to position 0); remaining wrappers stack on
+            // top below. The constructor lives downstream in
+            // `sssj-store` and either creates the store or resumes from
+            // its manifest.
+            let f = DURABLE_BUILDER
+                .get()
+                .ok_or(SpecError::EngineUnavailable("durable"))?;
+            let mut bare = self.clone();
+            // A graph wrapper stays on the bare spec: it is built
+            // *inside* the durability boundary (via
+            // [`JoinSpec::build_checkpointable`]) so its edges ride
+            // the checkpoint aux blob.
+            bare.wrappers.retain(|w| matches!(w, WrapperSpec::Graph));
+            f(&bare, dir)?
+        } else {
+            let snapshot_base = matches!(self.wrappers.first(), Some(WrapperSpec::Snapshot));
+            match &self.engine {
+                EngineSpec::Streaming => {
+                    if snapshot_base {
+                        Box::new(RecoverableJoin::new(self.config(), self.index))
+                    } else {
+                        Box::new(Streaming::new(self.config(), self.index))
                     }
                 }
-            };
+                EngineSpec::MiniBatch => Box::new(MiniBatch::new(self.config(), self.index)),
+                EngineSpec::GenericDecay(d) => Box::new(DecayStreaming::with_options(
+                    self.theta,
+                    d.model,
+                    d.window_max,
+                )),
+                EngineSpec::TopK(k) => {
+                    Box::new(TopKJoin::new(self.config(), self.index, *k as usize))
+                }
+                EngineSpec::Lsh(params) => {
+                    let f = LSH_BUILDER
+                        .get()
+                        .ok_or(SpecError::EngineUnavailable("lsh"))?;
+                    f(self.theta, self.lambda, *params)
+                }
+                EngineSpec::Sharded { .. } => {
+                    let f = SHARDED_BUILDER
+                        .get()
+                        .ok_or(SpecError::EngineUnavailable("sharded"))?;
+                    f(self)?
+                }
+            }
+        };
         let graph_in_base = matches!(self.wrappers.first(), Some(WrapperSpec::Durable(_)));
         for w in &self.wrappers {
             join = match w {
                 // Consumed as the base above.
-                WrapperSpec::Snapshot | WrapperSpec::Durable(_) => join,
+                WrapperSpec::Snapshot | WrapperSpec::Durable(_) | WrapperSpec::History(_) => join,
                 WrapperSpec::Graph => {
                     if graph_in_base {
                         // Already built inside the durable base.
@@ -982,10 +1056,13 @@ impl JoinSpec {
                     WrapperSpec::Checked => s.push_str("[\"checked\"]"),
                     WrapperSpec::Snapshot => s.push_str("[\"snapshot\"]"),
                     WrapperSpec::Graph => s.push_str("[\"graph\"]"),
-                    // validate() bans quotes/backslashes in the dir, so
-                    // the string embeds without escaping.
+                    // validate() bans quotes/backslashes in the dirs, so
+                    // the strings embed without escaping.
                     WrapperSpec::Durable(dir) => {
                         let _ = write!(s, "[\"durable\",\"{dir}\"]");
+                    }
+                    WrapperSpec::History(dir) => {
+                        let _ = write!(s, "[\"history\",\"{dir}\"]");
                     }
                 }
             }
@@ -1099,6 +1176,12 @@ impl JoinSpec {
                                 entry[1]
                                     .as_str()
                                     .ok_or_else(|| parse_err("durable directory must be a string"))?
+                                    .to_string(),
+                            ),
+                            ("history", 2) => WrapperSpec::History(
+                                entry[1]
+                                    .as_str()
+                                    .ok_or_else(|| parse_err("history directory must be a string"))?
                                     .to_string(),
                             ),
                             _ => {
@@ -1429,6 +1512,9 @@ impl FromStr for JoinSpec {
                     "durable" => params
                         .wrappers
                         .push(WrapperSpec::Durable(want(key, value)?.to_string())),
+                    "history" => params
+                        .wrappers
+                        .push(WrapperSpec::History(want(key, value)?.to_string())),
                     "graph" => {
                         if value.is_some() {
                             return Err(parse_err("graph takes no value"));
@@ -1498,6 +1584,7 @@ impl fmt::Display for JoinSpec {
                 WrapperSpec::Snapshot => f.write_str("&snapshot")?,
                 WrapperSpec::Durable(dir) => write!(f, "&durable={dir}")?,
                 WrapperSpec::Graph => f.write_str("&graph")?,
+                WrapperSpec::History(dir) => write!(f, "&history={dir}")?,
             }
         }
         Ok(())

@@ -215,6 +215,49 @@ pub struct SimilarityGraph {
     restored_deadline: f64,
     /// Edges ever accepted (monotone; diagnostics).
     edges_added: u64,
+    /// When set, expired edges are captured into `retired` instead of
+    /// vanishing — the historical tier's feed.
+    collect_expired: bool,
+    /// Edges that fell off the horizon since the last
+    /// [`SimilarityGraph::take_expired`], canonical orientation
+    /// (`left < right`), in no particular stamp order (expiry is lazy
+    /// and per-block).
+    retired: Vec<ExpiredEdge>,
+}
+
+/// One edge that fell off the live horizon, captured for the
+/// historical tier. Canonical orientation: `left < right`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExpiredEdge {
+    /// Smaller endpoint id.
+    pub left: u64,
+    /// Larger endpoint id.
+    pub right: u64,
+    /// The pair's similarity score.
+    pub similarity: f64,
+    /// Delivery stamp (stream time the edge was added).
+    pub t: f64,
+}
+
+/// Captures the about-to-expire prefix of one adjacency block into
+/// `retired`. Blocks are stamp-ordered, so the expiring entries are a
+/// prefix; only the `node < neighbor` orientation is recorded — the
+/// mirror entry under the other endpoint captures (or already captured)
+/// the same edge, and the reader dedups anyway.
+fn capture_expired(retired: &mut Vec<ExpiredEdge>, node: u64, entries: &[Edge], cutoff: f64) {
+    for e in entries {
+        if e.t >= cutoff {
+            break;
+        }
+        if node < e.neighbor {
+            retired.push(ExpiredEdge {
+                left: node,
+                right: e.neighbor,
+                similarity: e.similarity,
+                t: e.t,
+            });
+        }
+    }
 }
 
 impl SimilarityGraph {
@@ -233,7 +276,28 @@ impl SimilarityGraph {
             restored: HashSet::default(),
             restored_deadline: f64::NEG_INFINITY,
             edges_added: 0,
+            collect_expired: false,
+            retired: Vec::new(),
         }
+    }
+
+    /// Turns expired-edge capture on or off (off by default: without a
+    /// consumer the buffer would grow unboundedly).
+    pub fn set_collect_expired(&mut self, on: bool) {
+        self.collect_expired = on;
+        if !on {
+            self.retired = Vec::new();
+        }
+    }
+
+    /// Drains the edges that expired since the last call (empty unless
+    /// [`SimilarityGraph::set_collect_expired`] is on). Within one
+    /// graph's lifetime each edge is captured exactly once (from its
+    /// smaller endpoint's block), but a crash/restore cycle re-expires
+    /// edges restored from the checkpoint aux, so consumers spanning
+    /// restarts dedup on `(left, right, similarity, t)`.
+    pub fn take_expired(&mut self) -> Vec<ExpiredEdge> {
+        std::mem::take(&mut self.retired)
     }
 
     /// The edge horizon.
@@ -310,10 +374,17 @@ impl SimilarityGraph {
     /// Expires every adjacency block and drops empty nodes.
     fn sweep(&mut self) {
         let cutoff = self.cutoff();
-        self.adj.retain(|_, block| {
+        // Moved out so the retain closure (borrowing `adj`) can push.
+        let mut retired = std::mem::take(&mut self.retired);
+        let collect = self.collect_expired;
+        self.adj.retain(|&node, block| {
+            if collect {
+                capture_expired(&mut retired, node, block.entries(), cutoff);
+            }
             block.expire_before_strided(cutoff, Edge::WORDS, Edge::TIME_WORD, Edge::as_words);
             !block.is_empty()
         });
+        self.retired = retired;
         self.expired_since_sweep = 0;
     }
 
@@ -343,8 +414,30 @@ impl SimilarityGraph {
         let Some(block) = self.adj.get_mut(&node) else {
             return Vec::new();
         };
+        if self.collect_expired {
+            capture_expired(&mut self.retired, node, block.entries(), cutoff);
+        }
         block.expire_before_strided(cutoff, Edge::WORDS, Edge::TIME_WORD, Edge::as_words);
         let mut out: Vec<Edge> = block.entries().to_vec();
+        out.sort_by_key(|e| e.neighbor);
+        out
+    }
+
+    /// The edges of `node` whose stamp lies in `[lo, hi]`, sorted by
+    /// neighbour id — a read-only window scan for time-travel overlays.
+    /// Unlike [`SimilarityGraph::neighbors`] this neither advances the
+    /// clock nor expires anything, so it is safe to call with a `hi` in
+    /// the past.
+    pub fn neighbors_in_window(&self, node: u64, lo: f64, hi: f64) -> Vec<Edge> {
+        let Some(block) = self.adj.get(&node) else {
+            return Vec::new();
+        };
+        let mut out: Vec<Edge> = block
+            .entries()
+            .iter()
+            .filter(|e| e.t >= lo && e.t <= hi)
+            .copied()
+            .collect();
         out.sort_by_key(|e| e.neighbor);
         out
     }
@@ -361,6 +454,9 @@ impl SimilarityGraph {
         let Some(block) = self.adj.get_mut(&node) else {
             return Vec::new();
         };
+        if self.collect_expired {
+            capture_expired(&mut self.retired, node, block.entries(), cutoff);
+        }
         block.expire_before_strided(cutoff, Edge::WORDS, Edge::TIME_WORD, Edge::as_words);
         // A k-sized heap of the best edges seen so far, rooted at the
         // current worst (RankedEdge orders worse-is-greater). O(d log k)
@@ -410,7 +506,12 @@ impl SimilarityGraph {
         // live addition, but the *endpoint* may have expired since —
         // check liveness through the adjacency, not the union-find.
         let cutoff = self.cutoff();
+        let collect = self.collect_expired;
+        let retired = &mut self.retired;
         let block = self.adj.get_mut(&node)?;
+        if collect {
+            capture_expired(retired, node, block.entries(), cutoff);
+        }
         block.expire_before_strided(cutoff, Edge::WORDS, Edge::TIME_WORD, Edge::as_words);
         if block.is_empty() {
             return None;

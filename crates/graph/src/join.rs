@@ -9,7 +9,7 @@ use sssj_core::{Checkpointable, PairSink, SinkedJoin, StreamJoin};
 use sssj_metrics::JoinStats;
 use sssj_types::{SimilarPair, StreamRecord};
 
-use crate::graph::{Edge, GraphStats, SimilarityGraph};
+use crate::graph::{Edge, ExpiredEdge, GraphStats, SimilarityGraph};
 
 /// A cloneable, thread-safe handle to a live [`SimilarityGraph`].
 ///
@@ -22,9 +22,17 @@ use crate::graph::{Edge, GraphStats, SimilarityGraph};
 pub struct GraphHandle(Arc<Mutex<SimilarityGraph>>);
 
 impl GraphHandle {
-    /// A handle to a fresh graph with the given edge horizon.
+    /// A handle to a fresh graph with the given edge horizon. Consumes
+    /// the thread's [`crate::collect_expired_edges_on_next_build`]
+    /// arming, so a historical tier attached *around* the spec factory
+    /// can turn capture on before the first edge (checkpoint-restored
+    /// edges included) enters the graph.
     pub fn new(horizon: f64) -> Self {
-        GraphHandle(Arc::new(Mutex::new(SimilarityGraph::new(horizon))))
+        let mut graph = SimilarityGraph::new(horizon);
+        if crate::take_collect_expired_arming() {
+            graph.set_collect_expired(true);
+        }
+        GraphHandle(Arc::new(Mutex::new(graph)))
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SimilarityGraph> {
@@ -56,6 +64,30 @@ impl GraphHandle {
     /// Live edge count (no sweep; cheap).
     pub fn live_edges(&self) -> u64 {
         self.lock().live_edges()
+    }
+
+    /// Newest stream time the graph has observed.
+    pub fn now(&self) -> f64 {
+        self.lock().now()
+    }
+
+    /// Turns expired-edge capture on or off (see
+    /// [`SimilarityGraph::set_collect_expired`]).
+    pub fn set_collect_expired(&self, on: bool) {
+        self.lock().set_collect_expired(on)
+    }
+
+    /// Drains the edges that fell off the horizon since the last drain
+    /// (see [`SimilarityGraph::take_expired`]).
+    pub fn take_expired(&self) -> Vec<ExpiredEdge> {
+        self.lock().take_expired()
+    }
+
+    /// Read-only window scan: `node`'s stored edges with stamp in
+    /// `[lo, hi]`, sorted by neighbour id. Never advances the clock —
+    /// the time-travel overlay's live half.
+    pub fn neighbors_in_window(&self, node: u64, lo: f64, hi: f64) -> Vec<Edge> {
+        self.lock().neighbors_in_window(node, lo, hi)
     }
 }
 

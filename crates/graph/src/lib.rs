@@ -67,7 +67,7 @@ use std::cell::RefCell;
 
 use sssj_core::{Checkpointable, JoinSpec, SpecError, StreamJoin, WrapperSpec};
 
-pub use graph::{Edge, GraphStats, SimilarityGraph};
+pub use graph::{Edge, ExpiredEdge, GraphStats, SimilarityGraph};
 pub use join::{GraphHandle, GraphJoin, GraphedEngine};
 
 thread_local! {
@@ -76,10 +76,40 @@ thread_local! {
     /// hooks park each fresh handle here for [`build_with_handle`] to
     /// collect — build is synchronous, making the slot race-free.
     static LAST_HANDLE: RefCell<Option<GraphHandle>> = const { RefCell::new(None) };
+    /// One-shot arming for expired-edge capture, consumed by the next
+    /// [`GraphHandle::new`] on this thread (see
+    /// [`collect_expired_edges_on_next_build`]).
+    static COLLECT_NEXT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 fn stash(handle: GraphHandle) {
     LAST_HANDLE.with(|slot| *slot.borrow_mut() = Some(handle));
+}
+
+/// Arms expired-edge capture for the next graph built on this thread
+/// (one-shot). The historical tier calls this before building a
+/// `…&durable&graph&history` pipeline: the graph is constructed deep
+/// inside the type-erased spec factory, and capture must be on *before*
+/// recovery restores checkpointed edges — otherwise edges expiring
+/// during replay would vanish instead of reaching the compactor.
+pub fn collect_expired_edges_on_next_build() {
+    COLLECT_NEXT.with(|c| c.set(true));
+}
+
+/// Consumes the one-shot arming (internal; `GraphHandle::new` calls it).
+pub(crate) fn take_collect_expired_arming() -> bool {
+    COLLECT_NEXT.with(|c| c.replace(false))
+}
+
+/// Takes the handle stashed by the most recent graph build on this
+/// thread, if any. Builders that *compose* the graph hooks (the
+/// historical tier drives [`sssj_store::DurableJoin`]: the graph is
+/// built inside `DurableJoin::open`, several layers below the caller)
+/// use this to recover the handle `build_with_handle` cannot reach.
+///
+/// [`sssj_store::DurableJoin`]: https://docs.rs/sssj-store
+pub fn take_stashed_handle() -> Option<GraphHandle> {
+    LAST_HANDLE.with(|slot| slot.borrow_mut().take())
 }
 
 /// Registers the graph constructors with the [`sssj_core::spec`]

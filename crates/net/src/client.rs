@@ -227,21 +227,53 @@ impl JoinClient {
     /// `QUERY neighbors <node>`: every live neighbour of `node` as
     /// pairs `(node, neighbour)` with the edge similarity.
     pub fn query_neighbors(&mut self, node: u64) -> Result<Vec<SimilarPair>, NetError> {
-        self.send_line(&Request::Query(GraphQuery::Neighbors { node }))?;
+        self.query_neighbors_at(node, None)
+    }
+
+    /// `QUERY neighbors <node> at=<t>`: `node`'s neighbours as of
+    /// historical time `t` (`None` = the live watermark). Times behind
+    /// the live window need a `history=`-wrapped session.
+    pub fn query_neighbors_at(
+        &mut self,
+        node: u64,
+        at: Option<f64>,
+    ) -> Result<Vec<SimilarPair>, NetError> {
+        self.send_line(&Request::Query(GraphQuery::Neighbors { node, at }))?;
         self.read_pairs()
     }
 
     /// `QUERY topk <node> <k>`: the `k` best live neighbours, best
     /// first.
     pub fn query_topk(&mut self, node: u64, k: u32) -> Result<Vec<SimilarPair>, NetError> {
-        self.send_line(&Request::Query(GraphQuery::TopK { node, k }))?;
+        self.query_topk_at(node, k, None)
+    }
+
+    /// `QUERY topk <node> <k> at=<t>`: the `k` best neighbours as of
+    /// historical time `t` (`None` = the live watermark).
+    pub fn query_topk_at(
+        &mut self,
+        node: u64,
+        k: u32,
+        at: Option<f64>,
+    ) -> Result<Vec<SimilarPair>, NetError> {
+        self.send_line(&Request::Query(GraphQuery::TopK { node, k, at }))?;
         self.read_pairs()
     }
 
     /// `QUERY component <node>`: the node's connected component as
     /// `(canonical root, size)`; size 0 means the node has no live edge.
     pub fn query_component(&mut self, node: u64) -> Result<(u64, u64), NetError> {
-        self.send_line(&Request::Query(GraphQuery::Component { node }))?;
+        self.query_component_at(node, None)
+    }
+
+    /// `QUERY component <node> at=<t>`: the component as of historical
+    /// time `t` (`None` = the live watermark).
+    pub fn query_component_at(
+        &mut self,
+        node: u64,
+        at: Option<f64>,
+    ) -> Result<(u64, u64), NetError> {
+        self.send_line(&Request::Query(GraphQuery::Component { node, at }))?;
         let fields = self.read_graph_fields()?;
         let get = |key: &str| {
             fields

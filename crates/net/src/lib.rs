@@ -44,16 +44,17 @@ pub use protocol::{ConfigRequest, GraphQuery, Request, Response, SessionMode, Se
 pub use server::{Server, ServerOptions};
 pub use session::{Session, SessionDefaults};
 
-/// Registers the downstream engines (LSH, sharded), the durable store
-/// and the live graph with the [`sssj_core::spec`] factory, so
-/// client-negotiated specs reach every variant — including
+/// Registers the downstream engines (LSH, sharded), the durable store,
+/// the live graph and the historical tier with the [`sssj_core::spec`]
+/// factory, so client-negotiated specs reach every variant — including
 /// `…&durable=<dir>` pipelines, which create or resume persistent
-/// state, and `…&graph` pipelines, whose sessions serve the
-/// `QUERY`/`SUBSCRIBE` verbs. Idempotent; [`Session::new`] calls it, so
-/// any server built on this crate serves the full family automatically.
+/// state, `…&graph` pipelines, whose sessions serve the
+/// `QUERY`/`SUBSCRIBE` verbs, and `…&history=<dir>` pipelines, whose
+/// sessions additionally serve `QUERY … at=<t>` time travel. Idempotent;
+/// [`Session::new`] calls it, so any server built on this crate serves
+/// the full family automatically.
 pub fn register_spec_builders() {
     sssj_lsh::register_spec_builder();
     sssj_parallel::register_spec_builder();
-    sssj_store::register_spec_builder();
-    sssj_graph::register_spec_builder();
+    sssj_segments::register_spec_builder();
 }

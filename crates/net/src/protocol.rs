@@ -78,7 +78,11 @@
 //!                             (similarity desc, id asc ties), same framing
 //! QUERY component <node>      `G root=<min-member-id> size=<n>`;
 //!                             `G root=<node> size=0` for an edgeless node
-//! QUERY stats                 `G nodes=<n> edges=<e> components=<c>`
+//! QUERY stats                 `G nodes=<n> edges=<e> components=<c>`;
+//!                             on a history session three extra fields
+//!                             follow: `history_segments=<n>
+//!                             history_oldest_ms=<ms> watermark_ms=<ms>`
+//!                             (times in integer milliseconds)
 //! SUBSCRIBE <node>            `OK 0`; from then on, every delivered pair
 //!                             touching <node> additionally produces a
 //!                             pushed `U <node> <left> <right> <sim>` line,
@@ -92,6 +96,24 @@
 //! pre-subscription clients remain wire-compatible. On a session whose
 //! spec has no `graph` wrapper, every `QUERY`/`SUBSCRIBE` answers
 //! `E session has no graph …`.
+//!
+//! ## Time travel: the `at=` suffix
+//!
+//! `neighbors`, `topk` and `component` accept one optional trailing
+//! `at=<t>` token — evaluate the query *as of* stream time `t` (edges
+//! delivered in `[t − τ, t]`) instead of the live watermark:
+//!
+//! ```text
+//! at-query := "QUERY" kind args "at=" t
+//! kind     := "neighbors" | "topk" | "component"
+//! t        := finite decimal stream time (the data's clock)
+//! ```
+//!
+//! On a `history=`-wrapped session (`sssj-segments`) the answer
+//! overlays the live window with the compacted segment tier, so any
+//! `t` back to the history floor (`QUERY stats` reports it) answers
+//! exactly; on a graph-only session `at=` answers `E …` — the expired
+//! edges are gone. `QUERY stats` takes no `at=`.
 //!
 //! # Durable sessions: resuming from a manifest
 //!
@@ -174,25 +196,37 @@ pub struct ConfigRequest {
 }
 
 /// A graph query (`QUERY …`), served by sessions whose spec carries the
-/// `graph` wrapper. See the [module docs](self) for the grammar.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// `graph` wrapper. See the [module docs](self) for the grammar. A
+/// trailing `at=<t>` on `neighbors`/`topk`/`component` evaluates the
+/// query at historical time `t` instead of the live watermark — the
+/// session needs a `history=`-wrapped spec (`sssj-segments`) for any
+/// `t` whose edges have already expired.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum GraphQuery {
-    /// `QUERY neighbors <node>` — every live neighbour.
+    /// `QUERY neighbors <node> [at=<t>]` — every neighbour live at the
+    /// watermark (or at `t`).
     Neighbors {
         /// The queried record id.
         node: u64,
+        /// Historical evaluation time (`None` = the live watermark).
+        at: Option<f64>,
     },
-    /// `QUERY topk <node> <k>` — the `k` best live neighbours.
+    /// `QUERY topk <node> <k> [at=<t>]` — the `k` best neighbours.
     TopK {
         /// The queried record id.
         node: u64,
         /// How many neighbours to return.
         k: u32,
+        /// Historical evaluation time (`None` = the live watermark).
+        at: Option<f64>,
     },
-    /// `QUERY component <node>` — the node's connected component.
+    /// `QUERY component <node> [at=<t>]` — the node's connected
+    /// component.
     Component {
         /// The queried record id.
         node: u64,
+        /// Historical evaluation time (`None` = the live watermark).
+        at: Option<f64>,
     },
     /// `QUERY stats` — aggregate graph counters.
     Stats,
@@ -385,9 +419,10 @@ impl Request {
                     s.parse()
                         .map_err(|e| err(format!("QUERY {what}: bad node id {s:?}: {e}")))
                 };
-                let query = match kind {
+                let mut query = match kind {
                     "neighbors" => GraphQuery::Neighbors {
                         node: node("neighbors")?,
+                        at: None,
                     },
                     "topk" => {
                         let n = node("topk")?;
@@ -398,10 +433,15 @@ impl Request {
                         if k == 0 {
                             return Err(err("QUERY topk: k must be >= 1"));
                         }
-                        GraphQuery::TopK { node: n, k }
+                        GraphQuery::TopK {
+                            node: n,
+                            k,
+                            at: None,
+                        }
                     }
                     "component" => GraphQuery::Component {
                         node: node("component")?,
+                        at: None,
                     },
                     "stats" => GraphQuery::Stats,
                     other => {
@@ -410,6 +450,33 @@ impl Request {
                         )))
                     }
                 };
+                // Optional trailing `at=<t>`: evaluate at historical
+                // time t instead of the live watermark.
+                if let Some(tok) = parts.next() {
+                    let at_slot = match &mut query {
+                        GraphQuery::Neighbors { at, .. }
+                        | GraphQuery::TopK { at, .. }
+                        | GraphQuery::Component { at, .. } => Some(at),
+                        GraphQuery::Stats => None,
+                    };
+                    match (at_slot, tok.strip_prefix("at=")) {
+                        (Some(at), Some(t_str)) => {
+                            let t: f64 = t_str
+                                .parse()
+                                .map_err(|e| err(format!("QUERY: bad at={t_str:?}: {e}")))?;
+                            if !t.is_finite() {
+                                return Err(err("QUERY: at= must be finite"));
+                            }
+                            *at = Some(t);
+                        }
+                        (None, Some(_)) => {
+                            return Err(err("QUERY stats takes no at= (history is in its output)"))
+                        }
+                        (_, None) => {
+                            return Err(err(format!("QUERY: unexpected argument {tok:?}")))
+                        }
+                    }
+                }
                 if parts.next().is_some() {
                     return Err(err("QUERY: trailing arguments"));
                 }
@@ -473,12 +540,30 @@ impl fmt::Display for Request {
             }
             Request::Text { t, text } => write!(f, "T {t} {text}"),
             Request::Stats => f.write_str("STATS"),
-            Request::Query(q) => match q {
-                GraphQuery::Neighbors { node } => write!(f, "QUERY neighbors {node}"),
-                GraphQuery::TopK { node, k } => write!(f, "QUERY topk {node} {k}"),
-                GraphQuery::Component { node } => write!(f, "QUERY component {node}"),
-                GraphQuery::Stats => f.write_str("QUERY stats"),
-            },
+            Request::Query(q) => {
+                let at = match q {
+                    GraphQuery::Neighbors { node, at } => {
+                        write!(f, "QUERY neighbors {node}")?;
+                        at
+                    }
+                    GraphQuery::TopK { node, k, at } => {
+                        write!(f, "QUERY topk {node} {k}")?;
+                        at
+                    }
+                    GraphQuery::Component { node, at } => {
+                        write!(f, "QUERY component {node}")?;
+                        at
+                    }
+                    GraphQuery::Stats => {
+                        f.write_str("QUERY stats")?;
+                        &None
+                    }
+                };
+                if let Some(t) = at {
+                    write!(f, " at={t}")?;
+                }
+                Ok(())
+            }
             Request::Subscribe { node } => write!(f, "SUBSCRIBE {node}"),
             Request::Finish => f.write_str("FINISH"),
             Request::Quit => f.write_str("QUIT"),
@@ -752,21 +837,57 @@ mod tests {
         for (line, req) in [
             (
                 "QUERY neighbors 5",
-                Request::Query(GraphQuery::Neighbors { node: 5 }),
+                Request::Query(GraphQuery::Neighbors { node: 5, at: None }),
             ),
             (
                 "QUERY topk 5 3",
-                Request::Query(GraphQuery::TopK { node: 5, k: 3 }),
+                Request::Query(GraphQuery::TopK {
+                    node: 5,
+                    k: 3,
+                    at: None,
+                }),
             ),
             (
                 "QUERY component 9",
-                Request::Query(GraphQuery::Component { node: 9 }),
+                Request::Query(GraphQuery::Component { node: 9, at: None }),
+            ),
+            (
+                "QUERY neighbors 5 at=12.5",
+                Request::Query(GraphQuery::Neighbors {
+                    node: 5,
+                    at: Some(12.5),
+                }),
+            ),
+            (
+                "QUERY topk 5 3 at=0.25",
+                Request::Query(GraphQuery::TopK {
+                    node: 5,
+                    k: 3,
+                    at: Some(0.25),
+                }),
+            ),
+            (
+                "QUERY component 9 at=-4",
+                Request::Query(GraphQuery::Component {
+                    node: 9,
+                    at: Some(-4.0),
+                }),
             ),
             ("QUERY stats", Request::Query(GraphQuery::Stats)),
             ("SUBSCRIBE 7", Request::Subscribe { node: 7 }),
         ] {
             assert_eq!(Request::parse(line).unwrap(), req, "{line}");
             assert_eq!(Request::parse(&req.to_string()).unwrap(), req, "{line}");
+        }
+        // Malformed at= forms are rejected.
+        for bad in [
+            "QUERY stats at=3",
+            "QUERY neighbors 5 at=nan",
+            "QUERY neighbors 5 at=",
+            "QUERY neighbors 5 когда=3",
+            "QUERY topk 5 3 at=1 at=2",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad}");
         }
     }
 

@@ -9,6 +9,7 @@ use sssj_core::{
     EngineSpec, Framework, JoinSpec, ReorderBuffer, SpecError, StreamJoin, WrapperSpec,
 };
 use sssj_graph::GraphHandle;
+use sssj_segments::HistoryHandle;
 use sssj_textsim::Tokenizer;
 use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
 
@@ -84,6 +85,12 @@ pub struct Session {
     /// The live graph handle when the spec carries the `graph` wrapper —
     /// what `QUERY`/`SUBSCRIBE` are served from.
     graph: Option<GraphHandle>,
+    /// The historical tier's handle when the spec carries `history=` —
+    /// what `QUERY … at=<t>` and the stats history boundary are served
+    /// from.
+    history: Option<HistoryHandle>,
+    /// The current spec's horizon τ (the time-travel window width).
+    horizon: f64,
     /// Nodes with live `SUBSCRIBE`s (insertion order; deduplicated).
     subs: Vec<u64>,
     tokenizer: Tokenizer,
@@ -103,28 +110,38 @@ pub struct Session {
 /// which is the same factory path plus the query handle `QUERY`/
 /// `SUBSCRIBE` are served from. Returns the join, that wrapper's slack,
 /// and the graph handle (if any).
-fn build_join(spec: &JoinSpec) -> Result<(SessionJoin, f64, Option<GraphHandle>), SpecError> {
+type BuiltJoin = (SessionJoin, f64, Option<GraphHandle>, Option<HistoryHandle>);
+
+fn build_join(spec: &JoinSpec) -> Result<BuiltJoin, SpecError> {
     // Validate the *whole* spec first, so an invalid outer wrapper
     // combination cannot slip through the split.
     spec.validate()?;
     let (inner, slack) = spec.split_outer_reorder();
-    let (join, graph) = if inner
+    let (join, graph, history) = if inner
+        .wrappers
+        .iter()
+        .any(|w| matches!(w, WrapperSpec::History(_)))
+    {
+        let (join, graph, history) = sssj_segments::build_with_handles(&inner)?;
+        (join, graph, Some(history))
+    } else if inner
         .wrappers
         .iter()
         .any(|w| matches!(w, WrapperSpec::Graph))
     {
         let (join, handle) = sssj_graph::build_with_handle(&inner)?;
-        (join, Some(handle))
+        (join, Some(handle), None)
     } else {
-        (inner.build()?, None)
+        (inner.build()?, None, None)
     };
     Ok(match slack {
         Some(slack) if slack > 0.0 => (
             SessionJoin::Reordered(ReorderBuffer::new(join, slack)),
             slack,
             graph,
+            history,
         ),
-        _ => (SessionJoin::Plain(join), 0.0, graph),
+        _ => (SessionJoin::Plain(join), 0.0, graph, history),
     })
 }
 
@@ -136,18 +153,21 @@ impl Session {
     /// `CONFIG` requests never panic; they answer `E` lines.
     pub fn new(defaults: SessionDefaults) -> Self {
         crate::register_spec_builders();
-        let (join, slack, graph) = build_join(&defaults.spec)
+        let (join, slack, graph, history) = build_join(&defaults.spec)
             .unwrap_or_else(|e| panic!("invalid server default spec {}: {e}", defaults.spec));
         // A durable default spec may have *resumed* from its manifest:
         // continue id assignment and the timestamp watermark where the
         // previous incarnation stopped.
         let (next_id, last_t) = join.resume_point().unwrap_or((0, f64::NEG_INFINITY));
+        let horizon = defaults.spec.horizon();
         Session {
             current: defaults.clone(),
             defaults,
             slack,
             join,
             graph,
+            history,
+            horizon,
             subs: Vec::new(),
             tokenizer: Tokenizer::new(),
             next_id,
@@ -255,7 +275,7 @@ impl Session {
         // invalid wrapper combination, unregistered engine — comes back
         // as an `E` line and the session stays on its previous join.
         match build_join(&spec) {
-            Ok((join, slack, graph)) => {
+            Ok((join, slack, graph, history)) => {
                 // Resuming a durable store (`…&durable=<dir>` with an
                 // existing manifest): the session continues the
                 // recovered stream — ids restart after the ingested
@@ -267,6 +287,8 @@ impl Session {
                 self.last_t = last_t;
                 self.join = join;
                 self.graph = graph;
+                self.history = history;
+                self.horizon = spec.horizon();
                 self.subs.clear();
                 self.slack = slack;
                 self.current = SessionDefaults {
@@ -371,9 +393,20 @@ impl Session {
         out.push(Response::Ok(n));
     }
 
-    /// Serves one `QUERY` against the live graph, at the session's
-    /// stream watermark.
+    /// Serves one `QUERY` — at the session's stream watermark, or (with
+    /// `at=<t>` on a history session) at historical time `t` from the
+    /// segment-tier overlay.
     fn handle_query(&mut self, query: GraphQuery, out: &mut Vec<Response>) {
+        let at = match query {
+            GraphQuery::Neighbors { at, .. }
+            | GraphQuery::TopK { at, .. }
+            | GraphQuery::Component { at, .. } => at,
+            GraphQuery::Stats => None,
+        };
+        if let Some(t) = at {
+            self.handle_history_query(query, t, out);
+            return;
+        }
         let Some(graph) = &self.graph else {
             out.push(Response::Err(
                 "session has no graph (configure a graph-wrapped spec, \
@@ -384,7 +417,7 @@ impl Session {
         };
         let now = self.last_t;
         match query {
-            GraphQuery::Neighbors { node } => {
+            GraphQuery::Neighbors { node, .. } => {
                 let edges = graph.neighbors(node, now);
                 let n = edges.len() as u64;
                 out.extend(
@@ -394,7 +427,7 @@ impl Session {
                 );
                 out.push(Response::Ok(n));
             }
-            GraphQuery::TopK { node, k } => {
+            GraphQuery::TopK { node, k, .. } => {
                 let edges = graph.topk(node, k as usize, now);
                 let n = edges.len() as u64;
                 out.extend(
@@ -404,7 +437,7 @@ impl Session {
                 );
                 out.push(Response::Ok(n));
             }
-            GraphQuery::Component { node } => {
+            GraphQuery::Component { node, .. } => {
                 let (root, size) = graph.component(node, now).unwrap_or((node, 0));
                 out.push(Response::Graph(vec![
                     ("root".into(), root),
@@ -413,12 +446,71 @@ impl Session {
             }
             GraphQuery::Stats => {
                 let s = graph.stats(now);
-                out.push(Response::Graph(vec![
+                let mut fields = vec![
                     ("nodes".into(), s.nodes),
                     ("edges".into(), s.edges),
                     ("components".into(), s.components),
+                ];
+                // The history boundary rides the same G line as extra
+                // fields (times in saturating integer milliseconds), so
+                // history-unaware clients keep parsing it unchanged.
+                if let Some(history) = &self.history {
+                    let b = history.boundary();
+                    let ms = |t: f64| (t.max(0.0) * 1000.0).round() as u64;
+                    fields.push(("history_segments".into(), b.segments));
+                    fields.push(("history_oldest_ms".into(), ms(b.oldest_t.unwrap_or(0.0))));
+                    fields.push((
+                        "watermark_ms".into(),
+                        ms(if now.is_finite() { now } else { 0.0 }),
+                    ));
+                }
+                out.push(Response::Graph(fields));
+            }
+        }
+    }
+
+    /// Serves one `QUERY … at=<t>` from the historical overlay.
+    fn handle_history_query(&mut self, query: GraphQuery, t: f64, out: &mut Vec<Response>) {
+        let Some(history) = &self.history else {
+            out.push(Response::Err(
+                "at= needs a history-wrapped spec (append &history=<dir> \
+                 after durable=; the live graph has already expired that window)"
+                    .into(),
+            ));
+            return;
+        };
+        let graph = self.graph.as_ref();
+        match query {
+            GraphQuery::Neighbors { node, .. } => {
+                let edges = history.neighbors_at(graph, node, t, self.horizon);
+                let n = edges.len() as u64;
+                out.extend(
+                    edges
+                        .into_iter()
+                        .map(|e| Response::Pair(SimilarPair::new(node, e.neighbor, e.similarity))),
+                );
+                out.push(Response::Ok(n));
+            }
+            GraphQuery::TopK { node, k, .. } => {
+                let edges = history.topk_at(graph, node, k as usize, t, self.horizon);
+                let n = edges.len() as u64;
+                out.extend(
+                    edges
+                        .into_iter()
+                        .map(|e| Response::Pair(SimilarPair::new(node, e.neighbor, e.similarity))),
+                );
+                out.push(Response::Ok(n));
+            }
+            GraphQuery::Component { node, .. } => {
+                let (root, size) = history
+                    .component_at(graph, node, t, self.horizon)
+                    .unwrap_or((node, 0));
+                out.push(Response::Graph(vec![
+                    ("root".into(), root),
+                    ("size".into(), size),
                 ]));
             }
+            GraphQuery::Stats => unreachable!("stats has no at= form"),
         }
     }
 }
@@ -438,6 +530,72 @@ mod tests {
             Some(Response::Ok(n)) => *n,
             other => panic!("expected OK, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn history_session_serves_time_travel() {
+        let root = std::env::temp_dir().join(format!("sssj-net-history-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let spec: JoinSpec = format!(
+            "str-l2?theta=0.6&tau=4&durable={}&graph&history={}",
+            root.join("wal").display(),
+            root.join("hist").display()
+        )
+        .parse()
+        .unwrap();
+        let mut s = Session::new(SessionDefaults {
+            spec,
+            mode: SessionMode::Vector,
+        });
+        handle_line(&mut s, "V 0.0 7:1.0");
+        assert_eq!(ok_count(&handle_line(&mut s, "V 1.0 7:1.0")), 1);
+        for i in 0..40 {
+            handle_line(&mut s, &format!("V {} {}:1.0", 10.0 + i as f64, 1000 + i));
+        }
+        // Live: the 0–1 edge (t=1) has long expired under τ=4.
+        assert_eq!(ok_count(&handle_line(&mut s, "QUERY neighbors 0")), 0);
+        // Time travel to t=2 sees it again.
+        let r = handle_line(&mut s, "QUERY neighbors 0 at=2.0");
+        assert_eq!(ok_count(&r), 1);
+        match &r[0] {
+            Response::Pair(p) => assert_eq!(p.key(), (0, 1)),
+            other => panic!("expected pair, got {other:?}"),
+        }
+        assert_eq!(ok_count(&handle_line(&mut s, "QUERY topk 1 5 at=2.0")), 1);
+        let r = handle_line(&mut s, "QUERY component 1 at=2.0");
+        assert_eq!(
+            r[0],
+            Response::Graph(vec![("root".into(), 0), ("size".into(), 2)])
+        );
+        // Before the stream began, nothing existed.
+        assert_eq!(ok_count(&handle_line(&mut s, "QUERY neighbors 0 at=-5")), 0);
+        // The stats G line reports the history boundary fields.
+        let r = handle_line(&mut s, "QUERY stats");
+        match &r[0] {
+            Response::Graph(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert!(keys.contains(&"history_segments"), "{keys:?}");
+                assert!(keys.contains(&"history_oldest_ms"), "{keys:?}");
+                let wm = fields
+                    .iter()
+                    .find(|(k, _)| k == "watermark_ms")
+                    .expect("watermark field");
+                assert_eq!(wm.1, 49_000);
+            }
+            other => panic!("expected G reply, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn at_query_without_history_is_an_error() {
+        let mut s = Session::new(SessionDefaults {
+            spec: "str-l2?theta=0.7&tau=10&graph".parse().unwrap(),
+            mode: SessionMode::Vector,
+        });
+        handle_line(&mut s, "V 0.0 7:1.0");
+        let r = handle_line(&mut s, "QUERY neighbors 0 at=0.0");
+        assert!(matches!(&r[0], Response::Err(m) if m.contains("history")));
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! The history directory's atomically-published segment catalog.
+//!
+//! `MANIFEST` lists every live segment with its kind, sequence number,
+//! row/record count and time fences, plus the next edge-segment
+//! sequence number. It flips via temp-file + `rename(2)` (the
+//! `sssj-store` MANIFEST idiom), so the visible catalog always
+//! describes fully-published files. Crash recovery tolerates both
+//! windows: a segment published but not yet cataloged is *adopted* by
+//! the open-time directory scan, and a cataloged WAL segment whose
+//! source was not yet deleted is re-retired idempotently.
+
+use std::io;
+use std::path::Path;
+
+use crate::format::{read_framed, write_framed, BodyReader};
+
+/// Magic for the history manifest.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"SSSJHMF1";
+/// The manifest's file name.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// What a manifest entry describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Retired WAL records (`rec-*`), keyed by first sequence number.
+    Records,
+    /// Expired similarity edges (`edg-*`), keyed by flush counter.
+    Edges,
+}
+
+/// One cataloged segment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ManifestEntry {
+    /// Record or edge segment.
+    pub kind: SegmentKind,
+    /// `first_seq` for records, flush counter for edges.
+    pub seq: u64,
+    /// Records (record segments) or directed rows (edge segments).
+    pub count: u64,
+    /// Oldest timestamp inside.
+    pub min_t: f64,
+    /// Newest timestamp inside.
+    pub max_t: f64,
+}
+
+/// The decoded catalog.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Manifest {
+    /// Sequence number the next edge-segment flush will use.
+    pub next_edge_seq: u64,
+    /// Live segments, in publication order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(12 + self.entries.len() * 33);
+        body.extend_from_slice(&self.next_edge_seq.to_le_bytes());
+        body.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            body.push(match e.kind {
+                SegmentKind::Records => 0,
+                SegmentKind::Edges => 1,
+            });
+            body.extend_from_slice(&e.seq.to_le_bytes());
+            body.extend_from_slice(&e.count.to_le_bytes());
+            body.extend_from_slice(&e.min_t.to_bits().to_le_bytes());
+            body.extend_from_slice(&e.max_t.to_bits().to_le_bytes());
+        }
+        body
+    }
+
+    fn decode(body: &[u8]) -> Result<Manifest, String> {
+        let mut r = BodyReader::new(body);
+        let next_edge_seq = r.u64()?;
+        let n = r.u32()? as usize;
+        // 33 bytes per entry: the count is bounded by the body itself.
+        if n > r.remaining() / 33 {
+            return Err(format!("entry count {n} exceeds the body"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let kind = match r.u8()? {
+                0 => SegmentKind::Records,
+                1 => SegmentKind::Edges,
+                k => return Err(format!("unknown segment kind {k}")),
+            };
+            entries.push(ManifestEntry {
+                kind,
+                seq: r.u64()?,
+                count: r.u64()?,
+                min_t: r.f64()?,
+                max_t: r.f64()?,
+            });
+        }
+        r.expect_end()?;
+        Ok(Manifest {
+            next_edge_seq,
+            entries,
+        })
+    }
+
+    /// Atomically publishes this catalog as `dir/MANIFEST`.
+    pub fn write(&self, dir: &Path, fsync: bool) -> io::Result<()> {
+        write_framed(dir, MANIFEST_NAME, MANIFEST_MAGIC, &self.encode(), fsync)?;
+        Ok(())
+    }
+
+    /// Loads `dir/MANIFEST`. `Ok(None)` when absent (a fresh
+    /// directory); corruption is an error — the caller decides whether
+    /// the directory scan can stand in.
+    pub fn load(dir: &Path) -> io::Result<Option<Manifest>> {
+        let path = dir.join(MANIFEST_NAME);
+        let framed = match read_framed(&path, MANIFEST_MAGIC) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Manifest::decode(framed.body()).map(Some).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sssj-manifest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrips_and_flips_atomically() {
+        let dir = tdir("rt");
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        let m = Manifest {
+            next_edge_seq: 3,
+            entries: vec![
+                ManifestEntry {
+                    kind: SegmentKind::Records,
+                    seq: 0,
+                    count: 4096,
+                    min_t: 0.0,
+                    max_t: 40.0,
+                },
+                ManifestEntry {
+                    kind: SegmentKind::Edges,
+                    seq: 2,
+                    count: 10,
+                    min_t: 1.0,
+                    max_t: 39.5,
+                },
+            ],
+        };
+        m.write(&dir, false).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(m.clone()));
+        // Re-publish replaces, never appends.
+        let mut m2 = m.clone();
+        m2.next_edge_seq = 4;
+        m2.write(&dir, false).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap().next_edge_seq, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error_not_a_panic() {
+        let dir = tdir("bad");
+        Manifest::default().write(&dir, false).unwrap();
+        let path = dir.join(MANIFEST_NAME);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        // Body flip → CRC failure; truncated header → length failure.
+        fs::write(&path, &bytes).unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        fs::write(&path, &bytes[..8]).unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,308 @@
+//! Crash injection at every compaction step: the fail-after countdown
+//! turns each filesystem mutation inside the history store — segment
+//! write, reader open, manifest flip, WAL delete — into a crash point.
+//! After every such crash the invariants must hold:
+//!
+//! * **never neither** — every record appended before the crash is
+//!   still on disk, in the WAL or in a record segment (possibly both:
+//!   the crash window between manifest flip and WAL delete);
+//! * **recovery converges** — reopening the pipeline and finishing the
+//!   stream yields time-travel answers equal to a brute force over an
+//!   uninterrupted run's delivery log, at pre-crash times included.
+//!
+//! Same idiom as `crates/store/tests/crash_recovery.rs`, with the
+//! crash driven through [`HistoryHandle::set_fail_after`] instead of
+//! WAL truncation: the cadence checkpoint panics mid-compaction, the
+//! unwind drops the join (flushing the WAL like a graceful process
+//! death), and the reopen replays.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sssj_core::{JoinSpec, StreamJoin};
+use sssj_segments::{HistoryHandle, HistoryJoin};
+use sssj_store::{wal, DurableOptions};
+use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sssj-seg-crash-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn random_stream(seed: u64, n: usize) -> Vec<StreamRecord> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n as u64)
+        .map(|i| {
+            t += rng.random_range(0.0..0.4);
+            let entries: Vec<(u32, f64)> = (0..rng.random_range(1..5))
+                .map(|_| (rng.random_range(0..24u32), rng.random_range(0.1..1.0)))
+                .collect();
+            let mut b = SparseVectorBuilder::with_capacity(entries.len());
+            for (d, w) in entries {
+                b.push(d, w);
+            }
+            StreamRecord::new(i, Timestamp::new(t), b.build_normalized().unwrap())
+        })
+        .collect()
+}
+
+type LogEntry = (u64, u64, f64, f64); // left, right, sim, stamp
+
+/// The uninterrupted ephemeral run's delivery log — STR delivers
+/// synchronously and deterministically, so this is also what any
+/// crashed-and-recovered pipeline must converge back to.
+fn reference_log(engine: &str, stream: &[StreamRecord]) -> Vec<LogEntry> {
+    let spec: JoinSpec = engine.parse().unwrap();
+    let mut join = spec.build().unwrap();
+    let mut log = Vec::new();
+    let mut out: Vec<SimilarPair> = Vec::new();
+    let mut last_t = f64::NEG_INFINITY;
+    for r in stream {
+        out.clear();
+        join.process(r, &mut out);
+        last_t = last_t.max(r.t.seconds());
+        for p in &out {
+            log.push((p.left, p.right, p.similarity, last_t));
+        }
+    }
+    out.clear();
+    join.finish(&mut out);
+    for p in &out {
+        log.push((p.left, p.right, p.similarity, last_t));
+    }
+    log
+}
+
+/// Brute-force neighbor set at time `t` (overlay order + dedup).
+fn brute_neighbors(log: &[LogEntry], node: u64, t: f64, horizon: f64) -> Vec<(u64, u64, u64)> {
+    let mut v: Vec<(u64, f64, f64)> = log
+        .iter()
+        .filter(|e| e.3 <= t && t - e.3 <= horizon)
+        .filter_map(|&(l, r, sim, stamp)| {
+            if l == node {
+                Some((r, sim, stamp))
+            } else if r == node {
+                Some((l, sim, stamp))
+            } else {
+                None
+            }
+        })
+        .collect();
+    v.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.2.total_cmp(&b.2))
+            .then(a.1.total_cmp(&b.1))
+    });
+    v.dedup_by(|a, b| {
+        a.0 == b.0 && a.1.to_bits() == b.1.to_bits() && a.2.to_bits() == b.2.to_bits()
+    });
+    v.into_iter()
+        .map(|(n, s, tt)| (n, s.to_bits(), tt.to_bits()))
+        .collect()
+}
+
+/// Every record id still on disk: WAL segments (all frames are durable
+/// — the unwind drops the join, which flushes the append buffer like a
+/// graceful process death) plus the archived record segments.
+fn ids_on_disk(durable_dir: &Path, hist_dir: &Path) -> BTreeSet<u64> {
+    let mut ids = BTreeSet::new();
+    let seg_dir = durable_dir.join("wal");
+    if let Ok(entries) = fs::read_dir(&seg_dir) {
+        for entry in entries.filter_map(|e| e.ok()) {
+            let records = wal::read_segment_records(&entry.path())
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.path().display()));
+            ids.extend(records.iter().map(|r| r.id));
+        }
+    }
+    let history = HistoryHandle::open(hist_dir).unwrap();
+    let archived = history
+        .records_in_range(f64::NEG_INFINITY, f64::INFINITY)
+        .unwrap();
+    ids.extend(archived.iter().map(|r| r.id));
+    ids
+}
+
+fn fast_opts() -> DurableOptions {
+    DurableOptions {
+        segment_records: 16,
+        checkpoint_every: 32,
+        sync_appends: false,
+        fsync: false,
+    }
+}
+
+const ENGINE: &str = "str-l2?theta=0.6&lambda=0.3";
+const ARM_AT: usize = 120;
+
+fn history_spec(root: &Path) -> JoinSpec {
+    format!(
+        "{ENGINE}&durable={}&graph&history={}",
+        root.join("wal").display(),
+        root.join("hist").display()
+    )
+    .parse()
+    .unwrap()
+}
+
+/// One injected-crash cycle: run to `ARM_AT` cleanly, arm the
+/// fail-after countdown at `steps`, continue until the compactor's
+/// panic (or clean completion when `steps` outlasts the run), then
+/// check the disk invariant, recover, finish, and run the time-travel
+/// differential. Returns whether a crash actually fired.
+fn crash_cycle(stream: &[StreamRecord], reference: &[LogEntry], steps: u64) -> bool {
+    let root = tmp_dir("cycle");
+    let spec = history_spec(&root);
+    let horizon = spec.horizon();
+
+    let mut join = HistoryJoin::open(&spec, fast_opts()).unwrap();
+    let history = join.history_handle();
+    let mut out = Vec::new();
+    for r in &stream[..ARM_AT] {
+        out.clear();
+        join.process(r, &mut out);
+    }
+    history.set_fail_after(Some(steps));
+
+    // Continue to completion or to the injected panic. The counter
+    // tracks appends: the panicking call dies at the checkpoint, before
+    // its own record reaches the WAL.
+    let appended = std::cell::Cell::new(ARM_AT);
+    let crashed = {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut out = Vec::new();
+            for r in &stream[ARM_AT..] {
+                out.clear();
+                join.process(r, &mut out);
+                appended.set(appended.get() + 1);
+            }
+            join.finish(&mut out);
+            join
+        }));
+        match result {
+            Ok(join) => {
+                // The countdown outlasted the run; disarm and keep the
+                // cleanly finished store for the same checks.
+                join.history_handle().set_fail_after(None);
+                drop(join);
+                false
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_default();
+                assert!(
+                    msg.contains("injected"),
+                    "unexpected panic (not the injected failure): {msg}"
+                );
+                true
+            }
+        }
+    };
+
+    // Never neither: every appended record is in the WAL, the archive,
+    // or both — no crash window loses one.
+    let expected: BTreeSet<u64> = (0..appended.get() as u64).collect();
+    assert_eq!(
+        ids_on_disk(&root.join("wal"), &root.join("hist")),
+        expected,
+        "steps={steps} crashed={crashed}: records lost or invented on disk"
+    );
+
+    // Recover (the fresh store's countdown is disarmed), finish the
+    // stream, and check time travel against the uninterrupted log —
+    // pre-crash times included.
+    let mut join = HistoryJoin::open(&spec, fast_opts()).unwrap();
+    let graph = join.graph_handle().expect("graph wrapper present");
+    let history = join.history_handle();
+    let resume = join.resume_point().map(|(n, _)| n as usize).unwrap_or(0);
+    assert!(
+        resume <= appended.get(),
+        "steps={steps}: store claims more records than were appended"
+    );
+    let mut out = Vec::new();
+    for r in &stream[resume..] {
+        out.clear();
+        join.process(r, &mut out);
+    }
+    out.clear();
+    join.finish(&mut out);
+
+    let watermark = stream.last().unwrap().t.seconds();
+    let crash_t = stream[appended.get().min(stream.len() - 1)].t.seconds();
+    for t in [
+        crash_t * 0.25,
+        crash_t * 0.5,
+        crash_t * 0.75,
+        crash_t,
+        watermark,
+    ] {
+        // Nodes active around this query time, plus one that never was.
+        let mut nodes: Vec<u64> = reference
+            .iter()
+            .filter(|e| e.3 <= t && t - e.3 <= horizon)
+            .flat_map(|e| [e.0, e.1])
+            .take(12)
+            .collect();
+        nodes.push(u64::MAX);
+        nodes.sort_unstable();
+        nodes.dedup();
+        for &node in &nodes {
+            let got: Vec<(u64, u64, u64)> = history
+                .neighbors_at(Some(&graph), node, t, horizon)
+                .iter()
+                .map(|e| (e.neighbor, e.similarity.to_bits(), e.t.to_bits()))
+                .collect();
+            assert_eq!(
+                got,
+                brute_neighbors(reference, node, t, horizon),
+                "steps={steps} crashed={crashed}: neighbors_at({node}, t={t})"
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+    crashed
+}
+
+#[test]
+fn injected_crash_at_every_compaction_step_loses_nothing() {
+    sssj_segments::register_spec_builder();
+    let stream = random_stream(29, 240);
+    let reference = reference_log(ENGINE, &stream);
+    assert!(!reference.is_empty(), "workload must deliver pairs");
+
+    // Silence the expected panic backtraces while the sweep runs.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut fired = 0;
+    let mut clean = 0;
+    for steps in 0..=24 {
+        if crash_cycle(&stream, &reference, steps) {
+            fired += 1;
+        } else {
+            clean += 1;
+            if clean >= 2 {
+                break; // the countdown outlasts every mutation already
+            }
+        }
+    }
+    std::panic::set_hook(hook);
+    assert!(
+        fired >= 4,
+        "the sweep must actually hit crash points (fired={fired})"
+    );
+}

@@ -1,0 +1,398 @@
+//! Time-travel differential for the historical tier: on random
+//! streams, `neighbors_at` / `topk_at` / `component_at` at **any**
+//! query time — live window, long-expired past, before the stream
+//! began, past the watermark — must be set- and rank-equal to a brute
+//! force recomputation from the run's own delivery log. Plus the
+//! backfill differential: re-joining an archived range under a new θ
+//! must equal a from-scratch run over the same records.
+//!
+//! The brute force consumes the pairs exactly as the run delivered
+//! them (stamped with the delivering record's time), mirroring
+//! `crates/graph/tests/differential.rs` — the overlay's contract is
+//! the pair *stream*, with the visible window moved to `[t − τ, t]`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sssj_core::{JoinSpec, StreamJoin};
+use sssj_graph::GraphHandle;
+use sssj_segments::{backfill, HistoryHandle, HistoryJoin};
+use sssj_store::DurableOptions;
+use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sssj-seg-diff-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The PR-4 random stream: pair-dense, timestamps advancing ~0.2/record
+/// so a τ≈1.7 horizon (θ=0.6, λ=0.3) spans a few dozen records and the
+/// segment tier fills up fast.
+fn random_stream(seed: u64, n: usize) -> Vec<StreamRecord> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n as u64)
+        .map(|i| {
+            t += rng.random_range(0.0..0.4);
+            let entries: Vec<(u32, f64)> = (0..rng.random_range(1..5))
+                .map(|_| (rng.random_range(0..24u32), rng.random_range(0.1..1.0)))
+                .collect();
+            let mut b = SparseVectorBuilder::with_capacity(entries.len());
+            for (d, w) in entries {
+                b.push(d, w);
+            }
+            StreamRecord::new(i, Timestamp::new(t), b.build_normalized().unwrap())
+        })
+        .collect()
+}
+
+/// One delivery-log entry: the pair plus its delivery stamp.
+type LogEntry = (u64, u64, f64, f64); // left, right, sim, stamp
+
+/// An overlay answer row keyed for exact comparison.
+type EdgeKey = (u64, u64, u64); // neighbor, sim bits, t bits
+
+/// Edges of `node` visible at `t`, in the overlay's order and with the
+/// overlay's exact-identity dedup: sorted `(neighbor, t, sim)`, then
+/// `(neighbor, sim-bits, t-bits)` repeats collapsed.
+fn brute_edges(log: &[LogEntry], node: u64, t: f64, horizon: f64) -> Vec<(u64, f64, f64)> {
+    let mut v: Vec<(u64, f64, f64)> = log
+        .iter()
+        .filter(|e| e.3 <= t && t - e.3 <= horizon)
+        .filter_map(|&(l, r, sim, stamp)| {
+            if l == node {
+                Some((r, sim, stamp))
+            } else if r == node {
+                Some((l, sim, stamp))
+            } else {
+                None
+            }
+        })
+        .collect();
+    v.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.2.total_cmp(&b.2))
+            .then(a.1.total_cmp(&b.1))
+    });
+    v.dedup_by(|a, b| {
+        a.0 == b.0 && a.1.to_bits() == b.1.to_bits() && a.2.to_bits() == b.2.to_bits()
+    });
+    v
+}
+
+fn brute_neighbors(log: &[LogEntry], node: u64, t: f64, horizon: f64) -> Vec<EdgeKey> {
+    brute_edges(log, node, t, horizon)
+        .into_iter()
+        .map(|(n, s, tt)| (n, s.to_bits(), tt.to_bits()))
+        .collect()
+}
+
+/// Top-k in the overlay's order: the `(neighbor, t)`-sorted edge list,
+/// stably re-sorted by `(sim desc, neighbor asc)`, truncated.
+fn brute_topk(log: &[LogEntry], node: u64, k: usize, t: f64, horizon: f64) -> Vec<EdgeKey> {
+    let mut edges = brute_edges(log, node, t, horizon);
+    edges.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    edges.truncate(k);
+    edges
+        .into_iter()
+        .map(|(n, s, tt)| (n, s.to_bits(), tt.to_bits()))
+        .collect()
+}
+
+/// `(min member id, size)` of `node`'s component at `t`, `None` when
+/// `node` has no visible edge — BFS over the windowed log.
+fn brute_component(log: &[LogEntry], node: u64, t: f64, horizon: f64) -> Option<(u64, u64)> {
+    if brute_edges(log, node, t, horizon).is_empty() {
+        return None;
+    }
+    let mut members = vec![node];
+    let mut frontier = vec![node];
+    while let Some(x) = frontier.pop() {
+        for (n, _, _) in brute_edges(log, x, t, horizon) {
+            if !members.contains(&n) {
+                members.push(n);
+                frontier.push(n);
+            }
+        }
+    }
+    let root = *members.iter().min().expect("non-empty");
+    Some((root, members.len() as u64))
+}
+
+/// Small checkpoint cadence so compaction happens throughout the run,
+/// not only at finish.
+fn fast_opts() -> DurableOptions {
+    DurableOptions {
+        segment_records: 16,
+        checkpoint_every: 32,
+        sync_appends: false,
+        fsync: false,
+    }
+}
+
+struct Run {
+    log: Vec<LogEntry>,
+    graph: GraphHandle,
+    history: HistoryHandle,
+    horizon: f64,
+    watermark: f64,
+}
+
+/// Drives a `durable=…&graph&history=…` pipeline over the stream,
+/// logging every delivery, and finishes it (the final checkpoint runs
+/// the last horizon GC).
+fn drive(root: &std::path::Path, engine: &str, stream: &[StreamRecord]) -> Run {
+    sssj_segments::register_spec_builder();
+    let spec: JoinSpec = format!(
+        "{engine}&durable={}&graph&history={}",
+        root.join("wal").display(),
+        root.join("hist").display()
+    )
+    .parse()
+    .unwrap();
+    let mut join = HistoryJoin::open(&spec, fast_opts()).unwrap();
+    let graph = join.graph_handle().expect("graph wrapper present");
+    let history = join.history_handle();
+    let mut log = Vec::new();
+    let mut out: Vec<SimilarPair> = Vec::new();
+    let mut last_t = f64::NEG_INFINITY;
+    for r in stream {
+        out.clear();
+        join.process(r, &mut out);
+        last_t = last_t.max(r.t.seconds());
+        for p in &out {
+            log.push((p.left, p.right, p.similarity, last_t));
+        }
+    }
+    out.clear();
+    join.finish(&mut out);
+    for p in &out {
+        log.push((p.left, p.right, p.similarity, last_t));
+    }
+    Run {
+        log,
+        graph,
+        history,
+        horizon: spec.horizon(),
+        watermark: last_t,
+    }
+}
+
+/// Asserts every query form against the brute force at one time point.
+fn probe(run: &Run, t: f64) {
+    // Nodes active around `t`, the stream head's endpoints (pre-history
+    // probes), and an id that never appears.
+    let mut nodes: Vec<u64> = run
+        .log
+        .iter()
+        .filter(|e| e.3 <= t && t - e.3 <= run.horizon)
+        .flat_map(|e| [e.0, e.1])
+        .take(16)
+        .collect();
+    if let Some(first) = run.log.first() {
+        nodes.extend([first.0, first.1]);
+    }
+    nodes.push(u64::MAX);
+    nodes.sort_unstable();
+    nodes.dedup();
+    for &node in &nodes {
+        let got: Vec<EdgeKey> = run
+            .history
+            .neighbors_at(Some(&run.graph), node, t, run.horizon)
+            .iter()
+            .map(|e| (e.neighbor, e.similarity.to_bits(), e.t.to_bits()))
+            .collect();
+        assert_eq!(
+            got,
+            brute_neighbors(&run.log, node, t, run.horizon),
+            "neighbors_at({node}, t={t})"
+        );
+        for k in [1usize, 3] {
+            let got: Vec<EdgeKey> = run
+                .history
+                .topk_at(Some(&run.graph), node, k, t, run.horizon)
+                .iter()
+                .map(|e| (e.neighbor, e.similarity.to_bits(), e.t.to_bits()))
+                .collect();
+            assert_eq!(
+                got,
+                brute_topk(&run.log, node, k, t, run.horizon),
+                "topk_at({node}, {k}, t={t})"
+            );
+        }
+        assert_eq!(
+            run.history
+                .component_at(Some(&run.graph), node, t, run.horizon),
+            brute_component(&run.log, node, t, run.horizon),
+            "component_at({node}, t={t})"
+        );
+    }
+}
+
+#[test]
+fn time_travel_matches_the_delivery_log_across_the_whole_timeline() {
+    let root = tmp_dir("timeline");
+    let stream = random_stream(7, 500);
+    let run = drive(&root, "str-l2?theta=0.6&lambda=0.3", &stream);
+    assert!(!run.log.is_empty(), "workload must deliver pairs");
+
+    // The tier really filled: WAL segments were compacted, edge flushes
+    // published, and the history floor sits well behind the live window.
+    let (compactions, flushes) = run.history.progress();
+    assert!(compactions > 0, "no WAL segment reached the compactor");
+    assert!(flushes > 0, "no expired edges were flushed");
+    let boundary = run.history.boundary();
+    assert!(boundary.segments > 0);
+    let oldest = boundary.oldest_t.expect("non-empty tier");
+    assert!(
+        oldest < run.watermark - run.horizon,
+        "history floor {oldest} not behind the live window"
+    );
+
+    let t0 = stream[0].t.seconds();
+    let span = run.watermark - t0;
+    // Before the stream began, across the long-expired past, at the
+    // watermark, and beyond it.
+    for t in [
+        t0 - 5.0,
+        t0,
+        t0 + span * 0.1,
+        t0 + span * 0.25,
+        t0 + span * 0.5,
+        t0 + span * 0.75,
+        run.watermark,
+        run.watermark + 0.5,
+    ] {
+        probe(&run, t);
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn random_streams_and_random_query_times_agree_with_brute_force() {
+    use rand::{RngExt, SeedableRng};
+    for seed in [1u64, 2, 3, 11, 29] {
+        let root = tmp_dir("random");
+        let stream = random_stream(seed, 300);
+        let run = drive(&root, "str-l2?theta=0.6&lambda=0.3", &stream);
+        let t0 = stream[0].t.seconds();
+        let span = run.watermark - t0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD1F);
+        for _ in 0..8 {
+            // Fractions outside [0, 1] probe pre-history and the
+            // post-watermark future.
+            let frac: f64 = rng.random_range(-0.15..1.15);
+            probe(&run, t0 + span * frac);
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn reopened_tier_preserves_time_travel_answers() {
+    let root = tmp_dir("reopen");
+    let stream = random_stream(13, 400);
+    let run = drive(&root, "str-l2?theta=0.6&lambda=0.3", &stream);
+    let (log, horizon, watermark) = (run.log, run.horizon, run.watermark);
+    drop(run.graph);
+    drop(run.history);
+
+    // Reopen the whole pipeline from disk: the graph restores from the
+    // checkpoint aux, the catalog from the manifest — every answer must
+    // still match the first run's delivery log.
+    let spec: JoinSpec = format!(
+        "str-l2?theta=0.6&lambda=0.3&durable={}&graph&history={}",
+        root.join("wal").display(),
+        root.join("hist").display()
+    )
+    .parse()
+    .unwrap();
+    let join = HistoryJoin::open(&spec, fast_opts()).unwrap();
+    let reopened = Run {
+        log,
+        graph: join.graph_handle().expect("graph wrapper present"),
+        history: join.history_handle(),
+        horizon,
+        watermark,
+    };
+    let t0 = stream[0].t.seconds();
+    let span = watermark - t0;
+    for frac in [0.2, 0.5, 0.8, 1.0] {
+        probe(&reopened, t0 + span * frac);
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn backfill_under_a_new_theta_matches_a_from_scratch_run() {
+    let root = tmp_dir("backfill");
+    let stream = random_stream(17, 600);
+    let run = drive(&root, "str-l2?theta=0.7&lambda=0.3", &stream);
+
+    // A range fully behind the final horizon, with margin for the last
+    // sealed-but-unretired WAL segment (~16 records ≈ 6 s worst case).
+    let hi = run.watermark - run.horizon - 8.0;
+    let lo = 0.0;
+    assert!(hi > 20.0, "stream too short for an archived range");
+
+    // Re-join the archived range at a *lower* θ than the live run ever
+    // used — answers the original parameters never produced.
+    let bspec: JoinSpec = "str-l2?theta=0.5&lambda=0.3".parse().unwrap();
+    let report = backfill(&run.history, &bspec, lo, hi).unwrap();
+
+    // From scratch over the same records of the original stream: the
+    // archive must hold exactly them, and the re-join must emit exactly
+    // the same pairs.
+    let reference: Vec<StreamRecord> = stream
+        .iter()
+        .filter(|r| {
+            let t = r.t.seconds();
+            (lo..=hi).contains(&t)
+        })
+        .cloned()
+        .collect();
+    assert_eq!(
+        report.records,
+        reference.len(),
+        "archived range is incomplete or over-full"
+    );
+    let mut join = bspec.build().unwrap();
+    let mut expected = Vec::new();
+    for r in &reference {
+        join.process(r, &mut expected);
+    }
+    join.finish(&mut expected);
+
+    let mut got: Vec<(u64, u64)> = report.pairs.iter().map(|p| p.key()).collect();
+    let mut want: Vec<(u64, u64)> = expected.iter().map(|p| p.key()).collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert!(!want.is_empty(), "θ=0.5 reference must pair");
+    assert_eq!(got, want, "backfill != from-scratch at the new θ");
+    // And the lower θ genuinely widened the result set: a θ=0.7 re-join
+    // of the same records finds strictly fewer pairs.
+    let tight: JoinSpec = "str-l2?theta=0.7&lambda=0.3".parse().unwrap();
+    let mut join = tight.build().unwrap();
+    let mut at_live_theta = Vec::new();
+    for r in &reference {
+        join.process(r, &mut at_live_theta);
+    }
+    join.finish(&mut at_live_theta);
+    assert!(
+        got.len() > at_live_theta.len(),
+        "θ=0.5 backfill ({}) should out-pair θ=0.7 ({})",
+        got.len(),
+        at_live_theta.len()
+    );
+    let _ = fs::remove_dir_all(&root);
+}

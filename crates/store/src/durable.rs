@@ -49,7 +49,7 @@ use sssj_metrics::JoinStats;
 use sssj_types::{SimilarPair, StreamRecord};
 
 use crate::checkpoint::{self, Checkpoint};
-use crate::wal::Wal;
+use crate::wal::{DeleteSink, GcSink, Wal};
 use crate::StoreError;
 
 /// The store's exclusive session lock: a `LOCK` file holding the owning
@@ -218,6 +218,8 @@ pub struct DurableJoin {
     resumed: bool,
     finished: bool,
     scratch: Vec<SimilarPair>,
+    /// Where horizon GC sends retired WAL segments (default: delete).
+    gc_sink: Box<dyn GcSink>,
     /// Exclusive session lock; released (file removed) on drop.
     _lock: LockFile,
 }
@@ -284,6 +286,7 @@ impl DurableJoin {
                 resumed: false,
                 finished: false,
                 scratch: Vec::new(),
+                gc_sink: Box::new(DeleteSink),
                 _lock: lock,
             });
         }
@@ -335,6 +338,7 @@ impl DurableJoin {
             resumed: true,
             finished: false,
             scratch: Vec::new(),
+            gc_sink: Box::new(DeleteSink),
             _lock: lock,
         };
         join.since_ckpt = join.seq.saturating_sub(ckpt.as_ref().map_or(0, |c| c.seq));
@@ -480,6 +484,12 @@ impl DurableJoin {
             return Ok(());
         }
         self.wal.sync(self.opts.fsync)?;
+        // Sinks flush their buffered state *before* the checkpoint is
+        // published: anything the sink has buffered (the compactor's
+        // expired-edge queue) was live in the previous checkpoint's aux,
+        // so ordering the flush first means a crash between the two
+        // leaves the state recoverable from one side or the other.
+        self.gc_sink.before_publish(self.last_t)?;
         let c = Checkpoint {
             spec: self.spec_text.clone(),
             seq: self.seq,
@@ -496,7 +506,8 @@ impl DurableJoin {
             }
         }
         self.ckpt_name = Some(name);
-        self.wal.gc(self.last_t - self.horizon, self.seq)?;
+        self.wal
+            .gc(self.last_t - self.horizon, self.seq, self.gc_sink.as_mut())?;
         self.since_ckpt = 0;
         // Pairs recorded but deliberately left out of the published set
         // (this call's own quiesce output) keep the store dirty so the
@@ -542,6 +553,20 @@ impl DurableJoin {
     /// The canonical inner spec this store runs.
     pub fn spec_text(&self) -> &str {
         &self.spec_text
+    }
+
+    /// Replaces the horizon-GC sink (default: [`DeleteSink`]). The
+    /// historical tier installs its compactor here, right after open —
+    /// before the first checkpoint can retire anything.
+    pub fn set_gc_sink(&mut self, sink: Box<dyn GcSink>) {
+        self.gc_sink = sink;
+    }
+
+    /// The engine's replay horizon τ — how far back a record can still
+    /// pair, which is also the boundary between the live window and the
+    /// historical tier.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
     }
 }
 

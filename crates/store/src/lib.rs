@@ -70,7 +70,7 @@ use std::io;
 
 pub use checkpoint::Checkpoint;
 pub use durable::{recover, DurableJoin, DurableOptions, Recovered};
-pub use wal::Wal;
+pub use wal::{DeleteSink, GcSink, RetiredSegment, Wal};
 
 /// Errors from the durability layer.
 #[derive(Debug)]

@@ -82,6 +82,60 @@ struct Segment {
     path: PathBuf,
 }
 
+/// Metadata of one sealed segment the horizon GC is about to retire:
+/// its records are older than the forgetting horizon *and* fully
+/// covered by a published checkpoint, so the live join will never read
+/// them again.
+#[derive(Clone, Debug)]
+pub struct RetiredSegment {
+    /// The segment file (still present when the sink runs).
+    pub path: PathBuf,
+    /// Absolute sequence number of the segment's first record.
+    pub first_seq: u64,
+    /// Records in the segment.
+    pub records: u64,
+    /// Timestamp of the oldest record.
+    pub first_t: f64,
+    /// Timestamp of the newest record.
+    pub newest_t: f64,
+}
+
+/// Where retired WAL segments go. The GC hands each retirable segment
+/// to the sink *instead of* deleting it inline, which is the attachment
+/// point for the historical tier's compactor (`sssj-segments`) and for
+/// retention policies (archive to cold storage, sample, …).
+///
+/// Contract: when `retire` returns `Ok`, the sink has taken full
+/// responsibility for the segment — including removing the file once
+/// (and only once) its contents are safe elsewhere. On `Err` the GC
+/// stops immediately and the segment stays accounted in the log, so a
+/// failed hand-off never loses records; the same segment is offered
+/// again at the next GC cycle.
+pub trait GcSink: Send {
+    /// Takes ownership of one retirable segment (oldest first).
+    fn retire(&mut self, segment: &RetiredSegment) -> io::Result<()>;
+
+    /// Runs right before every checkpoint publish, after the WAL sync.
+    /// Sinks that buffer state derived from the live join (the
+    /// compactor's expired-edge queue) must make it durable here: a
+    /// crash after the checkpoint would otherwise strand state that the
+    /// checkpoint no longer carries. The default does nothing.
+    fn before_publish(&mut self, _watermark: f64) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The default sink: deletes retired segments, exactly as the GC did
+/// before sinks existed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeleteSink;
+
+impl GcSink for DeleteSink {
+    fn retire(&mut self, segment: &RetiredSegment) -> io::Result<()> {
+        fs::remove_file(&segment.path)
+    }
+}
+
 /// The write half of the log plus the metadata of every retained
 /// segment. Construct with [`Wal::create`] (fresh directory) or
 /// [`Wal::open_existing`] (recovery: replays and self-repairs the log).
@@ -520,22 +574,30 @@ impl Wal {
         (self.cur.records > 0).then_some(self.cur.first_t)
     }
 
-    /// Deletes sealed segments that (a) can never pair again — newest
+    /// Retires sealed segments that (a) can never pair again — newest
     /// record older than `floor_t` — and (b) are fully covered by the
-    /// checkpoint at `ckpt_seq`. Returns how many were deleted.
-    pub fn gc(&mut self, floor_t: f64, ckpt_seq: u64) -> io::Result<usize> {
-        let mut deleted = 0;
+    /// checkpoint at `ckpt_seq`, handing each to `sink` oldest first.
+    /// Returns how many were retired. A sink error stops the sweep with
+    /// the failing segment still retained (see [`GcSink`]).
+    pub fn gc(&mut self, floor_t: f64, ckpt_seq: u64, sink: &mut dyn GcSink) -> io::Result<usize> {
+        let mut retired = 0;
         while let Some(seg) = self.sealed.first() {
             if seg.newest_t < floor_t && seg.first_seq + seg.records <= ckpt_seq {
-                fs::remove_file(&seg.path)?;
+                sink.retire(&RetiredSegment {
+                    path: seg.path.clone(),
+                    first_seq: seg.first_seq,
+                    records: seg.records,
+                    first_t: seg.first_t,
+                    newest_t: seg.newest_t,
+                })?;
                 self.sealed.remove(0);
-                deleted += 1;
+                retired += 1;
             } else {
                 break;
             }
         }
-        self.gc_deleted += deleted as u64;
-        Ok(deleted)
+        self.gc_deleted += retired as u64;
+        Ok(retired)
     }
 
     /// Segments deleted by GC over this handle's lifetime.
@@ -546,6 +608,68 @@ impl Wal {
     /// Retained segments (sealed + the open one).
     pub fn segments(&self) -> usize {
         self.sealed.len() + 1
+    }
+}
+
+/// Appends one record's WAL frame (header + CRC + payload) to `buf`.
+/// Public for the historical tier, whose record segments reuse the WAL
+/// frame format byte for byte.
+pub fn encode_frame_into(record: &StreamRecord, buf: &mut Vec<u8>) {
+    encode_frame(record, buf);
+}
+
+/// Decodes a byte run of concatenated WAL frames, strictly: any torn,
+/// corrupt or trailing partial frame is an error (callers hold
+/// *published* immutable bytes, where a bad frame is corruption, not a
+/// crash tail). `last_t` seeds the cross-frame timestamp monotonicity
+/// check, `f64::NEG_INFINITY` to accept any start.
+pub fn decode_frames(bytes: &[u8], mut last_t: f64) -> Result<Vec<StreamRecord>, String> {
+    let mut records = Vec::new();
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        if rest.len() < 8 {
+            return Err(format!("torn frame header ({} trailing bytes)", rest.len()));
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(format!("absurd frame length {len}"));
+        }
+        // Length check before any slicing sized from the header.
+        if rest.len() - 8 < len as usize {
+            return Err(format!(
+                "frame length {len} overruns the remaining {} bytes",
+                rest.len() - 8
+            ));
+        }
+        let payload = &rest[8..8 + len as usize];
+        if crc32c(payload) != crc {
+            return Err("frame CRC mismatch".into());
+        }
+        let record = decode_payload(payload, last_t)?;
+        last_t = record.t.seconds();
+        records.push(record);
+        rest = &rest[8 + len as usize..];
+    }
+    Ok(records)
+}
+
+/// Reads every record of one sealed segment file, strictly: sealed
+/// segments are immutable, so a torn or corrupt frame is an error here
+/// (unlike recovery's self-truncating scan). This is the compactor's
+/// read path at retire time.
+pub fn read_segment_records(path: &Path) -> io::Result<Vec<StreamRecord>> {
+    let mut records = Vec::new();
+    let mut last_t = f64::NEG_INFINITY;
+    match Wal::scan_segment(path, None, &mut last_t, &mut records) {
+        Ok(seg) if seg.path == *path => Ok(records),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "WAL segment {} is torn or corrupt; refusing to compact it",
+                path.display()
+            ),
+        )),
     }
 }
 

@@ -153,6 +153,63 @@
 //! checkpoint aux blob, so a recovered session serves the same graph
 //! without replaying beyond the WAL horizon (see [`graph`]).
 //!
+//! ## Historical queries & backfill
+//!
+//! The live graph *forgets* at the horizon — that is what keeps it
+//! bounded. Appending `history=<dir>` after `durable=` (the
+//! [`segments`] subsystem) redirects horizon GC from deletion into an
+//! archive: retired WAL segments and expired graph edges are compacted
+//! into immutable, CRC-framed, sorted segment files, and every graph
+//! query gains a time-travel form — `neighbors/topk/component … at=<t>`
+//! over the net protocol, `sssj graph --query '… at=<t>'`, or the
+//! library handle — answered from an overlay of the live window and the
+//! overlapping segments. `sssj backfill <dir>` re-joins an archived
+//! range under new parameters. The worked example (serve → expire →
+//! time travel):
+//!
+//! ```
+//! use sssj::prelude::*;
+//!
+//! # let dir = std::env::temp_dir().join(format!("sssj-facade-hist-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! sssj::register_all_engines();
+//! let spec: JoinSpec = format!(
+//!     "str-l2?theta=0.6&tau=4&durable={}&graph&history={}",
+//!     dir.join("wal").display(),
+//!     dir.join("hist").display(),
+//! ).parse().unwrap();
+//!
+//! let (mut join, graph, history) = sssj::segments::build_with_handles(&spec).unwrap();
+//! let graph = graph.expect("graph wrapper present");
+//! let mut out = Vec::new();
+//! // Two near-duplicates pair at t = 1…
+//! join.process(&StreamRecord::new(0, Timestamp::new(0.0), unit_vector(&[(7, 1.0)])), &mut out);
+//! join.process(&StreamRecord::new(1, Timestamp::new(1.0), unit_vector(&[(7, 1.0)])), &mut out);
+//! assert_eq!(out.len(), 1);
+//! // …then the stream moves on, far past the τ = 4 horizon.
+//! for i in 0..40u64 {
+//!     let r = StreamRecord::new(
+//!         2 + i, Timestamp::new(20.0 + i as f64), unit_vector(&[(100 + i as u32, 1.0)]));
+//!     join.process(&r, &mut out);
+//! }
+//!
+//! // The live graph has forgotten the pair; the history tier has not.
+//! assert!(graph.neighbors(0, 59.0).is_empty());
+//! let then = history.neighbors_at(Some(&graph), 0, 2.0, spec.horizon());
+//! assert_eq!(then.len(), 1);
+//! assert_eq!(then[0].neighbor, 1);
+//! assert_eq!(
+//!     history.component_at(Some(&graph), 0, 2.0, spec.horizon()),
+//!     Some((0, 2)),
+//! );
+//! # drop(join);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
+//! Segment formats, the compaction crash contract and the backfill API
+//! are documented in [`segments`]; the `at=` wire grammar in
+//! [`net::protocol`].
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
@@ -169,6 +226,7 @@
 //! | [`parallel`] | dimension-partitioned, candidate-aware sharded execution |
 //! | [`store`] | durability: segmented WAL, checkpoints, crash recovery |
 //! | [`graph`] | live similarity-graph queries over the pair stream |
+//! | [`segments`] | historical tier: compacted segments, time travel, backfill |
 //! | [`textsim`] | set-similarity (Jaccard) joins, batch and streaming |
 //!
 //! ## The flat hot path
@@ -214,21 +272,23 @@ pub use sssj_lsh as lsh;
 pub use sssj_metrics as metrics;
 pub use sssj_net as net;
 pub use sssj_parallel as parallel;
+pub use sssj_segments as segments;
 pub use sssj_store as store;
 pub use sssj_textsim as textsim;
 pub use sssj_types as types;
 
 /// Registers every constructor that lives downstream of `sssj-core`
-/// (LSH, sharded, the durable store, the live graph) with the
-/// [`core::spec::JoinSpec`] factory. Idempotent; call it once before
-/// building `lsh?…` / `sharded-…` / `…durable=` / `…&graph` specs in an
-/// embedding application. (The workspace binaries — CLI, net server,
-/// bench harness — already do.)
+/// (LSH, sharded, the durable store, the live graph, the historical
+/// segment tier) with the [`core::spec::JoinSpec`] factory. Idempotent;
+/// call it once before building `lsh?…` / `sharded-…` / `…durable=` /
+/// `…&graph` / `…&history=` specs in an embedding application. (The
+/// workspace binaries — CLI, net server, bench harness — already do.)
 pub fn register_all_engines() {
     sssj_lsh::register_spec_builder();
     sssj_parallel::register_spec_builder();
     sssj_store::register_spec_builder();
     sssj_graph::register_spec_builder();
+    sssj_segments::register_spec_builder();
 }
 
 /// The one-stop import for applications.
@@ -244,6 +304,9 @@ pub mod prelude {
     pub use sssj_index::{all_pairs, BatchIndex, BoundPolicy, IndexKind};
     pub use sssj_lsh::{LshJoin, LshParams};
     pub use sssj_parallel::{run_sharded, sharded_run, RoutingMode, ShardReport, ShardedJoin};
+    pub use sssj_segments::{
+        backfill, BackfillReport, HistoryBoundary, HistoryHandle, HistoryJoin,
+    };
     pub use sssj_store::{recover, DurableJoin, DurableOptions, StoreError};
     pub use sssj_types::{
         vector::unit_vector, Decay, DecayModel, SimilarPair, SparseVector, SparseVectorBuilder,
