@@ -1,0 +1,177 @@
+//! Extension: open-loop latency and aggregate query throughput over
+//! the wire — the PR-7 Mutex/thread-per-connection serving path vs the
+//! snapshot/event-loop one, at 1/8/64 concurrent query connections.
+//!
+//! Each lane runs the same shared graph pipeline (`str-l2?theta=0.5&
+//! tau=100&graph`) behind a loopback server and replays the same
+//! schedule through `sssj_bench::run_net_open_loop` (one ingest
+//! connection + N query connections, latency from scheduled arrival —
+//! see the latency methodology in `sssj_bench`'s crate docs), then
+//! hammers `QUERY topk` closed-loop for a fixed window to measure
+//! aggregate read throughput:
+//!
+//! * `mutex-threaded` — `ServerEngine::Threaded` + `SSSJ_GRAPH_ORACLE`
+//!   forced, i.e. thread-per-connection sessions serializing on one
+//!   `Mutex<SimilarityGraph>`: the baseline this PR replaces;
+//! * `snapshot-eventloop` — the default: one multiplexed event loop,
+//!   queries served wait-free from the published snapshot.
+//!
+//! Rows append to `$CRITERION_JSON` when set (the `BENCH_pr8.json`
+//! protocol). Caveat for absolute numbers: this container is 1 vCPU,
+//! so the N client threads and the server share one core — the
+//! threaded lane's context-switch and lock-handoff costs are real, but
+//! a multi-core host would show the snapshot path's *parallel* read
+//! scaling on top of what this measures. `BENCH_FAST=1` shrinks the
+//! streams for the CI smoke run.
+
+use std::time::Duration;
+
+use sssj_bench::{run_net_open_loop, run_query_saturation, NetLoopConfig, OpenLoopReport};
+use sssj_data::{generate, preset, Preset};
+use sssj_net::{Server, ServerEngine, ServerOptions, SessionDefaults};
+
+fn fast() -> bool {
+    std::env::var("BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+struct Lane {
+    name: &'static str,
+    engine: ServerEngine,
+    oracle: bool,
+}
+
+fn bind_lane(lane: &Lane) -> Server {
+    // The oracle env is read when the shared session (and its graph
+    // handle) is built: synchronously inside `bind` for the threaded
+    // engine, so the variable can be cleared before the next lane.
+    if lane.oracle {
+        std::env::set_var("SSSJ_GRAPH_ORACLE", "1");
+    }
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOptions {
+            defaults: SessionDefaults {
+                spec: "str-l2?theta=0.5&tau=100&graph".parse().unwrap(),
+                ..Default::default()
+            },
+            engine: lane.engine,
+            shared: true,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    if lane.oracle {
+        std::env::remove_var("SSSJ_GRAPH_ORACLE");
+    }
+    server
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_json(lane: &str, clients: usize, rep: &OpenLoopReport, qps: f64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let row = format!(
+        concat!(
+            "{{\"group\":\"netloop\",\"bench\":\"{}/c{}\",",
+            "\"rate\":{:.0},\"achieved\":{:.0},\"stalls\":{},\"pairs\":{},",
+            "\"ingest_p50_ns\":{:.0},\"ingest_p99_ns\":{:.0},",
+            "\"ingest_p999_ns\":{:.0},\"ingest_max_ns\":{:.0},",
+            "\"query_p50_ns\":{:.0},\"query_p99_ns\":{:.0},",
+            "\"query_p999_ns\":{:.0},\"saturation_qps\":{:.0}}}\n"
+        ),
+        lane,
+        clients,
+        rep.target_rate,
+        rep.achieved_rate,
+        rep.stalls,
+        rep.pairs,
+        rep.ingest.quantile(0.5) * 1e9,
+        rep.ingest.quantile(0.99) * 1e9,
+        rep.ingest.quantile(0.999) * 1e9,
+        rep.ingest.max() * 1e9,
+        rep.query.quantile(0.5) * 1e9,
+        rep.query.quantile(0.99) * 1e9,
+        rep.query.quantile(0.999) * 1e9,
+        qps,
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open CRITERION_JSON");
+    f.write_all(row.as_bytes()).expect("append CRITERION_JSON");
+}
+
+fn main() {
+    let (n, rate, sat) = if fast() {
+        (1_500, 20_000.0, Duration::from_millis(200))
+    } else {
+        (10_000, 5_000.0, Duration::from_secs(1))
+    };
+    let client_counts: &[usize] = if fast() { &[1, 4] } else { &[1, 8, 64] };
+    let records = generate(&preset(Preset::Tweets, n));
+    let nodes: Vec<u64> = records.iter().map(|r| r.id).collect();
+
+    let lanes = [
+        Lane {
+            name: "mutex-threaded",
+            engine: ServerEngine::Threaded,
+            oracle: true,
+        },
+        Lane {
+            name: "snapshot-eventloop",
+            engine: ServerEngine::EventLoop,
+            oracle: false,
+        },
+    ];
+    for lane in &lanes {
+        for &clients in client_counts {
+            let server = bind_lane(lane);
+            let cfg = NetLoopConfig {
+                rate,
+                clients,
+                query_every: 16,
+                k: 8,
+                warmup: (n / 20).max(32),
+            };
+            let rep = run_net_open_loop(server.local_addr(), &records, &cfg)
+                .unwrap_or_else(|e| panic!("netloop/{}/c{clients}: {e}", lane.name));
+            let (total, wall) = run_query_saturation(server.local_addr(), &nodes, clients, 8, sat)
+                .unwrap_or_else(|e| panic!("saturation/{}/c{clients}: {e}", lane.name));
+            server.shutdown();
+            let qps = total as f64 / wall;
+            println!(
+                "netloop/{}/c{clients} rate={:.0}/s achieved={:.0}/s stalls={} \
+                 ip50={:.1}us ip99={:.1}us qp50={:.1}us qp99={:.1}us qp999={:.1}us \
+                 queries={} sat={:.0}q/s pairs={}",
+                lane.name,
+                rep.target_rate,
+                rep.achieved_rate,
+                rep.stalls,
+                rep.ingest.quantile(0.5) * 1e6,
+                rep.ingest.quantile(0.99) * 1e6,
+                rep.query.quantile(0.5) * 1e6,
+                rep.query.quantile(0.99) * 1e6,
+                rep.query.quantile(0.999) * 1e6,
+                rep.queries,
+                qps,
+                rep.pairs,
+            );
+            assert!(rep.ingest.count() > 0, "{}/c{clients}: empty", lane.name);
+            assert!(
+                rep.query.count() > 0,
+                "{}/c{clients}: no queries",
+                lane.name
+            );
+            assert!(total > 0, "{}/c{clients}: saturation idle", lane.name);
+            emit_json(lane.name, clients, &rep, qps);
+        }
+    }
+}

@@ -26,16 +26,23 @@
 //!   record it affects. This is the number a subscriber to the pair
 //!   stream would actually observe; backpressure shows up both in the
 //!   tail quantiles and in an explicit stall counter.
+//! * **Open-loop over sockets** ([`netbench`], the `ext_latency_net`
+//!   bench and `sssj bench-latency --net`): the same schedule driven
+//!   through real connections — one ingest client plus N concurrent
+//!   query clients — so the server's engine (thread-per-connection
+//!   mutex vs event-loop snapshot reads) is inside the measurement.
 
 pub mod datasets;
 pub mod experiments;
 pub mod extensions;
 pub mod grid;
+pub mod netbench;
 pub mod openloop;
 pub mod runner;
 
 pub use datasets::default_n;
 pub use experiments::Experiments;
 pub use grid::{LAMBDAS, THETAS};
+pub use netbench::{run_net_open_loop, run_query_saturation, NetLoopConfig};
 pub use openloop::{run_open_loop, run_open_loop_with_hooks, OpenLoopConfig, OpenLoopReport};
 pub use runner::{run_algorithm, RunOutcome, RunResult};

@@ -104,7 +104,7 @@ impl OpenLoopReport {
 /// so the mean rate is `rate` while the relative gaps — the burstiness —
 /// are preserved. Degenerate spans (single record, or all timestamps
 /// equal) fall back to uniform `1/rate` spacing.
-fn schedule(records: &[StreamRecord], rate: f64) -> Vec<Duration> {
+pub(crate) fn schedule(records: &[StreamRecord], rate: f64) -> Vec<Duration> {
     let n = records.len();
     let span = match (records.first(), records.last()) {
         (Some(a), Some(b)) => b.t.seconds() - a.t.seconds(),
@@ -126,7 +126,7 @@ fn schedule(records: &[StreamRecord], rate: f64) -> Vec<Duration> {
 
 /// Busy-waits the tail of a wait so the scheduled instant is hit with
 /// sub-scheduler precision; sleeps while more than 50 µs out.
-fn wait_until(deadline: Instant) {
+pub(crate) fn wait_until(deadline: Instant) {
     const SPIN: Duration = Duration::from_micros(50);
     loop {
         let now = Instant::now();

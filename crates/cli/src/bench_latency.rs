@@ -12,11 +12,12 @@
 
 use std::path::PathBuf;
 
-use sssj_bench::{run_open_loop, run_open_loop_with_hooks, OpenLoopConfig};
+use sssj_bench::{run_open_loop, run_open_loop_with_hooks, NetLoopConfig, OpenLoopConfig};
 use sssj_core::{Framework, JoinSpec, SssjConfig, Streaming, WrapperSpec};
 use sssj_data::{generate, preset, Preset};
 use sssj_index::IndexKind;
 use sssj_kernels::Lane;
+use sssj_net::{Server, ServerEngine, ServerOptions, SessionDefaults};
 use sssj_types::{SimilarPair, StreamRecord};
 
 use crate::args::parse;
@@ -24,9 +25,18 @@ use crate::io::load;
 
 /// `sssj bench-latency [FILE] [--preset P --n N] [--rate R] [--theta T]
 /// [--lambda L] [--index I] [--k K] [--query-every Q] [--lane auto|scalar]
-/// [--history DIR]`
+/// [--history DIR] [--net [--clients N] [--engine eventloop|threaded]
+/// [--oracle]]`
+///
+/// `--net` replays the same open-loop schedule through a loopback
+/// server instead of an in-process join: one ingest connection plus
+/// `--clients` concurrent query connections against a `--shared`
+/// pipeline, so socket framing, session dispatch and the serving
+/// engine are inside the measurement. `--engine` picks the server
+/// engine; `--oracle` forces the Mutex graph path (the differential
+/// baseline — sets `SSSJ_GRAPH_ORACLE` for the rest of the process).
 pub fn bench_latency(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &[])?;
+    let p = parse(args, &["net", "oracle"])?;
     let records = match p.positional.as_slice() {
         [] => {
             let name = p.get("preset").unwrap_or("rcv1");
@@ -66,6 +76,66 @@ pub fn bench_latency(args: &[String]) -> Result<(), String> {
         "lane={} index={kind} theta={theta} lambda={lambda}",
         lane.map_or("auto", |_| "scalar"),
     );
+    if p.flag("net") {
+        if p.get("history").is_some() {
+            return Err("--net and --history are mutually exclusive".into());
+        }
+        let clients = p.get_parsed("clients", 1usize)?;
+        let engine = match p.get("engine") {
+            None => ServerEngine::from_env(),
+            Some("eventloop") => ServerEngine::EventLoop,
+            Some("threaded") => ServerEngine::Threaded,
+            Some(other) => {
+                return Err(format!(
+                    "--engine must be eventloop or threaded, got {other:?}"
+                ))
+            }
+        };
+        // The graph handle reads the oracle flag when the shared
+        // session is built — in the loop thread for the event-loop
+        // engine — so the variable stays set for the process.
+        if p.flag("oracle") {
+            std::env::set_var("SSSJ_GRAPH_ORACLE", "1");
+        }
+        let mut spec =
+            JoinSpec::classic(Framework::Streaming, kind, SssjConfig::new(theta, lambda));
+        spec.wrappers = vec![WrapperSpec::Graph];
+        spec.validate().map_err(|e| e.to_string())?;
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerOptions {
+                defaults: SessionDefaults {
+                    spec,
+                    ..Default::default()
+                },
+                engine,
+                shared: true,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| format!("cannot bind loopback server: {e}"))?;
+        let net_cfg = NetLoopConfig {
+            rate: cfg.rate,
+            clients,
+            query_every: cfg.query_every,
+            k: cfg.k,
+            warmup: cfg.warmup,
+        };
+        sssj_kernels::force_lane(lane);
+        let report = sssj_bench::run_net_open_loop(server.local_addr(), &records, &net_cfg);
+        sssj_kernels::force_lane(None);
+        server.shutdown();
+        let engine_name = match engine {
+            ServerEngine::EventLoop => "eventloop",
+            ServerEngine::Threaded => "threaded",
+        };
+        println!(
+            "net: engine={engine_name} clients={clients} oracle={}",
+            p.flag("oracle")
+        );
+        println!("{}", report?.render());
+        return Ok(());
+    }
     match p.get("history") {
         None => {
             let mut join = Streaming::new(SssjConfig::new(theta, lambda), kind);
@@ -132,6 +202,30 @@ mod tests {
 
     fn argv(s: &[&str]) -> Vec<String> {
         s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn net_mode_replays_over_loopback_with_concurrent_query_clients() {
+        for engine in ["eventloop", "threaded"] {
+            bench_latency(&argv(&[
+                "--preset",
+                "tweets",
+                "--n",
+                "240",
+                "--rate",
+                "100000",
+                "--query-every",
+                "8",
+                "--net",
+                "--clients",
+                "3",
+                "--engine",
+                engine,
+            ]))
+            .unwrap();
+        }
+        // --net refuses the in-process history replay.
+        assert!(bench_latency(&argv(&["--net", "--n", "50", "--history", "/tmp/x"])).is_err());
     }
 
     #[test]

@@ -57,17 +57,28 @@ commands:
                                             --durable DIR)
   recover    crash-recover a durable store (<dir>, --input FILE, --pairs)
   net-serve  TCP join service              (--listen, --spec | --theta,
-                                            --lambda, --index, --framework)
+                                            --lambda, --index, --framework;
+                                            --shared serves ONE pipeline to
+                                            every connection with real
+                                            server-push SUBSCRIBE,
+                                            --engine eventloop|threaded)
   net-send   stream a file to a service    (<file>, --connect, --spec,
                                             --theta, --lambda, --index,
                                             --quiet, --subscribe N,
-                                            --query 'topk N K; ...')
+                                            --query 'topk N K; ...',
+                                            --no-finish to leave a shared
+                                            pipeline open, --watch SECS to
+                                            listen for pushed updates)
   bench-latency  open-loop latency replay  ([file] | --preset, --n;
                                             --rate, --theta, --lambda,
                                             --index, --k, --query-every,
                                             --lane auto|scalar,
                                             --history DIR for a
-                                            time-travel at= query mix)
+                                            time-travel at= query mix;
+                                            --net [--clients N]
+                                            [--engine eventloop|threaded]
+                                            [--oracle] replays through a
+                                            loopback server)
 
 run options:
   --spec S                full pipeline spec, e.g. str-l2?theta=0.7&reorder=5

@@ -10,16 +10,24 @@ use std::io::Read;
 
 use sssj_core::{EngineSpec, Framework, JoinSpec, WrapperSpec};
 use sssj_index::IndexKind;
-use sssj_net::{ConfigRequest, JoinClient, Server, ServerOptions, SessionDefaults};
+use sssj_net::{ConfigRequest, JoinClient, Server, ServerEngine, ServerOptions, SessionDefaults};
 
 use crate::args::parse;
 use crate::io::load;
 
 /// `sssj net-serve --listen 127.0.0.1:7878 [--spec S] [--theta --lambda
-/// --index --framework --mode --slack]`
+/// --index --framework --mode --slack] [--shared]
+/// [--engine eventloop|threaded]`
 ///
 /// `--spec` sets the default join pipeline for every session (any
 /// variant; see `sssj specs`); the scalar flags override its fields.
+///
+/// `--shared` serves ONE pipeline to every connection instead of a
+/// session per connection: all clients feed/query the same join,
+/// `CONFIG` is refused (the spec is fixed by these flags), and — on the
+/// event-loop engine — `SUBSCRIBE` is real server push driven by other
+/// clients' ingest. `--engine` picks the serving engine explicitly
+/// (default: event loop, or `SSSJ_NET_ENGINE` when set).
 ///
 /// Serves until stdin reaches EOF, so `sssj net-serve < /dev/null` exits
 /// immediately after binding (useful in scripts) while an interactive run
@@ -29,7 +37,7 @@ pub fn net_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn net_serve_impl(args: &[String], wait_on: &mut impl Read) -> Result<(), String> {
-    let p = parse(args, &[])?;
+    let p = parse(args, &["shared"])?;
     if !p.positional.is_empty() {
         return Err("net-serve takes no positional arguments".into());
     }
@@ -71,18 +79,32 @@ fn net_serve_impl(args: &[String], wait_on: &mut impl Read) -> Result<(), String
     }
     spec.validate().map_err(|e| e.to_string())?;
     defaults.spec = spec;
+    let engine = match p.get("engine") {
+        None => ServerEngine::from_env(),
+        Some("eventloop") => ServerEngine::EventLoop,
+        Some("threaded") => ServerEngine::Threaded,
+        Some(other) => {
+            return Err(format!(
+                "--engine must be eventloop or threaded, got {other:?}"
+            ))
+        }
+    };
+    let shared = p.flag("shared");
     let server = Server::bind(
         &listen,
         ServerOptions {
             defaults: defaults.clone(),
+            engine,
+            shared,
             ..Default::default()
         },
     )
     .map_err(|e| format!("cannot bind {listen}: {e}"))?;
     eprintln!(
-        "sssj: serving on {} (spec {}); close stdin to stop",
+        "sssj: serving on {} (spec {}{}); close stdin to stop",
         server.local_addr(),
         defaults.spec,
+        if shared { ", shared" } else { "" },
     );
     // Block until the controlling stream closes.
     let mut sink = [0u8; 1024];
@@ -103,7 +125,8 @@ fn net_serve_impl(args: &[String], wait_on: &mut impl Read) -> Result<(), String
 
 /// `sssj net-send <file> --connect 127.0.0.1:7878 [--spec S] [--theta
 /// --lambda --index --framework --quiet] [--subscribe N]
-/// [--query 'topk N K; neighbors N; component N; stats']`
+/// [--query 'topk N K; neighbors N; component N; stats']
+/// [--no-finish] [--watch SECS]`
 ///
 /// With a graph-wrapped `--spec` (`…&graph`), `--subscribe` registers
 /// for pushed `U` edge updates before streaming (printed as
@@ -111,8 +134,15 @@ fn net_serve_impl(args: &[String], wait_on: &mut impl Read) -> Result<(), String
 /// `;`-separated graph query over the wire after the stream finishes —
 /// in the same one-line format as the local `sssj graph` command, so
 /// the two diff cleanly.
+///
+/// Against a `--shared` server two more flags matter: `--no-finish`
+/// skips the end-of-stream `FINISH` (which would seal the shared
+/// pipeline for *every* client — a subscriber sending no records wants
+/// this), and `--watch SECS` listens passively for that long after the
+/// stream/queries, printing server-pushed updates as they arrive (the
+/// event-loop engine pushes them without this client writing a byte).
 pub fn net_send(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["quiet"])?;
+    let p = parse(args, &["quiet", "no-finish"])?;
     let [file] = p.positional.as_slice() else {
         return Err("net-send expects exactly one input file".into());
     };
@@ -158,6 +188,16 @@ pub fn net_send(args: &[String]) -> Result<(), String> {
         client.subscribe(node).map_err(|e| e.to_string())?;
     }
 
+    let watch: Option<f64> = p
+        .get("watch")
+        .map(|s| s.parse().map_err(|e| format!("bad --watch: {e}")))
+        .transpose()?;
+    if let Some(secs) = watch {
+        if !(secs.is_finite() && secs >= 0.0) {
+            return Err(format!("--watch must be ≥ 0 seconds, got {secs}"));
+        }
+    }
+
     let mut total = 0u64;
     for r in &records {
         for pair in client.send_record(r).map_err(|e| e.to_string())? {
@@ -167,10 +207,12 @@ pub fn net_send(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    for pair in client.finish().map_err(|e| e.to_string())? {
-        total += 1;
-        if !quiet {
-            println!("{} {} {}", pair.left, pair.right, pair.similarity);
+    if !p.flag("no-finish") {
+        for pair in client.finish().map_err(|e| e.to_string())? {
+            total += 1;
+            if !quiet {
+                println!("{} {} {}", pair.left, pair.right, pair.similarity);
+            }
         }
     }
     for (node, pair) in client.take_updates() {
@@ -226,6 +268,25 @@ pub fn net_send(args: &[String]) -> Result<(), String> {
                 }
             };
             println!("{line}");
+        }
+    }
+    if let Some(secs) = watch {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(secs);
+        while let Some(left) = deadline
+            .checked_duration_since(std::time::Instant::now())
+            .filter(|d| !d.is_zero())
+        {
+            let step = left.min(std::time::Duration::from_millis(250));
+            for (node, pair) in client.poll_updates(step).map_err(|e| e.to_string())? {
+                println!(
+                    "update {node}: {} {} {:.6}",
+                    pair.left, pair.right, pair.similarity
+                );
+            }
+        }
+        let dropped = client.dropped_updates();
+        if dropped > 0 {
+            eprintln!("sssj: {dropped} pushed update(s) dropped by the server's bounded queue");
         }
     }
     let stats = client.stats().map_err(|e| e.to_string())?;
@@ -310,6 +371,89 @@ mod tests {
     #[test]
     fn net_send_requires_a_file() {
         assert!(net_send(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn net_serve_accepts_shared_and_engine_flags() {
+        let mut empty: &[u8] = b"";
+        net_serve_impl(
+            &s(&[
+                "--listen",
+                "127.0.0.1:0",
+                "--spec",
+                "str-l2?theta=0.5&tau=10&graph",
+                "--shared",
+                "--engine",
+                "eventloop",
+            ]),
+            &mut empty,
+        )
+        .unwrap();
+        let mut empty: &[u8] = b"";
+        assert!(net_serve_impl(
+            &s(&["--listen", "127.0.0.1:0", "--engine", "poll"]),
+            &mut empty
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn net_send_watch_and_no_finish_work_against_a_shared_server() {
+        let dir = std::env::temp_dir().join(format!("sssj-net-watch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("mini.txt");
+        std::fs::write(&file, "0.0 7:1.0\n1.0 7:1.0\n2.0 7:1.0\n").unwrap();
+        let empty = dir.join("empty.txt");
+        std::fs::write(&empty, "").unwrap();
+
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerOptions {
+                defaults: sssj_net::SessionDefaults {
+                    spec: "str-l2?theta=0.5&tau=100&graph".parse().unwrap(),
+                    ..Default::default()
+                },
+                shared: true,
+                // Shared SUBSCRIBE is event-loop-only by design; pin the
+                // engine so the SSSJ_NET_ENGINE=threaded CI lane does not
+                // turn this into a (correctly) refused subscription.
+                engine: sssj_net::ServerEngine::EventLoop,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        // A record-less subscriber watches while another client ingests
+        // — real push, no FINISH so the shared pipeline stays open.
+        let watcher = {
+            let (addr, empty) = (addr.clone(), empty.clone());
+            std::thread::spawn(move || {
+                net_send(&s(&[
+                    empty.to_str().unwrap(),
+                    "--connect",
+                    &addr,
+                    "--subscribe",
+                    "0",
+                    "--no-finish",
+                    "--watch",
+                    "1.5",
+                    "--quiet",
+                ]))
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        net_send(&s(&[
+            file.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--no-finish",
+            "--quiet",
+        ]))
+        .unwrap();
+        watcher.join().unwrap().unwrap();
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -14,7 +14,12 @@ use crate::{MiniBatch, SssjConfig, Streaming};
 /// [`StreamJoin::process`]; call [`StreamJoin::finish`] once at the end of
 /// the stream to flush anything buffered (the MiniBatch framework reports
 /// within-window pairs with delay).
-pub trait StreamJoin {
+///
+/// `Send` is a supertrait: a join is *driven* by one thread at a time
+/// but may be *handed between* threads — ingest pipelines move joins
+/// into worker threads, and a shared network session hands its join
+/// from connection thread to connection thread behind a mutex.
+pub trait StreamJoin: Send {
     /// Consumes one record, appending any pairs it completes to `out`.
     fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>);
 

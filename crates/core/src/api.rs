@@ -117,6 +117,18 @@
 //! records are already behind the WAL horizon. A runnable serve → query
 //! doctest lives at the `sssj` facade crate root.
 //!
+//! Reads scale independently of ingest: the handle maintains a
+//! write-side graph plus an immutable **published snapshot** swapped in
+//! at a bounded cadence, so concurrent readers answer wait-free from
+//! the snapshot (staleness bounded by its watermark, which `QUERY
+//! stats` reports) while ingest never blocks on them. A shared
+//! `sssj net-serve --shared` pipeline serves every connection's queries
+//! from that snapshot and pushes subscribed edge updates out-of-band as
+//! snapshots publish; `SSSJ_GRAPH_ORACLE=1` forces the original
+//! mutex-serialized path, kept as the differential oracle. Details in
+//! `sssj_graph`'s module docs (snapshot cadence, read-your-writes) and
+//! `sssj_net`'s event-loop docs (push framing, drop policy).
+//!
 //! # Historical queries & backfill
 //!
 //! [`JoinBuilder::history`] (spec key `history=<dir>`, requires

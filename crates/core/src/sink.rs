@@ -60,7 +60,7 @@ impl<S: PairSink> SinkedJoin<S> {
     }
 }
 
-impl<S: PairSink> StreamJoin for SinkedJoin<S> {
+impl<S: PairSink + Send> StreamJoin for SinkedJoin<S> {
     fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
         let start = out.len();
         self.inner.process(record, out);

@@ -90,8 +90,9 @@ impl TimedEntry for Edge {
 /// *worse-is-greater* under (similarity desc, neighbour id asc), so a
 /// max-heap of them keeps the worst retained edge at the root and an
 /// ascending sort is best-first. Similarities are finite (`total_cmp`
-/// is their numeric order).
-struct RankedEdge(Edge);
+/// is their numeric order). Shared with the snapshot read path so both
+/// sides rank identically.
+pub(crate) struct RankedEdge(pub(crate) Edge);
 
 impl PartialEq for RankedEdge {
     fn eq(&self, other: &Self) -> bool {
@@ -131,9 +132,10 @@ pub struct GraphStats {
 /// Union-find with union-by-size and per-root aggregates, keyed by
 /// sparse node ids. The canonical representative reported for a
 /// component is its **minimum member id**, which is stable across
-/// rebuilds (actual tree roots are not).
+/// rebuilds (actual tree roots are not). Shared with the snapshot read
+/// path, whose memoized component map is built with the same structure.
 #[derive(Default)]
-struct UnionFind {
+pub(crate) struct UnionFind {
     parent: HashMap<u64, u64, FxBuildHasher>,
     /// root → (minimum member id, member count).
     info: HashMap<u64, (u64, u64), FxBuildHasher>,
@@ -146,7 +148,7 @@ impl UnionFind {
     }
 
     /// Ensures `x` exists as a singleton set.
-    fn add(&mut self, x: u64) {
+    pub(crate) fn add(&mut self, x: u64) {
         if let std::collections::hash_map::Entry::Vacant(slot) = self.parent.entry(x) {
             slot.insert(x);
             self.info.insert(x, (x, 1));
@@ -155,7 +157,7 @@ impl UnionFind {
 
     /// The root of `x`'s set, with path compression; `None` when `x` is
     /// not in the structure.
-    fn find(&mut self, x: u64) -> Option<u64> {
+    pub(crate) fn find(&mut self, x: u64) -> Option<u64> {
         let mut root = *self.parent.get(&x)?;
         while root != self.parent[&root] {
             root = self.parent[&root];
@@ -170,7 +172,7 @@ impl UnionFind {
         Some(root)
     }
 
-    fn union(&mut self, a: u64, b: u64) {
+    pub(crate) fn union(&mut self, a: u64, b: u64) {
         self.add(a);
         self.add(b);
         let ra = self.find(a).expect("just added");
@@ -186,10 +188,20 @@ impl UnionFind {
         self.info.insert(big, (ma.min(mb), sa + sb));
     }
 
-    fn components(&self) -> u64 {
+    pub(crate) fn components(&self) -> u64 {
         self.info.len() as u64
     }
+
+    /// The `(minimum member id, size)` aggregate of `root`'s set.
+    pub(crate) fn info_of(&self, root: u64) -> Option<(u64, u64)> {
+        self.info.get(&root).copied()
+    }
 }
+
+/// One touched node's freshly captured live adjacency block, as
+/// returned by [`SimilarityGraph::snapshot_delta`] — an empty block
+/// means the node no longer has live edges.
+pub(crate) type NodeBlock = (u64, std::sync::Arc<[Edge]>);
 
 /// The incrementally maintained, horizon-aware similarity graph. See
 /// the [module docs](self) for the design.
@@ -215,6 +227,13 @@ pub struct SimilarityGraph {
     restored_deadline: f64,
     /// Edges ever accepted (monotone; diagnostics).
     edges_added: u64,
+    /// Nodes whose adjacency gained an entry since the last
+    /// [`SimilarityGraph::snapshot_delta`] drain — the incremental
+    /// capture's work list. Over-approximating is safe (a refresh of an
+    /// unchanged node is wasted work, not a wrong answer); only missing
+    /// a changed node would be a bug, so every insert funnels through
+    /// [`SimilarityGraph::insert_edge`], which records both endpoints.
+    touched: HashSet<u64, FxBuildHasher>,
     /// When set, expired edges are captured into `retired` instead of
     /// vanishing — the historical tier's feed.
     collect_expired: bool,
@@ -276,6 +295,7 @@ impl SimilarityGraph {
             restored: HashSet::default(),
             restored_deadline: f64::NEG_INFINITY,
             edges_added: 0,
+            touched: HashSet::default(),
             collect_expired: false,
             retired: Vec::new(),
         }
@@ -357,6 +377,8 @@ impl SimilarityGraph {
     /// union (used by [`SimilarityGraph::load_aux`] before the
     /// union-find exists).
     fn insert_edge(&mut self, left: u64, right: u64, similarity: f64, t: f64) {
+        self.touched.insert(left);
+        self.touched.insert(right);
         self.stamps.push_back(t);
         self.adj.entry(left).or_default().push(Edge {
             neighbor: right,
@@ -555,6 +577,48 @@ impl SimilarityGraph {
     /// Estimated heap footprint of the adjacency storage, bytes.
     pub fn heap_bytes(&self) -> u64 {
         self.adj.values().map(|b| b.heap_bytes()).sum()
+    }
+
+    /// The capture feed for incremental snapshot publication: drains
+    /// the touched-node set and returns `(now, live edge count,
+    /// fresh live blocks for exactly those nodes)` — an empty block
+    /// means the node is gone. Untouched nodes are the publisher's
+    /// problem (it reuses their previous blocks). No global sweep
+    /// unless the historical tier is listening: expired-edge capture
+    /// promises each edge retires exactly once and publication used to
+    /// be what forced timely sweeps, so a collecting graph still sweeps
+    /// here; without a collector, touched blocks are expired in place
+    /// and the rest keep expiring lazily at the [`advance`] cadence.
+    ///
+    /// [`advance`]: SimilarityGraph::advance
+    pub(crate) fn snapshot_delta(&mut self) -> (f64, u64, Vec<NodeBlock>) {
+        if self.collect_expired && self.expired_since_sweep > 0 {
+            self.sweep();
+        }
+        let cutoff = self.cutoff();
+        let touched = std::mem::take(&mut self.touched);
+        let mut delta = Vec::with_capacity(touched.len());
+        for node in touched {
+            let mut gone = true;
+            let block: std::sync::Arc<[Edge]> = match self.adj.get_mut(&node) {
+                Some(block) => {
+                    block.expire_before_strided(
+                        cutoff,
+                        Edge::WORDS,
+                        Edge::TIME_WORD,
+                        Edge::as_words,
+                    );
+                    gone = block.is_empty();
+                    std::sync::Arc::from(block.entries())
+                }
+                None => std::sync::Arc::from(&[][..]),
+            };
+            if gone {
+                self.adj.remove(&node);
+            }
+            delta.push((node, block));
+        }
+        (self.now, self.stamps.len() as u64, delta)
     }
 
     // -----------------------------------------------------------------

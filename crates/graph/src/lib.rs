@@ -24,6 +24,14 @@
 //!   cloneable query handle. For sharded engines the tap hangs off the
 //!   *driver*, which already funnels every worker's batched pair
 //!   returns.
+//! * [`GraphSnapshot`] — the read-scaling half: the handle batches
+//!   ingest into a write-side graph behind one mutex and publishes
+//!   immutable snapshots (RCU-style `Arc` swap) at a bounded cadence,
+//!   so concurrent readers ([`GraphHandle::snapshot`]) are wait-free at
+//!   steady state and never contend with ingest. Staleness is explicit
+//!   — [`GraphSnapshot::watermark`] — and bounded by the cadence;
+//!   `SSSJ_GRAPH_ORACLE=1` forces the old Mutex read path as the
+//!   differential oracle.
 //! * [`GraphedEngine`] — the [`sssj_core::Checkpointable`] variant: in
 //!   `…&durable=<dir>&graph` pipelines the graph lives inside the
 //!   durability boundary and its live edge set rides the checkpoint aux
@@ -62,13 +70,15 @@
 
 pub mod graph;
 pub mod join;
+pub mod snapshot;
 
 use std::cell::RefCell;
 
 use sssj_core::{Checkpointable, JoinSpec, SpecError, StreamJoin, WrapperSpec};
 
 pub use graph::{Edge, ExpiredEdge, GraphStats, SimilarityGraph};
-pub use join::{GraphHandle, GraphJoin, GraphedEngine};
+pub use join::{GraphDelta, GraphHandle, GraphJoin, GraphedEngine};
+pub use snapshot::GraphSnapshot;
 
 thread_local! {
     /// The handle of the most recent graph built on this thread through
@@ -208,6 +218,54 @@ mod tests {
         assert_eq!(graph.component(3, now), Some((2, 2)));
         let s = graph.stats(now);
         assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn double_build_on_one_thread_keeps_handles_and_arming_distinct() {
+        // Two graph builds back to back on one thread: each
+        // `build_with_handle` must hand back its *own* graph's handle,
+        // and the one-shot expired-edge arming must apply to exactly
+        // the next build — the regression the thread-local stash
+        // invited (a stale stash or a stolen arming would corrupt the
+        // second pipeline silently).
+        let spec: JoinSpec = "str-l2?theta=0.6&tau=1&graph".parse().unwrap();
+        collect_expired_edges_on_next_build();
+        let (mut j1, g1) = build_with_handle(&spec).unwrap();
+        let (mut j2, g2) = build_with_handle(&spec).unwrap();
+        let stream: Vec<StreamRecord> = [(0u64, 0.0), (1, 0.5), (2, 10.0), (3, 10.2)]
+            .into_iter()
+            .map(|(i, t)| rec(i, t, &[(7, 1.0)]))
+            .collect();
+        let p1 = run_stream(j1.as_mut(), &stream);
+        let p2 = run_stream(j2.as_mut(), &stream);
+        assert!(!p1.is_empty() && p1.len() == p2.len());
+        // The graphs are distinct instances fed by their own joins;
+        // the stats query sweeps, which is what captures expiry.
+        assert_eq!(g1.stats(10.2), g2.stats(10.2));
+        // g1 consumed the arming: it captured the expired (0,1) edge;
+        // g2 (built second, unarmed) captured nothing.
+        assert!(!g1.take_expired().is_empty(), "first build was armed");
+        assert!(g2.take_expired().is_empty(), "arming is one-shot");
+    }
+
+    #[test]
+    fn explicit_constructor_never_consumes_the_arming() {
+        // A handle built directly (the net event loop's path) must not
+        // steal an arming intended for the next spec build.
+        collect_expired_edges_on_next_build();
+        let _side = GraphHandle::with_options(1.0, false);
+        let spec: JoinSpec = "str-l2?theta=0.6&tau=1&graph".parse().unwrap();
+        let (mut j, g) = build_with_handle(&spec).unwrap();
+        let stream: Vec<StreamRecord> = [(0u64, 0.0), (1, 0.5), (2, 10.0), (3, 10.2)]
+            .into_iter()
+            .map(|(i, t)| rec(i, t, &[(7, 1.0)]))
+            .collect();
+        run_stream(j.as_mut(), &stream);
+        g.stats(10.2); // sweep, capturing the expired (0,1) edge
+        assert!(
+            !g.take_expired().is_empty(),
+            "the spec build still got the arming"
+        );
     }
 
     #[test]

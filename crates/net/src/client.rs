@@ -69,6 +69,9 @@ pub struct JoinClient {
     /// Pushed `U` subscription updates collected while reading other
     /// responses; drained by [`JoinClient::take_updates`].
     updates: Vec<(u64, SimilarPair)>,
+    /// Running total of updates the server reported dropping (`D` lines
+    /// from its bounded push queue).
+    dropped: u64,
 }
 
 impl JoinClient {
@@ -95,6 +98,7 @@ impl JoinClient {
             writer,
             records_sent: 0,
             updates: Vec::new(),
+            dropped: 0,
         })
     }
 
@@ -130,6 +134,7 @@ impl JoinClient {
             match self.read_response()? {
                 Response::Pair(p) => pairs.push(p),
                 Response::Update { node, pair } => self.updates.push((node, pair)),
+                Response::Dropped(n) => self.dropped += n,
                 Response::Ok(n) => {
                     if n as usize != pairs.len() {
                         return Err(NetError::Protocol(format!(
@@ -212,10 +217,80 @@ impl JoinClient {
 
     /// The pushed subscription updates received so far (each is the
     /// subscribed node plus the pair that touched it), oldest first.
-    /// Updates arrive interleaved with the responses to `V`/`T`/`FINISH`
-    /// requests after a [`JoinClient::subscribe`].
+    /// On a per-session server updates arrive interleaved with the
+    /// responses to `V`/`T`/`FINISH` requests after a
+    /// [`JoinClient::subscribe`]; on a shared event-loop server they
+    /// are pushed out of band and also show up via
+    /// [`JoinClient::poll_updates`].
     pub fn take_updates(&mut self) -> Vec<(u64, SimilarPair)> {
         std::mem::take(&mut self.updates)
+    }
+
+    /// How many pushed updates the server has reported **dropping** for
+    /// this connection so far (coalesced `D <n>` lines from its bounded
+    /// push queue — see the protocol docs). Monotone; a non-zero value
+    /// means [`JoinClient::take_updates`] is missing that many edges.
+    pub fn dropped_updates(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Passively listens for pushed frames for up to `timeout` without
+    /// sending anything — the server-push half of `SUBSCRIBE` on a
+    /// shared server, where updates are triggered by *other* clients'
+    /// ingest. Returns the updates that arrived (also recording drop
+    /// reports); the connection's read deadline is restored afterwards.
+    pub fn poll_updates(&mut self, timeout: Duration) -> Result<Vec<(u64, SimilarPair)>, NetError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let stream = self.reader.get_ref().try_clone()?;
+        let mut line = String::new();
+        loop {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            stream.set_read_timeout(Some(remaining))?;
+            // Accumulate into one buffer across timeouts: a read that
+            // dies mid-line keeps its partial bytes for the next pass.
+            match self.reader.read_line(&mut line) {
+                Ok(0) => {
+                    stream.set_read_timeout(None)?;
+                    return Err(NetError::Protocol("server closed the connection".into()));
+                }
+                Ok(_) => {
+                    let parsed =
+                        Response::parse(&line).map_err(|e| NetError::Protocol(e.to_string()));
+                    line.clear();
+                    match parsed? {
+                        Response::Update { node, pair } => self.updates.push((node, pair)),
+                        Response::Dropped(n) => self.dropped += n,
+                        other => {
+                            stream.set_read_timeout(None)?;
+                            return Err(NetError::Protocol(format!(
+                                "unexpected frame {other:?} while idle (only pushed U/D \
+                                 frames may arrive between requests)"
+                            )));
+                        }
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => {
+                    stream.set_read_timeout(None)?;
+                    return Err(e.into());
+                }
+            }
+        }
+        stream.set_read_timeout(None)?;
+        Ok(self.take_updates())
     }
 
     /// Subscribes to pushed edge updates for `node` (graph sessions).
@@ -298,6 +373,7 @@ impl JoinClient {
             match self.read_response()? {
                 Response::Graph(fields) => return Ok(fields),
                 Response::Update { node, pair } => self.updates.push((node, pair)),
+                Response::Dropped(n) => self.dropped += n,
                 Response::Err(m) => return Err(NetError::Server(m)),
                 other => {
                     return Err(NetError::Protocol(format!(

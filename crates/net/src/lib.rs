@@ -7,10 +7,17 @@
 //! in: producers push timestamped items over a socket and receive each
 //! similar pair the moment it completes.
 //!
-//! * [`Server`] — accepts connections; each connection is an independent
-//!   session running its own join (θ, λ, index, framework and
-//!   out-of-order slack are all per-session, negotiated via `CONFIG`).
-//! * [`JoinClient`] — a synchronous client: one request, one response.
+//! * [`Server`] — accepts connections, behind either of two engines
+//!   ([`ServerEngine`]): a readiness-multiplexed event loop (default;
+//!   epoll on Linux x86-64) or the thread-per-connection baseline. Each
+//!   connection is an independent session running its own join (θ, λ,
+//!   index, framework and out-of-order slack are all per-session,
+//!   negotiated via `CONFIG`) — or, with [`ServerOptions::shared`], all
+//!   connections feed and query **one** pipeline, queries are served
+//!   wait-free from published graph snapshots, and `SUBSCRIBE` is real
+//!   server push (`U` frames arrive without the subscriber writing).
+//! * [`JoinClient`] — a synchronous client: one request, one response
+//!   (plus passive listening for pushed updates).
 //! * [`protocol`] — the wire format, pure and property-tested.
 //! * [`session`] — the socket-free state machine behind each connection.
 //!
@@ -35,13 +42,15 @@
 //! ```
 
 pub mod client;
+mod event_loop;
+mod poll;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
 pub use client::{JoinClient, NetError};
 pub use protocol::{ConfigRequest, GraphQuery, Request, Response, SessionMode, SessionStats};
-pub use server::{Server, ServerOptions};
+pub use server::{Server, ServerEngine, ServerOptions};
 pub use session::{Session, SessionDefaults};
 
 /// Registers the downstream engines (LSH, sharded), the durable store,

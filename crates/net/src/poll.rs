@@ -1,0 +1,430 @@
+//! Readiness polling for the event-loop engine.
+//!
+//! Two backends behind one [`Poller`] enum, selected at startup:
+//!
+//! * **epoll** (Linux x86-64) — the real multiplexer. The workspace
+//!   carries no FFI dependency, so the three `epoll_*` system calls are
+//!   issued directly with inline assembly (the kernel ABI is stable;
+//!   the syscall numbers below are part of it). Level-triggered, which
+//!   keeps the event loop's interest bookkeeping simple: an fd with
+//!   buffered output stays writable-interesting until drained.
+//! * **scan** — the portable fallback (and the `SSSJ_NET_POLL=scan`
+//!   override, used by tests to cover both backends on one machine).
+//!   Every registered fd is reported ready each tick after a short
+//!   sleep; the loop's non-blocking reads/writes then discover real
+//!   readiness themselves via `WouldBlock`. Costs one wakeup per
+//!   millisecond while idle — acceptable for a fallback, not for the
+//!   benchmarked path.
+//!
+//! Tokens are opaque `u64`s chosen by the caller (the event loop uses
+//! slab indices); one fd maps to one token.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// What the caller wants to hear about for one fd.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Interest {
+    /// Wake when the fd is readable (or closed by the peer).
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+/// One readiness report.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable now (includes peer hang-up/error: a read will not block).
+    pub readable: bool,
+    /// Writable now.
+    pub writable: bool,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! The epoll syscall surface, straight to the kernel ABI
+    //! (x86-64 numbers: `epoll_create1`=291, `epoll_ctl`=233,
+    //! `epoll_wait`=232, `close`=3).
+
+    use std::io;
+
+    /// `struct epoll_event` — packed on x86-64 (12 bytes), per the ABI.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    /// Raw x86-64 syscall (up to 4 arguments). The kernel clobbers
+    /// `rcx`/`r11`; everything else is preserved.
+    unsafe fn syscall4(n: i64, a1: i64, a2: i64, a3: i64, a4: i64) -> i64 {
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: i64) -> io::Result<i64> {
+        if (-4095..0).contains(&ret) {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn epoll_create1() -> io::Result<i32> {
+        // SAFETY: no pointers; the kernel validates the flag.
+        check(unsafe { syscall4(291, EPOLL_CLOEXEC as i64, 0, 0, 0) }).map(|fd| fd as i32)
+    }
+
+    pub fn epoll_ctl(
+        epfd: i32,
+        op: i32,
+        fd: i32,
+        event: Option<&mut EpollEvent>,
+    ) -> io::Result<()> {
+        let ptr = event.map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        // SAFETY: `ptr` is null (DEL) or a live, writable EpollEvent.
+        check(unsafe { syscall4(233, epfd as i64, op as i64, fd as i64, ptr as i64) }).map(|_| ())
+    }
+
+    pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: the buffer outlives the call and its length bounds the
+        // kernel's writes.
+        let n = check(unsafe {
+            syscall4(
+                232,
+                epfd as i64,
+                events.as_mut_ptr() as i64,
+                events.len() as i64,
+                timeout_ms as i64,
+            )
+        })?;
+        Ok(n as usize)
+    }
+
+    pub fn close(fd: i32) {
+        // SAFETY: plain close; errors are ignoreable on teardown.
+        let _ = unsafe { syscall4(3, fd as i64, 0, 0, 0) };
+    }
+}
+
+/// The epoll backend. Only built on Linux x86-64 — the only target the
+/// raw syscall stubs cover.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub(crate) struct Epoll {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        Ok(Epoll {
+            epfd: sys::epoll_create1()?,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; 256],
+        })
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = 0;
+        if interest.read {
+            m |= sys::EPOLLIN;
+        }
+        if interest.write {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: Self::mask(interest),
+            data: token,
+        };
+        sys::epoll_ctl(self.epfd, op, fd, Some(&mut ev))
+    }
+
+    fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        let n = match sys::epoll_wait(self.epfd, &mut self.buf, ms) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for ev in &self.buf[..n] {
+            let bits = ev.events;
+            out.push(Event {
+                token: ev.data,
+                // ERR/HUP surface as readable: the next read returns the
+                // error or EOF and the loop retires the connection.
+                readable: bits & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                writable: bits & (sys::EPOLLOUT | sys::EPOLLERR) != 0,
+            });
+        }
+        if n == self.buf.len() {
+            // Full buffer: more events may be pending; grow for next time.
+            self.buf
+                .resize(self.buf.len() * 2, sys::EpollEvent { events: 0, data: 0 });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        sys::close(self.epfd);
+    }
+}
+
+/// The portable fallback: remember registrations, report everything
+/// ready each tick after a short sleep (capped by the caller's timeout).
+pub(crate) struct Scan {
+    regs: Vec<(RawFd, u64, Interest)>,
+}
+
+impl Scan {
+    fn wait(&self, out: &mut Vec<Event>, timeout: Duration) {
+        std::thread::sleep(timeout.min(Duration::from_millis(1)));
+        for &(_, token, interest) in &self.regs {
+            out.push(Event {
+                token,
+                readable: interest.read,
+                writable: interest.write,
+            });
+        }
+    }
+}
+
+/// The backend-selected poller. See the [module docs](self).
+pub(crate) enum Poller {
+    /// Real multiplexing (Linux x86-64).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Epoll(Epoll),
+    /// Portable sleep-and-scan fallback.
+    Scan(Scan),
+}
+
+impl Poller {
+    /// Picks the best available backend; `SSSJ_NET_POLL=scan` forces the
+    /// fallback (tests use this to cover both on one machine).
+    pub fn new() -> Poller {
+        let forced_scan = std::env::var("SSSJ_NET_POLL").is_ok_and(|v| v == "scan");
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if !forced_scan {
+            if let Ok(e) = Epoll::new() {
+                return Poller::Epoll(e);
+            }
+        }
+        let _ = forced_scan;
+        Poller::Scan(Scan { regs: Vec::new() })
+    }
+
+    /// The selected backend's name (test labels).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn backend(&self) -> &'static str {
+        match self {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Poller::Epoll(_) => "epoll",
+            Poller::Scan(_) => "scan",
+        }
+    }
+
+    /// Starts watching `fd` under `token`.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Poller::Epoll(e) => e.ctl(sys::EPOLL_CTL_ADD, fd, token, interest),
+            Poller::Scan(s) => {
+                s.regs.push((fd, token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the interest set of an already-registered fd.
+    pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Poller::Epoll(e) => e.ctl(sys::EPOLL_CTL_MOD, fd, token, interest),
+            Poller::Scan(s) => {
+                for reg in &mut s.regs {
+                    if reg.0 == fd {
+                        reg.1 = token;
+                        reg.2 = interest;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Stops watching `fd`. Call *before* closing the fd.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match self {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Poller::Epoll(e) => e.ctl(
+                sys::EPOLL_CTL_DEL,
+                fd,
+                0,
+                Interest {
+                    read: false,
+                    write: false,
+                },
+            ),
+            Poller::Scan(s) => {
+                s.regs.retain(|&(f, _, _)| f != fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Waits up to `timeout` for readiness, appending reports to
+    /// `events` (cleared first).
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        events.clear();
+        match self {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Poller::Epoll(e) => e.wait(events, timeout),
+            Poller::Scan(s) => {
+                s.wait(events, timeout);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn scan_poller() -> Poller {
+        Poller::Scan(Scan { regs: Vec::new() })
+    }
+
+    fn backends() -> Vec<Poller> {
+        // Exercise the real backend where it exists, plus the fallback
+        // everywhere.
+        let mut v = vec![Poller::new(), scan_poller()];
+        v.dedup_by(|a, b| a.backend() == b.backend());
+        v
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        for mut poller in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poller
+                .register(
+                    listener.as_raw_fd(),
+                    7,
+                    Interest {
+                        read: true,
+                        write: false,
+                    },
+                )
+                .unwrap();
+            let mut events = Vec::new();
+            poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+            assert!(
+                !events.iter().any(|e| e.token == 7 && e.readable) || poller.backend() == "scan",
+                "[{}] spurious readiness before connect",
+                poller.backend()
+            );
+            let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let mut woke = false;
+            for _ in 0..200 {
+                poller.wait(&mut events, Duration::from_millis(25)).unwrap();
+                if events.iter().any(|e| e.token == 7 && e.readable) {
+                    woke = true;
+                    break;
+                }
+            }
+            assert!(woke, "[{}] connect never reported", poller.backend());
+            poller.deregister(listener.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn stream_reports_writable_and_then_readable() {
+        for mut poller in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (mut server_side, _) = listener.accept().unwrap();
+            client.set_nonblocking(true).unwrap();
+            poller
+                .register(
+                    client.as_raw_fd(),
+                    42,
+                    Interest {
+                        read: true,
+                        write: true,
+                    },
+                )
+                .unwrap();
+            let mut events = Vec::new();
+            let mut writable = false;
+            let mut readable = false;
+            server_side.write_all(b"hi\n").unwrap();
+            for _ in 0..200 {
+                poller.wait(&mut events, Duration::from_millis(25)).unwrap();
+                for e in &events {
+                    if e.token == 42 {
+                        writable |= e.writable;
+                        readable |= e.readable;
+                    }
+                }
+                if writable && readable {
+                    break;
+                }
+            }
+            assert!(writable, "[{}] never writable", poller.backend());
+            assert!(readable, "[{}] never readable", poller.backend());
+            // Interest can be narrowed: reregister read-only.
+            poller
+                .reregister(
+                    client.as_raw_fd(),
+                    42,
+                    Interest {
+                        read: true,
+                        write: false,
+                    },
+                )
+                .unwrap();
+            poller.wait(&mut events, Duration::from_millis(25)).unwrap();
+            assert!(
+                events.iter().all(|e| e.token != 42 || !e.writable),
+                "[{}] writable after narrowing interest",
+                poller.backend()
+            );
+            poller.deregister(client.as_raw_fd()).unwrap();
+        }
+    }
+}

@@ -85,17 +85,44 @@
 //!                             (times in integer milliseconds)
 //! SUBSCRIBE <node>            `OK 0`; from then on, every delivered pair
 //!                             touching <node> additionally produces a
-//!                             pushed `U <node> <left> <right> <sim>` line,
-//!                             interleaved before the `OK` of the `V`/`T`/
-//!                             `FINISH` request that surfaced it
+//!                             pushed `U <node> <left> <right> <sim>` line
 //! ```
 //!
 //! `U` lines are *push* traffic in the netidx sense — the server
-//! volunteers them as edges are emitted; they are not counted by the
-//! enclosing `OK <count>` (which keeps counting `P` lines only), so
+//! volunteers them as edges are emitted; they are not counted by any
+//! `OK <count>` (which keeps counting `P` lines only), so
 //! pre-subscription clients remain wire-compatible. On a session whose
 //! spec has no `graph` wrapper, every `QUERY`/`SUBSCRIBE` answers
 //! `E session has no graph …`.
+//!
+//! ## Push framing: where `U` (and `D`) lines may appear
+//!
+//! On a *per-session* server (every connection owns its own pipeline)
+//! the only ingest is the subscriber's own, so updates ride the
+//! subscriber's response stream: `U` lines appear between the `P` lines
+//! and the `OK` of the `V`/`T`/`FINISH` request that surfaced them.
+//!
+//! On a *shared* event-loop server (`--shared`: all connections feed
+//! and query one pipeline) `SUBSCRIBE` is real server push — updates
+//! triggered by **other** clients' ingest arrive out of band, without
+//! the subscriber writing anything. Framing rule:
+//!
+//! ```text
+//! response-stream := ( reply | push )*
+//! reply           := P* ( "OK" n | "E" msg ) | "G" fields | "S" fields | "BYE"
+//! push            := [ "D" n ] "U" node left right sim
+//! ```
+//!
+//! pushed frames are inserted only at *reply boundaries* — never between
+//! a reply's `P` lines and its terminating `OK` — so a synchronous
+//! client can keep reading `P*`-then-`OK` and set pushed lines aside.
+//! Each subscriber has a **bounded** per-connection push queue
+//! (drop-oldest): when a slow reader overflows it, the discarded
+//! updates are coalesced into one `D <count>` line preceding the
+//! surviving `U` lines. Updates are deduplicated per delivered edge,
+//! not per subscription: an edge touching two of one connection's
+//! subscribed nodes yields two `U` lines (one per node), exactly like
+//! the per-session framing.
 //!
 //! ## Time travel: the `at=` suffix
 //!
@@ -608,6 +635,12 @@ pub enum Response {
         /// The delivered pair forming the new edge.
         pair: SimilarPair,
     },
+    /// `D <n>`: the server's bounded push queue overflowed and `n`
+    /// subscription updates were discarded (oldest first) before the
+    /// `U` lines that follow. Push traffic like `U` — never counted by
+    /// `OK <count>`; a slow subscriber sees one coalesced `D` per drain,
+    /// not one line per drop.
+    Dropped(u64),
     /// A graph scalar answer (`G key=value …`, e.g. `component` /
     /// `stats` replies), insertion-ordered.
     Graph(Vec<(String, u64)>),
@@ -693,6 +726,12 @@ impl Response {
                     pair: SimilarPair::new(left, right, similarity),
                 })
             }
+            "D" => {
+                let n: u64 = rest
+                    .parse()
+                    .map_err(|e| err(format!("D: bad count {rest:?}: {e}")))?;
+                Ok(Response::Dropped(n))
+            }
             "G" => {
                 let mut fields = Vec::new();
                 for kv in rest.split_ascii_whitespace() {
@@ -731,6 +770,7 @@ impl fmt::Display for Response {
                 "U {node} {} {} {}",
                 pair.left, pair.right, pair.similarity
             ),
+            Response::Dropped(n) => write!(f, "D {n}"),
             Response::Graph(fields) => {
                 f.write_str("G")?;
                 for (k, v) in fields {
@@ -905,6 +945,8 @@ mod tests {
                 "G root=0 size=17",
                 Response::Graph(vec![("root".into(), 0), ("size".into(), 17)]),
             ),
+            ("D 3", Response::Dropped(3)),
+            ("D 0", Response::Dropped(0)),
             (
                 "G nodes=40 edges=95 components=3",
                 Response::Graph(vec![
@@ -937,7 +979,16 @@ mod tests {
         ] {
             assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
         }
-        for bad in ["U 1 2 3", "U 1 2 3 x", "G", "G root", "G root=x"] {
+        for bad in [
+            "U 1 2 3",
+            "U 1 2 3 x",
+            "G",
+            "G root",
+            "G root=x",
+            "D",
+            "D x",
+            "D -1",
+        ] {
             assert!(Response::parse(bad).is_err(), "accepted {bad:?}");
         }
     }

@@ -1,17 +1,32 @@
-//! The TCP server: one [`Session`] per connection, one thread per
-//! session.
+//! The TCP server, with two serving engines behind one [`Server`] API.
 //!
-//! Concurrency model: sessions are fully independent — each connection
-//! runs its own join over its own stream, so there is no shared mutable
-//! state and no locking on the hot path (matching the paper's
-//! single-core-per-join evaluation; cross-stream sharding lives in
-//! `sssj-parallel`). The server owns only the accept loop and the
-//! shutdown flag.
+//! * [`ServerEngine::EventLoop`] (default) — every connection on one
+//!   thread, multiplexed over readiness events (epoll on Linux x86-64,
+//!   a portable scan fallback elsewhere; see `poll`, crate-private).
+//!   Scales
+//!   to many concurrent connections without a thread per socket, gives
+//!   each connection a fairness quantum (no head-of-line blocking
+//!   between an ingest firehose and query clients), applies
+//!   backpressure to slow readers via bounded per-connection write
+//!   buffers, and is the only engine that does real server-push
+//!   `SUBSCRIBE` in shared mode. The loop's architecture is documented
+//!   in `event_loop` (crate-private).
+//! * [`ServerEngine::Threaded`] — the original thread-per-connection
+//!   engine, kept as the differential baseline: blocking reads with a
+//!   poll timeout, one OS thread per session.
 //!
-//! Shutdown: [`Server::shutdown`] sets a flag, wakes the accept loop with
-//! a loopback connection, and joins every thread. Session reads use a
-//! short timeout so idle sessions notice the flag promptly; in-flight
-//! requests complete before the connection closes.
+//! Orthogonally, [`ServerOptions::shared`] selects the session model:
+//! per-connection pipelines (every connection is an independent join —
+//! the paper's single-core-per-join shape) or one **shared** pipeline
+//! all connections feed and query. In shared mode the event loop serves
+//! queries from the graph's published snapshot (wait-free reads, see
+//! `sssj_graph::GraphSnapshot`) while the threaded engine serializes
+//! every request behind one mutex — which is exactly the baseline the
+//! `bench-latency --net` harness compares against.
+//!
+//! Shutdown: [`Server::shutdown`] sets a flag, wakes the engine with a
+//! loopback connection, and joins every thread. In-flight requests
+//! complete before connections close.
 
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -23,15 +38,54 @@ use std::time::Duration;
 use crate::protocol::{Request, Response, MAX_LINE_BYTES};
 use crate::session::{Session, SessionDefaults};
 
+/// Which serving engine [`Server::bind`] starts. The compiled-in
+/// default is the event loop; the `SSSJ_NET_ENGINE` environment
+/// variable (`eventloop` | `threaded`) overrides
+/// [`ServerOptions::default`], and an explicit field value overrides
+/// both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerEngine {
+    /// One thread, readiness-multiplexed connections (default).
+    EventLoop,
+    /// One OS thread per connection (the differential baseline).
+    Threaded,
+}
+
+impl ServerEngine {
+    /// The environment default: `SSSJ_NET_ENGINE=threaded` selects the
+    /// thread-per-connection baseline, anything else the event loop.
+    pub fn from_env() -> ServerEngine {
+        match std::env::var("SSSJ_NET_ENGINE").as_deref() {
+            Ok("threaded") => ServerEngine::Threaded,
+            _ => ServerEngine::EventLoop,
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServerOptions {
-    /// Defaults every session starts from (overridable via `CONFIG`).
+    /// Defaults every session starts from (overridable via `CONFIG` on
+    /// per-session servers; fixed in shared mode).
     pub defaults: SessionDefaults,
-    /// How often an idle session checks the shutdown flag.
+    /// How often an idle session checks the shutdown flag (also the
+    /// event loop's maximum sleep).
     pub poll_interval: Duration,
     /// Per-line size cap; longer lines close the connection.
     pub max_line_bytes: usize,
+    /// The serving engine (see [`ServerEngine`]).
+    pub engine: ServerEngine,
+    /// One shared pipeline instead of per-connection sessions: every
+    /// connection feeds/queries the same join, `SUBSCRIBE` is real
+    /// server push (event-loop engine), and `CONFIG` is refused.
+    pub shared: bool,
+    /// Per-connection bound on queued pushed updates (shared event-loop
+    /// mode). Overflow drops oldest and reports one coalesced `D <n>`.
+    pub push_queue_cap: usize,
+    /// Per-connection write-buffer backpressure threshold (bytes): a
+    /// connection whose un-flushed output exceeds this stops being read
+    /// from until it drains.
+    pub write_buf_cap: usize,
 }
 
 impl Default for ServerOptions {
@@ -40,6 +94,10 @@ impl Default for ServerOptions {
             defaults: SessionDefaults::default(),
             poll_interval: Duration::from_millis(50),
             max_line_bytes: MAX_LINE_BYTES,
+            engine: ServerEngine::from_env(),
+            shared: false,
+            push_queue_cap: 1024,
+            write_buf_cap: 256 * 1024,
         }
     }
 }
@@ -68,28 +126,43 @@ impl Server {
         let accept_stop = Arc::clone(&stop);
         let accept_sessions = Arc::clone(&sessions);
         let accept_started = Arc::clone(&started);
-        let accept_thread = thread::Builder::new()
-            .name("sssj-net-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
+        let accept_thread = match options.engine {
+            ServerEngine::EventLoop => thread::Builder::new()
+                .name("sssj-net-loop".into())
+                .spawn(move || {
+                    crate::event_loop::run(listener, options, accept_stop, accept_started)
+                })
+                .expect("spawn event-loop thread"),
+            ServerEngine::Threaded => thread::Builder::new()
+                .name("sssj-net-accept".into())
+                .spawn(move || {
+                    // Threaded shared mode: one session, every connection
+                    // behind its mutex — the serialization baseline.
+                    let shared = options.shared.then(|| {
+                        crate::register_spec_builders();
+                        Arc::new(Mutex::new(Session::new(options.defaults.clone())))
+                    });
+                    for stream in listener.incoming() {
+                        if accept_stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        };
+                        accept_started.fetch_add(1, Ordering::SeqCst);
+                        let stop = Arc::clone(&accept_stop);
+                        let options = options.clone();
+                        let shared = shared.clone();
+                        let handle = thread::Builder::new()
+                            .name("sssj-net-session".into())
+                            .spawn(move || serve_connection(stream, options, shared, &stop))
+                            .expect("spawn session thread");
+                        accept_sessions.lock().expect("sessions lock").push(handle);
                     }
-                    let stream = match stream {
-                        Ok(s) => s,
-                        Err(_) => continue,
-                    };
-                    accept_started.fetch_add(1, Ordering::SeqCst);
-                    let stop = Arc::clone(&accept_stop);
-                    let options = options.clone();
-                    let handle = thread::Builder::new()
-                        .name("sssj-net-session".into())
-                        .spawn(move || serve_connection(stream, options, &stop))
-                        .expect("spawn session thread");
-                    accept_sessions.lock().expect("sessions lock").push(handle);
-                }
-            })
-            .expect("spawn accept thread");
+                })
+                .expect("spawn accept thread"),
+        };
 
         Ok(Server {
             addr,
@@ -210,7 +283,12 @@ impl<R: Read> LineReader<R> {
     }
 }
 
-fn serve_connection(stream: TcpStream, options: ServerOptions, stop: &AtomicBool) {
+fn serve_connection(
+    stream: TcpStream,
+    options: ServerOptions,
+    shared: Option<Arc<Mutex<Session>>>,
+    stop: &AtomicBool,
+) {
     let _ = stream.set_read_timeout(Some(options.poll_interval));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
@@ -218,7 +296,10 @@ fn serve_connection(stream: TcpStream, options: ServerOptions, stop: &AtomicBool
         Err(_) => return,
     };
     let mut reader = LineReader::new(stream);
-    let mut session = Session::new(options.defaults);
+    let mut session = match shared {
+        Some(_) => None,
+        None => Some(Session::new(options.defaults)),
+    };
     let mut responses = Vec::new();
 
     loop {
@@ -229,7 +310,42 @@ fn serve_connection(stream: TcpStream, options: ServerOptions, stop: &AtomicBool
                 }
                 responses.clear();
                 let keep_alive = match Request::parse(&line) {
-                    Ok(req) => session.handle(req, &mut responses),
+                    Ok(req) => match (&shared, &mut session) {
+                        // Shared threaded mode: every request behind the
+                        // one session's mutex. Connection-scoped verbs
+                        // are intercepted — QUIT must not seal the
+                        // pipeline for everyone, and server push needs
+                        // the event-loop engine's out-of-band writes.
+                        (Some(sh), _) => match req {
+                            Request::Config(_) => {
+                                responses.push(Response::Err(
+                                    "shared server: the pipeline is fixed by the \
+                                     operator (CONFIG needs a per-session server)"
+                                        .into(),
+                                ));
+                                true
+                            }
+                            Request::Subscribe { .. } => {
+                                responses.push(Response::Err(
+                                    "shared SUBSCRIBE needs the event-loop engine \
+                                     (server push; restart without \
+                                     SSSJ_NET_ENGINE=threaded)"
+                                        .into(),
+                                ));
+                                true
+                            }
+                            Request::Quit => {
+                                responses.push(Response::Bye);
+                                false
+                            }
+                            other => sh
+                                .lock()
+                                .expect("shared session lock")
+                                .handle(other, &mut responses),
+                        },
+                        (None, Some(session)) => session.handle(req, &mut responses),
+                        (None, None) => unreachable!("per-session connections own a session"),
+                    },
                     Err(e) => {
                         responses.push(Response::Err(e.to_string()));
                         true

@@ -8,7 +8,7 @@
 use sssj_core::{
     EngineSpec, Framework, JoinSpec, ReorderBuffer, SpecError, StreamJoin, WrapperSpec,
 };
-use sssj_graph::GraphHandle;
+use sssj_graph::{Edge, GraphHandle, GraphStats};
 use sssj_segments::HistoryHandle;
 use sssj_textsim::Tokenizer;
 use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
@@ -100,6 +100,11 @@ pub struct Session {
     pairs: u64,
     started: bool,
     finished: bool,
+    /// Serve watermark-time `QUERY`s from the published [`GraphSnapshot`]
+    /// instead of the freshness path (see [`Session::set_snapshot_reads`]).
+    ///
+    /// [`GraphSnapshot`]: sssj_graph::GraphSnapshot
+    snapshot_reads: bool,
 }
 
 /// Builds the session's join through the one spec factory. An outermost
@@ -145,6 +150,18 @@ fn build_join(spec: &JoinSpec) -> Result<BuiltJoin, SpecError> {
     })
 }
 
+/// Emits an edge list as `P <node> <nbr> <sim>` lines plus the counting
+/// `OK` terminator — the framing every edge-valued `QUERY` uses.
+fn push_edges(out: &mut Vec<Response>, node: u64, edges: Vec<Edge>) {
+    let n = edges.len() as u64;
+    out.extend(
+        edges
+            .into_iter()
+            .map(|e| Response::Pair(SimilarPair::new(node, e.neighbor, e.similarity))),
+    );
+    out.push(Response::Ok(n));
+}
+
 impl Session {
     /// Creates a session with the server's defaults.
     ///
@@ -176,12 +193,32 @@ impl Session {
             pairs: 0,
             started: false,
             finished: false,
+            snapshot_reads: false,
         }
     }
 
     /// The configuration currently in effect.
     pub fn current_config(&self) -> &SessionDefaults {
         &self.current
+    }
+
+    /// When on, watermark-time `QUERY`s (no `at=`) answer from the
+    /// graph's *published snapshot* — wait-free for the reader and
+    /// consistent at the snapshot's own watermark — instead of the
+    /// freshness path, which takes the ingest lock to fold in pending
+    /// edges first. The shared event-loop server turns this on so
+    /// queries never contend with ingest; it publishes after every
+    /// request batch, so a client that saw its `OK` also sees its edges
+    /// (read-your-writes across request/response turns). Off by default:
+    /// a session that owns its pipeline wants fresh answers.
+    pub fn set_snapshot_reads(&mut self, on: bool) {
+        self.snapshot_reads = on;
+    }
+
+    /// The live graph handle (a cheap clone), when the spec carries the
+    /// `graph` wrapper — the server's publish/fan-out hooks use it.
+    pub fn graph_handle(&self) -> Option<GraphHandle> {
+        self.graph.clone()
     }
 
     /// Handles one request, appending the responses. Returns `false`
@@ -415,27 +452,44 @@ impl Session {
             ));
             return;
         };
+        if self.snapshot_reads {
+            // Shared event-loop serving: answer from the published
+            // snapshot, evaluated at its own watermark. Publication is
+            // lazy — `publish_now` folds any unpublished ingest in
+            // before answering (read-your-writes across the loop's
+            // connections) and is a wait-free cached-`Arc` load when
+            // nothing changed, so pure-ingest iterations never pay a
+            // capture and idle queries never take a lock.
+            let snap = graph.publish_now();
+            let now = snap.watermark();
+            match query {
+                GraphQuery::Neighbors { node, .. } => {
+                    push_edges(out, node, snap.neighbors(node, now));
+                }
+                GraphQuery::TopK { node, k, .. } => {
+                    push_edges(out, node, snap.topk(node, k as usize, now));
+                }
+                GraphQuery::Component { node, .. } => {
+                    let (root, size) = snap.component(node, now).unwrap_or((node, 0));
+                    out.push(Response::Graph(vec![
+                        ("root".into(), root),
+                        ("size".into(), size),
+                    ]));
+                }
+                GraphQuery::Stats => {
+                    let fields = self.stats_fields(snap.stats(now), now);
+                    out.push(Response::Graph(fields));
+                }
+            }
+            return;
+        }
         let now = self.last_t;
         match query {
             GraphQuery::Neighbors { node, .. } => {
-                let edges = graph.neighbors(node, now);
-                let n = edges.len() as u64;
-                out.extend(
-                    edges
-                        .into_iter()
-                        .map(|e| Response::Pair(SimilarPair::new(node, e.neighbor, e.similarity))),
-                );
-                out.push(Response::Ok(n));
+                push_edges(out, node, graph.neighbors(node, now));
             }
             GraphQuery::TopK { node, k, .. } => {
-                let edges = graph.topk(node, k as usize, now);
-                let n = edges.len() as u64;
-                out.extend(
-                    edges
-                        .into_iter()
-                        .map(|e| Response::Pair(SimilarPair::new(node, e.neighbor, e.similarity))),
-                );
-                out.push(Response::Ok(n));
+                push_edges(out, node, graph.topk(node, k as usize, now));
             }
             GraphQuery::Component { node, .. } => {
                 let (root, size) = graph.component(node, now).unwrap_or((node, 0));
@@ -445,28 +499,33 @@ impl Session {
                 ]));
             }
             GraphQuery::Stats => {
-                let s = graph.stats(now);
-                let mut fields = vec![
-                    ("nodes".into(), s.nodes),
-                    ("edges".into(), s.edges),
-                    ("components".into(), s.components),
-                ];
-                // The history boundary rides the same G line as extra
-                // fields (times in saturating integer milliseconds), so
-                // history-unaware clients keep parsing it unchanged.
-                if let Some(history) = &self.history {
-                    let b = history.boundary();
-                    let ms = |t: f64| (t.max(0.0) * 1000.0).round() as u64;
-                    fields.push(("history_segments".into(), b.segments));
-                    fields.push(("history_oldest_ms".into(), ms(b.oldest_t.unwrap_or(0.0))));
-                    fields.push((
-                        "watermark_ms".into(),
-                        ms(if now.is_finite() { now } else { 0.0 }),
-                    ));
-                }
+                let fields = self.stats_fields(graph.stats(now), now);
                 out.push(Response::Graph(fields));
             }
         }
+    }
+
+    /// The `QUERY stats` G-line fields for counters `s` at time `now`.
+    /// The history boundary rides the same G line as extra fields (times
+    /// in saturating integer milliseconds), so history-unaware clients
+    /// keep parsing it unchanged.
+    fn stats_fields(&self, s: GraphStats, now: f64) -> Vec<(String, u64)> {
+        let mut fields = vec![
+            ("nodes".into(), s.nodes),
+            ("edges".into(), s.edges),
+            ("components".into(), s.components),
+        ];
+        if let Some(history) = &self.history {
+            let b = history.boundary();
+            let ms = |t: f64| (t.max(0.0) * 1000.0).round() as u64;
+            fields.push(("history_segments".into(), b.segments));
+            fields.push(("history_oldest_ms".into(), ms(b.oldest_t.unwrap_or(0.0))));
+            fields.push((
+                "watermark_ms".into(),
+                ms(if now.is_finite() { now } else { 0.0 }),
+            ));
+        }
+        fields
     }
 
     /// Serves one `QUERY … at=<t>` from the historical overlay.
@@ -585,6 +644,40 @@ mod tests {
             other => panic!("expected G reply, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn snapshot_reads_serve_the_published_watermark() {
+        let mut s = Session::new(SessionDefaults {
+            spec: "str-l2?theta=0.6&tau=100&graph".parse().unwrap(),
+            mode: SessionMode::Vector,
+        });
+        s.set_snapshot_reads(true);
+        handle_line(&mut s, "V 0.0 7:1.0");
+        assert_eq!(ok_count(&handle_line(&mut s, "V 1.0 7:1.0")), 1);
+        // Publication is lazy: ingest alone leaves the write side dirty
+        // and nothing captured …
+        let g = s.graph_handle().expect("graph spec");
+        assert!(g.is_dirty());
+        assert_eq!(g.snapshot().generation(), 0);
+        // … and the query folds the backlog in before answering
+        // (read-your-writes without a per-record capture).
+        let r = handle_line(&mut s, "QUERY neighbors 0");
+        assert!(!g.is_dirty());
+        assert_eq!(ok_count(&r), 1);
+        match &r[0] {
+            Response::Pair(p) => assert_eq!(p.key(), (0, 1)),
+            other => panic!("expected pair, got {other:?}"),
+        }
+        let r = handle_line(&mut s, "QUERY stats");
+        assert_eq!(
+            r[0],
+            Response::Graph(vec![
+                ("nodes".into(), 2),
+                ("edges".into(), 1),
+                ("components".into(), 1),
+            ])
+        );
     }
 
     #[test]

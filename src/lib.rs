@@ -153,6 +153,49 @@
 //! checkpoint aux blob, so a recovered session serves the same graph
 //! without replaying beyond the WAL horizon (see [`graph`]).
 //!
+//! ### Shared serving: snapshot reads and real server push
+//!
+//! The session above owns its pipeline; a **shared** server
+//! (`ServerOptions { shared: true }`, CLI `sssj net-serve --shared`)
+//! serves ONE pipeline to every connection on a multiplexed event
+//! loop. Queries answer wait-free from the graph's published
+//! **snapshot** (ingest never blocks on readers; staleness is bounded
+//! by the snapshot watermark, which publishes before each reply is
+//! flushed — so you always read your own writes), and `SUBSCRIBE`
+//! becomes real server push: updates triggered by *other* clients'
+//! ingest arrive without the subscriber writing a byte, framed between
+//! replies with a bounded per-connection queue (overflow drops oldest
+//! and reports one coalesced `D <n>`; grammar in [`net::protocol`]):
+//!
+//! ```
+//! use sssj::net::{JoinClient, Server, ServerOptions, SessionDefaults};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerOptions {
+//!     defaults: SessionDefaults {
+//!         spec: "str-l2?theta=0.6&tau=10&graph".parse().unwrap(),
+//!         ..Default::default()
+//!     },
+//!     shared: true, // one pipeline, every connection
+//!     ..Default::default()
+//! })?;
+//! let mut watcher = JoinClient::connect(server.local_addr())?;
+//! watcher.subscribe(0)?; // ...and the watcher never writes again.
+//!
+//! let mut feeder = JoinClient::connect(server.local_addr())?;
+//! feeder.send_vector(0.0, &[(7, 1.0)])?;
+//! feeder.send_vector(1.0, &[(7, 1.0)])?; // edge (0,1) forms...
+//!
+//! let mut pushed = Vec::new(); // ...and is pushed to the watcher.
+//! while pushed.is_empty() {
+//!     pushed.extend(watcher.poll_updates(Duration::from_millis(300))?);
+//! }
+//! assert_eq!(pushed[0].0, 0, "an update for the watched node");
+//! assert_eq!(feeder.query_neighbors(0)?.len(), 1); // snapshot read
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! ## Historical queries & backfill
 //!
 //! The live graph *forgets* at the horizon — that is what keeps it
