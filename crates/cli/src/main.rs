@@ -69,6 +69,11 @@ commands:
                                             --no-finish to leave a shared
                                             pipeline open, --watch SECS to
                                             listen for pushed updates)
+  metrics    scrape a server's METRICS     ([addr], one-shot Prometheus
+                                            text; --watch SECS re-scrapes
+                                            and annotates counters with
+                                            deltas/sec, --count N stops
+                                            after N reports)
   bench-latency  open-loop latency replay  ([file] | --preset, --n;
                                             --rate, --theta, --lambda,
                                             --index, --k, --query-every,
@@ -129,6 +134,7 @@ fn main() -> ExitCode {
         "recover" => recover::recover(rest),
         "net-serve" => net_cmd::net_serve(rest),
         "net-send" => net_cmd::net_send(rest),
+        "metrics" => net_cmd::metrics_cmd(rest),
         "bench-latency" => bench_latency::bench_latency(rest),
         "-h" | "--help" => {
             print!("{USAGE}");

@@ -284,18 +284,107 @@ pub fn net_send(args: &[String]) -> Result<(), String> {
                 );
             }
         }
-        let dropped = client.dropped_updates();
-        if dropped > 0 {
-            eprintln!("sssj: {dropped} pushed update(s) dropped by the server's bounded queue");
-        }
     }
     let stats = client.stats().map_err(|e| e.to_string())?;
     eprintln!(
         "sssj: {} records sent, {total} pairs, {} entries traversed",
         stats.records, stats.entries_traversed
     );
+    // Surface coalesced `D <n>` drops whether or not --watch ran: a
+    // subscriber that only read its own responses still learns its
+    // update stream has holes (also counted server-side in
+    // `sssj_net_push_dropped_updates_total`).
+    let dropped = client.dropped_updates();
+    if dropped > 0 {
+        eprintln!("sssj: {dropped} pushed update(s) dropped by the server's bounded queue");
+    }
     client.quit().map_err(|e| e.to_string())?;
     Ok(())
+}
+
+/// `sssj metrics <addr> [--watch SECS [--count N]]`
+///
+/// Scrapes the server's `METRICS` verb. One-shot (the default) prints
+/// the Prometheus text exposition verbatim — pipe it to a file and any
+/// Prometheus tooling parses it. `--watch SECS` re-scrapes on that
+/// interval and annotates every `_total` counter with its delta per
+/// second since the previous scrape; `--count N` stops after N reports
+/// (default: run until interrupted).
+pub fn metrics_cmd(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    let addr = match p.positional.as_slice() {
+        [] => "127.0.0.1:7878".to_string(),
+        [a] => a.clone(),
+        _ => return Err("metrics expects at most one server address".into()),
+    };
+    let watch: Option<f64> = p
+        .get("watch")
+        .map(|s| s.parse().map_err(|e| format!("bad --watch: {e}")))
+        .transpose()?;
+    if let Some(secs) = watch {
+        if !(secs.is_finite() && secs > 0.0) {
+            return Err(format!("--watch must be > 0 seconds, got {secs}"));
+        }
+    }
+    let count: Option<u64> = p
+        .get("count")
+        .map(|s| s.parse().map_err(|e| format!("bad --count: {e}")))
+        .transpose()?;
+    let mut client =
+        JoinClient::connect(&*addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    let Some(secs) = watch else {
+        let lines = client.metrics().map_err(|e| e.to_string())?;
+        if lines.is_empty() {
+            eprintln!("sssj: server reports no metrics (running with SSSJ_TELEMETRY=off?)");
+        }
+        for line in &lines {
+            println!("{line}");
+        }
+        return client.quit().map_err(|e| e.to_string());
+    };
+
+    // Watch mode: sample values per series, report deltas/sec.
+    let mut prev = scrape_samples(&mut client)?;
+    let mut reports = 0u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        let cur = scrape_samples(&mut client)?;
+        reports += 1;
+        println!("--- scrape {reports} (+{secs}s)");
+        for (name, value) in &cur {
+            if name.contains("_total") {
+                let delta = value
+                    - prev
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map_or(0.0, |(_, v)| *v);
+                println!("{name} {value} (+{:.2}/s)", delta / secs);
+            } else {
+                println!("{name} {value}");
+            }
+        }
+        prev = cur;
+        if count.is_some_and(|c| reports >= c) {
+            break;
+        }
+    }
+    client.quit().map_err(|e| e.to_string())
+}
+
+/// One `METRICS` scrape reduced to `(series, value)` samples (comment
+/// lines skipped), in exposition order.
+fn scrape_samples(client: &mut JoinClient) -> Result<Vec<(String, f64)>, String> {
+    Ok(client
+        .metrics()
+        .map_err(|e| e.to_string())?
+        .iter()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, value) = l.rsplit_once(' ')?;
+            Some((name.to_string(), value.parse::<f64>().ok()?))
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -371,6 +460,17 @@ mod tests {
     #[test]
     fn net_send_requires_a_file() {
         assert!(net_send(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn metrics_cmd_scrapes_one_shot_and_watch() {
+        let server = Server::bind("127.0.0.1:0", ServerOptions::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        metrics_cmd(&s(&[&addr])).unwrap();
+        metrics_cmd(&s(&[&addr, "--watch", "0.05", "--count", "2"])).unwrap();
+        assert!(metrics_cmd(&s(&[&addr, "--watch", "0"])).is_err());
+        assert!(metrics_cmd(&s(&[&addr, "extra"])).is_err());
+        server.shutdown();
     }
 
     #[test]

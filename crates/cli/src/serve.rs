@@ -16,14 +16,74 @@
 //! input record so downstream pipes see pairs immediately.
 
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use sssj_core::StreamJoin;
 use sssj_data::text::parse_line;
+use sssj_metrics::registry::Registry;
 use sssj_textsim::Tokenizer;
 use sssj_types::{SimilarPair, StreamRecord, Timestamp};
 
 use crate::args::parse;
 use crate::commands::spec_from_args;
+
+/// Background telemetry logger for `--metrics-log FILE`: one JSON line
+/// per interval (about a second), appended and flushed line-by-line so a
+/// crash loses at most the line in flight and a restart appends to the
+/// same file. Stopped (with one final line) when serving ends.
+struct MetricsLogger {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsLogger {
+    fn start(path: &str) -> Result<MetricsLogger, String> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("--metrics-log {path}: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("sssj-metrics-log".into())
+            .spawn(move || {
+                let write_line = |file: &mut std::fs::File| {
+                    let line = Registry::global().json_line();
+                    let _ = writeln!(file, "{line}");
+                    let _ = file.flush();
+                };
+                while !stop2.load(Ordering::SeqCst) {
+                    write_line(&mut file);
+                    // Poll the stop flag every 100 ms so shutdown is
+                    // prompt without shortening the logging interval.
+                    for _ in 0..10 {
+                        if stop2.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    }
+                }
+                // Final line: the end-of-stream counter state.
+                write_line(&mut file);
+            })
+            .map_err(|e| format!("--metrics-log: {e}"))?;
+        Ok(MetricsLogger {
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl Drop for MetricsLogger {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
 
 /// Parses a `--tokenize`-mode line: `<timestamp> <raw text…>`.
 fn parse_text_line(
@@ -87,6 +147,9 @@ pub fn serve_streams<R: BufRead, W: Write>(
     }
     let tokenize = p.flag("tokenize");
     let tokenizer = Tokenizer::new();
+    // `--metrics-log FILE`: append one JSON registry snapshot per second
+    // while serving (stopped, with a final line, on end-of-stream).
+    let _metrics_log = p.get("metrics-log").map(MetricsLogger::start).transpose()?;
 
     let mut join = spec.build().map_err(|e| e.to_string())?;
     let mut out: Vec<SimilarPair> = Vec::new();
@@ -164,7 +227,7 @@ pub fn serve_streams<R: BufRead, W: Write>(
 }
 
 /// `sssj serve [--spec S | --theta T --lambda L --index I] [--tokenize]
-/// [--durable DIR]`
+/// [--durable DIR] [--metrics-log FILE]`
 pub fn serve(args: &[String]) -> Result<(), String> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -270,6 +333,38 @@ mod tests {
         // The recovered watermark survives too: going backwards in time
         // is rejected.
         assert!(run(&args, "0.5 7:1.0\n").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_log_appends_json_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "sssj-serve-mlog-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("metrics.jsonl").display().to_string();
+        let input = "0.0 1:1.0 2:1.0\n1.0 1:1.0 2:1.0\n";
+        let out = run(&["--metrics-log", &log, "--quiet"], input).unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        // Run again: the log must append, not truncate.
+        run(&["--metrics-log", &log, "--quiet"], input).unwrap();
+        let body = std::fs::read_to_string(&log).unwrap();
+        assert!(body.lines().count() >= 2, "two runs, two final lines");
+        for line in body.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        if sssj_metrics::telemetry_enabled() {
+            assert!(
+                body.lines()
+                    .last()
+                    .unwrap()
+                    .contains("sssj_core_records_total"),
+                "snapshot carries the ingest counter"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

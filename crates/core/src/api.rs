@@ -178,6 +178,47 @@
 //! graph and history handles the queries are served from. A runnable
 //! serve → expire → time-travel doctest lives at the `sssj` facade
 //! crate root.
+//!
+//! # Observability
+//!
+//! Every pipeline built through [`JoinSpec::build`] is instrumented by
+//! default: the factory wraps the finished engine in a transparent
+//! telemetry tap ([`crate::telemetry::TelemetryJoin`]) that bumps the
+//! process-global registry (`sssj_metrics::registry`) — records and
+//! pairs on the hot path, candidate/skip shape counters (labeled by
+//! engine) flushed from the engines' own statistics on the cold paths.
+//! The other runtime subsystems register their own series the same way:
+//! the sharded router, the durable store's WAL and checkpoints, the
+//! history tier's compactor, the graph's snapshot publisher, and the
+//! net server's per-verb request counters and latency summaries.
+//!
+//! Recording is a relaxed atomic op on a `&'static` handle — no locks,
+//! no allocation, safe inside the zero-alloc steady state — and
+//! `SSSJ_TELEMETRY=off` (read once at startup) collapses every mutator
+//! to a single relaxed load + branch. Telemetry only ever *observes*:
+//! the CI telemetry-off lane proves the whole suite byte-identical with
+//! the registry dark.
+//!
+//! Naming follows `sssj_<crate>_<noun>[_<unit>][_total]` — monotone
+//! counters end `_total`, durations are seconds (`_seconds`), sizes are
+//! bytes (`_bytes`). Labels are for low-cardinality dimensions only (a
+//! verb, an engine name, a shard ordinal): every distinct label set is
+//! a leaked allocation held for the process lifetime, so keep the cross
+//! product small — never a record id, node id or timestamp. To add a
+//! metric, resolve the handle once at construction time
+//! (`Registry::global().counter("sssj_mycrate_widgets_total", …)`),
+//! store the `&'static` in your struct, and bump it from the hot path;
+//! see `sssj_metrics::registry`'s module docs for the full contract.
+//!
+//! Export is pull: the net protocol's `METRICS` verb serves the
+//! Prometheus text exposition (scrape it with `sssj metrics <addr>`,
+//! grammar in `sssj_net::protocol`), and `sssj serve --metrics-log
+//! FILE` appends one JSON snapshot line per second for offline
+//! correlation. Two always-on probes ride along: a slow-query log
+//! (`SSSJ_SLOW_MS=<n>` logs any request over the threshold, rate
+//! limited) and the event-loop stall detector
+//! (`sssj_net_loop_stalls_total`, also the `G loop_stalls=` line on
+//! every event-loop `STATS` reply).
 
 use sssj_index::IndexKind;
 use sssj_types::{DecayModel, SimilarPair, StreamRecord};

@@ -62,6 +62,7 @@ pub mod sink;
 pub mod snapshot;
 pub mod spec;
 pub mod streaming;
+pub mod telemetry;
 pub mod topk;
 pub mod verify;
 
@@ -82,5 +83,6 @@ pub use snapshot::{
 };
 pub use spec::{DecaySpec, EngineSpec, JoinSpec, LshSpec, ShardedInner, SpecError, WrapperSpec};
 pub use streaming::Streaming;
+pub use telemetry::TelemetryJoin;
 pub use topk::TopKJoin;
 pub use verify::CheckedJoin;

@@ -888,7 +888,10 @@ impl JoinSpec {
                 WrapperSpec::Checked => Box::new(CheckedJoin::new(join, self.config())),
             };
         }
-        Ok(join)
+        // Outermost: the registry tap, so sssj_core_records_total /
+        // sssj_core_pairs_total count exactly what the application fed
+        // and received (a no-op pass-through when SSSJ_TELEMETRY=off).
+        Ok(crate::telemetry::TelemetryJoin::wrap(join))
     }
 
     /// Builds the bare engine as a [`Checkpointable`] join — the base

@@ -8,11 +8,45 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use sssj_core::{Checkpointable, PairSink, SinkedJoin, StreamJoin};
+use sssj_metrics::registry::{Counter, Gauge, Recorder, Registry};
 use sssj_metrics::JoinStats;
 use sssj_types::{SimilarPair, StreamRecord};
 
 use crate::graph::{Edge, ExpiredEdge, GraphStats, SimilarityGraph};
 use crate::snapshot::GraphSnapshot;
+
+/// Graph-tier registry handles, resolved once per process.
+struct GraphMetrics {
+    publishes: &'static Counter,
+    touched_nodes: &'static Recorder,
+    staleness_ms: &'static Gauge,
+    oracle: &'static Gauge,
+}
+
+fn graph_metrics() -> &'static GraphMetrics {
+    static M: OnceLock<GraphMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = Registry::global();
+        GraphMetrics {
+            publishes: reg.counter(
+                "sssj_graph_snapshot_publishes_total",
+                "graph snapshot publications (generation bumps)",
+            ),
+            touched_nodes: reg.recorder(
+                "sssj_graph_touched_nodes",
+                "nodes the incremental capture copied per publish (delta size)",
+            ),
+            staleness_ms: reg.gauge(
+                "sssj_graph_staleness_lag_ms",
+                "stream-time gap between the write side and the published watermark, in milliseconds (0 when clean)",
+            ),
+            oracle: reg.gauge(
+                "sssj_graph_oracle_lane",
+                "1 when SSSJ_GRAPH_ORACLE forces Mutex-path reads, else 0",
+            ),
+        }
+    })
+}
 
 /// Publish cadence: a snapshot is republished once the unpublished
 /// backlog reaches 1/`PUBLISH_FANOUT` of the live edge count (min
@@ -133,10 +167,12 @@ impl Clone for GraphHandle {
 fn oracle_from_env() -> bool {
     static ORACLE: OnceLock<bool> = OnceLock::new();
     *ORACLE.get_or_init(|| {
-        matches!(
+        let on = matches!(
             std::env::var("SSSJ_GRAPH_ORACLE").as_deref(),
             Ok("1" | "true" | "yes" | "on")
-        )
+        );
+        graph_metrics().oracle.set(on as i64);
+        on
     })
 }
 
@@ -205,15 +241,16 @@ impl GraphHandle {
     fn publish_locked(&self, w: &mut WriteSide) -> Arc<GraphSnapshot> {
         let generation = self.shared.generation.load(Ordering::Relaxed) + 1;
         let mut published = self.shared.published.lock().expect("publish lock poisoned");
-        let snap = Arc::new(GraphSnapshot::capture_from(
-            &mut w.graph,
-            &published,
-            generation,
-        ));
+        let (captured, touched) = GraphSnapshot::capture_from(&mut w.graph, &published, generation);
+        let snap = Arc::new(captured);
         *published = Arc::clone(&snap);
         drop(published);
         self.shared.generation.store(generation, Ordering::Release);
         self.shared.dirty.store(false, Ordering::Release);
+        let m = graph_metrics();
+        m.publishes.inc();
+        m.touched_nodes.record(touched as f64);
+        m.staleness_ms.set(0);
         w.pending = 0;
         *self.cache.borrow_mut() = Cache {
             generation,
@@ -233,6 +270,13 @@ impl GraphHandle {
             self.publish_locked(w);
         } else {
             self.shared.dirty.store(true, Ordering::Release);
+            // How far the readable snapshot trails the write side, in
+            // stream time — the staleness bound a reader observes until
+            // the next publish closes the gap.
+            let lag = w.graph.now() - self.cache.borrow().snap.watermark();
+            if lag.is_finite() && lag > 0.0 {
+                graph_metrics().staleness_ms.set((lag * 1e3) as i64);
+            }
         }
     }
 

@@ -84,13 +84,17 @@ impl GraphSnapshot {
     /// newest-entry stamp per node — instead of re-copying the whole
     /// live edge set, which is what makes a publish cheap enough to sit
     /// on the serving path's read-your-writes check.
+    /// Returns the snapshot plus the touched-node count (the delta's
+    /// size — what the incremental capture actually copied), which the
+    /// publisher reports to telemetry.
     pub(crate) fn capture_from(
         graph: &mut crate::SimilarityGraph,
         prev: &GraphSnapshot,
         generation: u64,
-    ) -> Self {
+    ) -> (Self, usize) {
         let horizon = graph.horizon();
         let (watermark, live_edges, delta) = graph.snapshot_delta();
+        let touched = delta.len();
         let cutoff = watermark - horizon;
         let mut adj = prev.adj.clone();
         for (node, block) in delta {
@@ -104,14 +108,15 @@ impl GraphSnapshot {
         // whether any edge is still live; prune dead blocks so nodes
         // the delta never mentions again cannot accumulate.
         adj.retain(|_, block| block.last().is_some_and(|e| e.t >= cutoff));
-        GraphSnapshot {
+        let snap = GraphSnapshot {
             generation,
             watermark,
             horizon,
             adj,
             live_edges,
             components: OnceLock::new(),
-        }
+        };
+        (snap, touched)
     }
 
     /// Publication counter of the owning handle (monotone across
@@ -311,7 +316,7 @@ mod tests {
     /// is a full one.
     fn capture(g: &mut SimilarityGraph) -> super::GraphSnapshot {
         let empty = super::GraphSnapshot::empty(g.horizon());
-        super::GraphSnapshot::capture_from(g, &empty, 1)
+        super::GraphSnapshot::capture_from(g, &empty, 1).0
     }
 
     #[test]

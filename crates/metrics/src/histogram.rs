@@ -313,6 +313,32 @@ impl Default for LogLinearHistogram {
     }
 }
 
+/// Total bucket count — the registry's striped atomic recorder mirrors
+/// this geometry so its stripes merge losslessly into a
+/// [`LogLinearHistogram`].
+pub(crate) const LL_BUCKETS: usize = LL_EXPONENTS * LL_SUBS;
+
+impl LogLinearHistogram {
+    /// The bucket index `record(v)` would increment — exposed so the
+    /// registry's atomic recorder uses the exact same geometry.
+    pub(crate) fn bucket_index(v: f64) -> usize {
+        Self::bucket_of(v)
+    }
+
+    /// Reassembles a histogram from raw bucket counts (as accumulated by
+    /// the registry's atomic stripes) plus the exact sum and max.
+    pub(crate) fn from_raw(buckets: Vec<u64>, sum: f64, max: f64) -> Self {
+        assert_eq!(buckets.len(), LL_BUCKETS, "wrong bucket geometry");
+        let count = buckets.iter().sum();
+        LogLinearHistogram {
+            buckets: buckets.into_boxed_slice(),
+            count,
+            sum,
+            max,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,12 +11,16 @@
 //! * [`TextTable`] — aligned text tables for harness output;
 //! * [`linear_regression`] — the least-squares fit of Figure 9;
 //! * [`Csv`] — minimal CSV emission for downstream plotting;
-//! * [`LatencyHistogram`] — log-bucketed per-record latency quantiles.
+//! * [`LatencyHistogram`] — log-bucketed per-record latency quantiles;
+//! * [`registry`] — the always-on process-global telemetry registry
+//!   ([`Counter`]/[`Gauge`]/[`Recorder`] handles, Prometheus + JSON
+//!   export) every runtime crate reports into.
 
 pub mod budget;
 pub mod counters;
 pub mod csv;
 pub mod histogram;
+pub mod registry;
 pub mod regression;
 pub mod table;
 pub mod timer;
@@ -25,6 +29,7 @@ pub use budget::{BudgetOutcome, WorkBudget};
 pub use counters::JoinStats;
 pub use csv::Csv;
 pub use histogram::{LatencyHistogram, LogLinearHistogram};
+pub use registry::{telemetry_enabled, Counter, Gauge, Recorder, Registry};
 pub use regression::{linear_regression, Regression};
 pub use table::TextTable;
 pub use timer::Stopwatch;

@@ -72,6 +72,9 @@ pub struct JoinClient {
     /// Running total of updates the server reported dropping (`D` lines
     /// from its bounded push queue).
     dropped: u64,
+    /// The event loop's stall count from the most recent `STATS` reply
+    /// (`None` until a server reported one — threaded servers do not).
+    loop_stalls: Option<u64>,
 }
 
 impl JoinClient {
@@ -99,6 +102,7 @@ impl JoinClient {
             records_sent: 0,
             updates: Vec::new(),
             dropped: 0,
+            loop_stalls: None,
         })
     }
 
@@ -198,13 +202,63 @@ impl JoinClient {
         Ok(pairs)
     }
 
-    /// Fetches the session's work counters.
+    /// Fetches the session's work counters. An event-loop server
+    /// prefixes the `S` line with `G loop_stalls=<n>` — the loop's
+    /// stall-probe reading — which is stashed aside (see
+    /// [`JoinClient::loop_stalls`]); pushed `U`/`D` frames are collected
+    /// as usual.
     pub fn stats(&mut self) -> Result<SessionStats, NetError> {
         self.send_line(&Request::Stats)?;
-        match self.read_response()? {
-            Response::Stats(s) => Ok(s),
-            Response::Err(m) => Err(NetError::Server(m)),
-            other => Err(NetError::Protocol(format!("expected stats, got {other:?}"))),
+        loop {
+            match self.read_response()? {
+                Response::Stats(s) => return Ok(s),
+                Response::Graph(fields) => {
+                    if let Some(&(_, n)) = fields.iter().find(|(k, _)| k == "loop_stalls") {
+                        self.loop_stalls = Some(n);
+                    }
+                }
+                Response::Update { node, pair } => self.updates.push((node, pair)),
+                Response::Dropped(n) => self.dropped += n,
+                Response::Err(m) => return Err(NetError::Server(m)),
+                other => return Err(NetError::Protocol(format!("expected stats, got {other:?}"))),
+            }
+        }
+    }
+
+    /// The serving loop's stall count as of the last [`JoinClient::stats`]
+    /// call (`None` before one, or against a threaded server, which has
+    /// no loop to stall).
+    pub fn loop_stalls(&self) -> Option<u64> {
+        self.loop_stalls
+    }
+
+    /// Fetches the server's process-global metric registry (`METRICS`):
+    /// the Prometheus text-exposition lines, `M ` prefixes stripped.
+    /// Empty when the server runs with `SSSJ_TELEMETRY=off`.
+    pub fn metrics(&mut self) -> Result<Vec<String>, NetError> {
+        self.send_line(&Request::Metrics)?;
+        let mut lines = Vec::new();
+        loop {
+            match self.read_response()? {
+                Response::Metric(line) => lines.push(line),
+                Response::Update { node, pair } => self.updates.push((node, pair)),
+                Response::Dropped(n) => self.dropped += n,
+                Response::Ok(n) => {
+                    if n as usize != lines.len() {
+                        return Err(NetError::Protocol(format!(
+                            "server announced {n} metric lines but sent {}",
+                            lines.len()
+                        )));
+                    }
+                    return Ok(lines);
+                }
+                Response::Err(m) => return Err(NetError::Server(m)),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected response {other:?} while reading metrics"
+                    )))
+                }
+            }
         }
     }
 

@@ -47,15 +47,16 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use sssj_graph::GraphHandle;
+use sssj_metrics::registry::{Counter, Registry};
 use sssj_types::SimilarPair;
 
 use crate::poll::{Event, Interest, Poller};
-use crate::protocol::{Request, Response};
-use crate::server::ServerOptions;
+use crate::protocol::{EngineLabel, Request, Response};
+use crate::server::{connections_gauge, ServerOptions};
 use crate::session::Session;
 
 /// Lines processed per connection per iteration before yielding to the
@@ -70,6 +71,44 @@ const QUANTUM: usize = 8;
 const READ_BURST: usize = 64 * 1024;
 /// The accept listener's poll token; connections use their slab index.
 const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// The event loop's registry handles, resolved once.
+struct LoopMetrics {
+    /// `sssj_net_loop_stalls_total`: iterations whose work (everything
+    /// between two poll waits) overran the poll interval — each one is
+    /// latency every other connection observed. Also surfaced as the
+    /// `G loop_stalls=<n>` line preceding every `S` reply, so the probe
+    /// works over the wire even with telemetry off.
+    stalls: &'static Counter,
+    /// `sssj_net_push_dropped_updates_total`: subscription updates
+    /// discarded by bounded push queues (the sum of all `D` counts).
+    push_drops: &'static Counter,
+    /// `sssj_net_backpressure_events_total`: read-interest withdrawals —
+    /// a connection's un-flushed output crossed `write_buf_cap` and the
+    /// loop stopped reading from it until it drains.
+    backpressure: &'static Counter,
+}
+
+fn loop_metrics() -> &'static LoopMetrics {
+    static M: OnceLock<LoopMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = Registry::global();
+        LoopMetrics {
+            stalls: reg.counter(
+                "sssj_net_loop_stalls_total",
+                "event-loop iterations whose work overran the poll interval",
+            ),
+            push_drops: reg.counter(
+                "sssj_net_push_dropped_updates_total",
+                "subscription updates discarded by bounded push queues",
+            ),
+            backpressure: reg.counter(
+                "sssj_net_backpressure_events_total",
+                "read-interest withdrawals under write-buffer backpressure",
+            ),
+        }
+    })
+}
 
 /// A bounded queue of pushed `U` frames with a drop-oldest overflow
 /// policy; discarded frames are coalesced into one `D <count>` line
@@ -93,6 +132,7 @@ impl PushQueue {
         if self.items.len() >= self.cap {
             self.items.pop_front();
             self.dropped += 1;
+            loop_metrics().push_drops.inc();
         }
         self.items.push_back(update);
     }
@@ -161,7 +201,9 @@ impl Conn {
         let session = if options.shared {
             None
         } else {
-            Some(Session::new(options.defaults.clone()))
+            let mut s = Session::new(options.defaults.clone());
+            s.set_serving_info(EngineLabel::EventLoop, false);
+            Some(s)
         };
         Conn {
             stream,
@@ -242,6 +284,7 @@ pub(crate) fn run(
 
     let mut shared = if options.shared {
         let mut session = Session::new(options.defaults.clone());
+        session.set_serving_info(EngineLabel::EventLoop, true);
         session.set_snapshot_reads(true);
         let graph = session.graph_handle();
         if let Some(g) = &graph {
@@ -255,6 +298,15 @@ pub(crate) fn run(
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
     let mut responses: Vec<Response> = Vec::new();
+    // Stall probe: an iteration's work (between two poll waits) running
+    // past the poll interval is head-of-line latency every connection
+    // observed. Tracked locally (for the G line on STATS replies) and as
+    // `sssj_net_loop_stalls_total`.
+    let stall_budget = options.poll_interval.max(Duration::from_millis(1));
+    let mut loop_stalls: u64 = 0;
+    // Resolve the loop's metric handles up front so every series exists
+    // (at zero) in a scrape even before the first stall or drop.
+    let _ = loop_metrics();
 
     while !stop.load(Ordering::SeqCst) {
         // 1. Wait — immediately when paused work is buffered.
@@ -283,6 +335,7 @@ pub(crate) fn run(
         if stop.load(Ordering::SeqCst) {
             break;
         }
+        let work_started = Instant::now();
 
         // 2. Accept everything pending.
         if accept_ready {
@@ -307,6 +360,7 @@ pub(crate) fn run(
                             .is_ok()
                         {
                             conns[token] = Some(conn);
+                            connections_gauge().add(1);
                         }
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -356,7 +410,7 @@ pub(crate) fn run(
             if conn.dead || conn.closing {
                 continue;
             }
-            process_lines(conn, shared.as_mut(), &options, &mut responses);
+            process_lines(conn, shared.as_mut(), &options, loop_stalls, &mut responses);
         }
 
         // 5. Shared mode: fan out push deltas. (Snapshot publication is
@@ -440,6 +494,9 @@ pub(crate) fn run(
                 read: !conn.closing && conn.pending_out() < options.write_buf_cap,
                 write: conn.pending_out() > 0,
             };
+            if conn.interest.read && !want.read && !conn.closing {
+                loop_metrics().backpressure.inc();
+            }
             if want != conn.interest
                 && poller
                     .reregister(conn.stream.as_raw_fd(), i as u64, want)
@@ -454,7 +511,13 @@ pub(crate) fn run(
             if slot.as_ref().is_some_and(|c| c.dead) {
                 let conn = slot.take().expect("checked above");
                 let _ = poller.deregister(conn.stream.as_raw_fd());
+                connections_gauge().add(-1);
             }
+        }
+
+        if work_started.elapsed() > stall_budget {
+            loop_stalls += 1;
+            loop_metrics().stalls.inc();
         }
     }
 
@@ -464,17 +527,21 @@ pub(crate) fn run(
             let _ = conn.stream.write_all(&conn.wbuf[conn.wpos..]);
         }
         let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        connections_gauge().add(-1);
     }
 }
 
 /// Processes up to [`QUANTUM`] complete lines from `conn`, appending the
 /// serialized responses to its write buffer. Pauses (not fails) on
 /// quantum exhaustion or backpressure; `conn.line_ready` records whether
-/// buffered work remains.
+/// buffered work remains. `STATS` replies are prefixed with a
+/// `G loop_stalls=<n>` line — the loop's stall-probe reading, surfaced
+/// on the wire regardless of the telemetry switch.
 fn process_lines(
     conn: &mut Conn,
     mut shared: Option<&mut SharedPipeline>,
     options: &ServerOptions,
+    loop_stalls: u64,
     responses: &mut Vec<Response>,
 ) {
     let mut processed = 0;
@@ -502,17 +569,26 @@ fn process_lines(
         }
         responses.clear();
         match Request::parse(&line) {
-            Ok(req) => match (&mut shared, &mut conn.session) {
-                (Some(sh), _) => {
-                    handle_shared_request(sh, &mut conn.subs, &mut conn.closing, req, responses)
-                }
-                (None, Some(session)) => {
-                    if !session.handle(req, responses) {
-                        conn.closing = true;
+            Ok(req) => {
+                let is_stats = matches!(req, Request::Stats);
+                match (&mut shared, &mut conn.session) {
+                    (Some(sh), _) => {
+                        handle_shared_request(sh, &mut conn.subs, &mut conn.closing, req, responses)
                     }
+                    (None, Some(session)) => {
+                        if !session.handle(req, responses) {
+                            conn.closing = true;
+                        }
+                    }
+                    (None, None) => unreachable!("per-session connections own a session"),
                 }
-                (None, None) => unreachable!("per-session connections own a session"),
-            },
+                if is_stats {
+                    responses.insert(
+                        0,
+                        Response::Graph(vec![("loop_stalls".into(), loop_stalls)]),
+                    );
+                }
+            }
             Err(e) => responses.push(Response::Err(e.to_string())),
         }
         for r in responses.iter() {

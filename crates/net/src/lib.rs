@@ -40,6 +40,33 @@
 //! server.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Scraping metrics
+//!
+//! Every server answers the `METRICS` verb with the process-global
+//! telemetry registry in Prometheus text-exposition format — per-verb
+//! request counts and latency summaries, connection gauge, ingest and
+//! store counters, the event-loop stall probe. One verb, zero server
+//! configuration; `sssj metrics <addr>` wraps exactly this exchange
+//! (add `--watch SECS` for periodic scrapes with per-counter rates):
+//!
+//! ```
+//! use sssj_net::{JoinClient, Server, ServerOptions};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerOptions::default())?;
+//! let mut client = JoinClient::connect(server.local_addr())?;
+//! client.send_vector(0.0, &[(7, 1.0)])?;
+//!
+//! let lines = client.metrics()?; // `# HELP`/`# TYPE` + samples
+//! if sssj_metrics::telemetry_enabled() {
+//!     assert!(lines.iter().any(|l| l.starts_with("sssj_core_records_total")));
+//! } else {
+//!     assert!(lines.is_empty()); // SSSJ_TELEMETRY=off scrapes empty
+//! }
+//! client.quit()?;
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub mod client;
 mod event_loop;
@@ -49,7 +76,9 @@ pub mod server;
 pub mod session;
 
 pub use client::{JoinClient, NetError};
-pub use protocol::{ConfigRequest, GraphQuery, Request, Response, SessionMode, SessionStats};
+pub use protocol::{
+    ConfigRequest, EngineLabel, GraphQuery, Request, Response, SessionMode, SessionStats,
+};
 pub use server::{Server, ServerEngine, ServerOptions};
 pub use session::{Session, SessionDefaults};
 

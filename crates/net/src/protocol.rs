@@ -16,7 +16,8 @@
 //! CONFIGJ {"engine":"str","theta":0.7}    OK 0
 //! V 12.5 3:0.6 9:0.8                      P 0 4 0.8231…   zero or more
 //! T 13.0 some raw text                    OK 2            always last
-//! STATS                                   S records=5 pairs=2 …
+//! STATS                                   [G loop_stalls=0] S records=5 pairs=2 …
+//! METRICS                                 M <text line> … / OK <count>
 //! FINISH                                  P … / OK <count>
 //! QUERY neighbors 4                       P 4 0 0.82… / OK <count>
 //! QUERY topk 4 3                          P 4 9 0.93… / OK <count>
@@ -25,6 +26,34 @@
 //! SUBSCRIBE 4                             OK 0
 //! QUIT                                    BYE
 //! ```
+//!
+//! # Scraping telemetry: `METRICS`
+//!
+//! `METRICS` exports the process-global registry
+//! ([`sssj_metrics::Registry`]) in Prometheus text exposition format,
+//! one `M`-prefixed line per exposition line:
+//!
+//! ```text
+//! metrics-reply := ( "M" text-line )* "OK" <line-count>
+//! text-line     := "# HELP" … | "# TYPE" … | sample-line
+//! sample-line   := name [ "{" label ( "," label )* "}" ] " " value
+//! ```
+//!
+//! Strip the leading `M ` from every line and the remainder is a valid
+//! Prometheus scrape body (histograms surface as summaries with
+//! `quantile=` labels plus `_sum`/`_count` samples). Like `STATS`, the
+//! reply is clocked at the session's watermark: counters include every
+//! record the server accepted before the `METRICS` line was read, so on
+//! a quiesced stream `sssj_core_records_total` equals the number of
+//! records fed and `sssj_core_pairs_total` the number of `P` lines
+//! emitted — the invariant the CI serve-smoke asserts. The reply is
+//! empty (`OK 0`) when the server runs with `SSSJ_TELEMETRY=off`.
+//!
+//! Relatedly, an event-loop server prefixes every `STATS` reply with one
+//! `G loop_stalls=<n>` line — its stall probe's reading (loop iterations
+//! whose work overran the poll interval). The probe line is emitted
+//! regardless of the telemetry switch; threaded servers, having no loop,
+//! send the bare `S` line.
 //!
 //! # Negotiating the join: the spec grammar
 //!
@@ -280,6 +309,9 @@ pub enum Request {
     },
     /// Ask for the session's work counters.
     Stats,
+    /// Ask for the process-global metric registry (Prometheus text
+    /// exposition, one `M` line per exposition line).
+    Metrics,
     /// A live-graph query (graph-wrapped sessions only).
     Query(GraphQuery),
     /// Subscribe to pushed `U` edge updates for one node
@@ -434,6 +466,7 @@ impl Request {
                 })
             }
             "STATS" => Ok(Request::Stats),
+            "METRICS" => Ok(Request::Metrics),
             "QUERY" => {
                 let mut parts = rest.split_ascii_whitespace();
                 let kind = parts
@@ -567,6 +600,7 @@ impl fmt::Display for Request {
             }
             Request::Text { t, text } => write!(f, "T {t} {text}"),
             Request::Stats => f.write_str("STATS"),
+            Request::Metrics => f.write_str("METRICS"),
             Request::Query(q) => {
                 let at = match q {
                     GraphQuery::Neighbors { node, at } => {
@@ -598,6 +632,40 @@ impl fmt::Display for Request {
     }
 }
 
+/// Which serving engine answered a `STATS` request (the `engine=` key
+/// of the `S` line).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineLabel {
+    /// The server did not say (pre-PR9 server, or a synthesized value).
+    #[default]
+    Unknown,
+    /// Thread-per-connection serving.
+    Threaded,
+    /// The single-thread multiplexed event loop.
+    EventLoop,
+}
+
+impl EngineLabel {
+    fn parse(s: &str) -> Option<EngineLabel> {
+        match s {
+            "threaded" => Some(EngineLabel::Threaded),
+            "eventloop" => Some(EngineLabel::EventLoop),
+            "unknown" => Some(EngineLabel::Unknown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EngineLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineLabel::Unknown => "unknown",
+            EngineLabel::Threaded => "threaded",
+            EngineLabel::EventLoop => "eventloop",
+        })
+    }
+}
+
 /// Session work counters reported by `STATS`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
@@ -613,6 +681,13 @@ pub struct SessionStats {
     pub full_sims: u64,
     /// Live posting entries (memory proxy).
     pub live_postings: u64,
+    /// Which serving engine answered (`engine=threaded|eventloop`).
+    pub engine: EngineLabel,
+    /// Whether the session feeds a shared pipeline (`shared=0|1`).
+    pub shared: bool,
+    /// Graph snapshot generation at answer time (`generation=`; 0 when
+    /// the session has no graph or nothing was published yet).
+    pub generation: u64,
 }
 
 /// A server response.
@@ -641,6 +716,9 @@ pub enum Response {
     /// `OK <count>`; a slow subscriber sees one coalesced `D` per drain,
     /// not one line per drop.
     Dropped(u64),
+    /// One Prometheus text-exposition line of a `METRICS` reply
+    /// (`M <line>`), emitted zero or more times before the `OK <count>`.
+    Metric(String),
     /// A graph scalar answer (`G key=value …`, e.g. `component` /
     /// `stats` replies), insertion-ordered.
     Graph(Vec<(String, u64)>),
@@ -684,27 +762,35 @@ impl Response {
             }
             "E" => Ok(Response::Err(rest.to_string())),
             "S" => {
+                fn num(kv: &str, v: &str) -> Result<u64, ProtocolError> {
+                    v.parse()
+                        .map_err(|e| err(format!("S: bad value in {kv:?}: {e}")))
+                }
                 let mut s = SessionStats::default();
                 for kv in rest.split_ascii_whitespace() {
                     let (k, v) = kv
                         .split_once('=')
                         .ok_or_else(|| err(format!("S: expected key=value, got {kv:?}")))?;
-                    let v: u64 = v
-                        .parse()
-                        .map_err(|e| err(format!("S: bad value in {kv:?}: {e}")))?;
                     match k {
-                        "records" => s.records = v,
-                        "pairs" => s.pairs = v,
-                        "entries" => s.entries_traversed = v,
-                        "candidates" => s.candidates = v,
-                        "full_sims" => s.full_sims = v,
-                        "live_postings" => s.live_postings = v,
+                        "records" => s.records = num(kv, v)?,
+                        "pairs" => s.pairs = num(kv, v)?,
+                        "entries" => s.entries_traversed = num(kv, v)?,
+                        "candidates" => s.candidates = num(kv, v)?,
+                        "full_sims" => s.full_sims = num(kv, v)?,
+                        "live_postings" => s.live_postings = num(kv, v)?,
+                        "engine" => {
+                            s.engine = EngineLabel::parse(v)
+                                .ok_or_else(|| err(format!("S: unknown engine {v:?}")))?
+                        }
+                        "shared" => s.shared = num(kv, v)? != 0,
+                        "generation" => s.generation = num(kv, v)?,
                         // Forward compatibility: ignore unknown counters.
                         _ => {}
                     }
                 }
                 Ok(Response::Stats(s))
             }
+            "M" => Ok(Response::Metric(rest.to_string())),
             "U" => {
                 let mut p = rest.split_ascii_whitespace();
                 let mut num = |what: &str| -> Result<u64, ProtocolError> {
@@ -762,9 +848,19 @@ impl fmt::Display for Response {
             Response::Err(msg) => write!(f, "E {}", msg.replace('\n', " ")),
             Response::Stats(s) => write!(
                 f,
-                "S records={} pairs={} entries={} candidates={} full_sims={} live_postings={}",
-                s.records, s.pairs, s.entries_traversed, s.candidates, s.full_sims, s.live_postings
+                "S records={} pairs={} entries={} candidates={} full_sims={} live_postings={} \
+                 engine={} shared={} generation={}",
+                s.records,
+                s.pairs,
+                s.entries_traversed,
+                s.candidates,
+                s.full_sims,
+                s.live_postings,
+                s.engine,
+                s.shared as u8,
+                s.generation
             ),
+            Response::Metric(line) => write!(f, "M {}", line.replace('\n', " ")),
             Response::Update { node, pair } => write!(
                 f,
                 "U {node} {} {} {}",
@@ -868,8 +964,50 @@ mod tests {
     #[test]
     fn bare_verbs() {
         assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
+        assert_eq!(Request::parse("METRICS").unwrap(), Request::Metrics);
         assert_eq!(Request::parse("FINISH\r\n").unwrap(), Request::Finish);
         assert_eq!(Request::parse("QUIT").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn stats_serving_shape_fields_roundtrip() {
+        let s = Response::parse(
+            "S records=5 pairs=2 entries=9 candidates=4 full_sims=3 live_postings=8 \
+             engine=eventloop shared=1 generation=7",
+        )
+        .unwrap();
+        match s {
+            Response::Stats(s) => {
+                assert_eq!(s.engine, EngineLabel::EventLoop);
+                assert!(s.shared);
+                assert_eq!(s.generation, 7);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // A pre-PR9 S line (no serving-shape keys) still parses.
+        let s = Response::parse("S records=5 pairs=2").unwrap();
+        match s {
+            Response::Stats(s) => {
+                assert_eq!(s.engine, EngineLabel::Unknown);
+                assert!(!s.shared);
+                assert_eq!(s.generation, 0);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metric_lines_roundtrip() {
+        for line in [
+            "# HELP sssj_core_records_total records ingested",
+            "# TYPE sssj_core_records_total counter",
+            "sssj_core_records_total 6003",
+            "sssj_net_requests_total{verb=\"query\"} 42",
+        ] {
+            let resp = Response::parse(&format!("M {line}")).unwrap();
+            assert_eq!(resp, Response::Metric(line.to_string()));
+            assert_eq!(Response::parse(&resp.to_string()).unwrap(), resp);
+        }
     }
 
     #[test]
@@ -1027,7 +1165,18 @@ mod tests {
 
     #[test]
     fn rejects_malformed_responses() {
-        for bad in ["", "Z 1", "P 1", "P 1 2", "P 1 2 x", "OK", "OK x", "S a"] {
+        for bad in [
+            "",
+            "Z 1",
+            "P 1",
+            "P 1 2",
+            "P 1 2 x",
+            "OK",
+            "OK x",
+            "S a",
+            "S engine=warp",
+            "S shared=x",
+        ] {
             assert!(Response::parse(bad).is_err(), "accepted {bad:?}");
         }
     }
@@ -1069,12 +1218,19 @@ mod tests {
             prop_assert_eq!(Response::parse(&line).unwrap(), resp);
         }
 
-        /// Stats responses round-trip.
+        /// Stats responses round-trip, serving-shape fields included.
         #[test]
         fn stats_response_roundtrips(
             records in 0u64..u64::MAX,
             pairs in 0u64..u64::MAX,
             entries in 0u64..u64::MAX,
+            engine in prop_oneof![
+                Just(EngineLabel::Unknown),
+                Just(EngineLabel::Threaded),
+                Just(EngineLabel::EventLoop),
+            ],
+            shared in proptest::bool::ANY,
+            generation in 0u64..u64::MAX,
         ) {
             let resp = Response::Stats(SessionStats {
                 records,
@@ -1083,6 +1239,9 @@ mod tests {
                 candidates: 1,
                 full_sims: 2,
                 live_postings: 3,
+                engine,
+                shared,
+                generation,
             });
             let line = resp.to_string();
             prop_assert_eq!(Response::parse(&line).unwrap(), resp);

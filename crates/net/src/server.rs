@@ -35,8 +35,17 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use crate::protocol::{Request, Response, MAX_LINE_BYTES};
+use sssj_metrics::registry::{Gauge, Registry};
+
+use crate::protocol::{EngineLabel, Request, Response, MAX_LINE_BYTES};
 use crate::session::{Session, SessionDefaults};
+
+/// `sssj_net_connections`: currently open connections, whichever engine
+/// serves them. Resolved once; shared by both engines.
+pub(crate) fn connections_gauge() -> &'static Gauge {
+    static G: std::sync::OnceLock<&'static Gauge> = std::sync::OnceLock::new();
+    G.get_or_init(|| Registry::global().gauge("sssj_net_connections", "open client connections"))
+}
 
 /// Which serving engine [`Server::bind`] starts. The compiled-in
 /// default is the event loop; the `SSSJ_NET_ENGINE` environment
@@ -140,7 +149,9 @@ impl Server {
                     // behind its mutex — the serialization baseline.
                     let shared = options.shared.then(|| {
                         crate::register_spec_builders();
-                        Arc::new(Mutex::new(Session::new(options.defaults.clone())))
+                        let mut s = Session::new(options.defaults.clone());
+                        s.set_serving_info(EngineLabel::Threaded, true);
+                        Arc::new(Mutex::new(s))
                     });
                     for stream in listener.incoming() {
                         if accept_stop.load(Ordering::SeqCst) {
@@ -298,9 +309,14 @@ fn serve_connection(
     let mut reader = LineReader::new(stream);
     let mut session = match shared {
         Some(_) => None,
-        None => Some(Session::new(options.defaults)),
+        None => {
+            let mut s = Session::new(options.defaults);
+            s.set_serving_info(EngineLabel::Threaded, false);
+            Some(s)
+        }
     };
     let mut responses = Vec::new();
+    connections_gauge().add(1);
 
     loop {
         match reader.read_line(stop, options.max_line_bytes) {
@@ -370,6 +386,7 @@ fn serve_connection(
     }
     let _ = writer.flush();
     let _ = writer.shutdown(Shutdown::Both);
+    connections_gauge().add(-1);
 }
 
 fn write_responses(w: &mut impl Write, responses: &[Response]) -> io::Result<()> {

@@ -5,15 +5,107 @@
 //! testable without networking. The server (see [`crate::server`]) only
 //! adds framing: read a line, parse, `handle`, write the responses.
 
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
 use sssj_core::{
     EngineSpec, Framework, JoinSpec, ReorderBuffer, SpecError, StreamJoin, WrapperSpec,
 };
 use sssj_graph::{Edge, GraphHandle, GraphStats};
+use sssj_metrics::registry::{Counter, Recorder, Registry};
 use sssj_segments::HistoryHandle;
 use sssj_textsim::Tokenizer;
 use sssj_types::{SimilarPair, SparseVectorBuilder, StreamRecord, Timestamp};
 
-use crate::protocol::{ConfigRequest, GraphQuery, Request, Response, SessionMode, SessionStats};
+use crate::protocol::{
+    ConfigRequest, EngineLabel, GraphQuery, Request, Response, SessionMode, SessionStats,
+};
+
+/// Request verbs as metric label values, indexed by [`verb_index`].
+const VERB_NAMES: [&str; 9] = [
+    "config",
+    "vector",
+    "text",
+    "stats",
+    "metrics",
+    "query",
+    "subscribe",
+    "finish",
+    "quit",
+];
+
+fn verb_index(request: &Request) -> usize {
+    match request {
+        Request::Config(_) => 0,
+        Request::Vector { .. } => 1,
+        Request::Text { .. } => 2,
+        Request::Stats => 3,
+        Request::Metrics => 4,
+        Request::Query(_) => 5,
+        Request::Subscribe { .. } => 6,
+        Request::Finish => 7,
+        Request::Quit => 8,
+    }
+}
+
+struct VerbHandles {
+    requests: &'static Counter,
+    seconds: &'static Recorder,
+}
+
+/// Per-verb request counters and latency recorders, resolved once —
+/// `handle` indexes this table with [`verb_index`], so the per-request
+/// cost is two striped bumps, never a registry lookup.
+fn verb_metrics() -> &'static [VerbHandles] {
+    static M: OnceLock<Vec<VerbHandles>> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = Registry::global();
+        VERB_NAMES
+            .iter()
+            .map(|v| VerbHandles {
+                requests: reg.counter_with(
+                    "sssj_net_requests_total",
+                    "protocol requests handled, by verb",
+                    &[("verb", v)],
+                ),
+                seconds: reg.recorder_with(
+                    "sssj_net_request_seconds",
+                    "request handling latency, by verb",
+                    &[("verb", v)],
+                ),
+            })
+            .collect()
+    })
+}
+
+/// The slow-query threshold from `SSSJ_SLOW_MS` (milliseconds, read
+/// once). `None` — the default — disables the probe entirely, so the
+/// hot path never formats a request it will not log.
+fn slow_threshold_ms() -> Option<f64> {
+    static T: OnceLock<Option<f64>> = OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("SSSJ_SLOW_MS")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|t| t.is_finite() && *t >= 0.0)
+    })
+}
+
+/// Logs one slow request to stderr, rate-limited to roughly one line
+/// per second process-wide so a pathological stream cannot flood the
+/// log. Counted (unsampled) in `sssj_net_slow_requests_total` either
+/// way.
+fn log_slow_request(repr: &str, elapsed_ms: f64, generation: u64) {
+    static LAST: Mutex<Option<Instant>> = Mutex::new(None);
+    let mut last = LAST.lock().expect("slow-log clock poisoned");
+    let due = last.is_none_or(|at| at.elapsed().as_secs_f64() >= 1.0);
+    if due {
+        *last = Some(Instant::now());
+        eprintln!(
+            "sssj: slow request ({elapsed_ms:.1} ms, snapshot generation {generation}): {repr}"
+        );
+    }
+}
 
 /// Server-side defaults a session starts from; `CONFIG` overrides them
 /// per session. The join pipeline is a full [`JoinSpec`], so any variant
@@ -105,6 +197,10 @@ pub struct Session {
     ///
     /// [`GraphSnapshot`]: sssj_graph::GraphSnapshot
     snapshot_reads: bool,
+    /// Which serving engine hosts this session (`STATS` reports it).
+    engine_label: EngineLabel,
+    /// Whether this session feeds a shared pipeline (`STATS` reports it).
+    shared: bool,
 }
 
 /// Builds the session's join through the one spec factory. An outermost
@@ -194,7 +290,16 @@ impl Session {
             started: false,
             finished: false,
             snapshot_reads: false,
+            engine_label: EngineLabel::Unknown,
+            shared: false,
         }
+    }
+
+    /// Stamps the serving shape `STATS` reports (`engine=`/`shared=`) —
+    /// the server calls this once when it adopts the session.
+    pub fn set_serving_info(&mut self, engine: EngineLabel, shared: bool) {
+        self.engine_label = engine;
+        self.shared = shared;
     }
 
     /// The configuration currently in effect.
@@ -223,7 +328,51 @@ impl Session {
 
     /// Handles one request, appending the responses. Returns `false`
     /// when the session must close (after `QUIT`).
+    ///
+    /// Both serving engines funnel every request through here, so this
+    /// is where the per-verb telemetry and the slow-query probe live.
+    /// With telemetry off and no `SSSJ_SLOW_MS` threshold the request
+    /// goes straight to dispatch — not even a clock read.
     pub fn handle(&mut self, request: Request, out: &mut Vec<Response>) -> bool {
+        let slow_ms = slow_threshold_ms();
+        if !sssj_metrics::telemetry_enabled() && slow_ms.is_none() {
+            return self.dispatch(request, out);
+        }
+        let verb = verb_index(&request);
+        // Format the request up front only when the slow probe is armed:
+        // dispatch consumes it, and the probe logs the parsed form.
+        let repr = slow_ms.map(|_| request.to_string());
+        let started = Instant::now();
+        let keep = self.dispatch(request, out);
+        let elapsed = started.elapsed();
+        let m = &verb_metrics()[verb];
+        m.requests.inc();
+        m.seconds.record_duration(elapsed);
+        if let (Some(threshold), Some(repr)) = (slow_ms, repr) {
+            let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+            if elapsed_ms > threshold {
+                Registry::global()
+                    .counter(
+                        "sssj_net_slow_requests_total",
+                        "requests over the SSSJ_SLOW_MS threshold",
+                    )
+                    .inc();
+                log_slow_request(&repr, elapsed_ms, self.snapshot_generation());
+            }
+        }
+        keep
+    }
+
+    /// Graph snapshot generation visible to this session (0 without a
+    /// graph or before the first publish).
+    fn snapshot_generation(&self) -> u64 {
+        self.graph
+            .as_ref()
+            .map(|g| g.snapshot().generation())
+            .unwrap_or(0)
+    }
+
+    fn dispatch(&mut self, request: Request, out: &mut Vec<Response>) -> bool {
         match request {
             Request::Config(c) => self.handle_config(c, out),
             Request::Vector { t, entries } => self.handle_vector(t, &entries, out),
@@ -252,7 +401,25 @@ impl Session {
                     candidates: s.candidates,
                     full_sims: s.full_sims,
                     live_postings: self.join.live_postings(),
+                    engine: self.engine_label,
+                    shared: self.shared,
+                    generation: self.snapshot_generation(),
                 }));
+            }
+            Request::Metrics => {
+                // Empty with SSSJ_TELEMETRY=off: frozen counters would
+                // scrape as zeros, which reads as data. Absence does not.
+                let text = if sssj_metrics::telemetry_enabled() {
+                    Registry::global().prometheus()
+                } else {
+                    String::new()
+                };
+                let mut n = 0u64;
+                for line in text.lines() {
+                    out.push(Response::Metric(line.to_string()));
+                    n += 1;
+                }
+                out.push(Response::Ok(n));
             }
             Request::Finish => {
                 if self.finished {
@@ -1104,6 +1271,65 @@ mod tests {
                 ("size".into(), 0)
             ])]
         );
+    }
+
+    #[test]
+    fn stats_reports_serving_shape() {
+        let mut s = Session::new(SessionDefaults {
+            spec: "str-l2?theta=0.5&tau=10&graph".parse().unwrap(),
+            mode: SessionMode::Vector,
+        });
+        s.set_serving_info(EngineLabel::EventLoop, true);
+        handle_line(&mut s, "V 0.0 7:1.0");
+        handle_line(&mut s, "V 1.0 7:1.0");
+        // Force a publish so the generation is visible.
+        s.graph_handle().expect("graph spec").publish_now();
+        let r = handle_line(&mut s, "STATS");
+        match &r[0] {
+            Response::Stats(st) => {
+                assert_eq!(st.engine, EngineLabel::EventLoop);
+                assert!(st.shared);
+                assert!(st.generation > 0, "publish bumps the generation");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // The S line round-trips the new keys through the wire format.
+        let line = r[0].to_string();
+        assert_eq!(Response::parse(&line).unwrap(), r[0]);
+    }
+
+    #[test]
+    fn metrics_reply_is_prometheus_parseable() {
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "V 0.0 7:1.0");
+        handle_line(&mut s, "V 1.0 7:1.0");
+        let r = handle_line(&mut s, "METRICS");
+        if !sssj_metrics::telemetry_enabled() {
+            assert_eq!(r, vec![Response::Ok(0)], "off lane answers an empty scrape");
+            return;
+        }
+        let (lines, tail) = r.split_at(r.len() - 1);
+        assert_eq!(tail[0], Response::Ok(lines.len() as u64));
+        let mut saw_records = false;
+        for resp in lines {
+            let Response::Metric(line) = resp else {
+                panic!("expected M line, got {resp:?}");
+            };
+            // Prometheus text exposition: comments or `name[{labels}] value`.
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "{line}"
+                );
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+            if name.starts_with("sssj_core_records_total") {
+                saw_records = true;
+            }
+        }
+        assert!(saw_records, "scrape must include the ingest counter");
     }
 
     #[test]

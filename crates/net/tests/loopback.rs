@@ -284,6 +284,51 @@ fn blank_lines_are_ignored() {
     writer.flush().unwrap();
     let mut line = String::new();
     reader.read_line(&mut line).unwrap();
+    // An event-loop server prefixes the S line with its stall-probe
+    // reading; blank lines themselves must produce no reply either way.
+    if line.starts_with("G loop_stalls=") {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+    }
     assert!(line.starts_with("S "), "got {line:?}");
+    server.shutdown();
+}
+
+#[test]
+fn stats_and_metrics_report_the_serving_shape() {
+    let server = server();
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+    client.send_vector(0.0, &[(7, 1.0)]).unwrap();
+    client.send_vector(1.0, &[(7, 1.0)]).unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.records, 2);
+    assert!(!stats.shared, "per-session server");
+    match std::env::var("SSSJ_NET_ENGINE").as_deref() {
+        Ok("threaded") => {
+            assert_eq!(stats.engine, sssj_net::EngineLabel::Threaded);
+            assert_eq!(client.loop_stalls(), None, "no loop to stall");
+        }
+        _ => {
+            assert_eq!(stats.engine, sssj_net::EngineLabel::EventLoop);
+            assert!(
+                client.loop_stalls().is_some(),
+                "event-loop STATS carries the stall probe"
+            );
+        }
+    }
+
+    let lines = client.metrics().unwrap();
+    if sssj_metrics::telemetry_enabled() {
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("sssj_net_requests_total")),
+            "scrape must include the per-verb request counter"
+        );
+    } else {
+        assert!(lines.is_empty(), "off lane answers an empty scrape");
+    }
+    client.quit().unwrap();
     server.shutdown();
 }

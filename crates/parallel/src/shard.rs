@@ -12,10 +12,52 @@ use sssj_core::{
     SpecError, SssjConfig, StreamJoin,
 };
 use sssj_index::IndexKind;
+use sssj_metrics::registry::{Counter, Gauge, Registry};
 use sssj_metrics::JoinStats;
 use sssj_types::{SimilarPair, StreamRecord};
 
 use crate::router::Router;
+
+/// Per-driver registry handles: one delivery counter and inbox-depth
+/// gauge per shard (labelled `shard="<w>"` — cardinality is the shard
+/// count, well inside the label budget) plus the routing skip counter.
+/// Depth gauges are sampled at batch-flush time, so they cost one
+/// channel-lock peek per 64 records, not per record.
+struct ShardMetrics {
+    deliveries: Vec<&'static Counter>,
+    inbox_depth: Vec<&'static Gauge>,
+    skipped: &'static Counter,
+}
+
+impl ShardMetrics {
+    fn new(shards: usize) -> ShardMetrics {
+        let reg = Registry::global();
+        let mut deliveries = Vec::with_capacity(shards);
+        let mut inbox_depth = Vec::with_capacity(shards);
+        for w in 0..shards {
+            let idx = w.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &idx)];
+            deliveries.push(reg.counter_with(
+                "sssj_parallel_deliveries_total",
+                "records delivered to this shard (owned + routed queries)",
+                labels,
+            ));
+            inbox_depth.push(reg.gauge_with(
+                "sssj_parallel_inbox_depth",
+                "batches queued in this shard's inbox, sampled at flush",
+                labels,
+            ));
+        }
+        ShardMetrics {
+            deliveries,
+            inbox_depth,
+            skipped: reg.counter(
+                "sssj_parallel_skipped_sends_total",
+                "(record, shard) deliveries candidate-aware routing avoided",
+            ),
+        }
+    }
+}
 
 /// Records accumulated per channel message: one `Arc` clone + send per
 /// shard *per batch* instead of per record amortises the channel layer
@@ -153,6 +195,7 @@ pub struct ShardedJoin {
     live: Vec<Arc<AtomicU64>>,
     /// Records delivered per shard, counted at send time.
     routed: Vec<u64>,
+    metrics: ShardMetrics,
     /// Pairs surfaced so far (until `finish`, the only live counter).
     pairs_seen: u64,
     /// Filled in by `finish`.
@@ -292,6 +335,7 @@ impl ShardedJoin {
             handles,
             live,
             routed: vec![0; shards],
+            metrics: ShardMetrics::new(shards),
             pairs_seen: 0,
             report: None,
         })
@@ -320,16 +364,23 @@ impl ShardedJoin {
             return;
         }
         let batch = Arc::new(std::mem::replace(&mut self.pending, Batch::empty()));
+        let mut delivered = 0usize;
         for w in 0..self.shards {
             let bit = 1u64 << w;
             let count = batch.routes.iter().filter(|(m, _)| m & bit != 0).count();
             if count > 0 {
                 self.routed[w] += count as u64;
+                self.metrics.deliveries[w].add(count as u64);
+                delivered += count;
                 self.senders[w]
                     .send(ShardMsg::Batch(Arc::clone(&batch)))
                     .expect("worker alive while sending");
             }
+            self.metrics.inbox_depth[w].set(self.senders[w].len() as i64);
         }
+        self.metrics
+            .skipped
+            .add((batch.records.len() * self.shards - delivered) as u64);
     }
 
     /// Flushes the pending batch and round-trips a

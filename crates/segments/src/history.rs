@@ -29,6 +29,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use sssj_graph::{ExpiredEdge, GraphHandle};
+use sssj_metrics::registry::{Counter, Gauge, Recorder, Registry};
 use sssj_store::wal;
 use sssj_store::RetiredSegment;
 use sssj_types::StreamRecord;
@@ -37,6 +38,47 @@ use crate::manifest::{Manifest, ManifestEntry, SegmentKind};
 use crate::segment::{
     write_edge_segment, write_record_segment, EdgeRow, EdgeSegmentReader, RecordSegmentReader,
 };
+
+/// The historical tier's registry handles, resolved once. Counters for
+/// the two compactor producers, gauges tracking the published catalog,
+/// and a recorder for how many edge segments each time-travel query
+/// actually touches (its effective fan-in).
+struct HistoryMetrics {
+    compactions: &'static Counter,
+    flushes: &'static Counter,
+    segments: &'static Gauge,
+    bytes: &'static Gauge,
+    scan_depth: &'static Recorder,
+}
+
+fn history_metrics() -> &'static HistoryMetrics {
+    static M: std::sync::OnceLock<HistoryMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let reg = Registry::global();
+        HistoryMetrics {
+            compactions: reg.counter(
+                "sssj_segments_compactions_total",
+                "retired WAL segments compacted into record segments",
+            ),
+            flushes: reg.counter(
+                "sssj_segments_edge_flushes_total",
+                "expired-edge queue flushes published as edge segments",
+            ),
+            segments: reg.gauge(
+                "sssj_segments_count",
+                "published segments (record + edge) in the catalog",
+            ),
+            bytes: reg.gauge(
+                "sssj_segments_bytes",
+                "payload bytes across all published segment data files",
+            ),
+            scan_depth: reg.recorder(
+                "sssj_segments_scan_depth",
+                "edge segments overlapping a time-travel query's window",
+            ),
+        }
+    })
+}
 
 /// What `stats` reports about the historical tier.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -141,7 +183,25 @@ impl HistoryStore {
         }
         store.records.sort_by_key(|s| s.first_seq);
         store.edges.sort_by_key(|s| s.seq);
+        store.publish_catalog_gauges();
         Ok(store)
+    }
+
+    /// Refreshes the catalog gauges after any membership change. Gauges
+    /// describe *this* store's catalog; with several history dirs open
+    /// in one process the last publisher wins, which is fine for the
+    /// single-store serving topology the gauges exist for.
+    fn publish_catalog_gauges(&self) {
+        let m = history_metrics();
+        m.segments
+            .set((self.records.len() + self.edges.len()) as i64);
+        let bytes: u64 = self
+            .records
+            .iter()
+            .map(|s| s.data_bytes())
+            .chain(self.edges.iter().map(|s| s.data_bytes()))
+            .sum();
+        m.bytes.set(bytes as i64);
     }
 
     /// One fail-injection step, charged before every filesystem
@@ -227,6 +287,8 @@ impl HistoryStore {
         }
         self.pending.clear();
         self.flushes += 1;
+        history_metrics().flushes.inc();
+        self.publish_catalog_gauges();
         Ok(())
     }
 
@@ -261,6 +323,8 @@ impl HistoryStore {
         self.step()?;
         fs::remove_file(&seg.path)?;
         self.compactions += 1;
+        history_metrics().compactions.inc();
+        self.publish_catalog_gauges();
         Ok(())
     }
 
@@ -285,6 +349,8 @@ impl HistoryStore {
                 t: e.t,
             });
         }
+        let depth = self.edges.iter().filter(|s| s.overlaps(lo, hi)).count();
+        history_metrics().scan_depth.record(depth as f64);
         for seg in &self.edges {
             seg.edges_of(node, lo, hi, out);
         }

@@ -239,6 +239,11 @@ impl EdgeSegmentReader {
         self.rows > 0 && lo <= self.max_t && hi >= self.min_t
     }
 
+    /// Payload bytes of the data file (frame body, headers excluded).
+    pub fn data_bytes(&self) -> u64 {
+        self.data.body().len() as u64
+    }
+
     /// Appends `node`'s rows with `t ∈ [lo, hi]` to `out`. The bloom
     /// filter and the time fences short-circuit whole-segment misses.
     pub fn edges_of(&self, node: u64, lo: f64, hi: f64, out: &mut Vec<EdgeRow>) {
@@ -356,6 +361,11 @@ impl RecordSegmentReader {
     /// Whether `[lo, hi]` overlaps this segment's time fences.
     pub fn overlaps(&self, lo: f64, hi: f64) -> bool {
         self.records > 0 && lo <= self.max_t && hi >= self.min_t
+    }
+
+    /// Payload bytes of the data file (frame body, headers excluded).
+    pub fn data_bytes(&self) -> u64 {
+        self.data.body().len() as u64
     }
 
     /// Decodes every record, strictly — torn or corrupt frames and a

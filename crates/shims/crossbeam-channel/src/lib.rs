@@ -102,6 +102,17 @@ impl<T> Sender<T> {
             q = self.shared.not_full.wait(q).unwrap();
         }
     }
+
+    /// Messages currently queued (crossbeam parity; takes the queue
+    /// lock, so treat it as a sampling probe, not a hot-path primitive).
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// Whether the queue is currently empty (see [`Sender::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -157,6 +168,16 @@ impl<T> Receiver<T> {
     /// Blocking iterator over incoming messages; ends at disconnect.
     pub fn iter(&self) -> Iter<'_, T> {
         Iter { rx: self }
+    }
+
+    /// Messages currently queued (crossbeam parity; see [`Sender::len`]).
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

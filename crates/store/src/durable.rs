@@ -45,12 +45,25 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use sssj_core::{Checkpointable, JoinSpec, StreamJoin};
+use sssj_metrics::registry::{Recorder, Registry};
 use sssj_metrics::JoinStats;
 use sssj_types::{SimilarPair, StreamRecord};
 
 use crate::checkpoint::{self, Checkpoint};
 use crate::wal::{DeleteSink, GcSink, Wal};
 use crate::StoreError;
+
+/// Duration of a full checkpoint (quiesce + sync + publish + GC) — the
+/// ingest-path stall an automatic cadence checkpoint introduces.
+fn checkpoint_seconds() -> &'static Recorder {
+    static M: std::sync::OnceLock<&'static Recorder> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        Registry::global().recorder(
+            "sssj_store_checkpoint_seconds",
+            "wall-clock duration of checkpoint publication",
+        )
+    })
+}
 
 /// The store's exclusive session lock: a `LOCK` file holding the owning
 /// pid, created with `O_EXCL` so two live sessions can never share one
@@ -455,6 +468,7 @@ impl DurableJoin {
         out: &mut Vec<SimilarPair>,
         ack_current: bool,
     ) -> Result<(), StoreError> {
+        let started = std::time::Instant::now();
         // Prune first: it pops from the front of `recent`, so the cut
         // below stays a valid prefix length afterwards.
         self.prune_recent();
@@ -468,7 +482,9 @@ impl DurableJoin {
         let mut aux = Vec::new();
         self.engine.write_aux(&mut aux);
         let publish_len = if ack_current { self.recent.len() } else { cut };
-        self.publish(aux, publish_len)
+        let res = self.publish(aux, publish_len);
+        checkpoint_seconds().record_duration(started.elapsed());
+        res
     }
 
     /// The write-and-GC half of a checkpoint (aux already captured).

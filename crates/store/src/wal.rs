@@ -54,9 +54,46 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use sssj_core::MAX_SNAPSHOT_DIM;
+use sssj_metrics::registry::{Counter, Registry};
 use sssj_types::{SparseVectorBuilder, StreamRecord, Timestamp};
+
+/// Registry handles for the WAL hot paths, resolved once per process.
+struct WalMetrics {
+    appends: &'static Counter,
+    bytes: &'static Counter,
+    fsyncs: &'static Counter,
+    gc_batches: &'static Counter,
+    gc_segments: &'static Counter,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static M: OnceLock<WalMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = Registry::global();
+        WalMetrics {
+            appends: reg.counter(
+                "sssj_store_wal_appends_total",
+                "records appended to the WAL",
+            ),
+            bytes: reg.counter("sssj_store_wal_bytes_total", "WAL frame bytes encoded"),
+            fsyncs: reg.counter(
+                "sssj_store_wal_fsyncs_total",
+                "fsyncs forced by checkpoints",
+            ),
+            gc_batches: reg.counter(
+                "sssj_store_gc_batches_total",
+                "horizon-GC sweeps that retired segments",
+            ),
+            gc_segments: reg.counter(
+                "sssj_store_gc_segments_total",
+                "WAL segments retired by horizon GC",
+            ),
+        }
+    })
+}
 
 use crate::crc::crc32c;
 
@@ -503,7 +540,11 @@ impl Wal {
         if self.cur.records >= self.segment_records {
             self.seal()?;
         }
+        let buffered = self.buf.len();
         encode_frame(record, &mut self.buf);
+        let m = wal_metrics();
+        m.appends.inc();
+        m.bytes.add((self.buf.len() - buffered) as u64);
         if self.sync_appends || self.buf.len() >= WRITE_BUFFER {
             self.flush()?;
         }
@@ -546,6 +587,7 @@ impl Wal {
         self.flush()?;
         if fsync {
             self.file.sync_all()?;
+            wal_metrics().fsyncs.inc();
         }
         Ok(())
     }
@@ -597,6 +639,11 @@ impl Wal {
             }
         }
         self.gc_deleted += retired as u64;
+        if retired > 0 {
+            let m = wal_metrics();
+            m.gc_batches.inc();
+            m.gc_segments.add(retired as u64);
+        }
         Ok(retired)
     }
 

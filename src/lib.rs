@@ -253,6 +253,56 @@
 //! are documented in [`segments`]; the `at=` wire grammar in
 //! [`net::protocol`].
 //!
+//! ## Observability
+//!
+//! Telemetry is always on: every spec-built pipeline and every runtime
+//! subsystem (router, WAL, compactor, graph publisher, net server)
+//! records into the process-global registry in [`metrics`]
+//! (`sssj_metrics::registry`). Handles are resolved once and recording
+//! is a relaxed atomic op — no locks, no allocation, so it rides inside
+//! the zero-alloc steady state; `SSSJ_TELEMETRY=off` reduces every
+//! mutator to one relaxed load + branch and provably never changes any
+//! other output (CI runs the full suite in that lane).
+//!
+//! Series are named `sssj_<crate>_<noun>[_unit][_total]` with
+//! low-cardinality labels only (verb, engine, shard — never ids or
+//! timestamps; each label set leaks one allocation for the process
+//! lifetime). Adding a metric is: resolve the `&'static` handle at
+//! construction time, store it, bump it from the hot path — the full
+//! contract and naming rules are in `sssj_metrics::registry`'s module
+//! docs and the Observability section of [`core::api`].
+//!
+//! Scrape a running server over the wire (`METRICS` verb, Prometheus
+//! text exposition; `sssj metrics <addr>` is the CLI spelling, and
+//! `sssj serve --metrics-log FILE` appends JSON snapshots instead):
+//!
+//! ```
+//! use sssj::net::{JoinClient, Server, ServerOptions};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerOptions::default())?;
+//! let mut client = JoinClient::connect(server.local_addr())?;
+//! client.send_vector(0.0, &[(7, 1.0)])?;
+//! client.send_vector(1.0, &[(7, 1.0)])?;
+//!
+//! let scrape = client.metrics()?; // Prometheus text-exposition lines
+//! if sssj::metrics::telemetry_enabled() {
+//!     assert!(scrape.iter().any(|l| l.starts_with("sssj_core_records_total")));
+//!     assert!(scrape.iter().any(|l| l.starts_with("sssj_net_requests_total")));
+//! } else {
+//!     assert!(scrape.is_empty()); // the off lane scrapes empty
+//! }
+//! client.quit()?;
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Two probes watch the serving path itself: `SSSJ_SLOW_MS=<n>` logs
+//! any request slower than `n` ms (rate-limited, with the parsed
+//! request and snapshot generation), and the event-loop engine counts
+//! iterations that overran the poll interval in
+//! `sssj_net_loop_stalls_total`, also reported as the `G loop_stalls=`
+//! line on every event-loop `STATS` reply.
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
