@@ -1,0 +1,210 @@
+//! Observability: what does the always-on flight recorder cost?
+//!
+//! The tracing sibling of `telemetry_overhead`, same two sections:
+//!
+//! 1. **Record-path micro-costs.** Tight loops over span create+drop
+//!    and [`instant`] with the gate on and off (via the bench-only
+//!    override, same process, same loop). The contract under test:
+//!    recording a span is a clock read plus a few relaxed stores into
+//!    the thread's seqlock ring (target ≤ ~25 ns), and `SSSJ_TRACE=off`
+//!    collapses every probe to one relaxed load + predictable branch
+//!    (target ≤ ~1 ns).
+//!
+//! 2. **End-to-end ingest overhead.** The same open-loop replay as
+//!    `ext_latency_openloop`, A/B-ing the spec-built pipeline with the
+//!    recorder armed against the off lane. Acceptance: instrumented-
+//!    vs-off ingest p50 within noise on a quiet host — tracing must be
+//!    invisible in the latency distribution, not just in the output
+//!    (which is byte-identical by construction).
+//!
+//! Rows append to `$CRITERION_JSON` (the `BENCH_prN.json` protocol);
+//! `BENCH_FAST=1` shrinks the loops for the CI smoke run. The smoke
+//! assertions are deliberately looser than the reported targets — a
+//! shared CI core steals whole scheduler quanta; the tight numbers come
+//! from full runs on an idle box (see BENCH_pr10.json).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sssj_bench::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+use sssj_core::JoinSpec;
+use sssj_data::{generate, preset, Preset};
+use sssj_metrics::trace::{
+    force_trace_for_bench, instant, span, span_with, thread_ring_stats, trace_enabled, Stage,
+};
+
+fn fast() -> bool {
+    std::env::var("BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn emit_json(row: String) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open CRITERION_JSON");
+    f.write_all(row.as_bytes()).expect("append CRITERION_JSON");
+}
+
+/// ns/op of `op` over `iters` iterations, minimum of three passes (the
+/// min filters out scheduler preemption on a shared core).
+fn ns_per_op(iters: u64, mut op: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+/// Section 1: the probe primitives, gate on vs gate off.
+fn bench_record_path() {
+    // A span is two ring events' worth of work bounded in one slot
+    // write at drop; an instant is exactly one slot write.
+    let iters: u64 = if fast() { 2_000_000 } else { 20_000_000 };
+
+    for (label, on) in [("on", true), ("off", false)] {
+        force_trace_for_bench(on);
+        let (written_before, _) = thread_ring_stats();
+        let s = ns_per_op(iters, || {
+            drop(black_box(span(black_box(Stage::Ingest))));
+        });
+        let sw = ns_per_op(iters, || {
+            drop(black_box(span_with(
+                black_box(Stage::WalAppend),
+                black_box(7),
+                black_box(9),
+            )));
+        });
+        let i = ns_per_op(iters, || {
+            instant(black_box(Stage::LoopStall), black_box(1), black_box(2));
+        });
+        let (written_after, _) = thread_ring_stats();
+        println!(
+            "trace/{label}: span={s:.2}ns span_with={sw:.2}ns instant={i:.2}ns \
+             ({iters} iters, min of 3)"
+        );
+        emit_json(format!(
+            concat!(
+                "{{\"group\":\"trace\",\"bench\":\"record_path/{}\",",
+                "\"span_ns\":{:.2},\"span_with_ns\":{:.2},",
+                "\"instant_ns\":{:.2},\"iters\":{}}}\n"
+            ),
+            label, s, sw, i, iters
+        ));
+        if on {
+            assert!(
+                written_after > written_before,
+                "armed probes must reach the ring"
+            );
+            assert!(
+                s < 150.0 && i < 150.0,
+                "armed probe should be tens of ns even on a noisy shared \
+                 core (span {s:.1}ns, instant {i:.1}ns)"
+            );
+        } else {
+            assert_eq!(
+                written_after, written_before,
+                "disarmed probes must not touch the ring"
+            );
+            assert!(
+                s < 10.0 && i < 10.0,
+                "off path must be a relaxed load + branch \
+                 (span {s:.1}ns, instant {i:.1}ns)"
+            );
+        }
+    }
+}
+
+/// Section 2: open-loop ingest through the spec-built pipeline, trace
+/// gate on vs off. Same seeded stream, same schedule.
+fn run_ingest_lane(on: bool, records: &[sssj_types::StreamRecord]) -> OpenLoopReport {
+    force_trace_for_bench(on);
+    let spec: JoinSpec = "str-l2?theta=0.5&lambda=0.05".parse().unwrap();
+    let mut join = spec.build().unwrap();
+    let n = records.len();
+    let cfg = OpenLoopConfig {
+        rate: if fast() { 20_000.0 } else { 10_000.0 },
+        query_every: 0,
+        k: 0,
+        warmup: (n / 20).max(32),
+        graph_horizon: f64::INFINITY,
+    };
+    run_open_loop(join.as_mut(), records, &cfg)
+}
+
+fn bench_ingest_overhead() {
+    let n = if fast() { 2_000 } else { 20_000 };
+    let records = generate(&preset(Preset::Rcv1, n));
+    let mut p50 = [0.0f64; 2];
+    let mut pairs = [0u64; 2];
+    for (i, (label, on)) in [("instrumented", true), ("off", false)]
+        .into_iter()
+        .enumerate()
+    {
+        let rep = run_ingest_lane(on, &records);
+        p50[i] = rep.ingest.quantile(0.5);
+        pairs[i] = rep.pairs;
+        println!(
+            "trace/ingest/{label}: rate={:.0}/s achieved={:.0}/s \
+             p50={:.1}us p99={:.1}us pairs={}",
+            rep.target_rate,
+            rep.achieved_rate,
+            rep.ingest.quantile(0.5) * 1e6,
+            rep.ingest.quantile(0.99) * 1e6,
+            rep.pairs,
+        );
+        emit_json(format!(
+            concat!(
+                "{{\"group\":\"trace\",\"bench\":\"openloop_ingest/{}\",",
+                "\"rate\":{:.0},\"achieved\":{:.0},\"pairs\":{},",
+                "\"ingest_p50_ns\":{:.0},\"ingest_p99_ns\":{:.0}}}\n"
+            ),
+            label,
+            rep.target_rate,
+            rep.achieved_rate,
+            rep.pairs,
+            rep.ingest.quantile(0.5) * 1e9,
+            rep.ingest.quantile(0.99) * 1e9,
+        ));
+        assert!(rep.ingest.count() > 0, "{label}: empty histogram");
+    }
+    assert_eq!(pairs[0], pairs[1], "tracing changed the join output");
+    let delta = (p50[0] - p50[1]) / p50[1];
+    println!(
+        "trace/ingest: instrumented-vs-off p50 delta {:+.2}% \
+         (target: within noise on an idle host)",
+        delta * 100.0
+    );
+    emit_json(format!(
+        "{{\"group\":\"trace\",\"bench\":\"trace_overhead\",\"p50_delta_pct\":{:.2}}}\n",
+        delta * 100.0
+    ));
+    // Smoke bound only: a shared core can smear p50 by double digits.
+    assert!(
+        delta.abs() < 0.5,
+        "instrumented ingest p50 {:.1}us vs off {:.1}us — overhead far \
+         beyond noise",
+        p50[0] * 1e6,
+        p50[1] * 1e6
+    );
+}
+
+fn main() {
+    let orig = trace_enabled();
+    bench_record_path();
+    bench_ingest_overhead();
+    force_trace_for_bench(orig);
+}

@@ -54,7 +54,10 @@ commands:
                                             --from T, --to T, --pairs)
   serve      incremental join on stdin     (--spec | --theta, --lambda,
                                             --index; --tokenize, --quiet,
-                                            --durable DIR)
+                                            --durable DIR,
+                                            --metrics-log FILE
+                                            [--metrics-log-max-bytes N],
+                                            --trace-log FILE)
   recover    crash-recover a durable store (<dir>, --input FILE, --pairs)
   net-serve  TCP join service              (--listen, --spec | --theta,
                                             --lambda, --index, --framework;
@@ -74,6 +77,9 @@ commands:
                                             and annotates counters with
                                             deltas/sec, --count N stops
                                             after N reports)
+  trace      dump a server's flight        ([addr] | --from-log FILE,
+             recorder as Chrome JSON        --last N, --out FILE; load in
+                                            Perfetto / chrome://tracing)
   bench-latency  open-loop latency replay  ([file] | --preset, --n;
                                             --rate, --theta, --lambda,
                                             --index, --k, --query-every,
@@ -135,6 +141,7 @@ fn main() -> ExitCode {
         "net-serve" => net_cmd::net_serve(rest),
         "net-send" => net_cmd::net_send(rest),
         "metrics" => net_cmd::metrics_cmd(rest),
+        "trace" => net_cmd::trace_cmd(rest),
         "bench-latency" => bench_latency::bench_latency(rest),
         "-h" | "--help" => {
             print!("{USAGE}");

@@ -354,11 +354,15 @@ pub fn metrics_cmd(args: &[String]) -> Result<(), String> {
         println!("--- scrape {reports} (+{secs}s)");
         for (name, value) in &cur {
             if name.contains("_total") {
-                let delta = value
+                // Clamped at zero: a counter that went backwards means
+                // the server restarted between scrapes, and a negative
+                // rate would be nonsense.
+                let delta = (value
                     - prev
                         .iter()
                         .find(|(n, _)| n == name)
-                        .map_or(0.0, |(_, v)| *v);
+                        .map_or(0.0, |(_, v)| *v))
+                .max(0.0);
                 println!("{name} {value} (+{:.2}/s)", delta / secs);
             } else {
                 println!("{name} {value}");
@@ -370,6 +374,88 @@ pub fn metrics_cmd(args: &[String]) -> Result<(), String> {
         }
     }
     client.quit().map_err(|e| e.to_string())
+}
+
+/// `sssj trace [<addr>] [--last N] [--out FILE] [--from-log FILE]`
+///
+/// Dumps a server's flight recorder (the `TRACE` verb) and renders it
+/// as Chrome trace-event JSON — load the output in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing` to see every span
+/// (ingest, candidate generation, shard fan-out, WAL, graph publish,
+/// net requests) on a per-thread timeline, correlated by trace id.
+///
+/// `--last N` asks for the newest N events (default 4096); `--out FILE`
+/// writes the JSON there instead of stdout. `--from-log FILE` skips the
+/// network and renders a `sssj serve --trace-log` capture instead — the
+/// two sources share the wire format, so one renderer serves both.
+pub fn trace_cmd(args: &[String]) -> Result<(), String> {
+    use sssj_metrics::trace::{chrome_trace_json, TraceEvent};
+    let p = parse(args, &[])?;
+    let from_log = p.get("from-log");
+    let addr = match (p.positional.as_slice(), from_log) {
+        ([], None) => Some("127.0.0.1:7878".to_string()),
+        ([a], None) => Some(a.clone()),
+        ([], Some(_)) => None,
+        (_, Some(_)) => return Err("trace takes either <addr> or --from-log, not both".into()),
+        _ => return Err("trace expects at most one server address".into()),
+    };
+    let last: u64 = p
+        .get("last")
+        .map(|s| s.parse().map_err(|e| format!("bad --last: {e}")))
+        .transpose()?
+        .unwrap_or(4096);
+    if last == 0 {
+        return Err("--last must be >= 1".into());
+    }
+
+    let mut events: Vec<TraceEvent> = Vec::new();
+    if let Some(addr) = addr {
+        let mut client =
+            JoinClient::connect(&*addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let lines = client.trace(last).map_err(|e| e.to_string())?;
+        let Some((header, body)) = lines.split_first() else {
+            return Err("server sent an empty TRACE reply".into());
+        };
+        if !header.starts_with('#') {
+            return Err(format!("malformed TRACE header: {header:?}"));
+        }
+        eprintln!("sssj: trace {header}");
+        for line in body {
+            events.push(
+                TraceEvent::from_wire(line)
+                    .ok_or_else(|| format!("malformed trace event: {line:?}"))?,
+            );
+        }
+        if events.is_empty() {
+            eprintln!("sssj: no events (server running with SSSJ_TRACE=off?)");
+        }
+        client.quit().map_err(|e| e.to_string())?;
+    } else {
+        let path = from_log.expect("checked above");
+        let body = std::fs::read_to_string(path).map_err(|e| format!("--from-log {path}: {e}"))?;
+        for line in body
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        {
+            events.push(
+                TraceEvent::from_wire(line)
+                    .ok_or_else(|| format!("{path}: malformed trace event: {line:?}"))?,
+            );
+        }
+        if events.len() as u64 > last {
+            events.drain(..events.len() - last as usize);
+        }
+    }
+
+    let json = chrome_trace_json(&events);
+    match p.get("out") {
+        Some(file) => {
+            std::fs::write(file, &json).map_err(|e| format!("--out {file}: {e}"))?;
+            eprintln!("sssj: wrote {} event(s) to {file}", events.len());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
 }
 
 /// One `METRICS` scrape reduced to `(series, value)` samples (comment
@@ -471,6 +557,139 @@ mod tests {
         assert!(metrics_cmd(&s(&[&addr, "--watch", "0"])).is_err());
         assert!(metrics_cmd(&s(&[&addr, "extra"])).is_err());
         server.shutdown();
+    }
+
+    #[test]
+    fn trace_cmd_renders_chrome_json_from_a_live_server() {
+        let dir = std::env::temp_dir().join(format!("sssj-net-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Durable + graph, shared on the event loop: one ingest crosses
+        // the WAL, the graph publish and the net layer — the full span
+        // set the flight recorder promises.
+        let spec = format!(
+            "str-l2?theta=0.5&tau=10&durable={}&graph",
+            dir.join("wal").display()
+        );
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerOptions {
+                defaults: sssj_net::SessionDefaults {
+                    spec: spec.parse().unwrap(),
+                    ..Default::default()
+                },
+                shared: true,
+                engine: sssj_net::ServerEngine::EventLoop,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = JoinClient::connect(&*addr).unwrap();
+        for i in 0..20u64 {
+            let mut b = sssj_types::SparseVectorBuilder::with_capacity(1);
+            b.push(7, 1.0);
+            let r = sssj_types::StreamRecord::new(
+                i,
+                sssj_types::Timestamp::new(i as f64 * 0.1),
+                b.build_normalized().unwrap(),
+            );
+            client.send_record(&r).unwrap();
+        }
+        client.quit().unwrap();
+
+        let out = dir.join("trace.json");
+        trace_cmd(&s(&[
+            &addr,
+            "--last",
+            "20000",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.trim_start().starts_with('['), "{body}");
+        assert!(body.trim_end().ends_with(']'), "{body}");
+        if sssj_metrics::trace_enabled() {
+            for stage in ["ingest", "wal.append", "graph.publish", "net.request"] {
+                assert!(
+                    body.contains(&format!("\"name\":\"{stage}\"")),
+                    "missing {stage} span in:\n{body}"
+                );
+            }
+            // One record's journey is correlated: an ingest span's trace
+            // id also labels a net.request span (same request).
+            let trace_id_of = |line: &str| -> Option<u64> {
+                let rest = line.split("\"trace_id\":").nth(1)?;
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()?
+                    .parse()
+                    .ok()
+            };
+            let ingest_id = body
+                .lines()
+                .filter(|l| l.contains("\"name\":\"ingest\""))
+                .filter_map(trace_id_of)
+                .find(|&id| id != 0)
+                .expect("an attributed ingest span");
+            assert!(
+                body.lines()
+                    .filter(|l| l.contains("\"name\":\"net.request\""))
+                    .filter_map(trace_id_of)
+                    .any(|id| id == ingest_id),
+                "ingest trace id {ingest_id} must label a net.request span"
+            );
+        }
+        // Bad usage is rejected before any connection attempt.
+        assert!(trace_cmd(&s(&[&addr, "--last", "0"])).is_err());
+        assert!(trace_cmd(&s(&[&addr, "--from-log", "x"])).is_err());
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_cmd_renders_a_trace_log_capture() {
+        use sssj_metrics::trace::{instant, Stage};
+        let dir = std::env::temp_dir().join(format!("sssj-cli-tracelog-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("cap.log");
+        // A wire-format capture (as `sssj serve --trace-log` writes) —
+        // hand-rolled here so the off lane exercises the renderer too.
+        std::fs::write(
+            &log,
+            "120 0 loop.stall i 2 0 3 1 2\n540 80 ingest X 2 1 9 7 1\n",
+        )
+        .unwrap();
+        instant(Stage::LoopStall, 0, 0); // exercise the symbol either lane
+        let out = dir.join("cap.json");
+        trace_cmd(&s(&[
+            "--from-log",
+            log.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.contains("\"name\":\"ingest\""), "{body}");
+        assert!(body.contains("\"ph\":\"i\""), "{body}");
+        // --last trims from the front (oldest dropped first).
+        trace_cmd(&s(&[
+            "--from-log",
+            log.to_str().unwrap(),
+            "--last",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(!body.contains("loop.stall"), "{body}");
+        // A malformed line is a hard error, not silent truncation.
+        std::fs::write(&log, "garbage\n").unwrap();
+        let err = trace_cmd(&s(&["--from-log", log.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("malformed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -31,28 +31,47 @@ use crate::commands::spec_from_args;
 /// Background telemetry logger for `--metrics-log FILE`: one JSON line
 /// per interval (about a second), appended and flushed line-by-line so a
 /// crash loses at most the line in flight and a restart appends to the
-/// same file. Stopped (with one final line) when serving ends.
-struct MetricsLogger {
+/// same file. With `--metrics-log-max-bytes N` the file rotates once it
+/// exceeds `N` bytes: the current file moves to `FILE.1` (replacing any
+/// previous `.1`) and logging continues in a fresh `FILE`, so a
+/// long-lived service is bounded at roughly `2N` bytes of log. Stopped
+/// (with one final line) when serving ends.
+pub(crate) struct MetricsLogger {
     stop: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl MetricsLogger {
-    fn start(path: &str) -> Result<MetricsLogger, String> {
-        let mut file = std::fs::OpenOptions::new()
+    pub(crate) fn start(path: &str, max_bytes: Option<u64>) -> Result<MetricsLogger, String> {
+        let path = path.to_string();
+        let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(path)
+            .open(&path)
             .map_err(|e| format!("--metrics-log {path}: {e}"))?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("sssj-metrics-log".into())
             .spawn(move || {
+                let mut file = file;
                 let write_line = |file: &mut std::fs::File| {
                     let line = Registry::global().json_line();
                     let _ = writeln!(file, "{line}");
                     let _ = file.flush();
+                    // Size-based rotation: keep exactly one predecessor.
+                    if let Some(cap) = max_bytes {
+                        let over = file.metadata().map(|m| m.len() > cap).unwrap_or(false);
+                        if over && std::fs::rename(&path, format!("{path}.1")).is_ok() {
+                            if let Ok(fresh) = std::fs::OpenOptions::new()
+                                .create(true)
+                                .append(true)
+                                .open(&path)
+                            {
+                                *file = fresh;
+                            }
+                        }
+                    }
                 };
                 while !stop2.load(Ordering::SeqCst) {
                     write_line(&mut file);
@@ -77,6 +96,65 @@ impl MetricsLogger {
 }
 
 impl Drop for MetricsLogger {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Background flight-recorder logger for `--trace-log FILE`: drains new
+/// trace events (via per-ring cursors, so nothing is double-written) a
+/// few times a second and appends them in the same one-line wire format
+/// the `TRACE` verb uses ([`sssj_metrics::trace::TraceEvent::to_wire`]).
+/// `sssj trace --from-log FILE` converts such a capture to Chrome
+/// trace-event JSON. A final drain runs when serving ends.
+pub(crate) struct TraceLogger {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TraceLogger {
+    pub(crate) fn start(path: &str) -> Result<TraceLogger, String> {
+        if !sssj_metrics::trace_enabled() {
+            eprintln!("sssj: --trace-log is inert with SSSJ_TRACE=off");
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("--trace-log {path}: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("sssj-trace-log".into())
+            .spawn(move || {
+                let mut cursors = Vec::new();
+                let drain = |file: &mut std::fs::File, cursors: &mut Vec<u64>| {
+                    let events = sssj_metrics::trace::drain_new(cursors);
+                    for ev in &events {
+                        let _ = writeln!(file, "{}", ev.to_wire());
+                    }
+                    if !events.is_empty() {
+                        let _ = file.flush();
+                    }
+                };
+                while !stop2.load(Ordering::SeqCst) {
+                    drain(&mut file, &mut cursors);
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+                drain(&mut file, &mut cursors);
+            })
+            .map_err(|e| format!("--trace-log: {e}"))?;
+        Ok(TraceLogger {
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl Drop for TraceLogger {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.thread.take() {
@@ -148,8 +226,25 @@ pub fn serve_streams<R: BufRead, W: Write>(
     let tokenize = p.flag("tokenize");
     let tokenizer = Tokenizer::new();
     // `--metrics-log FILE`: append one JSON registry snapshot per second
-    // while serving (stopped, with a final line, on end-of-stream).
-    let _metrics_log = p.get("metrics-log").map(MetricsLogger::start).transpose()?;
+    // while serving (stopped, with a final line, on end-of-stream);
+    // `--metrics-log-max-bytes N` bounds it with one-deep rotation.
+    let max_bytes: Option<u64> = p
+        .get("metrics-log-max-bytes")
+        .map(|s| {
+            s.parse()
+                .map_err(|e| format!("bad --metrics-log-max-bytes: {e}"))
+        })
+        .transpose()?;
+    if max_bytes.is_some() && p.get("metrics-log").is_none() {
+        return Err("--metrics-log-max-bytes needs --metrics-log".into());
+    }
+    let _metrics_log = p
+        .get("metrics-log")
+        .map(|path| MetricsLogger::start(path, max_bytes))
+        .transpose()?;
+    // `--trace-log FILE`: continuously capture the flight recorder in
+    // wire format (`sssj trace --from-log FILE` renders it for Perfetto).
+    let _trace_log = p.get("trace-log").map(TraceLogger::start).transpose()?;
 
     let mut join = spec.build().map_err(|e| e.to_string())?;
     let mut out: Vec<SimilarPair> = Vec::new();
@@ -227,7 +322,8 @@ pub fn serve_streams<R: BufRead, W: Write>(
 }
 
 /// `sssj serve [--spec S | --theta T --lambda L --index I] [--tokenize]
-/// [--durable DIR] [--metrics-log FILE]`
+/// [--durable DIR] [--metrics-log FILE [--metrics-log-max-bytes N]]
+/// [--trace-log FILE]`
 pub fn serve(args: &[String]) -> Result<(), String> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -365,6 +461,85 @@ mod tests {
                 "snapshot carries the ingest counter"
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_log_rotates_at_the_size_cap() {
+        let dir = std::env::temp_dir().join(format!(
+            "sssj-serve-mrot-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("metrics.jsonl");
+        let log_s = log.display().to_string();
+        let input = "0.0 1:1.0 2:1.0\n1.0 1:1.0 2:1.0\n";
+        // A 1-byte cap forces a rotation on every line: after a couple
+        // of runs both the live file and its .1 predecessor exist, and
+        // nothing deeper (.2) is ever created.
+        for _ in 0..2 {
+            run(
+                &[
+                    "--metrics-log",
+                    &log_s,
+                    "--metrics-log-max-bytes",
+                    "1",
+                    "--quiet",
+                ],
+                input,
+            )
+            .unwrap();
+        }
+        assert!(log.exists());
+        assert!(dir.join("metrics.jsonl.1").exists());
+        assert!(!dir.join("metrics.jsonl.1.1").exists());
+        assert!(!dir.join("metrics.jsonl.2").exists());
+        // The cap flag alone is a usage error.
+        assert!(run(&["--metrics-log-max-bytes", "1"], "").is_err());
+        assert!(run(
+            &["--metrics-log", &log_s, "--metrics-log-max-bytes", "x"],
+            ""
+        )
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_log_captures_wire_format_events() {
+        let dir = std::env::temp_dir().join(format!(
+            "sssj-serve-tlog-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("trace.log").display().to_string();
+        let input = "0.0 1:1.0 2:1.0\n1.0 1:1.0 2:1.0\n";
+        run(&["--trace-log", &log, "--quiet"], input).unwrap();
+        let body = std::fs::read_to_string(&log).unwrap();
+        if !sssj_metrics::trace_enabled() {
+            return;
+        }
+        // The final drain catches the serve loop's ingest spans even
+        // when the run outpaces the poll interval; every line must
+        // round-trip through the wire parser.
+        // (Other tests on this thread may have contributed events too —
+        // the capture is process-wide by design.)
+        let events: Vec<sssj_metrics::trace::TraceEvent> = body
+            .lines()
+            .map(|l| {
+                sssj_metrics::trace::TraceEvent::from_wire(l)
+                    .unwrap_or_else(|| panic!("bad trace line {l:?}"))
+            })
+            .collect();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.stage == sssj_metrics::trace::Stage::Ingest),
+            "{body}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -211,14 +211,43 @@
 //! see `sssj_metrics::registry`'s module docs for the full contract.
 //!
 //! Export is pull: the net protocol's `METRICS` verb serves the
-//! Prometheus text exposition (scrape it with `sssj metrics <addr>`,
-//! grammar in `sssj_net::protocol`), and `sssj serve --metrics-log
-//! FILE` appends one JSON snapshot line per second for offline
-//! correlation. Two always-on probes ride along: a slow-query log
-//! (`SSSJ_SLOW_MS=<n>` logs any request over the threshold, rate
-//! limited) and the event-loop stall detector
+//! Prometheus text exposition — recorder series as full cumulative
+//! histograms (`_bucket{le=…}`/`_sum`/`_count`) — scrape it with `sssj
+//! metrics <addr>` (grammar in `sssj_net::protocol`), and `sssj serve
+//! --metrics-log FILE` appends one JSON snapshot line per second for
+//! offline correlation (`--metrics-log-max-bytes N` bounds the file
+//! with one-deep rotation). Two always-on probes ride along: a
+//! slow-query log (`SSSJ_SLOW_MS=<n>` logs any request over the
+//! threshold, rate limited) and the event-loop stall detector
 //! (`sssj_net_loop_stalls_total`, also the `G loop_stalls=` line on
 //! every event-loop `STATS` reply).
+//!
+//! Beside the counter registry sits the **flight recorder**
+//! (`sssj_metrics::trace`): an always-on span/event tracing layer built
+//! on per-thread, lock-free, fixed-width seqlock rings. Recording a
+//! span is a clock read plus a handful of relaxed stores — never an
+//! allocation, never a lock — and `SSSJ_TRACE=off` (read once)
+//! collapses every probe to one relaxed load + branch, proven
+//! byte-invisible by its own CI lane exactly like the registry's. The
+//! stages that bump counters also record spans: record ingest,
+//! candidate generation, router flush and per-shard delivery, WAL
+//! append and fsync, checkpoints, graph snapshot publishes, segment
+//! compactions, and net request handling — each stamped with a
+//! per-request trace id that rides the router's batches across thread
+//! boundaries, so one record's journey through the whole pipeline is
+//! reconstructible from a single dump.
+//!
+//! Dump it three ways: the net `TRACE [n]` verb (newest `n` events,
+//! watermark-clocked, wire grammar in `sssj_net::protocol`); `sssj
+//! trace <addr> [--out FILE]`, which renders the dump as Chrome
+//! trace-event JSON loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`; and `sssj serve --trace-log FILE` for continuous
+//! wire-format capture (rendered later with `sssj trace --from-log`).
+//! The probes feed it too: a request over `SSSJ_SLOW_MS` logs its whole
+//! span tree, and an event-loop stall or a server panic dumps the
+//! recorder to stderr — the last events before trouble are usually the
+//! diagnosis. A runnable serve → trace doctest lives at the `sssj`
+//! facade crate root.
 
 use sssj_index::IndexKind;
 use sssj_types::{DecayModel, SimilarPair, StreamRecord};

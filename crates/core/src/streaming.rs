@@ -255,6 +255,9 @@ impl Streaming {
     /// an empty accumulator.
     fn candidate_generation(&mut self, x: &SparseVector, now: f64) {
         debug_assert!(self.acc.is_empty(), "query() clears before generating");
+        let cand0 = self.stats.candidates;
+        let ent0 = self.stats.entries_traversed;
+        let mut trace_span = sssj_metrics::trace::span(sssj_metrics::trace::Stage::Candidates);
         let theta = self.config.theta;
         let theta_slack = theta - PRUNE_EPS;
         let policy = self.policy;
@@ -448,6 +451,10 @@ impl Streaming {
                 rs2 = rst.max(0.0).sqrt();
             }
         }
+        trace_span.set_args(
+            self.stats.candidates - cand0,
+            self.stats.entries_traversed - ent0,
+        );
     }
 
     /// Candidate verification (Algorithm 8).

@@ -10,8 +10,12 @@
 //! the zero-alloc steady-state contract); the engine-shape counters
 //! (entries traversed, candidates, full similarities, labeled by engine
 //! name) are flushed as deltas only on the cold [`StreamJoin::stats`] /
-//! [`StreamJoin::finish`] paths. With `SSSJ_TELEMETRY=off` the factory
-//! skips the wrapper entirely.
+//! [`StreamJoin::finish`] paths. The wrapper is also where the
+//! [`sssj_metrics::trace`] `ingest` span lives — one span per record,
+//! carrying the record id and the pair count, inheriting whatever trace
+//! id the caller (a net session, the sharded router) parked on the
+//! thread. With both `SSSJ_TELEMETRY=off` and `SSSJ_TRACE=off` the
+//! factory skips the wrapper entirely.
 
 use std::cell::Cell;
 
@@ -44,12 +48,15 @@ pub struct TelemetryJoin {
 }
 
 impl TelemetryJoin {
-    /// Wraps `inner`, resolving its metric handles once. When telemetry
-    /// is disabled (`SSSJ_TELEMETRY=off`) the inner join is returned
-    /// unwrapped — record-path cost is exactly zero.
+    /// Wraps `inner`, resolving its metric handles once. When both
+    /// telemetry (`SSSJ_TELEMETRY=off`) and tracing (`SSSJ_TRACE=off`)
+    /// are disabled the inner join is returned unwrapped — record-path
+    /// cost is exactly zero. (With telemetry off but tracing on the
+    /// wrapper stays: its counters are individually gated, and the
+    /// `ingest` span needs the tap.)
     pub fn wrap(inner: Box<dyn StreamJoin>) -> Box<dyn StreamJoin> {
         let reg = Registry::global();
-        if !sssj_metrics::telemetry_enabled() {
+        if !sssj_metrics::telemetry_enabled() && !sssj_metrics::trace_enabled() {
             return inner;
         }
         let engine = inner.name();
@@ -96,7 +103,11 @@ impl TelemetryJoin {
 impl StreamJoin for TelemetryJoin {
     fn process(&mut self, record: &StreamRecord, out: &mut Vec<SimilarPair>) {
         let before = out.len();
+        let mut span =
+            sssj_metrics::trace::span_with(sssj_metrics::trace::Stage::Ingest, record.id, 0);
         self.inner.process(record, out);
+        span.set_args(record.id, (out.len() - before) as u64);
+        drop(span);
         self.records.inc();
         self.pairs.add((out.len() - before) as u64);
     }

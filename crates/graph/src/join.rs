@@ -240,6 +240,8 @@ impl GraphHandle {
     /// scales with what changed, not with the live edge set.
     fn publish_locked(&self, w: &mut WriteSide) -> Arc<GraphSnapshot> {
         let generation = self.shared.generation.load(Ordering::Relaxed) + 1;
+        let mut span =
+            sssj_metrics::trace::span_with(sssj_metrics::trace::Stage::GraphPublish, generation, 0);
         let mut published = self.shared.published.lock().expect("publish lock poisoned");
         let (captured, touched) = GraphSnapshot::capture_from(&mut w.graph, &published, generation);
         let snap = Arc::new(captured);
@@ -251,6 +253,7 @@ impl GraphHandle {
         m.publishes.inc();
         m.touched_nodes.record(touched as f64);
         m.staleness_ms.set(0);
+        span.set_args(generation, touched as u64);
         w.pending = 0;
         *self.cache.borrow_mut() = Cache {
             generation,

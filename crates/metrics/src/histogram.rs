@@ -283,6 +283,20 @@ impl LogLinearHistogram {
         self.max
     }
 
+    /// The non-empty buckets as `(upper_edge_seconds, count)` pairs in
+    /// ascending edge order — the compact form a Prometheus `_bucket`
+    /// exposition needs (of 2048 buckets a latency recorder typically
+    /// populates a few dozen; rendering only those plus `+Inf` keeps the
+    /// scrape proportional to the data, not the geometry).
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper(i), c))
+            .collect()
+    }
+
     /// Merges another histogram (shapes are fixed, so always compatible).
     pub fn merge(&mut self, other: &LogLinearHistogram) {
         for (a, &b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

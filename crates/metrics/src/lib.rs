@@ -14,7 +14,10 @@
 //! * [`LatencyHistogram`] — log-bucketed per-record latency quantiles;
 //! * [`registry`] — the always-on process-global telemetry registry
 //!   ([`Counter`]/[`Gauge`]/[`Recorder`] handles, Prometheus + JSON
-//!   export) every runtime crate reports into.
+//!   export) every runtime crate reports into;
+//! * [`trace`] — always-on span/event tracing into per-thread
+//!   lock-free flight-recorder rings, exported as the net `TRACE`
+//!   verb and Chrome trace-event JSON (Perfetto).
 
 pub mod budget;
 pub mod counters;
@@ -24,6 +27,7 @@ pub mod registry;
 pub mod regression;
 pub mod table;
 pub mod timer;
+pub mod trace;
 
 pub use budget::{BudgetOutcome, WorkBudget};
 pub use counters::JoinStats;
@@ -33,3 +37,4 @@ pub use registry::{telemetry_enabled, Counter, Gauge, Recorder, Registry};
 pub use regression::{linear_regression, Regression};
 pub use table::TextTable;
 pub use timer::Stopwatch;
+pub use trace::trace_enabled;

@@ -22,8 +22,11 @@
 //!   [`crate::LogLinearHistogram`]'s bucket geometry. No locks, no
 //!   allocation — safe inside the PR-1 zero-alloc steady state.
 //! * **Export is pull.** [`Registry::prometheus`] renders the
-//!   text-exposition format (histograms as quantile-labeled summaries to
-//!   keep 2048-bucket recorders from exploding into 2048 series);
+//!   text-exposition format (recorders as true Prometheus histograms —
+//!   cumulative `_bucket{le=…}` series over the *populated* buckets
+//!   plus `+Inf`/`_sum`/`_count`, so external scrapers can aggregate
+//!   across instances; the 2048-bucket geometry never shows through
+//!   because empty buckets are skipped);
 //!   [`Registry::json_line`] renders one compact JSON object per call
 //!   for append-only metrics logs.
 //!
@@ -289,7 +292,7 @@ impl Metric {
         match self {
             Metric::Counter(_) => "counter",
             Metric::Gauge(_) => "gauge",
-            Metric::Recorder(_) => "summary",
+            Metric::Recorder(_) => "histogram",
         }
     }
 }
@@ -460,7 +463,7 @@ impl Registry {
     }
 
     /// Registers (or finds) an unlabeled recorder (latency/size
-    /// histogram; exported as a Prometheus summary).
+    /// histogram; exported as a Prometheus histogram).
     pub fn recorder(&self, name: &str, help: &str) -> &'static Recorder {
         self.recorder_with(name, help, &[])
     }
@@ -487,9 +490,11 @@ impl Registry {
 
     /// Renders every registered metric in the Prometheus text-exposition
     /// format: `# HELP` / `# TYPE` per metric name, counters and gauges
-    /// as plain samples, recorders as quantile-labeled summaries plus
-    /// `_sum`/`_count` (2048-bucket tables would be antisocial as
-    /// `_bucket` series).
+    /// as plain samples, recorders as histograms — cumulative
+    /// `_bucket{le=…}` series over the populated buckets plus the
+    /// mandatory `le="+Inf"`, then `_sum`/`_count`. Quantiles are
+    /// derivable server-side (`histogram_quantile`), so none are
+    /// rendered here; the JSON log line keeps p50/p99/p999 for humans.
     pub fn prometheus(&self) -> String {
         let entries = self.entries.lock().expect("registry poisoned");
         let mut out = String::new();
@@ -521,16 +526,22 @@ impl Registry {
                     }
                     Metric::Recorder(r) => {
                         let h = r.snapshot();
-                        for (q, qs) in
-                            [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")]
-                        {
+                        let mut cum = 0u64;
+                        for (upper, c) in h.nonzero_buckets() {
+                            cum += c;
                             out.push_str(&format!(
-                                "{}{} {}\n",
+                                "{}_bucket{} {}\n",
                                 s.name,
-                                s.label_block(Some(("quantile", qs))),
-                                fmt_f64(h.quantile(q))
+                                s.label_block(Some(("le", &fmt_f64(upper)))),
+                                cum
                             ));
                         }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            s.name,
+                            s.label_block(Some(("le", "+Inf"))),
+                            h.count()
+                        ));
                         out.push_str(&format!(
                             "{}_sum{} {}\n",
                             s.name,
@@ -720,6 +731,57 @@ mod tests {
             (sum - expected_sum).abs() / expected_sum < 1e-9,
             "sum={sum} expected~{expected_sum}"
         );
+    }
+
+    #[test]
+    fn recorder_exposes_prometheus_histogram_series() {
+        if !telemetry_enabled() {
+            return; // the off lane freezes every handle; nothing to assert
+        }
+        let reg = Registry::global();
+        let r = reg.recorder("test_reg_expo_seconds", "exposition probe");
+        // Three values in two distinct buckets (1us twice and 1ms once).
+        r.record(1.0e-6);
+        r.record(1.0e-6);
+        r.record(1.0e-3);
+        let text = reg.prometheus();
+        assert!(
+            text.contains("# TYPE test_reg_expo_seconds histogram"),
+            "{text}"
+        );
+        // Cumulative bucket counts, ending in the mandatory +Inf.
+        let buckets: Vec<(f64, u64)> = text
+            .lines()
+            .filter(|l| l.starts_with("test_reg_expo_seconds_bucket{le=\""))
+            .map(|l| {
+                let (name, v) = l.rsplit_once(' ').unwrap();
+                let le = name
+                    .strip_prefix("test_reg_expo_seconds_bucket{le=\"")
+                    .unwrap()
+                    .strip_suffix("\"}")
+                    .unwrap();
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap()
+                };
+                (le, v.parse().unwrap())
+            })
+            .collect();
+        assert!(buckets.len() >= 3, "{text}"); // 2 populated + +Inf
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "le ascending");
+        assert!(
+            buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+            "counts cumulative"
+        );
+        let last = buckets.last().unwrap();
+        assert_eq!(last.0, f64::INFINITY);
+        assert_eq!(last.1, 3, "+Inf equals total count");
+        // Both micro observations share a bucket below the milli one.
+        assert_eq!(buckets[0].1, 2, "{buckets:?}");
+        assert!(text.contains("test_reg_expo_seconds_count 3"), "{text}");
+        // No summary-style quantile lines remain.
+        assert!(!text.contains("test_reg_expo_seconds{quantile"), "{text}");
     }
 
     #[test]

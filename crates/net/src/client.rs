@@ -262,6 +262,39 @@ impl JoinClient {
         }
     }
 
+    /// Dumps the server's flight recorder (`TRACE n`): the raw reply
+    /// lines, `R ` prefixes stripped. The first line is the watermark-
+    /// clocked header (`# now=… watermark=… dropped=…`); each following
+    /// line is one event ([`sssj_metrics::trace::TraceEvent::from_wire`]
+    /// parses them). Header-only when the server runs with
+    /// `SSSJ_TRACE=off`.
+    pub fn trace(&mut self, max: u64) -> Result<Vec<String>, NetError> {
+        self.send_line(&Request::Trace { max })?;
+        let mut lines = Vec::new();
+        loop {
+            match self.read_response()? {
+                Response::TraceLine(line) => lines.push(line),
+                Response::Update { node, pair } => self.updates.push((node, pair)),
+                Response::Dropped(n) => self.dropped += n,
+                Response::Ok(n) => {
+                    if n as usize != lines.len() {
+                        return Err(NetError::Protocol(format!(
+                            "server announced {n} trace lines but sent {}",
+                            lines.len()
+                        )));
+                    }
+                    return Ok(lines);
+                }
+                Response::Err(m) => return Err(NetError::Server(m)),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected response {other:?} while reading a trace"
+                    )))
+                }
+            }
+        }
+    }
+
     /// Signals end-of-stream and returns the flushed pairs (MiniBatch
     /// sessions report their trailing windows here).
     pub fn finish(&mut self) -> Result<Vec<SimilarPair>, NetError> {

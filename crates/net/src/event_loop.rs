@@ -518,6 +518,24 @@ pub(crate) fn run(
         if work_started.elapsed() > stall_budget {
             loop_stalls += 1;
             loop_metrics().stalls.inc();
+            // A stalled loop is exactly when the flight recorder earns
+            // its keep: note the stall and dump the recent events, rate-
+            // limited to one dump per second so a pathological stream
+            // cannot flood stderr.
+            sssj_metrics::trace::instant(
+                sssj_metrics::trace::Stage::LoopStall,
+                loop_stalls,
+                work_started.elapsed().as_micros() as u64,
+            );
+            static LAST_DUMP: std::sync::Mutex<Option<std::time::Instant>> =
+                std::sync::Mutex::new(None);
+            if sssj_metrics::trace_enabled() {
+                let mut last = LAST_DUMP.lock().expect("stall-dump clock poisoned");
+                if last.is_none_or(|at| at.elapsed().as_secs_f64() >= 1.0) {
+                    *last = Some(std::time::Instant::now());
+                    sssj_metrics::trace::dump_to_stderr("event-loop stall", 64);
+                }
+            }
         }
     }
 

@@ -18,6 +18,7 @@
 //! T 13.0 some raw text                    OK 2            always last
 //! STATS                                   [G loop_stalls=0] S records=5 pairs=2 …
 //! METRICS                                 M <text line> … / OK <count>
+//! TRACE 256                               R <event line> … / OK <count>
 //! FINISH                                  P … / OK <count>
 //! QUERY neighbors 4                       P 4 0 0.82… / OK <count>
 //! QUERY topk 4 3                          P 4 9 0.93… / OK <count>
@@ -40,8 +41,9 @@
 //! ```
 //!
 //! Strip the leading `M ` from every line and the remainder is a valid
-//! Prometheus scrape body (histograms surface as summaries with
-//! `quantile=` labels plus `_sum`/`_count` samples). Like `STATS`, the
+//! Prometheus scrape body (recorders surface as true histograms:
+//! cumulative `_bucket{le=…}` series over the populated buckets plus
+//! `le="+Inf"`, then `_sum`/`_count` samples). Like `STATS`, the
 //! reply is clocked at the session's watermark: counters include every
 //! record the server accepted before the `METRICS` line was read, so on
 //! a quiesced stream `sssj_core_records_total` equals the number of
@@ -54,6 +56,37 @@
 //! whose work overran the poll interval). The probe line is emitted
 //! regardless of the telemetry switch; threaded servers, having no loop,
 //! send the bare `S` line.
+//!
+//! # Dumping the flight recorder: `TRACE`
+//!
+//! `TRACE [n]` dumps the newest `n` (default 256) events from the
+//! process-wide flight recorder ([`sssj_metrics::trace`]), one
+//! `R`-prefixed line per event, oldest first:
+//!
+//! ```text
+//! trace-request := "TRACE" [ max-events ]
+//! trace-reply   := "R" header ( "R" event )* "OK" <R-line-count>
+//! header        := "# now=" ns " watermark=" t " dropped=" count
+//! event         := ts_ns dur_ns stage kind tid depth trace_id a b
+//! stage         := "ingest" | "candidates" | "router.flush"
+//!                | "shard.record" | "wal.append" | "wal.fsync"
+//!                | "checkpoint" | "graph.publish" | "segment.compaction"
+//!                | "net.request" | "loop.stall" | "slow.request"
+//! kind          := "X" (complete span, dur_ns > 0 possible)
+//!                | "i" (instant, dur_ns = 0)
+//! ```
+//!
+//! The header's `now=` is the server's trace clock (nanoseconds since
+//! its first probe — the same clock as every event's `ts_ns`, so a
+//! client can compute event age), `watermark=` is the session's stream
+//! watermark (the reply is clocked like `STATS`: events from every
+//! record accepted before the `TRACE` line was read are visible), and
+//! `dropped=` counts events lost to ring wrap process-wide. `OK` counts
+//! every `R` line including the header. Events carry a `trace_id`
+//! correlating one request's journey across stages and threads; 0 means
+//! unattributed. With `SSSJ_TRACE=off` the reply is the bare header
+//! (`OK 1`) with `dropped=0`. `sssj trace <addr>` converts a dump to
+//! Chrome trace-event JSON loadable in Perfetto/`chrome://tracing`.
 //!
 //! # Negotiating the join: the spec grammar
 //!
@@ -198,6 +231,9 @@ use sssj_types::SimilarPair;
 /// client streaming an unbounded line.
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
+/// Events a bare `TRACE` (no count) returns.
+pub const DEFAULT_TRACE_EVENTS: u64 = 256;
+
 /// How a session interprets payload lines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SessionMode {
@@ -312,6 +348,12 @@ pub enum Request {
     /// Ask for the process-global metric registry (Prometheus text
     /// exposition, one `M` line per exposition line).
     Metrics,
+    /// Ask for the newest flight-recorder events (`TRACE [n]`; one `R`
+    /// line per event after the `R #`-prefixed header line).
+    Trace {
+        /// Maximum events to return (the server may cap it).
+        max: u64,
+    },
     /// A live-graph query (graph-wrapped sessions only).
     Query(GraphQuery),
     /// Subscribe to pushed `U` edge updates for one node
@@ -467,6 +509,25 @@ impl Request {
             }
             "STATS" => Ok(Request::Stats),
             "METRICS" => Ok(Request::Metrics),
+            "TRACE" => {
+                let mut parts = rest.split_ascii_whitespace();
+                let max = match parts.next() {
+                    None => DEFAULT_TRACE_EVENTS,
+                    Some(s) => {
+                        let n: u64 = s
+                            .parse()
+                            .map_err(|e| err(format!("TRACE: bad count {s:?}: {e}")))?;
+                        if n == 0 {
+                            return Err(err("TRACE: count must be >= 1"));
+                        }
+                        n
+                    }
+                };
+                if parts.next().is_some() {
+                    return Err(err("TRACE: trailing arguments"));
+                }
+                Ok(Request::Trace { max })
+            }
             "QUERY" => {
                 let mut parts = rest.split_ascii_whitespace();
                 let kind = parts
@@ -601,6 +662,7 @@ impl fmt::Display for Request {
             Request::Text { t, text } => write!(f, "T {t} {text}"),
             Request::Stats => f.write_str("STATS"),
             Request::Metrics => f.write_str("METRICS"),
+            Request::Trace { max } => write!(f, "TRACE {max}"),
             Request::Query(q) => {
                 let at = match q {
                     GraphQuery::Neighbors { node, at } => {
@@ -719,6 +781,10 @@ pub enum Response {
     /// One Prometheus text-exposition line of a `METRICS` reply
     /// (`M <line>`), emitted zero or more times before the `OK <count>`.
     Metric(String),
+    /// One flight-recorder line of a `TRACE` reply (`R <payload>`): the
+    /// `# now=… watermark=… dropped=…` header first, then one wire-form
+    /// event per line ([`sssj_metrics::trace::TraceEvent::to_wire`]).
+    TraceLine(String),
     /// A graph scalar answer (`G key=value …`, e.g. `component` /
     /// `stats` replies), insertion-ordered.
     Graph(Vec<(String, u64)>),
@@ -791,6 +857,7 @@ impl Response {
                 Ok(Response::Stats(s))
             }
             "M" => Ok(Response::Metric(rest.to_string())),
+            "R" => Ok(Response::TraceLine(rest.to_string())),
             "U" => {
                 let mut p = rest.split_ascii_whitespace();
                 let mut num = |what: &str| -> Result<u64, ProtocolError> {
@@ -861,6 +928,7 @@ impl fmt::Display for Response {
                 s.generation
             ),
             Response::Metric(line) => write!(f, "M {}", line.replace('\n', " ")),
+            Response::TraceLine(line) => write!(f, "R {}", line.replace('\n', " ")),
             Response::Update { node, pair } => write!(
                 f,
                 "U {node} {} {} {}",
@@ -967,6 +1035,35 @@ mod tests {
         assert_eq!(Request::parse("METRICS").unwrap(), Request::Metrics);
         assert_eq!(Request::parse("FINISH\r\n").unwrap(), Request::Finish);
         assert_eq!(Request::parse("QUIT").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn trace_request_roundtrips() {
+        assert_eq!(
+            Request::parse("TRACE").unwrap(),
+            Request::Trace {
+                max: DEFAULT_TRACE_EVENTS
+            }
+        );
+        let req = Request::Trace { max: 1024 };
+        assert_eq!(Request::parse("TRACE 1024").unwrap(), req);
+        assert_eq!(Request::parse(&req.to_string()).unwrap(), req);
+        for bad in ["TRACE 0", "TRACE x", "TRACE -1", "TRACE 5 6"] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_lines_roundtrip() {
+        for line in [
+            "# now=123456 watermark=12.5 dropped=0",
+            "1500 2000 net.request X 3 0 9 1 2",
+            "4000 0 loop.stall i 3 0 0 0 0",
+        ] {
+            let resp = Response::parse(&format!("R {line}")).unwrap();
+            assert_eq!(resp, Response::TraceLine(line.to_string()));
+            assert_eq!(Response::parse(&resp.to_string()).unwrap(), resp);
+        }
     }
 
     #[test]

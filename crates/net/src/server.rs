@@ -126,6 +126,9 @@ impl Server {
     /// `"127.0.0.1:0"` to let the OS pick a free port and read it back
     /// with [`Server::local_addr`].
     pub fn bind(addr: impl ToSocketAddrs, options: ServerOptions) -> io::Result<Server> {
+        // A panicking server dumps its flight recorder: the last events
+        // before the crash are usually the diagnosis.
+        sssj_metrics::trace::install_panic_hook();
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));

@@ -22,7 +22,7 @@ use crate::protocol::{
 };
 
 /// Request verbs as metric label values, indexed by [`verb_index`].
-const VERB_NAMES: [&str; 9] = [
+const VERB_NAMES: [&str; 10] = [
     "config",
     "vector",
     "text",
@@ -32,6 +32,7 @@ const VERB_NAMES: [&str; 9] = [
     "subscribe",
     "finish",
     "quit",
+    "trace",
 ];
 
 fn verb_index(request: &Request) -> usize {
@@ -45,8 +46,13 @@ fn verb_index(request: &Request) -> usize {
         Request::Subscribe { .. } => 6,
         Request::Finish => 7,
         Request::Quit => 8,
+        Request::Trace { .. } => 9,
     }
 }
+
+/// Server-side ceiling on one `TRACE n` reply, so a client cannot ask
+/// for unbounded drain work (the rings hold 4096 events per thread).
+const MAX_TRACE_EVENTS: u64 = 65_536;
 
 struct VerbHandles {
     requests: &'static Counter,
@@ -95,7 +101,7 @@ fn slow_threshold_ms() -> Option<f64> {
 /// per second process-wide so a pathological stream cannot flood the
 /// log. Counted (unsampled) in `sssj_net_slow_requests_total` either
 /// way.
-fn log_slow_request(repr: &str, elapsed_ms: f64, generation: u64) {
+fn log_slow_request(repr: &str, elapsed_ms: f64, generation: u64, trace_id: u64) {
     static LAST: Mutex<Option<Instant>> = Mutex::new(None);
     let mut last = LAST.lock().expect("slow-log clock poisoned");
     let due = last.is_none_or(|at| at.elapsed().as_secs_f64() >= 1.0);
@@ -104,6 +110,14 @@ fn log_slow_request(repr: &str, elapsed_ms: f64, generation: u64) {
         eprintln!(
             "sssj: slow request ({elapsed_ms:.1} ms, snapshot generation {generation}): {repr}"
         );
+        // With tracing on, the offending request's span tree — its
+        // journey through ingest, shards, WAL, graph — follows the line.
+        if trace_id != 0 {
+            let tree = sssj_metrics::trace::format_span_tree(trace_id);
+            if !tree.is_empty() {
+                eprint!("{tree}");
+            }
+        }
     }
 }
 
@@ -330,34 +344,54 @@ impl Session {
     /// when the session must close (after `QUIT`).
     ///
     /// Both serving engines funnel every request through here, so this
-    /// is where the per-verb telemetry and the slow-query probe live.
-    /// With telemetry off and no `SSSJ_SLOW_MS` threshold the request
-    /// goes straight to dispatch — not even a clock read.
+    /// is where the per-verb telemetry, the trace scope, and the
+    /// slow-query probe live. With telemetry and tracing off and no
+    /// `SSSJ_SLOW_MS` threshold the request goes straight to dispatch —
+    /// not even a clock read.
     pub fn handle(&mut self, request: Request, out: &mut Vec<Response>) -> bool {
         let slow_ms = slow_threshold_ms();
-        if !sssj_metrics::telemetry_enabled() && slow_ms.is_none() {
+        let telemetry = sssj_metrics::telemetry_enabled();
+        if !telemetry && !sssj_metrics::trace_enabled() && slow_ms.is_none() {
             return self.dispatch(request, out);
         }
         let verb = verb_index(&request);
         // Format the request up front only when the slow probe is armed:
         // dispatch consumes it, and the probe logs the parsed form.
         let repr = slow_ms.map(|_| request.to_string());
+        // Every request gets its own trace id; spans recorded anywhere
+        // downstream — ingest, shard fan-out, WAL, graph publish — nest
+        // under this scope, so one record's journey is reconstructible.
+        let _trace = sssj_metrics::trace::scope(sssj_metrics::trace::next_trace_id());
+        let mut span =
+            sssj_metrics::trace::span_with(sssj_metrics::trace::Stage::NetRequest, verb as u64, 0);
         let started = Instant::now();
         let keep = self.dispatch(request, out);
         let elapsed = started.elapsed();
-        let m = &verb_metrics()[verb];
-        m.requests.inc();
-        m.seconds.record_duration(elapsed);
+        span.set_args(verb as u64, out.len() as u64);
+        let trace_id = span.trace_id();
+        drop(span);
+        if telemetry {
+            let m = &verb_metrics()[verb];
+            m.requests.inc();
+            m.seconds.record_duration(elapsed);
+        }
         if let (Some(threshold), Some(repr)) = (slow_ms, repr) {
             let elapsed_ms = elapsed.as_secs_f64() * 1e3;
             if elapsed_ms > threshold {
-                Registry::global()
-                    .counter(
-                        "sssj_net_slow_requests_total",
-                        "requests over the SSSJ_SLOW_MS threshold",
-                    )
-                    .inc();
-                log_slow_request(&repr, elapsed_ms, self.snapshot_generation());
+                if telemetry {
+                    Registry::global()
+                        .counter(
+                            "sssj_net_slow_requests_total",
+                            "requests over the SSSJ_SLOW_MS threshold",
+                        )
+                        .inc();
+                }
+                sssj_metrics::trace::instant(
+                    sssj_metrics::trace::Stage::SlowRequest,
+                    verb as u64,
+                    elapsed_ms as u64,
+                );
+                log_slow_request(&repr, elapsed_ms, self.snapshot_generation(), trace_id);
             }
         }
         keep
@@ -420,6 +454,21 @@ impl Session {
                     n += 1;
                 }
                 out.push(Response::Ok(n));
+            }
+            Request::Trace { max } => {
+                // Drain before the header so `dropped=` covers exactly
+                // the events this reply could have carried.
+                let dump = sssj_metrics::trace::drain_last(max.min(MAX_TRACE_EVENTS) as usize);
+                out.push(Response::TraceLine(format!(
+                    "# now={} watermark={} dropped={}",
+                    dump.now_ns, self.last_t, dump.dropped
+                )));
+                out.extend(
+                    dump.events
+                        .iter()
+                        .map(|ev| Response::TraceLine(ev.to_wire())),
+                );
+                out.push(Response::Ok(1 + dump.events.len() as u64));
             }
             Request::Finish => {
                 if self.finished {
@@ -1330,6 +1379,49 @@ mod tests {
             }
         }
         assert!(saw_records, "scrape must include the ingest counter");
+    }
+
+    #[test]
+    fn trace_dump_answers_header_and_events() {
+        use sssj_metrics::trace::{Stage, TraceEvent};
+        let mut s = Session::new(SessionDefaults::default());
+        handle_line(&mut s, "V 0.0 7:1.0");
+        handle_line(&mut s, "V 1.0 7:1.0");
+        let r = handle_line(&mut s, "TRACE 4096");
+        let (lines, tail) = r.split_at(r.len() - 1);
+        assert_eq!(tail[0], Response::Ok(lines.len() as u64));
+        let Response::TraceLine(header) = &lines[0] else {
+            panic!("expected R header, got {:?}", lines[0]);
+        };
+        assert!(header.starts_with("# now="), "{header}");
+        assert!(header.contains(" watermark=1 "), "{header}");
+        assert!(header.contains(" dropped="), "{header}");
+        if !sssj_metrics::trace_enabled() {
+            assert_eq!(lines.len(), 1, "off lane answers the bare header");
+            return;
+        }
+        let events: Vec<TraceEvent> = lines[1..]
+            .iter()
+            .map(|resp| match resp {
+                Response::TraceLine(l) => {
+                    TraceEvent::from_wire(l).unwrap_or_else(|| panic!("bad event line {l:?}"))
+                }
+                other => panic!("expected R line, got {other:?}"),
+            })
+            .collect();
+        // The two V requests left NetRequest spans, each enclosing an
+        // Ingest span stamped with the request's trace id.
+        let ingest: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.stage == Stage::Ingest && e.trace_id != 0)
+            .collect();
+        assert!(!ingest.is_empty(), "{events:?}");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.stage == Stage::NetRequest && e.trace_id == ingest[0].trace_id),
+            "ingest span must share its request's trace id: {events:?}"
+        );
     }
 
     #[test]

@@ -90,9 +90,14 @@ pub enum RoutingMode {
 /// One batch of routed records, shared by `Arc` across the shards it
 /// touches. `routes[i]` is the delivery bitmask and owner shard of
 /// `records[i]`; a worker skips records whose mask bit it does not hold.
+/// `traces[i]` carries the driver thread's trace id at enqueue time
+/// across the thread hop, so a worker's `shard.record` spans stitch
+/// into the originating request's trace (all zeros — one shared empty
+/// signal — when tracing is off or no request scope was active).
 struct Batch {
     records: Vec<StreamRecord>,
     routes: Vec<(u64, u8)>,
+    traces: Vec<u64>,
 }
 
 impl Batch {
@@ -100,6 +105,7 @@ impl Batch {
         Batch {
             records: Vec::with_capacity(BATCH_RECORDS),
             routes: Vec::with_capacity(BATCH_RECORDS),
+            traces: Vec::with_capacity(BATCH_RECORDS),
         }
     }
 }
@@ -305,11 +311,24 @@ impl ShardedJoin {
                             continue;
                         }
                     };
-                    for (record, &(mask, owner)) in batch.records.iter().zip(&batch.routes) {
+                    for (i, (record, &(mask, owner))) in
+                        batch.records.iter().zip(&batch.routes).enumerate()
+                    {
                         if mask & bit == 0 {
                             continue;
                         }
+                        // Adopt the enqueuing request's trace id for the
+                        // duration of this record, so the span lands in
+                        // the right trace despite the thread hop.
+                        let _trace = sssj_metrics::trace::scope(batch.traces[i]);
+                        let mut span = sssj_metrics::trace::span_with(
+                            sssj_metrics::trace::Stage::ShardRecord,
+                            record.id,
+                            w as u64,
+                        );
+                        let before = out.len();
                         join.process_routed(record, owner as usize == w, &mut out);
+                        span.set_args(record.id, (out.len() - before) as u64);
                     }
                     live_ctr.store(join.live_postings(), Ordering::Relaxed);
                     if !out.is_empty() && pair_tx.send(std::mem::take(&mut out)).is_err() {
@@ -364,6 +383,11 @@ impl ShardedJoin {
             return;
         }
         let batch = Arc::new(std::mem::replace(&mut self.pending, Batch::empty()));
+        let mut span = sssj_metrics::trace::span_with(
+            sssj_metrics::trace::Stage::RouterFlush,
+            batch.records.len() as u64,
+            0,
+        );
         let mut delivered = 0usize;
         for w in 0..self.shards {
             let bit = 1u64 << w;
@@ -381,6 +405,7 @@ impl ShardedJoin {
         self.metrics
             .skipped
             .add((batch.records.len() * self.shards - delivered) as u64);
+        span.set_args(batch.records.len() as u64, delivered as u64);
     }
 
     /// Flushes the pending batch and round-trips a
@@ -489,6 +514,9 @@ impl StreamJoin for ShardedJoin {
         }
         self.pending.records.push(record.clone());
         self.pending.routes.push((mask, owner as u8));
+        self.pending
+            .traces
+            .push(sssj_metrics::trace::current_trace_id());
         // Flush full batches immediately; on a trickle stream (an
         // interactive session far below 64 records per BATCH_LATENCY)
         // flush the partial batch by age instead, so pairs keep flowing
@@ -669,6 +697,46 @@ mod tests {
         let mut keys: Vec<_> = pairs.iter().map(|p| p.key()).collect();
         keys.sort_unstable();
         keys
+    }
+
+    #[test]
+    fn shard_spans_inherit_the_drivers_trace_id() {
+        if !sssj_metrics::trace_enabled() {
+            return; // the off lane records nothing; nothing to assert
+        }
+        use sssj_metrics::trace::{self, Stage};
+        let stream = random_stream(9, 200);
+        let config = SssjConfig::new(0.6, 0.1);
+        let trace_id = trace::next_trace_id();
+        let mut sharded = ShardedJoin::new(config, IndexKind::L2, 3);
+        let mut out = Vec::new();
+        {
+            // The driver thread plays the role a net session plays in
+            // production: one id parked for the whole request.
+            let _scope = trace::scope(trace_id);
+            for r in &stream {
+                sharded.process(r, &mut out);
+            }
+            sharded.finish(&mut out);
+        }
+        let events = trace::events_for_trace(trace_id);
+        let shard_spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.stage == Stage::ShardRecord)
+            .collect();
+        assert!(
+            !shard_spans.is_empty(),
+            "worker spans must carry the driver's id across the thread hop"
+        );
+        // Spans came from worker threads, not the driver's ring.
+        let flush_tid = events
+            .iter()
+            .find(|e| e.stage == Stage::RouterFlush)
+            .expect("driver recorded batch flushes")
+            .tid;
+        assert!(shard_spans.iter().any(|e| e.tid != flush_tid));
+        // Every shard span names a record of this stream.
+        assert!(shard_spans.iter().all(|e| e.a < stream.len() as u64));
     }
 
     #[test]

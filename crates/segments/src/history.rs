@@ -296,6 +296,11 @@ impl HistoryStore {
     /// only after the manifest flip — deletes the WAL file. Re-runs
     /// after a crash in any window are idempotent.
     pub fn compact_wal_segment(&mut self, seg: &RetiredSegment) -> io::Result<()> {
+        let _span = sssj_metrics::trace::span_with(
+            sssj_metrics::trace::Stage::Compaction,
+            seg.first_seq,
+            seg.records,
+        );
         if !self.records.iter().any(|r| r.first_seq == seg.first_seq) {
             let records = wal::read_segment_records(&seg.path)?;
             if records.len() as u64 != seg.records {

@@ -469,6 +469,7 @@ impl DurableJoin {
         ack_current: bool,
     ) -> Result<(), StoreError> {
         let started = std::time::Instant::now();
+        let _span = sssj_metrics::trace::span(sssj_metrics::trace::Stage::Checkpoint);
         // Prune first: it pops from the front of `recent`, so the cut
         // below stays a valid prefix length afterwards.
         self.prune_recent();

@@ -540,11 +540,14 @@ impl Wal {
         if self.cur.records >= self.segment_records {
             self.seal()?;
         }
+        let mut span =
+            sssj_metrics::trace::span_with(sssj_metrics::trace::Stage::WalAppend, record.id, 0);
         let buffered = self.buf.len();
         encode_frame(record, &mut self.buf);
         let m = wal_metrics();
         m.appends.inc();
         m.bytes.add((self.buf.len() - buffered) as u64);
+        span.set_args(record.id, (self.buf.len() - buffered) as u64);
         if self.sync_appends || self.buf.len() >= WRITE_BUFFER {
             self.flush()?;
         }
@@ -586,6 +589,7 @@ impl Wal {
     pub fn sync(&mut self, fsync: bool) -> io::Result<()> {
         self.flush()?;
         if fsync {
+            let _span = sssj_metrics::trace::span(sssj_metrics::trace::Stage::WalFsync);
             self.file.sync_all()?;
             wal_metrics().fsyncs.inc();
         }

@@ -296,12 +296,60 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! Two probes watch the serving path itself: `SSSJ_SLOW_MS=<n>` logs
+//! Recorder series scrape as full cumulative Prometheus histograms
+//! (`_bucket{le=…}`/`_sum`/`_count`), so latency quantiles are computed
+//! server-side by any Prometheus-compatible backend.
+//!
+//! Beside the registry sits the **flight recorder** (`sssj::metrics::
+//! trace`): spans and instants recorded into per-thread lock-free rings
+//! — no allocation, no locks, and `SSSJ_TRACE=off` reduces every probe
+//! to one relaxed load + branch (its own CI lane proves the suite
+//! byte-identical with tracing dark). Every pipeline stage records
+//! spans — ingest, candidate generation, shard fan-out, WAL, graph
+//! publish, net requests — correlated by a per-request trace id that
+//! crosses thread boundaries. The `TRACE [n]` verb dumps the newest
+//! events over the wire, and `sssj trace <addr> [--out FILE]` renders
+//! the dump as Chrome trace-event JSON for Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`; `sssj serve
+//! --trace-log FILE` captures continuously instead:
+//!
+//! ```
+//! use sssj::net::{JoinClient, Server, ServerOptions};
+//! use sssj::metrics::trace::{chrome_trace_json, Stage, TraceEvent};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerOptions::default())?;
+//! let mut client = JoinClient::connect(server.local_addr())?;
+//! client.send_vector(0.0, &[(7, 1.0)])?;
+//! client.send_vector(1.0, &[(7, 1.0)])?;
+//!
+//! let dump = client.trace(256)?; // header line + wire-format events
+//! assert!(dump[0].starts_with("# now="), "watermark-clocked header");
+//! let events: Vec<TraceEvent> = dump[1..]
+//!     .iter()
+//!     .filter_map(|l| TraceEvent::from_wire(l))
+//!     .collect();
+//! if sssj::metrics::trace_enabled() {
+//!     // The records' ingest spans arrived, attributed to their requests …
+//!     assert!(events.iter().any(|e| e.stage == Stage::Ingest && e.trace_id != 0));
+//!     // … and the dump renders straight into Perfetto's input format.
+//!     let json = chrome_trace_json(&events);
+//!     assert!(json.starts_with('[') && json.contains("\"name\":\"ingest\""));
+//! } else {
+//!     assert!(events.is_empty()); // the off lane dumps the bare header
+//! }
+//! client.quit()?;
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Three probes watch the serving path itself: `SSSJ_SLOW_MS=<n>` logs
 //! any request slower than `n` ms (rate-limited, with the parsed
-//! request and snapshot generation), and the event-loop engine counts
-//! iterations that overran the poll interval in
-//! `sssj_net_loop_stalls_total`, also reported as the `G loop_stalls=`
-//! line on every event-loop `STATS` reply.
+//! request, snapshot generation and — with tracing on — the request's
+//! whole span tree), the event-loop engine counts iterations that
+//! overran the poll interval in `sssj_net_loop_stalls_total` (also the
+//! `G loop_stalls=` line on every event-loop `STATS` reply) and dumps
+//! the flight recorder when one trips, and a panicking server dumps the
+//! recorder's last events before dying.
 //!
 //! ## Crate map
 //!
